@@ -1,0 +1,130 @@
+//! The atomic-memory baseline: no caches, every access hits main memory.
+//!
+//! The strongest-possible memory for a computation: at each step the
+//! executing node sees the globally latest state, so the induced observer
+//! function is the last-writer function of the execution serialization —
+//! *sequential consistency by construction*. It is the natural foil for
+//! BACKER in the experiments: SC semantics, but zero locality (every read
+//! is a round-trip) versus BACKER's weaker LC with cache hits. The §7
+//! question — "whether any algorithm can be found that is more efficient
+//! than BACKER that implements a weaker memory model than LC" — lives on
+//! exactly this axis.
+
+use crate::memory::{node_of, token_of, MainMemory};
+use crate::schedule::Schedule;
+use crate::sim::SimResult;
+use crate::stats::Stats;
+use ccmm_core::{Computation, ObserverFunction, Op};
+
+/// Runs the computation against uncached atomic memory under `schedule`.
+///
+/// The observer function records, for every node and location, the
+/// memory state at the node's execution — making every execution
+/// sequentially consistent (verified in the tests and experiment E9).
+pub fn run(c: &Computation, schedule: &Schedule) -> SimResult {
+    schedule.validate(c).expect("invalid schedule");
+    let num_locations = c.num_locations();
+    let mut mem = MainMemory::new(num_locations);
+    let mut stats = Stats::default();
+    let mut observer = ObserverFunction::bottom(num_locations, c.node_count());
+    let mut per_proc = vec![Stats::default(); schedule.processors];
+
+    for &u in &schedule.order {
+        let p = schedule.proc[u.index()];
+        match c.op(u) {
+            Op::Read(l) => {
+                let _ = mem.load(l);
+                per_proc[p].misses += 1;
+                per_proc[p].fetches += 1;
+            }
+            Op::Write(l) => {
+                mem.store(l, token_of(u));
+                per_proc[p].writes += 1;
+                // Writes go straight to memory: count as reconciles for
+                // comparability with BACKER's write-back traffic.
+                per_proc[p].reconciles += 1;
+            }
+            Op::Nop => {}
+        }
+        for l in c.locations() {
+            observer.set(l, u, node_of(mem.load(l)));
+        }
+    }
+    for s in &per_proc {
+        stats.merge(s);
+    }
+    SimResult { observer, stats, per_proc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmm_core::{Lc, Location, MemoryModel, Sc};
+    use rand::SeedableRng;
+
+    fn workload() -> Computation {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let dag = ccmm_dag::generate::gnp_dag(10, 0.3, &mut rng);
+        let ops: Vec<Op> = (0..10)
+            .map(|i| match i % 3 {
+                0 => Op::Write(Location::new(i % 2)),
+                1 => Op::Read(Location::new((i + 1) % 2)),
+                _ => Op::Nop,
+            })
+            .collect();
+        Computation::new(dag, ops).unwrap()
+    }
+
+    #[test]
+    fn atomic_memory_is_sequentially_consistent() {
+        let c = workload();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        for _ in 0..20 {
+            let s = Schedule::random(&c, 4, &mut rng);
+            let r = run(&c, &s);
+            assert!(r.observer.is_valid_for(&c));
+            assert!(Sc.contains(&c, &r.observer), "atomic memory must be SC");
+            assert!(Lc.contains(&c, &r.observer));
+        }
+    }
+
+    #[test]
+    fn every_read_is_a_fetch() {
+        let c = workload();
+        let s = Schedule::serial(&c);
+        let r = run(&c, &s);
+        let reads = c
+            .nodes()
+            .filter(|&u| matches!(c.op(u), Op::Read(_)))
+            .count() as u64;
+        assert_eq!(r.stats.fetches, reads, "no cache, no hits");
+        assert_eq!(r.stats.hits, 0);
+    }
+
+    #[test]
+    fn observer_matches_execution_order_last_writer() {
+        let c = workload();
+        let s = Schedule::serial(&c);
+        let r = run(&c, &s);
+        let expected = ccmm_core::last_writer::last_writer_function(&c, &s.order);
+        assert_eq!(r.observer, expected);
+    }
+
+    #[test]
+    fn cilk_programs_run_atomically() {
+        let c = ccmm_cilk_like();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        let s = Schedule::work_stealing(&c, 4, &mut rng);
+        let r = run(&c, &s);
+        assert!(Sc.contains(&c, &r.observer));
+    }
+
+    fn ccmm_cilk_like() -> Computation {
+        let dag = ccmm_dag::generate::fork_join_tree(3);
+        let n = dag.node_count();
+        let ops: Vec<Op> = (0..n)
+            .map(|i| if i % 2 == 0 { Op::Write(Location::new(i % 3)) } else { Op::Read(Location::new((i + 1) % 3)) })
+            .collect();
+        Computation::new(dag, ops).unwrap()
+    }
+}

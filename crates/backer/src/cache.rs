@@ -1,0 +1,276 @@
+//! A per-processor cache with dirty bits and LRU eviction.
+//!
+//! BACKER's three primitive operations on a cached location
+//! (\[BFJ+96a\]): *fetch* (copy main memory → cache), *reconcile* (copy a
+//! dirty cache line → main memory and mark it clean), and *flush*
+//! (reconcile if dirty, then drop the line). Eviction under capacity
+//! pressure is a flush of the least-recently-used line.
+
+use crate::memory::{MainMemory, Token};
+use crate::stats::Stats;
+use ccmm_core::Location;
+
+/// The protocol surface shared by word-granular ([`Cache`]) and
+/// page-granular ([`crate::paged::PagedCache`]) caches; the simulator is
+/// generic over it.
+pub trait CacheOps {
+    /// A processor read: hit, or fetch from main memory.
+    fn read(&mut self, l: Location, mem: &mut MainMemory, stats: &mut Stats) -> Token;
+    /// A processor write: install the token dirty.
+    fn write(&mut self, l: Location, t: Token, mem: &mut MainMemory, stats: &mut Stats);
+    /// Write back every dirty word, marking it clean.
+    fn reconcile_all(&mut self, mem: &mut MainMemory, stats: &mut Stats);
+    /// Reconcile, then drop everything.
+    fn flush_all(&mut self, mem: &mut MainMemory, stats: &mut Stats);
+    /// Non-perturbing lookup (no LRU update, no fetch).
+    fn peek(&self, l: Location) -> Option<Token>;
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    value: Token,
+    dirty: bool,
+    /// LRU clock stamp of the most recent touch.
+    stamp: u64,
+}
+
+/// A processor-local cache.
+#[derive(Debug)]
+pub struct Cache {
+    /// `lines[l]` = cached line for location `l`, if present.
+    lines: Vec<Option<Line>>,
+    capacity: usize,
+    occupancy: usize,
+    clock: u64,
+}
+
+impl Cache {
+    /// An empty cache over `num_locations` possible lines with the given
+    /// capacity.
+    pub fn new(num_locations: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Cache { lines: vec![None; num_locations], capacity, occupancy: 0, clock: 0 }
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Whether `l` is resident.
+    pub fn contains(&self, l: Location) -> bool {
+        self.lines[l.index()].is_some()
+    }
+
+    /// Peeks at the cached value without touching LRU state (used by the
+    /// simulator's non-perturbing observer probe).
+    pub fn peek(&self, l: Location) -> Option<Token> {
+        self.lines[l.index()].map(|line| line.value)
+    }
+
+    fn touch(&mut self, l: Location) {
+        self.clock += 1;
+        if let Some(line) = &mut self.lines[l.index()] {
+            line.stamp = self.clock;
+        }
+    }
+
+    /// Evicts the least-recently-used line (reconciling it if dirty).
+    fn evict_lru(&mut self, mem: &mut MainMemory, stats: &mut Stats) {
+        let victim = self
+            .lines
+            .iter()
+            .enumerate()
+            .filter_map(|(i, line)| line.map(|ln| (i, ln.stamp)))
+            .min_by_key(|&(_, stamp)| stamp)
+            .map(|(i, _)| i)
+            .expect("evict called on empty cache");
+        let line = self.lines[victim].take().expect("victim resident");
+        self.occupancy -= 1;
+        stats.evictions += 1;
+        if line.dirty {
+            mem.store(Location::new(victim), line.value);
+            stats.reconciles += 1;
+        }
+    }
+
+    fn make_room(&mut self, mem: &mut MainMemory, stats: &mut Stats) {
+        while self.occupancy >= self.capacity {
+            self.evict_lru(mem, stats);
+        }
+    }
+
+    /// A processor read: cache hit, or fetch from main memory.
+    pub fn read(&mut self, l: Location, mem: &mut MainMemory, stats: &mut Stats) -> Token {
+        if let Some(line) = self.lines[l.index()] {
+            stats.hits += 1;
+            self.touch(l);
+            return line.value;
+        }
+        stats.misses += 1;
+        stats.fetches += 1;
+        self.make_room(mem, stats);
+        let value = mem.load(l);
+        self.clock += 1;
+        self.lines[l.index()] = Some(Line { value, dirty: false, stamp: self.clock });
+        self.occupancy += 1;
+        value
+    }
+
+    /// A processor write: install the token dirty (write-allocate, no
+    /// fetch needed as whole "lines" are single values).
+    pub fn write(&mut self, l: Location, t: Token, mem: &mut MainMemory, stats: &mut Stats) {
+        if self.lines[l.index()].is_none() {
+            self.make_room(mem, stats);
+            self.occupancy += 1;
+        }
+        self.clock += 1;
+        self.lines[l.index()] = Some(Line { value: t, dirty: true, stamp: self.clock });
+        stats.writes += 1;
+    }
+
+    /// Reconciles every dirty line (write back, mark clean).
+    pub fn reconcile_all(&mut self, mem: &mut MainMemory, stats: &mut Stats) {
+        for (i, slot) in self.lines.iter_mut().enumerate() {
+            if let Some(line) = slot {
+                if line.dirty {
+                    mem.store(Location::new(i), line.value);
+                    line.dirty = false;
+                    stats.reconciles += 1;
+                }
+            }
+        }
+    }
+
+    /// Flushes the whole cache: reconcile dirty lines, then drop
+    /// everything.
+    pub fn flush_all(&mut self, mem: &mut MainMemory, stats: &mut Stats) {
+        self.reconcile_all(mem, stats);
+        for slot in &mut self.lines {
+            *slot = None;
+        }
+        self.occupancy = 0;
+        stats.flushes += 1;
+    }
+}
+
+impl CacheOps for Cache {
+    fn read(&mut self, l: Location, mem: &mut MainMemory, stats: &mut Stats) -> Token {
+        Cache::read(self, l, mem, stats)
+    }
+
+    fn write(&mut self, l: Location, t: Token, mem: &mut MainMemory, stats: &mut Stats) {
+        Cache::write(self, l, t, mem, stats)
+    }
+
+    fn reconcile_all(&mut self, mem: &mut MainMemory, stats: &mut Stats) {
+        Cache::reconcile_all(self, mem, stats)
+    }
+
+    fn flush_all(&mut self, mem: &mut MainMemory, stats: &mut Stats) {
+        Cache::flush_all(self, mem, stats)
+    }
+
+    fn peek(&self, l: Location) -> Option<Token> {
+        Cache::peek(self, l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    #[test]
+    fn read_miss_fetches_then_hits() {
+        let mut mem = MainMemory::new(2);
+        mem.store(l(0), 7);
+        let mut c = Cache::new(2, 2);
+        let mut s = Stats::default();
+        assert_eq!(c.read(l(0), &mut mem, &mut s), 7);
+        assert_eq!(s.misses, 1);
+        assert_eq!(c.read(l(0), &mut mem, &mut s), 7);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.fetches, 1);
+    }
+
+    #[test]
+    fn write_is_dirty_until_reconcile() {
+        let mut mem = MainMemory::new(1);
+        let mut c = Cache::new(1, 1);
+        let mut s = Stats::default();
+        c.write(l(0), 5, &mut mem, &mut s);
+        assert_eq!(mem.load(l(0)), 0, "write not visible before reconcile");
+        c.reconcile_all(&mut mem, &mut s);
+        assert_eq!(mem.load(l(0)), 5);
+        assert_eq!(s.reconciles, 1);
+        // Reconciling again writes nothing (clean).
+        c.reconcile_all(&mut mem, &mut s);
+        assert_eq!(s.reconciles, 1);
+    }
+
+    #[test]
+    fn flush_drops_lines() {
+        let mut mem = MainMemory::new(2);
+        let mut c = Cache::new(2, 2);
+        let mut s = Stats::default();
+        c.write(l(0), 3, &mut mem, &mut s);
+        c.flush_all(&mut mem, &mut s);
+        assert!(!c.contains(l(0)));
+        assert_eq!(mem.load(l(0)), 3, "flush reconciles dirty data");
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_reconciles_dirty_victim() {
+        let mut mem = MainMemory::new(3);
+        let mut c = Cache::new(3, 2);
+        let mut s = Stats::default();
+        c.write(l(0), 1, &mut mem, &mut s);
+        c.write(l(1), 2, &mut mem, &mut s);
+        // Touch l0 so l1 is LRU.
+        c.read(l(0), &mut mem, &mut s);
+        c.write(l(2), 3, &mut mem, &mut s); // evicts l1
+        assert!(c.contains(l(0)));
+        assert!(!c.contains(l(1)));
+        assert!(c.contains(l(2)));
+        assert_eq!(mem.load(l(1)), 2, "dirty victim written back");
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn stale_cached_value_survives_memory_update() {
+        // The heart of relaxed behaviour: a clean cached copy does not see
+        // later main-memory updates until flushed.
+        let mut mem = MainMemory::new(1);
+        let mut c = Cache::new(1, 1);
+        let mut s = Stats::default();
+        assert_eq!(c.read(l(0), &mut mem, &mut s), 0);
+        mem.store(l(0), 9); // another processor reconciled
+        assert_eq!(c.read(l(0), &mut mem, &mut s), 0, "stale but legal");
+        c.flush_all(&mut mem, &mut s);
+        assert_eq!(c.read(l(0), &mut mem, &mut s), 9);
+    }
+
+    #[test]
+    fn peek_does_not_perturb() {
+        let mut mem = MainMemory::new(2);
+        let mut c = Cache::new(2, 1);
+        let mut s = Stats::default();
+        c.write(l(0), 4, &mut mem, &mut s);
+        assert_eq!(c.peek(l(0)), Some(4));
+        assert_eq!(c.peek(l(1)), None);
+        let (hits, misses) = (s.hits, s.misses);
+        let _ = c.peek(l(1));
+        assert_eq!((s.hits, s.misses), (hits, misses));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Cache::new(1, 0);
+    }
+}

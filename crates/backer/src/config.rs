@@ -1,0 +1,85 @@
+//! Configuration for the BACKER simulator and executor.
+
+/// Fault injection switches — each disables one leg of the coherence
+//  protocol, producing executions that (detectably) violate LC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Skip the cache flush a processor must perform before executing a
+    /// node with a cross-processor predecessor. Stale cached values
+    /// survive dependency edges.
+    pub skip_flush: bool,
+    /// Skip the reconcile (write-back of dirty lines) a processor must
+    /// perform after executing a node with a cross-processor successor.
+    /// Writes become invisible across dependency edges.
+    pub skip_reconcile: bool,
+}
+
+impl FaultInjection {
+    /// The correct protocol: nothing skipped.
+    pub const NONE: FaultInjection = FaultInjection { skip_flush: false, skip_reconcile: false };
+
+    /// Whether any fault is enabled.
+    pub fn any(self) -> bool {
+        self.skip_flush || self.skip_reconcile
+    }
+}
+
+/// BACKER configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BackerConfig {
+    /// Number of processors.
+    pub processors: usize,
+    /// Cache capacity per processor, in lines (locations). `usize::MAX`
+    /// for unbounded.
+    pub cache_capacity: usize,
+    /// Protocol faults to inject (default: none).
+    pub faults: FaultInjection,
+}
+
+impl Default for BackerConfig {
+    fn default() -> Self {
+        BackerConfig { processors: 4, cache_capacity: usize::MAX, faults: FaultInjection::NONE }
+    }
+}
+
+impl BackerConfig {
+    /// A config with `p` processors and unbounded caches.
+    pub fn with_processors(p: usize) -> Self {
+        BackerConfig { processors: p, ..Default::default() }
+    }
+
+    /// Sets the per-processor cache capacity.
+    pub fn cache_capacity(mut self, lines: usize) -> Self {
+        self.cache_capacity = lines;
+        self
+    }
+
+    /// Enables fault injection.
+    pub fn faults(mut self, f: FaultInjection) -> Self {
+        self.faults = f;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config() {
+        let c = BackerConfig::default();
+        assert_eq!(c.processors, 4);
+        assert_eq!(c.cache_capacity, usize::MAX);
+        assert!(!c.faults.any());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let f = FaultInjection { skip_flush: true, skip_reconcile: false };
+        let c = BackerConfig::with_processors(2).cache_capacity(8).faults(f);
+        assert_eq!(c.processors, 2);
+        assert_eq!(c.cache_capacity, 8);
+        assert!(c.faults.any());
+        assert!(c.faults.skip_flush);
+    }
+}

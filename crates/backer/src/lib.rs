@@ -1,0 +1,63 @@
+//! # ccmm-backer — the BACKER coherence algorithm
+//!
+//! BACKER (\[BFJ+96a\], \[BFJ+96b\]) is the coherence algorithm behind Cilk's
+//! dag-consistent shared memory, and the system that motivated the SPAA'98
+//! paper's theory: Luchangco \[Luc97\] proved that BACKER in fact maintains
+//! **location consistency** (the constructible version of NN-dag
+//! consistency, Theorem 23).
+//!
+//! This crate makes that claim executable:
+//!
+//! * [`sim`]: a deterministic discrete-event simulator replaying any
+//!   [`schedule::Schedule`] with per-processor caches, fetch/reconcile/
+//!   flush protocol, LRU eviction, and full counters;
+//! * [`threads`]: a real multithreaded executor (crossbeam work-stealing
+//!   deques, parking_lot-guarded main memory) running the conservative
+//!   variant of the protocol;
+//! * [`config::FaultInjection`]: switchable protocol violations (skip
+//!   flush / skip reconcile) whose executions detectably leave LC;
+//! * [`verify`](crate::verify()): post-mortem membership profiles of executions against
+//!   SC / LC / NN / WW.
+//!
+//! Executions transport unique write tokens, so every run yields a total
+//! observer function checkable by `ccmm-core`'s exact model checkers.
+
+//! # Example
+//!
+//! ```
+//! use ccmm_backer::{sim, BackerConfig, Schedule};
+//! use ccmm_core::{Computation, Lc, Location, MemoryModel, Op};
+//!
+//! // W(l) on one processor, R(l) on another, across a dependency edge.
+//! let l = Location::new(0);
+//! let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l), Op::Read(l)]);
+//! let schedule = Schedule::round_robin(&c, 2);
+//! let result = sim::run(&c, &schedule, &BackerConfig::with_processors(2));
+//!
+//! // The protocol delivered the token, and the execution is LC.
+//! assert_eq!(
+//!     result.observer.get(l, ccmm_dag::NodeId::new(1)),
+//!     Some(ccmm_dag::NodeId::new(0)),
+//! );
+//! assert!(Lc.contains(&c, &result.observer));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod cache;
+pub mod config;
+pub mod memory;
+pub mod paged;
+pub mod schedule;
+pub mod sim;
+pub mod stats;
+pub mod threads;
+pub mod timing;
+pub mod verify;
+
+pub use config::{BackerConfig, FaultInjection};
+pub use schedule::Schedule;
+pub use sim::{run, SimResult};
+pub use stats::Stats;
+pub use verify::{verify, ModelProfile, VerifyReport};

@@ -1,0 +1,88 @@
+//! Main memory: the single backing store behind all processor caches.
+//!
+//! Values are *write tokens*: `0` is the initial value ("no write
+//! observed", the theory's ⊥), and write node `w` stores `w.index() + 1`.
+//! Token transport is what lets the simulator read an observer function
+//! straight off an execution.
+
+use ccmm_core::Location;
+use ccmm_dag::NodeId;
+
+/// A write token: 0 = initial (⊥), `w.index() + 1` = written by node `w`.
+pub type Token = u64;
+
+/// The token of write node `w`.
+#[inline]
+pub fn token_of(w: NodeId) -> Token {
+    w.index() as Token + 1
+}
+
+/// The node encoded by a token, or `None` for the initial value.
+#[inline]
+pub fn node_of(t: Token) -> Option<NodeId> {
+    (t != 0).then(|| NodeId::new(t as usize - 1))
+}
+
+/// Flat main memory over a fixed set of locations.
+#[derive(Clone, Debug)]
+pub struct MainMemory {
+    cells: Vec<Token>,
+}
+
+impl MainMemory {
+    /// Zero-initialised memory with `num_locations` cells.
+    pub fn new(num_locations: usize) -> Self {
+        MainMemory { cells: vec![0; num_locations] }
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the memory has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Reads the cell for `l`.
+    #[inline]
+    pub fn load(&self, l: Location) -> Token {
+        self.cells[l.index()]
+    }
+
+    /// Writes the cell for `l`.
+    #[inline]
+    pub fn store(&mut self, l: Location, t: Token) {
+        self.cells[l.index()] = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrip() {
+        let w = NodeId::new(7);
+        assert_eq!(token_of(w), 8);
+        assert_eq!(node_of(8), Some(w));
+        assert_eq!(node_of(0), None);
+    }
+
+    #[test]
+    fn load_store() {
+        let mut m = MainMemory::new(3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.load(Location::new(1)), 0);
+        m.store(Location::new(1), 42);
+        assert_eq!(m.load(Location::new(1)), 42);
+        assert_eq!(m.load(Location::new(0)), 0);
+    }
+
+    #[test]
+    fn empty_memory() {
+        let m = MainMemory::new(0);
+        assert!(m.is_empty());
+    }
+}

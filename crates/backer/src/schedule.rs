@@ -1,0 +1,211 @@
+//! Schedules: who executes which node, in what serialization.
+//!
+//! The theory separates the computation from the schedule; BACKER's
+//! behaviour (and its observer function) depends on both. A [`Schedule`]
+//! is a topological execution order plus a processor assignment per node.
+//! Generators range from fully serial to a locality-greedy approximation
+//! of Cilk's work-stealing scheduler.
+
+use ccmm_core::Computation;
+use ccmm_dag::{topo, NodeId};
+use rand::Rng;
+
+/// An execution schedule for a computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Global serialization of node executions (a topological sort).
+    pub order: Vec<NodeId>,
+    /// `proc[u.index()]` = processor executing node `u`.
+    pub proc: Vec<usize>,
+    /// Number of processors.
+    pub processors: usize,
+}
+
+impl Schedule {
+    /// Validates the schedule against a computation.
+    pub fn validate(&self, c: &Computation) -> Result<(), String> {
+        if !topo::is_topological_sort(c.dag(), &self.order) {
+            return Err("order is not a topological sort".to_string());
+        }
+        if self.proc.len() != c.node_count() {
+            return Err(format!(
+                "proc assignment has {} entries for {} nodes",
+                self.proc.len(),
+                c.node_count()
+            ));
+        }
+        if let Some(&bad) = self.proc.iter().find(|&&p| p >= self.processors) {
+            return Err(format!("processor {bad} out of range {}", self.processors));
+        }
+        Ok(())
+    }
+
+    /// Everything on one processor, deterministic order. BACKER on a
+    /// serial schedule is exact shared memory: every read sees the most
+    /// recent write in program order.
+    pub fn serial(c: &Computation) -> Schedule {
+        Schedule {
+            order: topo::topo_sort(c.dag()),
+            proc: vec![0; c.node_count()],
+            processors: 1,
+        }
+    }
+
+    /// Deterministic order, nodes dealt round-robin across `p` processors
+    /// — a pessimal-locality schedule, useful as a stress case.
+    pub fn round_robin(c: &Computation, p: usize) -> Schedule {
+        assert!(p > 0);
+        let order = topo::topo_sort(c.dag());
+        let mut proc = vec![0; c.node_count()];
+        for (i, u) in order.iter().enumerate() {
+            proc[u.index()] = i % p;
+        }
+        Schedule { order, proc, processors: p }
+    }
+
+    /// Random topological order with uniformly random processor per node.
+    pub fn random<R: Rng + ?Sized>(c: &Computation, p: usize, rng: &mut R) -> Schedule {
+        assert!(p > 0);
+        let order = topo::random_topo_sort(c.dag(), rng);
+        let proc = (0..c.node_count()).map(|_| rng.gen_range(0..p)).collect();
+        Schedule { order, proc, processors: p }
+    }
+
+    /// A locality-greedy approximation of work stealing: each processor
+    /// prefers to continue with a ready successor of the node it just
+    /// executed (the "continuation"); idle processors steal a random ready
+    /// node. One node executes per global step.
+    pub fn work_stealing<R: Rng + ?Sized>(c: &Computation, p: usize, rng: &mut R) -> Schedule {
+        assert!(p > 0);
+        let n = c.node_count();
+        let mut indeg: Vec<usize> = (0..n).map(|u| c.dag().in_degree(NodeId::new(u))).collect();
+        let mut ready: Vec<NodeId> = c.dag().roots();
+        let mut last_on: Vec<Option<NodeId>> = vec![None; p];
+        let mut order = Vec::with_capacity(n);
+        let mut proc = vec![0; n];
+        let mut turn = 0usize;
+        while !ready.is_empty() {
+            // Round-robin the processors; each picks with locality.
+            let me = turn % p;
+            turn += 1;
+            let pick_idx = last_on[me]
+                .and_then(|prev| {
+                    ready.iter().position(|&r| c.dag().predecessors(r).contains(&prev))
+                })
+                .unwrap_or_else(|| rng.gen_range(0..ready.len()));
+            let u = ready.swap_remove(pick_idx);
+            order.push(u);
+            proc[u.index()] = me;
+            last_on[me] = Some(u);
+            for &v in c.dag().successors(u) {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    ready.push(v);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n);
+        Schedule { order, proc, processors: p }
+    }
+
+    /// Number of dag edges whose endpoints run on different processors —
+    /// each forces protocol traffic.
+    pub fn cross_edges(&self, c: &Computation) -> usize {
+        c.dag()
+            .edges()
+            .filter(|&(u, v)| self.proc[u.index()] != self.proc[v.index()])
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmm_core::{Location, Op};
+    use rand::SeedableRng;
+
+    fn diamond() -> Computation {
+        Computation::from_edges(
+            4,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![
+                Op::Write(Location::new(0)),
+                Op::Read(Location::new(0)),
+                Op::Write(Location::new(0)),
+                Op::Read(Location::new(0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn serial_is_valid_single_proc() {
+        let c = diamond();
+        let s = Schedule::serial(&c);
+        assert!(s.validate(&c).is_ok());
+        assert_eq!(s.processors, 1);
+        assert_eq!(s.cross_edges(&c), 0);
+    }
+
+    #[test]
+    fn round_robin_spreads_nodes() {
+        let c = diamond();
+        let s = Schedule::round_robin(&c, 2);
+        assert!(s.validate(&c).is_ok());
+        assert!(s.proc.contains(&0));
+        assert!(s.proc.contains(&1));
+        assert!(s.cross_edges(&c) > 0);
+    }
+
+    #[test]
+    fn random_schedules_are_valid() {
+        let c = diamond();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let s = Schedule::random(&c, 3, &mut rng);
+            assert!(s.validate(&c).is_ok());
+        }
+    }
+
+    #[test]
+    fn work_stealing_schedules_are_valid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let dag = ccmm_dag::generate::fork_join_tree(4);
+        let n = dag.node_count();
+        let c = Computation::new(dag, vec![Op::Nop; n]).unwrap();
+        for p in [1, 2, 4] {
+            for _ in 0..10 {
+                let s = Schedule::work_stealing(&c, p, &mut rng);
+                assert!(s.validate(&c).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_schedules() {
+        let c = diamond();
+        let mut s = Schedule::serial(&c);
+        s.order.swap(0, 1);
+        assert!(s.validate(&c).is_err());
+
+        let mut s2 = Schedule::serial(&c);
+        s2.proc[2] = 5;
+        assert!(s2.validate(&c).is_err());
+
+        let mut s3 = Schedule::serial(&c);
+        s3.proc.pop();
+        assert!(s3.validate(&c).is_err());
+    }
+
+    #[test]
+    fn locality_reduces_cross_edges_versus_round_robin() {
+        // On a long chain, work stealing keeps everything on one
+        // processor; round robin alternates every edge.
+        let dag = ccmm_dag::generate::chain(20);
+        let c = Computation::new(dag, vec![Op::Nop; 20]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let ws = Schedule::work_stealing(&c, 2, &mut rng);
+        let rr = Schedule::round_robin(&c, 2);
+        assert!(ws.cross_edges(&c) <= rr.cross_edges(&c));
+        assert_eq!(rr.cross_edges(&c), 19);
+    }
+}

@@ -1,0 +1,67 @@
+//! Execution counters, the raw material of the performance experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Protocol and cache event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Cache read hits.
+    pub hits: u64,
+    /// Cache read misses.
+    pub misses: u64,
+    /// Fetches from main memory.
+    pub fetches: u64,
+    /// Cache writes.
+    pub writes: u64,
+    /// Dirty lines written back to main memory.
+    pub reconciles: u64,
+    /// Whole-cache flushes.
+    pub flushes: u64,
+    /// Lines evicted under capacity pressure.
+    pub evictions: u64,
+}
+
+impl Stats {
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &Stats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.fetches += other.fetches;
+        self.writes += other.writes;
+        self.reconciles += other.reconciles;
+        self.flushes += other.flushes;
+        self.evictions += other.evictions;
+    }
+
+    /// Read hit rate in `[0, 1]`; 1.0 if there were no reads.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Stats { hits: 1, misses: 2, ..Default::default() };
+        let b = Stats { hits: 10, reconciles: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.hits, 11);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.reconciles, 3);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        assert_eq!(Stats::default().hit_rate(), 1.0);
+        let s = Stats { hits: 3, misses: 1, ..Default::default() };
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+}

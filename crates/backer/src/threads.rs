@@ -1,0 +1,309 @@
+//! A real multithreaded BACKER executor.
+//!
+//! Where [`crate::sim`] replays a precomputed schedule deterministically,
+//! this module runs the computation on actual OS threads with
+//! crossbeam work-stealing deques, per-worker caches, and a shared main
+//! memory — scheduling nondeterminism and all. The protocol here is
+//! *conservative BACKER*: a worker reconciles its dirty lines after
+//! **every** node (a superset of the required reconcile-after-cross-edge
+//! writes-backs, since a node's successors may be stolen by anyone), and
+//! flushes before executing a node with a predecessor executed elsewhere.
+//! More protocol traffic than necessary, the same correctness guarantee:
+//! every execution's observer function is location consistent.
+//!
+//! Synchronization structure: a node becomes ready when its last
+//! predecessor completes (atomic in-degree counters); the completing
+//! worker pushes it to its local deque, idle workers steal. The main
+//! memory lock is the transport for both tokens and happens-before: a
+//! reconcile (release of the lock) precedes the dependent fetch (acquire).
+
+use crate::cache::Cache;
+use crate::config::BackerConfig;
+use crate::memory::{node_of, token_of, MainMemory};
+use crate::stats::Stats;
+use ccmm_core::{Computation, ObserverFunction, Op};
+use ccmm_dag::NodeId;
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The result of a threaded execution.
+#[derive(Debug)]
+pub struct ThreadedResult {
+    /// The observer function induced by the execution.
+    pub observer: ObserverFunction,
+    /// Merged protocol counters.
+    pub stats: Stats,
+    /// Which worker executed each node.
+    pub executed_on: Vec<usize>,
+}
+
+/// One node's observation row, produced by its executing worker.
+type Row = (NodeId, usize, Vec<Option<NodeId>>);
+
+fn find_task(
+    local: &Worker<NodeId>,
+    injector: &Injector<NodeId>,
+    stealers: &[Stealer<NodeId>],
+) -> Option<NodeId> {
+    local.pop().or_else(|| {
+        std::iter::repeat_with(|| {
+            injector
+                .steal_batch_and_pop(local)
+                .or_else(|| stealers.iter().map(|s| s.steal()).collect())
+        })
+        .find(|s| !s.is_retry())
+        .and_then(|s| s.success())
+    })
+}
+
+/// Executes `c` on `config.processors` worker threads with word-granular
+/// caches.
+pub fn run(c: &Computation, config: &BackerConfig) -> ThreadedResult {
+    run_with_caches(c, config, |nl| Cache::new(nl, config.cache_capacity.max(1)))
+}
+
+/// Executes `c` on worker threads with page-granular caches (capacity in
+/// pages; see [`crate::paged`]).
+pub fn run_paged(c: &Computation, config: &BackerConfig, page_size: usize) -> ThreadedResult {
+    run_with_caches(c, config, |nl| {
+        crate::paged::PagedCache::new(nl, page_size, config.cache_capacity.max(1))
+    })
+}
+
+/// The generic threaded executor, parameterized over the cache
+/// organisation. `make_cache` runs once per worker.
+pub fn run_with_caches<C, F>(c: &Computation, config: &BackerConfig, make_cache: F) -> ThreadedResult
+where
+    C: crate::cache::CacheOps,
+    F: Fn(usize) -> C + Sync,
+{
+    let n = c.node_count();
+    let num_locations = c.num_locations();
+    if n == 0 {
+        return ThreadedResult {
+            observer: ObserverFunction::empty(),
+            stats: Stats::default(),
+            executed_on: Vec::new(),
+        };
+    }
+    let workers = config.processors.max(1);
+    let mem = Mutex::new(MainMemory::new(num_locations));
+    let indeg: Vec<AtomicUsize> = (0..n)
+        .map(|u| AtomicUsize::new(c.dag().in_degree(NodeId::new(u))))
+        .collect();
+    let proc_of: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    let completed = AtomicUsize::new(0);
+
+    let injector = Injector::new();
+    for r in c.dag().roots() {
+        injector.push(r);
+    }
+    let locals: Vec<Worker<NodeId>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<NodeId>> = locals.iter().map(Worker::stealer).collect();
+
+    let all_rows: Mutex<Vec<Row>> = Mutex::new(Vec::with_capacity(n));
+    let total_stats: Mutex<Stats> = Mutex::new(Stats::default());
+
+    std::thread::scope(|scope| {
+        for (me, local) in locals.into_iter().enumerate() {
+            let mem = &mem;
+            let indeg = &indeg;
+            let proc_of = &proc_of;
+            let completed = &completed;
+            let injector = &injector;
+            let stealers = &stealers;
+            let all_rows = &all_rows;
+            let total_stats = &total_stats;
+            let make_cache = &make_cache;
+            scope.spawn(move || {
+                let mut cache = make_cache(num_locations);
+                let mut stats = Stats::default();
+                let mut rows: Vec<Row> = Vec::new();
+                loop {
+                    let Some(u) = find_task(&local, injector, stealers) else {
+                        if completed.load(Ordering::Acquire) == n {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    proc_of[u.index()].store(me, Ordering::Release);
+                    let cross_pred = c
+                        .dag()
+                        .predecessors(u)
+                        .iter()
+                        .any(|&q| proc_of[q.index()].load(Ordering::Acquire) != me);
+                    {
+                        let mut m = mem.lock();
+                        if cross_pred && !config.faults.skip_flush {
+                            cache.flush_all(&mut m, &mut stats);
+                        }
+                        match c.op(u) {
+                            Op::Read(l) => {
+                                cache.read(l, &mut m, &mut stats);
+                            }
+                            Op::Write(l) => {
+                                cache.write(l, token_of(u), &mut m, &mut stats);
+                            }
+                            Op::Nop => {}
+                        }
+                        // Probe the node's full view while holding the lock
+                        // so the row is a consistent snapshot.
+                        let row: Vec<Option<NodeId>> = c
+                            .locations()
+                            .map(|l| node_of(cache.peek(l).unwrap_or_else(|| m.load(l))))
+                            .collect();
+                        rows.push((u, me, row));
+                        // Conservative BACKER: eager reconcile after every
+                        // node, before successors can start.
+                        if !config.faults.skip_reconcile {
+                            cache.reconcile_all(&mut m, &mut stats);
+                        }
+                    }
+                    for &v in c.dag().successors(u) {
+                        if indeg[v.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            local.push(v);
+                        }
+                    }
+                    completed.fetch_add(1, Ordering::Release);
+                }
+                all_rows.lock().append(&mut rows);
+                total_stats.lock().merge(&stats);
+            });
+        }
+    });
+
+    let mut observer = ObserverFunction::bottom(num_locations, n);
+    let mut executed_on = vec![usize::MAX; n];
+    for (u, who, row) in all_rows.into_inner() {
+        executed_on[u.index()] = who;
+        for (li, v) in row.into_iter().enumerate() {
+            observer.set(ccmm_core::Location::new(li), u, v);
+        }
+    }
+    ThreadedResult { observer, stats: total_stats.into_inner(), executed_on }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmm_core::{Lc, Location, MemoryModel};
+
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    fn fork_join_computation(depth: usize) -> Computation {
+        let dag = ccmm_dag::generate::fork_join_tree(depth);
+        let n = dag.node_count();
+        let ops: Vec<Op> = (0..n)
+            .map(|i| match i % 4 {
+                0 => Op::Write(l(0)),
+                1 => Op::Read(l(0)),
+                2 => Op::Write(l(1)),
+                _ => Op::Read(l(1)),
+            })
+            .collect();
+        Computation::new(dag, ops).unwrap()
+    }
+
+    #[test]
+    fn empty_computation_runs() {
+        let c = Computation::empty();
+        let r = run(&c, &BackerConfig::with_processors(4));
+        assert_eq!(r.observer, ObserverFunction::empty());
+    }
+
+    #[test]
+    fn single_thread_matches_serial_semantics() {
+        let c = Computation::from_edges(
+            3,
+            &[(0, 1), (1, 2)],
+            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
+        );
+        let r = run(&c, &BackerConfig::with_processors(1));
+        assert!(r.observer.is_valid_for(&c));
+        assert_eq!(r.observer.get(l(0), ccmm_dag::NodeId::new(2)), Some(ccmm_dag::NodeId::new(0)));
+    }
+
+    #[test]
+    fn all_nodes_execute_exactly_once() {
+        let c = fork_join_computation(4);
+        let r = run(&c, &BackerConfig::with_processors(4));
+        assert!(r.executed_on.iter().all(|&w| w != usize::MAX));
+        assert!(r.executed_on.iter().all(|&w| w < 4));
+    }
+
+    #[test]
+    fn threaded_executions_maintain_lc() {
+        let c = fork_join_computation(4);
+        for procs in [1, 2, 4, 8] {
+            for _ in 0..10 {
+                let r = run(&c, &BackerConfig::with_processors(procs));
+                assert!(r.observer.is_valid_for(&c), "invalid observer");
+                assert!(
+                    Lc.contains(&c, &r.observer),
+                    "threaded BACKER violated LC on {procs} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_caches_still_maintain_lc() {
+        let c = fork_join_computation(3);
+        for _ in 0..10 {
+            let r = run(&c, &BackerConfig::with_processors(4).cache_capacity(1));
+            assert!(Lc.contains(&c, &r.observer));
+        }
+    }
+
+    #[test]
+    fn dependency_edges_deliver_tokens() {
+        // A chain must behave exactly like serial memory regardless of
+        // which workers execute it.
+        let k = 12;
+        let dag = ccmm_dag::generate::chain(k);
+        let ops: Vec<Op> =
+            (0..k).map(|i| if i % 2 == 0 { Op::Write(l(0)) } else { Op::Read(l(0)) }).collect();
+        let c = Computation::new(dag, ops).unwrap();
+        for _ in 0..5 {
+            let r = run(&c, &BackerConfig::with_processors(3));
+            for i in (1..k).step_by(2) {
+                assert_eq!(
+                    r.observer.get(l(0), ccmm_dag::NodeId::new(i)),
+                    Some(ccmm_dag::NodeId::new(i - 1)),
+                    "read {i} must see preceding write"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod paged_tests {
+    use super::*;
+    use ccmm_core::{Lc, Location, MemoryModel};
+
+    #[test]
+    fn paged_threads_maintain_lc() {
+        let dag = ccmm_dag::generate::fork_join_tree(3);
+        let n = dag.node_count();
+        let ops: Vec<Op> = (0..n)
+            .map(|i| match i % 3 {
+                0 => Op::Write(Location::new(i % 6)),
+                1 => Op::Read(Location::new((i + 2) % 6)),
+                _ => Op::Nop,
+            })
+            .collect();
+        let c = Computation::new(dag, ops).unwrap();
+        for page in [1usize, 4] {
+            for _ in 0..5 {
+                let r = run_paged(&c, &BackerConfig::with_processors(4).cache_capacity(2), page);
+                assert!(r.observer.is_valid_for(&c));
+                assert!(Lc.contains(&c, &r.observer), "page={page}");
+            }
+        }
+    }
+}

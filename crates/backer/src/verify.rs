@@ -1,0 +1,126 @@
+//! Verifying executions against the memory models.
+//!
+//! Post-mortem analysis in the paper's sense (Section 1): run the memory
+//! algorithm, read off the observer function, check it against a model.
+//! [`verify`] produces a full membership profile; [`VerifyReport`]
+//! aggregates profiles across randomized runs for the experiment tables.
+
+use ccmm_core::{Computation, Lc, MemoryModel, Model, Nn, ObserverFunction, Sc, Ww};
+
+/// Membership of one execution's observer function in each model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelProfile {
+    /// The observer function is valid (Definition 2).
+    pub valid: bool,
+    /// Membership in SC.
+    pub sc: bool,
+    /// Membership in LC.
+    pub lc: bool,
+    /// Membership in NN-dag consistency.
+    pub nn: bool,
+    /// Membership in WW-dag consistency.
+    pub ww: bool,
+}
+
+/// Checks one execution against the model hierarchy.
+pub fn verify(c: &Computation, phi: &ObserverFunction) -> ModelProfile {
+    ModelProfile {
+        valid: phi.is_valid_for(c),
+        sc: Sc.contains(c, phi),
+        lc: Lc.contains(c, phi),
+        nn: Nn::default().contains(c, phi),
+        ww: Ww::default().contains(c, phi),
+    }
+}
+
+/// Aggregated verification results over many executions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VerifyReport {
+    /// Executions checked.
+    pub runs: usize,
+    /// Executions with valid observer functions.
+    pub valid: usize,
+    /// Executions in SC.
+    pub sc: usize,
+    /// Executions in LC.
+    pub lc: usize,
+    /// Executions in NN.
+    pub nn: usize,
+    /// Executions in WW.
+    pub ww: usize,
+}
+
+impl VerifyReport {
+    /// Folds one profile into the report.
+    pub fn record(&mut self, p: ModelProfile) {
+        self.runs += 1;
+        self.valid += p.valid as usize;
+        self.sc += p.sc as usize;
+        self.lc += p.lc as usize;
+        self.nn += p.nn as usize;
+        self.ww += p.ww as usize;
+    }
+
+    /// Whether every run was location consistent — the \[Luc97\] guarantee
+    /// for fault-free BACKER.
+    pub fn all_lc(&self) -> bool {
+        self.lc == self.runs
+    }
+
+    /// Fraction of runs in `model` (by name column).
+    pub fn fraction(&self, model: Model) -> f64 {
+        let count = match model {
+            Model::Sc => self.sc,
+            Model::Lc => self.lc,
+            Model::Nn => self.nn,
+            Model::Ww => self.ww,
+            _ => self.valid,
+        };
+        if self.runs == 0 {
+            1.0
+        } else {
+            count as f64 / self.runs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmm_core::{Location, Op, ObserverFunction};
+
+    #[test]
+    fn profile_of_serial_chain() {
+        let c = Computation::from_edges(
+            2,
+            &[(0, 1)],
+            vec![Op::Write(Location::new(0)), Op::Read(Location::new(0))],
+        );
+        let phi = ObserverFunction::base(&c).with(
+            Location::new(0),
+            ccmm_dag::NodeId::new(1),
+            Some(ccmm_dag::NodeId::new(0)),
+        );
+        let p = verify(&c, &phi);
+        assert!(p.valid && p.sc && p.lc && p.nn && p.ww);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = VerifyReport::default();
+        r.record(ModelProfile { valid: true, sc: true, lc: true, nn: true, ww: true });
+        r.record(ModelProfile { valid: true, sc: false, lc: true, nn: true, ww: true });
+        assert_eq!(r.runs, 2);
+        assert_eq!(r.sc, 1);
+        assert!(r.all_lc());
+        assert_eq!(r.fraction(Model::Sc), 0.5);
+        assert_eq!(r.fraction(Model::Lc), 1.0);
+    }
+
+    #[test]
+    fn empty_report_fractions() {
+        let r = VerifyReport::default();
+        assert_eq!(r.fraction(Model::Sc), 1.0);
+        assert!(r.all_lc());
+    }
+}

@@ -1,0 +1,103 @@
+//! Benchmarks the analysis tooling: post-mortem value-trace checking,
+//! dag metrics (Dilworth width), the online game, and race detection.
+
+use ccmm_core::last_writer::last_writer_function;
+use ccmm_core::online::greedy_survives;
+use ccmm_core::trace::{is_lc_trace, is_sc_trace, ValueTrace};
+use ccmm_core::{Computation, Lc, Op};
+use ccmm_dag::{metrics, topo};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn traced_workload(n_layers: usize) -> (Computation, ValueTrace) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(60);
+    let dag = ccmm_dag::generate::layered_dag(n_layers, 5, 2, &mut rng);
+    let n = dag.node_count();
+    let ops: Vec<Op> = (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                Op::Write(ccmm_core::Location::new(i % 3))
+            } else {
+                Op::Read(ccmm_core::Location::new((i + 1) % 3))
+            }
+        })
+        .collect();
+    let c = Computation::new(dag, ops).unwrap();
+    let phi = last_writer_function(&c, &topo::topo_sort(c.dag()));
+    let reads = c
+        .nodes()
+        .filter_map(|u| match c.op(u) {
+            Op::Read(l) => Some((u, phi.get(l, u).map_or(0, |w| w.index() as u64 + 1))),
+            _ => None,
+        })
+        .collect();
+    let trace = ValueTrace::with_tokens(&c, reads);
+    (c, trace)
+}
+
+fn bench_trace_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_checking");
+    for layers in [4usize, 8, 12] {
+        let (comp, trace) = traced_workload(layers);
+        group.bench_with_input(BenchmarkId::new("lc", comp.node_count()), &layers, |b, _| {
+            b.iter(|| black_box(is_lc_trace(&comp, &trace)))
+        });
+        group.bench_with_input(BenchmarkId::new("sc", comp.node_count()), &layers, |b, _| {
+            b.iter(|| black_box(is_sc_trace(&comp, &trace)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_metrics");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+    for n in [32usize, 128, 512] {
+        let d = ccmm_dag::generate::gnp_dag(n, 3.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("width", n), &n, |b, _| {
+            b.iter(|| black_box(metrics::width(&d)))
+        });
+        group.bench_with_input(BenchmarkId::new("height", n), &n, |b, _| {
+            b.iter(|| black_box(metrics::height(&d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_online_game(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_game");
+    group.sample_size(20);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(62);
+    let dag = ccmm_dag::generate::gnp_dag(10, 0.3, &mut rng);
+    let ops: Vec<Op> = (0..10)
+        .map(|i| if i < 4 { Op::Write(ccmm_core::Location::new(0)) } else { Op::Read(ccmm_core::Location::new(0)) })
+        .collect();
+    let comp = Computation::new(dag, ops).unwrap();
+    group.bench_function("greedy_lc_replay_10", |b| {
+        b.iter(|| black_box(greedy_survives(Lc, &comp, 0)))
+    });
+    group.finish();
+}
+
+fn bench_race_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("race_detection");
+    for n in [8usize, 10, 12] {
+        let comp = ccmm_cilk::fib(n as u32).computation;
+        group.bench_with_input(
+            BenchmarkId::new("fib", comp.node_count()),
+            &n,
+            |b, _| b.iter(|| black_box(ccmm_cilk::race::is_race_free(&comp))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_checking,
+    bench_metrics,
+    bench_online_game,
+    bench_race_detection
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Benchmarks the BACKER simulator and threaded executor (E9/E10):
+//! simulation throughput across workloads, processor counts, and cache
+//! capacities, plus the LC verification cost of an execution.
+
+use ccmm_backer::{sim, threads, BackerConfig, Schedule};
+use ccmm_core::{Computation, Lc, MemoryModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sim_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backer_sim");
+    let workloads: Vec<(&str, Computation)> = vec![
+        ("fib10", ccmm_cilk::fib(10).computation),
+        ("matmul4", ccmm_cilk::matmul(4).computation),
+        ("stencil16x4", ccmm_cilk::stencil(16, 4).computation),
+    ];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    for (name, comp) in &workloads {
+        let s = Schedule::work_stealing(comp, 4, &mut rng);
+        let cfg = BackerConfig::with_processors(4).cache_capacity(64);
+        group.bench_function(BenchmarkId::new("run", name), |b| {
+            b.iter(|| black_box(sim::run(comp, &s, &cfg).stats))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_processors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backer_procs");
+    let comp = ccmm_cilk::fib(10).computation;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    for p in [1usize, 2, 4, 8] {
+        let s = Schedule::work_stealing(&comp, p, &mut rng);
+        let cfg = BackerConfig::with_processors(p).cache_capacity(64);
+        group.bench_with_input(BenchmarkId::new("fib10", p), &p, |b, _| {
+            b.iter(|| black_box(sim::run(&comp, &s, &cfg).stats))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backer_cache");
+    let comp = ccmm_cilk::matmul(4).computation;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let s = Schedule::work_stealing(&comp, 4, &mut rng);
+    for cap in [1usize, 8, 64, 1024] {
+        let cfg = BackerConfig::with_processors(4).cache_capacity(cap);
+        group.bench_with_input(BenchmarkId::new("matmul4", cap), &cap, |b, _| {
+            b.iter(|| black_box(sim::run(&comp, &s, &cfg).stats))
+        });
+    }
+    group.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backer_threads");
+    group.sample_size(10);
+    let comp = ccmm_cilk::fib(10).computation;
+    for p in [1usize, 4] {
+        let cfg = BackerConfig::with_processors(p);
+        group.bench_with_input(BenchmarkId::new("fib10", p), &p, |b, _| {
+            b.iter(|| black_box(threads::run(&comp, &cfg).stats))
+        });
+    }
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let comp = ccmm_cilk::fib(10).computation;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let s = Schedule::work_stealing(&comp, 4, &mut rng);
+    let r = sim::run(&comp, &s, &BackerConfig::with_processors(4));
+    c.bench_function("verify_lc_fib10", |b| {
+        b.iter(|| black_box(Lc.contains(&comp, &r.observer)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sim_workloads,
+    bench_sim_processors,
+    bench_sim_cache,
+    bench_threads,
+    bench_verification
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmarks the constructibility checkers (E4/E5): the Theorem-12
+//! augmentation scan per model at a small bound, and the single-pair
+//! extension check on the Figure-4 witness.
+
+use ccmm_core::props::{any_extension, check_constructible_aug};
+use ccmm_core::universe::Universe;
+use ccmm_core::witness::{figure4_full, figure4_prefix};
+use ccmm_core::{MemoryModel, Model, Nn, Op};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_aug_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constructibility_scan");
+    group.sample_size(10);
+    let u = Universe::new(3, 1);
+    for m in [Model::Lc, Model::Ww, Model::Nn] {
+        group.bench_function(format!("aug_scan_{m}_n3"), |b| {
+            b.iter(|| black_box(check_constructible_aug(&m, &u).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure4_extension(c: &mut Criterion) {
+    let w = figure4_prefix();
+    let full = figure4_full(Op::Read(ccmm_core::Location::new(0)));
+    c.bench_function("figure4_extension_check", |b| {
+        b.iter(|| {
+            black_box(any_extension(&full, &w.phi, |phi2| {
+                Nn::default().contains(&full, phi2)
+            }))
+        })
+    });
+}
+
+criterion_group!(benches, bench_aug_scan, bench_figure4_extension);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmarks the Figure-1 machinery (E1): universe enumeration, observer
+//! enumeration, and a full pairwise model comparison at a small bound.
+
+use ccmm_core::enumerate::{all_observers, count_observers};
+use ccmm_core::relation::compare;
+use ccmm_core::universe::Universe;
+use ccmm_core::{Computation, Model, Op};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_universe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universe");
+    for n in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("count_computations", n), &n, |b, &n| {
+            let u = Universe::new(n, 1);
+            b.iter(|| black_box(u.count_computations()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_observer_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observers");
+    // A write-heavy diamond-of-diamonds: many candidates per slot.
+    let comp = Computation::from_edges(
+        6,
+        &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5)],
+        vec![
+            Op::Write(ccmm_core::Location::new(0)),
+            Op::Read(ccmm_core::Location::new(0)),
+            Op::Write(ccmm_core::Location::new(0)),
+            Op::Read(ccmm_core::Location::new(0)),
+            Op::Write(ccmm_core::Location::new(0)),
+            Op::Read(ccmm_core::Location::new(0)),
+        ],
+    );
+    group.bench_function("all_observers_6node", |b| {
+        b.iter(|| black_box(all_observers(&comp).len()))
+    });
+    group.bench_function("count_observers_6node", |b| {
+        b.iter(|| black_box(count_observers(&comp)))
+    });
+    group.finish();
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compare");
+    group.sample_size(10);
+    let u = Universe::new(3, 1);
+    for (a, b_model) in [(Model::Lc, Model::Nn), (Model::Nn, Model::Ww)] {
+        group.bench_function(format!("{a}_vs_{b_model}_n3"), |bch| {
+            bch.iter(|| black_box(compare(&a, &b_model, &u).relation))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_universe, bench_observer_enumeration, bench_compare);
+criterion_main!(benches);

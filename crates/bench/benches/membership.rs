@@ -1,0 +1,64 @@
+//! Benchmarks the membership checkers (E10): LC's polynomial block
+//! contraction, the Q-dag triple scans, and the SC search, across
+//! computation sizes.
+
+use ccmm_core::last_writer::last_writer_function;
+use ccmm_core::{Computation, Lc, MemoryModel, Nn, Op, Sc, Ww};
+use ccmm_dag::topo;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn random_computation(n: usize, locs: usize, seed: u64) -> Computation {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dag = ccmm_dag::generate::gnp_dag(n, 2.0 / n as f64, &mut rng);
+    let ops: Vec<Op> = (0..n)
+        .map(|i| match i % 3 {
+            0 => Op::Write(ccmm_core::Location::new(i % locs)),
+            1 => Op::Read(ccmm_core::Location::new((i + 1) % locs)),
+            _ => Op::Nop,
+        })
+        .collect();
+    Computation::new(dag, ops).unwrap()
+}
+
+fn bench_members(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership");
+    for n in [16usize, 64, 256] {
+        let comp = random_computation(n, 4, 42);
+        let phi = last_writer_function(&comp, &topo::topo_sort(comp.dag()));
+        group.bench_with_input(BenchmarkId::new("LC", n), &n, |b, _| {
+            b.iter(|| black_box(Lc.contains(&comp, &phi)))
+        });
+        group.bench_with_input(BenchmarkId::new("NN", n), &n, |b, _| {
+            b.iter(|| black_box(Nn::default().contains(&comp, &phi)))
+        });
+        group.bench_with_input(BenchmarkId::new("WW", n), &n, |b, _| {
+            b.iter(|| black_box(Ww::default().contains(&comp, &phi)))
+        });
+        group.bench_with_input(BenchmarkId::new("SC-realizable", n), &n, |b, _| {
+            b.iter(|| black_box(Sc.contains(&comp, &phi)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sc_adversarial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_refutation");
+    // Antichain of k writes + read forced to ⊥: unsatisfiable; the solver
+    // must refute via memoised search.
+    for k in [6usize, 8, 10] {
+        let mut ops = vec![Op::Write(ccmm_core::Location::new(0)); k];
+        ops.push(Op::Read(ccmm_core::Location::new(0)));
+        let edges: Vec<(usize, usize)> = (0..k).map(|i| (i, k)).collect();
+        let comp = Computation::from_edges(k + 1, &edges, ops);
+        let phi = ccmm_core::ObserverFunction::base(&comp);
+        group.bench_with_input(BenchmarkId::new("antichain", k), &k, |b, _| {
+            b.iter(|| black_box(Sc.contains(&comp, &phi)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_members, bench_sc_adversarial);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Benchmarks the bounded Δ* fixpoint (E8 / Theorem 23) at small bounds.
+
+use ccmm_core::constructible::BoundedConstructible;
+use ccmm_core::universe::Universe;
+use ccmm_core::{Lc, Nn};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fixpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nnstar_fixpoint");
+    group.sample_size(10);
+    for n in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("NN", n), &n, |b, &n| {
+            let u = Universe::new(n, 1);
+            b.iter(|| black_box(BoundedConstructible::compute(&Nn::default(), &u).total_pairs()))
+        });
+        group.bench_with_input(BenchmarkId::new("LC", n), &n, |b, &n| {
+            let u = Universe::new(n, 1);
+            b.iter(|| black_box(BoundedConstructible::compute(&Lc, &u).total_pairs()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixpoint);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmarks the SC membership solver in isolation: realizable instances
+//! (positive), corrupted instances (fast negative), and antichain
+//! refutations (worst case, memoised).
+
+use ccmm_core::last_writer::last_writer_function;
+use ccmm_core::{Computation, MemoryModel, ObserverFunction, Op, Sc};
+use ccmm_dag::topo;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn layered(n_layers: usize, width: usize, seed: u64) -> Computation {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dag = ccmm_dag::generate::layered_dag(n_layers, width, 2, &mut rng);
+    let n = dag.node_count();
+    let ops: Vec<Op> = (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                Op::Write(ccmm_core::Location::new(i % 3))
+            } else {
+                Op::Read(ccmm_core::Location::new((i + 1) % 3))
+            }
+        })
+        .collect();
+    Computation::new(dag, ops).unwrap()
+}
+
+fn bench_positive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_positive");
+    for layers in [4usize, 8, 16] {
+        let comp = layered(layers, 4, 30);
+        let phi = last_writer_function(&comp, &topo::topo_sort(comp.dag()));
+        group.bench_with_input(
+            BenchmarkId::new("layered", comp.node_count()),
+            &layers,
+            |b, _| b.iter(|| black_box(Sc.contains(&comp, &phi))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_negative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_negative");
+    group.sample_size(20);
+    for k in [6usize, 8, 10, 12] {
+        let mut ops = vec![Op::Write(ccmm_core::Location::new(0)); k];
+        ops.push(Op::Read(ccmm_core::Location::new(0)));
+        let edges: Vec<(usize, usize)> = (0..k).map(|i| (i, k)).collect();
+        let comp = Computation::from_edges(k + 1, &edges, ops);
+        let phi = ObserverFunction::base(&comp);
+        group.bench_with_input(BenchmarkId::new("antichain", k), &k, |b, _| {
+            b.iter(|| black_box(Sc.contains(&comp, &phi)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_positive, bench_negative);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmarks the dag substrate: reachability construction, topological
+//! sorting, enumeration of all sorts, and poset enumeration.
+
+use ccmm_dag::{generate, poset, topo, Dag, Reachability};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+    for n in [64usize, 256, 1024] {
+        let d = generate::gnp_dag(n, 4.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| black_box(Reachability::new(&d).comparable_pairs()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topo");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let d = generate::gnp_dag(1024, 4.0 / 1024.0, &mut rng);
+    group.bench_function("sort_1024", |b| b.iter(|| black_box(topo::topo_sort(&d).len())));
+    group.bench_function("random_sort_1024", |b| {
+        b.iter(|| black_box(topo::random_topo_sort(&d, &mut rng).len()))
+    });
+    // All sorts of a 4x2 grid-ish dag (diamond chain).
+    let small = Dag::from_edges(8, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6), (6, 7)]).unwrap();
+    group.bench_function("all_sorts_double_diamond", |b| {
+        b.iter(|| black_box(topo::count_topo_sorts(&small)))
+    });
+    group.finish();
+}
+
+fn bench_posets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("posets");
+    for n in [4usize, 5, 6] {
+        group.bench_with_input(BenchmarkId::new("count", n), &n, |b, &n| {
+            b.iter(|| black_box(poset::count_posets(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability, bench_topo, bench_posets);
+criterion_main!(benches);

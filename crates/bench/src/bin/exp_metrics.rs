@@ -1,0 +1,64 @@
+//! E14 — workload shape inventory.
+//!
+//! Height, exact Dilworth width, and parallelism for every workload used
+//! in the BACKER and speedup experiments. Shape explains the measured
+//! behaviour: speedup saturates near the parallelism ratio, and protocol
+//! traffic correlates with width (simultaneously active strands touching
+//! memory).
+//!
+//! Run: `cargo run --release -p ccmm-bench --bin exp_metrics`
+
+use ccmm_bench::Table;
+use ccmm_core::Computation;
+use ccmm_dag::metrics;
+
+fn main() {
+    let workloads: Vec<(&str, Computation)> = vec![
+        ("fib(8)", ccmm_cilk::fib(8).computation),
+        ("fib(12)", ccmm_cilk::fib(12).computation),
+        ("matmul(4)", ccmm_cilk::matmul(4).computation),
+        ("matmul(8)", ccmm_cilk::matmul(8).computation),
+        ("stencil(8,4)", ccmm_cilk::stencil(8, 4).computation),
+        ("stencil(64,8)", ccmm_cilk::stencil(64, 8).computation),
+        ("reduce(16)", ccmm_cilk::reduce(16).computation),
+        ("reduce(256)", ccmm_cilk::reduce(256).computation),
+        ("mergesort(16)", ccmm_cilk::mergesort(16).computation),
+        ("mergesort(128)", ccmm_cilk::mergesort(128).computation),
+    ];
+
+    let mut t = Table::new([
+        "workload", "nodes", "edges", "height", "width", "parallelism", "locations", "race-free",
+    ]);
+    for (name, c) in &workloads {
+        let s = metrics::shape(c.dag());
+        t.row([
+            name.to_string(),
+            s.nodes.to_string(),
+            c.dag().edge_count().to_string(),
+            s.height.to_string(),
+            s.width.to_string(),
+            format!("{:.1}", s.parallelism),
+            c.num_locations().to_string(),
+            ccmm_bench::mark(ccmm_cilk::race::is_race_free(c)).to_string(),
+        ]);
+        assert!(ccmm_cilk::race::is_race_free(c), "{name} must be race-free");
+    }
+    println!("{}", t.render());
+
+    println!("shape glossary: height = longest dependency chain (nodes);");
+    println!("width = largest antichain (max instantaneous parallelism,");
+    println!("computed exactly via Dilworth/König); parallelism = nodes/height");
+    println!("(average parallelism, the speedup ceiling of E12).");
+
+    // Level profiles for two contrasting shapes.
+    for name in ["fib(8)", "stencil(8,4)"] {
+        let c = workloads.iter().find(|(n, _)| *n == name).map(|(_, c)| c).unwrap();
+        let profile = metrics::level_profile(c.dag());
+        let max = profile.iter().copied().max().unwrap_or(1).max(1);
+        println!("\nlevel profile of {name} (nodes per depth level):");
+        for (d, &w) in profile.iter().enumerate() {
+            let bar = "#".repeat((w * 40).div_ceil(max));
+            println!("{d:>4} | {bar} {w}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! E10 — performance shape: checker scaling and protocol-traffic curves.
+//!
+//! Two families of tables in the spirit of the Cilk papers' evaluations
+//! (\[BFJ+96b\]'s experiments motivated this line of work; absolute numbers
+//! are not comparable — our substrate is a simulator — but the *shapes*
+//! are):
+//!
+//! 1. membership-checker cost versus computation size (LC's polynomial
+//!    block contraction versus SC's NP search, on easy and adversarial
+//!    instances);
+//! 2. BACKER protocol traffic (fetches, reconciles, hit rate) versus
+//!    processor count and cache capacity on the Cilk workloads —
+//!    locality-greedy scheduling beats round-robin, bigger caches fetch
+//!    less, more processors reconcile more.
+//!
+//! Run: `cargo run --release -p ccmm-bench --bin exp_scaling`
+
+use ccmm_backer::{sim, BackerConfig, Schedule};
+use ccmm_bench::Table;
+use ccmm_core::last_writer::last_writer_function;
+use ccmm_core::{Computation, Lc, MemoryModel, Op, Sc};
+use ccmm_dag::topo;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn random_computation(n: usize, locs: usize, rng: &mut impl rand::Rng) -> Computation {
+    let dag = ccmm_dag::generate::gnp_dag(n, 2.0 / n as f64, rng);
+    let ops: Vec<Op> = (0..n)
+        .map(|i| match i % 3 {
+            0 => Op::Write(ccmm_core::Location::new(i % locs)),
+            1 => Op::Read(ccmm_core::Location::new((i + 1) % locs)),
+            _ => Op::Nop,
+        })
+        .collect();
+    Computation::new(dag, ops).unwrap()
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+
+    println!("== checker scaling: time per membership query (µs, averaged) ==\n");
+    let mut t = Table::new(["nodes", "LC yes", "LC no", "SC yes", "SC adversarial-no"]);
+    for n in [20usize, 40, 80, 160] {
+        let c = random_computation(n, 4, &mut rng);
+        // Positive instance: a last-writer function.
+        let phi_yes = last_writer_function(&c, &topo::topo_sort(c.dag()));
+        // Negative instance for LC: corrupt one entry.
+        let mut phi_no = phi_yes.clone();
+        'outer: for l in c.locations() {
+            for u in c.nodes() {
+                if !c.op(u).is_write_to(l) {
+                    for &w in c.writes_to(l) {
+                        if !c.precedes(u, w) && phi_yes.get(l, u) != Some(w) {
+                            phi_no.set(l, u, Some(w));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        // Adversarial SC instance: wide antichain of writes + a read
+        // demanding ⊥ — forces exhaustive refutation (memoised). Capped:
+        // the state space grows as 2^k·k and k=16 already takes minutes.
+        let k = (n / 8).clamp(4, 12);
+        let mut aops = vec![Op::Write(ccmm_core::Location::new(0)); k];
+        aops.push(Op::Read(ccmm_core::Location::new(0)));
+        let aedges: Vec<(usize, usize)> = (0..k).map(|i| (i, k)).collect();
+        let adv = Computation::from_edges(k + 1, &aedges, aops);
+        let adv_phi = ccmm_core::ObserverFunction::base(&adv);
+
+        let time = |f: &mut dyn FnMut() -> bool, reps: u32| -> f64 {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(f());
+            }
+            t0.elapsed().as_secs_f64() * 1e6 / reps as f64
+        };
+        let lc_yes = time(&mut || Lc.contains(&c, &phi_yes), 50);
+        let lc_no = time(&mut || Lc.contains(&c, &phi_no), 50);
+        let sc_yes = time(&mut || Sc.contains(&c, &phi_yes), 20);
+        let sc_adv = time(&mut || Sc.contains(&adv, &adv_phi), 5);
+        t.row([
+            n.to_string(),
+            format!("{lc_yes:.1}"),
+            format!("{lc_no:.1}"),
+            format!("{sc_yes:.1}"),
+            format!("{sc_adv:.1}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("LC stays polynomial either way; SC is fast on realizable");
+    println!("instances and pays exponentially (tamed by memoisation) to");
+    println!("refute adversarial ones — verifying SC is NP-complete [GK94].\n");
+
+    println!("== BACKER traffic vs processors (fib(10), 64-line caches) ==\n");
+    let c = ccmm_cilk::fib(10).computation;
+    let mut t = Table::new(["procs", "schedule", "cross edges", "fetches", "reconciles", "hit rate"]);
+    for p in [1usize, 2, 4, 8] {
+        for (sname, s) in [
+            ("work-steal", Schedule::work_stealing(&c, p, &mut rng)),
+            ("round-robin", Schedule::round_robin(&c, p)),
+        ] {
+            let r = sim::run(&c, &s, &BackerConfig::with_processors(p).cache_capacity(64));
+            t.row([
+                p.to_string(),
+                sname.to_string(),
+                s.cross_edges(&c).to_string(),
+                r.stats.fetches.to_string(),
+                r.stats.reconciles.to_string(),
+                format!("{:.2}", r.stats.hit_rate()),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("more processors ⇒ more cross edges ⇒ more protocol traffic;");
+    println!("locality-greedy scheduling stays well under round-robin.\n");
+
+    println!("== BACKER traffic vs cache capacity (stencil(16,4), serial schedule) ==\n");
+    println!("(a serial schedule never flushes, isolating pure capacity");
+    println!("effects; the stencil re-reads each cell three times per step)\n");
+    let c = ccmm_cilk::stencil(16, 4).computation;
+    let mut t = Table::new(["capacity", "fetches", "evictions", "reconciles", "hit rate"]);
+    let s = Schedule::serial(&c);
+    for cap in [1usize, 2, 4, 8, 16, 32, 64] {
+        let r = sim::run(&c, &s, &BackerConfig::with_processors(1).cache_capacity(cap));
+        t.row([
+            cap.to_string(),
+            r.stats.fetches.to_string(),
+            r.stats.evictions.to_string(),
+            r.stats.reconciles.to_string(),
+            format!("{:.2}", r.stats.hit_rate()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shrinking caches trade hits for fetches/evictions — the cache");
+    println!("-size sensitivity the Cilk papers measured on real machines.\n");
+
+    println!("== BACKER traffic vs page size (stencil(32,4), 4 procs, 8 pages/cache) ==\n");
+    println!("(page-granular caches with per-word dirty masks; a fetch");
+    println!("transfers one page, so spatial locality pays until flush");
+    println!("traffic and capacity misses eat the gain)\n");
+    let c = ccmm_cilk::stencil(32, 4).computation;
+    let mut t = Table::new(["page size", "fetches", "evictions", "reconciles", "hit rate", "in LC"]);
+    for page in [1usize, 2, 4, 8, 16] {
+        let s = Schedule::work_stealing(&c, 4, &mut rng);
+        let r = sim::run_paged(&c, &s, &BackerConfig::with_processors(4).cache_capacity(8), page);
+        let ok = ccmm_core::Lc.contains(&c, &r.observer);
+        t.row([
+            page.to_string(),
+            r.stats.fetches.to_string(),
+            r.stats.evictions.to_string(),
+            r.stats.reconciles.to_string(),
+            format!("{:.2}", r.stats.hit_rate()),
+            ccmm_bench::mark(ok).to_string(),
+        ]);
+        assert!(ok, "paged BACKER must stay LC");
+    }
+    println!("{}", t.render());
+    println!("the page-size axis of the [BFJ+96b]-style experiments: larger");
+    println!("pages amortise fetches on the stencil's contiguous reads, and");
+    println!("per-word dirty masks keep false sharing from corrupting data");
+    println!("(the LC column stays ✓ at every page size).");
+}

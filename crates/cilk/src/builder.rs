@@ -1,0 +1,248 @@
+//! A Cilk-style spawn/sync builder for computations.
+//!
+//! The paper takes computations as given and points at multithreaded
+//! languages with fork/join parallelism (Cilk) as their source. This
+//! builder is that source: write a program with `op`/`spawn`/`sync`, get
+//! the computation dag its execution unfolds into.
+//!
+//! Semantics mirrored from Cilk:
+//!
+//! * a *strand* is a maximal sequence of ops with no parallel control;
+//! * `spawn` forks a child whose first op depends on the spawn point;
+//! * `sync` joins all outstanding children of the current function
+//!   (represented as an `N` node — the paper's synchronization-only
+//!   instruction);
+//! * every function syncs implicitly before returning.
+
+use ccmm_core::{Computation, Location, Op};
+use ccmm_dag::{Dag, NodeId};
+
+/// Accumulates nodes and edges while the program runs.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+    edges: Vec<(usize, usize)>,
+}
+
+/// The sequential position inside one function activation.
+#[derive(Clone, Debug, Default)]
+pub struct Strand {
+    /// The most recent node of this strand, if any.
+    cursor: Option<NodeId>,
+    /// Last nodes of spawned-but-unsynced children.
+    children: Vec<NodeId>,
+}
+
+impl ProgramBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, op: Op, preds: &[NodeId]) -> NodeId {
+        let id = NodeId::new(self.ops.len());
+        self.ops.push(op);
+        for p in preds {
+            self.edges.push((p.index(), id.index()));
+        }
+        id
+    }
+
+    /// Appends a sequential op to the strand.
+    pub fn op(&mut self, s: &mut Strand, op: Op) -> NodeId {
+        let preds: Vec<NodeId> = s.cursor.into_iter().collect();
+        let id = self.push(op, &preds);
+        s.cursor = Some(id);
+        id
+    }
+
+    /// Appends a read of `l`.
+    pub fn read(&mut self, s: &mut Strand, l: Location) -> NodeId {
+        self.op(s, Op::Read(l))
+    }
+
+    /// Appends a write of `l`.
+    pub fn write(&mut self, s: &mut Strand, l: Location) -> NodeId {
+        self.op(s, Op::Write(l))
+    }
+
+    /// Appends a no-op.
+    pub fn nop(&mut self, s: &mut Strand) -> NodeId {
+        self.op(s, Op::Nop)
+    }
+
+    /// Spawns `f` as a child of the current strand. The child's first op
+    /// depends on the spawn point; the parent continues in parallel with
+    /// the child until the next `sync`.
+    pub fn spawn<F>(&mut self, s: &mut Strand, f: F)
+    where
+        F: FnOnce(&mut ProgramBuilder, &mut Strand),
+    {
+        let mut child = Strand { cursor: s.cursor, children: Vec::new() };
+        f(self, &mut child);
+        // Implicit sync before the child returns.
+        self.sync(&mut child);
+        match child.cursor {
+            // The child produced nodes (or a sync node): join it later.
+            Some(last) if child.cursor != s.cursor => s.children.push(last),
+            // Empty child: nothing to join.
+            _ => {}
+        }
+    }
+
+    /// Joins all outstanding children with an `N` node. No-op if nothing
+    /// was spawned since the last sync.
+    pub fn sync(&mut self, s: &mut Strand) {
+        if s.children.is_empty() {
+            return;
+        }
+        let mut preds: Vec<NodeId> = s.cursor.into_iter().collect();
+        preds.append(&mut s.children);
+        let id = self.push(Op::Nop, &preds);
+        s.cursor = Some(id);
+    }
+
+    /// Finalises the program into a computation, syncing the root strand.
+    pub fn finish(mut self, mut root: Strand) -> Computation {
+        self.sync(&mut root);
+        let n = self.ops.len();
+        let dag = Dag::from_edges(n, &self.edges).expect("builder edges are acyclic");
+        Computation::new(dag, self.ops).expect("one op per node")
+    }
+}
+
+/// Runs a program closure and returns its computation.
+pub fn build_program<F>(f: F) -> Computation
+where
+    F: FnOnce(&mut ProgramBuilder, &mut Strand),
+{
+    let mut b = ProgramBuilder::new();
+    let mut root = Strand::default();
+    f(&mut b, &mut root);
+    b.finish(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    #[test]
+    fn sequential_program_is_a_chain() {
+        let c = build_program(|b, s| {
+            b.write(s, l(0));
+            b.read(s, l(0));
+            b.read(s, l(0));
+        });
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.dag().edge_count(), 2);
+        assert!(c.precedes(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn spawned_children_are_parallel() {
+        let c = build_program(|b, s| {
+            b.nop(s); // 0: spawn point
+            b.spawn(s, |b, t| {
+                b.write(t, l(0)); // 1
+            });
+            b.spawn(s, |b, t| {
+                b.write(t, l(1)); // 2
+            });
+            b.sync(s); // 3
+            b.read(s, l(0)); // 4
+        });
+        assert_eq!(c.node_count(), 5);
+        let r = c.reach();
+        assert!(r.incomparable(NodeId::new(1), NodeId::new(2)));
+        assert!(c.precedes(NodeId::new(1), NodeId::new(4)));
+        assert!(c.precedes(NodeId::new(2), NodeId::new(4)));
+    }
+
+    #[test]
+    fn spawn_depends_on_spawn_point() {
+        let c = build_program(|b, s| {
+            b.write(s, l(0)); // 0
+            b.spawn(s, |b, t| {
+                b.read(t, l(0)); // 1: must come after the write
+            });
+            b.sync(s);
+        });
+        assert!(c.precedes(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn sync_without_children_is_noop() {
+        let c = build_program(|b, s| {
+            b.nop(s);
+            b.sync(s);
+            b.sync(s);
+        });
+        assert_eq!(c.node_count(), 1);
+    }
+
+    #[test]
+    fn empty_spawn_adds_nothing() {
+        let c = build_program(|b, s| {
+            b.nop(s);
+            b.spawn(s, |_, _| {});
+            b.sync(s);
+        });
+        assert_eq!(c.node_count(), 1);
+    }
+
+    #[test]
+    fn nested_spawns_form_series_parallel_structure() {
+        let c = build_program(|b, s| {
+            b.nop(s);
+            b.spawn(s, |b, t| {
+                b.spawn(t, |b, u| {
+                    b.write(u, l(0));
+                });
+                b.spawn(t, |b, u| {
+                    b.write(u, l(1));
+                });
+                // implicit sync of the child's children
+            });
+            b.sync(s);
+        });
+        // Nodes: root nop, two grandchild writes, child's implicit sync
+        // node, root sync node.
+        assert_eq!(c.node_count(), 5);
+        let roots = c.dag().roots();
+        assert_eq!(roots.len(), 1);
+        let leaves = c.dag().leaves();
+        assert_eq!(leaves.len(), 1);
+    }
+
+    #[test]
+    fn child_implicit_sync_only_when_needed() {
+        // A child with no spawns of its own adds no sync node.
+        let c = build_program(|b, s| {
+            b.nop(s);
+            b.spawn(s, |b, t| {
+                b.write(t, l(0));
+                b.write(t, l(1));
+            });
+            b.sync(s);
+        });
+        // 0: nop, 1-2: writes, 3: root sync.
+        assert_eq!(c.node_count(), 4);
+    }
+
+    #[test]
+    fn program_with_leading_spawn_has_parallel_roots() {
+        let c = build_program(|b, s| {
+            b.spawn(s, |b, t| {
+                b.write(t, l(0));
+            });
+            b.write(s, l(1));
+            b.sync(s);
+        });
+        // Both the child write and the parent write have no predecessors.
+        assert_eq!(c.dag().roots().len(), 2);
+    }
+}

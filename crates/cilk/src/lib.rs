@@ -1,0 +1,46 @@
+//! # ccmm-cilk — fork/join computations, Cilk style
+//!
+//! The SPAA'98 paper treats the computation as given and names Cilk as
+//! the canonical producer. This crate is that producer:
+//!
+//! * [`builder`]: a spawn/sync program builder with Cilk semantics
+//!   (strands, spawn edges, implicit syncs) that unfolds a program into a
+//!   [`ccmm_core::Computation`];
+//! * [`programs`]: the workloads of the Cilk papers — `fib`, blocked
+//!   matmul, a barrier stencil, and a tree reduction — with explicit
+//!   memory traffic, used by the BACKER experiments and benchmarks.
+//!
+//! All built programs are determinate (race-free): every read has a
+//! unique last writer through the dag, so any dag-consistent memory gives
+//! them serial semantics — the property the Cilk memory-model line of
+//! work set out to guarantee.
+
+//! # Example
+//!
+//! ```
+//! use ccmm_cilk::{build_program, race};
+//! use ccmm_core::Location;
+//!
+//! let l = Location::new(0);
+//! let c = build_program(|b, s| {
+//!     b.write(s, l);
+//!     b.spawn(s, |b, t| { b.read(t, l); });
+//!     b.spawn(s, |b, t| { b.read(t, l); });
+//!     b.sync(s);
+//! });
+//! assert_eq!(c.node_count(), 4); // write, two reads, join node
+//! assert!(race::is_race_free(&c));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod programs;
+pub mod race;
+
+pub use builder::{build_program, ProgramBuilder, Strand};
+pub use programs::fib::{fib, FibProgram};
+pub use programs::matmul::{matmul, MatmulProgram};
+pub use programs::reduce::{reduce, ReduceProgram};
+pub use programs::sort::{mergesort, SortProgram};
+pub use programs::stencil::{stencil, StencilProgram};

@@ -1,0 +1,138 @@
+//! The classic Cilk `fib`: the paper's (and Cilk's) canonical fork/join
+//! workload, with memory traffic made explicit.
+//!
+//! Each activation owns one location; leaves write their base value, and
+//! internal activations spawn both sub-fibs, sync, read both children's
+//! locations, and write their own. The program is determinate (race-free):
+//! every read has a unique preceding writer through the dag, so under any
+//! dag-consistent memory every execution returns the same values.
+
+use crate::builder::{build_program, ProgramBuilder, Strand};
+use ccmm_core::{Computation, Location};
+use ccmm_dag::NodeId;
+
+/// A built fib computation with its result location and metadata.
+pub struct FibProgram {
+    /// The computation dag.
+    pub computation: Computation,
+    /// Location holding the root activation's result.
+    pub result_location: Location,
+    /// The node that writes the final result.
+    pub result_writer: NodeId,
+    /// Number of activations (= locations used).
+    pub activations: usize,
+}
+
+fn fib_body(
+    b: &mut ProgramBuilder,
+    s: &mut Strand,
+    n: u32,
+    next_loc: &mut usize,
+) -> (Location, NodeId) {
+    let my_loc = Location::new(*next_loc);
+    *next_loc += 1;
+    if n < 2 {
+        let w = b.write(s, my_loc);
+        return (my_loc, w);
+    }
+    let mut child_locs = Vec::new();
+    for k in [1u32, 2u32] {
+        // Rust closures cannot recurse anonymously; thread state through a
+        // helper that performs the spawn.
+        let mut got = None;
+        b.spawn(s, |b, t| {
+            got = Some(fib_body(b, t, n - k, next_loc));
+        });
+        child_locs.push(got.expect("spawn body ran").0);
+    }
+    b.sync(s);
+    for cl in child_locs {
+        b.read(s, cl);
+    }
+    let w = b.write(s, my_loc);
+    (my_loc, w)
+}
+
+/// Builds the computation of `fib(n)`.
+pub fn fib(n: u32) -> FibProgram {
+    let mut next_loc = 0usize;
+    let mut meta = None;
+    let computation = build_program(|b, s| {
+        meta = Some(fib_body(b, s, n, &mut next_loc));
+    });
+    let (result_location, result_writer) = meta.expect("body ran");
+    FibProgram { computation, result_location, result_writer, activations: next_loc }
+}
+
+/// The number of activations of `fib(n)` (for test cross-checks):
+/// `a(n) = 1` for `n < 2`, else `1 + a(n-1) + a(n-2)`.
+pub fn fib_activations(n: u32) -> usize {
+    if n < 2 {
+        1
+    } else {
+        1 + fib_activations(n - 1) + fib_activations(n - 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmm_core::Op;
+
+    #[test]
+    fn base_cases_are_single_writes() {
+        for n in [0, 1] {
+            let p = fib(n);
+            assert_eq!(p.computation.node_count(), 1);
+            assert_eq!(p.activations, 1);
+            assert_eq!(p.computation.op(p.result_writer), Op::Write(p.result_location));
+        }
+    }
+
+    #[test]
+    fn activation_count_matches_recurrence() {
+        for n in 0..8 {
+            assert_eq!(fib(n).activations, fib_activations(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn result_writer_is_the_unique_sink_writer() {
+        let p = fib(5);
+        let leaves = p.computation.dag().leaves();
+        assert_eq!(leaves, vec![p.result_writer]);
+    }
+
+    #[test]
+    fn every_read_has_a_writer_among_ancestors() {
+        // Determinacy: each read of location l is preceded by exactly one
+        // write to l.
+        let p = fib(6);
+        let c = &p.computation;
+        for u in c.nodes() {
+            if let Op::Read(l) = c.op(u) {
+                let writers: Vec<_> = c
+                    .writes_to(l)
+                    .iter()
+                    .filter(|&&w| c.precedes(w, u))
+                    .collect();
+                assert_eq!(writers.len(), 1, "read {u} of {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_write_races() {
+        // All writes to the same location are ordered (here: unique).
+        let p = fib(6);
+        let c = &p.computation;
+        for l in c.locations() {
+            assert_eq!(c.writes_to(l).len(), 1, "location {l} written once");
+        }
+    }
+
+    #[test]
+    fn fib_grows_with_n() {
+        assert!(fib(8).computation.node_count() > fib(5).computation.node_count());
+    }
+}

@@ -1,0 +1,194 @@
+//! Blocked divide-and-conquer matrix multiplication, Cilk style.
+//!
+//! `C += A · B` on `n × n` matrices (`n` a power of two), recursively
+//! quartered: the eight sub-multiplications are spawned in two parallel
+//! waves of four, with a sync between the waves because both waves
+//! accumulate into the same quadrants of `C` — exactly the dependence
+//! structure of the Cilk matmul in \[BFJ+96b\] whose dag-consistent memory
+//! behaviour motivated the paper.
+//!
+//! Each matrix element is one memory location. Leaves (`n = 1`) perform
+//! `R A[i,k]; R B[k,j]; R C[i,j]; W C[i,j]` — a read-modify-write, making
+//! the accumulation order visible to the memory model.
+
+use crate::builder::{build_program, ProgramBuilder, Strand};
+use ccmm_core::{Computation, Location};
+
+/// Location layout for the three matrices.
+#[derive(Clone, Copy, Debug)]
+pub struct MatLayout {
+    /// Matrix dimension (power of two).
+    pub n: usize,
+}
+
+impl MatLayout {
+    /// Location of `A[i, j]`.
+    pub fn a(&self, i: usize, j: usize) -> Location {
+        Location::new(i * self.n + j)
+    }
+
+    /// Location of `B[i, j]`.
+    pub fn b(&self, i: usize, j: usize) -> Location {
+        Location::new(self.n * self.n + i * self.n + j)
+    }
+
+    /// Location of `C[i, j]`.
+    pub fn c(&self, i: usize, j: usize) -> Location {
+        Location::new(2 * self.n * self.n + i * self.n + j)
+    }
+}
+
+/// A built matmul computation.
+pub struct MatmulProgram {
+    /// The computation dag.
+    pub computation: Computation,
+    /// Location layout.
+    pub layout: MatLayout,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn multiply(
+    b: &mut ProgramBuilder,
+    s: &mut Strand,
+    lay: &MatLayout,
+    // Row/col offsets and size of the A, B, C blocks.
+    ai: usize,
+    aj: usize,
+    bi: usize,
+    bj: usize,
+    ci: usize,
+    cj: usize,
+    size: usize,
+) {
+    if size == 1 {
+        b.read(s, lay.a(ai, aj));
+        b.read(s, lay.b(bi, bj));
+        b.read(s, lay.c(ci, cj));
+        b.write(s, lay.c(ci, cj));
+        return;
+    }
+    let h = size / 2;
+    // Wave 1: C_xy += A_x0 · B_0y.
+    for (x, y) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+        b.spawn(s, |b, t| {
+            multiply(b, t, lay, ai + x * h, aj, bi, bj + y * h, ci + x * h, cj + y * h, h);
+        });
+    }
+    b.sync(s);
+    // Wave 2: C_xy += A_x1 · B_1y.
+    for (x, y) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+        b.spawn(s, |b, t| {
+            multiply(
+                b,
+                t,
+                lay,
+                ai + x * h,
+                aj + h,
+                bi + h,
+                bj + y * h,
+                ci + x * h,
+                cj + y * h,
+                h,
+            );
+        });
+    }
+    b.sync(s);
+}
+
+/// Builds the computation of a blocked `n × n` matmul (`n` a power of 2).
+pub fn matmul(n: usize) -> MatmulProgram {
+    assert!(n.is_power_of_two(), "matmul needs a power-of-two size, got {n}");
+    let lay = MatLayout { n };
+    // Initialisation: write every element of A, B and C (in parallel),
+    // then multiply.
+    let computation = build_program(|b, s| {
+        for i in 0..n {
+            for j in 0..n {
+                b.spawn(s, |b, t| {
+                    b.write(t, lay.a(i, j));
+                    b.write(t, lay.b(i, j));
+                    b.write(t, lay.c(i, j));
+                });
+            }
+        }
+        b.sync(s);
+        multiply(b, s, &lay, 0, 0, 0, 0, 0, 0, n);
+    });
+    MatmulProgram { computation, layout: lay }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmm_core::Op;
+
+    #[test]
+    fn leaf_multiply_counts() {
+        // n=1: 1 init spawn (3 writes) + sync + 4-node leaf multiply.
+        let p = matmul(1);
+        let c = &p.computation;
+        let reads = c.nodes().filter(|&u| matches!(c.op(u), Op::Read(_))).count();
+        let writes = c.nodes().filter(|&u| matches!(c.op(u), Op::Write(_))).count();
+        assert_eq!(reads, 3);
+        assert_eq!(writes, 4);
+    }
+
+    #[test]
+    fn elementwise_update_counts_scale_cubically() {
+        // Each C element receives n accumulations: n^3 leaf multiplies.
+        let n = 4;
+        let p = matmul(n);
+        let c = &p.computation;
+        let mut c_writes = 0;
+        for i in 0..n {
+            for j in 0..n {
+                let w = c.writes_to(p.layout.c(i, j)).len();
+                // 1 init write + n accumulating writes.
+                assert_eq!(w, 1 + n, "C[{i},{j}]");
+                c_writes += w;
+            }
+        }
+        assert_eq!(c_writes, n * n * (n + 1));
+    }
+
+    #[test]
+    fn accumulations_to_same_element_are_ordered() {
+        // The sync between waves must serialize all writes to each C
+        // element: no write-write races.
+        let n = 4;
+        let p = matmul(n);
+        let c = &p.computation;
+        for i in 0..n {
+            for j in 0..n {
+                let ws = c.writes_to(p.layout.c(i, j));
+                for (a, &w1) in ws.iter().enumerate() {
+                    for &w2 in &ws[a + 1..] {
+                        assert!(
+                            c.precedes(w1, w2) || c.precedes(w2, w1),
+                            "racing writes {w1} {w2} to C[{i},{j}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reads_of_a_and_b_follow_initialisation() {
+        let n = 2;
+        let p = matmul(n);
+        let c = &p.computation;
+        for u in c.nodes() {
+            if let Op::Read(loc) = c.op(u) {
+                let writer_before = c.writes_to(loc).iter().any(|&w| c.precedes(w, u));
+                assert!(writer_before, "read {u} of {loc} has no preceding write");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        matmul(3);
+    }
+}

@@ -1,0 +1,7 @@
+//! Example Cilk-style programs producing computation dags.
+
+pub mod fib;
+pub mod matmul;
+pub mod reduce;
+pub mod sort;
+pub mod stencil;

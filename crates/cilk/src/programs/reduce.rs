@@ -1,0 +1,146 @@
+//! Parallel tree reduction (sum of an array).
+//!
+//! Leaves read their input cells and write partial sums to fresh
+//! locations; internal nodes read two partials and write their own. The
+//! access pattern is read-heavy with a single final writer — a third
+//! workload shape for the cache experiments.
+
+use crate::builder::{build_program, ProgramBuilder, Strand};
+use ccmm_core::{Computation, Location};
+use ccmm_dag::NodeId;
+
+/// A built reduction computation.
+pub struct ReduceProgram {
+    /// The computation dag.
+    pub computation: Computation,
+    /// Input cell locations.
+    pub inputs: Vec<Location>,
+    /// Location of the final sum.
+    pub result_location: Location,
+    /// Node writing the final sum.
+    pub result_writer: NodeId,
+}
+
+fn reduce_range(
+    b: &mut ProgramBuilder,
+    s: &mut Strand,
+    lo: usize,
+    hi: usize,
+    next_loc: &mut usize,
+) -> (Location, NodeId) {
+    if hi - lo == 1 {
+        // Leaf: read input cell lo, write a partial.
+        b.read(s, Location::new(lo));
+        let part = Location::new(*next_loc);
+        *next_loc += 1;
+        let w = b.write(s, part);
+        return (part, w);
+    }
+    let mid = lo + (hi - lo) / 2;
+    let mut left = None;
+    b.spawn(s, |b, t| {
+        left = Some(reduce_range(b, t, lo, mid, next_loc));
+    });
+    let mut right = None;
+    b.spawn(s, |b, t| {
+        right = Some(reduce_range(b, t, mid, hi, next_loc));
+    });
+    b.sync(s);
+    let (ll, _) = left.expect("left ran");
+    let (rl, _) = right.expect("right ran");
+    b.read(s, ll);
+    b.read(s, rl);
+    let part = Location::new(*next_loc);
+    *next_loc += 1;
+    let w = b.write(s, part);
+    (part, w)
+}
+
+/// Builds the computation reducing `n` input cells (`n ≥ 1`). Input cells
+/// occupy locations `0..n`; partials are allocated above them.
+pub fn reduce(n: usize) -> ReduceProgram {
+    assert!(n >= 1);
+    let mut next_loc = n;
+    let mut meta = None;
+    let computation = build_program(|b, s| {
+        // Initialise inputs in parallel.
+        for i in 0..n {
+            b.spawn(s, |b, t| {
+                b.write(t, Location::new(i));
+            });
+        }
+        b.sync(s);
+        meta = Some(reduce_range(b, s, 0, n, &mut next_loc));
+    });
+    let (result_location, result_writer) = meta.expect("body ran");
+    ReduceProgram {
+        computation,
+        inputs: (0..n).map(Location::new).collect(),
+        result_location,
+        result_writer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmm_core::Op;
+
+    #[test]
+    fn single_input() {
+        let p = reduce(1);
+        let c = &p.computation;
+        // init write, sync?? (one child → sync node), read, write partial.
+        assert!(c.node_count() >= 3);
+        assert_eq!(c.writes_to(p.result_location).len(), 1);
+    }
+
+    #[test]
+    fn partials_are_unique_writes() {
+        let p = reduce(8);
+        let c = &p.computation;
+        for l in c.locations() {
+            assert_eq!(c.writes_to(l).len(), 1, "location {l}");
+        }
+    }
+
+    #[test]
+    fn result_writer_is_sink() {
+        let p = reduce(8);
+        assert_eq!(p.computation.dag().leaves(), vec![p.result_writer]);
+    }
+
+    #[test]
+    fn every_read_is_satisfied() {
+        let p = reduce(7); // non-power-of-two split
+        let c = &p.computation;
+        for u in c.nodes() {
+            if let Op::Read(l) = c.op(u) {
+                assert!(
+                    c.writes_to(l).iter().any(|&w| c.precedes(w, u)),
+                    "read {u} of {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_depth_is_logarithmic() {
+        // The longest chain grows like log n, not n: compare 8 vs 64.
+        fn depth(c: &Computation) -> usize {
+            let order = ccmm_dag::topo::topo_sort(c.dag());
+            let mut d = vec![0usize; c.node_count()];
+            let mut best = 0;
+            for u in order {
+                for &v in c.dag().successors(u) {
+                    d[v.index()] = d[v.index()].max(d[u.index()] + 1);
+                    best = best.max(d[v.index()]);
+                }
+            }
+            best
+        }
+        let d8 = depth(&reduce(8).computation);
+        let d64 = depth(&reduce(64).computation);
+        assert!(d64 < d8 * 4, "depth should grow logarithmically: {d8} vs {d64}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Parallel merge sort, Cilk style.
+//!
+//! Recursive halving with spawned sub-sorts; each merge reads its two
+//! sorted runs from buffer A, writes the merged run into the temp buffer
+//! B, and copies it back — the classic out-of-place merge with data
+//! resident in A between levels. The memory pattern (read-two-runs /
+//! write-one-run, read-heavy, log-depth) rounds out the workload set for
+//! the BACKER experiments.
+//!
+//! Buffer A holds locations `0..n`, temp buffer B holds `n..2n`.
+
+use crate::builder::{build_program, ProgramBuilder, Strand};
+use ccmm_core::{Computation, Location};
+
+/// A built merge-sort computation.
+pub struct SortProgram {
+    /// The computation dag.
+    pub computation: Computation,
+    /// Number of elements sorted.
+    pub n: usize,
+}
+
+fn loc(buf: usize, i: usize, n: usize) -> Location {
+    Location::new(buf * n + i)
+}
+
+/// Sorts `lo..hi` of buffer A in place (B as scratch).
+fn sort_range(b: &mut ProgramBuilder, s: &mut Strand, lo: usize, hi: usize, n: usize) {
+    if hi - lo <= 1 {
+        return; // a single element is sorted where it lies
+    }
+    let mid = lo + (hi - lo) / 2;
+    b.spawn(s, |b, t| sort_range(b, t, lo, mid, n));
+    b.spawn(s, |b, t| sort_range(b, t, mid, hi, n));
+    b.sync(s);
+    // Merge A[lo..mid] + A[mid..hi] → B[lo..hi].
+    for i in lo..hi {
+        b.read(s, loc(0, i, n));
+    }
+    for i in lo..hi {
+        b.write(s, loc(1, i, n));
+    }
+    // Copy back B[lo..hi] → A[lo..hi].
+    for i in lo..hi {
+        b.read(s, loc(1, i, n));
+        b.write(s, loc(0, i, n));
+    }
+}
+
+/// Builds the computation of sorting `n` elements (`n ≥ 1`).
+pub fn mergesort(n: usize) -> SortProgram {
+    assert!(n >= 1);
+    let computation = build_program(|b, s| {
+        // Initialise buffer A in parallel.
+        for i in 0..n {
+            b.spawn(s, |b, t| {
+                b.write(t, loc(0, i, n));
+            });
+        }
+        b.sync(s);
+        sort_range(b, s, 0, n, n);
+    });
+    SortProgram { computation, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmm_core::Op;
+
+    #[test]
+    fn single_element() {
+        let p = mergesort(1);
+        // The init write plus the init-barrier sync node.
+        assert_eq!(p.computation.node_count(), 2);
+    }
+
+    #[test]
+    fn every_read_has_a_preceding_writer() {
+        for n in [2usize, 3, 5, 8] {
+            let p = mergesort(n);
+            let c = &p.computation;
+            for u in c.nodes() {
+                if let Op::Read(l) = c.op(u) {
+                    assert!(
+                        c.writes_to(l).iter().any(|&w| c.precedes(w, u)),
+                        "n={n}: read {u} of {l} unsupported"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_is_race_free() {
+        for n in [2usize, 4, 7] {
+            assert!(
+                crate::race::is_race_free(&mergesort(n).computation),
+                "mergesort({n}) races"
+            );
+        }
+    }
+
+    #[test]
+    fn every_cell_of_a_written_at_each_level() {
+        let n = 4;
+        let p = mergesort(n);
+        let c = &p.computation;
+        for i in 0..n {
+            // init + per-merge-level copy-back: levels = log2(4) = 2.
+            assert_eq!(c.writes_to(loc(0, i, n)).len(), 3, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn sibling_sorts_are_parallel() {
+        let n = 4;
+        let p = mergesort(n);
+        let c = &p.computation;
+        // The depth-1 merges write disjoint halves of B; those writes are
+        // incomparable across siblings.
+        let lw = c.writes_to(loc(1, 0, n))[0];
+        let rw = c.writes_to(loc(1, 2, n))[0];
+        assert!(c.reach().incomparable(lw, rw), "{lw} vs {rw}");
+    }
+
+    #[test]
+    fn node_count_grows_n_log_n_ish() {
+        let n8 = mergesort(8).computation.node_count();
+        let n64 = mergesort(64).computation.node_count();
+        let ratio = n64 as f64 / n8 as f64;
+        assert!(ratio > 8.0 && ratio < 32.0, "ratio {ratio}");
+    }
+}

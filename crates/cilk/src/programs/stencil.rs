@@ -1,0 +1,139 @@
+//! A 1-D Jacobi stencil with barrier steps.
+//!
+//! Two ping-ponged arrays `cur` and `next`: at each time step every cell
+//! of `next` is computed in parallel from the three neighbouring cells of
+//! `cur`, followed by a sync (the barrier). This is the layered,
+//! barrier-synchronised shape typical of data-parallel codes — a contrast
+//! to fib's tree shape for the scheduling and cache experiments.
+
+use crate::builder::{build_program, ProgramBuilder, Strand};
+use ccmm_core::{Computation, Location};
+
+/// A built stencil computation.
+pub struct StencilProgram {
+    /// The computation dag.
+    pub computation: Computation,
+    /// Number of cells.
+    pub width: usize,
+    /// Number of time steps.
+    pub steps: usize,
+}
+
+/// Location of cell `i` in array `buf` (0 or 1) for width `w`.
+pub fn cell(buf: usize, i: usize, w: usize) -> Location {
+    Location::new(buf * w + i)
+}
+
+fn update_cell(b: &mut ProgramBuilder, s: &mut Strand, src: usize, dst: usize, i: usize, w: usize) {
+    if i > 0 {
+        b.read(s, cell(src, i - 1, w));
+    }
+    b.read(s, cell(src, i, w));
+    if i + 1 < w {
+        b.read(s, cell(src, i + 1, w));
+    }
+    b.write(s, cell(dst, i, w));
+}
+
+/// Builds a `width`-cell, `steps`-step Jacobi stencil computation.
+pub fn stencil(width: usize, steps: usize) -> StencilProgram {
+    assert!(width > 0);
+    let computation = build_program(|b, s| {
+        // Initialise array 0 in parallel.
+        for i in 0..width {
+            b.spawn(s, |b, t| {
+                b.write(t, cell(0, i, width));
+            });
+        }
+        b.sync(s);
+        for step in 0..steps {
+            let src = step % 2;
+            let dst = 1 - src;
+            for i in 0..width {
+                b.spawn(s, |b, t| {
+                    update_cell(b, t, src, dst, i, width);
+                });
+            }
+            b.sync(s); // barrier
+        }
+    });
+    StencilProgram { computation, width, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmm_core::Op;
+
+    #[test]
+    fn node_count_formula() {
+        // width w, steps t: w init writes + 1 sync + per step:
+        // w cells × (reads + 1 write) + 1 sync. Interior cells read 3,
+        // edge cells read 2 (w ≥ 2).
+        let (w, t) = (5, 3);
+        let p = stencil(w, t);
+        let per_step_ops = 2 * 2 + (w - 2) * 3 + w; // reads + writes
+        let expected = w + 1 + t * (per_step_ops + 1);
+        assert_eq!(p.computation.node_count(), expected);
+    }
+
+    #[test]
+    fn single_cell_stencil() {
+        let p = stencil(1, 2);
+        // 1 init + 1 sync + 2 × (1 read + 1 write + 1 sync).
+        assert_eq!(p.computation.node_count(), 8);
+    }
+
+    #[test]
+    fn cells_within_a_step_are_parallel() {
+        let p = stencil(4, 1);
+        let c = &p.computation;
+        // Find the write nodes of step 0 (they write buffer 1).
+        let step_writes: Vec<_> = (0..4)
+            .map(|i| {
+                let ws = c.writes_to(cell(1, i, 4));
+                assert_eq!(ws.len(), 1);
+                ws[0]
+            })
+            .collect();
+        for (a, &x) in step_writes.iter().enumerate() {
+            for &y in &step_writes[a + 1..] {
+                assert!(c.reach().incomparable(x, y), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_orders_adjacent_steps() {
+        let p = stencil(3, 2);
+        let c = &p.computation;
+        // Every step-1 read (of buffer 1) follows every step-0 write.
+        let step0_writes: Vec<_> = (0..3).flat_map(|i| c.writes_to(cell(1, i, 3)).to_vec()).collect();
+        let step1_reads: Vec<_> = c
+            .nodes()
+            .filter(|&u| matches!(c.op(u), Op::Read(l) if l.index() >= 3))
+            .collect();
+        assert!(!step1_reads.is_empty());
+        for &w in &step0_writes {
+            for &r in &step1_reads {
+                assert!(c.precedes(w, r), "step-0 write {w} vs step-1 read {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn race_free_reads() {
+        let p = stencil(4, 3);
+        let c = &p.computation;
+        for u in c.nodes() {
+            if let Op::Read(l) = c.op(u) {
+                let before = c.writes_to(l).iter().filter(|&&w| c.precedes(w, u)).count();
+                assert!(before >= 1, "read {u} of {l} unsupported");
+                // Writes to a cell across steps are barrier-ordered, so the
+                // read is determinate: all preceding writes are themselves
+                // totally ordered; determinacy holds because the latest one
+                // is unique.
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Determinacy-race detection on computations.
+//!
+//! Two accesses to the same location *race* if they are incomparable in
+//! the dag and at least one writes. The Cilk memory-model line of work
+//! rests on the guarantee that **race-free programs get serial semantics
+//! under any dag-consistent memory**: every read has a unique "last"
+//! writer among its ancestors, and every valid LC (indeed NN) observer
+//! function must return it. [`check_determinacy`] machine-checks that
+//! implication; [`find_races`] is the detector.
+//!
+//! The detector is the O(V²/64)-per-location precedence check (adequate
+//! for analysis-sized computations; an SP-bags-style detector would trade
+//! generality for speed on series-parallel dags).
+
+use ccmm_core::{Computation, Location, Op};
+use ccmm_dag::NodeId;
+
+/// A pair of racing accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Race {
+    /// The location raced on.
+    pub location: Location,
+    /// First access (lower node index).
+    pub a: NodeId,
+    /// Second access.
+    pub b: NodeId,
+    /// Whether both accesses are writes.
+    pub write_write: bool,
+}
+
+/// Finds every determinacy race in the computation.
+pub fn find_races(c: &Computation) -> Vec<Race> {
+    let mut races = Vec::new();
+    for l in c.locations() {
+        // Collect accesses to l.
+        let accesses: Vec<(NodeId, bool)> = c
+            .nodes()
+            .filter_map(|u| match c.op(u) {
+                Op::Read(loc) if loc == l => Some((u, false)),
+                Op::Write(loc) if loc == l => Some((u, true)),
+                _ => None,
+            })
+            .collect();
+        for (i, &(a, aw)) in accesses.iter().enumerate() {
+            for &(b, bw) in &accesses[i + 1..] {
+                if (aw || bw) && c.reach().incomparable(a, b) {
+                    races.push(Race { location: l, a, b, write_write: aw && bw });
+                }
+            }
+        }
+    }
+    races
+}
+
+/// Whether the computation is determinacy-race-free.
+pub fn is_race_free(c: &Computation) -> bool {
+    find_races(c).is_empty()
+}
+
+/// For a race-free computation, the unique determinate observation of
+/// each read: the maximal write to its location among its ancestors
+/// (`None` if no write precedes).
+///
+/// Panics if the computation has races (the notion is ill-defined then).
+pub fn determinate_reads(c: &Computation) -> Vec<(NodeId, Option<NodeId>)> {
+    assert!(is_race_free(c), "determinate_reads on a racy computation");
+    c.nodes()
+        .filter_map(|u| {
+            let l = match c.op(u) {
+                Op::Read(l) => l,
+                _ => return None,
+            };
+            // Race freedom totally orders the writes preceding u, so the
+            // maximal one is unique.
+            let mut best: Option<NodeId> = None;
+            for &w in c.writes_to(l) {
+                if c.precedes(w, u) {
+                    best = match best {
+                        None => Some(w),
+                        Some(b) if c.precedes(b, w) => Some(w),
+                        Some(b) => Some(b),
+                    };
+                }
+            }
+            Some((u, best))
+        })
+        .collect()
+}
+
+/// Machine-checks the determinacy guarantee on a race-free computation:
+/// every observer function in NN-dag consistency (hence in LC, SC) gives
+/// each read exactly its determinate value. Returns the number of
+/// observer functions checked.
+///
+/// Exhaustive over observer functions — small computations only.
+pub fn check_determinacy(c: &Computation) -> Result<usize, (ccmm_core::ObserverFunction, NodeId)> {
+    use ccmm_core::{MemoryModel, Nn};
+    use std::ops::ControlFlow;
+    let expected = determinate_reads(c);
+    let mut checked = 0usize;
+    let mut bad = None;
+    let _ = ccmm_core::enumerate::for_each_observer(c, |phi| {
+        if Nn::default().contains(c, phi) {
+            checked += 1;
+            for &(r, want) in &expected {
+                let l = match c.op(r) {
+                    Op::Read(l) => l,
+                    _ => unreachable!(),
+                };
+                if phi.get(l, r) != want {
+                    bad = Some((phi.clone(), r));
+                    return ControlFlow::Break(());
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    match bad {
+        Some(b) => Err(b),
+        None => Ok(checked),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_program;
+
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    #[test]
+    fn parallel_write_write_is_a_race() {
+        let c = build_program(|b, s| {
+            b.spawn(s, |b, t| {
+                b.write(t, l(0));
+            });
+            b.spawn(s, |b, t| {
+                b.write(t, l(0));
+            });
+            b.sync(s);
+        });
+        let races = find_races(&c);
+        assert_eq!(races.len(), 1);
+        assert!(races[0].write_write);
+        assert!(!is_race_free(&c));
+    }
+
+    #[test]
+    fn parallel_read_write_is_a_race() {
+        let c = build_program(|b, s| {
+            b.write(s, l(0));
+            b.spawn(s, |b, t| {
+                b.read(t, l(0));
+            });
+            b.spawn(s, |b, t| {
+                b.write(t, l(0));
+            });
+            b.sync(s);
+        });
+        let races = find_races(&c);
+        assert_eq!(races.len(), 1);
+        assert!(!races[0].write_write);
+    }
+
+    #[test]
+    fn parallel_reads_do_not_race() {
+        let c = build_program(|b, s| {
+            b.write(s, l(0));
+            b.spawn(s, |b, t| {
+                b.read(t, l(0));
+            });
+            b.spawn(s, |b, t| {
+                b.read(t, l(0));
+            });
+            b.sync(s);
+        });
+        assert!(is_race_free(&c));
+    }
+
+    #[test]
+    fn sync_removes_the_race() {
+        let c = build_program(|b, s| {
+            b.spawn(s, |b, t| {
+                b.write(t, l(0));
+            });
+            b.sync(s);
+            b.write(s, l(0));
+        });
+        assert!(is_race_free(&c));
+    }
+
+    #[test]
+    fn workload_programs_are_race_free() {
+        assert!(is_race_free(&crate::fib(6).computation));
+        assert!(is_race_free(&crate::matmul(2).computation));
+        assert!(is_race_free(&crate::stencil(5, 3).computation));
+        assert!(is_race_free(&crate::reduce(8).computation));
+    }
+
+    #[test]
+    fn determinate_reads_pick_last_writer() {
+        let c = build_program(|b, s| {
+            b.write(s, l(0)); // 0
+            b.write(s, l(0)); // 1
+            b.read(s, l(0)); // 2: must see write 1
+        });
+        let dr = determinate_reads(&c);
+        assert_eq!(dr, vec![(NodeId::new(2), Some(NodeId::new(1)))]);
+    }
+
+    #[test]
+    fn determinacy_guarantee_holds_exhaustively() {
+        // A small race-free program: every NN-consistent observer gives
+        // the serial read results.
+        let c = build_program(|b, s| {
+            b.write(s, l(0));
+            b.spawn(s, |b, t| {
+                b.read(t, l(0));
+                b.write(t, l(1));
+            });
+            b.spawn(s, |b, t| {
+                b.read(t, l(0));
+            });
+            b.sync(s);
+            b.read(s, l(1));
+        });
+        assert!(is_race_free(&c));
+        let checked = check_determinacy(&c).expect("determinacy must hold");
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn racy_program_is_not_determinate() {
+        // Two racing writes then a read: different NN observers give
+        // different results — determinacy genuinely requires race freedom.
+        let c = build_program(|b, s| {
+            b.spawn(s, |b, t| {
+                b.write(t, l(0));
+            });
+            b.spawn(s, |b, t| {
+                b.write(t, l(0));
+            });
+            b.sync(s);
+            b.read(s, l(0));
+        });
+        assert!(!is_race_free(&c));
+        use ccmm_core::{MemoryModel, Nn, Op};
+        use std::collections::HashSet;
+        use std::ops::ControlFlow;
+        let mut results = HashSet::new();
+        let read = c
+            .nodes()
+            .find(|&u| matches!(c.op(u), Op::Read(_)))
+            .unwrap();
+        let _ = ccmm_core::enumerate::for_each_observer(&c, |phi| {
+            if Nn::default().contains(&c, phi) {
+                results.insert(phi.get(l(0), read));
+            }
+            ControlFlow::Continue(())
+        });
+        assert!(results.len() > 1, "racy read should be nondeterminate");
+    }
+
+    #[test]
+    #[should_panic(expected = "racy computation")]
+    fn determinate_reads_rejects_races() {
+        let c = build_program(|b, s| {
+            b.spawn(s, |b, t| {
+                b.write(t, l(0));
+            });
+            b.write(s, l(0));
+            b.sync(s);
+        });
+        determinate_reads(&c);
+    }
+}

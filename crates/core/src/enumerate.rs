@@ -1,0 +1,216 @@
+//! Exhaustive enumeration of valid observer functions.
+//!
+//! The validity conditions of Definition 2 constrain each table entry
+//! `Φ(l, u)` independently: writes are forced to observe themselves, and
+//! any other node may observe ⊥ or any write to `l` it does not strictly
+//! precede. Enumeration is therefore a Cartesian product over the free
+//! entries, and counting is a closed-form product.
+
+use crate::computation::Computation;
+use crate::observer::ObserverFunction;
+use crate::op::Location;
+use ccmm_dag::NodeId;
+use std::ops::ControlFlow;
+
+/// One free table slot and its candidate values.
+fn free_slots(c: &Computation) -> Vec<(Location, NodeId, Vec<Option<NodeId>>)> {
+    let mut slots = Vec::new();
+    for l in c.locations() {
+        for u in c.nodes() {
+            if c.op(u).is_write_to(l) {
+                continue; // forced to Some(u) by Condition 2.3
+            }
+            let mut cands: Vec<Option<NodeId>> = vec![None];
+            for &w in c.writes_to(l) {
+                if !c.precedes(u, w) {
+                    cands.push(Some(w));
+                }
+            }
+            slots.push((l, u, cands));
+        }
+    }
+    slots
+}
+
+/// Calls `f` with every valid observer function for `c`, reusing a single
+/// buffer. Return `ControlFlow::Break(())` from `f` to stop early.
+///
+/// The count can be exponential in the number of nodes; intended for the
+/// small computations of bounded universes.
+pub fn for_each_observer<F>(c: &Computation, mut f: F) -> ControlFlow<()>
+where
+    F: FnMut(&ObserverFunction) -> ControlFlow<()>,
+{
+    let slots = free_slots(c);
+    let mut phi = ObserverFunction::base(c);
+    fn recurse<F>(
+        slots: &[(Location, NodeId, Vec<Option<NodeId>>)],
+        i: usize,
+        phi: &mut ObserverFunction,
+        f: &mut F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&ObserverFunction) -> ControlFlow<()>,
+    {
+        if i == slots.len() {
+            return f(phi);
+        }
+        let (l, u, cands) = &slots[i];
+        for &v in cands {
+            phi.set(*l, *u, v);
+            recurse(slots, i + 1, phi, f)?;
+        }
+        ControlFlow::Continue(())
+    }
+    recurse(&slots, 0, &mut phi, &mut f)
+}
+
+/// Collects all valid observer functions for `c`.
+pub fn all_observers(c: &Computation) -> Vec<ObserverFunction> {
+    let mut out = Vec::new();
+    let _ = for_each_observer(c, |phi| {
+        out.push(phi.clone());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Collects the valid observer functions satisfying `pred`.
+pub fn observers_where<P>(c: &Computation, mut pred: P) -> Vec<ObserverFunction>
+where
+    P: FnMut(&ObserverFunction) -> bool,
+{
+    let mut out = Vec::new();
+    let _ = for_each_observer(c, |phi| {
+        if pred(phi) {
+            out.push(phi.clone());
+        }
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// The number of valid observer functions for `c`, in closed form
+/// (product of per-slot candidate counts).
+pub fn count_observers(c: &Computation) -> u128 {
+    free_slots(c)
+        .iter()
+        .map(|(_, _, cands)| cands.len() as u128)
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    #[test]
+    fn empty_computation_has_exactly_phi_epsilon() {
+        let c = Computation::empty();
+        let obs = all_observers(&c);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0], ObserverFunction::empty());
+        assert_eq!(count_observers(&c), 1);
+    }
+
+    #[test]
+    fn single_write_has_one_observer() {
+        let c = Computation::from_edges(1, &[], vec![Op::Write(l(0))]);
+        assert_eq!(count_observers(&c), 1);
+        let obs = all_observers(&c);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0], ObserverFunction::base(&c));
+    }
+
+    #[test]
+    fn read_after_write_has_two_choices() {
+        // W(0) -> R(0): the read sees ⊥ or the write.
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l(0)), Op::Read(l(0))]);
+        assert_eq!(count_observers(&c), 2);
+        assert_eq!(all_observers(&c).len(), 2);
+    }
+
+    #[test]
+    fn read_before_write_cannot_see_it() {
+        // R(0) -> W(0): the read only sees ⊥.
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Read(l(0)), Op::Write(l(0))]);
+        assert_eq!(count_observers(&c), 1);
+    }
+
+    #[test]
+    fn incomparable_write_is_a_candidate() {
+        // R(0) ∥ W(0).
+        let c = Computation::from_edges(2, &[], vec![Op::Read(l(0)), Op::Write(l(0))]);
+        assert_eq!(count_observers(&c), 2);
+    }
+
+    #[test]
+    fn nop_nodes_also_carry_observations() {
+        // W(0) -> N: the paper gives memory semantics to all nodes.
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l(0)), Op::Nop]);
+        assert_eq!(count_observers(&c), 2);
+    }
+
+    #[test]
+    fn counts_multiply_across_locations() {
+        // W(0) ∥ W(1), plus a later read of each: reads have 2 choices
+        // each; the writes also have free entries at the *other* location.
+        let c = Computation::from_edges(
+            4,
+            &[(0, 2), (1, 2), (0, 3), (1, 3)],
+            vec![Op::Write(l(0)), Op::Write(l(1)), Op::Read(l(0)), Op::Read(l(1))],
+        );
+        // Free slots at l0: nodes 1 (can see w0? ¬(1≺0) yes → 2 cands),
+        // 2 (2), 3 (2). At l1: nodes 0 (2), 2 (2), 3 (2). Total 2^6.
+        assert_eq!(count_observers(&c), 64);
+    }
+
+    #[test]
+    fn enumeration_matches_count_and_is_distinct() {
+        let c = Computation::from_edges(
+            3,
+            &[(0, 1)],
+            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Write(l(0))],
+        );
+        let obs = all_observers(&c);
+        assert_eq!(obs.len() as u128, count_observers(&c));
+        let set: std::collections::HashSet<_> = obs.iter().collect();
+        assert_eq!(set.len(), obs.len());
+        for phi in &obs {
+            assert!(phi.is_valid_for(&c));
+        }
+    }
+
+    #[test]
+    fn early_exit_stops_enumeration() {
+        let c = Computation::from_edges(
+            3,
+            &[],
+            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
+        );
+        let mut seen = 0;
+        let flow = for_each_observer(&c, |_| {
+            seen += 1;
+            if seen == 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(flow, ControlFlow::Break(()));
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn observers_where_filters() {
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l(0)), Op::Read(l(0))]);
+        let sees_write = observers_where(&c, |phi| {
+            phi.get(l(0), ccmm_dag::NodeId::new(1)).is_some()
+        });
+        assert_eq!(sees_write.len(), 1);
+    }
+}

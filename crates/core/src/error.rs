@@ -1,0 +1,98 @@
+//! Errors for computation and observer-function construction.
+
+use crate::op::Location;
+use ccmm_dag::NodeId;
+
+/// Errors produced by `ccmm-core` constructors and validators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreError {
+    /// The op labelling does not have one op per dag node.
+    OpCountMismatch {
+        /// Number of dag nodes.
+        nodes: usize,
+        /// Number of ops supplied.
+        ops: usize,
+    },
+    /// The observer table's shape does not match the computation.
+    ObserverShapeMismatch {
+        /// Expected (locations, nodes).
+        expected: (usize, usize),
+        /// Found (locations, nodes).
+        found: (usize, usize),
+    },
+    /// Condition 2.1 violated: the observed node is not a write to the
+    /// location.
+    ObservedNotAWrite {
+        /// The location.
+        location: Location,
+        /// The observing node.
+        node: NodeId,
+        /// The observed node, which is not a `W(location)`.
+        observed: NodeId,
+    },
+    /// Condition 2.2 violated: a node strictly precedes the node it
+    /// observes.
+    ObserverPrecedes {
+        /// The location.
+        location: Location,
+        /// The observing node.
+        node: NodeId,
+        /// The observed node, which `node` strictly precedes.
+        observed: NodeId,
+    },
+    /// Condition 2.3 violated: a write does not observe itself.
+    WriteNotSelfObserving {
+        /// The location.
+        location: Location,
+        /// The write node.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::OpCountMismatch { nodes, ops } => {
+                write!(f, "computation has {nodes} nodes but {ops} ops")
+            }
+            CoreError::ObserverShapeMismatch { expected, found } => write!(
+                f,
+                "observer table shape {found:?} does not match computation {expected:?}"
+            ),
+            CoreError::ObservedNotAWrite { location, node, observed } => write!(
+                f,
+                "Φ({location}, {node}) = {observed}, which is not a write to {location} (Def. 2.1)"
+            ),
+            CoreError::ObserverPrecedes { location, node, observed } => write!(
+                f,
+                "{node} strictly precedes its observed node Φ({location}, {node}) = {observed} (Def. 2.2)"
+            ),
+            CoreError::WriteNotSelfObserving { location, node } => write!(
+                f,
+                "write {node} to {location} does not observe itself (Def. 2.3)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_definition_clauses() {
+        let e = CoreError::ObservedNotAWrite {
+            location: Location::new(0),
+            node: NodeId::new(1),
+            observed: NodeId::new(2),
+        };
+        assert!(e.to_string().contains("Def. 2.1"));
+        let e = CoreError::WriteNotSelfObserving {
+            location: Location::new(1),
+            node: NodeId::new(0),
+        };
+        assert!(e.to_string().contains("Def. 2.3"));
+    }
+}

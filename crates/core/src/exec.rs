@@ -1,0 +1,148 @@
+//! Concrete value semantics on top of observer functions.
+//!
+//! The theory abstracts data away; an [`Execution`] puts it back: assign
+//! each write a value, and every node's view of location `l` is the value
+//! written by `Φ(l, u)` (or the location's initial value for ⊥). This is
+//! what the figures' `W0` / `R1` annotations mean, and what the litmus
+//! harness reports.
+
+use crate::computation::Computation;
+use crate::observer::ObserverFunction;
+use crate::op::{Location, Op};
+use ccmm_dag::NodeId;
+use std::collections::HashMap;
+
+/// The value a read returns.
+pub type Value = u64;
+
+/// A concrete execution: a computation, an observer function, write
+/// values, and initial memory values.
+pub struct Execution<'a> {
+    c: &'a Computation,
+    phi: &'a ObserverFunction,
+    write_values: HashMap<NodeId, Value>,
+    initial: Value,
+}
+
+impl<'a> Execution<'a> {
+    /// Builds an execution where write node `w` writes the value
+    /// `w.index() + 1` and memory is initially `0` — all writes thus carry
+    /// distinct nonzero tokens, making observations directly readable.
+    pub fn with_token_values(c: &'a Computation, phi: &'a ObserverFunction) -> Self {
+        let mut write_values = HashMap::new();
+        for l in c.locations() {
+            for &w in c.writes_to(l) {
+                write_values.insert(w, w.index() as Value + 1);
+            }
+        }
+        Execution { c, phi, write_values, initial: 0 }
+    }
+
+    /// Overrides the value written by `w`.
+    pub fn set_write_value(&mut self, w: NodeId, v: Value) {
+        assert!(
+            matches!(self.c.op(w), Op::Write(_)),
+            "{w} is not a write node"
+        );
+        self.write_values.insert(w, v);
+    }
+
+    /// Overrides the initial memory value.
+    pub fn set_initial(&mut self, v: Value) {
+        self.initial = v;
+    }
+
+    /// The value node `u` sees at location `l`.
+    pub fn view(&self, l: Location, u: NodeId) -> Value {
+        match self.phi.get(l, u) {
+            Some(w) => *self.write_values.get(&w).expect("observed node is a write"),
+            None => self.initial,
+        }
+    }
+
+    /// The value returned by read node `u` (panics if `u` is not a read).
+    pub fn read_result(&self, u: NodeId) -> Value {
+        match self.c.op(u) {
+            Op::Read(l) => self.view(l, u),
+            other => panic!("{u} is {other}, not a read"),
+        }
+    }
+
+    /// Results of all reads, in node order, as `(node, location, value)`.
+    pub fn all_read_results(&self) -> Vec<(NodeId, Location, Value)> {
+        self.c
+            .nodes()
+            .filter_map(|u| match self.c.op(u) {
+                Op::Read(l) => Some((u, l, self.view(l, u))),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    fn setup() -> (Computation, ObserverFunction) {
+        let c = Computation::from_edges(
+            3,
+            &[(0, 1), (1, 2)],
+            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
+        );
+        let phi = ObserverFunction::base(&c)
+            .with(l(0), n(1), Some(n(0)))
+            .with(l(0), n(2), Some(n(0)));
+        (c, phi)
+    }
+
+    #[test]
+    fn token_values_flow_to_reads() {
+        let (c, phi) = setup();
+        let e = Execution::with_token_values(&c, &phi);
+        assert_eq!(e.read_result(n(1)), 1); // node 0's token is 0+1
+        assert_eq!(e.read_result(n(2)), 1);
+    }
+
+    #[test]
+    fn bottom_reads_initial_value() {
+        let c = Computation::from_edges(1, &[], vec![Op::Read(l(0))]);
+        let phi = ObserverFunction::base(&c);
+        let mut e = Execution::with_token_values(&c, &phi);
+        assert_eq!(e.read_result(n(0)), 0);
+        e.set_initial(99);
+        assert_eq!(e.read_result(n(0)), 99);
+    }
+
+    #[test]
+    fn custom_write_values() {
+        let (c, phi) = setup();
+        let mut e = Execution::with_token_values(&c, &phi);
+        e.set_write_value(n(0), 42);
+        assert_eq!(e.read_result(n(1)), 42);
+    }
+
+    #[test]
+    fn all_read_results_lists_reads_only() {
+        let (c, phi) = setup();
+        let e = Execution::with_token_values(&c, &phi);
+        let rs = e.all_read_results();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0], (n(1), l(0), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a read")]
+    fn read_result_panics_on_write() {
+        let (c, phi) = setup();
+        let e = Execution::with_token_values(&c, &phi);
+        e.read_result(n(0));
+    }
+}

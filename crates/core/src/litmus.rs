@@ -1,0 +1,381 @@
+//! Litmus tests in the computation-centric setting.
+//!
+//! A litmus test is a small computation with designated reads; its
+//! *outcome set* under a model is every tuple of read results realisable
+//! by some observer function in the model. Because computations carry no
+//! processors, the classic tests are expressed as independent chains
+//! ("threads" connected only through memory): exactly the situation where
+//! processor-centric and computation-centric models are comparable.
+//!
+//! The standard batch — message passing, store buffering, coherence of
+//! read-read, IRIW — shows the lattice of Figure 1 as observable
+//! behaviour: each weaker model admits a superset of outcomes.
+
+use crate::computation::Computation;
+use crate::enumerate::for_each_observer;
+use crate::exec::Execution;
+use crate::model::MemoryModel;
+use crate::op::{Location, Op};
+use ccmm_dag::NodeId;
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+/// A named litmus test.
+pub struct LitmusTest {
+    /// Test name, e.g. `"MP"`.
+    pub name: &'static str,
+    /// The computation (threads = chains).
+    pub computation: Computation,
+    /// The reads whose results constitute an outcome, in report order.
+    pub observed: Vec<NodeId>,
+    /// Human-readable description of the forbidden/interesting outcome.
+    pub note: &'static str,
+}
+
+impl LitmusTest {
+    /// All outcomes (tuples of observed-read results) realisable under
+    /// `model`. Writes carry token values `node + 1`; initial memory is 0.
+    pub fn outcomes<M: MemoryModel>(&self, model: &M) -> BTreeSet<Vec<u64>> {
+        let mut out = BTreeSet::new();
+        let _ = for_each_observer(&self.computation, |phi| {
+            if model.contains(&self.computation, phi) {
+                let e = Execution::with_token_values(&self.computation, phi);
+                out.insert(self.observed.iter().map(|&r| e.read_result(r)).collect());
+            }
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Whether `model` admits the given outcome.
+    pub fn admits<M: MemoryModel>(&self, model: &M, outcome: &[u64]) -> bool {
+        self.outcomes(model).contains(outcome)
+    }
+}
+
+fn l(i: usize) -> Location {
+    Location::new(i)
+}
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+/// Message passing (MP): writer thread `W data=token; W flag=token`,
+/// reader thread `R flag; R data`. The relaxed outcome is "flag seen, data
+/// stale": `[flag_token, 0]`.
+pub fn message_passing() -> LitmusTest {
+    // Nodes: 0 = W(data), 1 = W(flag), 2 = R(flag), 3 = R(data).
+    let c = Computation::from_edges(
+        4,
+        &[(0, 1), (2, 3)],
+        vec![Op::Write(l(0)), Op::Write(l(1)), Op::Read(l(1)), Op::Read(l(0))],
+    );
+    LitmusTest {
+        name: "MP",
+        computation: c,
+        observed: vec![n(2), n(3)],
+        note: "flag observed but data stale ([2,0]) is forbidden by SC, allowed by LC",
+    }
+}
+
+/// Store buffering (SB): thread 1 `W x; R y`, thread 2 `W y; R x`. The
+/// relaxed outcome is both reads stale: `[0, 0]`.
+pub fn store_buffering() -> LitmusTest {
+    // Nodes: 0 = W(x), 1 = R(y), 2 = W(y), 3 = R(x).
+    let c = Computation::from_edges(
+        4,
+        &[(0, 1), (2, 3)],
+        vec![Op::Write(l(0)), Op::Read(l(1)), Op::Write(l(1)), Op::Read(l(0))],
+    );
+    LitmusTest {
+        name: "SB",
+        computation: c,
+        observed: vec![n(1), n(3)],
+        note: "both reads stale ([0,0]) is forbidden by SC, allowed by LC",
+    }
+}
+
+/// Coherence of read-read (CoRR): writer `W x` twice (serialized), reader
+/// `R x; R x`. The anomalous outcome is new-then-old: `[2, 1]`.
+pub fn coherence_rr() -> LitmusTest {
+    // Nodes: 0 = W(x) (token 1), 1 = W(x) (token 2), 2 = R(x), 3 = R(x).
+    let c = Computation::from_edges(
+        4,
+        &[(0, 1), (2, 3)],
+        vec![Op::Write(l(0)), Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
+    );
+    LitmusTest {
+        name: "CoRR",
+        computation: c,
+        observed: vec![n(2), n(3)],
+        note: "reads going backwards ([2,1]) is forbidden by SC and LC, \
+               allowed by every dag-consistent model (Theorem 22 strictness)",
+    }
+}
+
+/// Independent reads of independent writes (IRIW): writers `W x` ∥ `W y`,
+/// two reader threads observing in opposite orders.
+pub fn iriw() -> LitmusTest {
+    // Nodes: 0 = W(x), 1 = W(y),
+    //        2 = R(x), 3 = R(y)   (thread A),
+    //        4 = R(y), 5 = R(x)   (thread B).
+    let c = Computation::from_edges(
+        6,
+        &[(2, 3), (4, 5)],
+        vec![
+            Op::Write(l(0)),
+            Op::Write(l(1)),
+            Op::Read(l(0)),
+            Op::Read(l(1)),
+            Op::Read(l(1)),
+            Op::Read(l(0)),
+        ],
+    );
+    LitmusTest {
+        name: "IRIW",
+        computation: c,
+        observed: vec![n(2), n(3), n(4), n(5)],
+        note: "opposite observed orders ([1,0,2,0]) forbidden by SC, allowed by LC",
+    }
+}
+
+/// Load buffering (LB): thread 1 `R x; W y`, thread 2 `R y; W x`. The
+/// relaxed outcome is both reads seeing the *other thread's* later write.
+/// Note the computation-centric subtlety: observing a write is not a dag
+/// edge, so Condition 2.2 (a node never precedes what it observes) does
+/// not close the "causal" cycle here — each read is incomparable to the
+/// write it observes. SC forbids the outcome (the four constraints are
+/// cyclic in any single serialization); LC and the dag-consistent models
+/// allow it.
+pub fn load_buffering() -> LitmusTest {
+    // Nodes: 0 = R(x), 1 = W(y), 2 = R(y), 3 = W(x).
+    let c = Computation::from_edges(
+        4,
+        &[(0, 1), (2, 3)],
+        vec![Op::Read(l(0)), Op::Write(l(1)), Op::Read(l(1)), Op::Write(l(0))],
+    );
+    LitmusTest {
+        name: "LB",
+        computation: c,
+        observed: vec![n(0), n(2)],
+        note: "both reads seeing the other thread's write ([4,2]) is \
+               forbidden by SC, allowed by LC — observation is not an edge, \
+               so no Condition-2.2 cycle forms",
+    }
+}
+
+/// Write-to-read causality (WRC): writer `W x`; forwarder `R x; W y`;
+/// reader `R y; R x`. The relaxed outcome: the reader sees y (so the
+/// forwarder saw x) but misses x — causality through two threads.
+pub fn wrc() -> LitmusTest {
+    // Nodes: 0 = W(x) | 1 = R(x), 2 = W(y) | 3 = R(y), 4 = R(x).
+    let c = Computation::from_edges(
+        5,
+        &[(1, 2), (3, 4)],
+        vec![Op::Write(l(0)), Op::Read(l(0)), Op::Write(l(1)), Op::Read(l(1)), Op::Read(l(0))],
+    );
+    LitmusTest {
+        name: "WRC",
+        computation: c,
+        observed: vec![n(1), n(3), n(4)],
+        note: "forwarded-but-missed ([1,3,0]) is forbidden by SC, \
+               allowed by LC (per-location serialization has no cross-location causality)",
+    }
+}
+
+/// 2+2W: thread 1 `W x=a; W y=b'`, thread 2 `W y=b; W x=a'`. The relaxed
+/// outcome is each location ending on the *first* write of the opposing
+/// thread — the two per-location orders contradicting program order.
+/// Observed via two final reads following both threads.
+pub fn two_plus_two_w() -> LitmusTest {
+    // Nodes: 0 = W(x), 1 = W(y) | 2 = W(y), 3 = W(x) | 4 = R(x), 5 = R(y).
+    let c = Computation::from_edges(
+        6,
+        &[(0, 1), (2, 3), (1, 4), (3, 4), (1, 5), (3, 5)],
+        vec![
+            Op::Write(l(0)),
+            Op::Write(l(1)),
+            Op::Write(l(1)),
+            Op::Write(l(0)),
+            Op::Read(l(0)),
+            Op::Read(l(1)),
+        ],
+    );
+    LitmusTest {
+        name: "2+2W",
+        computation: c,
+        observed: vec![n(4), n(5)],
+        note: "x ends on thread-1's write AND y ends on thread-2's write \
+               ([1,3]) is forbidden by SC, allowed by LC",
+    }
+}
+
+/// Coherence of write-read (CoWR): one thread `W x; R x`, another `W x`.
+/// The anomalous outcome is the read missing its own program-order write
+/// in favour of ⊥; seeing the *other* write is legal (it may serialize in
+/// between).
+pub fn coherence_wr() -> LitmusTest {
+    // Nodes: 0 = W(x), 1 = R(x) | 2 = W(x).
+    let c = Computation::from_edges(
+        3,
+        &[(0, 1)],
+        vec![Op::Write(l(0)), Op::Read(l(0)), Op::Write(l(0))],
+    );
+    LitmusTest {
+        name: "CoWR",
+        computation: c,
+        observed: vec![n(1)],
+        note: "the read returning 0 (own write lost) is forbidden by all \
+               four dag-consistent models via the virtual-initial-write triples",
+    }
+}
+
+/// The standard batch.
+pub fn standard_tests() -> Vec<LitmusTest> {
+    vec![
+        message_passing(),
+        store_buffering(),
+        coherence_rr(),
+        iriw(),
+        load_buffering(),
+        wrc(),
+        two_plus_two_w(),
+        coherence_wr(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Lc, Model, Nn, Sc, Ww};
+
+    #[test]
+    fn mp_stale_data_forbidden_by_sc_allowed_by_lc() {
+        let t = message_passing();
+        // Writer tokens: data-write node 0 → 1, flag-write node 1 → 2.
+        let relaxed = vec![2, 0];
+        assert!(!t.admits(&Sc, &relaxed));
+        assert!(t.admits(&Lc, &relaxed));
+        assert!(t.admits(&Nn::new(), &relaxed));
+    }
+
+    #[test]
+    fn mp_sequential_outcome_allowed_everywhere() {
+        let t = message_passing();
+        let seq = vec![2, 1]; // flag seen, data seen
+        for m in Model::ALL {
+            assert!(t.admits(&m, &seq), "{m} must admit the MP success outcome");
+        }
+    }
+
+    #[test]
+    fn sb_both_stale_forbidden_by_sc() {
+        let t = store_buffering();
+        let relaxed = vec![0, 0];
+        assert!(!t.admits(&Sc, &relaxed));
+        assert!(t.admits(&Lc, &relaxed));
+    }
+
+    #[test]
+    fn corr_backwards_reads_separate_lc_from_nn() {
+        // The reader chain is incomparable with the writer chain, so no
+        // NN triple relates the reads to the writes: NN *admits* the
+        // backwards outcome. LC forbids it — the blocks of the two writes
+        // would have to precede each other both ways. This is exactly the
+        // LC ⊊ NN strictness of Theorem 22, observable as values.
+        let t = coherence_rr();
+        let backwards = vec![2, 1];
+        assert!(!t.admits(&Sc, &backwards));
+        assert!(!t.admits(&Lc, &backwards));
+        assert!(t.admits(&Nn::new(), &backwards), "NN cannot order unrelated reads");
+        assert!(t.admits(&Ww::new(), &backwards));
+    }
+
+    #[test]
+    fn iriw_disagreement_forbidden_by_sc_only() {
+        let t = iriw();
+        // A sees x (token 1) then misses y; B sees y (token 2) then misses x.
+        let relaxed = vec![1, 0, 2, 0];
+        assert!(!t.admits(&Sc, &relaxed));
+        assert!(t.admits(&Lc, &relaxed));
+    }
+
+    #[test]
+    fn outcome_sets_nest_with_model_strength() {
+        // SC ⊆ LC ⊆ NN ⊆ WW outcome sets, per test.
+        for t in standard_tests() {
+            let sc = t.outcomes(&Sc);
+            let lc = t.outcomes(&Lc);
+            let nn = t.outcomes(&Nn::new());
+            let ww = t.outcomes(&Ww::new());
+            assert!(sc.is_subset(&lc), "{}: SC ⊄ LC", t.name);
+            assert!(lc.is_subset(&nn), "{}: LC ⊄ NN", t.name);
+            assert!(nn.is_subset(&ww), "{}: NN ⊄ WW", t.name);
+        }
+    }
+
+    #[test]
+    fn every_test_has_some_sc_outcome() {
+        for t in standard_tests() {
+            assert!(!t.outcomes(&Sc).is_empty(), "{} has no SC outcome", t.name);
+        }
+    }
+
+    #[test]
+    fn lb_cycle_forbidden_by_sc_only() {
+        let t = load_buffering();
+        // Thread-other writes: node 3 (token 4) and node 1 (token 2).
+        let relaxed = vec![4, 2];
+        assert!(!t.admits(&Sc, &relaxed));
+        assert!(t.admits(&Lc, &relaxed), "observation is not an edge");
+        assert!(t.admits(&Nn::new(), &relaxed));
+    }
+
+    #[test]
+    fn wrc_causality_forbidden_by_sc_allowed_by_lc() {
+        let t = wrc();
+        // Forwarder saw x (token 1), reader saw y (token 3) but missed x.
+        let relaxed = vec![1, 3, 0];
+        assert!(!t.admits(&Sc, &relaxed));
+        assert!(t.admits(&Lc, &relaxed));
+        // The causal outcome is fine everywhere.
+        let causal = vec![1, 3, 1];
+        assert!(t.admits(&Sc, &causal));
+    }
+
+    #[test]
+    fn two_plus_two_w_opposing_orders() {
+        let t = two_plus_two_w();
+        // x ends on node 0 (token 1), y ends on node 2 (token 3).
+        let relaxed = vec![1, 3];
+        assert!(!t.admits(&Sc, &relaxed));
+        assert!(t.admits(&Lc, &relaxed));
+        // Agreeing orders are SC.
+        let agree = vec![4, 2]; // x ends on node 3, y ends on node 1
+        assert!(t.admits(&Sc, &agree));
+    }
+
+    #[test]
+    fn cowr_lost_own_write_forbidden_by_dag_models() {
+        let t = coherence_wr();
+        let lost = vec![0];
+        for m in [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww] {
+            assert!(!t.admits(&m, &lost), "{m} must forbid losing the own write");
+        }
+        assert!(t.admits(&Model::Any, &lost), "validity alone allows it");
+        // Seeing the own write or the other write is fine everywhere.
+        assert!(t.admits(&Sc, &[1]));
+        assert!(t.admits(&Sc, &[3]));
+    }
+
+    #[test]
+    fn extended_batch_still_nests() {
+        for t in [load_buffering(), wrc(), two_plus_two_w(), coherence_wr()] {
+            let sc = t.outcomes(&Sc);
+            let lc = t.outcomes(&Lc);
+            let nn = t.outcomes(&Nn::new());
+            assert!(sc.is_subset(&lc), "{}", t.name);
+            assert!(lc.is_subset(&nn), "{}", t.name);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Brute-force reference checkers, straight off Definitions 17, 18, 20.
+//!
+//! These quantify over all topological sorts (or all triples) with no
+//! algorithmic shortcuts. They exist to cross-validate the production
+//! checkers — every optimized checker in this crate is property-tested
+//! against its brute-force twin on random small computations.
+
+use crate::computation::Computation;
+use crate::last_writer::last_writer_function;
+use crate::observer::ObserverFunction;
+use crate::op::Location;
+use ccmm_dag::topo::TopoSorts;
+use ccmm_dag::NodeId;
+
+/// Definition 17 verbatim: `∃T ∈ TS(C)` with `Φ = W_T` at every location.
+pub fn sc_brute(c: &Computation, phi: &ObserverFunction) -> bool {
+    if !phi.is_valid_for(c) {
+        return false;
+    }
+    TopoSorts::new(c.dag()).any(|t| &last_writer_function(c, &t) == phi)
+}
+
+/// Definition 18 verbatim: for each `l`, `∃T ∈ TS(C)` with
+/// `Φ(l,·) = W_T(l,·)`.
+pub fn lc_brute(c: &Computation, phi: &ObserverFunction) -> bool {
+    if !phi.is_valid_for(c) {
+        return false;
+    }
+    c.locations().all(|l| {
+        TopoSorts::new(c.dag()).any(|t| {
+            let wt = last_writer_function(c, &t);
+            c.nodes().all(|u| wt.get(l, u) == phi.get(l, u))
+        })
+    })
+}
+
+/// Definition 20 verbatim for a predicate closure: iterate all
+/// `(l, u, v, w)` with `u ≺ v ≺ w` (including `u = ⊥`).
+pub fn qdag_brute<Q>(c: &Computation, phi: &ObserverFunction, q: Q) -> bool
+where
+    Q: Fn(&Computation, Location, Option<NodeId>, NodeId, NodeId) -> bool,
+{
+    if !phi.is_valid_for(c) {
+        return false;
+    }
+    for l in c.locations() {
+        for w in c.nodes() {
+            for v in c.nodes() {
+                if !c.precedes(v, w) {
+                    continue;
+                }
+                // u = ⊥ (⊥ ≺ v always holds).
+                if q(c, l, None, v, w)
+                    && phi.get(l, w).is_none()
+                    && phi.get(l, v).is_some()
+                {
+                    return false;
+                }
+                for u in c.nodes() {
+                    if !c.precedes(u, v) {
+                        continue;
+                    }
+                    if q(c, l, Some(u), v, w)
+                        && phi.get(l, u) == phi.get(l, w)
+                        && phi.get(l, v) != phi.get(l, u)
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::for_each_observer;
+    use crate::model::dagcons::{Nn, Nw, Wn, Ww, QPredicate};
+    use crate::model::{Lc, MemoryModel, Sc};
+    use crate::op::Op;
+    use std::ops::ControlFlow;
+
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    /// A handful of small computations with interesting structure.
+    fn fixtures() -> Vec<Computation> {
+        vec![
+            // Diamond, one location.
+            Computation::from_edges(
+                4,
+                &[(0, 1), (0, 2), (1, 3), (2, 3)],
+                vec![Op::Write(l(0)), Op::Read(l(0)), Op::Write(l(0)), Op::Read(l(0))],
+            ),
+            // Two independent chains, two locations.
+            Computation::from_edges(
+                4,
+                &[(0, 1), (2, 3)],
+                vec![Op::Write(l(0)), Op::Read(l(1)), Op::Write(l(1)), Op::Read(l(0))],
+            ),
+            // Antichain of writes plus a sink read.
+            Computation::from_edges(
+                4,
+                &[(0, 3), (1, 3), (2, 3)],
+                vec![Op::Write(l(0)), Op::Write(l(0)), Op::Write(l(0)), Op::Read(l(0))],
+            ),
+            // Nops mixed in.
+            Computation::from_edges(
+                4,
+                &[(0, 1), (1, 2), (1, 3)],
+                vec![Op::Nop, Op::Write(l(0)), Op::Read(l(0)), Op::Nop],
+            ),
+        ]
+    }
+
+    #[test]
+    fn sc_checker_matches_brute_force() {
+        for c in fixtures() {
+            let _ = for_each_observer(&c, |phi| {
+                assert_eq!(
+                    Sc.contains(&c, phi),
+                    sc_brute(&c, phi),
+                    "SC mismatch on {c:?} {phi:?}"
+                );
+                ControlFlow::Continue(())
+            });
+        }
+    }
+
+    #[test]
+    fn lc_checker_matches_brute_force() {
+        for c in fixtures() {
+            let _ = for_each_observer(&c, |phi| {
+                assert_eq!(
+                    Lc.contains(&c, phi),
+                    lc_brute(&c, phi),
+                    "LC mismatch on {c:?} {phi:?}"
+                );
+                ControlFlow::Continue(())
+            });
+        }
+    }
+
+    #[test]
+    fn qdag_checkers_match_brute_force() {
+        for c in fixtures() {
+            let _ = for_each_observer(&c, |phi| {
+                assert_eq!(
+                    Nn::new().contains(&c, phi),
+                    qdag_brute(&c, phi, |c, l, u, v, w| {
+                        crate::model::dagcons::NnPred::holds(c, l, u, v, w)
+                    }),
+                    "NN mismatch on {c:?} {phi:?}"
+                );
+                assert_eq!(
+                    Ww::new().contains(&c, phi),
+                    qdag_brute(&c, phi, |c, l, u, v, w| {
+                        crate::model::dagcons::WwPred::holds(c, l, u, v, w)
+                    }),
+                    "WW mismatch on {c:?} {phi:?}"
+                );
+                assert_eq!(
+                    Nw::new().contains(&c, phi),
+                    qdag_brute(&c, phi, |c, l, u, v, w| {
+                        crate::model::dagcons::NwPred::holds(c, l, u, v, w)
+                    }),
+                    "NW mismatch"
+                );
+                assert_eq!(
+                    Wn::new().contains(&c, phi),
+                    qdag_brute(&c, phi, |c, l, u, v, w| {
+                        crate::model::dagcons::WnPred::holds(c, l, u, v, w)
+                    }),
+                    "WN mismatch"
+                );
+                ControlFlow::Continue(())
+            });
+        }
+    }
+}

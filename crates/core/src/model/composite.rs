@@ -1,0 +1,183 @@
+//! Model combinators: intersections and unions of memory models.
+//!
+//! Memory models are sets, so they compose set-theoretically. The
+//! combinators make the paper's algebra executable:
+//!
+//! * Definition 8 builds Δ* as a **union** of constructible models, and
+//!   Lemma 7 proves such unions are constructible — machine-checked in
+//!   the tests;
+//! * **intersections** of Q-dag-consistency models are again
+//!   Q-dag-consistency models for the *disjunction* of the predicates
+//!   (more triples constrained), e.g. `WN ∩ NW = QDag(WN-pred ∨ NW-pred)`
+//!   — strictly between NN and both factors.
+
+use crate::computation::Computation;
+use crate::model::MemoryModel;
+use crate::observer::ObserverFunction;
+
+/// The intersection `A ∩ B` — at least as strong as both factors.
+pub struct Intersection<A, B> {
+    name: String,
+    /// First factor.
+    pub a: A,
+    /// Second factor.
+    pub b: B,
+}
+
+impl<A: MemoryModel, B: MemoryModel> Intersection<A, B> {
+    /// Builds `a ∩ b`.
+    pub fn new(a: A, b: B) -> Self {
+        let name = format!("({} ∩ {})", a.name(), b.name());
+        Intersection { name, a, b }
+    }
+}
+
+impl<A: MemoryModel, B: MemoryModel> MemoryModel for Intersection<A, B> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
+        self.a.contains(c, phi) && self.b.contains(c, phi)
+    }
+}
+
+/// The union `A ∪ B` — at least as weak as both factors.
+pub struct Union<A, B> {
+    name: String,
+    /// First member.
+    pub a: A,
+    /// Second member.
+    pub b: B,
+}
+
+impl<A: MemoryModel, B: MemoryModel> Union<A, B> {
+    /// Builds `a ∪ b`.
+    pub fn new(a: A, b: B) -> Self {
+        let name = format!("({} ∪ {})", a.name(), b.name());
+        Union { name, a, b }
+    }
+}
+
+impl<A: MemoryModel, B: MemoryModel> MemoryModel for Union<A, B> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
+        self.a.contains(c, phi) || self.b.contains(c, phi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Lc, Model, Nn, Nw, Sc, Wn, Ww};
+    use crate::props::{check_constructible_aug, check_monotonic};
+    use crate::relation::{compare, Relation};
+    use crate::universe::Universe;
+
+    #[test]
+    fn names_compose() {
+        let m = Intersection::new(Sc, Lc);
+        assert_eq!(m.name(), "(SC ∩ LC)");
+        let u = Union::new(Sc, Lc);
+        assert_eq!(u.name(), "(SC ∪ LC)");
+    }
+
+    #[test]
+    fn intersection_with_superset_is_identity() {
+        // LC ⊆ WW, so LC ∩ WW = LC.
+        let u = Universe::new(3, 1);
+        let m = Intersection::new(Lc, Ww::default());
+        assert_eq!(compare(&m, &Lc, &u).relation, Relation::Equal);
+    }
+
+    #[test]
+    fn union_with_superset_is_superset() {
+        let u = Universe::new(3, 1);
+        let m = Union::new(Lc, Ww::default());
+        let ww: Ww = Ww::default();
+        assert_eq!(compare(&m, &ww, &u).relation, Relation::Equal);
+    }
+
+    #[test]
+    fn lemma_7_union_of_constructible_is_constructible() {
+        // SC, LC and WW are constructible (Theorem 19 + Figure 1); all
+        // three pairwise unions must pass the constructibility scan.
+        let u = Universe::new(4, 1);
+        assert!(check_constructible_aug(&Union::new(Sc, Ww::default()), &u).is_ok());
+        assert!(check_constructible_aug(&Union::new(Sc, Lc), &u).is_ok());
+        assert!(check_constructible_aug(&Union::new(Lc, Ww::default()), &u).is_ok());
+    }
+
+    #[test]
+    fn unions_and_intersections_preserve_monotonicity() {
+        let u = Universe::new(3, 1);
+        assert!(check_monotonic(&Union::new(Lc, Wn::default()), &u).is_ok());
+        assert!(check_monotonic(&Intersection::new(Nw::default(), Wn::default()), &u).is_ok());
+    }
+
+    #[test]
+    fn wn_cap_nw_sits_strictly_between_nn_and_both() {
+        // Intersection of Q-models = Q-model of the predicate disjunction:
+        // stronger than each factor, weaker than NN (whose predicate is
+        // `true`). At ≤ 4 nodes the intersection *coincides* with NN
+        // (machine fact below); the smallest separator needs two isolated
+        // writes plus a three-read chain observing x, y, x — the read-read
+        // triple that only NN's unconditional predicate constrains.
+        let u = Universe::new(4, 1);
+        let meet = Intersection::new(Wn::default(), Nw::default());
+        let nn: Nn = Nn::default();
+        assert_eq!(compare(&nn, &meet, &u).relation, Relation::Equal, "NN = WN∩NW at ≤4 nodes");
+        let wn: Wn = Wn::default();
+        let nw: Nw = Nw::default();
+        assert_eq!(compare(&meet, &wn, &u).relation, Relation::StrictlyStronger);
+        assert_eq!(compare(&meet, &nw, &u).relation, Relation::StrictlyStronger);
+
+        // The 5-node separator: x ∥ y writes; chain R(x) -> R(y) -> R(x).
+        use crate::computation::Computation;
+        use crate::observer::ObserverFunction;
+        use crate::op::{Location, Op};
+        use ccmm_dag::NodeId;
+        let l0 = Location::new(0);
+        let c = Computation::from_edges(
+            5,
+            &[(2, 3), (3, 4)],
+            vec![Op::Write(l0), Op::Write(l0), Op::Read(l0), Op::Read(l0), Op::Read(l0)],
+        );
+        let phi = ObserverFunction::base(&c)
+            .with(l0, NodeId::new(2), Some(NodeId::new(0)))
+            .with(l0, NodeId::new(3), Some(NodeId::new(1)))
+            .with(l0, NodeId::new(4), Some(NodeId::new(0)));
+        assert!(meet.contains(&c, &phi), "x,y,x observation is in WN ∩ NW");
+        assert!(!nn.contains(&c, &phi), "…but not in NN: strictness witnessed");
+    }
+
+    #[test]
+    fn intersection_of_nonconstructible_can_stay_nonconstructible() {
+        // WN ∩ NW inherits the Figure-4 failure mode.
+        let u = Universe::new(5, 1);
+        let meet = Intersection::new(Wn::default(), Nw::default());
+        assert!(check_constructible_aug(&meet, &u).is_err());
+    }
+
+    #[test]
+    fn union_of_incomparable_models_is_weaker_than_both() {
+        let u = Universe::new(4, 1);
+        let join = Union::new(Wn::default(), Nw::default());
+        for m in [Model::Wn, Model::Nw] {
+            let cmp = compare(&m, &join, &u);
+            assert_eq!(cmp.relation, Relation::StrictlyStronger, "{m} vs union");
+        }
+        // But still stronger than WW? The union of two subsets of WW is a
+        // subset of WW; strictness is a machine question:
+        let ww: Ww = Ww::default();
+        let cmp = compare(&join, &ww, &u);
+        assert!(
+            matches!(cmp.relation, Relation::StrictlyStronger | Relation::Equal),
+            "WN ∪ NW ⊆ WW must hold, got {:?}",
+            cmp.relation
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! Location consistency (Definition 18) — a polynomial-time checker.
+//!
+//! `(C, Φ) ∈ LC` iff for every location `l` there is a topological sort
+//! `T_l ∈ TS(C)` with `Φ(l, ·) = W_{T_l}(l, ·)`. Naively this quantifies
+//! over exponentially many sorts; totality of Φ collapses it to a
+//! linear-time test per location:
+//!
+//! **Block decomposition.** Fix `l`. Every write to `l` observes itself
+//! (Def. 2.3), so the nodes partition into the *⊥-block*
+//! `{u : Φ(l,u) = ⊥}` and one *block* `S_w = {u : Φ(l,u) = w}` per write
+//! `w`, whose only write is its head `w`.
+//!
+//! **Claim.** `Φ(l,·)` is a last-writer function of some sort iff the
+//! *block contraction* digraph (an edge `A → B` whenever some dag edge
+//! goes from a node of `A` to a node of `B`, `A ≠ B`) is acyclic and no
+//! edge enters the ⊥-block.
+//!
+//! *Necessity:* by Theorem 15, the observers of `w` form a T-convex
+//! interval starting at `w`; distinct blocks are disjoint intervals of
+//! `T_l`, so contraction edges point forward in interval order (acyclic),
+//! and a node observing ⊥ can have no predecessor that observes a write
+//! (that write would precede it in `T_l`).
+//!
+//! *Sufficiency:* order blocks topologically with the ⊥-block first, and
+//! each block internally by any topological order with its head `w` first
+//! (`w` has no in-block ancestors, by Def. 2.2). The concatenation is a
+//! topological sort of `C` whose last-writer function is exactly `Φ(l,·)`,
+//! because each block contains exactly one write, at its front.
+
+use crate::computation::Computation;
+use crate::model::MemoryModel;
+use crate::observer::ObserverFunction;
+use crate::op::Location;
+use ccmm_dag::NodeId;
+
+/// Location consistency (also called *coherence* in the literature).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Lc;
+
+/// Block index per node for location `l`: 0 is the ⊥-block, `i + 1` the
+/// block of the `i`-th write to `l`.
+fn block_assignment(c: &Computation, phi: &ObserverFunction, l: Location) -> Vec<usize> {
+    let writes = c.writes_to(l);
+    let mut block_of_write = vec![usize::MAX; c.node_count()];
+    for (i, &w) in writes.iter().enumerate() {
+        block_of_write[w.index()] = i + 1;
+    }
+    c.nodes()
+        .map(|u| match phi.get(l, u) {
+            None => 0,
+            Some(w) => block_of_write[w.index()],
+        })
+        .collect()
+}
+
+/// Per-location feasibility: contraction digraph acyclic, ⊥-block a source.
+fn location_ok(c: &Computation, phi: &ObserverFunction, l: Location) -> bool {
+    lc_block_order(c, phi, l).is_some()
+}
+
+/// Computes a topological order of the blocks for location `l` with the
+/// ⊥-block first, or `None` if the contraction is infeasible.
+fn lc_block_order(c: &Computation, phi: &ObserverFunction, l: Location) -> Option<Vec<usize>> {
+    let nblocks = c.writes_to(l).len() + 1;
+    let assign = block_assignment(c, phi, l);
+    // Contraction adjacency (deduplicated via a matrix; nblocks is small
+    // relative to nodes and bounded by writes + 1).
+    let mut adj = vec![false; nblocks * nblocks];
+    for (u, v) in c.dag().edges() {
+        let (a, b) = (assign[u.index()], assign[v.index()]);
+        if a != b {
+            if b == 0 {
+                // An edge into the ⊥-block: some node observing a write
+                // precedes a node observing ⊥ — impossible under any T.
+                return None;
+            }
+            adj[a * nblocks + b] = true;
+        }
+    }
+    // Kahn over blocks.
+    let mut indeg = vec![0usize; nblocks];
+    for a in 0..nblocks {
+        for b in 0..nblocks {
+            if adj[a * nblocks + b] {
+                indeg[b] += 1;
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..nblocks).filter(|&b| indeg[b] == 0).collect();
+    ready.sort_unstable();
+    let mut order = Vec::with_capacity(nblocks);
+    while let Some(b) = ready.pop() {
+        order.push(b);
+        for t in 0..nblocks {
+            if adj[b * nblocks + t] {
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    ready.push(t);
+                }
+            }
+        }
+    }
+    (order.len() == nblocks).then_some(order)
+}
+
+impl Lc {
+    /// Produces, for each location, a witnessing topological sort `T_l`
+    /// with `Φ(l,·) = W_{T_l}(l,·)`; `None` if `(c, phi) ∉ LC`.
+    pub fn witness(c: &Computation, phi: &ObserverFunction) -> Option<Vec<Vec<NodeId>>> {
+        if !phi.is_valid_for(c) {
+            return None;
+        }
+        let global = ccmm_dag::topo::topo_sort(c.dag());
+        let mut pos = vec![0usize; c.node_count()];
+        for (i, u) in global.iter().enumerate() {
+            pos[u.index()] = i;
+        }
+        let mut out = Vec::with_capacity(c.num_locations());
+        for l in c.locations() {
+            let block_order = lc_block_order(c, phi, l)?;
+            let assign = block_assignment(c, phi, l);
+            let writes = c.writes_to(l);
+            // Rank of each block in the chosen block order; ⊥-block must be
+            // first among nonempty blocks — our Kahn treats it as a source
+            // (no in-edges), but other sources may precede it. That is
+            // harmless: blocks before the ⊥-block contain a write each,
+            // and a ⊥-observer must not follow any write in T_l. Force the
+            // ⊥-block to rank first to be safe.
+            let mut rank = vec![0usize; block_order.len()];
+            let mut r = 1;
+            for &b in &block_order {
+                if b == 0 {
+                    rank[0] = 0;
+                } else {
+                    rank[b] = r;
+                    r += 1;
+                }
+            }
+            // Sort nodes by (block rank, head-first, global topo position).
+            let mut t: Vec<NodeId> = c.nodes().collect();
+            t.sort_by_key(|&u| {
+                let b = assign[u.index()];
+                let is_head = b != 0 && writes[b - 1] == u;
+                (rank[b], !is_head, pos[u.index()])
+            });
+            debug_assert!(ccmm_dag::topo::is_topological_sort(c.dag(), &t));
+            out.push(t);
+        }
+        Some(out)
+    }
+}
+
+impl MemoryModel for Lc {
+    fn name(&self) -> &str {
+        "LC"
+    }
+
+    fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
+        phi.is_valid_for(c) && c.locations().all(|l| location_ok(c, phi, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::last_writer::last_writer_function;
+    use crate::op::Op;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    #[test]
+    fn last_writer_functions_are_in_lc() {
+        let c = Computation::from_edges(
+            4,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![Op::Write(l(0)), Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
+        );
+        for t in ccmm_dag::topo::all_topo_sorts(c.dag()) {
+            let phi = last_writer_function(&c, &t);
+            assert!(Lc.contains(&c, &phi), "W_T ∉ LC for T={t:?}");
+        }
+    }
+
+    #[test]
+    fn crossing_observations_rejected() {
+        // Writes A ∥ B; C after both observes A, D after both observes B.
+        // Blocks {A, C} and {B, D} constrain each other both ways: cycle.
+        let c = Computation::from_edges(
+            4,
+            &[(0, 2), (1, 2), (0, 3), (1, 3)],
+            vec![Op::Write(l(0)), Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
+        );
+        let phi = ObserverFunction::base(&c)
+            .with(l(0), n(2), Some(n(0)))
+            .with(l(0), n(3), Some(n(1)));
+        assert!(phi.is_valid_for(&c));
+        assert!(!Lc.contains(&c, &phi));
+        assert!(Lc::witness(&c, &phi).is_none());
+    }
+
+    #[test]
+    fn bottom_after_write_observation_rejected() {
+        // W -> R1 -> R2 with Φ(R1)=W, Φ(R2)=⊥: edge into the ⊥-block.
+        let c = Computation::from_edges(
+            3,
+            &[(0, 1), (1, 2)],
+            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
+        );
+        let phi = ObserverFunction::base(&c)
+            .with(l(0), n(1), Some(n(0)))
+            .with(l(0), n(2), None);
+        assert!(phi.is_valid_for(&c));
+        assert!(!Lc.contains(&c, &phi));
+    }
+
+    #[test]
+    fn bottom_after_preceding_write_rejected() {
+        // W -> R1 -> R2 with Φ(R1)=⊥: every topological sort puts W before
+        // R1, so R1's last writer cannot be ⊥. (Contrast with dag
+        // consistency, where this Φ is NN-consistent only if R2 also
+        // observes ⊥ — and even that fails NN via the u=⊥ triple.)
+        let c = Computation::from_edges(
+            3,
+            &[(0, 1), (1, 2)],
+            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
+        );
+        let phi = ObserverFunction::base(&c)
+            .with(l(0), n(1), None)
+            .with(l(0), n(2), Some(n(0)));
+        assert!(phi.is_valid_for(&c));
+        assert!(!Lc.contains(&c, &phi));
+    }
+
+    #[test]
+    fn incomparable_read_may_observe_bottom() {
+        // W ∥ R: the read may be serialized before the write.
+        let c = Computation::from_edges(2, &[], vec![Op::Write(l(0)), Op::Read(l(0))]);
+        let phi = ObserverFunction::base(&c); // read sees ⊥
+        assert!(Lc.contains(&c, &phi));
+        let ts = Lc::witness(&c, &phi).unwrap();
+        let wt = last_writer_function(&c, &ts[0]);
+        assert_eq!(wt.get(l(0), n(1)), None);
+    }
+
+    #[test]
+    fn witness_reproduces_phi() {
+        let c = Computation::from_edges(
+            5,
+            &[(0, 2), (1, 2), (2, 3), (2, 4)],
+            vec![
+                Op::Write(l(0)),
+                Op::Write(l(0)),
+                Op::Read(l(0)),
+                Op::Read(l(0)),
+                Op::Write(l(1)),
+            ],
+        );
+        // The reads and the later write all observe B at l0; A is
+        // serialized before B. (Node 4 follows node 2, which observes a
+        // write at l0, so node 4 must observe one too.)
+        let phi = ObserverFunction::base(&c)
+            .with(l(0), n(2), Some(n(1)))
+            .with(l(0), n(3), Some(n(1)))
+            .with(l(0), n(4), Some(n(1)));
+        assert!(Lc.contains(&c, &phi));
+        let ts = Lc::witness(&c, &phi).unwrap();
+        assert_eq!(ts.len(), c.num_locations());
+        for (li, t) in ts.iter().enumerate() {
+            assert!(ccmm_dag::topo::is_topological_sort(c.dag(), t));
+            let wt = last_writer_function(&c, t);
+            for u in c.nodes() {
+                assert_eq!(
+                    wt.get(l(li), u),
+                    phi.get(l(li), u),
+                    "location l{li}, node {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_location_independence() {
+        // Two locations with *opposite* serialization of analogous
+        // write pairs — allowed by LC, impossible for SC.
+        let c = Computation::from_edges(
+            6,
+            &[(0, 4), (1, 4), (2, 4), (3, 4), (0, 5), (1, 5), (2, 5), (3, 5)],
+            vec![
+                Op::Write(l(0)),
+                Op::Write(l(0)),
+                Op::Write(l(1)),
+                Op::Write(l(1)),
+                Op::Read(l(0)),
+                Op::Read(l(1)),
+            ],
+        );
+        // l0 serializes 0 then 1; l1 serializes 3 then 2 — the two
+        // locations pick *different* relative orders of their write pairs,
+        // which LC permits because each location gets its own sort. (Both
+        // readers follow every write, so their rows cannot stay ⊥.)
+        let phi = ObserverFunction::base(&c)
+            .with(l(0), n(4), Some(n(1)))
+            .with(l(0), n(5), Some(n(1)))
+            .with(l(1), n(4), Some(n(2)))
+            .with(l(1), n(5), Some(n(2)));
+        assert!(phi.is_valid_for(&c));
+        assert!(Lc.contains(&c, &phi));
+    }
+
+    #[test]
+    fn invalid_observer_rejected() {
+        let c = Computation::from_edges(1, &[], vec![Op::Write(l(0))]);
+        let bad = ObserverFunction::bottom(1, 1);
+        assert!(!Lc.contains(&c, &bad));
+    }
+
+    #[test]
+    fn empty_and_trivial_computations() {
+        assert!(Lc.contains(&Computation::empty(), &ObserverFunction::empty()));
+        let c = Computation::from_edges(1, &[], vec![Op::Nop]);
+        assert!(Lc.contains(&c, &ObserverFunction::base(&c)));
+    }
+}

@@ -1,0 +1,175 @@
+//! Memory models (Definition 3) and the six models studied in the paper.
+//!
+//! A memory model is a set of (computation, observer function) pairs; here
+//! a model is anything implementing [`MemoryModel`], whose `contains`
+//! decides membership. "Stronger" means ⊆ (Definition 4) — decided over
+//! bounded universes by [`crate::relation`].
+//!
+//! The concrete models:
+//!
+//! * [`Sc`] — sequential consistency (Definition 17): one topological sort
+//!   whose last-writer function is Φ at *every* location;
+//! * [`Lc`] — location consistency / coherence (Definition 18): an
+//!   independent topological sort per location;
+//! * [`QDag`] — the Q-dag-consistency family (Definition 20), with the four
+//!   predicates NN, NW, WN, WW of Section 5;
+//! * [`AnyObserver`] — the weakest model (all valid pairs), a baseline.
+
+pub mod brute;
+pub mod composite;
+pub mod dagcons;
+pub mod lc;
+pub mod sc;
+
+use crate::computation::Computation;
+use crate::observer::ObserverFunction;
+
+pub use composite::{Intersection, Union};
+pub use dagcons::{DynQ, Nn, Nw, QDag, QPredicate, Wn, Ww};
+pub use lc::Lc;
+pub use sc::Sc;
+
+/// A memory model: a decidable set of (computation, observer) pairs.
+///
+/// Implementations must return `false` for pairs where `phi` is not a
+/// valid observer function for `c` (Definition 3 restricts models to valid
+/// pairs).
+pub trait MemoryModel {
+    /// A short human-readable name ("SC", "NN-dag", …).
+    fn name(&self) -> &str;
+
+    /// Membership test `(c, phi) ∈ Δ`.
+    fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool;
+}
+
+/// The weakest memory model: every valid (computation, observer) pair.
+///
+/// Equals NN-dag consistency with predicate `false`; useful as a baseline
+/// and for testing the relation engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyObserver;
+
+impl MemoryModel for AnyObserver {
+    fn name(&self) -> &str {
+        "Any"
+    }
+
+    fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
+        phi.is_valid_for(c)
+    }
+}
+
+/// The six models of Figure 1 plus the [`AnyObserver`] baseline, as a
+/// dynamic enum for experiment drivers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Sequential consistency.
+    Sc,
+    /// Location consistency (coherence).
+    Lc,
+    /// NN-dag consistency (strongest dag-consistent model).
+    Nn,
+    /// NW-dag consistency.
+    Nw,
+    /// WN-dag consistency.
+    Wn,
+    /// WW-dag consistency (the original dag consistency of \[BFJ+96b\]).
+    Ww,
+    /// All valid observer functions.
+    Any,
+}
+
+impl Model {
+    /// All models, strongest-first per Figure 1 (NW/WN order arbitrary).
+    pub const ALL: [Model; 7] =
+        [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww, Model::Any];
+
+    /// The paper's name for the model.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Sc => "SC",
+            Model::Lc => "LC",
+            Model::Nn => "NN",
+            Model::Nw => "NW",
+            Model::Wn => "WN",
+            Model::Ww => "WW",
+            Model::Any => "Any",
+        }
+    }
+
+    /// Membership test, dispatching to the concrete checker.
+    pub fn contains(self, c: &Computation, phi: &ObserverFunction) -> bool {
+        match self {
+            Model::Sc => Sc.contains(c, phi),
+            Model::Lc => Lc.contains(c, phi),
+            Model::Nn => Nn::default().contains(c, phi),
+            Model::Nw => Nw::default().contains(c, phi),
+            Model::Wn => Wn::default().contains(c, phi),
+            Model::Ww => Ww::default().contains(c, phi),
+            Model::Any => AnyObserver.contains(c, phi),
+        }
+    }
+
+    /// Whether the paper claims the model is constructible (Figure 1 and
+    /// Theorem 19; NN, NW, WN are not constructible).
+    pub fn paper_says_constructible(self) -> bool {
+        matches!(self, Model::Sc | Model::Lc | Model::Ww | Model::Any)
+    }
+}
+
+impl MemoryModel for Model {
+    fn name(&self) -> &str {
+        Model::name(*self)
+    }
+
+    fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
+        Model::contains(*self, c, phi)
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Location, Op};
+
+    #[test]
+    fn any_rejects_invalid_observers() {
+        let c = Computation::from_edges(1, &[], vec![Op::Write(Location::new(0))]);
+        let bad = ObserverFunction::bottom(1, 1); // write not self-observing
+        assert!(!AnyObserver.contains(&c, &bad));
+        assert!(AnyObserver.contains(&c, &ObserverFunction::base(&c)));
+    }
+
+    #[test]
+    fn model_enum_names() {
+        assert_eq!(Model::Sc.name(), "SC");
+        assert_eq!(Model::Ww.name(), "WW");
+        assert_eq!(Model::ALL.len(), 7);
+    }
+
+    #[test]
+    fn empty_pair_in_every_model() {
+        // Definition 3: {(ε, Φ_ε)} ⊆ Δ for every model.
+        let c = Computation::empty();
+        let phi = ObserverFunction::empty();
+        for m in Model::ALL {
+            assert!(m.contains(&c, &phi), "(ε, Φ_ε) missing from {m}");
+        }
+    }
+
+    #[test]
+    fn paper_constructibility_claims() {
+        assert!(Model::Sc.paper_says_constructible());
+        assert!(Model::Lc.paper_says_constructible());
+        assert!(Model::Ww.paper_says_constructible());
+        assert!(!Model::Nn.paper_says_constructible());
+        assert!(!Model::Nw.paper_says_constructible());
+        assert!(!Model::Wn.paper_says_constructible());
+    }
+}

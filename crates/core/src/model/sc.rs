@@ -1,0 +1,270 @@
+//! Sequential consistency (Definition 17) — an exact membership solver.
+//!
+//! `(C, Φ) ∈ SC` iff one topological sort `T` satisfies
+//! `Φ(l, ·) = W_T(l, ·)` at *every* location simultaneously. Verifying SC
+//! is NP-complete in general \[GK94\], so no polynomial checker is expected;
+//! we run a backtracking search over topological sorts with two exactness-
+//! preserving prunings:
+//!
+//! * **Per-step consistency.** Appending node `u` to a partial sort is
+//!   legal only if, for every location `l` that `u` does not write,
+//!   `Φ(l, u)` equals the most recent write to `l` already scheduled. This
+//!   is sound and complete: `W_T(l, u)` depends only on the prefix of `T`
+//!   up to `u`.
+//! * **State memoization.** The search state is fully described by
+//!   (scheduled set, last-writer-per-location); orders reaching the same
+//!   state are interchangeable, so failed states are cached.
+
+use crate::computation::Computation;
+use crate::model::MemoryModel;
+use crate::observer::ObserverFunction;
+use crate::op::Op;
+use ccmm_dag::bitset::BitSet;
+use ccmm_dag::NodeId;
+use std::collections::HashSet;
+
+/// Sequential consistency.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sc;
+
+struct Search<'a> {
+    c: &'a Computation,
+    phi: &'a ObserverFunction,
+    scheduled: BitSet,
+    last: Vec<Option<NodeId>>,
+    indeg: Vec<usize>,
+    order: Vec<NodeId>,
+    failed: HashSet<(BitSet, Vec<Option<NodeId>>)>,
+}
+
+impl Search<'_> {
+    /// Whether node `u` may be appended given the current last-writer state.
+    fn appendable(&self, u: NodeId) -> bool {
+        for l in self.c.locations() {
+            if self.c.op(u).is_write_to(l) {
+                continue; // Φ(l, u) = u by Def. 2.3; satisfied on append.
+            }
+            if self.phi.get(l, u) != self.last[l.index()] {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn run(&mut self) -> bool {
+        if self.order.len() == self.c.node_count() {
+            return true;
+        }
+        let key = (self.scheduled.clone(), self.last.clone());
+        if self.failed.contains(&key) {
+            return false;
+        }
+        for u in self.c.nodes() {
+            if self.scheduled.contains(u.index()) || self.indeg[u.index()] != 0 {
+                continue;
+            }
+            if !self.appendable(u) {
+                continue;
+            }
+            // Apply.
+            self.scheduled.insert(u.index());
+            self.order.push(u);
+            for &v in self.c.dag().successors(u) {
+                self.indeg[v.index()] -= 1;
+            }
+            let saved = if let Op::Write(l) = self.c.op(u) {
+                let s = self.last[l.index()];
+                self.last[l.index()] = Some(u);
+                Some((l, s))
+            } else {
+                None
+            };
+            if self.run() {
+                return true;
+            }
+            // Undo.
+            if let Some((l, s)) = saved {
+                self.last[l.index()] = s;
+            }
+            for &v in self.c.dag().successors(u) {
+                self.indeg[v.index()] += 1;
+            }
+            self.order.pop();
+            self.scheduled.remove(u.index());
+        }
+        self.failed.insert(key);
+        false
+    }
+}
+
+impl Sc {
+    /// Finds a topological sort `T` with `Φ = W_T` everywhere, or `None`.
+    pub fn witness(c: &Computation, phi: &ObserverFunction) -> Option<Vec<NodeId>> {
+        if !phi.is_valid_for(c) {
+            return None;
+        }
+        let n = c.node_count();
+        let mut search = Search {
+            c,
+            phi,
+            scheduled: BitSet::new(n),
+            last: vec![None; c.num_locations()],
+            indeg: (0..n).map(|u| c.dag().in_degree(NodeId::new(u))).collect(),
+            order: Vec::with_capacity(n),
+            failed: HashSet::new(),
+        };
+        search.run().then_some(search.order)
+    }
+}
+
+impl MemoryModel for Sc {
+    fn name(&self) -> &str {
+        "SC"
+    }
+
+    fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
+        Sc::witness(c, phi).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::last_writer::last_writer_function;
+    use crate::model::lc::Lc;
+    use crate::op::Location;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    #[test]
+    fn last_writer_functions_are_in_sc() {
+        let c = Computation::from_edges(
+            4,
+            &[(0, 1), (0, 2)],
+            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Write(l(0)), Op::Read(l(0))],
+        );
+        for t in ccmm_dag::topo::all_topo_sorts(c.dag()) {
+            let phi = last_writer_function(&c, &t);
+            let w = Sc::witness(&c, &phi).expect("W_T must be in SC");
+            assert_eq!(last_writer_function(&c, &w), phi);
+        }
+    }
+
+    #[test]
+    fn sc_rejects_per_location_disagreement() {
+        // Two locations, two threads (chains), IRIW-flavoured:
+        // writers: A=W(0), B=W(1); readers observe in opposite orders.
+        // r1 reads 0 then 1: sees A, ⊥ ⇒ A before r1, B after r1's read.
+        // r2 reads 1 then 0: sees B, ⊥ ⇒ B before r2, A after.
+        // Consistent with LC (per-location sorts) but not SC.
+        let c = Computation::from_edges(
+            6,
+            &[(2, 3), (4, 5)],
+            vec![
+                Op::Write(l(0)), // 0 = A
+                Op::Write(l(1)), // 1 = B
+                Op::Read(l(0)),  // 2
+                Op::Read(l(1)),  // 3
+                Op::Read(l(1)),  // 4
+                Op::Read(l(0)),  // 5
+            ],
+        );
+        let phi = ObserverFunction::base(&c)
+            .with(l(0), n(2), Some(n(0)))
+            .with(l(0), n(3), Some(n(0))) // forced: follows a node observing A
+            .with(l(1), n(4), Some(n(1)))
+            .with(l(1), n(5), Some(n(1))); // forced: follows a node observing B
+        assert!(phi.is_valid_for(&c));
+        assert!(Lc.contains(&c, &phi), "independent per-location sorts exist");
+        assert!(!Sc.contains(&c, &phi), "no single sort serializes both");
+    }
+
+    #[test]
+    fn witness_is_topological_and_reproduces_phi() {
+        let c = Computation::from_edges(
+            5,
+            &[(0, 2), (1, 2), (2, 3), (2, 4)],
+            vec![
+                Op::Write(l(0)),
+                Op::Write(l(1)),
+                Op::Read(l(0)),
+                Op::Read(l(1)),
+                Op::Write(l(0)),
+            ],
+        );
+        let phi = ObserverFunction::base(&c)
+            .with(l(0), n(1), Some(n(0))) // serialize the writers: A then B
+            .with(l(0), n(2), Some(n(0)))
+            .with(l(1), n(2), Some(n(1)))
+            .with(l(1), n(3), Some(n(1)))
+            .with(l(0), n(3), Some(n(0)))
+            .with(l(1), n(4), Some(n(1)));
+        let w = Sc::witness(&c, &phi).expect("phi should be SC");
+        assert!(ccmm_dag::topo::is_topological_sort(c.dag(), &w));
+        assert_eq!(last_writer_function(&c, &w), phi);
+    }
+
+    #[test]
+    fn sc_respects_program_order() {
+        // R(0) -> W(0): read must see ⊥ under any model; with Φ(read)=⊥
+        // SC holds.
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Read(l(0)), Op::Write(l(0))]);
+        let phi = ObserverFunction::base(&c);
+        assert!(Sc.contains(&c, &phi));
+    }
+
+    #[test]
+    fn invalid_observer_rejected() {
+        let c = Computation::from_edges(1, &[], vec![Op::Write(l(0))]);
+        assert!(!Sc.contains(&c, &ObserverFunction::bottom(1, 1)));
+    }
+
+    #[test]
+    fn empty_computation_in_sc() {
+        assert!(Sc.contains(&Computation::empty(), &ObserverFunction::empty()));
+    }
+
+    #[test]
+    fn sc_subset_of_lc_on_enumeration() {
+        let c = Computation::from_edges(
+            4,
+            &[(0, 1), (2, 3)],
+            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Write(l(0)), Op::Read(l(0))],
+        );
+        let mut sc_count = 0;
+        let mut lc_count = 0;
+        let _ = crate::enumerate::for_each_observer(&c, |phi| {
+            let in_sc = Sc.contains(&c, phi);
+            let in_lc = Lc.contains(&c, phi);
+            if in_sc {
+                sc_count += 1;
+                assert!(in_lc, "SC ⊆ LC violated by {phi:?}");
+            }
+            if in_lc {
+                lc_count += 1;
+            }
+            std::ops::ControlFlow::Continue(())
+        });
+        assert!(sc_count > 0);
+        assert!(lc_count >= sc_count);
+    }
+
+    #[test]
+    fn deep_memoization_terminates() {
+        // A wide antichain of writes with an unreachable Φ: the memo table
+        // keeps the search polynomial enough to finish fast.
+        let k = 8;
+        let mut ops = vec![Op::Write(l(0)); k];
+        ops.push(Op::Read(l(0)));
+        let edges: Vec<(usize, usize)> = (0..k).map(|i| (i, k)).collect();
+        let c = Computation::from_edges(k + 1, &edges, ops);
+        // The read observes ⊥ — impossible, every sort has writes first.
+        let phi = ObserverFunction::base(&c);
+        assert!(!Sc.contains(&c, &phi));
+    }
+}

@@ -1,0 +1,404 @@
+//! Observer functions (Definition 2).
+//!
+//! An observer function `Φ : L × (V ∪ {⊥}) → V ∪ {⊥}` assigns to every
+//! node, at every location, the write it *observes*. The three validity
+//! conditions of Definition 2:
+//!
+//! 1. an observed node is a write to that location;
+//! 2. a node never strictly precedes the node it observes
+//!    (hence `Φ(l, ⊥) = ⊥`, since ⊥ precedes everything);
+//! 3. a write observes itself.
+//!
+//! `⊥` is represented by `None`; the `⊥` row of the table is implicit
+//! (always `None`). The table stores `Φ(l, u)` for `l` in
+//! `0..num_locations` and `u` in `0..node_count`.
+
+use crate::computation::Computation;
+use crate::error::CoreError;
+use crate::op::Location;
+use ccmm_dag::NodeId;
+
+/// An observer function for a computation with `node_count` nodes over
+/// `num_locations` locations.
+#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ObserverFunction {
+    /// `table[l][u] = Φ(l, u)`, `None` meaning ⊥.
+    table: Vec<Vec<Option<NodeId>>>,
+    node_count: usize,
+}
+
+impl ObserverFunction {
+    /// The everywhere-⊥ function (valid iff the computation has no writes).
+    pub fn bottom(num_locations: usize, node_count: usize) -> Self {
+        ObserverFunction { table: vec![vec![None; node_count]; num_locations], node_count }
+    }
+
+    /// The unique observer function `Φ_ε` of the empty computation.
+    pub fn empty() -> Self {
+        ObserverFunction { table: Vec::new(), node_count: 0 }
+    }
+
+    /// Builds the *canonical base* for a computation: writes observe
+    /// themselves (forced by Condition 2.3), everything else ⊥.
+    pub fn base(c: &Computation) -> Self {
+        let mut phi = Self::bottom(c.num_locations(), c.node_count());
+        for l in c.locations() {
+            for &w in c.writes_to(l) {
+                phi.set(l, w, Some(w));
+            }
+        }
+        phi
+    }
+
+    /// Builds Φ from a closure evaluated on every `(l, u)` pair.
+    pub fn from_fn<F>(c: &Computation, mut f: F) -> Self
+    where
+        F: FnMut(Location, NodeId) -> Option<NodeId>,
+    {
+        let mut phi = Self::bottom(c.num_locations(), c.node_count());
+        for l in c.locations() {
+            for u in c.nodes() {
+                phi.set(l, u, f(l, u));
+            }
+        }
+        phi
+    }
+
+    /// Number of locations in the table.
+    #[inline]
+    pub fn num_locations(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of nodes in the table.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// `Φ(l, u)`. Out-of-range locations read as ⊥ (a computation with no
+    /// ops on `l` forces ⊥ there anyway).
+    #[inline]
+    pub fn get(&self, l: Location, u: NodeId) -> Option<NodeId> {
+        self.table.get(l.index()).and_then(|row| row[u.index()])
+    }
+
+    /// Sets `Φ(l, u) = v`.
+    #[inline]
+    pub fn set(&mut self, l: Location, u: NodeId, v: Option<NodeId>) {
+        self.table[l.index()][u.index()] = v;
+    }
+
+    /// Builder-style `set`, for constructing witnesses in tests/examples.
+    pub fn with(mut self, l: Location, u: NodeId, v: Option<NodeId>) -> Self {
+        self.set(l, u, v);
+        self
+    }
+
+    /// Checks Definition 2 against `c`, reporting the first violation.
+    pub fn validate(&self, c: &Computation) -> Result<(), CoreError> {
+        if self.node_count != c.node_count() || self.table.len() != c.num_locations() {
+            return Err(CoreError::ObserverShapeMismatch {
+                expected: (c.num_locations(), c.node_count()),
+                found: (self.table.len(), self.node_count),
+            });
+        }
+        for l in c.locations() {
+            for u in c.nodes() {
+                let observed = self.get(l, u);
+                // Condition 2.3: writes observe themselves.
+                if c.op(u).is_write_to(l) {
+                    if observed != Some(u) {
+                        return Err(CoreError::WriteNotSelfObserving { location: l, node: u });
+                    }
+                    continue;
+                }
+                if let Some(v) = observed {
+                    // Condition 2.1: observed node is a write to l.
+                    if !c.op(v).is_write_to(l) {
+                        return Err(CoreError::ObservedNotAWrite {
+                            location: l,
+                            node: u,
+                            observed: v,
+                        });
+                    }
+                    // Condition 2.2: ¬(u ≺ v).
+                    if c.precedes(u, v) {
+                        return Err(CoreError::ObserverPrecedes {
+                            location: l,
+                            node: u,
+                            observed: v,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this is a valid observer function for `c`.
+    pub fn is_valid_for(&self, c: &Computation) -> bool {
+        self.validate(c).is_ok()
+    }
+
+    /// Whether `self` (on an extension) restricts to `base` on the first
+    /// `base.node_count()` nodes, i.e. `Φ'|_C = Φ` where `C` consists of
+    /// the lowest-numbered nodes.
+    ///
+    /// Locations of `self` beyond `base`'s range must be ⊥ on the base
+    /// nodes: the base function is not defined there, and a non-⊥ value
+    /// would point at a write outside the base computation.
+    pub fn restricts_to(&self, base: &ObserverFunction) -> bool {
+        debug_assert!(base.node_count <= self.node_count);
+        for l in 0..self.num_locations() {
+            let loc = Location::new(l);
+            for u in 0..base.node_count {
+                let node = NodeId::new(u);
+                let here = self.get(loc, node);
+                let there = if l < base.num_locations() { base.get(loc, node) } else { None };
+                if here != there {
+                    return false;
+                }
+            }
+        }
+        // Locations present in base but not in self read as ⊥ in self, so
+        // they must be ⊥ in base too.
+        for l in self.num_locations()..base.num_locations() {
+            let loc = Location::new(l);
+            for u in 0..base.node_count {
+                if base.get(loc, NodeId::new(u)).is_some() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The restriction of `self` to the first `node_count` nodes and
+    /// `num_locations` locations (for initial-segment prefixes).
+    ///
+    /// Returns `None` if some retained entry points at a dropped node —
+    /// in that case `Φ'|_C` is not an observer function for the prefix.
+    pub fn restrict(&self, num_locations: usize, node_count: usize) -> Option<ObserverFunction> {
+        let mut out = ObserverFunction::bottom(num_locations, node_count);
+        for l in 0..num_locations {
+            let loc = Location::new(l);
+            for u in 0..node_count {
+                let v = if l < self.num_locations() { self.get(loc, NodeId::new(u)) } else { None };
+                if let Some(v) = v {
+                    if v.index() >= node_count {
+                        return None;
+                    }
+                }
+                out.set(loc, NodeId::new(u), v);
+            }
+        }
+        Some(out)
+    }
+
+    /// Pretty multi-line rendering, one row per location.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (l, row) in self.table.iter().enumerate() {
+            s.push_str(&format!("l{l}: "));
+            for (u, v) in row.iter().enumerate() {
+                if u > 0 {
+                    s.push(' ');
+                }
+                match v {
+                    Some(w) => s.push_str(&format!("n{u}→n{}", w.index())),
+                    None => s.push_str(&format!("n{u}→⊥")),
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for ObserverFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Φ{{")?;
+        for (l, row) in self.table.iter().enumerate() {
+            if l > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "l{l}:[")?;
+            for (u, v) in row.iter().enumerate() {
+                if u > 0 {
+                    write!(f, ",")?;
+                }
+                match v {
+                    Some(w) => write!(f, "{}", w.index())?,
+                    None => write!(f, "⊥")?,
+                }
+            }
+            write!(f, "]")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::op::Op;
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    /// W(0) -> R(0), plus an incomparable W(0).
+    fn comp() -> Computation {
+        Computation::from_edges(
+            3,
+            &[(0, 1)],
+            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Write(l(0))],
+        )
+    }
+
+    #[test]
+    fn base_is_valid() {
+        let c = comp();
+        let phi = ObserverFunction::base(&c);
+        assert!(phi.is_valid_for(&c));
+        assert_eq!(phi.get(l(0), n(0)), Some(n(0)));
+        assert_eq!(phi.get(l(0), n(2)), Some(n(2)));
+        assert_eq!(phi.get(l(0), n(1)), None);
+    }
+
+    #[test]
+    fn read_observing_preceding_write_is_valid() {
+        let c = comp();
+        let phi = ObserverFunction::base(&c).with(l(0), n(1), Some(n(0)));
+        assert!(phi.is_valid_for(&c));
+    }
+
+    #[test]
+    fn read_observing_incomparable_write_is_valid() {
+        let c = comp();
+        let phi = ObserverFunction::base(&c).with(l(0), n(1), Some(n(2)));
+        assert!(phi.is_valid_for(&c), "dag consistency allows observing incomparable writes");
+    }
+
+    #[test]
+    fn condition_2_1_rejects_non_write_target() {
+        let c = comp();
+        let phi = ObserverFunction::base(&c).with(l(0), n(1), Some(n(1)));
+        assert!(matches!(
+            phi.validate(&c),
+            Err(CoreError::ObservedNotAWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn condition_2_2_rejects_observing_the_future() {
+        // R(0) -> W(0): the read precedes the write.
+        let c = Computation::from_edges(
+            2,
+            &[(0, 1)],
+            vec![Op::Read(l(0)), Op::Write(l(0))],
+        );
+        let phi = ObserverFunction::base(&c).with(l(0), n(0), Some(n(1)));
+        assert!(matches!(
+            phi.validate(&c),
+            Err(CoreError::ObserverPrecedes { .. })
+        ));
+    }
+
+    #[test]
+    fn condition_2_3_requires_self_observation() {
+        let c = comp();
+        let mut phi = ObserverFunction::base(&c);
+        phi.set(l(0), n(0), None);
+        assert!(matches!(
+            phi.validate(&c),
+            Err(CoreError::WriteNotSelfObserving { .. })
+        ));
+        let mut phi2 = ObserverFunction::base(&c);
+        phi2.set(l(0), n(0), Some(n(2)));
+        assert!(matches!(
+            phi2.validate(&c),
+            Err(CoreError::WriteNotSelfObserving { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let c = comp();
+        let phi = ObserverFunction::bottom(1, 2);
+        assert!(matches!(
+            phi.validate(&c),
+            Err(CoreError::ObserverShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_observer_for_empty_computation() {
+        let c = Computation::empty();
+        let phi = ObserverFunction::empty();
+        assert!(phi.is_valid_for(&c));
+    }
+
+    #[test]
+    fn restriction_roundtrip() {
+        let c = comp();
+        let phi = ObserverFunction::base(&c).with(l(0), n(1), Some(n(0)));
+        // Extend: new node 3 reading l0, observing node 2.
+        let c2 = c.extend(&[n(1)], Op::Read(l(0)));
+        let mut phi2 = ObserverFunction::bottom(1, 4);
+        for u in 0..3 {
+            phi2.set(l(0), n(u), phi.get(l(0), n(u)));
+        }
+        phi2.set(l(0), n(3), Some(n(2)));
+        assert!(phi2.is_valid_for(&c2));
+        assert!(phi2.restricts_to(&phi));
+        let back = phi2.restrict(1, 3).unwrap();
+        assert_eq!(back, phi);
+    }
+
+    #[test]
+    fn restricts_to_fails_on_difference() {
+        let c = comp();
+        let phi = ObserverFunction::base(&c);
+        let changed = phi.clone().with(l(0), n(1), Some(n(0)));
+        assert!(!changed.restricts_to(&phi) || phi == changed);
+        // Same shape, different entry on a base node.
+        assert!(!changed.restricts_to(&ObserverFunction::base(&c).with(l(0), n(1), Some(n(2)))));
+    }
+
+    #[test]
+    fn restrict_fails_when_pointing_outside() {
+        let c = comp();
+        // Node 1 observes node 2, which a 2-node prefix drops.
+        let phi = ObserverFunction::base(&c).with(l(0), n(1), Some(n(2)));
+        assert!(phi.restrict(1, 2).is_none());
+    }
+
+    #[test]
+    fn extra_location_rows_must_be_bottom_for_restriction() {
+        // Base over 0 locations (all nops), extension introduces l0.
+        let c0 = Computation::from_edges(1, &[], vec![Op::Nop]);
+        let phi0 = ObserverFunction::base(&c0);
+        let c1 = c0.extend(&[], Op::Write(l(0)));
+        // The new write is incomparable with node 0, so node 0 *may*
+        // observe it — but then the restriction no longer matches phi0.
+        let good = ObserverFunction::base(&c1);
+        let bad = ObserverFunction::base(&c1).with(l(0), n(0), Some(n(1)));
+        assert!(good.is_valid_for(&c1));
+        assert!(bad.is_valid_for(&c1));
+        assert!(good.restricts_to(&phi0));
+        assert!(!bad.restricts_to(&phi0));
+    }
+
+    #[test]
+    fn render_and_debug_are_readable() {
+        let c = comp();
+        let phi = ObserverFunction::base(&c);
+        assert!(phi.render().contains("n0→n0"));
+        assert!(format!("{phi:?}").contains("l0:"));
+    }
+}

@@ -1,0 +1,366 @@
+//! The online consistency game (Section 3's motivation, played out).
+//!
+//! "Suppose that, instead of being given completely at the beginning of
+//! an execution, a computation is revealed one node at a time by an
+//! adversary. … Constructibility says that this situation cannot happen:
+//! if Φ is a valid observer function in a constructible model, then there
+//! is always a way to extend Φ."
+//!
+//! An [`OnlineSession`] is that game: the adversary calls
+//! [`OnlineSession::reveal`] with each new node's predecessors and op;
+//! the session greedily commits an observation row keeping the cumulative
+//! pair inside its model. For a **constructible** model any
+//! membership-preserving choice works — the session can never jam. For a
+//! nonconstructible model (NN, NW, WN) greedy play walks into traps:
+//! revealing Figure 4 jams a greedy NN session, and no finite lookahead
+//! fully saves it (a lookahead-∞ NN player *is* an LC player, by
+//! Theorem 23).
+
+use crate::computation::Computation;
+use crate::model::MemoryModel;
+use crate::observer::ObserverFunction;
+use crate::op::Op;
+use ccmm_dag::NodeId;
+
+/// The online algorithm is stuck: no observation row for the newly
+/// revealed node keeps the pair in the model.
+#[derive(Clone, Debug)]
+pub struct Stuck {
+    /// The computation including the unplaceable node.
+    pub computation: Computation,
+    /// The committed observer function on the prefix.
+    pub prefix_phi: ObserverFunction,
+    /// The op of the node that could not be placed.
+    pub op: Op,
+}
+
+impl std::fmt::Display for Stuck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "online algorithm stuck placing {} on {:?} with committed {:?}",
+            self.op, self.computation, self.prefix_phi
+        )
+    }
+}
+
+impl std::error::Error for Stuck {}
+
+/// A running online game for model `M`.
+pub struct OnlineSession<M> {
+    model: M,
+    /// Lookahead depth: a candidate row must survive this many steps of
+    /// the exact extension test before being committed. 0 = pure greedy.
+    pub lookahead: usize,
+    /// Alphabet used for lookahead probing.
+    alphabet: Vec<Op>,
+    c: Computation,
+    phi: ObserverFunction,
+}
+
+impl<M: MemoryModel> OnlineSession<M> {
+    /// Starts a session on the empty computation. `num_locations` sets
+    /// the alphabet used by lookahead probing.
+    pub fn new(model: M, num_locations: usize) -> Self {
+        OnlineSession {
+            model,
+            lookahead: 0,
+            alphabet: Op::all(num_locations),
+            c: Computation::empty(),
+            phi: ObserverFunction::empty(),
+        }
+    }
+
+    /// Sets the lookahead depth (builder style).
+    pub fn with_lookahead(mut self, k: usize) -> Self {
+        self.lookahead = k;
+        self
+    }
+
+    /// The computation revealed so far.
+    pub fn computation(&self) -> &Computation {
+        &self.c
+    }
+
+    /// The observation rows committed so far.
+    pub fn observer(&self) -> &ObserverFunction {
+        &self.phi
+    }
+
+    /// The adversary reveals one node. The session extends the
+    /// computation, searches for an observation row for the new node that
+    /// keeps (C, Φ) in the model (and, with lookahead, survivable), and
+    /// commits the first one found.
+    ///
+    /// Returns the committed row (one entry per location of the extended
+    /// computation), or [`Stuck`].
+    ///
+    /// ```
+    /// use ccmm_core::online::OnlineSession;
+    /// use ccmm_core::{Lc, Location, Op};
+    /// use ccmm_dag::NodeId;
+    ///
+    /// let mut game = OnlineSession::new(Lc, 1);
+    /// game.reveal(&[], Op::Write(Location::new(0))).unwrap();
+    /// let row = game.reveal(&[NodeId::new(0)], Op::Read(Location::new(0))).unwrap();
+    /// // LC never jams (Theorem 19), and the committed row is in range.
+    /// assert!(row[0].is_none() || row[0] == Some(NodeId::new(0)));
+    /// ```
+    // Witness-rich error types are the point of these APIs.
+    #[allow(clippy::result_large_err)]
+    pub fn reveal(&mut self, preds: &[NodeId], op: Op) -> Result<Vec<Option<NodeId>>, Stuck> {
+        self.reveal_choose(preds, op, |_| 0)
+    }
+
+    /// Like [`reveal`](Self::reveal), but the caller picks among *all*
+    /// admissible observer functions for the extended computation —
+    /// `chooser` receives the candidates and returns an index. This is
+    /// how the tests (and experiment E4's online demonstration) drive a
+    /// membership-preserving but short-sighted NN player into the
+    /// Figure-4 corner: every individual choice keeps NN, yet the chosen
+    /// state has no future.
+    // Witness-rich error types are the point of these APIs.
+    #[allow(clippy::result_large_err)]
+    pub fn reveal_choose<F>(
+        &mut self,
+        preds: &[NodeId],
+        op: Op,
+        chooser: F,
+    ) -> Result<Vec<Option<NodeId>>, Stuck>
+    where
+        F: FnOnce(&[ObserverFunction]) -> usize,
+    {
+        let next = self.c.extend(preds, op);
+        let new = next.last_node().expect("extension nonempty");
+        let mut admissible: Vec<ObserverFunction> = Vec::new();
+        let _ = crate::props::any_extension(&next, &self.phi, |phi2| {
+            let ok = self.model.contains(&next, phi2)
+                && (self.lookahead == 0
+                    || crate::constructible::survives_lookahead(
+                        &self.model,
+                        &next,
+                        phi2,
+                        self.lookahead,
+                        &self.alphabet,
+                    ));
+            if ok {
+                admissible.push(phi2.clone());
+            }
+            false // keep enumerating: collect every admissible row
+        });
+        if admissible.is_empty() {
+            return Err(Stuck { computation: next, prefix_phi: self.phi.clone(), op });
+        }
+        let idx = chooser(&admissible).min(admissible.len() - 1);
+        let phi2 = admissible.swap_remove(idx);
+        let row = next.locations().map(|l| phi2.get(l, new)).collect();
+        self.c = next;
+        self.phi = phi2;
+        Ok(row)
+    }
+
+    /// Replays a whole computation through the session in node order
+    /// (nodes must be topologically numbered, as all our constructors
+    /// guarantee). Returns the final observer function or the first jam.
+    // Witness-rich error types are the point of these APIs.
+    #[allow(clippy::result_large_err)]
+    pub fn replay(mut self, c: &Computation) -> Result<ObserverFunction, Stuck> {
+        for u in c.nodes() {
+            let preds: Vec<NodeId> = c.dag().predecessors(u).to_vec();
+            self.reveal(&preds, c.op(u))?;
+        }
+        Ok(self.phi)
+    }
+}
+
+/// Convenience: can greedy play for `model` survive revealing `c` node by
+/// node (with the given lookahead)?
+pub fn greedy_survives<M: MemoryModel>(model: M, c: &Computation, lookahead: usize) -> bool {
+    OnlineSession::new(model, c.num_locations())
+        .with_lookahead(lookahead)
+        .replay(c)
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Lc, Nn, Sc, Ww};
+    use crate::op::Location;
+
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    #[test]
+    fn session_tracks_revealed_computation() {
+        let mut s = OnlineSession::new(Lc, 1);
+        let row = s.reveal(&[], Op::Write(l(0))).unwrap();
+        assert_eq!(row, vec![Some(NodeId::new(0))]);
+        let row = s.reveal(&[NodeId::new(0)], Op::Read(l(0))).unwrap();
+        // Greedy LC picks the first candidate the enumerator offers.
+        assert!(row[0].is_none() || row[0] == Some(NodeId::new(0)));
+        assert_eq!(s.computation().node_count(), 2);
+        assert!(Lc.contains(s.computation(), s.observer()));
+    }
+
+    #[test]
+    fn greedy_nn_jams_on_figure_4() {
+        // Reveal A, B (parallel writes), then C observing... the greedy
+        // session picks rows itself; to force the crossing we reveal C
+        // and D and check whether ANY play survives F. Greedy may or may
+        // not pick the trap — so instead drive the exact Figure-4 prefix
+        // through `replay` and at least one reveal order must jam a
+        // 0-lookahead NN session *if greedy happens to cross*. The robust
+        // statement: the Figure-4 pair itself cannot place F.
+        let w = crate::witness::figure4_prefix();
+        let full = crate::witness::figure4_full(Op::Read(l(0)));
+        let stuck = !crate::props::any_extension(&full, &w.phi, |p| {
+            Nn::default().contains(&full, p)
+        });
+        assert!(stuck);
+        // And a greedy session with lookahead 1 refuses the trap early:
+        // after revealing A, B, C(obs A), it will never commit D → B.
+        let mut s = OnlineSession::new(Nn::default(), 1).with_lookahead(1);
+        s.reveal(&[], Op::Write(l(0))).unwrap(); // A = n0
+        s.reveal(&[], Op::Write(l(0))).unwrap(); // B = n1
+        let row_c = s
+            .reveal(&[NodeId::new(0), NodeId::new(1)], Op::Read(l(0)))
+            .unwrap();
+        let row_d = s
+            .reveal(&[NodeId::new(0), NodeId::new(1)], Op::Read(l(0)))
+            .unwrap();
+        // The two reads must NOT observe different writes (the crossing
+        // is exactly what lookahead-1 rejects).
+        assert!(
+            !(row_c[0] != row_d[0]
+                && row_c[0].is_some()
+                && row_d[0].is_some()),
+            "lookahead-1 NN committed the Figure-4 trap: {row_c:?} vs {row_d:?}"
+        );
+        // It can still finish the computation.
+        s.reveal(&[NodeId::new(2), NodeId::new(3)], Op::Read(l(0))).unwrap();
+    }
+
+    #[test]
+    fn greedy_constructible_models_never_jam_on_random_reveals() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let dag = ccmm_dag::generate::gnp_dag(8, 0.3, &mut rng);
+            let ops: Vec<Op> = (0..8)
+                .map(|i| match i % 3 {
+                    0 => Op::Write(l(i % 2)),
+                    1 => Op::Read(l((i + 1) % 2)),
+                    _ => Op::Nop,
+                })
+                .collect();
+            let c = Computation::new(dag, ops).unwrap();
+            assert!(greedy_survives(Lc, &c, 0), "greedy LC jammed on {c:?}");
+            assert!(greedy_survives(Sc, &c, 0), "greedy SC jammed on {c:?}");
+            assert!(greedy_survives(Ww::default(), &c, 0), "greedy WW jammed on {c:?}");
+        }
+    }
+
+    #[test]
+    fn short_sighted_nn_player_jams_on_figure_4_reveals() {
+        // Every individual choice below keeps the pair in NN; the
+        // *crossing* choice for D (pick the candidate observing the other
+        // writer) leads to a state from which the final read cannot be
+        // placed — the online face of nonconstructibility.
+        let mut s = OnlineSession::new(Nn::default(), 1);
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        s.reveal(&[], Op::Write(l(0))).unwrap(); // A
+        s.reveal(&[], Op::Write(l(0))).unwrap(); // B
+        // C observes A (chooser: find the candidate whose new row is A).
+        s.reveal_choose(&[a, b], Op::Read(l(0)), |cands| {
+            cands
+                .iter()
+                .position(|p| p.get(l(0), NodeId::new(2)) == Some(a))
+                .expect("observing A keeps NN")
+        })
+        .unwrap();
+        // D observes B — NN-consistent (no path relates C and D)...
+        s.reveal_choose(&[a, b], Op::Read(l(0)), |cands| {
+            cands
+                .iter()
+                .position(|p| p.get(l(0), NodeId::new(3)) == Some(b))
+                .expect("observing B keeps NN")
+        })
+        .unwrap();
+        assert!(Nn::default().contains(s.computation(), s.observer()));
+        // ...but not LC: the session has left the constructible core.
+        assert!(!Lc.contains(s.computation(), s.observer()));
+        // The adversary now reveals F after C and D: jam.
+        let err = s
+            .reveal(&[NodeId::new(2), NodeId::new(3)], Op::Read(l(0)))
+            .expect_err("Figure 4 says this placement is impossible");
+        assert_eq!(err.op, Op::Read(l(0)));
+        assert_eq!(err.computation.node_count(), 5);
+    }
+
+    #[test]
+    fn greedy_nn_jams_only_from_outside_lc() {
+        // Theorem 23's online reading: LC states always extend (LC is
+        // constructible and ⊆ NN), so whenever a membership-preserving NN
+        // session jams, the state it jammed from must already have left
+        // LC. Verify over random reveals, and record that greedy-first NN
+        // does escape LC in practice (the crossing is sometimes the first
+        // admissible row).
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let mut left_lc = 0;
+        let mut jams = 0;
+        for _ in 0..40 {
+            let dag = ccmm_dag::generate::gnp_dag(7, 0.35, &mut rng);
+            let ops: Vec<Op> = (0..7)
+                .map(|i| if i < 3 { Op::Write(l(0)) } else { Op::Read(l(0)) })
+                .collect();
+            let c = Computation::new(dag, ops).unwrap();
+            let mut s = OnlineSession::new(Nn::default(), 1);
+            let mut was_in_lc = true;
+            for u in c.nodes() {
+                let preds: Vec<NodeId> = c.dag().predecessors(u).to_vec();
+                match s.reveal(&preds, c.op(u)) {
+                    Ok(_) => {
+                        let in_lc = Lc.contains(s.computation(), s.observer());
+                        if !in_lc {
+                            left_lc += 1;
+                        }
+                        was_in_lc = in_lc;
+                    }
+                    Err(_) => {
+                        jams += 1;
+                        assert!(
+                            !was_in_lc,
+                            "an NN session jammed from *inside* LC on {c:?} — \
+                             contradicts LC's constructibility"
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(left_lc > 0, "expected greedy-first NN to escape LC somewhere");
+        // Jams may or may not occur depending on what the adversary
+        // reveals after the escape; both outcomes are consistent.
+        let _ = jams;
+    }
+
+    #[test]
+    fn stuck_error_is_informative() {
+        let w = crate::witness::figure4_prefix();
+        // Build a session that *is* in the trap state by replaying the
+        // exact prefix pair: commit rows matching the witness by
+        // controlling candidate order is fragile, so instead assert the
+        // Stuck display formatting on a synthetic value.
+        let stuck = Stuck {
+            computation: w.computation.clone(),
+            prefix_phi: w.phi.clone(),
+            op: Op::Read(l(0)),
+        };
+        let msg = stuck.to_string();
+        assert!(msg.contains("stuck placing R(l0)"));
+    }
+}

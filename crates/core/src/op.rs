@@ -1,0 +1,140 @@
+//! Memory locations and abstract instructions.
+//!
+//! The paper fixes the instruction set
+//! `O = {R(l) : l ∈ L} ∪ {W(l) : l ∈ L} ∪ {N}` — reads, writes, and a
+//! no-op `N` standing for any instruction that does not touch memory
+//! (Section 2). Data values are abstracted away; they reappear only in
+//! [`crate::exec`] for concrete executions.
+
+use serde::{Deserialize, Serialize};
+
+/// A memory location, a dense index in `0..num_locations`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Location(pub u32);
+
+impl Location {
+    /// The location's dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `Location` from a dense index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        Location(index as u32)
+    }
+}
+
+impl std::fmt::Debug for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// An abstract instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// `R(l)` — read location `l`.
+    Read(Location),
+    /// `W(l)` — write location `l`.
+    Write(Location),
+    /// `N` — an instruction that does not access memory.
+    Nop,
+}
+
+impl Op {
+    /// Whether this is a write to `l`.
+    #[inline]
+    pub fn is_write_to(self, l: Location) -> bool {
+        self == Op::Write(l)
+    }
+
+    /// Whether this is a read of `l`.
+    #[inline]
+    pub fn is_read_of(self, l: Location) -> bool {
+        self == Op::Read(l)
+    }
+
+    /// The location accessed, if any.
+    pub fn location(self) -> Option<Location> {
+        match self {
+            Op::Read(l) | Op::Write(l) => Some(l),
+            Op::Nop => None,
+        }
+    }
+
+    /// All instructions over `num_locations` locations, in a fixed order:
+    /// `N, R(0), W(0), R(1), W(1), …`.
+    pub fn all(num_locations: usize) -> Vec<Op> {
+        let mut ops = Vec::with_capacity(1 + 2 * num_locations);
+        ops.push(Op::Nop);
+        for l in 0..num_locations {
+            ops.push(Op::Read(Location::new(l)));
+            ops.push(Op::Write(Location::new(l)));
+        }
+        ops
+    }
+}
+
+impl std::fmt::Debug for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Read(l) => write!(f, "R({l})"),
+            Op::Write(l) => write!(f, "W({l})"),
+            Op::Nop => write!(f, "N"),
+        }
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_predicates() {
+        let l0 = Location::new(0);
+        let l1 = Location::new(1);
+        assert!(Op::Write(l0).is_write_to(l0));
+        assert!(!Op::Write(l0).is_write_to(l1));
+        assert!(!Op::Read(l0).is_write_to(l0));
+        assert!(Op::Read(l1).is_read_of(l1));
+        assert!(!Op::Nop.is_read_of(l0));
+    }
+
+    #[test]
+    fn location_extraction() {
+        assert_eq!(Op::Read(Location::new(3)).location(), Some(Location::new(3)));
+        assert_eq!(Op::Write(Location::new(0)).location(), Some(Location::new(0)));
+        assert_eq!(Op::Nop.location(), None);
+    }
+
+    #[test]
+    fn all_ops_enumeration() {
+        let ops = Op::all(2);
+        assert_eq!(ops.len(), 5);
+        assert_eq!(ops[0], Op::Nop);
+        assert!(ops.contains(&Op::Read(Location::new(1))));
+        assert!(ops.contains(&Op::Write(Location::new(0))));
+        assert_eq!(Op::all(0), vec![Op::Nop]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Op::Read(Location::new(2)).to_string(), "R(l2)");
+        assert_eq!(Op::Write(Location::new(0)).to_string(), "W(l0)");
+        assert_eq!(Op::Nop.to_string(), "N");
+    }
+}

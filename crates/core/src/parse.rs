@@ -1,0 +1,275 @@
+//! A small text format for computations and observer functions.
+//!
+//! One node per line, in topological (index) order:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! n0: W(0)
+//! n1: R(0) <- n0
+//! n2: N    <- n0 n1
+//! ```
+//!
+//! `<-` lists direct predecessors. Observer functions use one line per
+//! location: `l0: n0 _ n0` gives `Φ(l0, ·)` for nodes `n0, n1, n2` in
+//! order, `_` meaning ⊥. [`render_computation`] and [`render_observer`]
+//! invert the parsers, and round-tripping is property-tested.
+
+use crate::computation::Computation;
+use crate::observer::ObserverFunction;
+use crate::op::{Location, Op};
+use ccmm_dag::{Dag, NodeId};
+
+/// A parse failure, with a line number (1-based) and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_node(tok: &str, line: usize) -> Result<NodeId, ParseError> {
+    let rest = tok
+        .strip_prefix('n')
+        .ok_or_else(|| err(line, format!("expected node like n3, got `{tok}`")))?;
+    rest.parse::<usize>()
+        .map(NodeId::new)
+        .map_err(|_| err(line, format!("bad node index in `{tok}`")))
+}
+
+fn parse_op(tok: &str, line: usize) -> Result<Op, ParseError> {
+    if tok == "N" {
+        return Ok(Op::Nop);
+    }
+    let (kind, rest) = tok.split_at(1);
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| err(line, format!("expected R(i), W(i) or N, got `{tok}`")))?;
+    // Accept both `W(0)` and `W(l0)`.
+    let inner = inner.strip_prefix('l').unwrap_or(inner);
+    let loc: usize = inner
+        .parse()
+        .map_err(|_| err(line, format!("bad location in `{tok}`")))?;
+    match kind {
+        "R" => Ok(Op::Read(Location::new(loc))),
+        "W" => Ok(Op::Write(Location::new(loc))),
+        _ => Err(err(line, format!("unknown op `{tok}`"))),
+    }
+}
+
+/// Parses the computation format described in the module docs.
+pub fn parse_computation(text: &str) -> Result<Computation, ParseError> {
+    let mut ops: Vec<Op> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (head, rest) = line
+            .split_once(':')
+            .ok_or_else(|| err(lineno, "expected `nK: OP [<- preds]`"))?;
+        let node = parse_node(head.trim(), lineno)?;
+        if node.index() != ops.len() {
+            return Err(err(
+                lineno,
+                format!("nodes must appear in order; expected n{}, got {}", ops.len(), head.trim()),
+            ));
+        }
+        let (op_part, preds_part) = match rest.split_once("<-") {
+            Some((o, p)) => (o.trim(), Some(p.trim())),
+            None => (rest.trim(), None),
+        };
+        ops.push(parse_op(op_part, lineno)?);
+        if let Some(preds) = preds_part {
+            for tok in preds.split_whitespace() {
+                let p = parse_node(tok, lineno)?;
+                if p.index() >= node.index() {
+                    return Err(err(
+                        lineno,
+                        format!("predecessor {tok} must have a smaller index than {head}"),
+                    ));
+                }
+                edges.push((p.index(), node.index()));
+            }
+        }
+    }
+    let dag = Dag::from_edges(ops.len(), &edges)
+        .map_err(|e| err(0, format!("graph error: {e}")))?;
+    Computation::new(dag, ops).map_err(|e| err(0, format!("computation error: {e}")))
+}
+
+/// Renders a computation in the parseable format (predecessors = direct
+/// dag edges).
+pub fn render_computation(c: &Computation) -> String {
+    let mut out = String::new();
+    for u in c.nodes() {
+        out.push_str(&format!("n{}: {}", u.index(), c.op(u)));
+        let preds = c.dag().predecessors(u);
+        if !preds.is_empty() {
+            out.push_str(" <-");
+            for p in preds {
+                out.push_str(&format!(" n{}", p.index()));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses an observer function: one line per location, `lK: v v v …`
+/// with one value per node (`nJ` or `_`).
+pub fn parse_observer(text: &str, c: &Computation) -> Result<ObserverFunction, ParseError> {
+    let mut phi = ObserverFunction::bottom(c.num_locations(), c.node_count());
+    let mut seen = vec![false; c.num_locations()];
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (head, rest) = line
+            .split_once(':')
+            .ok_or_else(|| err(lineno, "expected `lK: entries…`"))?;
+        let lraw = head.trim().strip_prefix('l').ok_or_else(|| {
+            err(lineno, format!("expected location like l0, got `{}`", head.trim()))
+        })?;
+        let loc: usize =
+            lraw.parse().map_err(|_| err(lineno, format!("bad location `{}`", head.trim())))?;
+        if loc >= c.num_locations() {
+            return Err(err(lineno, format!("location l{loc} out of range")));
+        }
+        if std::mem::replace(&mut seen[loc], true) {
+            return Err(err(lineno, format!("duplicate row for l{loc}")));
+        }
+        let entries: Vec<&str> = rest.split_whitespace().collect();
+        if entries.len() != c.node_count() {
+            return Err(err(
+                lineno,
+                format!("row l{loc} has {} entries for {} nodes", entries.len(), c.node_count()),
+            ));
+        }
+        for (ui, tok) in entries.iter().enumerate() {
+            let v = if *tok == "_" { None } else { Some(parse_node(tok, lineno)?) };
+            phi.set(Location::new(loc), NodeId::new(ui), v);
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(err(0, format!("missing row for l{missing}")));
+    }
+    Ok(phi)
+}
+
+/// Renders an observer function in the parseable format.
+pub fn render_observer(phi: &ObserverFunction) -> String {
+    let mut out = String::new();
+    for l in 0..phi.num_locations() {
+        out.push_str(&format!("l{l}:"));
+        for u in 0..phi.node_count() {
+            match phi.get(Location::new(l), NodeId::new(u)) {
+                Some(w) => out.push_str(&format!(" n{}", w.index())),
+                None => out.push_str(" _"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_computation() {
+        let text = "\
+# message passing writer
+n0: W(0)
+n1: W(1) <- n0
+n2: R(1)
+n3: R(0) <- n2
+";
+        let c = parse_computation(text).unwrap();
+        assert_eq!(c.node_count(), 4);
+        assert_eq!(c.op(NodeId::new(1)), Op::Write(Location::new(1)));
+        assert!(c.precedes(NodeId::new(0), NodeId::new(1)));
+        assert!(!c.precedes(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn parse_accepts_l_prefix_locations() {
+        let c = parse_computation("n0: W(l3)\n").unwrap();
+        assert_eq!(c.op(NodeId::new(0)), Op::Write(Location::new(3)));
+        assert_eq!(c.num_locations(), 4);
+    }
+
+    #[test]
+    fn computation_roundtrip() {
+        let c = crate::witness::figure4_prefix().computation;
+        let text = render_computation(&c);
+        let back = parse_computation(&text).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn observer_roundtrip() {
+        let w = crate::witness::figure2();
+        let text = render_observer(&w.phi);
+        let back = parse_observer(&text, &w.computation).unwrap();
+        assert_eq!(back, w.phi);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let e = parse_computation("n0: W(0)\nn2: R(0)\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected n1"));
+
+        let e = parse_computation("n0: X(0)\n").unwrap_err();
+        assert!(e.message.contains("unknown op") || e.message.contains("expected R"));
+
+        let e = parse_computation("n0: N <- n0\n").unwrap_err();
+        assert!(e.message.contains("smaller index"));
+    }
+
+    #[test]
+    fn observer_errors_are_located() {
+        let c = parse_computation("n0: W(0)\nn1: R(0) <- n0\n").unwrap();
+        let e = parse_observer("l0: n0\n", &c).unwrap_err();
+        assert!(e.message.contains("2 nodes"));
+        let e = parse_observer("l5: n0 n0\n", &c).unwrap_err();
+        assert!(e.message.contains("out of range"));
+        let e = parse_observer("", &c).unwrap_err();
+        assert!(e.message.contains("missing row"));
+        let e = parse_observer("l0: n0 _\nl0: n0 _\n", &c).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn parsed_pairs_flow_into_the_checkers() {
+        let ctext = "\
+n0: W(0)
+n1: R(0) <- n0
+";
+        let otext = "l0: n0 n0\n";
+        let c = parse_computation(ctext).unwrap();
+        let phi = parse_observer(otext, &c).unwrap();
+        assert!(crate::model::Model::Sc.contains(&c, &phi));
+        let stale = parse_observer("l0: n0 _\n", &c).unwrap();
+        assert!(!crate::model::Model::Ww.contains(&c, &stale));
+    }
+}

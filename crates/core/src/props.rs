@@ -1,0 +1,394 @@
+//! Property checkers: completeness, monotonicity, constructibility.
+//!
+//! Each checker quantifies over a bounded [`Universe`] and returns either
+//! success or a concrete counterexample:
+//!
+//! * **Completeness** (Section 2): every computation admits at least one
+//!   observer function in the model.
+//! * **Monotonicity** (Definition 5): membership survives edge removal.
+//!   Checking single-edge removals suffices — every relaxation is a chain
+//!   of them.
+//! * **Constructibility** (Definition 6): every member pair extends to any
+//!   one-node extension. For *monotonic* models, Theorem 12 reduces this
+//!   to the augmented computations only, which is what
+//!   [`check_constructible_aug`] tests; [`check_constructible_ext`]
+//!   checks all one-node extensions (Theorem 10's condition) and is used
+//!   to cross-validate and to find non-augmentation witnesses like
+//!   Figure 4.
+
+use crate::computation::Computation;
+use crate::enumerate::for_each_observer;
+use crate::model::MemoryModel;
+use crate::observer::ObserverFunction;
+use crate::op::{Location, Op};
+use crate::universe::Universe;
+use ccmm_dag::bitset::BitSet;
+use ccmm_dag::NodeId;
+use std::ops::ControlFlow;
+
+/// A completeness counterexample: a computation with no observer function
+/// in the model.
+pub type IncompleteWitness = Computation;
+
+/// Checks completeness over the universe.
+/// (Large `Err` is deliberate: the witness is the product.)
+#[allow(clippy::result_large_err)]
+pub fn check_complete<M: MemoryModel>(model: &M, u: &Universe) -> Result<(), IncompleteWitness> {
+    let mut witness = None;
+    let _ = u.for_each_computation(|c| {
+        let mut any = false;
+        let _ = for_each_observer(c, |phi| {
+            if model.contains(c, phi) {
+                any = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        if !any {
+            witness = Some(c.clone());
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    match witness {
+        Some(c) => Err(c),
+        None => Ok(()),
+    }
+}
+
+/// A monotonicity counterexample: `(C, Φ)` in the model whose one-edge
+/// relaxation `C'` is not.
+#[derive(Clone, Debug)]
+pub struct MonotonicityWitness {
+    /// The member pair's computation.
+    pub c: Computation,
+    /// The member pair's observer function.
+    pub phi: ObserverFunction,
+    /// The relaxation on which membership fails.
+    pub relaxed: Computation,
+}
+
+/// Checks monotonicity (Definition 5) over the universe via single-edge
+/// removals.
+/// (Large `Err` is deliberate: the witness is the product.)
+#[allow(clippy::result_large_err)]
+pub fn check_monotonic<M: MemoryModel>(
+    model: &M,
+    u: &Universe,
+) -> Result<(), MonotonicityWitness> {
+    let mut witness = None;
+    let _ = u.for_each_computation(|c| {
+        for_each_observer(c, |phi| {
+            if !model.contains(c, phi) {
+                return ControlFlow::Continue(());
+            }
+            for (a, b) in c.dag().edges() {
+                let relaxed = c.without_edge(a, b).expect("edge exists");
+                if !model.contains(&relaxed, phi) {
+                    witness = Some(MonotonicityWitness {
+                        c: c.clone(),
+                        phi: phi.clone(),
+                        relaxed,
+                    });
+                    return ControlFlow::Break(());
+                }
+            }
+            ControlFlow::Continue(())
+        })
+    });
+    match witness {
+        Some(w) => Err(w),
+        None => Ok(()),
+    }
+}
+
+/// A constructibility counterexample: a member pair `(C, Φ)`, an extension
+/// `C'` of `C`, and the fact that no `Φ'` with `Φ'|_C = Φ` is in the
+/// model.
+#[derive(Clone, Debug)]
+pub struct ConstructibilityWitness {
+    /// The member pair's computation (the prefix).
+    pub c: Computation,
+    /// The member pair's observer function.
+    pub phi: ObserverFunction,
+    /// The extension with no compatible observer function.
+    pub extension: Computation,
+    /// The op of the added node.
+    pub op: Op,
+}
+
+/// Enumerates the observer functions on `ext` (an extension of an
+/// `n`-node computation by one final node) that restrict to `phi`, and
+/// returns whether any satisfies `pred`.
+///
+/// Only the new node's row is free: old entries are fixed by `phi`, and
+/// rows for locations beyond `phi`'s range are ⊥ on old nodes (forced for
+/// augmentations; for general extensions a non-⊥ value would not restrict
+/// to `phi`).
+pub fn any_extension<F>(ext: &Computation, phi: &ObserverFunction, mut pred: F) -> bool
+where
+    F: FnMut(&ObserverFunction) -> bool,
+{
+    let new = ext.last_node().expect("extension is nonempty");
+    let n_old = ext.node_count() - 1;
+    let mut phi2 = ObserverFunction::bottom(ext.num_locations(), ext.node_count());
+    for l in 0..phi.num_locations().min(ext.num_locations()) {
+        let loc = Location::new(l);
+        for u in 0..n_old {
+            phi2.set(loc, NodeId::new(u), phi.get(loc, NodeId::new(u)));
+        }
+    }
+    // Candidate values for the new node's entry per location.
+    let mut cands: Vec<(Location, Vec<Option<NodeId>>)> = Vec::new();
+    for l in ext.locations() {
+        if ext.op(new).is_write_to(l) {
+            phi2.set(l, new, Some(new));
+            continue;
+        }
+        let mut cs: Vec<Option<NodeId>> = vec![None];
+        for &w in ext.writes_to(l) {
+            if !ext.precedes(new, w) {
+                cs.push(Some(w));
+            }
+        }
+        cands.push((l, cs));
+    }
+    fn recurse<F>(
+        cands: &[(Location, Vec<Option<NodeId>>)],
+        i: usize,
+        new: NodeId,
+        phi2: &mut ObserverFunction,
+        pred: &mut F,
+    ) -> bool
+    where
+        F: FnMut(&ObserverFunction) -> bool,
+    {
+        if i == cands.len() {
+            return pred(phi2);
+        }
+        let (l, cs) = &cands[i];
+        for &v in cs {
+            phi2.set(*l, new, v);
+            if recurse(cands, i + 1, new, phi2, pred) {
+                return true;
+            }
+        }
+        false
+    }
+    recurse(&cands, 0, new, &mut phi2, &mut pred)
+}
+
+/// Checks Theorem 12's condition: every member pair extends to every
+/// augmented computation. For monotonic models this is equivalent to
+/// constructibility.
+///
+/// Only pairs whose computation has fewer than `u.max_nodes` nodes are
+/// checked (the augmentation must stay within reach).
+/// (Large `Err` is deliberate: the witness is the product.)
+#[allow(clippy::result_large_err)]
+pub fn check_constructible_aug<M: MemoryModel>(
+    model: &M,
+    u: &Universe,
+) -> Result<(), ConstructibilityWitness> {
+    let alphabet = u.alphabet();
+    let mut witness = None;
+    let bounded = Universe { max_nodes: u.max_nodes.saturating_sub(1), ..*u };
+    let _ = bounded.for_each_computation(|c| {
+        for_each_observer(c, |phi| {
+            if !model.contains(c, phi) {
+                return ControlFlow::Continue(());
+            }
+            for &o in &alphabet {
+                let aug = c.augment(o);
+                if !any_extension(&aug, phi, |phi2| model.contains(&aug, phi2)) {
+                    witness = Some(ConstructibilityWitness {
+                        c: c.clone(),
+                        phi: phi.clone(),
+                        extension: aug,
+                        op: o,
+                    });
+                    return ControlFlow::Break(());
+                }
+            }
+            ControlFlow::Continue(())
+        })
+    });
+    match witness {
+        Some(w) => Err(w),
+        None => Ok(()),
+    }
+}
+
+/// All one-node extensions of `c` by op `o`, up to precedence: the new
+/// node's ancestor set ranges over the downward-closed subsets of the
+/// nodes. (Models are precedence-invariant, so attaching the new node to
+/// each ancestor directly loses nothing.)
+pub fn one_node_extensions(c: &Computation, o: Op) -> Vec<Computation> {
+    let n = c.node_count();
+    assert!(n <= 20, "extension enumeration is exponential");
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << n) {
+        // Downward-closed check.
+        let mut closed = true;
+        'outer: for v in 0..n {
+            if mask & (1 << v) != 0 {
+                for a in c.reach().ancestors(NodeId::new(v)).iter() {
+                    if mask & (1 << a) == 0 {
+                        closed = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if !closed {
+            continue;
+        }
+        let mut keep = BitSet::new(n.max(1));
+        let mut preds = Vec::new();
+        for v in 0..n {
+            if mask & (1 << v) != 0 {
+                keep.insert(v);
+                preds.push(NodeId::new(v));
+            }
+        }
+        out.push(c.extend(&preds, o));
+    }
+    out
+}
+
+/// Checks Theorem 10's condition directly: every member pair extends to
+/// *every* one-node extension. Sufficient for constructibility of any
+/// model; necessary as well (any prefix grows node by node).
+/// (Large `Err` is deliberate: the witness is the product.)
+#[allow(clippy::result_large_err)]
+pub fn check_constructible_ext<M: MemoryModel>(
+    model: &M,
+    u: &Universe,
+) -> Result<(), ConstructibilityWitness> {
+    let alphabet = u.alphabet();
+    let mut witness = None;
+    let bounded = Universe { max_nodes: u.max_nodes.saturating_sub(1), ..*u };
+    let _ = bounded.for_each_computation(|c| {
+        for_each_observer(c, |phi| {
+            if !model.contains(c, phi) {
+                return ControlFlow::Continue(());
+            }
+            for &o in &alphabet {
+                for ext in one_node_extensions(c, o) {
+                    if !any_extension(&ext, phi, |phi2| model.contains(&ext, phi2)) {
+                        witness = Some(ConstructibilityWitness {
+                            c: c.clone(),
+                            phi: phi.clone(),
+                            extension: ext,
+                            op: o,
+                        });
+                        return ControlFlow::Break(());
+                    }
+                }
+            }
+            ControlFlow::Continue(())
+        })
+    });
+    match witness {
+        Some(w) => Err(w),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AnyObserver, Lc, Model, Nn, Sc, Ww};
+
+    #[test]
+    fn all_paper_models_complete_on_small_universe() {
+        let u = Universe::new(3, 1);
+        for m in Model::ALL {
+            assert!(check_complete(&m, &u).is_ok(), "{m} incomplete");
+        }
+    }
+
+    #[test]
+    fn all_paper_models_monotonic_on_small_universe() {
+        let u = Universe::new(3, 1);
+        for m in Model::ALL {
+            assert!(check_monotonic(&m, &u).is_ok(), "{m} not monotonic");
+        }
+    }
+
+    #[test]
+    fn theorem_19_sc_lc_constructible() {
+        let u = Universe::new(3, 1);
+        assert!(check_constructible_aug(&Sc, &u).is_ok());
+        assert!(check_constructible_aug(&Lc, &u).is_ok());
+    }
+
+    #[test]
+    fn ww_and_any_constructible() {
+        let u = Universe::new(3, 1);
+        assert!(check_constructible_aug(&Ww::new(), &u).is_ok());
+        assert!(check_constructible_aug(&AnyObserver, &u).is_ok());
+    }
+
+    #[test]
+    fn nn_not_constructible_with_witness() {
+        // The smallest failing prefixes have 4 nodes (two writes with
+        // crossing observations, as in Figure 4), so the universe must
+        // reach 5 nodes for the augmentation.
+        let u = Universe::new(5, 1);
+        let w = check_constructible_aug(&Nn::new(), &u)
+            .expect_err("NN must fail constructibility (Section 5, Figure 4)");
+        // The witness pair is in NN but its augmentation has no compatible
+        // extension.
+        assert!(Nn::new().contains(&w.c, &w.phi));
+        assert!(!any_extension(&w.extension, &w.phi, |phi2| {
+            Nn::new().contains(&w.extension, phi2)
+        }));
+    }
+
+    #[test]
+    fn one_node_extensions_counts() {
+        // Chain of 2: downward-closed subsets of {0,1} are {}, {0}, {0,1}.
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Nop, Op::Nop]);
+        assert_eq!(one_node_extensions(&c, Op::Nop).len(), 3);
+        // Antichain of 2: all 4 subsets.
+        let c2 = Computation::from_edges(2, &[], vec![Op::Nop, Op::Nop]);
+        assert_eq!(one_node_extensions(&c2, Op::Nop).len(), 4);
+    }
+
+    #[test]
+    fn any_extension_sees_all_final_rows() {
+        // W ∥ W, extend with a read: candidates ⊥, w0, w1.
+        let c = Computation::from_edges(
+            2,
+            &[],
+            vec![Op::Write(Location::new(0)), Op::Write(Location::new(0))],
+        );
+        let phi = ObserverFunction::base(&c);
+        let ext = c.augment(Op::Read(Location::new(0)));
+        let mut count = 0;
+        any_extension(&ext, &phi, |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn ext_check_agrees_with_aug_for_monotonic_models() {
+        // Theorem 12: for monotonic models the two checks agree. Small
+        // universe to keep the extension enumeration cheap.
+        let u = Universe::new(3, 1);
+        for m in [Model::Sc, Model::Lc, Model::Ww, Model::Nn] {
+            assert_eq!(
+                check_constructible_aug(&m, &u).is_ok(),
+                check_constructible_ext(&m, &u).is_ok(),
+                "aug/ext disagree for {m}"
+            );
+        }
+        // (NN passes both at this tiny bound — its smallest failures need
+        // 4-node prefixes, covered by `nn_not_constructible_with_witness`.)
+    }
+}

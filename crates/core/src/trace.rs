@@ -1,0 +1,465 @@
+//! Post-mortem verification of value traces.
+//!
+//! The paper frames computations as "a means for post mortem analysis, to
+//! verify whether a system meets a specification by checking its behavior
+//! after it has finished executing" (§1), citing \[GK94\]'s verification of
+//! sequential consistency. This module is that analysis: given a
+//! computation, the values its writes stored, and the values its reads
+//! returned — but *not* which write each read observed — decide whether
+//! the trace is consistent with a memory model.
+//!
+//! Two constraint-directed checkers cover the classical questions:
+//!
+//! * [`explain_sc`] — is the trace sequentially consistent? (\[GK94\]'s
+//!   NP-complete problem; exact memoised search over one global
+//!   serialization, checking each constrained read as it is scheduled.)
+//! * [`explain_lc`] — is the trace location consistent (coherent)? (An
+//!   independent serialization search per location, constrained only by
+//!   that location's reads.)
+//!
+//! For the dag-consistency models, whose conditions relate *unobserved*
+//! entries, [`explain_exhaustive`] enumerates completions — exponential,
+//! for analysis of small computations only.
+
+use crate::computation::Computation;
+use crate::exec::Value;
+use crate::model::MemoryModel;
+use crate::observer::ObserverFunction;
+use crate::op::{Location, Op};
+use ccmm_dag::bitset::BitSet;
+use ccmm_dag::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// A value trace: what each write stored and each read returned.
+#[derive(Clone, Debug)]
+pub struct ValueTrace {
+    /// `write_values[w]` = value stored by write node `w` (entries for
+    /// non-writes are ignored).
+    pub write_values: Vec<Value>,
+    /// Observed result per read node (node, value). Reads omitted here
+    /// are unconstrained.
+    pub read_values: Vec<(NodeId, Value)>,
+    /// The initial value of every location.
+    pub initial: Value,
+}
+
+impl ValueTrace {
+    /// A trace with token write values (`w.index() + 1`) and the given
+    /// read observations, over initial value 0.
+    pub fn with_tokens(c: &Computation, read_values: Vec<(NodeId, Value)>) -> Self {
+        ValueTrace {
+            write_values: (0..c.node_count()).map(|i| i as Value + 1).collect(),
+            read_values,
+            initial: 0,
+        }
+    }
+
+    /// The value the trace claims node `u` read, if recorded.
+    pub fn expected(&self, u: NodeId) -> Option<Value> {
+        self.read_values.iter().find(|(r, _)| *r == u).map(|&(_, v)| v)
+    }
+
+    fn value_of(&self, w: Option<NodeId>) -> Value {
+        match w {
+            Some(w) => self.write_values.get(w.index()).copied().unwrap_or(self.initial),
+            None => self.initial,
+        }
+    }
+}
+
+/// A serialization search constrained by recorded read values.
+///
+/// `locs = None` means all locations are constrained against one global
+/// order (SC); `locs = Some(l)` constrains only reads of `l` (the
+/// per-location LC subproblem).
+fn search_serialization(
+    c: &Computation,
+    trace: &ValueTrace,
+    only: Option<Location>,
+) -> Option<Vec<NodeId>> {
+    let n = c.node_count();
+    let constrained: HashMap<NodeId, Value> = trace
+        .read_values
+        .iter()
+        .filter(|(r, _)| match (only, c.op(*r)) {
+            (Some(l), Op::Read(rl)) => rl == l,
+            (None, _) => true,
+            _ => false,
+        })
+        .copied()
+        .collect();
+    let num_tracked = match only {
+        Some(_) => 1,
+        None => c.num_locations(),
+    };
+    let track_idx = |l: Location| -> usize {
+        match only {
+            Some(_) => 0,
+            None => l.index(),
+        }
+    };
+
+    struct S<'a> {
+        c: &'a Computation,
+        trace: &'a ValueTrace,
+        constrained: HashMap<NodeId, Value>,
+        only: Option<Location>,
+        scheduled: BitSet,
+        last: Vec<Option<NodeId>>,
+        indeg: Vec<usize>,
+        order: Vec<NodeId>,
+        failed: HashSet<(BitSet, Vec<Option<NodeId>>)>,
+    }
+
+    impl S<'_> {
+        fn tracked(&self, l: Location) -> bool {
+            self.only.is_none_or(|o| o == l)
+        }
+
+        fn run(&mut self, track_idx: &dyn Fn(Location) -> usize) -> bool {
+            if self.order.len() == self.c.node_count() {
+                return true;
+            }
+            let key = (self.scheduled.clone(), self.last.clone());
+            if self.failed.contains(&key) {
+                return false;
+            }
+            for u in self.c.nodes() {
+                if self.scheduled.contains(u.index()) || self.indeg[u.index()] != 0 {
+                    continue;
+                }
+                // Check the recorded value, if any, against the current
+                // last writer of the read's location.
+                if let Some(&want) = self.constrained.get(&u) {
+                    if let Op::Read(l) = self.c.op(u) {
+                        if self.tracked(l) {
+                            let have = self.trace.value_of(self.last[track_idx(l)]);
+                            if have != want {
+                                continue;
+                            }
+                        }
+                    }
+                }
+                self.scheduled.insert(u.index());
+                self.order.push(u);
+                for &v in self.c.dag().successors(u) {
+                    self.indeg[v.index()] -= 1;
+                }
+                let saved = if let Op::Write(l) = self.c.op(u) {
+                    if self.tracked(l) {
+                        let i = track_idx(l);
+                        let s = self.last[i];
+                        self.last[i] = Some(u);
+                        Some((i, s))
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                if self.run(track_idx) {
+                    return true;
+                }
+                if let Some((i, s)) = saved {
+                    self.last[i] = s;
+                }
+                for &v in self.c.dag().successors(u) {
+                    self.indeg[v.index()] += 1;
+                }
+                self.order.pop();
+                self.scheduled.remove(u.index());
+            }
+            self.failed.insert(key);
+            false
+        }
+    }
+
+    let mut s = S {
+        c,
+        trace,
+        constrained,
+        only,
+        scheduled: BitSet::new(n),
+        last: vec![None; num_tracked],
+        indeg: (0..n).map(|u| c.dag().in_degree(NodeId::new(u))).collect(),
+        order: Vec::with_capacity(n),
+        failed: HashSet::new(),
+    };
+    s.run(&track_idx).then_some(s.order)
+}
+
+/// \[GK94\]-style post-mortem check: finds a single serialization of the
+/// whole computation under which every recorded read returns its recorded
+/// value — i.e. the trace is sequentially consistent. Returns the
+/// serialization.
+///
+/// ```
+/// use ccmm_core::{Computation, Location, Op};
+/// use ccmm_core::trace::{explain_sc, ValueTrace};
+/// use ccmm_dag::NodeId;
+///
+/// // W(x) -> R(x): the read logged the write's token.
+/// let l = Location::new(0);
+/// let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l), Op::Read(l)]);
+/// let good = ValueTrace::with_tokens(&c, vec![(NodeId::new(1), 1)]);
+/// assert!(explain_sc(&c, &good).is_some());
+/// // A read value nothing wrote is unexplainable.
+/// let bad = ValueTrace::with_tokens(&c, vec![(NodeId::new(1), 9)]);
+/// assert!(explain_sc(&c, &bad).is_none());
+/// ```
+pub fn explain_sc(c: &Computation, trace: &ValueTrace) -> Option<Vec<NodeId>> {
+    search_serialization(c, trace, None)
+}
+
+/// Post-mortem coherence check: finds one serialization per location
+/// explaining that location's recorded reads — i.e. the trace is location
+/// consistent. Returns a serialization per location.
+pub fn explain_lc(c: &Computation, trace: &ValueTrace) -> Option<Vec<Vec<NodeId>>> {
+    c.locations()
+        .map(|l| search_serialization(c, trace, Some(l)))
+        .collect()
+}
+
+/// Whether the trace is sequentially consistent.
+pub fn is_sc_trace(c: &Computation, trace: &ValueTrace) -> bool {
+    explain_sc(c, trace).is_some()
+}
+
+/// Whether the trace is location consistent.
+pub fn is_lc_trace(c: &Computation, trace: &ValueTrace) -> bool {
+    explain_lc(c, trace).is_some()
+}
+
+/// Exhaustive fallback for arbitrary models: enumerate every observer
+/// function compatible with the recorded values and test membership.
+/// Exponential in the number of *unconstrained* table entries — small
+/// computations only.
+pub fn explain_exhaustive<M: MemoryModel>(
+    c: &Computation,
+    trace: &ValueTrace,
+    model: &M,
+) -> Option<ObserverFunction> {
+    let constrained: HashMap<NodeId, Value> = trace.read_values.iter().copied().collect();
+    let mut slots: Vec<(Location, NodeId, Vec<Option<NodeId>>)> = Vec::new();
+    for l in c.locations() {
+        for u in c.nodes() {
+            if c.op(u).is_write_to(l) {
+                continue;
+            }
+            let constraint = match c.op(u) {
+                Op::Read(rl) if rl == l => constrained.get(&u).copied(),
+                _ => None,
+            };
+            let mut cands: Vec<Option<NodeId>> = Vec::new();
+            if constraint.is_none_or(|v| v == trace.initial) {
+                cands.push(None);
+            }
+            for &w in c.writes_to(l) {
+                if c.precedes(u, w) {
+                    continue;
+                }
+                if constraint.is_none_or(|v| trace.write_values.get(w.index()) == Some(&v)) {
+                    cands.push(Some(w));
+                }
+            }
+            if cands.is_empty() {
+                return None;
+            }
+            slots.push((l, u, cands));
+        }
+    }
+    fn recurse<M: MemoryModel>(
+        c: &Computation,
+        model: &M,
+        slots: &[(Location, NodeId, Vec<Option<NodeId>>)],
+        i: usize,
+        phi: &mut ObserverFunction,
+    ) -> bool {
+        if i == slots.len() {
+            return model.contains(c, phi);
+        }
+        let (l, u, cands) = &slots[i];
+        for &v in cands {
+            phi.set(*l, *u, v);
+            if recurse(c, model, slots, i + 1, phi) {
+                return true;
+            }
+        }
+        false
+    }
+    let mut phi = ObserverFunction::base(c);
+    recurse(c, model, &slots, 0, &mut phi).then_some(phi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::last_writer::last_writer_function;
+    use crate::model::Nn;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    /// The store-buffering shape: W(x);R(y) ∥ W(y);R(x).
+    fn sb() -> Computation {
+        Computation::from_edges(
+            4,
+            &[(0, 1), (2, 3)],
+            vec![Op::Write(l(0)), Op::Read(l(1)), Op::Write(l(1)), Op::Read(l(0))],
+        )
+    }
+
+    #[test]
+    fn sb_both_stale_is_lc_not_sc() {
+        let c = sb();
+        let trace = ValueTrace::with_tokens(&c, vec![(n(1), 0), (n(3), 0)]);
+        assert!(!is_sc_trace(&c, &trace), "both-stale SB forbidden by SC");
+        assert!(is_lc_trace(&c, &trace));
+        let sorts = explain_lc(&c, &trace).unwrap();
+        assert_eq!(sorts.len(), 2);
+        for t in &sorts {
+            assert!(ccmm_dag::topo::is_topological_sort(c.dag(), t));
+        }
+    }
+
+    #[test]
+    fn sb_success_outcome_is_sc() {
+        let c = sb();
+        // Read y sees the write to y (token 3), read x sees write to x.
+        let trace = ValueTrace::with_tokens(&c, vec![(n(1), 3), (n(3), 1)]);
+        let t = explain_sc(&c, &trace).expect("SC admits the interleaved outcome");
+        assert!(ccmm_dag::topo::is_topological_sort(c.dag(), &t));
+        // Replay: the serialization really produces the recorded values.
+        let phi = last_writer_function(&c, &t);
+        assert_eq!(trace.value_of(phi.get(l(1), n(1))), 3);
+        assert_eq!(trace.value_of(phi.get(l(0), n(3))), 1);
+    }
+
+    #[test]
+    fn ambiguous_values_resolve_to_a_consistent_writer() {
+        // Two writes store the SAME value 7; a read of 7 after both is
+        // explainable despite the ambiguity.
+        let c = Computation::from_edges(
+            3,
+            &[(0, 2), (1, 2)],
+            vec![Op::Write(l(0)), Op::Write(l(0)), Op::Read(l(0))],
+        );
+        let trace = ValueTrace {
+            write_values: vec![7, 7, 0],
+            read_values: vec![(n(2), 7)],
+            initial: 0,
+        };
+        assert!(is_sc_trace(&c, &trace));
+        assert!(is_lc_trace(&c, &trace));
+    }
+
+    #[test]
+    fn impossible_value_is_unexplainable() {
+        let c = Computation::from_edges(
+            2,
+            &[(0, 1)],
+            vec![Op::Write(l(0)), Op::Read(l(0))],
+        );
+        // The read claims to have seen 42, which nothing wrote.
+        let trace = ValueTrace {
+            write_values: vec![5, 0],
+            read_values: vec![(n(1), 42)],
+            initial: 0,
+        };
+        assert!(!is_sc_trace(&c, &trace));
+        assert!(!is_lc_trace(&c, &trace));
+        assert!(explain_exhaustive(&c, &trace, &crate::model::AnyObserver).is_none());
+    }
+
+    #[test]
+    fn initial_value_must_be_plausible() {
+        // Read strictly after the only write cannot return the initial
+        // value under LC.
+        let c = Computation::from_edges(
+            2,
+            &[(0, 1)],
+            vec![Op::Write(l(0)), Op::Read(l(0))],
+        );
+        let trace = ValueTrace { write_values: vec![5, 0], read_values: vec![(n(1), 0)], initial: 0 };
+        assert!(!is_lc_trace(&c, &trace));
+        assert!(!is_sc_trace(&c, &trace));
+        // …but the weakest model accepts it (Φ(read) = ⊥ is valid).
+        assert!(explain_exhaustive(&c, &trace, &crate::model::AnyObserver).is_some());
+    }
+
+    #[test]
+    fn unconstrained_reads_are_free() {
+        let c = sb();
+        let trace = ValueTrace::with_tokens(&c, vec![]); // nothing recorded
+        assert!(is_sc_trace(&c, &trace));
+        assert!(is_lc_trace(&c, &trace));
+    }
+
+    #[test]
+    fn exhaustive_explains_dag_models_on_small_inputs() {
+        // A CoRR-backwards trace: rejected by LC, accepted by NN.
+        let c = Computation::from_edges(
+            4,
+            &[(0, 1), (2, 3)],
+            vec![Op::Write(l(0)), Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
+        );
+        let trace = ValueTrace::with_tokens(&c, vec![(n(2), 2), (n(3), 1)]);
+        assert!(!is_lc_trace(&c, &trace));
+        assert!(explain_exhaustive(&c, &trace, &Nn::default()).is_some());
+    }
+
+    #[test]
+    fn sc_and_lc_traces_agree_with_membership_semantics() {
+        // Cross-validate the constraint-directed searches against the
+        // exhaustive explainers on every outcome of a small computation.
+        let c = sb();
+        for v1 in [0u64, 3] {
+            for v3 in [0u64, 1] {
+                let trace = ValueTrace::with_tokens(&c, vec![(n(1), v1), (n(3), v3)]);
+                assert_eq!(
+                    is_sc_trace(&c, &trace),
+                    explain_exhaustive(&c, &trace, &crate::model::Sc).is_some(),
+                    "SC mismatch on ({v1},{v3})"
+                );
+                assert_eq!(
+                    is_lc_trace(&c, &trace),
+                    explain_exhaustive(&c, &trace, &crate::model::Lc).is_some(),
+                    "LC mismatch on ({v1},{v3})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scales_to_analysis_sized_race_free_traces() {
+        // ~100-node layered computation, full read log: the directed
+        // searches finish fast where exhaustive enumeration cannot.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        let dag = ccmm_dag::generate::layered_dag(5, 5, 2, &mut rng);
+        let nn = dag.node_count();
+        let ops: Vec<Op> = (0..nn)
+            .map(|i| if i % 2 == 0 { Op::Write(l(i % 3)) } else { Op::Read(l((i + 1) % 3)) })
+            .collect();
+        let c = Computation::new(dag, ops).unwrap();
+        let t = ccmm_dag::topo::topo_sort(c.dag());
+        let phi = last_writer_function(&c, &t);
+        let trace = ValueTrace::with_tokens(
+            &c,
+            c.nodes()
+                .filter_map(|u| match c.op(u) {
+                    Op::Read(rl) => {
+                        Some((u, phi.get(rl, u).map_or(0, |w| w.index() as u64 + 1)))
+                    }
+                    _ => None,
+                })
+                .collect(),
+        );
+        assert!(is_sc_trace(&c, &trace));
+        assert!(is_lc_trace(&c, &trace));
+    }
+}

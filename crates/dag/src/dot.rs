@@ -1,0 +1,51 @@
+//! Graphviz DOT export, for inspecting computations and witnesses.
+
+use crate::graph::{Dag, NodeId};
+
+/// Renders `dag` as a DOT digraph. `label` provides the text inside each
+/// node; the default index labels are used where it returns `None`.
+pub fn to_dot<F>(dag: &Dag, name: &str, mut label: F) -> String
+where
+    F: FnMut(NodeId) -> Option<String>,
+{
+    let mut out = String::new();
+    out.push_str(&format!("digraph {name} {{\n"));
+    out.push_str("  rankdir=LR;\n  node [shape=circle];\n");
+    for u in dag.nodes() {
+        let text = label(u).unwrap_or_else(|| u.to_string());
+        out.push_str(&format!("  {} [label=\"{}\"];\n", u.index(), text.replace('"', "\\\"")));
+    }
+    for (u, v) in dag.edges() {
+        out.push_str(&format!("  {} -> {};\n", u.index(), v.index()));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders `dag` with plain index labels.
+pub fn to_dot_plain(dag: &Dag, name: &str) -> String {
+    to_dot(dag, name, |_| None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_dot_contains_nodes_and_edges() {
+        let d = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let dot = to_dot_plain(&d, "g");
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("1 -> 2;"));
+        assert!(dot.contains("[label=\"n2\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn custom_labels_and_escaping() {
+        let d = Dag::from_edges(1, &[]).unwrap();
+        let dot = to_dot(&d, "g", |_| Some("W(\"x\")".to_string()));
+        assert!(dot.contains("label=\"W(\\\"x\\\")\""));
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for dag construction.
+
+/// Errors produced when building or transforming dags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge endpoint was not in `0..n`.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge `(u, u)` was supplied.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// The edge list contains a directed cycle.
+    CycleDetected,
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for {n} nodes")
+            }
+            DagError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            DagError::CycleDetected => write!(f, "edge list contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DagError::NodeOutOfRange { node: 7, n: 3 }.to_string(),
+            "node index 7 out of range for 3 nodes"
+        );
+        assert_eq!(DagError::SelfLoop { node: 2 }.to_string(), "self-loop at node 2");
+        assert_eq!(DagError::CycleDetected.to_string(), "edge list contains a cycle");
+    }
+}

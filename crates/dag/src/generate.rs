@@ -1,0 +1,250 @@
+//! Random and structured dag generators for testing and benchmarking.
+//!
+//! All generators produce dags whose edges go from smaller to larger node
+//! indices, so node index order is always one valid topological sort.
+
+use crate::graph::Dag;
+use rand::Rng;
+
+/// A random dag in the `G(n, p)` model restricted to forward edges: each
+/// pair `(i, j)` with `i < j` is an edge independently with probability `p`.
+pub fn gnp_dag<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Dag {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            if rng.gen_bool(p) {
+                edges.push((i, j));
+            }
+        }
+    }
+    Dag::from_edges(n, &edges).expect("forward edges cannot form a cycle")
+}
+
+/// A layered dag: `layers` layers of `width` nodes; every node has `deg`
+/// random predecessors in the previous layer (fewer if the layer is small).
+///
+/// Models the barrier-style computations of data-parallel programs.
+pub fn layered_dag<R: Rng + ?Sized>(
+    layers: usize,
+    width: usize,
+    deg: usize,
+    rng: &mut R,
+) -> Dag {
+    let n = layers * width;
+    let mut edges = Vec::new();
+    for layer in 1..layers {
+        for j in 0..width {
+            let v = layer * width + j;
+            let deg = deg.min(width);
+            // Sample `deg` distinct predecessors from the previous layer.
+            let mut prev: Vec<usize> = (0..width).map(|k| (layer - 1) * width + k).collect();
+            for d in 0..deg {
+                let pick = rng.gen_range(d..prev.len());
+                prev.swap(d, pick);
+                edges.push((prev[d], v));
+            }
+        }
+    }
+    Dag::from_edges(n, &edges).expect("forward edges cannot form a cycle")
+}
+
+/// A complete binary fork/join tree of the given depth: a root forks two
+/// subtrees which join back. Returns a series-parallel dag with one source
+/// and one sink.
+///
+/// `depth = 0` yields a single node.
+pub fn fork_join_tree(depth: usize) -> Dag {
+    // Recursively allocate: block(d) = number of nodes of a depth-d block.
+    // block(0) = 1; block(d) = 2 + 2 * block(d-1)  (fork node, two sub-blocks,
+    // join node).
+    fn build(depth: usize, next: &mut usize, edges: &mut Vec<(usize, usize)>) -> (usize, usize) {
+        let src = *next;
+        *next += 1;
+        if depth == 0 {
+            return (src, src);
+        }
+        let (l_in, l_out) = build(depth - 1, next, edges);
+        let (r_in, r_out) = build(depth - 1, next, edges);
+        let sink = *next;
+        *next += 1;
+        edges.push((src, l_in));
+        edges.push((src, r_in));
+        edges.push((l_out, sink));
+        edges.push((r_out, sink));
+        (src, sink)
+    }
+    let mut next = 0;
+    let mut edges = Vec::new();
+    build(depth, &mut next, &mut edges);
+    Dag::from_edges(next, &edges).expect("fork/join trees are acyclic")
+}
+
+/// A random series-parallel dag with approximately `leaves` leaf nodes:
+/// a random composition tree of series/parallel combinators over leaves.
+///
+/// Returns the lowered dag (fork/join nodes included), single-source and
+/// single-sink. `p_series` is the probability an internal combinator is
+/// series rather than parallel.
+pub fn random_sp_dag<R: Rng + ?Sized>(leaves: usize, p_series: f64, rng: &mut R) -> Dag {
+    assert!(leaves >= 1);
+    fn build<R: Rng + ?Sized>(leaves: usize, p_series: f64, rng: &mut R) -> crate::sp::SpExpr {
+        if leaves == 1 {
+            return crate::sp::SpExpr::Leaf;
+        }
+        let left = rng.gen_range(1..leaves);
+        let a = build(left, p_series, rng);
+        let b = build(leaves - left, p_series, rng);
+        if rng.gen_bool(p_series) {
+            a.then(b)
+        } else {
+            a.par(b)
+        }
+    }
+    build(leaves, p_series, rng).build().dag
+}
+
+/// A simple chain of `n` nodes.
+pub fn chain(n: usize) -> Dag {
+    let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Dag::from_edges(n, &edges).expect("a chain is acyclic")
+}
+
+/// `k` independent chains of length `len` sharing a common source and sink.
+///
+/// This is the shape of the nonconstructibility witness family (Figure 4 of
+/// the paper generalises to wider versions of this dag).
+pub fn parallel_chains(k: usize, len: usize) -> Dag {
+    assert!(k >= 1 && len >= 1);
+    let n = 2 + k * len;
+    let source = 0;
+    let sink = n - 1;
+    let mut edges = Vec::new();
+    for c in 0..k {
+        let base = 1 + c * len;
+        edges.push((source, base));
+        for i in 0..len - 1 {
+            edges.push((base + i, base + i + 1));
+        }
+        edges.push((base + len - 1, sink));
+    }
+    Dag::from_edges(n, &edges).expect("parallel chains are acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::Reachability;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_respects_density_extremes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let d0 = gnp_dag(10, 0.0, &mut rng);
+        assert_eq!(d0.edge_count(), 0);
+        let d1 = gnp_dag(10, 1.0, &mut rng);
+        assert_eq!(d1.edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_is_acyclic_and_forward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let d = gnp_dag(15, 0.3, &mut rng);
+            for (u, v) in d.edges() {
+                assert!(u.index() < v.index());
+            }
+        }
+    }
+
+    #[test]
+    fn layered_dag_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let d = layered_dag(4, 3, 2, &mut rng);
+        assert_eq!(d.node_count(), 12);
+        // Every non-first-layer node has exactly 2 predecessors.
+        for u in d.nodes().skip(3) {
+            assert_eq!(d.in_degree(u), 2, "node {u}");
+        }
+        // First layer has none.
+        for u in d.nodes().take(3) {
+            assert_eq!(d.in_degree(u), 0);
+        }
+    }
+
+    #[test]
+    fn layered_dag_deg_clamped_to_width() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let d = layered_dag(2, 2, 10, &mut rng);
+        for u in d.nodes().skip(2) {
+            assert_eq!(d.in_degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn fork_join_tree_counts() {
+        assert_eq!(fork_join_tree(0).node_count(), 1);
+        assert_eq!(fork_join_tree(1).node_count(), 4);
+        assert_eq!(fork_join_tree(2).node_count(), 10);
+        let d = fork_join_tree(3);
+        assert_eq!(d.node_count(), 22);
+        assert_eq!(d.roots().len(), 1);
+        assert_eq!(d.leaves().len(), 1);
+    }
+
+    #[test]
+    fn fork_join_tree_source_reaches_all() {
+        let d = fork_join_tree(3);
+        let r = Reachability::new(&d);
+        let root = d.roots()[0];
+        assert_eq!(r.descendants(root).len(), d.node_count() - 1);
+    }
+
+    #[test]
+    fn random_sp_dag_structure() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let d = random_sp_dag(6, 0.5, &mut rng);
+            assert_eq!(d.roots().len(), 1);
+            assert_eq!(d.leaves().len(), 1);
+            let r = Reachability::new(&d);
+            let src = d.roots()[0];
+            assert_eq!(r.descendants(src).len(), d.node_count() - 1);
+        }
+        // Degenerate: all-series with one leaf.
+        let single = random_sp_dag(1, 0.5, &mut rng);
+        assert_eq!(single.node_count(), 1);
+    }
+
+    #[test]
+    fn random_sp_dag_series_bias_lengthens() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let serial = random_sp_dag(16, 1.0, &mut rng);
+        let parallel = random_sp_dag(16, 0.0, &mut rng);
+        assert_eq!(serial.node_count(), 16, "pure series adds no forks");
+        assert!(parallel.node_count() > 16, "parallel composition adds fork/join pairs");
+        assert!(
+            crate::metrics::height(&serial) > crate::metrics::height(&parallel)
+        );
+    }
+
+    #[test]
+    fn chain_shape() {
+        let d = chain(5);
+        assert_eq!(d.node_count(), 5);
+        assert_eq!(d.edge_count(), 4);
+        assert_eq!(chain(0).node_count(), 0);
+        assert_eq!(chain(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn parallel_chains_shape() {
+        let d = parallel_chains(3, 2);
+        assert_eq!(d.node_count(), 8);
+        assert_eq!(d.roots().len(), 1);
+        assert_eq!(d.leaves().len(), 1);
+        let r = Reachability::new(&d);
+        // Middle nodes of distinct chains are incomparable.
+        assert!(r.incomparable(crate::graph::NodeId::new(1), crate::graph::NodeId::new(3)));
+    }
+}

@@ -1,0 +1,453 @@
+//! The finite directed acyclic graph underlying a computation.
+//!
+//! Nodes are dense indices `0..n` (see [`NodeId`]); edges are stored as
+//! forward and backward adjacency lists. The structure is immutable once
+//! built — all paper operations that "grow" a computation (extension,
+//! augmentation, relaxation) produce a new `Dag`.
+
+use crate::bitset::BitSet;
+use crate::error::DagError;
+use serde::{Deserialize, Serialize};
+
+/// A node of a computation dag, a dense index in `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A finite directed acyclic graph with dense node indices.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    succ: Vec<Vec<NodeId>>,
+    pred: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Dag {
+    /// An empty dag (the dag of the empty computation ε).
+    pub fn empty() -> Self {
+        Dag { succ: Vec::new(), pred: Vec::new(), edge_count: 0 }
+    }
+
+    /// A dag with `n` nodes and no edges.
+    pub fn edgeless(n: usize) -> Self {
+        Dag { succ: vec![Vec::new(); n], pred: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Builds a dag from an edge list over `n` nodes.
+    ///
+    /// Rejects out-of-range endpoints, self-loops, and cycles. Duplicate
+    /// edges are collapsed.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, DagError> {
+        let mut dag = Dag::edgeless(n);
+        for &(u, v) in edges {
+            if u >= n || v >= n {
+                return Err(DagError::NodeOutOfRange { node: u.max(v), n });
+            }
+            if u == v {
+                return Err(DagError::SelfLoop { node: u });
+            }
+            if !dag.succ[u].contains(&NodeId::new(v)) {
+                dag.succ[u].push(NodeId::new(v));
+                dag.pred[v].push(NodeId::new(u));
+                dag.edge_count += 1;
+            }
+        }
+        for s in dag.succ.iter_mut().chain(dag.pred.iter_mut()) {
+            s.sort_unstable();
+        }
+        if dag.toposort_kahn().is_none() {
+            return Err(DagError::CycleDetected);
+        }
+        Ok(dag)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the dag has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Iterates over all nodes in index order.
+    pub fn nodes(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator {
+        (0..self.succ.len()).map(NodeId::new)
+    }
+
+    /// Iterates over all edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (NodeId::new(u), v)))
+    }
+
+    /// Direct successors of `u`.
+    #[inline]
+    pub fn successors(&self, u: NodeId) -> &[NodeId] {
+        &self.succ[u.index()]
+    }
+
+    /// Direct predecessors of `u`.
+    #[inline]
+    pub fn predecessors(&self, u: NodeId) -> &[NodeId] {
+        &self.pred[u.index()]
+    }
+
+    /// Whether edge `(u, v)` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.succ[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// In-degree of `u`.
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.pred[u.index()].len()
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.succ[u.index()].len()
+    }
+
+    /// Nodes with no predecessors.
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&u| self.in_degree(u) == 0).collect()
+    }
+
+    /// Nodes with no successors.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&u| self.out_degree(u) == 0).collect()
+    }
+
+    /// Kahn's algorithm; `None` iff the graph has a cycle.
+    ///
+    /// Ties are broken by smallest index, so the result is deterministic.
+    pub(crate) fn toposort_kahn(&self) -> Option<Vec<NodeId>> {
+        let n = self.node_count();
+        let mut indeg: Vec<usize> = (0..n).map(|u| self.pred[u].len()).collect();
+        // A sorted frontier (BinaryHeap of Reverse would also do; n is small
+        // enough in practice that a linear scan of a bitset wins on simplicity).
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&u| indeg[u] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(u)) = ready.pop() {
+            order.push(NodeId::new(u));
+            for &v in &self.succ[u] {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    ready.push(std::cmp::Reverse(v.index()));
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Whether `other` is a relaxation of `self`: same nodes, `E' ⊆ E`.
+    pub fn is_relaxation_of(&self, other: &Dag) -> bool {
+        // `self` is the relaxation: every edge of self appears in other.
+        self.node_count() == other.node_count()
+            && self.edges().all(|(u, v)| other.has_edge(u, v))
+    }
+
+    /// Returns the dag with one edge removed (used to enumerate relaxations).
+    pub fn without_edge(&self, u: NodeId, v: NodeId) -> Option<Dag> {
+        if !self.has_edge(u, v) {
+            return None;
+        }
+        let mut d = self.clone();
+        d.succ[u.index()].retain(|&x| x != v);
+        d.pred[v.index()].retain(|&x| x != u);
+        d.edge_count -= 1;
+        Some(d)
+    }
+
+    /// Appends a new node with edges from each node in `preds`.
+    ///
+    /// This is the paper's *extension* of a computation dag by one node
+    /// (the op labelling lives at the computation level).
+    pub fn extend_with(&self, preds: &[NodeId]) -> Result<Dag, DagError> {
+        let n = self.node_count();
+        let mut d = self.clone();
+        d.succ.push(Vec::new());
+        d.pred.push(Vec::new());
+        let new = NodeId::new(n);
+        let mut seen = BitSet::new(n);
+        for &p in preds {
+            if p.index() >= n {
+                return Err(DagError::NodeOutOfRange { node: p.index(), n });
+            }
+            if !seen.contains(p.index()) {
+                seen.insert(p.index());
+                d.succ[p.index()].push(new);
+                d.pred[n].push(p);
+                d.edge_count += 1;
+            }
+        }
+        d.pred[n].sort_unstable();
+        Ok(d)
+    }
+
+    /// The *augmented* dag: a new final node succeeding every old node
+    /// (Definition 11 of the paper).
+    pub fn augment(&self) -> Dag {
+        let all: Vec<NodeId> = self.nodes().collect();
+        self.extend_with(&all).expect("all nodes are in range")
+    }
+
+    /// Whether `keep` is downward-closed (closed under predecessors), i.e.
+    /// induces a *prefix* of this dag.
+    pub fn is_prefix_set(&self, keep: &BitSet) -> bool {
+        self.nodes()
+            .filter(|u| keep.contains(u.index()))
+            .all(|u| self.pred[u.index()].iter().all(|p| keep.contains(p.index())))
+    }
+
+    /// The subgraph induced by `keep`, with nodes renumbered densely in
+    /// increasing order of old index. Returns the new dag and the map from
+    /// new index to old `NodeId`.
+    pub fn induced_subgraph(&self, keep: &BitSet) -> (Dag, Vec<NodeId>) {
+        let old_of_new: Vec<NodeId> = keep.iter().map(NodeId::new).collect();
+        let mut new_of_old = vec![usize::MAX; self.node_count()];
+        for (new, old) in old_of_new.iter().enumerate() {
+            new_of_old[old.index()] = new;
+        }
+        let mut d = Dag::edgeless(old_of_new.len());
+        for (new_u, old_u) in old_of_new.iter().enumerate() {
+            for &old_v in &self.succ[old_u.index()] {
+                let new_v = new_of_old[old_v.index()];
+                if new_v != usize::MAX {
+                    d.succ[new_u].push(NodeId::new(new_v));
+                    d.pred[new_v].push(NodeId::new(new_u));
+                    d.edge_count += 1;
+                }
+            }
+        }
+        for s in d.succ.iter_mut().chain(d.pred.iter_mut()) {
+            s.sort_unstable();
+        }
+        (d, old_of_new)
+    }
+
+    /// The transitive reduction of this dag (unique for dags).
+    pub fn transitive_reduction(&self) -> Dag {
+        let reach = crate::reach::Reachability::new(self);
+        let mut edges = Vec::new();
+        for (u, v) in self.edges() {
+            // (u,v) is redundant iff some other successor of u reaches v.
+            let redundant = self.succ[u.index()]
+                .iter()
+                .any(|&w| w != v && reach.reaches(w, v));
+            if !redundant {
+                edges.push((u.index(), v.index()));
+            }
+        }
+        Dag::from_edges(self.node_count(), &edges).expect("reduction of a dag is a dag")
+    }
+
+    /// The transitive closure of this dag as a new dag with an edge for
+    /// every strict precedence pair.
+    pub fn transitive_closure(&self) -> Dag {
+        let reach = crate::reach::Reachability::new(self);
+        let mut edges = Vec::new();
+        for u in self.nodes() {
+            for v in reach.descendants(u).iter() {
+                edges.push((u.index(), v));
+            }
+        }
+        Dag::from_edges(self.node_count(), &edges).expect("closure of a dag is a dag")
+    }
+}
+
+impl std::fmt::Debug for Dag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Dag(n={}, edges=[", self.node_count())?;
+        for (i, (u, v)) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{u}->{v}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = Dag::empty();
+        assert!(d.is_empty());
+        assert_eq!(d.node_count(), 0);
+        assert_eq!(d.edge_count(), 0);
+    }
+
+    #[test]
+    fn from_edges_builds_diamond() {
+        let d = diamond();
+        assert_eq!(d.node_count(), 4);
+        assert_eq!(d.edge_count(), 4);
+        assert!(d.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!d.has_edge(NodeId::new(1), NodeId::new(0)));
+        assert_eq!(d.roots(), vec![NodeId::new(0)]);
+        assert_eq!(d.leaves(), vec![NodeId::new(3)]);
+    }
+
+    #[test]
+    fn from_edges_rejects_cycle() {
+        assert!(matches!(
+            Dag::from_edges(3, &[(0, 1), (1, 2), (2, 0)]),
+            Err(DagError::CycleDetected)
+        ));
+    }
+
+    #[test]
+    fn from_edges_rejects_self_loop() {
+        assert!(matches!(
+            Dag::from_edges(2, &[(0, 0)]),
+            Err(DagError::SelfLoop { node: 0 })
+        ));
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        assert!(matches!(
+            Dag::from_edges(2, &[(0, 5)]),
+            Err(DagError::NodeOutOfRange { node: 5, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let d = Dag::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        assert_eq!(d.edge_count(), 1);
+    }
+
+    #[test]
+    fn extend_with_appends_node() {
+        let d = diamond();
+        let e = d.extend_with(&[NodeId::new(3), NodeId::new(1)]).unwrap();
+        assert_eq!(e.node_count(), 5);
+        assert_eq!(e.edge_count(), 6);
+        assert!(e.has_edge(NodeId::new(3), NodeId::new(4)));
+        assert!(e.has_edge(NodeId::new(1), NodeId::new(4)));
+    }
+
+    #[test]
+    fn augment_adds_final_node() {
+        let d = diamond();
+        let a = d.augment();
+        assert_eq!(a.node_count(), 5);
+        let f = NodeId::new(4);
+        for u in d.nodes() {
+            assert!(a.has_edge(u, f));
+        }
+        assert_eq!(a.leaves(), vec![f]);
+    }
+
+    #[test]
+    fn prefix_set_detection() {
+        let d = diamond();
+        let mut good = BitSet::new(4);
+        good.insert(0);
+        good.insert(1);
+        assert!(d.is_prefix_set(&good));
+        let mut bad = BitSet::new(4);
+        bad.insert(3); // 3's predecessors are missing
+        assert!(!d.is_prefix_set(&bad));
+        // Empty set is a prefix.
+        assert!(d.is_prefix_set(&BitSet::new(4)));
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let d = diamond();
+        let mut keep = BitSet::new(4);
+        keep.insert(0);
+        keep.insert(2);
+        keep.insert(3);
+        let (sub, old) = d.induced_subgraph(&keep);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(old, vec![NodeId::new(0), NodeId::new(2), NodeId::new(3)]);
+        // Edges 0->2 and 2->3 survive as 0->1 and 1->2.
+        assert!(sub.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(sub.has_edge(NodeId::new(1), NodeId::new(2)));
+        assert_eq!(sub.edge_count(), 2);
+    }
+
+    #[test]
+    fn relaxation_check() {
+        let d = diamond();
+        let r = d.without_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert!(r.is_relaxation_of(&d));
+        assert!(!d.is_relaxation_of(&r));
+        assert!(d.without_edge(NodeId::new(0), NodeId::new(3)).is_none());
+    }
+
+    #[test]
+    fn transitive_reduction_of_closed_diamond() {
+        let closed =
+            Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]).unwrap();
+        let red = closed.transitive_reduction();
+        assert_eq!(red.edge_count(), 4);
+        assert!(!red.has_edge(NodeId::new(0), NodeId::new(3)));
+    }
+
+    #[test]
+    fn transitive_closure_of_chain() {
+        let chain = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let clo = chain.transitive_closure();
+        assert_eq!(clo.edge_count(), 3);
+        assert!(clo.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn kahn_is_deterministic_smallest_first() {
+        let d = Dag::from_edges(4, &[(2, 0), (3, 1)]).unwrap();
+        let t = d.toposort_kahn().unwrap();
+        // Smallest ready index first: 2 unlocks 0, which is popped before 3.
+        assert_eq!(t, vec![NodeId::new(2), NodeId::new(0), NodeId::new(3), NodeId::new(1)]);
+    }
+}

@@ -1,0 +1,304 @@
+//! Structural metrics of computation dags: height, width, chain covers.
+//!
+//! Workload shape drives every scheduling and memory experiment — fib is
+//! tall and narrow, the stencil short and wide — so the experiments
+//! report *height* (longest chain), *width* (largest antichain = the
+//! maximum instantaneous parallelism), and the parallelism ratio.
+//!
+//! Width is computed exactly by Dilworth's theorem: the largest antichain
+//! equals the minimum number of chains covering the poset, which is
+//! `n − |maximum matching|` in the bipartite split graph of the
+//! transitive closure (Fulkerson). A maximum antichain itself is
+//! recovered from a König minimum vertex cover.
+
+use crate::bitset::BitSet;
+use crate::graph::{Dag, NodeId};
+use crate::reach::Reachability;
+
+/// Height: the number of nodes on a longest path (0 for the empty dag).
+pub fn height(dag: &Dag) -> usize {
+    let order = crate::topo::topo_sort(dag);
+    let mut depth = vec![0usize; dag.node_count()];
+    let mut best = 0;
+    for u in order {
+        let d = depth[u.index()] + 1;
+        best = best.max(d);
+        for &v in dag.successors(u) {
+            depth[v.index()] = depth[v.index()].max(d);
+        }
+    }
+    best
+}
+
+/// Nodes per depth level (level = longest path from a root, 0-based).
+pub fn level_profile(dag: &Dag) -> Vec<usize> {
+    let order = crate::topo::topo_sort(dag);
+    let mut level = vec![0usize; dag.node_count()];
+    for u in &order {
+        for &v in dag.successors(*u) {
+            level[v.index()] = level[v.index()].max(level[u.index()] + 1);
+        }
+    }
+    let mut profile = vec![0usize; height(dag)];
+    for &l in &level {
+        if !profile.is_empty() {
+            profile[l] += 1;
+        }
+    }
+    profile
+}
+
+/// Kuhn's augmenting-path maximum matching on the closure's split graph.
+/// `match_right[v]` = left partner of right-copy `v`.
+fn max_matching(reach: &Reachability) -> Vec<Option<usize>> {
+    let n = reach.node_count();
+    let mut match_right: Vec<Option<usize>> = vec![None; n];
+    let mut match_left: Vec<Option<usize>> = vec![None; n];
+    fn try_augment(
+        u: usize,
+        reach: &Reachability,
+        visited: &mut BitSet,
+        match_right: &mut [Option<usize>],
+        match_left: &mut [Option<usize>],
+    ) -> bool {
+        for v in reach.descendants(NodeId::new(u)).iter() {
+            if visited.contains(v) {
+                continue;
+            }
+            visited.insert(v);
+            let takeable = match match_right[v] {
+                None => true,
+                Some(w) => try_augment(w, reach, visited, match_right, match_left),
+            };
+            if takeable {
+                match_right[v] = Some(u);
+                match_left[u] = Some(v);
+                return true;
+            }
+        }
+        false
+    }
+    for u in 0..n {
+        let mut visited = BitSet::new(n);
+        try_augment(u, reach, &mut visited, &mut match_right, &mut match_left);
+    }
+    match_right
+}
+
+/// A minimum chain cover of the dag's nodes (Dilworth/Fulkerson): chains
+/// are vertex-disjoint paths of the *closure* (comparable runs).
+pub fn min_chain_cover(dag: &Dag) -> Vec<Vec<NodeId>> {
+    let n = dag.node_count();
+    let reach = Reachability::new(dag);
+    let match_right = max_matching(&reach);
+    // next[u] = matched successor of u, if any.
+    let mut next: Vec<Option<usize>> = vec![None; n];
+    let mut has_pred = vec![false; n];
+    for v in 0..n {
+        if let Some(u) = match_right[v] {
+            next[u] = Some(v);
+            has_pred[v] = true;
+        }
+    }
+    let mut chains = Vec::new();
+    for (start, _) in has_pred.iter().enumerate().filter(|(_, &p)| !p) {
+        let mut chain = Vec::new();
+        let mut cur = Some(start);
+        while let Some(u) = cur {
+            chain.push(NodeId::new(u));
+            cur = next[u];
+        }
+        chains.push(chain);
+    }
+    chains
+}
+
+/// Width: the size of a largest antichain (0 for the empty dag).
+pub fn width(dag: &Dag) -> usize {
+    if dag.is_empty() {
+        return 0;
+    }
+    dag.node_count() - matching_size(dag)
+}
+
+fn matching_size(dag: &Dag) -> usize {
+    let reach = Reachability::new(dag);
+    max_matching(&reach).iter().flatten().count()
+}
+
+/// A maximum antichain, via König's vertex cover of the split graph.
+pub fn max_antichain(dag: &Dag) -> Vec<NodeId> {
+    let n = dag.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let reach = Reachability::new(dag);
+    let match_right = max_matching(&reach);
+    let mut match_left: Vec<Option<usize>> = vec![None; n];
+    for (v, mr) in match_right.iter().enumerate() {
+        if let Some(u) = *mr {
+            match_left[u] = Some(v);
+        }
+    }
+    // König: Z = unmatched-left ∪ alternating-reachable.
+    let mut z_left = BitSet::new(n);
+    let mut z_right = BitSet::new(n);
+    let mut stack: Vec<usize> =
+        (0..n).filter(|&u| match_left[u].is_none()).collect();
+    for &u in &stack {
+        z_left.insert(u);
+    }
+    while let Some(u) = stack.pop() {
+        for v in reach.descendants(NodeId::new(u)).iter() {
+            if z_right.contains(v) {
+                continue;
+            }
+            z_right.insert(v); // via a non-matching edge
+            if let Some(w) = match_right[v] {
+                if !z_left.contains(w) {
+                    z_left.insert(w);
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    // Cover = (L \ Z) ∪ (R ∩ Z); antichain = nodes with NEITHER copy
+    // in the cover = Z-left nodes whose right copy is not in Z.
+    (0..n)
+        .filter(|&u| z_left.contains(u) && !z_right.contains(u))
+        .map(NodeId::new)
+        .collect()
+}
+
+/// Shape summary used by the experiment reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Shape {
+    /// Node count.
+    pub nodes: usize,
+    /// Longest chain (in nodes).
+    pub height: usize,
+    /// Largest antichain.
+    pub width: usize,
+    /// `nodes / height` — the average parallelism.
+    pub parallelism: f64,
+}
+
+/// Computes the [`Shape`] of a dag.
+///
+/// ```
+/// let diamond = ccmm_dag::Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+/// let s = ccmm_dag::metrics::shape(&diamond);
+/// assert_eq!((s.height, s.width), (3, 2));
+/// ```
+pub fn shape(dag: &Dag) -> Shape {
+    let h = height(dag);
+    Shape {
+        nodes: dag.node_count(),
+        height: h,
+        width: width(dag),
+        parallelism: if h == 0 { 0.0 } else { dag.node_count() as f64 / h as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn chain_metrics() {
+        let d = generate::chain(6);
+        assert_eq!(height(&d), 6);
+        assert_eq!(width(&d), 1);
+        assert_eq!(min_chain_cover(&d).len(), 1);
+        assert_eq!(max_antichain(&d).len(), 1);
+    }
+
+    #[test]
+    fn antichain_metrics() {
+        let d = Dag::edgeless(5);
+        assert_eq!(height(&d), 1);
+        assert_eq!(width(&d), 5);
+        assert_eq!(min_chain_cover(&d).len(), 5);
+        assert_eq!(max_antichain(&d).len(), 5);
+    }
+
+    #[test]
+    fn diamond_metrics() {
+        let d = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(height(&d), 3);
+        assert_eq!(width(&d), 2);
+        let a = max_antichain(&d);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn empty_dag_metrics() {
+        let d = Dag::empty();
+        assert_eq!(height(&d), 0);
+        assert_eq!(width(&d), 0);
+        assert!(max_antichain(&d).is_empty());
+        assert!(min_chain_cover(&d).is_empty());
+        assert_eq!(shape(&d).parallelism, 0.0);
+    }
+
+    #[test]
+    fn fork_join_tree_width_is_leaf_count() {
+        let d = generate::fork_join_tree(3);
+        // Depth-3 tree: 8 leaf blocks execute in parallel.
+        assert_eq!(width(&d), 8);
+        assert_eq!(height(&d), 7); // root chain: 3 forks + leaf + 3 joins
+    }
+
+    #[test]
+    fn level_profile_sums_to_node_count() {
+        let d = generate::fork_join_tree(2);
+        let p = level_profile(&d);
+        assert_eq!(p.iter().sum::<usize>(), d.node_count());
+        assert_eq!(p.len(), height(&d));
+    }
+
+    #[test]
+    fn dilworth_invariants_on_random_dags() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for _ in 0..20 {
+            let d = generate::gnp_dag(12, 0.25, &mut rng);
+            let w = width(&d);
+            let chains = min_chain_cover(&d);
+            let anti = max_antichain(&d);
+            let reach = Reachability::new(&d);
+            // Dilworth: |max antichain| = |min chain cover|.
+            assert_eq!(chains.len(), w);
+            assert_eq!(anti.len(), w);
+            // The antichain is an antichain.
+            let set: BitSet = anti.iter().map(|u| u.index()).collect();
+            let mut padded = BitSet::new(d.node_count());
+            for i in set.iter() {
+                padded.insert(i);
+            }
+            assert!(reach.is_antichain(&padded));
+            // The chains partition the nodes and are chains.
+            let total: usize = chains.iter().map(Vec::len).sum();
+            assert_eq!(total, d.node_count());
+            for chain in &chains {
+                for w in chain.windows(2) {
+                    assert!(reach.reaches(w[0], w[1]), "non-chain step");
+                }
+            }
+            // Width bounds: at least the largest level, at most n.
+            let lp = level_profile(&d);
+            assert!(w >= lp.iter().copied().max().unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn shape_summary() {
+        let d = generate::parallel_chains(3, 2);
+        let s = shape(&d);
+        assert_eq!(s.nodes, 8);
+        assert_eq!(s.height, 4); // source, 2-chain, sink
+        assert_eq!(s.width, 3);
+        assert!((s.parallelism - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,133 @@
+//! Exhaustive enumeration of naturally labelled posets.
+//!
+//! The paper's memory models depend on a computation only through its
+//! precedence relation `≺` and op labelling, and membership is invariant
+//! under dag isomorphism. Hence, to check a universally quantified claim
+//! ("for all computations …") over all computations of at most `n` nodes,
+//! it suffices to enumerate *naturally labelled* posets — partial orders on
+//! `{0, …, n−1}` contained in the usual linear order — and then attach all
+//! op labellings. This is OEIS A006455: 1, 1, 2, 7, 40, 357, 4824, … posets
+//! for n = 0, 1, 2, …, exponentially smaller than all labelled dags.
+//!
+//! Each poset is produced as its transitive-closure [`Dag`] (every strict
+//! precedence pair is an explicit edge), which makes downstream reachability
+//! trivial.
+
+use crate::graph::Dag;
+
+/// Calls `f` with the transitive-closure dag of every naturally labelled
+/// poset on `n` elements, exactly once each.
+///
+/// Node `k`'s ancestor set is chosen as a *downward-closed* subset of
+/// `{0, …, k−1}`; downward closure makes the chosen set exactly the full
+/// ancestor set, so the emitted edge set is transitively closed by
+/// construction.
+pub fn for_each_poset<F: FnMut(&Dag)>(n: usize, mut f: F) {
+    assert!(n <= 16, "poset enumeration is exponential; n={n} is too large");
+    // anc[k] as a bitmask over nodes 0..k.
+    let mut anc: Vec<u32> = vec![0; n];
+    fn recurse<F: FnMut(&Dag)>(k: usize, n: usize, anc: &mut Vec<u32>, f: &mut F) {
+        if k == n {
+            let mut edges = Vec::new();
+            for (v, &mask) in anc.iter().enumerate() {
+                for u in 0..v {
+                    if mask & (1 << u) != 0 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let dag = Dag::from_edges(n, &edges).expect("forward edges cannot cycle");
+            f(&dag);
+            return;
+        }
+        // Enumerate all downward-closed subsets of {0..k}.
+        for subset in 0..(1u32 << k) {
+            let mut closed = true;
+            for (u, &anc_u) in anc.iter().enumerate().take(k) {
+                if subset & (1 << u) != 0 && anc_u & !subset != 0 {
+                    closed = false;
+                    break;
+                }
+            }
+            if closed {
+                anc[k] = subset;
+                recurse(k + 1, n, anc, f);
+            }
+        }
+    }
+    recurse(0, n, &mut anc, &mut f);
+}
+
+/// Collects all naturally labelled posets on `n` elements as
+/// transitive-closure dags.
+pub fn enumerate_posets(n: usize) -> Vec<Dag> {
+    let mut out = Vec::new();
+    for_each_poset(n, |d| out.push(d.clone()));
+    out
+}
+
+/// The number of naturally labelled posets on `n` elements (A006455).
+pub fn count_posets(n: usize) -> usize {
+    let mut c = 0;
+    for_each_poset(n, |_| c += 1);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::Reachability;
+
+    #[test]
+    fn counts_match_oeis_a006455() {
+        assert_eq!(count_posets(0), 1);
+        assert_eq!(count_posets(1), 1);
+        assert_eq!(count_posets(2), 2);
+        assert_eq!(count_posets(3), 7);
+        assert_eq!(count_posets(4), 40);
+        assert_eq!(count_posets(5), 357);
+    }
+
+    #[test]
+    fn outputs_are_transitively_closed() {
+        for d in enumerate_posets(4) {
+            let r = Reachability::new(&d);
+            for u in d.nodes() {
+                for v in r.descendants(u).iter() {
+                    assert!(
+                        d.has_edge(u, crate::graph::NodeId::new(v)),
+                        "missing closure edge {u}->{v} in {d:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_are_distinct() {
+        let posets = enumerate_posets(4);
+        for (i, a) in posets.iter().enumerate() {
+            for b in &posets[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_are_forward() {
+        for d in enumerate_posets(4) {
+            for (u, v) in d.edges() {
+                assert!(u.index() < v.index());
+            }
+        }
+    }
+
+    #[test]
+    fn includes_chain_and_antichain() {
+        let posets = enumerate_posets(3);
+        let chain = crate::generate::chain(3).transitive_closure();
+        let antichain = Dag::edgeless(3);
+        assert!(posets.contains(&chain));
+        assert!(posets.contains(&antichain));
+    }
+}

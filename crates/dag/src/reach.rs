@@ -1,0 +1,203 @@
+//! Reachability (precedence) queries on a dag.
+//!
+//! The paper's models constantly ask `u ≺ v` ("u precedes v", i.e. there is
+//! a nonempty path from u to v) and "which nodes lie strictly between u and
+//! w". We answer both in O(1)/O(n/64) by materialising the transitive
+//! closure as per-node ancestor and descendant [`BitSet`]s.
+
+use crate::bitset::BitSet;
+use crate::graph::{Dag, NodeId};
+
+/// Precomputed strict-precedence relation of a [`Dag`].
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    /// `desc[u]` = all v with a nonempty path u → v.
+    desc: Vec<BitSet>,
+    /// `anc[v]` = all u with a nonempty path u → v.
+    anc: Vec<BitSet>,
+}
+
+impl Reachability {
+    /// Builds the transitive closure of `dag` in `O(V · E / 64)` time.
+    pub fn new(dag: &Dag) -> Self {
+        let n = dag.node_count();
+        let order = dag
+            .toposort_kahn()
+            .expect("Dag invariant guarantees acyclicity");
+        let mut desc = vec![BitSet::new(n); n];
+        // Reverse topological order: successors are finished first.
+        for &u in order.iter().rev() {
+            let mut d = BitSet::new(n);
+            for &v in dag.successors(u) {
+                d.insert(v.index());
+                d.union_with(&desc[v.index()]);
+            }
+            desc[u.index()] = d;
+        }
+        let mut anc = vec![BitSet::new(n); n];
+        for (u, d) in desc.iter().enumerate() {
+            for v in d.iter() {
+                anc[v].insert(u);
+            }
+        }
+        Reachability { desc, anc }
+    }
+
+    /// Number of nodes of the underlying dag.
+    pub fn node_count(&self) -> usize {
+        self.desc.len()
+    }
+
+    /// Strict precedence: is there a nonempty path `u → v`?
+    #[inline]
+    pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        self.desc[u.index()].contains(v.index())
+    }
+
+    /// Reflexive precedence: `u = v` or `u ≺ v`.
+    #[inline]
+    pub fn reaches_eq(&self, u: NodeId, v: NodeId) -> bool {
+        u == v || self.reaches(u, v)
+    }
+
+    /// Whether `u` and `v` are incomparable (neither precedes the other).
+    #[inline]
+    pub fn incomparable(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && !self.reaches(u, v) && !self.reaches(v, u)
+    }
+
+    /// All strict descendants of `u`.
+    #[inline]
+    pub fn descendants(&self, u: NodeId) -> &BitSet {
+        &self.desc[u.index()]
+    }
+
+    /// All strict ancestors of `u`.
+    #[inline]
+    pub fn ancestors(&self, u: NodeId) -> &BitSet {
+        &self.anc[u.index()]
+    }
+
+    /// Nodes strictly between `u` and `w`: `{v : u ≺ v ≺ w}`.
+    pub fn between(&self, u: NodeId, w: NodeId) -> BitSet {
+        let mut b = self.desc[u.index()].clone();
+        b.intersect_with(&self.anc[w.index()]);
+        b
+    }
+
+    /// Number of comparable ordered pairs `(u, v)` with `u ≺ v`.
+    pub fn comparable_pairs(&self) -> usize {
+        self.desc.iter().map(BitSet::len).sum()
+    }
+
+    /// The *width antichain check*: whether `set` is an antichain
+    /// (pairwise incomparable).
+    pub fn is_antichain(&self, set: &BitSet) -> bool {
+        let members: Vec<usize> = set.iter().collect();
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                if self.reaches(NodeId::new(u), NodeId::new(v))
+                    || self.reaches(NodeId::new(v), NodeId::new(u))
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn diamond() -> (Dag, Reachability) {
+        let d = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let r = Reachability::new(&d);
+        (d, r)
+    }
+
+    #[test]
+    fn reaches_follows_paths() {
+        let (_, r) = diamond();
+        assert!(r.reaches(n(0), n(3)));
+        assert!(r.reaches(n(0), n(1)));
+        assert!(!r.reaches(n(1), n(2)));
+        assert!(!r.reaches(n(3), n(0)));
+        assert!(!r.reaches(n(0), n(0)), "strict precedence is irreflexive");
+    }
+
+    #[test]
+    fn reaches_eq_is_reflexive() {
+        let (_, r) = diamond();
+        assert!(r.reaches_eq(n(2), n(2)));
+        assert!(r.reaches_eq(n(0), n(3)));
+        assert!(!r.reaches_eq(n(3), n(0)));
+    }
+
+    #[test]
+    fn incomparable_pairs() {
+        let (_, r) = diamond();
+        assert!(r.incomparable(n(1), n(2)));
+        assert!(!r.incomparable(n(0), n(3)));
+        assert!(!r.incomparable(n(1), n(1)));
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let (_, r) = diamond();
+        assert_eq!(r.descendants(n(0)).iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(r.ancestors(n(3)).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(r.descendants(n(3)).is_empty());
+        assert!(r.ancestors(n(0)).is_empty());
+    }
+
+    #[test]
+    fn between_is_strict() {
+        let (_, r) = diamond();
+        let b = r.between(n(0), n(3));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(r.between(n(1), n(2)).is_empty());
+    }
+
+    #[test]
+    fn comparable_pairs_count() {
+        let (_, r) = diamond();
+        // 0≺1, 0≺2, 0≺3, 1≺3, 2≺3.
+        assert_eq!(r.comparable_pairs(), 5);
+    }
+
+    #[test]
+    fn antichain_check() {
+        let (_, r) = diamond();
+        let mut a = BitSet::new(4);
+        a.insert(1);
+        a.insert(2);
+        assert!(r.is_antichain(&a));
+        a.insert(3);
+        assert!(!r.is_antichain(&a));
+        assert!(r.is_antichain(&BitSet::new(4)));
+    }
+
+    #[test]
+    fn empty_dag_reachability() {
+        let r = Reachability::new(&Dag::empty());
+        assert_eq!(r.node_count(), 0);
+        assert_eq!(r.comparable_pairs(), 0);
+    }
+
+    #[test]
+    fn long_chain_closure() {
+        let k = 100;
+        let edges: Vec<(usize, usize)> = (0..k - 1).map(|i| (i, i + 1)).collect();
+        let d = Dag::from_edges(k, &edges).unwrap();
+        let r = Reachability::new(&d);
+        assert!(r.reaches(n(0), n(k - 1)));
+        assert_eq!(r.descendants(n(0)).len(), k - 1);
+        assert_eq!(r.comparable_pairs(), k * (k - 1) / 2);
+    }
+}

@@ -1,0 +1,232 @@
+//! Series-parallel dag construction.
+//!
+//! Fork/join programs (e.g. Cilk, the paper's motivating language) unfold
+//! into *series-parallel* computations: single-source, single-sink dags
+//! closed under series and parallel composition. [`SpExpr`] is the
+//! composition tree; [`SpExpr::build`] lowers it to a [`Dag`] plus the list
+//! of leaf nodes in expression order, so callers can attach payloads
+//! (memory operations) to leaves.
+
+use crate::graph::{Dag, NodeId};
+
+/// A series-parallel expression tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpExpr {
+    /// A single leaf node.
+    Leaf,
+    /// Sequential composition: left's sink precedes right's source.
+    Series(Box<SpExpr>, Box<SpExpr>),
+    /// Parallel composition: a fresh fork node precedes both branches and a
+    /// fresh join node succeeds both.
+    Parallel(Box<SpExpr>, Box<SpExpr>),
+}
+
+impl SpExpr {
+    /// A leaf.
+    pub fn leaf() -> Self {
+        SpExpr::Leaf
+    }
+
+    /// `self ; other` — series composition.
+    pub fn then(self, other: SpExpr) -> Self {
+        SpExpr::Series(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∥ other` — parallel composition with fresh fork/join nodes.
+    pub fn par(self, other: SpExpr) -> Self {
+        SpExpr::Parallel(Box::new(self), Box::new(other))
+    }
+
+    /// Series composition of an iterator of expressions.
+    ///
+    /// Panics on an empty iterator.
+    pub fn seq<I: IntoIterator<Item = SpExpr>>(items: I) -> Self {
+        let mut it = items.into_iter();
+        let first = it.next().expect("seq of zero expressions");
+        it.fold(first, SpExpr::then)
+    }
+
+    /// Balanced parallel composition of an iterator of expressions.
+    ///
+    /// Panics on an empty iterator.
+    pub fn par_all<I: IntoIterator<Item = SpExpr>>(items: I) -> Self {
+        let mut items: Vec<SpExpr> = items.into_iter().collect();
+        assert!(!items.is_empty(), "par_all of zero expressions");
+        while items.len() > 1 {
+            let mut next = Vec::with_capacity(items.len().div_ceil(2));
+            let mut it = items.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(a.par(b)),
+                    None => next.push(a),
+                }
+            }
+            items = next;
+        }
+        items.pop().expect("nonempty by construction")
+    }
+
+    /// Number of leaves in the expression.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            SpExpr::Leaf => 1,
+            SpExpr::Series(a, b) | SpExpr::Parallel(a, b) => a.leaf_count() + b.leaf_count(),
+        }
+    }
+
+    /// Total node count after lowering (leaves plus fork/join pairs).
+    pub fn node_count(&self) -> usize {
+        match self {
+            SpExpr::Leaf => 1,
+            SpExpr::Series(a, b) => a.node_count() + b.node_count(),
+            SpExpr::Parallel(a, b) => a.node_count() + b.node_count() + 2,
+        }
+    }
+
+    /// Lowers the expression to a dag.
+    ///
+    /// Returns `(dag, leaves, source, sink)` where `leaves` lists the dag
+    /// nodes of the expression's leaves in left-to-right expression order.
+    /// Fork and join nodes are fresh non-leaf nodes.
+    pub fn build(&self) -> SpDag {
+        let mut edges = Vec::new();
+        let mut leaves = Vec::new();
+        let mut next = 0usize;
+        let (source, sink) = lower(self, &mut next, &mut edges, &mut leaves);
+        let dag = Dag::from_edges(next, &edges).expect("series-parallel dags are acyclic");
+        SpDag { dag, leaves, source, sink }
+    }
+}
+
+/// The result of lowering an [`SpExpr`].
+#[derive(Clone, Debug)]
+pub struct SpDag {
+    /// The lowered dag.
+    pub dag: Dag,
+    /// Leaf nodes in expression order.
+    pub leaves: Vec<NodeId>,
+    /// The unique source.
+    pub source: NodeId,
+    /// The unique sink.
+    pub sink: NodeId,
+}
+
+fn lower(
+    e: &SpExpr,
+    next: &mut usize,
+    edges: &mut Vec<(usize, usize)>,
+    leaves: &mut Vec<NodeId>,
+) -> (NodeId, NodeId) {
+    match e {
+        SpExpr::Leaf => {
+            let u = NodeId::new(*next);
+            *next += 1;
+            leaves.push(u);
+            (u, u)
+        }
+        SpExpr::Series(a, b) => {
+            let (a_src, a_snk) = lower(a, next, edges, leaves);
+            let (b_src, b_snk) = lower(b, next, edges, leaves);
+            edges.push((a_snk.index(), b_src.index()));
+            (a_src, b_snk)
+        }
+        SpExpr::Parallel(a, b) => {
+            let fork = NodeId::new(*next);
+            *next += 1;
+            let (a_src, a_snk) = lower(a, next, edges, leaves);
+            let (b_src, b_snk) = lower(b, next, edges, leaves);
+            let join = NodeId::new(*next);
+            *next += 1;
+            edges.push((fork.index(), a_src.index()));
+            edges.push((fork.index(), b_src.index()));
+            edges.push((a_snk.index(), join.index()));
+            edges.push((b_snk.index(), join.index()));
+            (fork, join)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::Reachability;
+
+    #[test]
+    fn single_leaf() {
+        let sp = SpExpr::leaf().build();
+        assert_eq!(sp.dag.node_count(), 1);
+        assert_eq!(sp.leaves.len(), 1);
+        assert_eq!(sp.source, sp.sink);
+    }
+
+    #[test]
+    fn series_of_three() {
+        let e = SpExpr::seq([SpExpr::leaf(), SpExpr::leaf(), SpExpr::leaf()]);
+        let sp = e.build();
+        assert_eq!(sp.dag.node_count(), 3);
+        assert_eq!(sp.dag.edge_count(), 2);
+        let r = Reachability::new(&sp.dag);
+        assert!(r.reaches(sp.leaves[0], sp.leaves[2]));
+    }
+
+    #[test]
+    fn parallel_pair_has_fork_and_join() {
+        let e = SpExpr::leaf().par(SpExpr::leaf());
+        let sp = e.build();
+        assert_eq!(sp.dag.node_count(), 4);
+        assert_eq!(sp.leaves.len(), 2);
+        let r = Reachability::new(&sp.dag);
+        assert!(r.incomparable(sp.leaves[0], sp.leaves[1]));
+        assert!(r.reaches(sp.source, sp.leaves[0]));
+        assert!(r.reaches(sp.leaves[1], sp.sink));
+    }
+
+    #[test]
+    fn node_count_agrees_with_build() {
+        let e = SpExpr::seq([
+            SpExpr::leaf(),
+            SpExpr::leaf().par(SpExpr::leaf().then(SpExpr::leaf())),
+            SpExpr::leaf(),
+        ]);
+        let sp = e.build();
+        assert_eq!(sp.dag.node_count(), e.node_count());
+        assert_eq!(sp.leaves.len(), e.leaf_count());
+    }
+
+    #[test]
+    fn single_source_single_sink() {
+        let e = SpExpr::par_all((0..5).map(|_| SpExpr::leaf()));
+        let sp = e.build();
+        assert_eq!(sp.dag.roots(), vec![sp.source]);
+        assert_eq!(sp.dag.leaves(), vec![sp.sink]);
+    }
+
+    #[test]
+    fn par_all_balances() {
+        let e = SpExpr::par_all((0..4).map(|_| SpExpr::leaf()));
+        // 4 leaves, 3 parallel compositions => 4 + 6 = 10 nodes.
+        assert_eq!(e.node_count(), 10);
+        let sp = e.build();
+        let r = Reachability::new(&sp.dag);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!(r.incomparable(sp.leaves[i], sp.leaves[j]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seq of zero")]
+    fn seq_empty_panics() {
+        SpExpr::seq([]);
+    }
+
+    #[test]
+    fn leaves_in_expression_order() {
+        let e = SpExpr::leaf().then(SpExpr::leaf().par(SpExpr::leaf()));
+        let sp = e.build();
+        assert_eq!(sp.leaves.len(), 3);
+        // First leaf is the series head, which is also the source.
+        assert_eq!(sp.leaves[0], sp.source);
+    }
+}

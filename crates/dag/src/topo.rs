@@ -1,0 +1,456 @@
+//! Topological sorts: deterministic, random, and exhaustive enumeration.
+//!
+//! `TS(G)`, the set of all topological sorts of a dag, is the foundation of
+//! the paper's SC and LC definitions (Definitions 17 and 18). Exhaustive
+//! enumeration is exponential in general — we use it only on the small
+//! computations of the bounded universes — while the membership checkers in
+//! `ccmm-core` avoid enumeration entirely.
+
+use crate::bitset::BitSet;
+use crate::graph::{Dag, NodeId};
+use rand::Rng;
+
+/// A deterministic topological sort (smallest ready index first).
+///
+/// Never fails: `Dag` is acyclic by construction.
+pub fn topo_sort(dag: &Dag) -> Vec<NodeId> {
+    dag.toposort_kahn().expect("Dag invariant guarantees acyclicity")
+}
+
+/// Whether `order` is a topological sort of `dag`: a permutation of the
+/// nodes in which every edge goes forward.
+pub fn is_topological_sort(dag: &Dag, order: &[NodeId]) -> bool {
+    let n = dag.node_count();
+    if order.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, u) in order.iter().enumerate() {
+        if u.index() >= n || pos[u.index()] != usize::MAX {
+            return false;
+        }
+        pos[u.index()] = i;
+    }
+    dag.edges().all(|(u, v)| pos[u.index()] < pos[v.index()])
+}
+
+/// A random topological sort, drawn by repeatedly picking a uniformly
+/// random ready node.
+///
+/// Note: this is *not* uniform over `TS(G)` (uniform sampling of linear
+/// extensions is hard); it is adequate for randomized testing because every
+/// topological sort has nonzero probability.
+pub fn random_topo_sort<R: Rng + ?Sized>(dag: &Dag, rng: &mut R) -> Vec<NodeId> {
+    let n = dag.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|u| dag.in_degree(NodeId::new(u))).collect();
+    let mut ready: Vec<NodeId> = dag.roots();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let i = rng.gen_range(0..ready.len());
+        let u = ready.swap_remove(i);
+        order.push(u);
+        for &v in dag.successors(u) {
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                ready.push(v);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+/// Iterator over **all** topological sorts of a dag, in lexicographic order
+/// of node indices.
+///
+/// The number of sorts can be `n!` (edgeless dag); callers must bound the
+/// input or consume lazily.
+pub struct TopoSorts<'a> {
+    dag: &'a Dag,
+    n: usize,
+    indeg: Vec<usize>,
+    /// Chosen prefix of the sort under construction.
+    prefix: Vec<NodeId>,
+    /// `ready[d]` = nodes available at depth `d` (sorted ascending).
+    ready: Vec<Vec<NodeId>>,
+    /// `choice[d]` = index into `ready[d]` currently chosen.
+    choice: Vec<usize>,
+    state: IterState,
+}
+
+enum IterState {
+    /// Need to descend (extend the prefix) before emitting.
+    Descend,
+    /// Just emitted a full sort; need to backtrack.
+    Backtrack,
+    Done,
+}
+
+impl<'a> TopoSorts<'a> {
+    /// Starts the enumeration.
+    pub fn new(dag: &'a Dag) -> Self {
+        let n = dag.node_count();
+        let indeg: Vec<usize> = (0..n).map(|u| dag.in_degree(NodeId::new(u))).collect();
+        let ready0: Vec<NodeId> = dag.roots();
+        TopoSorts {
+            dag,
+            n,
+            indeg,
+            prefix: Vec::with_capacity(n),
+            ready: vec![ready0],
+            choice: vec![0],
+            state: IterState::Descend,
+        }
+    }
+
+    /// Applies the choice at the current depth: push the node, update
+    /// in-degrees, and compute the next ready set.
+    fn push_choice(&mut self) {
+        let d = self.prefix.len();
+        let u = self.ready[d][self.choice[d]];
+        self.prefix.push(u);
+        let mut next_ready: Vec<NodeId> =
+            self.ready[d].iter().copied().filter(|&x| x != u).collect();
+        for &v in self.dag.successors(u) {
+            self.indeg[v.index()] -= 1;
+            if self.indeg[v.index()] == 0 {
+                next_ready.push(v);
+            }
+        }
+        next_ready.sort_unstable();
+        self.ready.push(next_ready);
+        self.choice.push(0);
+    }
+
+    /// Undoes the last choice; returns `false` if the search space is
+    /// exhausted.
+    fn pop_choice(&mut self) -> bool {
+        loop {
+            self.ready.pop();
+            self.choice.pop();
+            let Some(u) = self.prefix.pop() else {
+                return false;
+            };
+            for &v in self.dag.successors(u) {
+                self.indeg[v.index()] += 1;
+            }
+            let d = self.prefix.len();
+            self.choice[d] += 1;
+            if self.choice[d] < self.ready[d].len() {
+                return true;
+            }
+            // Exhausted all candidates at this depth; keep unwinding.
+        }
+    }
+}
+
+impl Iterator for TopoSorts<'_> {
+    type Item = Vec<NodeId>;
+
+    fn next(&mut self) -> Option<Vec<NodeId>> {
+        loop {
+            match self.state {
+                IterState::Done => return None,
+                IterState::Backtrack => {
+                    if self.pop_choice() {
+                        self.state = IterState::Descend;
+                    } else {
+                        self.state = IterState::Done;
+                        return None;
+                    }
+                }
+                IterState::Descend => {
+                    while self.prefix.len() < self.n {
+                        self.push_choice();
+                    }
+                    self.state = IterState::Backtrack;
+                    return Some(self.prefix.clone());
+                }
+            }
+        }
+    }
+}
+
+/// All topological sorts, collected. Intended for small dags only.
+pub fn all_topo_sorts(dag: &Dag) -> Vec<Vec<NodeId>> {
+    TopoSorts::new(dag).collect()
+}
+
+/// The number of topological sorts (linear extensions) of `dag`.
+///
+/// Counts by exhaustive enumeration; exponential in general. Prefer
+/// [`count_topo_sorts_dp`], which is exponential only in the number of
+/// reachable *downsets* (far fewer than sorts on most dags).
+pub fn count_topo_sorts(dag: &Dag) -> usize {
+    TopoSorts::new(dag).count()
+}
+
+/// Downset dynamic program over prefixes: `count(D)` = number of linear
+/// extensions of the subposet `D` (a downward-closed node set), computed
+/// as `Σ count(D − m)` over maximal elements `m` of `D`, memoised.
+fn downset_counts(dag: &Dag) -> std::collections::HashMap<BitSet, u128> {
+    let n = dag.node_count();
+    let mut memo: std::collections::HashMap<BitSet, u128> = std::collections::HashMap::new();
+    memo.insert(BitSet::new(n), 1);
+    fn count(
+        d: &BitSet,
+        dag: &Dag,
+        memo: &mut std::collections::HashMap<BitSet, u128>,
+    ) -> u128 {
+        if let Some(&c) = memo.get(d) {
+            return c;
+        }
+        // Maximal elements of d: members none of whose successors are in d.
+        let mut total = 0u128;
+        for m in d.iter() {
+            let maximal = dag
+                .successors(NodeId::new(m))
+                .iter()
+                .all(|s| !d.contains(s.index()));
+            if maximal {
+                let mut smaller = d.clone();
+                smaller.remove(m);
+                total += count(&smaller, dag, memo);
+            }
+        }
+        memo.insert(d.clone(), total);
+        total
+    }
+    let full = BitSet::full(n);
+    count(&full, dag, &mut memo);
+    memo
+}
+
+/// The number of linear extensions, by the downset dynamic program.
+///
+/// Exact (in `u128`); memory proportional to the number of downsets —
+/// fine for the narrow dags of real workloads, exponential on wide
+/// antichains (counting linear extensions is #P-complete in general).
+pub fn count_topo_sorts_dp(dag: &Dag) -> u128 {
+    if dag.is_empty() {
+        return 1;
+    }
+    let memo = downset_counts(dag);
+    memo[&BitSet::full(dag.node_count())]
+}
+
+/// A **uniformly random** topological sort, sampled via the downset
+/// counts: at each step pick ready node `m` with probability
+/// `count(D − m) / count(D)`.
+///
+/// Contrast with [`random_topo_sort`], which is cheap but biased.
+pub fn uniform_topo_sort<R: Rng + ?Sized>(dag: &Dag, rng: &mut R) -> Vec<NodeId> {
+    let n = dag.node_count();
+    let memo = downset_counts(dag);
+    let mut d = BitSet::full(n);
+    let mut rev = Vec::with_capacity(n);
+    while !d.is_empty() {
+        let total = memo[&d];
+        let mut draw = rng.gen_range(0..total);
+        let mut picked = None;
+        for m in d.iter() {
+            let maximal = dag
+                .successors(NodeId::new(m))
+                .iter()
+                .all(|s| !d.contains(s.index()));
+            if !maximal {
+                continue;
+            }
+            let mut smaller = d.clone();
+            smaller.remove(m);
+            let c = memo[&smaller];
+            if draw < c {
+                picked = Some(m);
+                break;
+            }
+            draw -= c;
+        }
+        let m = picked.expect("counts partition the draw space");
+        rev.push(NodeId::new(m));
+        d.remove(m);
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn topo_sort_of_chain() {
+        let d = Dag::from_edges(3, &[(2, 1), (1, 0)]).unwrap();
+        assert_eq!(topo_sort(&d), vec![n(2), n(1), n(0)]);
+    }
+
+    #[test]
+    fn is_topological_sort_checks() {
+        let d = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(is_topological_sort(&d, &[n(0), n(1), n(2)]));
+        assert!(!is_topological_sort(&d, &[n(1), n(0), n(2)]));
+        assert!(!is_topological_sort(&d, &[n(0), n(1)]), "wrong length");
+        assert!(!is_topological_sort(&d, &[n(0), n(0), n(2)]), "repeat");
+    }
+
+    #[test]
+    fn all_sorts_of_edgeless_3_is_all_permutations() {
+        let d = Dag::edgeless(3);
+        let sorts = all_topo_sorts(&d);
+        assert_eq!(sorts.len(), 6);
+        // Lexicographic order of node indices.
+        assert_eq!(sorts[0], vec![n(0), n(1), n(2)]);
+        assert_eq!(sorts[5], vec![n(2), n(1), n(0)]);
+        // All distinct.
+        let set: std::collections::HashSet<_> = sorts.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn all_sorts_of_diamond() {
+        let d = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let sorts = all_topo_sorts(&d);
+        assert_eq!(sorts, vec![
+            vec![n(0), n(1), n(2), n(3)],
+            vec![n(0), n(2), n(1), n(3)],
+        ]);
+    }
+
+    #[test]
+    fn all_sorts_of_chain_is_single() {
+        let edges: Vec<(usize, usize)> = (0..5).map(|i| (i, i + 1)).collect();
+        let d = Dag::from_edges(6, &edges).unwrap();
+        assert_eq!(count_topo_sorts(&d), 1);
+    }
+
+    #[test]
+    fn all_sorts_of_empty_dag() {
+        let d = Dag::empty();
+        let sorts = all_topo_sorts(&d);
+        assert_eq!(sorts, vec![Vec::<NodeId>::new()]);
+    }
+
+    #[test]
+    fn every_enumerated_sort_is_valid() {
+        let d = Dag::from_edges(5, &[(0, 2), (1, 2), (2, 4), (3, 4)]).unwrap();
+        let sorts = all_topo_sorts(&d);
+        assert!(!sorts.is_empty());
+        for s in &sorts {
+            assert!(is_topological_sort(&d, s), "invalid sort {s:?}");
+        }
+        // Distinctness.
+        let set: std::collections::HashSet<_> = sorts.iter().collect();
+        assert_eq!(set.len(), sorts.len());
+    }
+
+    #[test]
+    fn count_matches_known_formula_for_two_chains() {
+        // Two independent chains of length 2 and 3: count = C(5,2) = 10.
+        let d = Dag::from_edges(5, &[(0, 1), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(count_topo_sorts(&d), 10);
+    }
+
+    #[test]
+    fn random_topo_sort_is_valid() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let d = Dag::from_edges(6, &[(0, 3), (1, 3), (2, 4), (3, 5), (4, 5)]).unwrap();
+        for _ in 0..50 {
+            let t = random_topo_sort(&d, &mut rng);
+            assert!(is_topological_sort(&d, &t));
+        }
+    }
+
+    #[test]
+    fn random_topo_sort_reaches_multiple_orders() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let d = Dag::edgeless(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(random_topo_sort(&d, &mut rng));
+        }
+        assert!(seen.len() > 10, "only saw {} orders", seen.len());
+    }
+}
+
+#[cfg(test)]
+mod dp_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dp_count_matches_enumeration() {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(91);
+        for _ in 0..20 {
+            let d = crate::generate::gnp_dag(7, 0.3, &mut rng);
+            assert_eq!(
+                count_topo_sorts_dp(&d),
+                count_topo_sorts(&d) as u128,
+                "DP disagrees with enumeration on {d:?}"
+            );
+        }
+        assert_eq!(count_topo_sorts_dp(&Dag::empty()), 1);
+        assert_eq!(count_topo_sorts_dp(&Dag::edgeless(10)), 3_628_800);
+    }
+
+    #[test]
+    fn dp_handles_sizes_enumeration_cannot() {
+        // 2 chains of 15: C(30,15) extensions — enumeration would take
+        // 155 million steps; the DP is instant.
+        let mut edges = Vec::new();
+        for i in 0..14 {
+            edges.push((i, i + 1));
+            edges.push((15 + i, 16 + i));
+        }
+        let d = Dag::from_edges(30, &edges).unwrap();
+        assert_eq!(count_topo_sorts_dp(&d), 155_117_520);
+    }
+
+    #[test]
+    fn uniform_sort_is_valid_and_uniform_on_small_dag() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(92);
+        // Diamond: exactly two sorts; the uniform sampler should split
+        // roughly evenly (the greedy sampler would too here, but the DP
+        // guarantees it).
+        let d = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..400 {
+            let t = uniform_topo_sort(&d, &mut rng);
+            assert!(is_topological_sort(&d, &t));
+            *counts.entry(t).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 2);
+        for (_, c) in counts {
+            assert!((120..=280).contains(&c), "skewed: {c}");
+        }
+    }
+
+    #[test]
+    fn uniform_sampler_corrects_greedy_bias() {
+        // The "broom": source -> {a, b}, a -> long chain. Greedy picks a/b
+        // 50:50 at step 2, but most extensions start with b late...
+        // Compare first-node-after-source frequencies against exact
+        // proportions. Dag: 0 -> 1, 0 -> 2, 1 -> 3 -> 4 -> 5.
+        let d = Dag::from_edges(6, &[(0, 1), (0, 2), (1, 3), (3, 4), (4, 5)]).unwrap();
+        // Extensions: node 2 can sit in any of 5 positions after 0:
+        // total = 5; those starting 0,1 are 4 of 5 (node 2 after 1).
+        assert_eq!(count_topo_sorts_dp(&d), 5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(93);
+        let mut second_is_1 = 0;
+        let n_samples = 1000;
+        for _ in 0..n_samples {
+            let t = uniform_topo_sort(&d, &mut rng);
+            if t[1] == NodeId::new(1) {
+                second_is_1 += 1;
+            }
+        }
+        // Uniform: P(second = 1) = 4/5 = 0.8. Greedy would give 0.5.
+        let frac = second_is_1 as f64 / n_samples as f64;
+        assert!((0.75..=0.85).contains(&frac), "got {frac}, expected ≈0.8");
+    }
+}

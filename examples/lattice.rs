@@ -1,0 +1,52 @@
+//! Reproduce Figure 1: the lattice of models, machine-checked over an
+//! exhaustive universe of small computations.
+//!
+//! Run with: `cargo run --release --example lattice`
+
+use ccmm::core::relation::{compare, Relation};
+use ccmm::core::universe::Universe;
+use ccmm::core::Model;
+
+fn main() {
+    // 4-node computations over one location: 3,451 computations, every
+    // valid observer function of each.
+    let u = Universe::new(4, 1);
+    let models = [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww];
+
+    println!("pairwise relations over all computations ≤ {} nodes, 1 location", u.max_nodes);
+    println!("(cell = relation of ROW to COLUMN; ⊊ row strictly stronger)");
+    print!("{:<6}", "");
+    for b in models {
+        print!("{:>6}", b.name());
+    }
+    println!();
+    for a in models {
+        print!("{:<6}", a.name());
+        for b in models {
+            let rel = compare(&a, &b, &u).relation;
+            print!("{:>6}", rel.to_string());
+        }
+        println!();
+    }
+
+    println!();
+    println!("Expected from Figure 1 (single location, so SC = LC here;");
+    println!("they separate with ≥ 2 locations — see the litmus example):");
+    println!("  LC ⊊ NN ⊊ NW, WN ⊊ WW, with NW ∥ WN.");
+
+    // Verify the chain programmatically.
+    let chain = [
+        (Model::Lc, Model::Nn),
+        (Model::Nn, Model::Nw),
+        (Model::Nn, Model::Wn),
+        (Model::Nw, Model::Ww),
+        (Model::Wn, Model::Ww),
+    ];
+    for (a, b) in chain {
+        let rel = compare(&a, &b, &u).relation;
+        assert_eq!(rel, Relation::StrictlyStronger, "{a} vs {b}: {rel}");
+    }
+    let nw_wn = compare(&Model::Nw, &Model::Wn, &u).relation;
+    assert_eq!(nw_wn, Relation::Incomparable);
+    println!("\nall Figure-1 relations verified ✓");
+}

@@ -1,0 +1,35 @@
+//! Litmus tests across the model lattice: which classic relaxed-memory
+//! outcomes does each model of the paper admit?
+//!
+//! Run with: `cargo run --example litmus`
+
+use ccmm::core::litmus::standard_tests;
+use ccmm::core::Model;
+
+fn main() {
+    let models = [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww];
+
+    for test in standard_tests() {
+        println!("=== {} ===", test.name);
+        println!("{}", test.note);
+        println!("{}", test.computation.to_dot(test.name));
+        println!("{:<8} {:>10} {:>60}", "model", "#outcomes", "outcomes (tuples of observed read tokens)");
+        for m in models {
+            let outs = test.outcomes(&m);
+            let rendered: Vec<String> =
+                outs.iter().map(|o| format!("{o:?}")).collect();
+            let mut line = rendered.join(" ");
+            if line.len() > 58 {
+                line.truncate(55);
+                line.push('…');
+            }
+            println!("{:<8} {:>10} {:>60}", m.name(), outs.len(), line);
+        }
+        println!();
+    }
+
+    println!("Reading the table: outcome tuples list what each observed");
+    println!("read returned (0 = initial value, k = token of write node");
+    println!("k-1). Weaker models admit supersets — the lattice of");
+    println!("Figure 1 as observable program behaviour.");
+}

@@ -1,0 +1,281 @@
+//! `ccmm` — command-line front end to the computation-centric memory
+//! model toolkit.
+//!
+//! ```text
+//! ccmm models <computation-file> <observer-file>   memberships of a pair
+//! ccmm check --model <m> <comp> <obs>              one membership, exit code
+//! ccmm witness fig2|fig3|fig4                      the paper's figures
+//! ccmm litmus [name]                               outcome tables per model
+//! ccmm backer --workload fib:8 [--procs P] [--cache N] [--page B] [--runs K]
+//! ccmm lattice [--nodes N]                         Figure 1 relation matrix
+//! ccmm dot <computation-file>                      Graphviz export
+//! ```
+//!
+//! Files use the text format of `ccmm_core::parse`; `-` reads stdin.
+
+use ccmm::core::parse::{parse_computation, parse_observer, render_observer};
+use ccmm::core::{Computation, Model};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+fn model_by_name(name: &str) -> Result<Model, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "sc" => Ok(Model::Sc),
+        "lc" => Ok(Model::Lc),
+        "nn" => Ok(Model::Nn),
+        "nw" => Ok(Model::Nw),
+        "wn" => Ok(Model::Wn),
+        "ww" => Ok(Model::Ww),
+        "any" => Ok(Model::Any),
+        other => Err(format!("unknown model `{other}` (sc|lc|nn|nw|wn|ww|any)")),
+    }
+}
+
+fn load_pair(cpath: &str, opath: &str) -> Result<(Computation, ccmm::core::ObserverFunction), String> {
+    let c = parse_computation(&read_input(cpath)?).map_err(|e| e.to_string())?;
+    let phi = parse_observer(&read_input(opath)?, &c).map_err(|e| e.to_string())?;
+    Ok((c, phi))
+}
+
+fn cmd_models(args: &[String]) -> Result<(), String> {
+    let [cpath, opath] = args else {
+        return Err("usage: ccmm models <computation> <observer>".into());
+    };
+    let (c, phi) = load_pair(cpath, opath)?;
+    println!("{c:?}");
+    println!("{}", render_observer(&phi).trim_end());
+    println!();
+    for m in Model::ALL {
+        println!("{:<4} {}", m.name(), if m.contains(&c, &phi) { "∈" } else { "∉" });
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<bool, String> {
+    let mut model = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--model" {
+            let v = it.next().ok_or("--model needs a value")?;
+            model = Some(model_by_name(v)?);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let model = model.ok_or("usage: ccmm check --model <m> <computation> <observer>")?;
+    let [cpath, opath] = rest.as_slice() else {
+        return Err("usage: ccmm check --model <m> <computation> <observer>".into());
+    };
+    let (c, phi) = load_pair(cpath, opath)?;
+    let member = model.contains(&c, &phi);
+    println!("{}: {}", model.name(), if member { "member" } else { "NOT a member" });
+    Ok(member)
+}
+
+fn cmd_witness(args: &[String]) -> Result<(), String> {
+    let which = args.first().map(String::as_str).unwrap_or("fig4");
+    let w = match which {
+        "fig2" => ccmm::core::witness::figure2(),
+        "fig3" => ccmm::core::witness::figure3(),
+        "fig4" => ccmm::core::witness::figure4_prefix(),
+        other => return Err(format!("unknown witness `{other}` (fig2|fig3|fig4)")),
+    };
+    println!("# nodes: {}", w.names.join(", "));
+    print!("{}", ccmm::core::parse::render_computation(&w.computation));
+    println!("---");
+    print!("{}", render_observer(&w.phi));
+    println!("---");
+    for m in Model::ALL {
+        println!("{:<4} {}", m.name(), if m.contains(&w.computation, &w.phi) { "∈" } else { "∉" });
+    }
+    Ok(())
+}
+
+fn cmd_litmus(args: &[String]) -> Result<(), String> {
+    let filter = args.first().map(String::as_str);
+    let models = [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww];
+    for t in ccmm::core::litmus::standard_tests() {
+        if filter.is_some_and(|f| !t.name.eq_ignore_ascii_case(f)) {
+            continue;
+        }
+        println!("=== {} ===", t.name);
+        println!("{}", t.note);
+        for m in models {
+            let outs = t.outcomes(&m);
+            println!("{:<4} {:>3} outcomes", m.name(), outs.len());
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn parse_workload(spec: &str) -> Result<Computation, String> {
+    let (name, arg) = spec.split_once(':').unwrap_or((spec, ""));
+    let k: usize = if arg.is_empty() { 8 } else { arg.parse().map_err(|_| "bad workload size")? };
+    Ok(match name {
+        "fib" => ccmm::cilk::fib(k as u32).computation,
+        "matmul" => ccmm::cilk::matmul(k).computation,
+        "stencil" => ccmm::cilk::stencil(k, 4).computation,
+        "reduce" => ccmm::cilk::reduce(k).computation,
+        "mergesort" => ccmm::cilk::mergesort(k).computation,
+        other => return Err(format!("unknown workload `{other}`")),
+    })
+}
+
+fn cmd_backer(args: &[String]) -> Result<(), String> {
+    use ccmm::backer::{sim, BackerConfig, Schedule};
+    use rand::SeedableRng;
+    let mut workload = "fib:8".to_string();
+    let mut procs = 4usize;
+    let mut cache = 16usize;
+    let mut page = 1usize;
+    let mut runs = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--workload" => workload = take("--workload")?,
+            "--procs" => procs = take("--procs")?.parse().map_err(|_| "bad --procs")?,
+            "--cache" => cache = take("--cache")?.parse().map_err(|_| "bad --cache")?,
+            "--page" => page = take("--page")?.parse().map_err(|_| "bad --page")?,
+            "--runs" => runs = take("--runs")?.parse().map_err(|_| "bad --runs")?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let c = parse_workload(&workload)?;
+    let shape = ccmm::dag::metrics::shape(c.dag());
+    println!(
+        "{workload}: {} nodes, height {}, width {}, {} locations",
+        shape.nodes,
+        shape.height,
+        shape.width,
+        c.num_locations()
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xCC);
+    let mut report = ccmm::backer::VerifyReport::default();
+    let mut stats = ccmm::backer::Stats::default();
+    for _ in 0..runs {
+        let s = Schedule::work_stealing(&c, procs, &mut rng);
+        let cfg = BackerConfig::with_processors(procs).cache_capacity(cache);
+        let r = if page > 1 { sim::run_paged(&c, &s, &cfg, page) } else { sim::run(&c, &s, &cfg) };
+        report.record(ccmm::backer::verify(&c, &r.observer));
+        stats.merge(&r.stats);
+    }
+    println!(
+        "{runs} runs on {procs} procs (cache {cache}, page {page}): \
+         valid {}/{}, SC {}, LC {}, NN {}, WW {}",
+        report.valid, report.runs, report.sc, report.lc, report.nn, report.ww
+    );
+    println!(
+        "traffic: {} fetches, {} reconciles, {} flushes, hit rate {:.2}",
+        stats.fetches,
+        stats.reconciles,
+        stats.flushes,
+        stats.hit_rate()
+    );
+    if !report.all_lc() {
+        return Err("BACKER produced a non-LC execution (bug!)".into());
+    }
+    Ok(())
+}
+
+fn cmd_lattice(args: &[String]) -> Result<(), String> {
+    let mut nodes = 3usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--nodes" {
+            nodes = it
+                .next()
+                .ok_or("--nodes needs a value")?
+                .parse()
+                .map_err(|_| "bad --nodes")?;
+        }
+    }
+    if nodes > 4 {
+        return Err("--nodes > 4 is too slow for the CLI; use exp_fig1".into());
+    }
+    let u = ccmm::core::universe::Universe::new(nodes, 1);
+    let models = [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww];
+    print!("{:<4}", "");
+    for b in models {
+        print!("{:>4}", b.name());
+    }
+    println!();
+    for a in models {
+        print!("{:<4}", a.name());
+        for b in models {
+            print!("{:>4}", ccmm::core::relation::compare(&a, &b, &u).relation.to_string());
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let [cpath] = args else {
+        return Err("usage: ccmm dot <computation>".into());
+    };
+    let c = parse_computation(&read_input(cpath)?).map_err(|e| e.to_string())?;
+    print!("{}", c.to_dot("computation"));
+    Ok(())
+}
+
+const USAGE: &str = "\
+ccmm — computation-centric memory models (Frigo & Luchangco, SPAA 1998)
+
+USAGE:
+  ccmm models <computation> <observer>     memberships of a pair in all models
+  ccmm check --model <m> <comp> <obs>      exit 0 iff member (m: sc|lc|nn|nw|wn|ww)
+  ccmm witness [fig2|fig3|fig4]            the paper's witness pairs
+  ccmm litmus [name]                       litmus outcome counts per model
+  ccmm backer [--workload W] [--procs P] [--cache N] [--page B] [--runs K]
+  ccmm lattice [--nodes N]                 pairwise model relations (N ≤ 4)
+  ccmm dot <computation>                   Graphviz export
+
+Computation/observer files use the text format of ccmm_core::parse
+(`-` = stdin). Workloads: fib:K matmul:K stencil:K reduce:K mergesort:K.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result: Result<bool, String> = match cmd.as_str() {
+        "models" => cmd_models(rest).map(|()| true),
+        "check" => cmd_check(rest),
+        "witness" => cmd_witness(rest).map(|()| true),
+        "litmus" => cmd_litmus(rest).map(|()| true),
+        "backer" => cmd_backer(rest).map(|()| true),
+        "lattice" => cmd_lattice(rest).map(|()| true),
+        "dot" => cmd_dot(rest).map(|()| true),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # ccmm — computation-centric memory models
+//!
+//! An executable reproduction of Frigo & Luchangco, *Computation-Centric
+//! Memory Models* (SPAA 1998). This facade crate re-exports the
+//! workspace:
+//!
+//! * [`dag`] — dag substrate (reachability, topological sorts, poset
+//!   universes, generators);
+//! * [`core`] — computations, observer functions, the SC / LC /
+//!   NN / NW / WN / WW model checkers, constructibility machinery, paper
+//!   witnesses, litmus tests;
+//! * [`backer`] — the BACKER coherence algorithm (simulator + threaded
+//!   executor) with LC verification;
+//! * [`cilk`] — fork/join program builder and workloads.
+//!
+//! Start with `examples/quickstart.rs`.
+
+pub use ccmm_backer as backer;
+pub use ccmm_cilk as cilk;
+pub use ccmm_core as core;
+pub use ccmm_dag as dag;

@@ -1,0 +1,109 @@
+//! End-to-end tests of the `ccmm` CLI binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ccmm"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("ccmm-cli-test-{name}-{}", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("ccmm models"));
+    assert!(text.contains("Frigo & Luchangco"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown command"));
+}
+
+#[test]
+fn check_exit_codes_reflect_membership() {
+    let c = write_temp("c", "n0: W(0)\nn1: R(0) <- n0\n");
+    let member = write_temp("m", "l0: n0 n0\n");
+    let stale = write_temp("s", "l0: n0 _\n");
+
+    let ok = bin().args(["check", "--model", "sc"]).arg(&c).arg(&member).output().unwrap();
+    assert_eq!(ok.status.code(), Some(0));
+    assert!(String::from_utf8(ok.stdout).unwrap().contains("member"));
+
+    let bad = bin().args(["check", "--model", "ww"]).arg(&c).arg(&stale).output().unwrap();
+    assert_eq!(bad.status.code(), Some(1));
+
+    let any = bin().args(["check", "--model", "any"]).arg(&c).arg(&stale).output().unwrap();
+    assert_eq!(any.status.code(), Some(0), "validity alone accepts the stale observer");
+}
+
+#[test]
+fn models_reads_stdin() {
+    let obs = write_temp("o", "l0: n0 n0\n");
+    let mut child = bin()
+        .args(["models", "-"])
+        .arg(&obs)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"n0: W(0)\nn1: R(0) <- n0\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("SC"), "{text}");
+    assert!(text.contains("∈"));
+}
+
+#[test]
+fn witness_fig4_not_in_lc() {
+    let out = bin().args(["witness", "fig4"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("NN   ∈"));
+    assert!(text.contains("LC   ∉"));
+}
+
+#[test]
+fn backer_reports_lc() {
+    let out = bin()
+        .args(["backer", "--workload", "fib:6", "--procs", "2", "--runs", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("LC 3"), "{text}");
+}
+
+#[test]
+fn dot_renders_graphviz() {
+    let c = write_temp("dot", "n0: W(0)\nn1: R(0) <- n0\n");
+    let out = bin().arg("dot").arg(&c).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("0 -> 1;"));
+}
+
+#[test]
+fn parse_errors_surface_with_line_numbers() {
+    let c = write_temp("bad", "n0: W(0)\nn7: R(0)\n");
+    let obs = write_temp("bad-o", "l0: n0 n0\n");
+    let out = bin().args(["models"]).arg(&c).arg(&obs).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("line 2"));
+}

@@ -1,0 +1,144 @@
+//! Integration: lock-augmented computations and the online game, spanning
+//! the builder (cilk), the models (core), and BACKER (backer).
+
+use ccmm::core::locks::{CriticalSection, Lock, LockedComputation};
+use ccmm::core::online::{greedy_survives, OnlineSession};
+use ccmm::core::{Lc, MemoryModel, Model, Nn, Op, Sc};
+use ccmm::dag::NodeId;
+use std::ops::ControlFlow;
+
+fn l(i: usize) -> ccmm::core::Location {
+    ccmm::core::Location::new(i)
+}
+
+#[test]
+fn locked_cilk_program_serializes_sections() {
+    // Build a fork/join program whose two children form critical
+    // sections on the same lock.
+    let c = ccmm::cilk::build_program(|b, s| {
+        b.write(s, l(0)); // 0: init
+        b.spawn(s, |b, t| {
+            b.read(t, l(0)); // 1
+            b.write(t, l(0)); // 2
+        });
+        b.spawn(s, |b, t| {
+            b.read(t, l(0)); // 3
+            b.write(t, l(0)); // 4
+        });
+        b.sync(s); // 5
+        b.read(s, l(0)); // 6
+    });
+    let locked = LockedComputation::new(
+        c.clone(),
+        vec![
+            CriticalSection { lock: Lock(0), acquire: NodeId::new(1), release: NodeId::new(2) },
+            CriticalSection { lock: Lock(0), acquire: NodeId::new(3), release: NodeId::new(4) },
+        ],
+    )
+    .unwrap();
+    assert_eq!(locked.serializations().len(), 2);
+
+    // Under locked LC, the final read must see the LAST section's write,
+    // and the second section's read must see the first's write: exactly
+    // two observation patterns survive (one per section order).
+    let mut survivors = Vec::new();
+    let _ = ccmm::core::enumerate::for_each_observer(&c, |phi| {
+        if locked.contains_under(&Lc, phi) {
+            survivors.push((
+                phi.get(l(0), NodeId::new(1)),
+                phi.get(l(0), NodeId::new(3)),
+                phi.get(l(0), NodeId::new(6)),
+            ));
+        }
+        ControlFlow::Continue(())
+    });
+    survivors.sort();
+    survivors.dedup();
+    assert_eq!(
+        survivors,
+        vec![
+            // A then B: r1 sees init, r3 sees A's write, final sees B's.
+            (Some(NodeId::new(0)), Some(NodeId::new(2)), Some(NodeId::new(4))),
+            // B then A.
+            (Some(NodeId::new(4)), Some(NodeId::new(0)), Some(NodeId::new(2))),
+        ]
+    );
+}
+
+#[test]
+fn unlocked_version_admits_lost_updates() {
+    let c = ccmm::cilk::build_program(|b, s| {
+        b.write(s, l(0));
+        b.spawn(s, |b, t| {
+            b.read(t, l(0));
+            b.write(t, l(0));
+        });
+        b.spawn(s, |b, t| {
+            b.read(t, l(0));
+            b.write(t, l(0));
+        });
+        b.sync(s);
+        b.read(s, l(0));
+    });
+    // Both increments read the initial write: a lost update, admitted by
+    // plain LC because the sections race.
+    let mut lost_update_seen = false;
+    let _ = ccmm::core::enumerate::for_each_observer(&c, |phi| {
+        if Lc.contains(&c, phi)
+            && phi.get(l(0), NodeId::new(1)) == Some(NodeId::new(0))
+            && phi.get(l(0), NodeId::new(3)) == Some(NodeId::new(0))
+        {
+            lost_update_seen = true;
+            return ControlFlow::Break(());
+        }
+        ControlFlow::Continue(())
+    });
+    assert!(lost_update_seen);
+    // And the race detector flags exactly this danger.
+    assert!(!ccmm::cilk::race::is_race_free(&c));
+}
+
+#[test]
+fn online_game_across_model_lattice() {
+    // Replay every ≤5-node single-location computation of the stencil
+    // through greedy sessions: constructible models never jam.
+    let c = ccmm::cilk::stencil(3, 2).computation;
+    assert!(greedy_survives(Sc, &c, 0));
+    assert!(greedy_survives(Lc, &c, 0));
+    assert!(greedy_survives(Model::Ww, &c, 0));
+}
+
+#[test]
+fn online_session_observer_always_in_model() {
+    let c = ccmm::cilk::reduce(4).computation;
+    let mut s = OnlineSession::new(Nn::default(), c.num_locations());
+    for u in c.nodes() {
+        let preds: Vec<NodeId> = c.dag().predecessors(u).to_vec();
+        if s.reveal(&preds, c.op(u)).is_err() {
+            panic!("greedy NN jammed on the race-free reduce program");
+        }
+        assert!(Nn::default().contains(s.computation(), s.observer()));
+    }
+    assert_eq!(s.computation().node_count(), c.node_count());
+}
+
+#[test]
+fn race_free_workloads_have_deterministic_online_reads() {
+    // Race-free ⇒ every membership-preserving online play gives reads
+    // their unique determinate values.
+    let p = ccmm::cilk::fib(4);
+    let c = &p.computation;
+    let expected = ccmm::cilk::race::determinate_reads(c);
+    let mut s = OnlineSession::new(Lc, c.num_locations());
+    for u in c.nodes() {
+        let preds: Vec<NodeId> = c.dag().predecessors(u).to_vec();
+        s.reveal(&preds, c.op(u)).expect("LC never jams");
+    }
+    for (r, want) in expected {
+        let loc = match c.op(r) {
+            Op::Read(l) => l,
+            _ => unreachable!(),
+        };
+        assert_eq!(s.observer().get(loc, r), want, "read {r}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Integration: the full model hierarchy (Figure 1) holds on every pair
+//! of exhaustively enumerated universes, across one and two locations.
+
+use ccmm::core::enumerate::for_each_observer;
+use ccmm::core::universe::Universe;
+use ccmm::core::Model;
+use std::ops::ControlFlow;
+
+/// Every membership vector must respect the inclusion chains
+/// SC ⊆ LC ⊆ NN ⊆ NW ⊆ WW and NN ⊆ WN ⊆ WW.
+fn assert_chain(memberships: &[(Model, bool)], c: &ccmm::core::Computation) {
+    let get = |m: Model| memberships.iter().find(|(x, _)| *x == m).unwrap().1;
+    let chains = [
+        (Model::Sc, Model::Lc),
+        (Model::Lc, Model::Nn),
+        (Model::Nn, Model::Nw),
+        (Model::Nn, Model::Wn),
+        (Model::Nw, Model::Ww),
+        (Model::Wn, Model::Ww),
+        (Model::Ww, Model::Any),
+    ];
+    for (strong, weak) in chains {
+        assert!(
+            !get(strong) || get(weak),
+            "{strong} ⊆ {weak} violated on {c:?}"
+        );
+    }
+}
+
+#[test]
+fn hierarchy_holds_on_one_location_universe() {
+    let u = Universe::new(4, 1);
+    let mut pairs = 0usize;
+    let _ = u.for_each_computation(|c| {
+        let _ = for_each_observer(c, |phi| {
+            let ms: Vec<(Model, bool)> =
+                Model::ALL.iter().map(|&m| (m, m.contains(c, phi))).collect();
+            assert_chain(&ms, c);
+            pairs += 1;
+            ControlFlow::Continue(())
+        });
+        ControlFlow::Continue(())
+    });
+    assert!(pairs > 10_000, "exhaustive sweep too small: {pairs}");
+}
+
+#[test]
+fn hierarchy_holds_on_two_location_universe() {
+    let u = Universe::new(3, 2);
+    let mut pairs = 0usize;
+    let _ = u.for_each_computation(|c| {
+        let _ = for_each_observer(c, |phi| {
+            let ms: Vec<(Model, bool)> =
+                Model::ALL.iter().map(|&m| (m, m.contains(c, phi))).collect();
+            assert_chain(&ms, c);
+            pairs += 1;
+            ControlFlow::Continue(())
+        });
+        ControlFlow::Continue(())
+    });
+    assert!(pairs > 1_000);
+}
+
+#[test]
+fn strictness_of_every_figure1_edge() {
+    use ccmm::core::relation::{compare, Relation};
+    let u = Universe::new(4, 1);
+    for (a, b) in [
+        (Model::Lc, Model::Nn),
+        (Model::Nn, Model::Nw),
+        (Model::Nn, Model::Wn),
+        (Model::Nw, Model::Ww),
+        (Model::Wn, Model::Ww),
+        (Model::Ww, Model::Any),
+    ] {
+        assert_eq!(
+            compare(&a, &b, &u).relation,
+            Relation::StrictlyStronger,
+            "{a} vs {b}"
+        );
+    }
+    assert_eq!(compare(&Model::Nw, &Model::Wn, &u).relation, Relation::Incomparable);
+}
+
+#[test]
+fn sc_equals_lc_iff_single_location() {
+    use ccmm::core::relation::{compare, Relation};
+    let u1 = Universe::new(4, 1);
+    assert_eq!(compare(&Model::Sc, &Model::Lc, &u1).relation, Relation::Equal);
+    let u2 = Universe::new(3, 2);
+    assert_eq!(
+        compare(&Model::Sc, &Model::Lc, &u2).relation,
+        Relation::StrictlyStronger
+    );
+}

@@ -1,0 +1,191 @@
+//! Property-based tests of the dag substrate: reachability versus DFS,
+//! closure/reduction invariants, topological-sort enumeration, prefixes,
+//! and series-parallel lowering.
+
+use ccmm::dag::{topo, BitSet, Dag, NodeId, Reachability, SpExpr};
+use proptest::prelude::*;
+
+fn make_dag(n: usize, edge_bits: &[bool]) -> Dag {
+    let mut edges = Vec::new();
+    let mut k = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            if edge_bits[k] {
+                edges.push((i, j));
+            }
+            k += 1;
+        }
+    }
+    Dag::from_edges(n, &edges).expect("forward edges")
+}
+
+fn arb_dag(max_n: usize) -> impl Strategy<Value = Dag> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(any::<bool>(), n * (n - 1) / 2)
+            .prop_map(move |bits| make_dag(n, &bits))
+    })
+}
+
+/// Reference reachability by DFS.
+fn dfs_reaches(d: &Dag, from: NodeId, to: NodeId) -> bool {
+    let mut stack = vec![from];
+    let mut seen = BitSet::new(d.node_count());
+    while let Some(u) = stack.pop() {
+        for &v in d.successors(u) {
+            if v == to {
+                return true;
+            }
+            if !seen.contains(v.index()) {
+                seen.insert(v.index());
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reachability_matches_dfs(d in arb_dag(9)) {
+        let r = Reachability::new(&d);
+        for u in d.nodes() {
+            for v in d.nodes() {
+                prop_assert_eq!(r.reaches(u, v), dfs_reaches(&d, u, v), "{} -> {}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn closure_of_reduction_is_closure(d in arb_dag(8)) {
+        let closure = d.transitive_closure();
+        let red = d.transitive_reduction();
+        prop_assert_eq!(red.transitive_closure(), closure.clone());
+        // Reduction is a relaxation of the original; closure contains it.
+        prop_assert!(red.is_relaxation_of(&d));
+        prop_assert!(d.is_relaxation_of(&closure));
+    }
+
+    #[test]
+    fn reduction_is_minimal(d in arb_dag(7)) {
+        // Removing any edge from the reduction changes reachability.
+        let red = d.transitive_reduction();
+        let closure = d.transitive_closure();
+        for (u, v) in red.edges() {
+            let smaller = red.without_edge(u, v).unwrap();
+            prop_assert!(
+                smaller.transitive_closure() != closure,
+                "edge {}->{} was redundant in the reduction", u, v
+            );
+        }
+    }
+
+    #[test]
+    fn enumerated_topo_sorts_are_exactly_the_valid_permutations(d in arb_dag(5)) {
+        use std::collections::HashSet;
+        let enumerated: HashSet<Vec<NodeId>> =
+            topo::all_topo_sorts(&d).into_iter().collect();
+        // Brute force over all permutations.
+        let n = d.node_count();
+        let mut perm: Vec<NodeId> = d.nodes().collect();
+        let mut count = 0usize;
+        // Heap's algorithm, iterative.
+        let mut cs = vec![0usize; n];
+        let check = |p: &Vec<NodeId>| {
+            if topo::is_topological_sort(&d, p) {
+                assert!(enumerated.contains(p), "missing sort {p:?}");
+                1
+            } else {
+                0
+            }
+        };
+        count += check(&perm);
+        let mut i = 0;
+        while i < n {
+            if cs[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(cs[i], i);
+                }
+                count += check(&perm);
+                cs[i] += 1;
+                i = 0;
+            } else {
+                cs[i] = 0;
+                i += 1;
+            }
+        }
+        prop_assert_eq!(count, enumerated.len());
+    }
+
+    #[test]
+    fn prefix_sets_are_downward_closed(d in arb_dag(8), bits in proptest::collection::vec(any::<bool>(), 8)) {
+        // Downward-close an arbitrary subset; the result must be a prefix.
+        let n = d.node_count();
+        let r = Reachability::new(&d);
+        let mut keep = BitSet::new(n);
+        for u in 0..n {
+            if bits.get(u).copied().unwrap_or(false) {
+                keep.insert(u);
+                keep.union_with(r.ancestors(NodeId::new(u)));
+            }
+        }
+        prop_assert!(d.is_prefix_set(&keep));
+        let (sub, map) = d.induced_subgraph(&keep);
+        prop_assert_eq!(sub.node_count(), keep.len());
+        // Map preserves order.
+        for w in map.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn augmentation_makes_unique_sink(d in arb_dag(7)) {
+        let a = d.augment();
+        prop_assert_eq!(a.node_count(), d.node_count() + 1);
+        let f = NodeId::new(d.node_count());
+        prop_assert_eq!(a.leaves(), vec![f]);
+        let r = Reachability::new(&a);
+        prop_assert_eq!(r.ancestors(f).len(), d.node_count());
+    }
+
+    #[test]
+    fn random_topo_sorts_are_valid(d in arb_dag(10), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = topo::random_topo_sort(&d, &mut rng);
+        prop_assert!(topo::is_topological_sort(&d, &t));
+    }
+}
+
+fn arb_sp() -> impl Strategy<Value = SpExpr> {
+    let leaf = Just(SpExpr::Leaf);
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.par(b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sp_lowering_invariants(e in arb_sp()) {
+        let sp = e.build();
+        prop_assert_eq!(sp.dag.node_count(), e.node_count());
+        prop_assert_eq!(sp.leaves.len(), e.leaf_count());
+        // Single source and sink.
+        prop_assert_eq!(sp.dag.roots(), vec![sp.source]);
+        prop_assert_eq!(sp.dag.leaves(), vec![sp.sink]);
+        // Source reaches everything; everything reaches sink.
+        let r = Reachability::new(&sp.dag);
+        for u in sp.dag.nodes() {
+            prop_assert!(r.reaches_eq(sp.source, u));
+            prop_assert!(r.reaches_eq(u, sp.sink));
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Property-based tests: the optimized model checkers agree with their
+//! brute-force twins, the hierarchy holds, and executions verify — on
+//! randomly generated computations and observer functions.
+
+use ccmm::core::enumerate::for_each_observer;
+use ccmm::core::last_writer::last_writer_function;
+use ccmm::core::model::brute::{lc_brute, qdag_brute, sc_brute};
+use ccmm::core::model::dagcons::{NnPred, NwPred, QPredicate, WnPred, WwPred};
+use ccmm::core::{Computation, Lc, Location, MemoryModel, Model, Nn, ObserverFunction, Op, Sc};
+use ccmm::dag::{topo, Dag, NodeId};
+use proptest::prelude::*;
+use std::ops::ControlFlow;
+
+/// Builds a computation from an upper-triangular edge mask and op codes.
+fn make_computation(n: usize, edge_bits: &[bool], op_codes: &[u8], locs: usize) -> Computation {
+    let mut edges = Vec::new();
+    let mut k = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            if edge_bits[k] {
+                edges.push((i, j));
+            }
+            k += 1;
+        }
+    }
+    let ops: Vec<Op> = op_codes
+        .iter()
+        .map(|&code| match code as usize % (1 + 2 * locs) {
+            0 => Op::Nop,
+            c if c % 2 == 1 => Op::Read(Location::new((c - 1) / 2)),
+            c => Op::Write(Location::new(c / 2 - 1)),
+        })
+        .collect();
+    let dag = Dag::from_edges(n, &edges).expect("forward edges");
+    Computation::new(dag, ops).expect("op count")
+}
+
+/// Derives an arbitrary *valid* observer function from per-slot selector
+/// bytes (writes stay self-observing; other slots pick among candidates).
+fn make_observer(c: &Computation, selectors: &[u8]) -> ObserverFunction {
+    let mut phi = ObserverFunction::base(c);
+    let mut k = 0;
+    for l in c.locations() {
+        for u in c.nodes() {
+            if c.op(u).is_write_to(l) {
+                continue;
+            }
+            let mut cands: Vec<Option<NodeId>> = vec![None];
+            for &w in c.writes_to(l) {
+                if !c.precedes(u, w) {
+                    cands.push(Some(w));
+                }
+            }
+            let pick = selectors.get(k).copied().unwrap_or(0) as usize % cands.len();
+            phi.set(l, u, cands[pick]);
+            k += 1;
+        }
+    }
+    phi
+}
+
+fn arb_inputs(max_n: usize) -> impl Strategy<Value = (usize, Vec<bool>, Vec<u8>, Vec<u8>, usize)> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        (
+            Just(n),
+            proptest::collection::vec(any::<bool>(), pairs),
+            proptest::collection::vec(any::<u8>(), n),
+            proptest::collection::vec(any::<u8>(), 2 * n),
+            1..=2usize,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_observers_are_valid((n, eb, oc, sel, locs) in arb_inputs(6)) {
+        let c = make_computation(n, &eb, &oc, locs);
+        let phi = make_observer(&c, &sel);
+        prop_assert!(phi.is_valid_for(&c));
+    }
+
+    #[test]
+    fn lc_checker_agrees_with_brute_force((n, eb, oc, sel, locs) in arb_inputs(5)) {
+        let c = make_computation(n, &eb, &oc, locs);
+        let phi = make_observer(&c, &sel);
+        prop_assert_eq!(Lc.contains(&c, &phi), lc_brute(&c, &phi));
+    }
+
+    #[test]
+    fn sc_checker_agrees_with_brute_force((n, eb, oc, sel, locs) in arb_inputs(5)) {
+        let c = make_computation(n, &eb, &oc, locs);
+        let phi = make_observer(&c, &sel);
+        prop_assert_eq!(Sc.contains(&c, &phi), sc_brute(&c, &phi));
+    }
+
+    #[test]
+    fn qdag_checkers_agree_with_brute_force((n, eb, oc, sel, locs) in arb_inputs(5)) {
+        let c = make_computation(n, &eb, &oc, locs);
+        let phi = make_observer(&c, &sel);
+        prop_assert_eq!(
+            Model::Nn.contains(&c, &phi),
+            qdag_brute(&c, &phi, NnPred::holds)
+        );
+        prop_assert_eq!(
+            Model::Nw.contains(&c, &phi),
+            qdag_brute(&c, &phi, NwPred::holds)
+        );
+        prop_assert_eq!(
+            Model::Wn.contains(&c, &phi),
+            qdag_brute(&c, &phi, WnPred::holds)
+        );
+        prop_assert_eq!(
+            Model::Ww.contains(&c, &phi),
+            qdag_brute(&c, &phi, WwPred::holds)
+        );
+    }
+
+    #[test]
+    fn hierarchy_chain_on_random_pairs((n, eb, oc, sel, locs) in arb_inputs(7)) {
+        let c = make_computation(n, &eb, &oc, locs);
+        let phi = make_observer(&c, &sel);
+        let chain = [
+            (Model::Sc, Model::Lc),
+            (Model::Lc, Model::Nn),
+            (Model::Nn, Model::Nw),
+            (Model::Nn, Model::Wn),
+            (Model::Nw, Model::Ww),
+            (Model::Wn, Model::Ww),
+        ];
+        for (strong, weak) in chain {
+            prop_assert!(
+                !strong.contains(&c, &phi) || weak.contains(&c, &phi),
+                "{} ⊆ {} violated", strong, weak
+            );
+        }
+    }
+
+    #[test]
+    fn last_writer_in_every_model((n, eb, oc, _sel, locs) in arb_inputs(7), seed in any::<u64>()) {
+        let c = make_computation(n, &eb, &oc, locs);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = topo::random_topo_sort(c.dag(), &mut rng);
+        let phi = last_writer_function(&c, &t);
+        for m in Model::ALL {
+            prop_assert!(m.contains(&c, &phi), "{} rejects W_T", m);
+        }
+    }
+
+    #[test]
+    fn monotonicity_under_single_edge_removal((n, eb, oc, sel, locs) in arb_inputs(5)) {
+        let c = make_computation(n, &eb, &oc, locs);
+        let phi = make_observer(&c, &sel);
+        let edges: Vec<_> = c.dag().edges().collect();
+        for &(a, b) in &edges {
+            let relaxed = c.without_edge(a, b).unwrap();
+            for m in Model::ALL {
+                if m.contains(&c, &phi) {
+                    prop_assert!(
+                        m.contains(&relaxed, &phi),
+                        "{} not monotonic at edge {}->{}", m, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backer_sim_always_lc((n, eb, oc, _sel, locs) in arb_inputs(8), seed in any::<u64>(), procs in 1..4usize, cap in 1..4usize) {
+        use ccmm::backer::{sim, BackerConfig, Schedule};
+        use rand::SeedableRng;
+        let c = make_computation(n, &eb, &oc, locs);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = Schedule::random(&c, procs, &mut rng);
+        let r = sim::run(&c, &s, &BackerConfig::with_processors(procs).cache_capacity(cap));
+        prop_assert!(r.observer.is_valid_for(&c));
+        prop_assert!(Lc.contains(&c, &r.observer), "BACKER left LC on {:?}", c);
+    }
+
+    #[test]
+    fn sc_witness_reproduces_phi((n, eb, oc, sel, locs) in arb_inputs(5)) {
+        let c = make_computation(n, &eb, &oc, locs);
+        let phi = make_observer(&c, &sel);
+        if let Some(t) = Sc::witness(&c, &phi) {
+            prop_assert!(topo::is_topological_sort(c.dag(), &t));
+            prop_assert_eq!(last_writer_function(&c, &t), phi);
+        }
+    }
+
+    #[test]
+    fn lc_witness_reproduces_phi_per_location((n, eb, oc, sel, locs) in arb_inputs(5)) {
+        let c = make_computation(n, &eb, &oc, locs);
+        let phi = make_observer(&c, &sel);
+        if let Some(ts) = Lc::witness(&c, &phi) {
+            for (li, t) in ts.iter().enumerate() {
+                prop_assert!(topo::is_topological_sort(c.dag(), t));
+                let wt = last_writer_function(&c, t);
+                for u in c.nodes() {
+                    prop_assert_eq!(
+                        wt.get(Location::new(li), u),
+                        phi.get(Location::new(li), u)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observer_enumeration_covers_generated_ones((n, eb, oc, sel, _) in arb_inputs(4)) {
+        let c = make_computation(n, &eb, &oc, 1);
+        let phi = make_observer(&c, &sel);
+        let mut found = false;
+        let _ = for_each_observer(&c, |p| {
+            if *p == phi {
+                found = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        prop_assert!(found, "enumeration missed a valid observer");
+    }
+
+    #[test]
+    fn nn_members_survive_augmentation_or_are_fig4_like((n, eb, oc, sel, _) in arb_inputs(4)) {
+        // Not all NN pairs extend (Figure 4!), but all LC pairs must.
+        use ccmm::core::props::any_extension;
+        let c = make_computation(n, &eb, &oc, 1);
+        let phi = make_observer(&c, &sel);
+        if Lc.contains(&c, &phi) {
+            for op in [Op::Nop, Op::Read(Location::new(0)), Op::Write(Location::new(0))] {
+                let aug = c.augment(op);
+                prop_assert!(
+                    any_extension(&aug, &phi, |p| Lc.contains(&aug, p)),
+                    "LC failed to extend (contradicts Theorem 19)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nn_find_violation_is_sound((n, eb, oc, sel, locs) in arb_inputs(6)) {
+        let c = make_computation(n, &eb, &oc, locs);
+        let phi = make_observer(&c, &sel);
+        if let Some((l, u, v, w)) = Nn::find_violation(&c, &phi) {
+            // The reported triple really is a violation.
+            let phi_u = u.and_then(|u| phi.get(l, u));
+            prop_assert_eq!(phi_u, phi.get(l, w));
+            prop_assert!(phi.get(l, v) != phi.get(l, w));
+            if let Some(u) = u {
+                prop_assert!(c.precedes(u, v));
+            }
+            prop_assert!(c.precedes(v, w));
+        }
+    }
+}
