@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI: the tier-1 gate plus formatting and lint checks.
+#
+#   ./ci.sh        # everything
+#   ./ci.sh fast   # skip the release build (debug tests + fmt + clippy)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=${1:-}
+
+if [[ "$fast" != "fast" ]]; then
+    echo "== tier-1 gate: release build =="
+    cargo build --release
+fi
+
+echo "== tier-1 gate: tests =="
+cargo test -q
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

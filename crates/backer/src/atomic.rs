@@ -93,10 +93,7 @@ mod tests {
         let c = workload();
         let s = Schedule::serial(&c);
         let r = run(&c, &s);
-        let reads = c
-            .nodes()
-            .filter(|&u| matches!(c.op(u), Op::Read(_)))
-            .count() as u64;
+        let reads = c.nodes().filter(|&u| matches!(c.op(u), Op::Read(_))).count() as u64;
         assert_eq!(r.stats.fetches, reads, "no cache, no hits");
         assert_eq!(r.stats.hits, 0);
     }
@@ -123,7 +120,13 @@ mod tests {
         let dag = ccmm_dag::generate::fork_join_tree(3);
         let n = dag.node_count();
         let ops: Vec<Op> = (0..n)
-            .map(|i| if i % 2 == 0 { Op::Write(Location::new(i % 3)) } else { Op::Read(Location::new((i + 1) % 3)) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Op::Write(Location::new(i % 3))
+                } else {
+                    Op::Read(Location::new((i + 1) % 3))
+                }
+            })
             .collect();
         Computation::new(dag, ops).unwrap()
     }

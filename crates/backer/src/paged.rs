@@ -59,13 +59,7 @@ impl PagedCache {
         assert!(page_size > 0, "page size must be positive");
         assert!(capacity_pages > 0, "capacity must be positive");
         let npages = num_locations.div_ceil(page_size).max(1);
-        PagedCache {
-            pages: vec![None; npages],
-            page_size,
-            capacity_pages,
-            occupancy: 0,
-            clock: 0,
-        }
+        PagedCache { pages: vec![None; npages], page_size, capacity_pages, occupancy: 0, clock: 0 }
     }
 
     fn page_of(&self, l: Location) -> usize {
@@ -81,7 +75,13 @@ impl PagedCache {
         self.occupancy
     }
 
-    fn write_back(page_idx: usize, page: &mut Page, page_size: usize, mem: &mut MainMemory, stats: &mut Stats) {
+    fn write_back(
+        page_idx: usize,
+        page: &mut Page,
+        page_size: usize,
+        mem: &mut MainMemory,
+        stats: &mut Stats,
+    ) {
         for (w, word) in page.words.iter_mut().enumerate() {
             if let Word::Dirty(t) = *word {
                 let loc = Location::new(page_idx * page_size + w);

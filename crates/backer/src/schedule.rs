@@ -44,11 +44,7 @@ impl Schedule {
     /// serial schedule is exact shared memory: every read sees the most
     /// recent write in program order.
     pub fn serial(c: &Computation) -> Schedule {
-        Schedule {
-            order: topo::topo_sort(c.dag()),
-            proc: vec![0; c.node_count()],
-            processors: 1,
-        }
+        Schedule { order: topo::topo_sort(c.dag()), proc: vec![0; c.node_count()], processors: 1 }
     }
 
     /// Deterministic order, nodes dealt round-robin across `p` processors
@@ -111,10 +107,7 @@ impl Schedule {
     /// Number of dag edges whose endpoints run on different processors —
     /// each forces protocol traffic.
     pub fn cross_edges(&self, c: &Computation) -> usize {
-        c.dag()
-            .edges()
-            .filter(|&(u, v)| self.proc[u.index()] != self.proc[v.index()])
-            .count()
+        c.dag().edges().filter(|&(u, v)| self.proc[u.index()] != self.proc[v.index()]).count()
     }
 }
 

@@ -41,9 +41,7 @@ pub struct SimResult {
 ///
 /// Panics if the schedule fails validation.
 pub fn run(c: &Computation, schedule: &Schedule, config: &BackerConfig) -> SimResult {
-    run_with_caches(c, schedule, config, |nl| {
-        Cache::new(nl, config.cache_capacity.max(1))
-    })
+    run_with_caches(c, schedule, config, |nl| Cache::new(nl, config.cache_capacity.max(1)))
 }
 
 /// Runs BACKER with page-granular caches of `page_size` words and
@@ -79,18 +77,13 @@ where
     );
     let num_locations = c.num_locations();
     let mut mem = MainMemory::new(num_locations);
-    let mut caches: Vec<C> =
-        (0..config.processors).map(|_| make_cache(num_locations)).collect();
+    let mut caches: Vec<C> = (0..config.processors).map(|_| make_cache(num_locations)).collect();
     let mut per_proc: Vec<Stats> = vec![Stats::default(); config.processors];
     let mut observer = ObserverFunction::bottom(num_locations, c.node_count());
 
     for &u in &schedule.order {
         let p = schedule.proc[u.index()];
-        let cross_pred = c
-            .dag()
-            .predecessors(u)
-            .iter()
-            .any(|&q| schedule.proc[q.index()] != p);
+        let cross_pred = c.dag().predecessors(u).iter().any(|&q| schedule.proc[q.index()] != p);
         if cross_pred && !config.faults.skip_flush {
             caches[p].flush_all(&mut mem, &mut per_proc[p]);
         }
@@ -108,11 +101,7 @@ where
             let tok = caches[p].peek(l).unwrap_or_else(|| mem.load(l));
             observer.set(l, u, node_of(tok));
         }
-        let cross_succ = c
-            .dag()
-            .successors(u)
-            .iter()
-            .any(|&v| schedule.proc[v.index()] != p);
+        let cross_succ = c.dag().successors(u).iter().any(|&v| schedule.proc[v.index()] != p);
         if cross_succ && !config.faults.skip_reconcile {
             caches[p].reconcile_all(&mut mem, &mut per_proc[p]);
         }
@@ -162,16 +151,8 @@ mod tests {
     fn cross_processor_dependency_sees_the_write() {
         // W on p0, read on p1 across the edge: reconcile + flush deliver
         // the token.
-        let c = Computation::from_edges(
-            2,
-            &[(0, 1)],
-            vec![Op::Write(l(0)), Op::Read(l(0))],
-        );
-        let s = Schedule {
-            order: vec![n(0), n(1)],
-            proc: vec![0, 1],
-            processors: 2,
-        };
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l(0)), Op::Read(l(0))]);
+        let s = Schedule { order: vec![n(0), n(1)], proc: vec![0, 1], processors: 2 };
         let r = run(&c, &s, &BackerConfig::with_processors(2));
         assert_eq!(r.observer.get(l(0), n(1)), Some(n(0)));
         assert!(r.stats.reconciles >= 1);
@@ -180,11 +161,7 @@ mod tests {
 
     #[test]
     fn skip_reconcile_loses_the_write() {
-        let c = Computation::from_edges(
-            2,
-            &[(0, 1)],
-            vec![Op::Write(l(0)), Op::Read(l(0))],
-        );
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l(0)), Op::Read(l(0))]);
         let s = Schedule { order: vec![n(0), n(1)], proc: vec![0, 1], processors: 2 };
         let cfg = BackerConfig::with_processors(2)
             .faults(FaultInjection { skip_reconcile: true, skip_flush: false });
@@ -303,7 +280,12 @@ mod tests {
         for page_size in [1usize, 2, 4, 8] {
             for _ in 0..15 {
                 let s = Schedule::work_stealing(&c, 3, &mut rng);
-                let r = run_paged(&c, &s, &BackerConfig::with_processors(3).cache_capacity(2), page_size);
+                let r = run_paged(
+                    &c,
+                    &s,
+                    &BackerConfig::with_processors(3).cache_capacity(2),
+                    page_size,
+                );
                 assert!(r.observer.is_valid_for(&c), "page_size={page_size}");
                 assert!(
                     Lc.contains(&c, &r.observer),

@@ -1,9 +1,7 @@
 //! Execution counters, the raw material of the performance experiments.
 
-use serde::{Deserialize, Serialize};
-
 /// Protocol and cache event counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Cache read hits.
     pub hits: u64,
@@ -20,6 +18,8 @@ pub struct Stats {
     /// Lines evicted under capacity pressure.
     pub evictions: u64,
 }
+
+serde::impl_serde_struct!(Stats { hits, misses, fetches, writes, reconciles, flushes, evictions });
 
 impl Stats {
     /// Merge another counter set into this one.

@@ -73,7 +73,11 @@ pub fn run_paged(c: &Computation, config: &BackerConfig, page_size: usize) -> Th
 
 /// The generic threaded executor, parameterized over the cache
 /// organisation. `make_cache` runs once per worker.
-pub fn run_with_caches<C, F>(c: &Computation, config: &BackerConfig, make_cache: F) -> ThreadedResult
+pub fn run_with_caches<C, F>(
+    c: &Computation,
+    config: &BackerConfig,
+    make_cache: F,
+) -> ThreadedResult
 where
     C: crate::cache::CacheOps,
     F: Fn(usize) -> C + Sync,
@@ -89,9 +93,8 @@ where
     }
     let workers = config.processors.max(1);
     let mem = Mutex::new(MainMemory::new(num_locations));
-    let indeg: Vec<AtomicUsize> = (0..n)
-        .map(|u| AtomicUsize::new(c.dag().in_degree(NodeId::new(u))))
-        .collect();
+    let indeg: Vec<AtomicUsize> =
+        (0..n).map(|u| AtomicUsize::new(c.dag().in_degree(NodeId::new(u)))).collect();
     let proc_of: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
     let completed = AtomicUsize::new(0);
 

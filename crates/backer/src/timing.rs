@@ -132,11 +132,11 @@ pub fn run<R: Rng + ?Sized>(
             i
         } else {
             // Continuation locality, else random steal.
-            avail.iter()
+            avail
+                .iter()
                 .copied()
                 .find(|&i| {
-                    last_on[me]
-                        .is_some_and(|prev| c.dag().predecessors(ready[i]).contains(&prev))
+                    last_on[me].is_some_and(|prev| c.dag().predecessors(ready[i]).contains(&prev))
                 })
                 .unwrap_or_else(|| avail[rng.gen_range(0..avail.len())])
         };
@@ -144,8 +144,7 @@ pub fn run<R: Rng + ?Sized>(
         let start = proc_free[me].max(ready_time[u.index()]);
         let stats_before = stats_per[me];
 
-        let cross_pred =
-            c.dag().predecessors(u).iter().any(|&q| proc_of[q.index()] != me);
+        let cross_pred = c.dag().predecessors(u).iter().any(|&q| proc_of[q.index()] != me);
         if cross_pred && !config.faults.skip_flush {
             caches[me].flush_all(&mut mem, &mut stats_per[me]);
         }
@@ -158,8 +157,7 @@ pub fn run<R: Rng + ?Sized>(
             }
             Op::Nop => {}
         }
-        let cross_succ =
-            c.dag().successors(u).iter().any(|&v| proc_of[v.index()] != me);
+        let cross_succ = c.dag().successors(u).iter().any(|&v| proc_of[v.index()] != me);
         let _ = cross_succ; // successors not yet placed; reconcile eagerly:
         if !config.faults.skip_reconcile {
             caches[me].reconcile_all(&mut mem, &mut stats_per[me]);
@@ -281,11 +279,7 @@ mod tests {
         for p in [1usize, 2, 4] {
             let r = run(&c, p, &BackerConfig::with_processors(p), &cost, &mut rng());
             let bound = work(&c, &cost) / p as u64 + span(&c, &cost);
-            assert!(
-                r.makespan <= bound,
-                "Brent violated at p={p}: {} > {bound}",
-                r.makespan
-            );
+            assert!(r.makespan <= bound, "Brent violated at p={p}: {} > {bound}", r.makespan);
         }
     }
 
@@ -294,7 +288,7 @@ mod tests {
         let c = fib_comp();
         let r = run(&c, 4, &BackerConfig::with_processors(4), &CostModel::default(), &mut rng());
         for (u, v) in c.dag().edges() {
-            assert!(r.finish[u.index()] <= r.finish[v.index()] , "{u} -> {v}");
+            assert!(r.finish[u.index()] <= r.finish[v.index()], "{u} -> {v}");
         }
         assert!(r.proc.iter().all(|&q| q < 4));
     }
@@ -309,9 +303,6 @@ mod tests {
         let cost = CostModel { op: 10, fetch: 1, reconcile: 1, flush: 1 };
         let t1 = run(&c, 1, &BackerConfig::with_processors(1), &cost, &mut rng()).makespan;
         let t4 = run(&c, 4, &BackerConfig::with_processors(4), &cost, &mut rng()).makespan;
-        assert!(
-            (t4 as f64) < 0.5 * t1 as f64,
-            "expected ≥2x speedup: T1={t1} T4={t4}"
-        );
+        assert!((t4 as f64) < 0.5 * t1 as f64, "expected ≥2x speedup: T1={t1} T4={t4}");
     }
 }

@@ -87,7 +87,7 @@ impl VerifyReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccmm_core::{Location, Op, ObserverFunction};
+    use ccmm_core::{Location, ObserverFunction, Op};
 
     #[test]
     fn profile_of_serial_chain() {

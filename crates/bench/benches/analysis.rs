@@ -71,7 +71,13 @@ fn bench_online_game(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(62);
     let dag = ccmm_dag::generate::gnp_dag(10, 0.3, &mut rng);
     let ops: Vec<Op> = (0..10)
-        .map(|i| if i < 4 { Op::Write(ccmm_core::Location::new(0)) } else { Op::Read(ccmm_core::Location::new(0)) })
+        .map(|i| {
+            if i < 4 {
+                Op::Write(ccmm_core::Location::new(0))
+            } else {
+                Op::Read(ccmm_core::Location::new(0))
+            }
+        })
         .collect();
     let comp = Computation::new(dag, ops).unwrap();
     group.bench_function("greedy_lc_replay_10", |b| {
@@ -84,11 +90,9 @@ fn bench_race_detection(c: &mut Criterion) {
     let mut group = c.benchmark_group("race_detection");
     for n in [8usize, 10, 12] {
         let comp = ccmm_cilk::fib(n as u32).computation;
-        group.bench_with_input(
-            BenchmarkId::new("fib", comp.node_count()),
-            &n,
-            |b, _| b.iter(|| black_box(ccmm_cilk::race::is_race_free(&comp))),
-        );
+        group.bench_with_input(BenchmarkId::new("fib", comp.node_count()), &n, |b, _| {
+            b.iter(|| black_box(ccmm_cilk::race::is_race_free(&comp)))
+        });
     }
     group.finish();
 }

@@ -72,9 +72,7 @@ fn bench_verification(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(12);
     let s = Schedule::work_stealing(&comp, 4, &mut rng);
     let r = sim::run(&comp, &s, &BackerConfig::with_processors(4));
-    c.bench_function("verify_lc_fib10", |b| {
-        b.iter(|| black_box(Lc.contains(&comp, &r.observer)))
-    });
+    c.bench_function("verify_lc_fib10", |b| b.iter(|| black_box(Lc.contains(&comp, &r.observer))));
 }
 
 criterion_group!(

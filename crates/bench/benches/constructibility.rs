@@ -26,9 +26,7 @@ fn bench_figure4_extension(c: &mut Criterion) {
     let full = figure4_full(Op::Read(ccmm_core::Location::new(0)));
     c.bench_function("figure4_extension_check", |b| {
         b.iter(|| {
-            black_box(any_extension(&full, &w.phi, |phi2| {
-                Nn::default().contains(&full, phi2)
-            }))
+            black_box(any_extension(&full, &w.phi, |phi2| Nn::default().contains(&full, phi2)))
         })
     });
 }

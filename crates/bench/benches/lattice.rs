@@ -37,9 +37,7 @@ fn bench_observer_enumeration(c: &mut Criterion) {
     group.bench_function("all_observers_6node", |b| {
         b.iter(|| black_box(all_observers(&comp).len()))
     });
-    group.bench_function("count_observers_6node", |b| {
-        b.iter(|| black_box(count_observers(&comp)))
-    });
+    group.bench_function("count_observers_6node", |b| b.iter(|| black_box(count_observers(&comp))));
     group.finish();
 }
 

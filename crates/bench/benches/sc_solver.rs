@@ -30,11 +30,9 @@ fn bench_positive(c: &mut Criterion) {
     for layers in [4usize, 8, 16] {
         let comp = layered(layers, 4, 30);
         let phi = last_writer_function(&comp, &topo::topo_sort(comp.dag()));
-        group.bench_with_input(
-            BenchmarkId::new("layered", comp.node_count()),
-            &layers,
-            |b, _| b.iter(|| black_box(Sc.contains(&comp, &phi))),
-        );
+        group.bench_with_input(BenchmarkId::new("layered", comp.node_count()), &layers, |b, _| {
+            b.iter(|| black_box(Sc.contains(&comp, &phi)))
+        });
     }
     group.finish();
 }

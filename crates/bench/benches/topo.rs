@@ -27,7 +27,11 @@ fn bench_topo(c: &mut Criterion) {
         b.iter(|| black_box(topo::random_topo_sort(&d, &mut rng).len()))
     });
     // All sorts of a 4x2 grid-ish dag (diamond chain).
-    let small = Dag::from_edges(8, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6), (6, 7)]).unwrap();
+    let small = Dag::from_edges(
+        8,
+        &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6), (6, 7)],
+    )
+    .unwrap();
     group.bench_function("all_sorts_double_diamond", |b| {
         b.iter(|| black_box(topo::count_topo_sorts(&small)))
     });

@@ -97,7 +97,14 @@ fn main() {
         t.row([
             String::new(),
             "BACKER".to_string(),
-            (if bp.sc { "SC" } else if bp.lc { "LC" } else { "-" }).to_string(),
+            (if bp.sc {
+                "SC"
+            } else if bp.lc {
+                "LC"
+            } else {
+                "-"
+            })
+            .to_string(),
             backer.stats.fetches.to_string(),
             format!("{:.2}", backer.stats.hit_rate()),
         ]);

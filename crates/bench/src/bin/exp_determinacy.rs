@@ -43,13 +43,13 @@ fn main() {
 
     println!("== determinacy of race-free workloads under BACKER (LC) ==\n");
     let runs = 60;
-    let mut t = Table::new([
-        "workload", "reads", "race-free", "runs", "deterministic", "matches serial",
-    ]);
+    let mut t =
+        Table::new(["workload", "reads", "race-free", "runs", "deterministic", "matches serial"]);
     for (name, c) in &workloads {
         let rf = race::is_race_free(c);
         assert!(rf, "{name} must be race-free");
-        let expected = read_results(c, &sim::run(c, &Schedule::serial(c), &BackerConfig::default()).observer);
+        let expected =
+            read_results(c, &sim::run(c, &Schedule::serial(c), &BackerConfig::default()).observer);
         let mut all_same = true;
         for _ in 0..runs {
             let p = 1 + (rng.gen::<u8>() as usize % 8);

@@ -28,7 +28,9 @@ fn main() {
     println!("in SC: {}\n", mark(Sc.contains(&w.computation, &w.phi)));
 
     let mut t = Table::new(["extension op", "NN-extensible"]);
-    for op in [Op::Read(ccmm_core::Location::new(0)), Op::Nop, Op::Write(ccmm_core::Location::new(0))] {
+    for op in
+        [Op::Read(ccmm_core::Location::new(0)), Op::Nop, Op::Write(ccmm_core::Location::new(0))]
+    {
         let full = figure4_full(op);
         let ok = any_extension(&full, &w.phi, |phi2| Nn::default().contains(&full, phi2));
         t.row([op.to_string(), mark(ok).to_string()]);

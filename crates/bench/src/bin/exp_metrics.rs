@@ -27,7 +27,14 @@ fn main() {
     ];
 
     let mut t = Table::new([
-        "workload", "nodes", "edges", "height", "width", "parallelism", "locations", "race-free",
+        "workload",
+        "nodes",
+        "edges",
+        "height",
+        "width",
+        "parallelism",
+        "locations",
+        "race-free",
     ]);
     for (name, c) in &workloads {
         let s = metrics::shape(c.dag());

@@ -13,7 +13,7 @@
 
 use ccmm_bench::Table;
 use ccmm_core::online::OnlineSession;
-use ccmm_core::{Computation, Lc, MemoryModel, Model, Nn, Op, Location};
+use ccmm_core::{Computation, Lc, Location, MemoryModel, Model, Nn, Op};
 use ccmm_dag::NodeId;
 use rand::{Rng, SeedableRng};
 
@@ -60,7 +60,8 @@ fn main() {
     let inputs: Vec<Computation> = (0..games).map(|_| adversary_input(&mut rng)).collect();
 
     println!("== random-choice online sessions, {games} adversary inputs ==\n");
-    let mut t = Table::new(["model", "lookahead", "jams", "games escaping LC", "jams from inside LC"]);
+    let mut t =
+        Table::new(["model", "lookahead", "jams", "games escaping LC", "jams from inside LC"]);
     for (m, k) in [
         (Model::Sc, 0usize),
         (Model::Lc, 0),
@@ -114,13 +115,8 @@ fn main() {
         let mut renumber: std::collections::HashMap<NodeId, NodeId> = Default::default();
         let mut ok = true;
         for &orig in &t_order {
-            let preds: Vec<NodeId> = w
-                .computation
-                .dag()
-                .predecessors(orig)
-                .iter()
-                .map(|p| renumber[p])
-                .collect();
+            let preds: Vec<NodeId> =
+                w.computation.dag().predecessors(orig).iter().map(|p| renumber[p]).collect();
             let want = w.phi.get(Location::new(0), orig);
             let want_mapped = want.map(|x| renumber.get(&x).copied().unwrap_or(x));
             let new_id = NodeId::new(s.computation().node_count());

@@ -6,11 +6,16 @@
 //! fixpoint used for Theorem 23 and compare them with LC and with NN*
 //! size by size — exhaustive evidence below the bound.
 //!
+//! Both fixpoints run on the worklist engine with a parallel base sweep
+//! (`CCMM_THREADS` threads); timings land in `BENCH_sweep.json`.
+//!
 //! Run: `cargo run --release -p ccmm-bench --bin exp_open_problem [bound]`
 
+use ccmm_bench::report::{self, SweepRecord};
 use ccmm_bench::Table;
 use ccmm_core::constructible::BoundedConstructible;
 use ccmm_core::enumerate::for_each_observer;
+use ccmm_core::sweep::SweepConfig;
 use ccmm_core::universe::Universe;
 use ccmm_core::{Computation, Lc, MemoryModel, Nw, ObserverFunction, Wn};
 use std::ops::ControlFlow;
@@ -18,26 +23,59 @@ use std::ops::ControlFlow;
 fn main() {
     let bound: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
     let u = Universe::new(bound, 1);
+    let cfg = SweepConfig::from_env();
 
-    println!("computing bounded NW* and WN* over all computations ≤ {bound} nodes…\n");
-    let nw_star = BoundedConstructible::compute(&Nw::default(), &u);
     println!(
-        "NW*: {} passes, {} deleted, {} survive",
+        "computing bounded NW* and WN* over all computations ≤ {bound} nodes \
+         (worklist fixpoint, {} threads)…\n",
+        cfg.threads
+    );
+    let t0 = std::time::Instant::now();
+    let nw_star = BoundedConstructible::compute_worklist(&Nw::default(), &u, &cfg);
+    let nw_wall = t0.elapsed();
+    println!(
+        "NW*: {} rounds, {} deleted, {} survive ({nw_wall:?})",
         nw_star.passes,
         nw_star.deleted,
         nw_star.total_pairs()
     );
-    let wn_star = BoundedConstructible::compute(&Wn::default(), &u);
+    let t0 = std::time::Instant::now();
+    let wn_star = BoundedConstructible::compute_worklist(&Wn::default(), &u, &cfg);
+    let wn_wall = t0.elapsed();
     println!(
-        "WN*: {} passes, {} deleted, {} survive\n",
+        "WN*: {} rounds, {} deleted, {} survive ({wn_wall:?})\n",
         wn_star.passes,
         wn_star.deleted,
         wn_star.total_pairs()
     );
 
-    let mut t = Table::new([
-        "size", "LC", "NW*", "WN*", "LC⊆NW*", "NW*\\LC", "LC⊆WN*", "WN*\\LC",
-    ]);
+    let pairs = report::universe_pairs(&u);
+    let records = [
+        SweepRecord::new(
+            "exp_open_problem/nw_star",
+            "worklist",
+            &u,
+            cfg.threads,
+            nw_wall,
+            pairs,
+            nw_star.passes,
+        ),
+        SweepRecord::new(
+            "exp_open_problem/wn_star",
+            "worklist",
+            &u,
+            cfg.threads,
+            wn_wall,
+            pairs,
+            wn_star.passes,
+        ),
+    ];
+    match report::emit(&records) {
+        Ok(path) => println!("sweep timings appended to {path}\n"),
+        Err(e) => eprintln!("could not write sweep timings: {e}\n"),
+    }
+
+    let mut t = Table::new(["size", "LC", "NW*", "WN*", "LC⊆NW*", "NW*\\LC", "LC⊆WN*", "WN*\\LC"]);
     let mut nw_witness: Option<(Computation, ObserverFunction)> = None;
     let mut wn_witness: Option<(Computation, ObserverFunction)> = None;
     for n in 0..bound {
@@ -102,10 +140,8 @@ fn main() {
     println!("== deep-lookahead probe of the surviving witnesses ==\n");
     let alphabet = u.alphabet();
     let mut t = Table::new(["witness", "k=1", "k=2", "k=3", "k=4", "k=5", "k=6"]);
-    let probes: Vec<(&str, Option<(Computation, ObserverFunction)>)> = vec![
-        ("NW* \\ LC", nw_witness),
-        ("WN* \\ LC", wn_witness),
-    ];
+    let probes: Vec<(&str, Option<(Computation, ObserverFunction)>)> =
+        vec![("NW* \\ LC", nw_witness), ("WN* \\ LC", wn_witness)];
     let mut verdicts = Vec::new();
     for (name, w) in probes {
         let Some((c, phi)) = w else {

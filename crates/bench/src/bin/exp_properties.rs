@@ -4,10 +4,17 @@
 //! complete and monotonic, and that SC and LC (and WW) are constructible
 //! while NN, NW, WN are not — Theorem 19 plus Figure 1's annotations.
 //!
+//! All three property checkers run on the parallel sweep engine
+//! (`CCMM_THREADS` threads); witnesses are the serial scan's witnesses,
+//! and the timing lands in `BENCH_sweep.json`.
+//!
 //! Run: `cargo run --release -p ccmm-bench --bin exp_properties`
 
+use ccmm_bench::report::{self, SweepRecord};
 use ccmm_bench::{mark, Table};
-use ccmm_core::props::{check_complete, check_constructible_aug, check_monotonic};
+use ccmm_core::sweep::{
+    check_complete_par, check_constructible_aug_par, check_monotonic_par, SweepConfig,
+};
 use ccmm_core::universe::Universe;
 use ccmm_core::Model;
 
@@ -17,13 +24,19 @@ fn main() {
     // prefixes).
     let u4 = Universe::new(4, 1);
     let u5 = Universe::new(5, 1);
-    println!("universes: ≤4 nodes (complete/monotonic), ≤5 nodes (constructible), 1 location\n");
+    let cfg = SweepConfig::from_env();
+    println!(
+        "universes: ≤4 nodes (complete/monotonic), ≤5 nodes (constructible), 1 location; \
+         {} sweep threads\n",
+        cfg.threads
+    );
 
+    let t0 = std::time::Instant::now();
     let mut t = Table::new(["model", "complete", "monotonic", "constructible", "paper"]);
     for m in [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww, Model::Any] {
-        let complete = check_complete(&m, &u4).is_ok();
-        let monotonic = check_monotonic(&m, &u4).is_ok();
-        let constructible = check_constructible_aug(&m, &u5).is_ok();
+        let complete = check_complete_par(&m, &u4, &cfg).is_ok();
+        let monotonic = check_monotonic_par(&m, &u4, &cfg).is_ok();
+        let constructible = check_constructible_aug_par(&m, &u5, &cfg).is_ok();
         let paper = m.paper_says_constructible();
         t.row([
             m.name().to_string(),
@@ -36,7 +49,9 @@ fn main() {
         assert!(monotonic, "{m} must be monotonic");
         assert_eq!(constructible, paper, "{m} constructibility vs paper");
     }
+    let wall = t0.elapsed();
     println!("{}", t.render());
+    println!("all property sweeps finished in {wall:?}\n");
 
     // Also check with two locations at a smaller bound — the properties
     // are not single-location artifacts.
@@ -46,12 +61,26 @@ fn main() {
     for m in [Model::Sc, Model::Lc, Model::Nn, Model::Ww] {
         t2.row([
             m.name().to_string(),
-            mark(check_complete(&m, &u32).is_ok()).to_string(),
-            mark(check_monotonic(&m, &u32).is_ok()).to_string(),
-            mark(check_constructible_aug(&m, &u32).is_ok()).to_string(),
+            mark(check_complete_par(&m, &u32, &cfg).is_ok()).to_string(),
+            mark(check_monotonic_par(&m, &u32, &cfg).is_ok()).to_string(),
+            mark(check_constructible_aug_par(&m, &u32, &cfg).is_ok()).to_string(),
         ]);
     }
     println!("{}", t2.render());
+
+    let record = SweepRecord::new(
+        "exp_properties/theorem19",
+        if cfg.threads > 1 { "parallel" } else { "serial" },
+        &u5,
+        cfg.threads,
+        wall,
+        report::universe_pairs(&u4) + report::universe_pairs(&u5),
+        0,
+    );
+    match report::emit(std::slice::from_ref(&record)) {
+        Ok(path) => println!("sweep timing appended to {path}"),
+        Err(e) => eprintln!("could not write sweep timing: {e}"),
+    }
     println!("(NN's smallest nonconstructibility witnesses need 4-node");
     println!("prefixes, so the 3-node scan correctly reports no failure.)");
 

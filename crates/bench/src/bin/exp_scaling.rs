@@ -94,7 +94,8 @@ fn main() {
 
     println!("== BACKER traffic vs processors (fib(10), 64-line caches) ==\n");
     let c = ccmm_cilk::fib(10).computation;
-    let mut t = Table::new(["procs", "schedule", "cross edges", "fetches", "reconciles", "hit rate"]);
+    let mut t =
+        Table::new(["procs", "schedule", "cross edges", "fetches", "reconciles", "hit rate"]);
     for p in [1usize, 2, 4, 8] {
         for (sname, s) in [
             ("work-steal", Schedule::work_stealing(&c, p, &mut rng)),
@@ -140,7 +141,8 @@ fn main() {
     println!("transfers one page, so spatial locality pays until flush");
     println!("traffic and capacity misses eat the gain)\n");
     let c = ccmm_cilk::stencil(32, 4).computation;
-    let mut t = Table::new(["page size", "fetches", "evictions", "reconciles", "hit rate", "in LC"]);
+    let mut t =
+        Table::new(["page size", "fetches", "evictions", "reconciles", "hit rate", "in LC"]);
     for page in [1usize, 2, 4, 8, 16] {
         let s = Schedule::work_stealing(&c, 4, &mut rng);
         let r = sim::run_paged(&c, &s, &BackerConfig::with_processors(4).cache_capacity(8), page);

@@ -37,7 +37,12 @@ fn main() {
             t1_work as f64 / tinf as f64
         );
         let mut t = Table::new([
-            "P", "makespan T_P", "speedup T_1/T_P", "greedy bound T_1/P+T∞", "fetches", "reconciles",
+            "P",
+            "makespan T_P",
+            "speedup T_1/T_P",
+            "greedy bound T_1/P+T∞",
+            "fetches",
+            "reconciles",
         ]);
         let base = run(c, 1, &BackerConfig::with_processors(1).cache_capacity(64), &cost, &mut rng);
         for p in [1usize, 2, 4, 8, 16, 32] {

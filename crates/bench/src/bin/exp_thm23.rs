@@ -6,34 +6,47 @@
 //! invariants that hold unconditionally (LC ⊆ fixpoint ⊆ NN) and reports
 //! Theorem 22 (LC ⊊ NN) counts.
 //!
+//! The fixpoint runs on the worklist engine: the base set is materialised
+//! by the parallel sweep (`CCMM_THREADS` threads) and, after one full
+//! pass, deletions propagate only to the unique augmentation parent of
+//! each deleted pair instead of re-scanning the universe. Survivors are
+//! identical to the naïve re-scan fixpoint; the timing lands in
+//! `BENCH_sweep.json`.
+//!
 //! Run: `cargo run --release -p ccmm-bench --bin exp_thm23 [max_nodes]`
-//! (default bound 5; 4 is fast, 5 takes a couple of minutes in release)
+//! (default bound 5; 4 is fast, 5 takes a few seconds in release)
 
+use ccmm_bench::report::{self, SweepRecord};
 use ccmm_bench::Table;
 use ccmm_core::constructible::BoundedConstructible;
 use ccmm_core::enumerate::for_each_observer;
+use ccmm_core::sweep::SweepConfig;
 use ccmm_core::universe::Universe;
 use ccmm_core::{Lc, MemoryModel, Nn};
 use std::ops::ControlFlow;
 
 fn main() {
-    let bound: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let bound: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
     let u = Universe::new(bound, 1);
-    println!("computing bounded NN* over all computations ≤ {bound} nodes, 1 location…");
-    let t0 = std::time::Instant::now();
-    let fix = BoundedConstructible::compute(&Nn::default(), &u);
+    let cfg = SweepConfig::from_env();
     println!(
-        "fixpoint reached in {:?}: {} passes, {} pairs deleted, {} survive\n",
-        t0.elapsed(),
+        "computing bounded NN* over all computations ≤ {bound} nodes, 1 location \
+         (worklist fixpoint, {} threads)…",
+        cfg.threads
+    );
+    let t0 = std::time::Instant::now();
+    let fix = BoundedConstructible::compute_worklist(&Nn::default(), &u, &cfg);
+    let wall = t0.elapsed();
+    println!(
+        "fixpoint reached in {:?}: {} rounds, {} pairs deleted, {} survive\n",
+        wall,
         fix.passes,
         fix.deleted,
         fix.total_pairs()
     );
 
-    let mut table = Table::new(["size", "NN pairs", "NN* pairs", "LC pairs", "NN*=LC", "LC⊊NN gap"]);
+    let mut table =
+        Table::new(["size", "NN pairs", "NN* pairs", "LC pairs", "NN*=LC", "LC⊊NN gap"]);
     let mut all_agree = true;
     for n in 0..bound {
         // Count NN pairs and LC pairs at this size; compare fixpoint to LC.
@@ -80,6 +93,20 @@ fn main() {
         ControlFlow::Continue(())
     });
     println!("{checked} pairs checked ✓");
+
+    let record = SweepRecord::new(
+        "exp_thm23/nn_star",
+        "worklist",
+        &u,
+        cfg.threads,
+        wall,
+        report::universe_pairs(&u),
+        fix.passes,
+    );
+    match report::emit(std::slice::from_ref(&record)) {
+        Ok(path) => println!("sweep timing appended to {path}"),
+        Err(e) => eprintln!("could not write sweep timing: {e}"),
+    }
 
     assert!(all_agree);
     println!("\nTheorem 23 (LC = NN*) reproduced — and in fact *proven* at every");

@@ -18,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 /// A plain-text table that renders aligned for the terminal and as
 /// GitHub markdown for EXPERIMENTS.md.
 pub struct Table {
@@ -78,10 +80,7 @@ impl Table {
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            self.headers.iter().map(|_| "---|").collect::<String>()
-        ));
+        out.push_str(&format!("|{}\n", self.headers.iter().map(|_| "---|").collect::<String>()));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

@@ -1,0 +1,179 @@
+//! Machine-readable sweep timings: `BENCH_sweep.json`.
+//!
+//! Each experiment binary that drives the parallel sweep engine appends
+//! one [`SweepRecord`] per measured phase to a JSON array on disk, so
+//! speedups can be tracked across runs and machines without scraping
+//! stdout. The file path defaults to `BENCH_sweep.json` in the working
+//! directory and can be overridden with the `CCMM_BENCH_JSON` environment
+//! variable.
+
+use ccmm_core::universe::Universe;
+use std::time::Duration;
+
+/// One timed sweep: which experiment, over which universe, with how many
+/// threads, and how fast.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRecord {
+    /// Experiment identifier (e.g. `"exp_fig1/lattice"`).
+    pub experiment: String,
+    /// Engine variant (`"serial"`, `"parallel"`, `"worklist"`, …).
+    pub engine: String,
+    /// Universe node bound.
+    pub max_nodes: u64,
+    /// Universe location-alphabet size.
+    pub num_locations: u64,
+    /// Computations in the swept universe (closed form).
+    pub universe_computations: u64,
+    /// Worker threads used.
+    pub threads: u64,
+    /// Wall-clock time in milliseconds.
+    pub wall_ms: f64,
+    /// (computation, observer) pairs examined.
+    pub pairs_checked: u64,
+    /// Pairs per second of wall time (0 when `wall_ms` is 0).
+    pub pairs_per_sec: f64,
+    /// Fixpoint passes/rounds until convergence; 0 for non-fixpoint
+    /// sweeps.
+    pub fixpoint_passes: u64,
+}
+
+serde::impl_serde_struct!(SweepRecord {
+    experiment,
+    engine,
+    max_nodes,
+    num_locations,
+    universe_computations,
+    threads,
+    wall_ms,
+    pairs_checked,
+    pairs_per_sec,
+    fixpoint_passes
+});
+
+impl SweepRecord {
+    /// Builds a record from a measured sweep, deriving the throughput and
+    /// universe-size fields.
+    pub fn new(
+        experiment: impl Into<String>,
+        engine: impl Into<String>,
+        u: &Universe,
+        threads: usize,
+        wall: Duration,
+        pairs_checked: u64,
+        fixpoint_passes: usize,
+    ) -> Self {
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let pairs_per_sec =
+            if wall_ms > 0.0 { pairs_checked as f64 / wall.as_secs_f64() } else { 0.0 };
+        SweepRecord {
+            experiment: experiment.into(),
+            engine: engine.into(),
+            max_nodes: u.max_nodes as u64,
+            num_locations: u.num_locations as u64,
+            universe_computations: u.count_computations_closed().min(u64::MAX as u128) as u64,
+            threads: threads as u64,
+            wall_ms,
+            pairs_checked,
+            pairs_per_sec,
+            fixpoint_passes: fixpoint_passes as u64,
+        }
+    }
+}
+
+/// The output path: `CCMM_BENCH_JSON` or `BENCH_sweep.json`.
+pub fn bench_json_path() -> String {
+    std::env::var("CCMM_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string())
+}
+
+/// Appends `records` to the JSON array at [`bench_json_path`], creating
+/// the file if needed (a malformed existing file is overwritten rather
+/// than poisoning every future run). Returns the path written.
+pub fn emit(records: &[SweepRecord]) -> std::io::Result<String> {
+    let path = bench_json_path();
+    let mut arr: Vec<serde::Value> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde::Value>(&s).ok())
+        .and_then(|v| match v {
+            serde::Value::Seq(items) => Some(items),
+            _ => None,
+        })
+        .unwrap_or_default();
+    arr.extend(records.iter().map(serde::to_value));
+    let text = serde_json::to_string_pretty(&serde::Value::Seq(arr))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// The number of (computation, observer) pairs in the universe — the
+/// size of the space a full sweep examines. Enumerates computations but
+/// counts observers in closed form per computation.
+pub fn universe_pairs(u: &Universe) -> u64 {
+    let mut total: u128 = 0;
+    let _ = u.for_each_computation(|c| {
+        total += ccmm_core::enumerate::count_observers(c);
+        std::ops::ControlFlow::Continue(())
+    });
+    total.min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_derives_throughput() {
+        let u = Universe::new(3, 1);
+        let r = SweepRecord::new("test", "serial", &u, 2, Duration::from_millis(500), 1000, 3);
+        assert_eq!(r.universe_computations, 211);
+        assert_eq!(r.threads, 2);
+        assert!((r.wall_ms - 500.0).abs() < 1e-9);
+        assert!((r.pairs_per_sec - 2000.0).abs() < 1e-6);
+        assert_eq!(r.fixpoint_passes, 3);
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let u = Universe::new(2, 1);
+        let r = SweepRecord::new("rt", "parallel", &u, 4, Duration::from_millis(10), 42, 0);
+        let json = serde_json::to_string(&serde::to_value(&r)).expect("serialize");
+        let back: SweepRecord = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn emit_appends_to_an_array() {
+        let dir = std::env::temp_dir().join("ccmm_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sweep.json");
+        let _ = std::fs::remove_file(&path);
+        // Scope the env override to this test via an explicit path.
+        std::env::set_var("CCMM_BENCH_JSON", &path);
+        let u = Universe::new(2, 1);
+        let r1 = SweepRecord::new("a", "serial", &u, 1, Duration::from_millis(1), 1, 0);
+        let r2 = SweepRecord::new("b", "parallel", &u, 8, Duration::from_millis(2), 2, 1);
+        emit(std::slice::from_ref(&r1)).unwrap();
+        emit(std::slice::from_ref(&r2)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde::Value = serde_json::from_str(&text).unwrap();
+        let serde::Value::Seq(items) = v else { panic!("not an array") };
+        assert_eq!(items.len(), 2);
+        let back: SweepRecord =
+            serde::from_value::<_, serde_json::Error>(items[1].clone()).unwrap();
+        assert_eq!(back, r2);
+        std::env::remove_var("CCMM_BENCH_JSON");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn universe_pairs_counts_the_swept_space() {
+        // 211 computations at (3,1); pairs = Σ observers.
+        let u = Universe::new(2, 1);
+        let mut expect = 0u64;
+        let _ = u.for_each_computation(|c| {
+            expect += ccmm_core::enumerate::all_observers(c).len() as u64;
+            std::ops::ControlFlow::Continue(())
+        });
+        assert_eq!(universe_pairs(&u), expect);
+    }
+}

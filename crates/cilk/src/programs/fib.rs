@@ -111,11 +111,8 @@ mod tests {
         let c = &p.computation;
         for u in c.nodes() {
             if let Op::Read(l) = c.op(u) {
-                let writers: Vec<_> = c
-                    .writes_to(l)
-                    .iter()
-                    .filter(|&&w| c.precedes(w, u))
-                    .collect();
+                let writers: Vec<_> =
+                    c.writes_to(l).iter().filter(|&&w| c.precedes(w, u)).collect();
                 assert_eq!(writers.len(), 1, "read {u} of {l}");
             }
         }

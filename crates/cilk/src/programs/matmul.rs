@@ -78,18 +78,7 @@ fn multiply(
     // Wave 2: C_xy += A_x1 · B_1y.
     for (x, y) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
         b.spawn(s, |b, t| {
-            multiply(
-                b,
-                t,
-                lay,
-                ai + x * h,
-                aj + h,
-                bi + h,
-                bj + y * h,
-                ci + x * h,
-                cj + y * h,
-                h,
-            );
+            multiply(b, t, lay, ai + x * h, aj + h, bi + h, bj + y * h, ci + x * h, cj + y * h, h);
         });
     }
     b.sync(s);

@@ -116,10 +116,7 @@ mod tests {
         let c = &p.computation;
         for u in c.nodes() {
             if let Op::Read(l) = c.op(u) {
-                assert!(
-                    c.writes_to(l).iter().any(|&w| c.precedes(w, u)),
-                    "read {u} of {l}"
-                );
+                assert!(c.writes_to(l).iter().any(|&w| c.precedes(w, u)), "read {u} of {l}");
             }
         }
     }

@@ -94,10 +94,7 @@ mod tests {
     #[test]
     fn sort_is_race_free() {
         for n in [2usize, 4, 7] {
-            assert!(
-                crate::race::is_race_free(&mergesort(n).computation),
-                "mergesort({n}) races"
-            );
+            assert!(crate::race::is_race_free(&mergesort(n).computation), "mergesort({n}) races");
         }
     }
 

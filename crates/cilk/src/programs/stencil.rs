@@ -108,11 +108,10 @@ mod tests {
         let p = stencil(3, 2);
         let c = &p.computation;
         // Every step-1 read (of buffer 1) follows every step-0 write.
-        let step0_writes: Vec<_> = (0..3).flat_map(|i| c.writes_to(cell(1, i, 3)).to_vec()).collect();
-        let step1_reads: Vec<_> = c
-            .nodes()
-            .filter(|&u| matches!(c.op(u), Op::Read(l) if l.index() >= 3))
-            .collect();
+        let step0_writes: Vec<_> =
+            (0..3).flat_map(|i| c.writes_to(cell(1, i, 3)).to_vec()).collect();
+        let step1_reads: Vec<_> =
+            c.nodes().filter(|&u| matches!(c.op(u), Op::Read(l) if l.index() >= 3)).collect();
         assert!(!step1_reads.is_empty());
         for &w in &step0_writes {
             for &r in &step1_reads {

@@ -250,10 +250,7 @@ mod tests {
         use std::collections::HashSet;
         use std::ops::ControlFlow;
         let mut results = HashSet::new();
-        let read = c
-            .nodes()
-            .find(|&u| matches!(c.op(u), Op::Read(_)))
-            .unwrap();
+        let read = c.nodes().find(|&u| matches!(c.op(u), Op::Read(_))).unwrap();
         let _ = ccmm_core::enumerate::for_each_observer(&c, |phi| {
             if Nn::default().contains(&c, phi) {
                 results.insert(phi.get(l(0), read));

@@ -28,12 +28,8 @@ impl Computation {
         if dag.node_count() != ops.len() {
             return Err(CoreError::OpCountMismatch { nodes: dag.node_count(), ops: ops.len() });
         }
-        let num_locations = ops
-            .iter()
-            .filter_map(|o| o.location())
-            .map(|l| l.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let num_locations =
+            ops.iter().filter_map(|o| o.location()).map(|l| l.index() + 1).max().unwrap_or(0);
         let mut writes = vec![Vec::new(); num_locations];
         for (i, op) in ops.iter().enumerate() {
             if let Op::Write(l) = op {
@@ -191,20 +187,19 @@ impl Computation {
 
     /// Graphviz rendering with `op` labels.
     pub fn to_dot(&self, name: &str) -> String {
-        ccmm_dag::dot::to_dot(&self.dag, name, |u| {
-            Some(format!("{}: {}", u, self.op(u)))
-        })
+        ccmm_dag::dot::to_dot(&self.dag, name, |u| Some(format!("{}: {}", u, self.op(u))))
     }
 }
 
 /// Serialized form: the dag's edge list plus the op labelling (derived
 /// fields are rebuilt on deserialization).
-#[derive(serde::Serialize, serde::Deserialize)]
 struct ComputationRepr {
     nodes: usize,
     edges: Vec<(u32, u32)>,
     ops: Vec<Op>,
 }
+
+serde::impl_serde_struct!(ComputationRepr { nodes, edges, ops });
 
 impl serde::Serialize for Computation {
     fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
@@ -360,11 +355,7 @@ mod tests {
 
     #[test]
     fn one_node_prefixes_drop_each_maximal() {
-        let c = Computation::from_edges(
-            3,
-            &[(0, 1), (0, 2)],
-            vec![Op::Nop, Op::Nop, Op::Nop],
-        );
+        let c = Computation::from_edges(3, &[(0, 1), (0, 2)], vec![Op::Nop, Op::Nop, Op::Nop]);
         let ps = c.one_node_prefixes();
         assert_eq!(ps.len(), 2);
         let dropped: Vec<NodeId> = ps.iter().map(|(_, m)| *m).collect();
@@ -431,8 +422,11 @@ mod serde_tests {
             &[(0, 1)],
             vec![Op::Write(Location::new(0)), Op::Read(Location::new(0))],
         );
-        let phi = crate::observer::ObserverFunction::base(&c)
-            .with(Location::new(0), NodeId::new(1), Some(NodeId::new(0)));
+        let phi = crate::observer::ObserverFunction::base(&c).with(
+            Location::new(0),
+            NodeId::new(1),
+            Some(NodeId::new(0)),
+        );
         let json = serde_json::to_string(&phi).unwrap();
         let back: crate::observer::ObserverFunction = serde_json::from_str(&json).unwrap();
         assert_eq!(back, phi);

@@ -26,9 +26,13 @@ use crate::enumerate::for_each_observer;
 use crate::model::MemoryModel;
 use crate::observer::ObserverFunction;
 use crate::props::any_extension;
+use crate::sweep::{sweep_computations, SweepConfig};
 use crate::universe::Universe;
+use ccmm_dag::bitset::BitSet;
+use ccmm_dag::NodeId;
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The result of the bounded Δ* fixpoint computation.
 pub struct BoundedConstructible {
@@ -94,6 +98,133 @@ impl BoundedConstructible {
         BoundedConstructible { pairs, max_nodes: u.max_nodes, passes, deleted }
     }
 
+    /// Computes the same bounded fixpoint as [`compute`], by a worklist
+    /// (semi-naïve) algorithm with a parallel base materialisation.
+    ///
+    /// [`compute`] re-scans the whole universe after every deletion pass.
+    /// But a pair `(C, Φ)` can only *newly* fail the extension condition
+    /// when some augmentation of `C` loses a member — and deleting
+    /// `(D, Ψ)` affects exactly one candidate: `D` is an augmentation of
+    /// at most one computation (its final node must succeed every other
+    /// node; removing it gives the parent `C` with indices unchanged),
+    /// and `Ψ` restricts to exactly one parent observer `Φ = Ψ|_C`. So
+    /// after the initial full pass, each deletion enqueues one
+    /// `(parent, Φ|, op)` re-check instead of a universe scan. Deletion
+    /// is monotone and the condition anti-monotone in the survivor sets,
+    /// so the worklist converges to the same greatest fixpoint in any
+    /// processing order — survivors, and hence `deleted`, are identical
+    /// to [`compute`]'s. `passes` counts worklist rounds (initial pass +
+    /// cascade generations), which may differ from the naïve pass count.
+    ///
+    /// [`compute`]: BoundedConstructible::compute
+    pub fn compute_worklist<M: MemoryModel + Sync>(
+        model: &M,
+        u: &Universe,
+        cfg: &SweepConfig,
+    ) -> Self {
+        // Materialise S₀ with a parallel sweep (poset-granular shards).
+        let chunks = sweep_computations(
+            u,
+            cfg,
+            Vec::new,
+            |acc: &mut Vec<(Computation, HashSet<ObserverFunction>)>, _, c| {
+                let mut set = HashSet::new();
+                let _ = for_each_observer(c, |phi| {
+                    if model.contains(c, phi) {
+                        set.insert(phi.clone());
+                    }
+                    ControlFlow::Continue(())
+                });
+                acc.push((c.clone(), set));
+            },
+        );
+        let mut pairs: HashMap<Computation, HashSet<ObserverFunction>> =
+            chunks.into_iter().flatten().collect();
+
+        // Initial full pass, parallelised over computations: the survivor
+        // map is only read here, so workers share it immutably and report
+        // pairs that fail some op's extension condition.
+        let alphabet = u.alphabet();
+        let interior: Vec<&Computation> =
+            pairs.keys().filter(|c| c.node_count() < u.max_nodes).collect();
+        let check_one = |c: &Computation, phi: &ObserverFunction| -> bool {
+            alphabet.iter().all(|&o| {
+                let aug = c.augment(o);
+                let survivors =
+                    pairs.get(&aug).expect("universe is closed under augmentation below the bound");
+                any_extension(&aug, phi, |phi2| survivors.contains(phi2))
+            })
+        };
+        let mut queue: Vec<(Computation, ObserverFunction)> = if cfg.threads == 1 {
+            let mut q = Vec::new();
+            for &c in &interior {
+                for phi in &pairs[c] {
+                    if !check_one(c, phi) {
+                        q.push((c.clone(), phi.clone()));
+                    }
+                }
+            }
+            q
+        } else {
+            let next = AtomicUsize::new(0);
+            let worker = || {
+                let mut q = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&c) = interior.get(i) else { break };
+                    for phi in &pairs[c] {
+                        if !check_one(c, phi) {
+                            q.push((c.clone(), phi.clone()));
+                        }
+                    }
+                }
+                q
+            };
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..cfg.threads).map(|_| s.spawn(worker)).collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("fixpoint worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Worklist cascade: apply a round of deletions, re-check only the
+        // unique augmentation parents of what was deleted.
+        let mut passes = 1;
+        let mut deleted = 0;
+        while !queue.is_empty() {
+            let mut recheck: Vec<(Computation, ObserverFunction, Computation)> = Vec::new();
+            for (c, phi) in queue.drain(..) {
+                let set = pairs.get_mut(&c).expect("key present");
+                if !set.remove(&phi) {
+                    continue; // deleted earlier this cascade
+                }
+                deleted += 1;
+                if let Some((parent, pphi)) = augmentation_parent(&c, &phi) {
+                    if pairs.get(&parent).is_some_and(|s| s.contains(&pphi)) {
+                        recheck.push((parent, pphi, c.clone()));
+                    }
+                }
+            }
+            let mut next_queue = Vec::new();
+            for (parent, pphi, aug) in recheck {
+                if !pairs.get(&parent).is_some_and(|s| s.contains(&pphi)) {
+                    continue;
+                }
+                let survivors = pairs.get(&aug).expect("augmentation is in the universe");
+                if !any_extension(&aug, &pphi, |phi2| survivors.contains(phi2)) {
+                    next_queue.push((parent, pphi));
+                }
+            }
+            queue = next_queue;
+            if !queue.is_empty() {
+                passes += 1;
+            }
+        }
+        BoundedConstructible { pairs, max_nodes: u.max_nodes, passes, deleted }
+    }
+
     /// Whether `(c, phi)` survived the fixpoint. Exact for `Δ*` only when
     /// `c` is small enough relative to the bound (see module docs).
     pub fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
@@ -102,11 +233,7 @@ impl BoundedConstructible {
 
     /// Number of surviving pairs for computations of exactly `n` nodes.
     pub fn pairs_of_size(&self, n: usize) -> usize {
-        self.pairs
-            .iter()
-            .filter(|(c, _)| c.node_count() == n)
-            .map(|(_, s)| s.len())
-            .sum()
+        self.pairs.iter().filter(|(c, _)| c.node_count() == n).map(|(_, s)| s.len()).sum()
     }
 
     /// Total surviving pairs.
@@ -123,7 +250,12 @@ impl BoundedConstructible {
     /// `(survivors, in_model, agreements)` where `agreements` counts pairs
     /// on which membership coincides over all valid observers of size-`n`
     /// computations.
-    pub fn agreement_with<M: MemoryModel>(&self, model: &M, n: usize, u: &Universe) -> SizeAgreement {
+    pub fn agreement_with<M: MemoryModel>(
+        &self,
+        model: &M,
+        n: usize,
+        u: &Universe,
+    ) -> SizeAgreement {
         let mut out = SizeAgreement { size: n, survivors: 0, in_model: 0, disagreements: 0 };
         let mut f = |c: &Computation| {
             let _ = for_each_observer(c, |phi| {
@@ -145,6 +277,35 @@ impl BoundedConstructible {
         let _ = u.for_each_computation_of_size(n, &mut f);
         out
     }
+}
+
+/// Inverts Definition 11 structurally: if `c`'s final node succeeds every
+/// other node, `c = aug_o(parent)` for exactly one `parent` (drop the
+/// final node; indices are unchanged) — returns `(parent, psi|_parent)`,
+/// the unique pair whose extension condition mentions `(c, psi)`.
+/// Returns `None` when `c` is empty or not an augmentation.
+///
+/// The restriction always succeeds: `psi` is valid for `c`, and no old
+/// node can observe the final node's write (it precedes it), so every
+/// retained entry stays in range.
+fn augmentation_parent(
+    c: &Computation,
+    psi: &ObserverFunction,
+) -> Option<(Computation, ObserverFunction)> {
+    let last = c.last_node()?;
+    let n = c.node_count();
+    for u in 0..n - 1 {
+        if !c.precedes(NodeId::new(u), last) {
+            return None;
+        }
+    }
+    let mut keep = BitSet::full(n);
+    keep.remove(last.index());
+    let (parent, _) = c.prefix(&keep).expect("dropping the final node keeps a prefix");
+    let phi = psi
+        .restrict(parent.num_locations(), parent.node_count())
+        .expect("old nodes cannot observe the final node");
+    Some((parent, phi))
 }
 
 /// Exact `k`-step survival test for a single pair, without materialising
@@ -246,10 +407,7 @@ mod tests {
         let fix = BoundedConstructible::compute(&Nn::new(), &u);
         for n in 0..u.max_nodes {
             let agree = fix.agreement_with(&Lc, n, &u);
-            assert_eq!(
-                agree.disagreements, 0,
-                "NN* ≠ LC at size {n}: {agree:?}"
-            );
+            assert_eq!(agree.disagreements, 0, "NN* ≠ LC at size {n}: {agree:?}");
         }
     }
 
@@ -331,6 +489,96 @@ mod tests {
             std::ops::ControlFlow::Continue(())
         };
         let _ = u.for_each_computation_of_size(2, &mut f);
+    }
+
+    /// Asserts that two fixpoints kept exactly the same survivor sets,
+    /// by scanning every pair of the universe.
+    fn assert_same_survivors(a: &BoundedConstructible, b: &BoundedConstructible, u: &Universe) {
+        assert_eq!(a.total_pairs(), b.total_pairs());
+        assert_eq!(a.deleted, b.deleted, "deletion counts differ");
+        for n in 0..=u.max_nodes {
+            assert_eq!(a.pairs_of_size(n), b.pairs_of_size(n), "size {n} differs");
+        }
+        let _ = u.for_each_computation(|c| {
+            let _ = for_each_observer(c, |phi| {
+                assert_eq!(
+                    a.contains(c, phi),
+                    b.contains(c, phi),
+                    "survivor sets differ at {c:?} {phi:?}"
+                );
+                ControlFlow::Continue(())
+            });
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn worklist_matches_naive_fixpoint_for_nn() {
+        // NN actually deletes at the 4-node bound (3-node prefixes die),
+        // so this exercises the cascade, serial and multi-threaded.
+        let u = Universe::new(4, 1);
+        let naive = BoundedConstructible::compute(&Nn::default(), &u);
+        for threads in [1, 4] {
+            let cfg = crate::sweep::SweepConfig::with_threads(threads);
+            let wl = BoundedConstructible::compute_worklist(&Nn::default(), &u, &cfg);
+            assert_same_survivors(&naive, &wl, &u);
+        }
+    }
+
+    #[test]
+    fn worklist_matches_naive_for_constructible_models() {
+        let u = Universe::new(3, 1);
+        let cfg = crate::sweep::SweepConfig::with_threads(2);
+        for_each_model_pair(&u, &cfg);
+        // Two locations as well — locations interact with the restriction
+        // in `augmentation_parent`.
+        let u2 = Universe::new(3, 2);
+        let naive = BoundedConstructible::compute(&Lc, &u2);
+        let wl = BoundedConstructible::compute_worklist(&Lc, &u2, &cfg);
+        assert_same_survivors(&naive, &wl, &u2);
+    }
+
+    fn for_each_model_pair(u: &Universe, cfg: &crate::sweep::SweepConfig) {
+        let naive_lc = BoundedConstructible::compute(&Lc, u);
+        let wl_lc = BoundedConstructible::compute_worklist(&Lc, u, cfg);
+        assert_same_survivors(&naive_lc, &wl_lc, u);
+        assert_eq!(wl_lc.deleted, 0);
+        assert_eq!(wl_lc.passes, 1, "constructible model: no cascade rounds");
+        let naive_sc = BoundedConstructible::compute(&Sc, u);
+        let wl_sc = BoundedConstructible::compute_worklist(&Sc, u, cfg);
+        assert_same_survivors(&naive_sc, &wl_sc, u);
+    }
+
+    #[test]
+    fn augmentation_parent_inverts_augment() {
+        use crate::op::{Location, Op};
+        let c = Computation::from_edges(
+            2,
+            &[(0, 1)],
+            vec![Op::Write(Location::new(0)), Op::Read(Location::new(0))],
+        );
+        for phi in crate::enumerate::all_observers(&c) {
+            for o in [Op::Nop, Op::Write(Location::new(1))] {
+                let aug = c.augment(o);
+                // Any extension of phi onto aug must restrict back to
+                // exactly (c, phi).
+                any_extension(&aug, &phi, |psi| {
+                    let (parent, pphi) =
+                        augmentation_parent(&aug, psi).expect("aug is an augmentation");
+                    assert_eq!(parent, c);
+                    assert_eq!(pphi, phi);
+                    false // keep enumerating
+                });
+            }
+        }
+        // A non-augmentation (final node incomparable to node 0) has no
+        // augmentation parent.
+        let fork = Computation::from_edges(2, &[], vec![Op::Nop, Op::Nop]);
+        let psi = ObserverFunction::base(&fork);
+        assert!(augmentation_parent(&fork, &psi).is_none());
+        // The empty computation has none either.
+        let empty = Computation::empty();
+        assert!(augmentation_parent(&empty, &ObserverFunction::empty()).is_none());
     }
 
     #[test]

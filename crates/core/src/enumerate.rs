@@ -93,10 +93,7 @@ where
 /// The number of valid observer functions for `c`, in closed form
 /// (product of per-slot candidate counts).
 pub fn count_observers(c: &Computation) -> u128 {
-    free_slots(c)
-        .iter()
-        .map(|(_, _, cands)| cands.len() as u128)
-        .product()
+    free_slots(c).iter().map(|(_, _, cands)| cands.len() as u128).product()
 }
 
 #[cfg(test)]
@@ -187,11 +184,8 @@ mod tests {
 
     #[test]
     fn early_exit_stops_enumeration() {
-        let c = Computation::from_edges(
-            3,
-            &[],
-            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
-        );
+        let c =
+            Computation::from_edges(3, &[], vec![Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))]);
         let mut seen = 0;
         let flow = for_each_observer(&c, |_| {
             seen += 1;
@@ -208,9 +202,8 @@ mod tests {
     #[test]
     fn observers_where_filters() {
         let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l(0)), Op::Read(l(0))]);
-        let sees_write = observers_where(&c, |phi| {
-            phi.get(l(0), ccmm_dag::NodeId::new(1)).is_some()
-        });
+        let sees_write =
+            observers_where(&c, |phi| phi.get(l(0), ccmm_dag::NodeId::new(1)).is_some());
         assert_eq!(sees_write.len(), 1);
     }
 }

@@ -89,10 +89,8 @@ mod tests {
             observed: NodeId::new(2),
         };
         assert!(e.to_string().contains("Def. 2.1"));
-        let e = CoreError::WriteNotSelfObserving {
-            location: Location::new(1),
-            node: NodeId::new(0),
-        };
+        let e =
+            CoreError::WriteNotSelfObserving { location: Location::new(1), node: NodeId::new(0) };
         assert!(e.to_string().contains("Def. 2.3"));
     }
 }

@@ -40,10 +40,7 @@ impl<'a> Execution<'a> {
 
     /// Overrides the value written by `w`.
     pub fn set_write_value(&mut self, w: NodeId, v: Value) {
-        assert!(
-            matches!(self.c.op(w), Op::Write(_)),
-            "{w} is not a write node"
-        );
+        assert!(matches!(self.c.op(w), Op::Write(_)), "{w} is not a write node");
         self.write_values.insert(w, v);
     }
 
@@ -97,9 +94,8 @@ mod tests {
             &[(0, 1), (1, 2)],
             vec![Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
         );
-        let phi = ObserverFunction::base(&c)
-            .with(l(0), n(1), Some(n(0)))
-            .with(l(0), n(2), Some(n(0)));
+        let phi =
+            ObserverFunction::base(&c).with(l(0), n(1), Some(n(0))).with(l(0), n(2), Some(n(0)));
         (c, phi)
     }
 

@@ -37,11 +37,7 @@ pub fn last_writer_function(c: &Computation, order: &[NodeId]) -> ObserverFuncti
 /// Checks Definition 13 directly: whether `phi` is *the* last-writer
 /// function of `order` (conditions 13.1–13.3). Used to cross-validate
 /// [`last_writer_function`] (Theorem 14 uniqueness).
-pub fn is_last_writer_function(
-    c: &Computation,
-    order: &[NodeId],
-    phi: &ObserverFunction,
-) -> bool {
+pub fn is_last_writer_function(c: &Computation, order: &[NodeId], phi: &ObserverFunction) -> bool {
     if !ccmm_dag::topo::is_topological_sort(c.dag(), order) {
         return false;
     }

@@ -15,6 +15,9 @@
 //!   models over a universe (Figure 1's lattice, machine-checked);
 //! * [`props`]: completeness, monotonicity, and constructibility checkers
 //!   (Definitions 5, 6; Theorems 10, 12);
+//! * [`sweep`]: the parallel universe-sweep engine sharding the
+//!   (poset × labelling) space across threads, with deterministic
+//!   (serial-identical) counts and witnesses;
 //! * [`constructible`]: the bounded Δ* fixpoint (Definition 8, Theorem 9)
 //!   used to machine-check `LC = NN*` (Theorem 23);
 //! * [`witness`]: the paper's Figures 2–4 as concrete library values;
@@ -69,6 +72,7 @@ pub mod parse;
 pub mod procs;
 pub mod props;
 pub mod relation;
+pub mod sweep;
 pub mod trace;
 pub mod universe;
 pub mod witness;

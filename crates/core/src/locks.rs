@@ -51,10 +51,7 @@ impl LockedComputation {
     /// in-range nodes; sections of the same lock must be pairwise
     /// *non-nested* along a path only in the sense that serialization
     /// stays possible — no structural restriction is imposed here.
-    pub fn new(
-        computation: Computation,
-        sections: Vec<CriticalSection>,
-    ) -> Result<Self, String> {
+    pub fn new(computation: Computation, sections: Vec<CriticalSection>) -> Result<Self, String> {
         for s in &sections {
             if s.acquire.index() >= computation.node_count()
                 || s.release.index() >= computation.node_count()
@@ -62,9 +59,7 @@ impl LockedComputation {
                 return Err(format!("section {s:?} out of range"));
             }
             if !computation.precedes_eq(s.acquire, s.release) {
-                return Err(format!(
-                    "section {s:?}: acquire must precede (or equal) release"
-                ));
+                return Err(format!("section {s:?}: acquire must precede (or equal) release"));
             }
         }
         Ok(LockedComputation { computation, sections })
@@ -94,11 +89,7 @@ impl LockedComputation {
         locks.dedup();
         let groups: Vec<Vec<usize>> = locks
             .iter()
-            .map(|&l| {
-                (0..self.sections.len())
-                    .filter(|&i| self.sections[i].lock == l)
-                    .collect()
-            })
+            .map(|&l| (0..self.sections.len()).filter(|&i| self.sections[i].lock == l).collect())
             .collect();
         // Recursively choose a permutation per lock, accumulate edges.
         fn permute<F>(
@@ -113,16 +104,13 @@ impl LockedComputation {
         {
             if g == groups.len() {
                 let c = &this.computation;
-                let mut all: Vec<(usize, usize)> = c
-                    .dag()
-                    .edges()
-                    .map(|(u, v)| (u.index(), v.index()))
-                    .collect();
+                let mut all: Vec<(usize, usize)> =
+                    c.dag().edges().map(|(u, v)| (u.index(), v.index())).collect();
                 all.extend_from_slice(edges);
                 return match ccmm_dag::Dag::from_edges(c.node_count(), &all) {
                     Ok(dag) => {
-                        let serialized = Computation::new(dag, c.ops().to_vec())
-                            .expect("same op count");
+                        let serialized =
+                            Computation::new(dag, c.ops().to_vec()).expect("same op count");
                         f(&serialized)
                     }
                     Err(_) => ControlFlow::Continue(()), // cyclic order: skip
@@ -254,11 +242,7 @@ mod tests {
     fn dag_ordered_sections_have_one_serialization() {
         // Sections already ordered by the dag: the opposite order is
         // cyclic and gets skipped.
-        let c = Computation::from_edges(
-            4,
-            &[(0, 1), (1, 2), (2, 3)],
-            vec![Op::Nop; 4],
-        );
+        let c = Computation::from_edges(4, &[(0, 1), (1, 2), (2, 3)], vec![Op::Nop; 4]);
         let m = Lock(0);
         let lc = LockedComputation::new(
             c,
@@ -317,11 +301,7 @@ mod tests {
         let mut lc_outcomes = BTreeSet::new();
         let mut sc_outcomes = BTreeSet::new();
         let _ = for_each_observer(&plain, |phi| {
-            let tuple = (
-                phi.get(l(0), n(0)),
-                phi.get(l(0), n(2)),
-                phi.get(l(0), n(4)),
-            );
+            let tuple = (phi.get(l(0), n(0)), phi.get(l(0), n(2)), phi.get(l(0), n(4)));
             if locked.contains_under(&Lc, phi) {
                 lc_outcomes.insert(tuple);
             }
@@ -338,11 +318,7 @@ mod tests {
     fn multiple_locks_serialize_independently() {
         // Two locks, one section each per thread: 2 × 2 serializations...
         // but each lock has sections on both threads: orders multiply.
-        let c = Computation::from_edges(
-            4,
-            &[(0, 1), (2, 3)],
-            vec![Op::Nop; 4],
-        );
+        let c = Computation::from_edges(4, &[(0, 1), (2, 3)], vec![Op::Nop; 4]);
         let lc = LockedComputation::new(
             c,
             vec![

@@ -50,10 +50,7 @@ where
                     continue;
                 }
                 // u = ⊥ (⊥ ≺ v always holds).
-                if q(c, l, None, v, w)
-                    && phi.get(l, w).is_none()
-                    && phi.get(l, v).is_some()
-                {
+                if q(c, l, None, v, w) && phi.get(l, w).is_none() && phi.get(l, v).is_some() {
                     return false;
                 }
                 for u in c.nodes() {
@@ -77,7 +74,7 @@ where
 mod tests {
     use super::*;
     use crate::enumerate::for_each_observer;
-    use crate::model::dagcons::{Nn, Nw, Wn, Ww, QPredicate};
+    use crate::model::dagcons::{Nn, Nw, QPredicate, Wn, Ww};
     use crate::model::{Lc, MemoryModel, Sc};
     use crate::op::Op;
     use std::ops::ControlFlow;
@@ -120,11 +117,7 @@ mod tests {
     fn sc_checker_matches_brute_force() {
         for c in fixtures() {
             let _ = for_each_observer(&c, |phi| {
-                assert_eq!(
-                    Sc.contains(&c, phi),
-                    sc_brute(&c, phi),
-                    "SC mismatch on {c:?} {phi:?}"
-                );
+                assert_eq!(Sc.contains(&c, phi), sc_brute(&c, phi), "SC mismatch on {c:?} {phi:?}");
                 ControlFlow::Continue(())
             });
         }
@@ -134,11 +127,7 @@ mod tests {
     fn lc_checker_matches_brute_force() {
         for c in fixtures() {
             let _ = for_each_observer(&c, |phi| {
-                assert_eq!(
-                    Lc.contains(&c, phi),
-                    lc_brute(&c, phi),
-                    "LC mismatch on {c:?} {phi:?}"
-                );
+                assert_eq!(Lc.contains(&c, phi), lc_brute(&c, phi), "LC mismatch on {c:?} {phi:?}");
                 ControlFlow::Continue(())
             });
         }

@@ -266,9 +266,7 @@ mod tests {
         // "masking" anomaly the original WW dag consistency already
         // forbade).
         let c = chain_wrr();
-        let phi = ObserverFunction::base(&c)
-            .with(l(0), n(1), Some(n(0)))
-            .with(l(0), n(2), None);
+        let phi = ObserverFunction::base(&c).with(l(0), n(1), Some(n(0))).with(l(0), n(2), None);
         assert!(phi.is_valid_for(&c));
         assert!(!Nn::new().contains(&c, &phi));
         assert!(!Wn::new().contains(&c, &phi));
@@ -279,9 +277,8 @@ mod tests {
     #[test]
     fn steady_observation_is_nn_consistent() {
         let c = chain_wrr();
-        let phi = ObserverFunction::base(&c)
-            .with(l(0), n(1), Some(n(0)))
-            .with(l(0), n(2), Some(n(0)));
+        let phi =
+            ObserverFunction::base(&c).with(l(0), n(1), Some(n(0))).with(l(0), n(2), Some(n(0)));
         assert!(Nn::new().contains(&c, &phi));
         assert!(Nw::new().contains(&c, &phi));
         assert!(Wn::new().contains(&c, &phi));
@@ -296,9 +293,7 @@ mod tests {
         // the initial value once a write precedes it, under any
         // dag-consistent model.
         let c = chain_wrr();
-        let phi = ObserverFunction::base(&c)
-            .with(l(0), n(1), None)
-            .with(l(0), n(2), Some(n(0)));
+        let phi = ObserverFunction::base(&c).with(l(0), n(1), None).with(l(0), n(2), Some(n(0)));
         assert!(phi.is_valid_for(&c));
         assert!(!Nn::new().contains(&c, &phi));
         assert!(!Wn::new().contains(&c, &phi));
@@ -402,9 +397,7 @@ mod tests {
     #[test]
     fn find_violation_reports_triple() {
         let c = chain_wrr();
-        let phi = ObserverFunction::base(&c)
-            .with(l(0), n(1), Some(n(0)))
-            .with(l(0), n(2), None);
+        let phi = ObserverFunction::base(&c).with(l(0), n(1), Some(n(0))).with(l(0), n(2), None);
         let v = Nn::find_violation(&c, &phi);
         assert!(v.is_some());
         let (loc, u, mid, w) = v.unwrap();

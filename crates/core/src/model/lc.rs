@@ -195,9 +195,8 @@ mod tests {
             &[(0, 2), (1, 2), (0, 3), (1, 3)],
             vec![Op::Write(l(0)), Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
         );
-        let phi = ObserverFunction::base(&c)
-            .with(l(0), n(2), Some(n(0)))
-            .with(l(0), n(3), Some(n(1)));
+        let phi =
+            ObserverFunction::base(&c).with(l(0), n(2), Some(n(0))).with(l(0), n(3), Some(n(1)));
         assert!(phi.is_valid_for(&c));
         assert!(!Lc.contains(&c, &phi));
         assert!(Lc::witness(&c, &phi).is_none());
@@ -211,9 +210,7 @@ mod tests {
             &[(0, 1), (1, 2)],
             vec![Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
         );
-        let phi = ObserverFunction::base(&c)
-            .with(l(0), n(1), Some(n(0)))
-            .with(l(0), n(2), None);
+        let phi = ObserverFunction::base(&c).with(l(0), n(1), Some(n(0))).with(l(0), n(2), None);
         assert!(phi.is_valid_for(&c));
         assert!(!Lc.contains(&c, &phi));
     }
@@ -229,9 +226,7 @@ mod tests {
             &[(0, 1), (1, 2)],
             vec![Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
         );
-        let phi = ObserverFunction::base(&c)
-            .with(l(0), n(1), None)
-            .with(l(0), n(2), Some(n(0)));
+        let phi = ObserverFunction::base(&c).with(l(0), n(1), None).with(l(0), n(2), Some(n(0)));
         assert!(phi.is_valid_for(&c));
         assert!(!Lc.contains(&c, &phi));
     }
@@ -252,13 +247,7 @@ mod tests {
         let c = Computation::from_edges(
             5,
             &[(0, 2), (1, 2), (2, 3), (2, 4)],
-            vec![
-                Op::Write(l(0)),
-                Op::Write(l(0)),
-                Op::Read(l(0)),
-                Op::Read(l(0)),
-                Op::Write(l(1)),
-            ],
+            vec![Op::Write(l(0)), Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0)), Op::Write(l(1))],
         );
         // The reads and the later write all observe B at l0; A is
         // serialized before B. (Node 4 follows node 2, which observes a
@@ -274,11 +263,7 @@ mod tests {
             assert!(ccmm_dag::topo::is_topological_sort(c.dag(), t));
             let wt = last_writer_function(&c, t);
             for u in c.nodes() {
-                assert_eq!(
-                    wt.get(l(li), u),
-                    phi.get(l(li), u),
-                    "location l{li}, node {u}"
-                );
+                assert_eq!(wt.get(l(li), u), phi.get(l(li), u), "location l{li}, node {u}");
             }
         }
     }

@@ -189,13 +189,7 @@ mod tests {
         let c = Computation::from_edges(
             5,
             &[(0, 2), (1, 2), (2, 3), (2, 4)],
-            vec![
-                Op::Write(l(0)),
-                Op::Write(l(1)),
-                Op::Read(l(0)),
-                Op::Read(l(1)),
-                Op::Write(l(0)),
-            ],
+            vec![Op::Write(l(0)), Op::Write(l(1)), Op::Read(l(0)), Op::Read(l(1)), Op::Write(l(0))],
         );
         let phi = ObserverFunction::base(&c)
             .with(l(0), n(1), Some(n(0))) // serialize the writers: A then B

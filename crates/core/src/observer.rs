@@ -20,12 +20,14 @@ use ccmm_dag::NodeId;
 
 /// An observer function for a computation with `node_count` nodes over
 /// `num_locations` locations.
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct ObserverFunction {
     /// `table[l][u] = Φ(l, u)`, `None` meaning ⊥.
     table: Vec<Vec<Option<NodeId>>>,
     node_count: usize,
 }
+
+serde::impl_serde_struct!(ObserverFunction { table, node_count });
 
 impl ObserverFunction {
     /// The everywhere-⊥ function (valid iff the computation has no writes).
@@ -241,8 +243,8 @@ impl std::fmt::Debug for ObserverFunction {
 
 #[cfg(test)]
 mod tests {
-    use crate::op::Op;
     use super::*;
+    use crate::op::Op;
 
     fn n(i: usize) -> NodeId {
         NodeId::new(i)
@@ -288,25 +290,15 @@ mod tests {
     fn condition_2_1_rejects_non_write_target() {
         let c = comp();
         let phi = ObserverFunction::base(&c).with(l(0), n(1), Some(n(1)));
-        assert!(matches!(
-            phi.validate(&c),
-            Err(CoreError::ObservedNotAWrite { .. })
-        ));
+        assert!(matches!(phi.validate(&c), Err(CoreError::ObservedNotAWrite { .. })));
     }
 
     #[test]
     fn condition_2_2_rejects_observing_the_future() {
         // R(0) -> W(0): the read precedes the write.
-        let c = Computation::from_edges(
-            2,
-            &[(0, 1)],
-            vec![Op::Read(l(0)), Op::Write(l(0))],
-        );
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Read(l(0)), Op::Write(l(0))]);
         let phi = ObserverFunction::base(&c).with(l(0), n(0), Some(n(1)));
-        assert!(matches!(
-            phi.validate(&c),
-            Err(CoreError::ObserverPrecedes { .. })
-        ));
+        assert!(matches!(phi.validate(&c), Err(CoreError::ObserverPrecedes { .. })));
     }
 
     #[test]
@@ -314,26 +306,17 @@ mod tests {
         let c = comp();
         let mut phi = ObserverFunction::base(&c);
         phi.set(l(0), n(0), None);
-        assert!(matches!(
-            phi.validate(&c),
-            Err(CoreError::WriteNotSelfObserving { .. })
-        ));
+        assert!(matches!(phi.validate(&c), Err(CoreError::WriteNotSelfObserving { .. })));
         let mut phi2 = ObserverFunction::base(&c);
         phi2.set(l(0), n(0), Some(n(2)));
-        assert!(matches!(
-            phi2.validate(&c),
-            Err(CoreError::WriteNotSelfObserving { .. })
-        ));
+        assert!(matches!(phi2.validate(&c), Err(CoreError::WriteNotSelfObserving { .. })));
     }
 
     #[test]
     fn shape_mismatch_detected() {
         let c = comp();
         let phi = ObserverFunction::bottom(1, 2);
-        assert!(matches!(
-            phi.validate(&c),
-            Err(CoreError::ObserverShapeMismatch { .. })
-        ));
+        assert!(matches!(phi.validate(&c), Err(CoreError::ObserverShapeMismatch { .. })));
     }
 
     #[test]

@@ -6,11 +6,11 @@
 //! (Section 2). Data values are abstracted away; they reappear only in
 //! [`crate::exec`] for concrete executions.
 
-use serde::{Deserialize, Serialize};
-
 /// A memory location, a dense index in `0..num_locations`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Location(pub u32);
+
+serde::impl_serde_newtype!(Location);
 
 impl Location {
     /// The location's dense index.
@@ -39,7 +39,7 @@ impl std::fmt::Display for Location {
 }
 
 /// An abstract instruction.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// `R(l)` — read location `l`.
     Read(Location),
@@ -80,6 +80,38 @@ impl Op {
             ops.push(Op::Write(Location::new(l)));
         }
         ops
+    }
+}
+
+// Externally-tagged encoding, as the upstream serde derive would emit:
+// `"Nop"` for the unit variant, `{"Read": l}` / `{"Write": l}` otherwise.
+impl serde::Serialize for Op {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = match self {
+            Op::Nop => serde::Value::Str("Nop".to_string()),
+            Op::Read(l) => serde::Value::Map(vec![("Read".to_string(), serde::to_value(l))]),
+            Op::Write(l) => serde::Value::Map(vec![("Write".to_string(), serde::to_value(l))]),
+        };
+        s.serialize_value(v)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Op {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+        match d.take_value()? {
+            serde::Value::Str(tag) if tag == "Nop" => Ok(Op::Nop),
+            serde::Value::Map(entries) if entries.len() == 1 => {
+                let (tag, payload) = entries.into_iter().next().expect("len checked");
+                let l: Location = serde::from_value(payload)?;
+                match tag.as_str() {
+                    "Read" => Ok(Op::Read(l)),
+                    "Write" => Ok(Op::Write(l)),
+                    other => Err(D::Error::custom(format_args!("unknown Op variant `{other}`"))),
+                }
+            }
+            other => Err(D::Error::custom(format_args!("expected Op, found {other:?}"))),
+        }
     }
 }
 

@@ -60,9 +60,7 @@ fn parse_op(tok: &str, line: usize) -> Result<Op, ParseError> {
         .ok_or_else(|| err(line, format!("expected R(i), W(i) or N, got `{tok}`")))?;
     // Accept both `W(0)` and `W(l0)`.
     let inner = inner.strip_prefix('l').unwrap_or(inner);
-    let loc: usize = inner
-        .parse()
-        .map_err(|_| err(line, format!("bad location in `{tok}`")))?;
+    let loc: usize = inner.parse().map_err(|_| err(line, format!("bad location in `{tok}`")))?;
     match kind {
         "R" => Ok(Op::Read(Location::new(loc))),
         "W" => Ok(Op::Write(Location::new(loc))),
@@ -80,9 +78,8 @@ pub fn parse_computation(text: &str) -> Result<Computation, ParseError> {
         if line.is_empty() {
             continue;
         }
-        let (head, rest) = line
-            .split_once(':')
-            .ok_or_else(|| err(lineno, "expected `nK: OP [<- preds]`"))?;
+        let (head, rest) =
+            line.split_once(':').ok_or_else(|| err(lineno, "expected `nK: OP [<- preds]`"))?;
         let node = parse_node(head.trim(), lineno)?;
         if node.index() != ops.len() {
             return Err(err(
@@ -108,8 +105,8 @@ pub fn parse_computation(text: &str) -> Result<Computation, ParseError> {
             }
         }
     }
-    let dag = Dag::from_edges(ops.len(), &edges)
-        .map_err(|e| err(0, format!("graph error: {e}")))?;
+    let dag =
+        Dag::from_edges(ops.len(), &edges).map_err(|e| err(0, format!("graph error: {e}")))?;
     Computation::new(dag, ops).map_err(|e| err(0, format!("computation error: {e}")))
 }
 
@@ -142,9 +139,8 @@ pub fn parse_observer(text: &str, c: &Computation) -> Result<ObserverFunction, P
         if line.is_empty() {
             continue;
         }
-        let (head, rest) = line
-            .split_once(':')
-            .ok_or_else(|| err(lineno, "expected `lK: entries…`"))?;
+        let (head, rest) =
+            line.split_once(':').ok_or_else(|| err(lineno, "expected `lK: entries…`"))?;
         let lraw = head.trim().strip_prefix('l').ok_or_else(|| {
             err(lineno, format!("expected location like l0, got `{}`", head.trim()))
         })?;

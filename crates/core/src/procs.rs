@@ -153,8 +153,7 @@ mod tests {
         let mut sc_both_zero = false;
         let mut lc_both_zero = false;
         let _ = for_each_observer(&c, |phi| {
-            let both_zero =
-                phi.get(l(1), r1).is_none() && phi.get(l(0), r2).is_none();
+            let both_zero = phi.get(l(1), r1).is_none() && phi.get(l(0), r2).is_none();
             if both_zero {
                 sc_both_zero |= Sc.contains(&c, phi);
                 lc_both_zero |= Lc.contains(&c, phi);

@@ -74,10 +74,7 @@ pub struct MonotonicityWitness {
 /// removals.
 /// (Large `Err` is deliberate: the witness is the product.)
 #[allow(clippy::result_large_err)]
-pub fn check_monotonic<M: MemoryModel>(
-    model: &M,
-    u: &Universe,
-) -> Result<(), MonotonicityWitness> {
+pub fn check_monotonic<M: MemoryModel>(model: &M, u: &Universe) -> Result<(), MonotonicityWitness> {
     let mut witness = None;
     let _ = u.for_each_computation(|c| {
         for_each_observer(c, |phi| {
@@ -87,11 +84,7 @@ pub fn check_monotonic<M: MemoryModel>(
             for (a, b) in c.dag().edges() {
                 let relaxed = c.without_edge(a, b).expect("edge exists");
                 if !model.contains(&relaxed, phi) {
-                    witness = Some(MonotonicityWitness {
-                        c: c.clone(),
-                        phi: phi.clone(),
-                        relaxed,
-                    });
+                    witness = Some(MonotonicityWitness { c: c.clone(), phi: phi.clone(), relaxed });
                     return ControlFlow::Break(());
                 }
             }

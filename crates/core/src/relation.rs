@@ -117,9 +117,7 @@ pub fn find_pair<M: MemoryModel>(
     let mut found = None;
     let _ = u.for_each_computation(|c| {
         for_each_observer(c, |phi| {
-            if ins.iter().all(|m| m.contains(c, phi))
-                && outs.iter().all(|m| !m.contains(c, phi))
-            {
+            if ins.iter().all(|m| m.contains(c, phi)) && outs.iter().all(|m| !m.contains(c, phi)) {
                 found = Some((c.clone(), phi.clone()));
                 return ControlFlow::Break(());
             }

@@ -1,0 +1,641 @@
+//! Parallel universe sweeps: sharding the (poset × op-labelling) space.
+//!
+//! Every exhaustive checker in this crate walks the same space — all
+//! naturally labelled posets of each size crossed with all op labellings
+//! and all valid observer functions. This module shards that space across
+//! worker threads: the *task* unit is one poset (all labellings of one
+//! dag), materialised in serial enumeration order with a global index and
+//! distributed through a work-stealing [`Injector`] under
+//! [`std::thread::scope`].
+//!
+//! Determinism is part of the contract, not an accident:
+//!
+//! * counting sweeps ([`compare_par`]) visit every pair exactly once, so
+//!   the merged totals are bit-identical to the serial scan;
+//! * witness sweeps ([`check_complete_par`], [`check_monotonic_par`],
+//!   [`check_constructible_aug_par`], and [`compare_par`]'s witnesses)
+//!   resolve races by *smallest task index wins*. A task is scanned
+//!   serially by exactly one worker, so "first witness within the minimal
+//!   witnessing task" is exactly the witness the serial scan returns.
+//!   A shared atomic best-index lets workers skip or abandon tasks that
+//!   can no longer win — cooperative early exit without changing the
+//!   answer.
+//!
+//! Thread count comes from [`SweepConfig`]: the `CCMM_THREADS` environment
+//! variable when set, otherwise [`std::thread::available_parallelism`].
+
+use crate::computation::Computation;
+use crate::enumerate::for_each_observer;
+use crate::model::MemoryModel;
+use crate::observer::ObserverFunction;
+use crate::op::Op;
+use crate::props::{
+    any_extension, ConstructibilityWitness, IncompleteWitness, MonotonicityWitness,
+};
+use crate::relation::{Comparison, LatticeRow, Relation};
+use crate::universe::Universe;
+use ccmm_dag::poset::for_each_poset_indexed;
+use ccmm_dag::Dag;
+use crossbeam::deque::{Injector, Steal};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// How a sweep is parallelised.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Number of worker threads (≥ 1).
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// `CCMM_THREADS` when set to a positive integer, otherwise the
+    /// machine's available parallelism (1 if unknown).
+    pub fn from_env() -> Self {
+        let threads = std::env::var("CCMM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        SweepConfig { threads }
+    }
+
+    /// A single-threaded sweep (the serial scan, run through the same
+    /// engine).
+    pub fn serial() -> Self {
+        SweepConfig { threads: 1 }
+    }
+
+    /// An explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "a sweep needs at least one thread");
+        SweepConfig { threads }
+    }
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig::from_env()
+    }
+}
+
+/// One unit of sweep work: one poset, covering all its op labellings.
+struct Task {
+    /// Global index in serial enumeration order (sizes ascending, posets
+    /// in `for_each_poset` order within a size).
+    idx: usize,
+    /// Node count of the poset.
+    size: usize,
+    /// The poset's transitive-closure dag.
+    dag: Dag,
+}
+
+/// All tasks of the universe, in serial enumeration order.
+fn materialize(u: &Universe) -> Vec<Task> {
+    let mut tasks = Vec::new();
+    for n in 0..=u.max_nodes {
+        for_each_poset_indexed(n, |_, dag| {
+            tasks.push(Task { idx: tasks.len(), size: n, dag: dag.clone() });
+        });
+    }
+    tasks
+}
+
+/// Pops the next task, absorbing `Retry`.
+fn pop(injector: &Injector<Task>) -> Option<Task> {
+    loop {
+        match injector.steal() {
+            Steal::Success(t) => return Some(t),
+            Steal::Empty => return None,
+            Steal::Retry => continue,
+        }
+    }
+}
+
+/// Runs `worker` on `cfg.threads` scoped threads over a shared task queue
+/// and collects the per-worker results. With one thread the worker runs
+/// on the caller's thread — no spawn, same code path.
+fn run_workers<R, W>(tasks: Vec<Task>, threads: usize, worker: W) -> Vec<R>
+where
+    R: Send,
+    W: Fn(&Injector<Task>) -> R + Sync,
+{
+    let injector = Injector::new();
+    for t in tasks {
+        injector.push(t);
+    }
+    if threads == 1 {
+        return vec![worker(&injector)];
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads).map(|_| s.spawn(|| worker(&injector))).collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    })
+}
+
+/// Calls `f` with every op labelling of a task's poset, in the same
+/// base-`k` digit-counter order as `Universe::for_each_computation_of_size`.
+fn for_each_labelling<F>(alphabet: &[Op], task: &Task, f: &mut F) -> ControlFlow<()>
+where
+    F: FnMut(&Computation) -> ControlFlow<()>,
+{
+    let n = task.size;
+    let k = alphabet.len();
+    let mut digits = vec![0usize; n];
+    loop {
+        let ops: Vec<Op> = digits.iter().map(|&d| alphabet[d]).collect();
+        let c = Computation::new(task.dag.clone(), ops).expect("labelling has one op per node");
+        f(&c)?;
+        let mut i = 0;
+        loop {
+            if i == n {
+                return ControlFlow::Continue(());
+            }
+            digits[i] += 1;
+            if digits[i] < k {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// The general sharded sweep: runs `work` once per computation of the
+/// universe, fanned out over `cfg.threads` workers at poset granularity,
+/// each worker folding into its own accumulator (seeded by `init`).
+/// Returns the per-worker accumulators for the caller to merge.
+///
+/// `work` receives the computation's *task index* (the global poset
+/// index) so callers can impose the serial order on merged results.
+pub fn sweep_computations<R, I, F>(u: &Universe, cfg: &SweepConfig, init: I, work: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> R + Sync,
+    F: Fn(&mut R, usize, &Computation) + Sync,
+{
+    let alphabet = u.alphabet();
+    run_workers(materialize(u), cfg.threads, |inj| {
+        let mut acc = init();
+        while let Some(task) = pop(inj) {
+            let _ = for_each_labelling(&alphabet, &task, &mut |c| {
+                work(&mut acc, task.idx, c);
+                ControlFlow::Continue(())
+            });
+        }
+        acc
+    })
+}
+
+/// A witness tagged with the task index it was found in; merged by
+/// smallest index, which reproduces the serial scan's first witness.
+struct Keyed<W> {
+    task_idx: usize,
+    witness: W,
+}
+
+fn keep_min<W>(slot: &mut Option<Keyed<W>>, task_idx: usize, witness: impl FnOnce() -> W) {
+    if slot.as_ref().is_none_or(|k| task_idx < k.task_idx) {
+        *slot = Some(Keyed { task_idx, witness: witness() });
+    }
+}
+
+fn merge_min<W>(slots: impl IntoIterator<Item = Option<Keyed<W>>>) -> Option<W> {
+    slots.into_iter().flatten().min_by_key(|k| k.task_idx).map(|k| k.witness)
+}
+
+/// Parallel [`crate::relation::compare`]: identical `Comparison` —
+/// totals are exact (every pair visited exactly once) and the
+/// `a_only`/`b_only` witnesses are the serial scan's first witnesses
+/// (smallest task index, first in scan order within it).
+pub fn compare_par<A, B>(a: &A, b: &B, u: &Universe, cfg: &SweepConfig) -> Comparison
+where
+    A: MemoryModel + Sync,
+    B: MemoryModel + Sync,
+{
+    struct Partial {
+        both: usize,
+        a_total: usize,
+        b_total: usize,
+        pairs_checked: usize,
+        a_only: Option<Keyed<(Computation, ObserverFunction)>>,
+        b_only: Option<Keyed<(Computation, ObserverFunction)>>,
+    }
+    let alphabet = u.alphabet();
+    let partials = run_workers(materialize(u), cfg.threads, |inj| {
+        let mut p = Partial {
+            both: 0,
+            a_total: 0,
+            b_total: 0,
+            pairs_checked: 0,
+            a_only: None,
+            b_only: None,
+        };
+        while let Some(task) = pop(inj) {
+            let _ = for_each_labelling(&alphabet, &task, &mut |c| {
+                let _ = for_each_observer(c, |phi| {
+                    p.pairs_checked += 1;
+                    let in_a = a.contains(c, phi);
+                    let in_b = b.contains(c, phi);
+                    p.a_total += in_a as usize;
+                    p.b_total += in_b as usize;
+                    p.both += (in_a && in_b) as usize;
+                    if in_a && !in_b {
+                        keep_min(&mut p.a_only, task.idx, || (c.clone(), phi.clone()));
+                    }
+                    if in_b && !in_a {
+                        keep_min(&mut p.b_only, task.idx, || (c.clone(), phi.clone()));
+                    }
+                    ControlFlow::Continue(())
+                });
+                ControlFlow::Continue(())
+            });
+        }
+        p
+    });
+    let mut cmp = Comparison {
+        relation: Relation::Equal,
+        a_only: None,
+        b_only: None,
+        both: 0,
+        a_total: 0,
+        b_total: 0,
+        pairs_checked: 0,
+    };
+    let mut a_onlys = Vec::new();
+    let mut b_onlys = Vec::new();
+    for p in partials {
+        cmp.both += p.both;
+        cmp.a_total += p.a_total;
+        cmp.b_total += p.b_total;
+        cmp.pairs_checked += p.pairs_checked;
+        a_onlys.push(p.a_only);
+        b_onlys.push(p.b_only);
+    }
+    cmp.a_only = merge_min(a_onlys);
+    cmp.b_only = merge_min(b_onlys);
+    cmp.relation = match (&cmp.a_only, &cmp.b_only) {
+        (None, None) => Relation::Equal,
+        (None, Some(_)) => Relation::StrictlyStronger,
+        (Some(_), None) => Relation::StrictlyWeaker,
+        (Some(_), Some(_)) => Relation::Incomparable,
+    };
+    cmp
+}
+
+/// Decides only the [`Relation`] between two models, with cooperative
+/// early exit: once witnesses in both directions exist the verdict is
+/// `Incomparable` no matter what remains, so an [`AtomicBool`] per
+/// direction lets every worker stop scanning. Existence of a witness is
+/// scan-order independent, so the verdict is deterministic.
+pub fn relation_par<A, B>(a: &A, b: &B, u: &Universe, cfg: &SweepConfig) -> Relation
+where
+    A: MemoryModel + Sync,
+    B: MemoryModel + Sync,
+{
+    let alphabet = u.alphabet();
+    let found_a_only = AtomicBool::new(false);
+    let found_b_only = AtomicBool::new(false);
+    run_workers(materialize(u), cfg.threads, |inj| {
+        while let Some(task) = pop(inj) {
+            if found_a_only.load(Ordering::Relaxed) && found_b_only.load(Ordering::Relaxed) {
+                continue; // drain without scanning
+            }
+            let _ = for_each_labelling(&alphabet, &task, &mut |c| {
+                let done_a = found_a_only.load(Ordering::Relaxed);
+                let done_b = found_b_only.load(Ordering::Relaxed);
+                if done_a && done_b {
+                    return ControlFlow::Break(());
+                }
+                let _ = for_each_observer(c, |phi| {
+                    let in_a = a.contains(c, phi);
+                    let in_b = b.contains(c, phi);
+                    if in_a && !in_b {
+                        found_a_only.store(true, Ordering::Relaxed);
+                    }
+                    if in_b && !in_a {
+                        found_b_only.store(true, Ordering::Relaxed);
+                    }
+                    ControlFlow::Continue(())
+                });
+                ControlFlow::Continue(())
+            });
+        }
+    });
+    match (found_a_only.load(Ordering::Relaxed), found_b_only.load(Ordering::Relaxed)) {
+        (false, false) => Relation::Equal,
+        (false, true) => Relation::StrictlyStronger,
+        (true, false) => Relation::StrictlyWeaker,
+        (true, true) => Relation::Incomparable,
+    }
+}
+
+/// Parallel [`crate::relation::lattice`]: the full pairwise relation
+/// matrix, each cell decided by [`relation_par`].
+pub fn lattice_par<M: MemoryModel + Sync>(
+    models: &[M],
+    u: &Universe,
+    cfg: &SweepConfig,
+) -> Vec<LatticeRow> {
+    models
+        .iter()
+        .map(|a| LatticeRow {
+            name: a.name().to_string(),
+            relations: models.iter().map(|b| relation_par(a, b, u, cfg)).collect(),
+        })
+        .collect()
+}
+
+/// First-witness search over tasks: `scan` inspects one task serially and
+/// returns its first witness, consulting `superseded` (cheap atomic read)
+/// to abandon tasks that can no longer produce the winning — i.e. the
+/// minimal-index — witness.
+fn search_par<W, F>(tasks: Vec<Task>, threads: usize, scan: F) -> Option<W>
+where
+    W: Send,
+    F: Fn(&Task, &dyn Fn() -> bool) -> Option<W> + Sync,
+{
+    let best = AtomicUsize::new(usize::MAX);
+    let locals = run_workers(tasks, threads, |inj| {
+        let mut local: Option<Keyed<W>> = None;
+        while let Some(task) = pop(inj) {
+            if best.load(Ordering::Relaxed) < task.idx {
+                continue; // an earlier task already has a witness
+            }
+            let superseded = || best.load(Ordering::Relaxed) < task.idx;
+            if let Some(w) = scan(&task, &superseded) {
+                best.fetch_min(task.idx, Ordering::Relaxed);
+                keep_min(&mut local, task.idx, || w);
+            }
+        }
+        local
+    });
+    merge_min(locals)
+}
+
+/// Parallel [`crate::props::check_complete`], returning the serial scan's
+/// witness. (Large `Err` is deliberate: the witness is the product.)
+#[allow(clippy::result_large_err)]
+pub fn check_complete_par<M: MemoryModel + Sync>(
+    model: &M,
+    u: &Universe,
+    cfg: &SweepConfig,
+) -> Result<(), IncompleteWitness> {
+    let alphabet = u.alphabet();
+    let witness = search_par(materialize(u), cfg.threads, |task, superseded| {
+        let mut found = None;
+        let _ = for_each_labelling(&alphabet, task, &mut |c| {
+            if superseded() {
+                return ControlFlow::Break(());
+            }
+            let mut any = false;
+            let _ = for_each_observer(c, |phi| {
+                if model.contains(c, phi) {
+                    any = true;
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+            if !any {
+                found = Some(c.clone());
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        found
+    });
+    match witness {
+        Some(c) => Err(c),
+        None => Ok(()),
+    }
+}
+
+/// Parallel [`crate::props::check_monotonic`], returning the serial
+/// scan's witness. (Large `Err` is deliberate: the witness is the
+/// product.)
+#[allow(clippy::result_large_err)]
+pub fn check_monotonic_par<M: MemoryModel + Sync>(
+    model: &M,
+    u: &Universe,
+    cfg: &SweepConfig,
+) -> Result<(), MonotonicityWitness> {
+    let alphabet = u.alphabet();
+    let witness = search_par(materialize(u), cfg.threads, |task, superseded| {
+        let mut found = None;
+        let _ = for_each_labelling(&alphabet, task, &mut |c| {
+            if superseded() {
+                return ControlFlow::Break(());
+            }
+            for_each_observer(c, |phi| {
+                if !model.contains(c, phi) {
+                    return ControlFlow::Continue(());
+                }
+                for (a, b) in c.dag().edges() {
+                    let relaxed = c.without_edge(a, b).expect("edge exists");
+                    if !model.contains(&relaxed, phi) {
+                        found =
+                            Some(MonotonicityWitness { c: c.clone(), phi: phi.clone(), relaxed });
+                        return ControlFlow::Break(());
+                    }
+                }
+                ControlFlow::Continue(())
+            })
+        });
+        found
+    });
+    match witness {
+        Some(w) => Err(w),
+        None => Ok(()),
+    }
+}
+
+/// Parallel [`crate::props::check_constructible_aug`], returning the
+/// serial scan's witness. (Large `Err` is deliberate: the witness is the
+/// product.)
+#[allow(clippy::result_large_err)]
+pub fn check_constructible_aug_par<M: MemoryModel + Sync>(
+    model: &M,
+    u: &Universe,
+    cfg: &SweepConfig,
+) -> Result<(), ConstructibilityWitness> {
+    let alphabet = u.alphabet();
+    let bounded = Universe { max_nodes: u.max_nodes.saturating_sub(1), ..*u };
+    let witness = search_par(materialize(&bounded), cfg.threads, |task, superseded| {
+        let mut found = None;
+        let _ = for_each_labelling(&alphabet, task, &mut |c| {
+            if superseded() {
+                return ControlFlow::Break(());
+            }
+            for_each_observer(c, |phi| {
+                if !model.contains(c, phi) {
+                    return ControlFlow::Continue(());
+                }
+                for &o in &alphabet {
+                    let aug = c.augment(o);
+                    if !any_extension(&aug, phi, |phi2| model.contains(&aug, phi2)) {
+                        found = Some(ConstructibilityWitness {
+                            c: c.clone(),
+                            phi: phi.clone(),
+                            extension: aug,
+                            op: o,
+                        });
+                        return ControlFlow::Break(());
+                    }
+                }
+                ControlFlow::Continue(())
+            })
+        });
+        found
+    });
+    match witness {
+        Some(w) => Err(w),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AnyObserver, Lc, Model, Nn, Sc};
+    use crate::props::{check_complete, check_constructible_aug, check_monotonic};
+    use crate::relation::compare;
+
+    fn assert_same_comparison(serial: &Comparison, par: &Comparison) {
+        assert_eq!(serial.relation, par.relation);
+        assert_eq!(serial.both, par.both);
+        assert_eq!(serial.a_total, par.a_total);
+        assert_eq!(serial.b_total, par.b_total);
+        assert_eq!(serial.pairs_checked, par.pairs_checked);
+        let same_pair = |x: &Option<(Computation, ObserverFunction)>,
+                         y: &Option<(Computation, ObserverFunction)>| {
+            match (x, y) {
+                (None, None) => true,
+                (Some((c1, p1)), Some((c2, p2))) => c1 == c2 && p1 == p2,
+                _ => false,
+            }
+        };
+        assert!(same_pair(&serial.a_only, &par.a_only), "a_only witness differs");
+        assert!(same_pair(&serial.b_only, &par.b_only), "b_only witness differs");
+    }
+
+    #[test]
+    fn compare_par_is_bit_identical_to_serial() {
+        let u = Universe::new(3, 1);
+        for threads in [1, 4] {
+            let cfg = SweepConfig::with_threads(threads);
+            for (a, b) in [
+                (Model::Lc, Model::Nn),
+                (Model::Nn, Model::Lc),
+                (Model::Sc, Model::Any),
+                (Model::Nw, Model::Wn),
+            ] {
+                let serial = compare(&a, &b, &u);
+                let par = compare_par(&a, &b, &u, &cfg);
+                assert_same_comparison(&serial, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn compare_par_two_locations() {
+        let u = Universe::new(3, 2);
+        let serial = compare(&Sc, &Lc, &u);
+        let par = compare_par(&Sc, &Lc, &u, &SweepConfig::with_threads(3));
+        assert_same_comparison(&serial, &par);
+    }
+
+    #[test]
+    fn relation_par_matches_compare() {
+        let u = Universe::new(3, 1);
+        let cfg = SweepConfig::with_threads(4);
+        for (a, b) in [
+            (Model::Sc, Model::Lc),
+            (Model::Lc, Model::Ww),
+            (Model::Ww, Model::Lc),
+            (Model::Nw, Model::Wn),
+        ] {
+            assert_eq!(relation_par(&a, &b, &u, &cfg), compare(&a, &b, &u).relation);
+        }
+    }
+
+    #[test]
+    fn lattice_par_matches_serial_lattice() {
+        let u = Universe::new(2, 1);
+        let models = [Model::Sc, Model::Lc, Model::Nn, Model::Ww];
+        let serial = crate::relation::lattice(&models, &u);
+        let par = lattice_par(&models, &u, &SweepConfig::with_threads(4));
+        for (sr, pr) in serial.iter().zip(&par) {
+            assert_eq!(sr.name, pr.name);
+            assert_eq!(sr.relations, pr.relations);
+        }
+    }
+
+    #[test]
+    fn parallel_props_agree_with_serial_on_passing_models() {
+        let u = Universe::new(3, 1);
+        let cfg = SweepConfig::with_threads(4);
+        for m in [Model::Sc, Model::Lc, Model::Nn, Model::Ww] {
+            assert_eq!(check_complete(&m, &u).is_ok(), check_complete_par(&m, &u, &cfg).is_ok());
+            assert_eq!(check_monotonic(&m, &u).is_ok(), check_monotonic_par(&m, &u, &cfg).is_ok());
+            assert_eq!(
+                check_constructible_aug(&m, &u).is_ok(),
+                check_constructible_aug_par(&m, &u, &cfg).is_ok()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_constructibility_witness_matches_serial() {
+        // NN fails constructibility at the 5-node bound; the parallel
+        // search must return the exact witness the serial scan finds.
+        let u = Universe::new(5, 1);
+        let serial =
+            check_constructible_aug(&Nn::default(), &u).expect_err("NN is not constructible");
+        let par = check_constructible_aug_par(&Nn::default(), &u, &SweepConfig::with_threads(4))
+            .expect_err("NN is not constructible (parallel)");
+        assert_eq!(serial.c, par.c);
+        assert_eq!(serial.phi, par.phi);
+        assert_eq!(serial.extension, par.extension);
+        assert_eq!(serial.op, par.op);
+    }
+
+    #[test]
+    fn sweep_computations_counts_the_universe() {
+        let u = Universe::new(3, 1);
+        for threads in [1, 4] {
+            let counts = sweep_computations(
+                &u,
+                &SweepConfig::with_threads(threads),
+                || 0usize,
+                |acc, _, _| *acc += 1,
+            );
+            assert_eq!(counts.iter().sum::<usize>(), u.count_computations());
+        }
+    }
+
+    #[test]
+    fn config_env_and_constructors() {
+        assert_eq!(SweepConfig::serial().threads, 1);
+        assert_eq!(SweepConfig::with_threads(7).threads, 7);
+        assert!(SweepConfig::from_env().threads >= 1);
+    }
+
+    #[test]
+    fn relation_par_early_exit_on_incomparable() {
+        // NW ∥ WN needs 4-node computations (Figure 1); with witnesses in
+        // both directions the sweep can stop early yet must still say
+        // Incomparable.
+        let u = Universe::new(4, 1);
+        let r = relation_par(&Model::Nw, &Model::Wn, &u, &SweepConfig::with_threads(2));
+        assert_eq!(r, Relation::Incomparable);
+        // And Equal when comparing a model to itself.
+        let u3 = Universe::new(3, 1);
+        assert_eq!(
+            relation_par(&AnyObserver, &AnyObserver, &u3, &SweepConfig::with_threads(2)),
+            Relation::Equal
+        );
+    }
+}

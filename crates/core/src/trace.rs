@@ -215,9 +215,7 @@ pub fn explain_sc(c: &Computation, trace: &ValueTrace) -> Option<Vec<NodeId>> {
 /// explaining that location's recorded reads — i.e. the trace is location
 /// consistent. Returns a serialization per location.
 pub fn explain_lc(c: &Computation, trace: &ValueTrace) -> Option<Vec<Vec<NodeId>>> {
-    c.locations()
-        .map(|l| search_serialization(c, trace, Some(l)))
-        .collect()
+    c.locations().map(|l| search_serialization(c, trace, Some(l))).collect()
 }
 
 /// Whether the trace is sequentially consistent.
@@ -348,28 +346,18 @@ mod tests {
             &[(0, 2), (1, 2)],
             vec![Op::Write(l(0)), Op::Write(l(0)), Op::Read(l(0))],
         );
-        let trace = ValueTrace {
-            write_values: vec![7, 7, 0],
-            read_values: vec![(n(2), 7)],
-            initial: 0,
-        };
+        let trace =
+            ValueTrace { write_values: vec![7, 7, 0], read_values: vec![(n(2), 7)], initial: 0 };
         assert!(is_sc_trace(&c, &trace));
         assert!(is_lc_trace(&c, &trace));
     }
 
     #[test]
     fn impossible_value_is_unexplainable() {
-        let c = Computation::from_edges(
-            2,
-            &[(0, 1)],
-            vec![Op::Write(l(0)), Op::Read(l(0))],
-        );
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l(0)), Op::Read(l(0))]);
         // The read claims to have seen 42, which nothing wrote.
-        let trace = ValueTrace {
-            write_values: vec![5, 0],
-            read_values: vec![(n(1), 42)],
-            initial: 0,
-        };
+        let trace =
+            ValueTrace { write_values: vec![5, 0], read_values: vec![(n(1), 42)], initial: 0 };
         assert!(!is_sc_trace(&c, &trace));
         assert!(!is_lc_trace(&c, &trace));
         assert!(explain_exhaustive(&c, &trace, &crate::model::AnyObserver).is_none());
@@ -379,12 +367,9 @@ mod tests {
     fn initial_value_must_be_plausible() {
         // Read strictly after the only write cannot return the initial
         // value under LC.
-        let c = Computation::from_edges(
-            2,
-            &[(0, 1)],
-            vec![Op::Write(l(0)), Op::Read(l(0))],
-        );
-        let trace = ValueTrace { write_values: vec![5, 0], read_values: vec![(n(1), 0)], initial: 0 };
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l(0)), Op::Read(l(0))]);
+        let trace =
+            ValueTrace { write_values: vec![5, 0], read_values: vec![(n(1), 0)], initial: 0 };
         assert!(!is_lc_trace(&c, &trace));
         assert!(!is_sc_trace(&c, &trace));
         // …but the weakest model accepts it (Φ(read) = ⊥ is valid).
@@ -452,9 +437,7 @@ mod tests {
             &c,
             c.nodes()
                 .filter_map(|u| match c.op(u) {
-                    Op::Read(rl) => {
-                        Some((u, phi.get(rl, u).map_or(0, |w| w.index() as u64 + 1)))
-                    }
+                    Op::Read(rl) => Some((u, phi.get(rl, u).map_or(0, |w| w.index() as u64 + 1))),
                     _ => None,
                 })
                 .collect(),

@@ -60,8 +60,7 @@ impl Universe {
             let mut digits = vec![0usize; n];
             loop {
                 let ops: Vec<Op> = digits.iter().map(|&d| alphabet[d]).collect();
-                let c = Computation::new(dag.clone(), ops)
-                    .expect("labelling has one op per node");
+                let c = Computation::new(dag.clone(), ops).expect("labelling has one op per node");
                 if f(&c).is_break() {
                     flow = ControlFlow::Break(());
                     return;
@@ -114,6 +113,20 @@ impl Universe {
         });
         count
     }
+
+    /// Number of computations in the universe, in closed form: the
+    /// labellings of a size-`n` poset are independent of its shape, so
+    /// the universe holds `Σₙ count_posets(n) · kⁿ` computations for an
+    /// alphabet of `k` ops. Counts posets without building any dag and
+    /// never materialises a computation — sizes far beyond
+    /// [`count_computations`]'s enumerative reach (and beyond `usize` on
+    /// 32-bit targets, hence `u128`).
+    pub fn count_computations_closed(&self) -> u128 {
+        let k = self.alphabet().len() as u128;
+        (0..=self.max_nodes)
+            .map(|n| ccmm_dag::poset::count_posets_fast(n) as u128 * k.pow(n as u32))
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +153,32 @@ mod tests {
     fn documented_size_of_4_1_universe() {
         let u = Universe::new(4, 1);
         assert_eq!(u.count_computations(), 211 + 40 * 81);
+    }
+
+    #[test]
+    fn closed_form_count_matches_enumeration() {
+        for max_nodes in 0..=4 {
+            for num_locations in 1..=2 {
+                for include_nop in [false, true] {
+                    let u = Universe { max_nodes, num_locations, include_nop };
+                    assert_eq!(
+                        u.count_computations_closed(),
+                        u.count_computations() as u128,
+                        "closed form diverges at {u:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_reaches_past_enumeration() {
+        // 6-node universes are painful to enumerate but instant to count:
+        // 211 + 3240 + 90_202·... — just pin the documented 5-node value
+        // plus the closed-form 6-node one.
+        assert_eq!(Universe::new(5, 1).count_computations_closed(), 90_202);
+        let six = Universe::new(6, 1).count_computations_closed();
+        assert_eq!(six, 90_202 + 4824 * 3u128.pow(6));
     }
 
     #[test]

@@ -128,9 +128,7 @@ pub fn figure4_prefix() -> Witness {
 /// triple `(A, D, F)`, `Φ'(l, F) = B` by `(B, C, F)`, and `Φ'(l, F) = ⊥`
 /// by `(⊥, A, F)`. Hence NN is not constructible (Definition 6 fails).
 pub fn figure4_full(op: Op) -> Computation {
-    figure4_prefix()
-        .computation
-        .extend(&[n(2), n(3)], op)
+    figure4_prefix().computation.extend(&[n(2), n(3)], op)
 }
 
 #[cfg(test)]
@@ -172,9 +170,7 @@ mod tests {
         let w = figure4_prefix();
         for op in [Op::Read(l0()), Op::Nop] {
             let full = figure4_full(op);
-            let blocked = !any_extension(&full, &w.phi, |phi2| {
-                Nn::new().contains(&full, phi2)
-            });
+            let blocked = !any_extension(&full, &w.phi, |phi2| Nn::new().contains(&full, phi2));
             assert!(blocked, "extension by {op} should be blocked");
         }
     }

@@ -22,10 +22,7 @@ fn word_index(bit: usize) -> (usize, u64) {
 impl BitSet {
     /// Creates an empty set able to hold values in `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet {
-            words: vec![0; capacity.div_ceil(WORD_BITS)],
-            capacity,
-        }
+        BitSet { words: vec![0; capacity.div_ceil(WORD_BITS)], capacity }
     }
 
     /// Creates a set containing every value in `0..capacity`.
@@ -135,11 +132,7 @@ impl BitSet {
 
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Ones<'_> {
-        Ones {
-            words: &self.words,
-            current: self.words.first().copied().unwrap_or(0),
-            word_idx: 0,
-        }
+        Ones { words: &self.words, current: self.words.first().copied().unwrap_or(0), word_idx: 0 }
     }
 }
 

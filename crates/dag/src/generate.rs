@@ -25,12 +25,7 @@ pub fn gnp_dag<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Dag {
 /// random predecessors in the previous layer (fewer if the layer is small).
 ///
 /// Models the barrier-style computations of data-parallel programs.
-pub fn layered_dag<R: Rng + ?Sized>(
-    layers: usize,
-    width: usize,
-    deg: usize,
-    rng: &mut R,
-) -> Dag {
+pub fn layered_dag<R: Rng + ?Sized>(layers: usize, width: usize, deg: usize, rng: &mut R) -> Dag {
     let n = layers * width;
     let mut edges = Vec::new();
     for layer in 1..layers {
@@ -223,9 +218,7 @@ mod tests {
         let parallel = random_sp_dag(16, 0.0, &mut rng);
         assert_eq!(serial.node_count(), 16, "pure series adds no forks");
         assert!(parallel.node_count() > 16, "parallel composition adds fork/join pairs");
-        assert!(
-            crate::metrics::height(&serial) > crate::metrics::height(&parallel)
-        );
+        assert!(crate::metrics::height(&serial) > crate::metrics::height(&parallel));
     }
 
     #[test]

@@ -7,11 +7,12 @@
 
 use crate::bitset::BitSet;
 use crate::error::DagError;
-use serde::{Deserialize, Serialize};
 
 /// A node of a computation dag, a dense index in `0..n`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
+
+serde::impl_serde_newtype!(NodeId);
 
 impl NodeId {
     /// The node's dense index.
@@ -40,12 +41,14 @@ impl std::fmt::Display for NodeId {
 }
 
 /// A finite directed acyclic graph with dense node indices.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Dag {
     succ: Vec<Vec<NodeId>>,
     pred: Vec<Vec<NodeId>>,
     edge_count: usize,
 }
+
+serde::impl_serde_struct!(Dag { succ, pred, edge_count });
 
 impl Dag {
     /// An empty dag (the dag of the empty computation ε).
@@ -161,10 +164,8 @@ impl Dag {
         let mut indeg: Vec<usize> = (0..n).map(|u| self.pred[u].len()).collect();
         // A sorted frontier (BinaryHeap of Reverse would also do; n is small
         // enough in practice that a linear scan of a bitset wins on simplicity).
-        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
-            .filter(|&u| indeg[u] == 0)
-            .map(std::cmp::Reverse)
-            .collect();
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+            (0..n).filter(|&u| indeg[u] == 0).map(std::cmp::Reverse).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(std::cmp::Reverse(u)) = ready.pop() {
             order.push(NodeId::new(u));
@@ -181,8 +182,7 @@ impl Dag {
     /// Whether `other` is a relaxation of `self`: same nodes, `E' ⊆ E`.
     pub fn is_relaxation_of(&self, other: &Dag) -> bool {
         // `self` is the relaxation: every edge of self appears in other.
-        self.node_count() == other.node_count()
-            && self.edges().all(|(u, v)| other.has_edge(u, v))
+        self.node_count() == other.node_count() && self.edges().all(|(u, v)| other.has_edge(u, v))
     }
 
     /// Returns the dag with one edge removed (used to enumerate relaxations).
@@ -270,9 +270,7 @@ impl Dag {
         let mut edges = Vec::new();
         for (u, v) in self.edges() {
             // (u,v) is redundant iff some other successor of u reaches v.
-            let redundant = self.succ[u.index()]
-                .iter()
-                .any(|&w| w != v && reach.reaches(w, v));
+            let redundant = self.succ[u.index()].iter().any(|&w| w != v && reach.reaches(w, v));
             if !redundant {
                 edges.push((u.index(), v.index()));
             }
@@ -345,10 +343,7 @@ mod tests {
 
     #[test]
     fn from_edges_rejects_self_loop() {
-        assert!(matches!(
-            Dag::from_edges(2, &[(0, 0)]),
-            Err(DagError::SelfLoop { node: 0 })
-        ));
+        assert!(matches!(Dag::from_edges(2, &[(0, 0)]), Err(DagError::SelfLoop { node: 0 })));
     }
 
     #[test]
@@ -428,8 +423,7 @@ mod tests {
 
     #[test]
     fn transitive_reduction_of_closed_diamond() {
-        let closed =
-            Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]).unwrap();
+        let closed = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]).unwrap();
         let red = closed.transitive_reduction();
         assert_eq!(red.edge_count(), 4);
         assert!(!red.has_edge(NodeId::new(0), NodeId::new(3)));

@@ -143,8 +143,7 @@ pub fn max_antichain(dag: &Dag) -> Vec<NodeId> {
     // König: Z = unmatched-left ∪ alternating-reachable.
     let mut z_left = BitSet::new(n);
     let mut z_right = BitSet::new(n);
-    let mut stack: Vec<usize> =
-        (0..n).filter(|&u| match_left[u].is_none()).collect();
+    let mut stack: Vec<usize> = (0..n).filter(|&u| match_left[u].is_none()).collect();
     for &u in &stack {
         z_left.insert(u);
     }
@@ -164,10 +163,7 @@ pub fn max_antichain(dag: &Dag) -> Vec<NodeId> {
     }
     // Cover = (L \ Z) ∪ (R ∩ Z); antichain = nodes with NEITHER copy
     // in the cover = Z-left nodes whose right copy is not in Z.
-    (0..n)
-        .filter(|&u| z_left.contains(u) && !z_right.contains(u))
-        .map(NodeId::new)
-        .collect()
+    (0..n).filter(|&u| z_left.contains(u) && !z_right.contains(u)).map(NodeId::new).collect()
 }
 
 /// Shape summary used by the experiment reports.

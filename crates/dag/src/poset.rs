@@ -58,6 +58,40 @@ pub fn for_each_poset<F: FnMut(&Dag)>(n: usize, mut f: F) {
     recurse(0, n, &mut anc, &mut f);
 }
 
+/// Like [`for_each_poset`], but also passes the poset's *global index* in
+/// enumeration order. The index is stable — it depends only on `n` — so
+/// it can key deterministic parallel sweeps (ties in a parallel scan are
+/// broken by "smallest index wins", which reproduces the serial scan).
+pub fn for_each_poset_indexed<F: FnMut(usize, &Dag)>(n: usize, mut f: F) {
+    let mut idx = 0;
+    for_each_poset(n, |d| {
+        f(idx, d);
+        idx += 1;
+    });
+}
+
+/// Sharded enumeration: calls `f` with exactly the posets whose global
+/// index is congruent to `shard` modulo `num_shards` (still passing the
+/// global index). The recursion is shared, but dags are only materialised
+/// for this shard's indices; the shards partition the output of
+/// [`for_each_poset_indexed`].
+pub fn for_each_poset_shard<F: FnMut(usize, &Dag)>(
+    n: usize,
+    shard: usize,
+    num_shards: usize,
+    mut f: F,
+) {
+    assert!(num_shards > 0, "num_shards must be positive");
+    assert!(shard < num_shards, "shard {shard} out of range 0..{num_shards}");
+    let mut idx = 0;
+    for_each_poset(n, |d| {
+        if idx % num_shards == shard {
+            f(idx, d);
+        }
+        idx += 1;
+    });
+}
+
 /// Collects all naturally labelled posets on `n` elements as
 /// transitive-closure dags.
 pub fn enumerate_posets(n: usize) -> Vec<Dag> {
@@ -71,6 +105,36 @@ pub fn count_posets(n: usize) -> usize {
     let mut c = 0;
     for_each_poset(n, |_| c += 1);
     c
+}
+
+/// The number of naturally labelled posets on `n` elements, by the same
+/// downward-closed-ancestor-set recursion as [`for_each_poset`] but
+/// without constructing any [`Dag`] — the counting backbone of closed-form
+/// universe sizes (`count_posets_fast(n) · kⁿ` computations per size).
+pub fn count_posets_fast(n: usize) -> u64 {
+    assert!(n <= 16, "poset enumeration is exponential; n={n} is too large");
+    fn recurse(k: usize, n: usize, anc: &mut [u32]) -> u64 {
+        if k == n {
+            return 1;
+        }
+        let mut total = 0;
+        for subset in 0..(1u32 << k) {
+            let mut closed = true;
+            for (u, &anc_u) in anc.iter().enumerate().take(k) {
+                if subset & (1 << u) != 0 && anc_u & !subset != 0 {
+                    closed = false;
+                    break;
+                }
+            }
+            if closed {
+                anc[k] = subset;
+                total += recurse(k + 1, n, anc);
+            }
+        }
+        total
+    }
+    let mut anc = vec![0u32; n];
+    recurse(0, n, &mut anc)
 }
 
 #[cfg(test)]
@@ -119,6 +183,46 @@ mod tests {
             for (u, v) in d.edges() {
                 assert!(u.index() < v.index());
             }
+        }
+    }
+
+    #[test]
+    fn indexed_enumeration_matches_plain_order() {
+        let plain = enumerate_posets(4);
+        let mut indexed = Vec::new();
+        for_each_poset_indexed(4, |i, d| indexed.push((i, d.clone())));
+        assert_eq!(indexed.len(), plain.len());
+        for (expect, (i, d)) in indexed.iter().enumerate() {
+            assert_eq!(*i, expect);
+            assert_eq!(*d, plain[expect]);
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_enumeration() {
+        let plain = enumerate_posets(4);
+        let shards = 3;
+        let mut seen: Vec<Option<Dag>> = vec![None; plain.len()];
+        for shard in 0..shards {
+            for_each_poset_shard(4, shard, shards, |i, d| {
+                assert_eq!(i % shards, shard);
+                assert!(seen[i].is_none(), "index {i} emitted twice");
+                seen[i] = Some(d.clone());
+            });
+        }
+        for (i, d) in seen.into_iter().enumerate() {
+            assert_eq!(d.expect("every index emitted once"), plain[i]);
+        }
+    }
+
+    #[test]
+    fn fast_count_matches_oeis_and_enumeration() {
+        // A006455: 1, 1, 2, 7, 40, 357, 4824.
+        for (n, expect) in [1u64, 1, 2, 7, 40, 357, 4824].into_iter().enumerate() {
+            assert_eq!(count_posets_fast(n), expect, "n={n}");
+        }
+        for n in 0..=5 {
+            assert_eq!(count_posets_fast(n), count_posets(n) as u64);
         }
     }
 

@@ -21,9 +21,7 @@ impl Reachability {
     /// Builds the transitive closure of `dag` in `O(V · E / 64)` time.
     pub fn new(dag: &Dag) -> Self {
         let n = dag.node_count();
-        let order = dag
-            .toposort_kahn()
-            .expect("Dag invariant guarantees acyclicity");
+        let order = dag.toposort_kahn().expect("Dag invariant guarantees acyclicity");
         let mut desc = vec![BitSet::new(n); n];
         // Reverse topological order: successors are finished first.
         for &u in order.iter().rev() {

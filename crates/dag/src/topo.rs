@@ -192,21 +192,14 @@ fn downset_counts(dag: &Dag) -> std::collections::HashMap<BitSet, u128> {
     let n = dag.node_count();
     let mut memo: std::collections::HashMap<BitSet, u128> = std::collections::HashMap::new();
     memo.insert(BitSet::new(n), 1);
-    fn count(
-        d: &BitSet,
-        dag: &Dag,
-        memo: &mut std::collections::HashMap<BitSet, u128>,
-    ) -> u128 {
+    fn count(d: &BitSet, dag: &Dag, memo: &mut std::collections::HashMap<BitSet, u128>) -> u128 {
         if let Some(&c) = memo.get(d) {
             return c;
         }
         // Maximal elements of d: members none of whose successors are in d.
         let mut total = 0u128;
         for m in d.iter() {
-            let maximal = dag
-                .successors(NodeId::new(m))
-                .iter()
-                .all(|s| !d.contains(s.index()));
+            let maximal = dag.successors(NodeId::new(m)).iter().all(|s| !d.contains(s.index()));
             if maximal {
                 let mut smaller = d.clone();
                 smaller.remove(m);
@@ -249,10 +242,7 @@ pub fn uniform_topo_sort<R: Rng + ?Sized>(dag: &Dag, rng: &mut R) -> Vec<NodeId>
         let mut draw = rng.gen_range(0..total);
         let mut picked = None;
         for m in d.iter() {
-            let maximal = dag
-                .successors(NodeId::new(m))
-                .iter()
-                .all(|s| !d.contains(s.index()));
+            let maximal = dag.successors(NodeId::new(m)).iter().all(|s| !d.contains(s.index()));
             if !maximal {
                 continue;
             }
@@ -313,10 +303,7 @@ mod tests {
     fn all_sorts_of_diamond() {
         let d = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
         let sorts = all_topo_sorts(&d);
-        assert_eq!(sorts, vec![
-            vec![n(0), n(1), n(2), n(3)],
-            vec![n(0), n(2), n(1), n(3)],
-        ]);
+        assert_eq!(sorts, vec![vec![n(0), n(1), n(2), n(3)], vec![n(0), n(2), n(1), n(3)],]);
     }
 
     #[test]

@@ -13,11 +13,13 @@ fn main() {
         println!("=== {} ===", test.name);
         println!("{}", test.note);
         println!("{}", test.computation.to_dot(test.name));
-        println!("{:<8} {:>10} {:>60}", "model", "#outcomes", "outcomes (tuples of observed read tokens)");
+        println!(
+            "{:<8} {:>10} {:>60}",
+            "model", "#outcomes", "outcomes (tuples of observed read tokens)"
+        );
         for m in models {
             let outs = test.outcomes(&m);
-            let rendered: Vec<String> =
-                outs.iter().map(|o| format!("{o:?}")).collect();
+            let rendered: Vec<String> = outs.iter().map(|o| format!("{o:?}")).collect();
             let mut line = rendered.join(" ");
             if line.len() > 58 {
                 line.truncate(55);

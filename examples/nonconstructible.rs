@@ -20,10 +20,11 @@ fn main() {
     println!("in LC: {}\n", Lc.contains(&w.computation, &w.phi));
 
     // The adversary reveals one more node: F, a read, after C and D.
-    for op in [Op::Read(ccmm::core::Location::new(0)), Op::Nop, Op::Write(ccmm::core::Location::new(0))] {
+    for op in
+        [Op::Read(ccmm::core::Location::new(0)), Op::Nop, Op::Write(ccmm::core::Location::new(0))]
+    {
         let full = figure4_full(op);
-        let extensible =
-            any_extension(&full, &w.phi, |phi2| Nn::default().contains(&full, phi2));
+        let extensible = any_extension(&full, &w.phi, |phi2| Nn::default().contains(&full, phi2));
         println!("extend by {op}: NN-extensible = {extensible}");
     }
     println!();
@@ -45,10 +46,7 @@ fn main() {
     println!("\n{:<6} {:>12} {:>12} {:>14}", "size", "NN* pairs", "LC pairs", "disagreements");
     for n in 0..u.max_nodes {
         let a = fix.agreement_with(&Lc, n, &u);
-        println!(
-            "{:<6} {:>12} {:>12} {:>14}",
-            n, a.survivors, a.in_model, a.disagreements
-        );
+        println!("{:<6} {:>12} {:>12} {:>14}", n, a.survivors, a.in_model, a.disagreements);
         assert_eq!(a.disagreements, 0, "Theorem 23 violated at size {n}");
     }
     println!("\nLC = NN* on every size below the boundary — Theorem 23 ✓");

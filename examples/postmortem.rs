@@ -17,11 +17,7 @@ fn main() {
     // A race-free fork/join program.
     let program = ccmm::cilk::stencil(6, 3);
     let c = &program.computation;
-    println!(
-        "stencil(6,3): {} nodes, race-free: {}",
-        c.node_count(),
-        race::is_race_free(c)
-    );
+    println!("stencil(6,3): {} nodes, race-free: {}", c.node_count(), race::is_race_free(c));
 
     // Execute under BACKER, then FORGET the observer function — keep only
     // the values the reads returned (what a real post-mortem log has).
@@ -54,9 +50,7 @@ fn main() {
         let reads: Vec<_> = c
             .nodes()
             .filter_map(|u| match c.op(u) {
-                Op::Read(l) => {
-                    Some((u, r.observer.get(l, u).map_or(0, |w| w.index() as u64 + 1)))
-                }
+                Op::Read(l) => Some((u, r.observer.get(l, u).map_or(0, |w| w.index() as u64 + 1))),
                 _ => None,
             })
             .collect();

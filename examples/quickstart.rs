@@ -27,14 +27,18 @@ fn main() {
 
     // Observer function: each read picks a different writer — the
     // "crossing" observation that separates LC from NN-dag consistency.
-    let crossing = ObserverFunction::base(&c)
-        .with(l, NodeId::new(2), Some(NodeId::new(0)))
-        .with(l, NodeId::new(3), Some(NodeId::new(1)));
+    let crossing = ObserverFunction::base(&c).with(l, NodeId::new(2), Some(NodeId::new(0))).with(
+        l,
+        NodeId::new(3),
+        Some(NodeId::new(1)),
+    );
 
     // And the agreeing variant: both reads see writer n1.
-    let agreeing = ObserverFunction::base(&c)
-        .with(l, NodeId::new(2), Some(NodeId::new(1)))
-        .with(l, NodeId::new(3), Some(NodeId::new(1)));
+    let agreeing = ObserverFunction::base(&c).with(l, NodeId::new(2), Some(NodeId::new(1))).with(
+        l,
+        NodeId::new(3),
+        Some(NodeId::new(1)),
+    );
 
     println!("model memberships:");
     println!("{:<10} {:>10} {:>10}", "model", "crossing", "agreeing");

@@ -21,9 +21,7 @@ use std::process::ExitCode;
 fn read_input(path: &str) -> Result<String, String> {
     if path == "-" {
         let mut s = String::new();
-        std::io::stdin()
-            .read_to_string(&mut s)
-            .map_err(|e| format!("reading stdin: {e}"))?;
+        std::io::stdin().read_to_string(&mut s).map_err(|e| format!("reading stdin: {e}"))?;
         Ok(s)
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
@@ -43,7 +41,10 @@ fn model_by_name(name: &str) -> Result<Model, String> {
     }
 }
 
-fn load_pair(cpath: &str, opath: &str) -> Result<(Computation, ccmm::core::ObserverFunction), String> {
+fn load_pair(
+    cpath: &str,
+    opath: &str,
+) -> Result<(Computation, ccmm::core::ObserverFunction), String> {
     let c = parse_computation(&read_input(cpath)?).map_err(|e| e.to_string())?;
     let phi = parse_observer(&read_input(opath)?, &c).map_err(|e| e.to_string())?;
     Ok((c, phi))
@@ -199,11 +200,7 @@ fn cmd_lattice(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--nodes" {
-            nodes = it
-                .next()
-                .ok_or("--nodes needs a value")?
-                .parse()
-                .map_err(|_| "bad --nodes")?;
+            nodes = it.next().ok_or("--nodes needs a value")?.parse().map_err(|_| "bad --nodes")?;
         }
     }
     if nodes > 4 {

@@ -20,7 +20,10 @@ fn workloads() -> Vec<(&'static str, Computation)> {
 }
 
 /// Read results (node → observed token) of every read node.
-fn read_results(c: &Computation, phi: &ccmm::core::ObserverFunction) -> Vec<(NodeId, Option<NodeId>)> {
+fn read_results(
+    c: &Computation,
+    phi: &ccmm::core::ObserverFunction,
+) -> Vec<(NodeId, Option<NodeId>)> {
     c.nodes()
         .filter_map(|u| match c.op(u) {
             Op::Read(l) => Some((u, phi.get(l, u))),
@@ -126,9 +129,11 @@ fn cilk_builder_to_backer_roundtrip() {
     let r = sim::run(&c, &Schedule::round_robin(&c, 2), &BackerConfig::with_processors(2));
     assert!(Lc.contains(&c, &r.observer));
     // The final read must see the spawned write (race-free chain).
-    let final_read = c.nodes().last().map(|_| ()).and_then(|_| {
-        c.nodes().rfind(|&u| matches!(c.op(u), Op::Read(l) if l.index() == 1))
-    });
+    let final_read = c
+        .nodes()
+        .last()
+        .map(|_| ())
+        .and_then(|_| c.nodes().rfind(|&u| matches!(c.op(u), Op::Read(l) if l.index() == 1)));
     let fr = final_read.expect("final read exists");
     let writer = c.writes_to(ccmm::core::Location::new(1))[0];
     assert_eq!(r.observer.get(ccmm::core::Location::new(1), fr), Some(writer));

@@ -56,12 +56,7 @@ fn models_reads_stdin() {
         .stdout(Stdio::piped())
         .spawn()
         .unwrap();
-    child
-        .stdin
-        .as_mut()
-        .unwrap()
-        .write_all(b"n0: W(0)\nn1: R(0) <- n0\n")
-        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"n0: W(0)\nn1: R(0) <- n0\n").unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();

@@ -20,10 +20,7 @@ fn assert_chain(memberships: &[(Model, bool)], c: &ccmm::core::Computation) {
         (Model::Ww, Model::Any),
     ];
     for (strong, weak) in chains {
-        assert!(
-            !get(strong) || get(weak),
-            "{strong} ⊆ {weak} violated on {c:?}"
-        );
+        assert!(!get(strong) || get(weak), "{strong} ⊆ {weak} violated on {c:?}");
     }
 }
 
@@ -73,11 +70,7 @@ fn strictness_of_every_figure1_edge() {
         (Model::Wn, Model::Ww),
         (Model::Ww, Model::Any),
     ] {
-        assert_eq!(
-            compare(&a, &b, &u).relation,
-            Relation::StrictlyStronger,
-            "{a} vs {b}"
-        );
+        assert_eq!(compare(&a, &b, &u).relation, Relation::StrictlyStronger, "{a} vs {b}");
     }
     assert_eq!(compare(&Model::Nw, &Model::Wn, &u).relation, Relation::Incomparable);
 }
@@ -88,8 +81,5 @@ fn sc_equals_lc_iff_single_location() {
     let u1 = Universe::new(4, 1);
     assert_eq!(compare(&Model::Sc, &Model::Lc, &u1).relation, Relation::Equal);
     let u2 = Universe::new(3, 2);
-    assert_eq!(
-        compare(&Model::Sc, &Model::Lc, &u2).relation,
-        Relation::StrictlyStronger
-    );
+    assert_eq!(compare(&Model::Sc, &Model::Lc, &u2).relation, Relation::StrictlyStronger);
 }

@@ -4,9 +4,7 @@
 
 use ccmm::core::constructible::BoundedConstructible;
 use ccmm::core::enumerate::{all_observers, for_each_observer};
-use ccmm::core::props::{
-    any_extension, check_complete, check_constructible_aug, check_monotonic,
-};
+use ccmm::core::props::{any_extension, check_complete, check_constructible_aug, check_monotonic};
 use ccmm::core::universe::Universe;
 use ccmm::core::witness::{figure2, figure3, figure4_full, figure4_prefix};
 use ccmm::core::{Lc, MemoryModel, Model, Nn, Op, Sc};
@@ -62,9 +60,12 @@ fn theorem_21_nn_is_strongest_dag_consistent() {
     let exotic = [
         DynQ::new("only-location-0", |_, l: ccmm::core::Location, _, _, _| l.index() == 0),
         DynQ::new("middle-is-even", |_, _, _, v: ccmm::dag::NodeId, _| v.index().is_multiple_of(2)),
-        DynQ::new("endpoint-parity", |_, _, u: Option<ccmm::dag::NodeId>, _, w: ccmm::dag::NodeId| {
-            u.is_none_or(|u| (u.index() + w.index()).is_multiple_of(2))
-        }),
+        DynQ::new(
+            "endpoint-parity",
+            |_, _, u: Option<ccmm::dag::NodeId>, _, w: ccmm::dag::NodeId| {
+                u.is_none_or(|u| (u.index() + w.index()).is_multiple_of(2))
+            },
+        ),
     ];
     let u = Universe::new(3, 1);
     let _ = u.for_each_computation(|c| {

@@ -1,0 +1,303 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Implements the surface this workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Behavior matches upstream's two modes:
+//! - `cargo bench` passes `--bench`: each benchmark is warmed up, then
+//!   timed over `sample_size` samples; mean/min/max wall-clock times are
+//!   printed per benchmark.
+//! - `cargo test` (no `--bench` flag): each benchmark body runs exactly
+//!   once as a smoke test, with no timing.
+//!
+//! No plotting, no statistics beyond mean/min/max, no baseline storage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Accepted wherever upstream takes `impl Into<BenchmarkId>`-ish ids.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    /// Total time and iteration count accumulated by `iter`.
+    elapsed: Duration,
+    iterations: u64,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.iterations = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // One sample = one routine call; the caller loops over samples.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// The top-level harness handle passed to `criterion_group!` functions.
+pub struct Criterion {
+    bench_mode: bool,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut bench_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--test" => bench_mode = false,
+                a if !a.starts_with('-') => filter = Some(a.to_string()),
+                _ => {} // ignore libtest/criterion flags we don't implement
+            }
+        }
+        Criterion { bench_mode, filter, default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let samples = self.default_sample_size;
+        self.run_one(&id, samples, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if !self.bench_mode {
+            // Smoke-test mode under `cargo test`: run the body once.
+            let mut b = Bencher { elapsed: Duration::ZERO, iterations: 0, test_mode: true };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        // Warm-up: one untimed sample.
+        let mut warm = Bencher { elapsed: Duration::ZERO, iterations: 0, test_mode: false };
+        f(&mut warm);
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        let budget = Duration::from_secs(5);
+        let started = Instant::now();
+        for _ in 0..samples.max(2) {
+            let mut b = Bencher { elapsed: Duration::ZERO, iterations: 0, test_mode: false };
+            f(&mut b);
+            if b.iterations > 0 {
+                times.push(b.elapsed / b.iterations as u32);
+            }
+            if started.elapsed() > budget && times.len() >= 2 {
+                break; // keep slow benches bounded
+            }
+        }
+        if times.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let min = *times.iter().min().unwrap();
+        let max = *times.iter().max().unwrap();
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples)",
+            format_duration(min),
+            format_duration(mean),
+            format_duration(max),
+            times.len()
+        );
+    }
+
+    /// Upstream-compatible no-op: configuration hook for `criterion_group!`
+    /// with a custom config.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(2);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, samples, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-exported for convenience parity with upstream.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group_name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("lc", 42).into_id(), "lc/42");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+        assert_eq!("plain".into_id(), "plain");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut criterion = Criterion { bench_mode: false, filter: None, default_sample_size: 20 };
+        let mut runs = 0;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.bench_function("once", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut criterion = Criterion { bench_mode: true, filter: None, default_sample_size: 4 };
+        let mut runs = 0u32;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.sample_size(4);
+            group.bench_with_input(BenchmarkId::new("f", 1), &1u32, |b, _| b.iter(|| runs += 1));
+            group.finish();
+        }
+        // 1 warm-up + 4 samples.
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut criterion = Criterion {
+            bench_mode: false,
+            filter: Some("match_me".to_string()),
+            default_sample_size: 20,
+        };
+        let mut runs = 0;
+        criterion.bench_function("other_name", |b| b.iter(|| runs += 1));
+        criterion.bench_function("yes_match_me_yes", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,399 @@
+//! Offline, API-compatible subset of `crossbeam`.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors the crossbeam surface it uses: the work-stealing
+//! [`deque`] (`Injector`/`Worker`/`Stealer`) and the MPMC [`channel`].
+//! The implementations are mutex-based rather than lock-free — the
+//! workloads distributed through them (whole posets, whole dag nodes)
+//! are coarse enough that queue contention is noise — but the semantics
+//! (LIFO worker deques, FIFO stealing and injection, disconnect on last
+//! sender drop) match upstream.
+
+pub mod deque {
+    //! Work-stealing deques: a global [`Injector`], per-worker
+    //! [`Worker`] queues, and [`Stealer`] handles.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Whether this is `Retry`.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// Whether this is `Empty`.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Returns this steal if decisive, otherwise evaluates `f`.
+        pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+            match self {
+                Steal::Empty => f(),
+                s => s,
+            }
+        }
+    }
+
+    impl<T> FromIterator<Steal<T>> for Steal<T> {
+        /// First `Success` wins; otherwise `Retry` if any attempt must be
+        /// retried; otherwise `Empty`.
+        fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+            let mut retry = false;
+            for s in iter {
+                match s {
+                    Steal::Success(t) => return Steal::Success(t),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if retry {
+                Steal::Retry
+            } else {
+                Steal::Empty
+            }
+        }
+    }
+
+    fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        q.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A global FIFO task injector shared by all workers.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            locked(&self.queue).push_back(task);
+        }
+
+        /// Steals one task from the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch into `dest`'s local queue and pops one task.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = locked(&self.queue);
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            // Move up to half the remaining tasks (capped) to the worker.
+            let batch = (q.len() / 2).min(16);
+            if batch > 0 {
+                let mut dq = locked(&dest.queue);
+                for _ in 0..batch {
+                    dq.push_back(q.pop_front().expect("len checked"));
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Whether the global queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+    }
+
+    /// Which end of its queue a worker pops from.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        Lifo,
+        Fifo,
+    }
+
+    /// A worker-owned deque; other threads steal from the opposite end.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// A worker that pops its most recently pushed task first.
+        pub fn new_lifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Lifo }
+        }
+
+        /// A worker that pops its oldest task first.
+        pub fn new_fifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Fifo }
+        }
+
+        /// Pushes a task onto the local queue.
+        pub fn push(&self, task: T) {
+            locked(&self.queue).push_back(task);
+        }
+
+        /// Pops the next local task.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = locked(&self.queue);
+            match self.flavor {
+                Flavor::Lifo => q.pop_back(),
+                Flavor::Fifo => q.pop_front(),
+            }
+        }
+
+        /// Whether the local queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+
+        /// A handle other threads can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    /// A stealing handle to some worker's queue (steals FIFO).
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the owning worker's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// The sending half; cloneable for multiple producers.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable for multiple consumers.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned when sending into a channel with no receivers left.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when receiving from an empty, disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::Relaxed);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `t`, waking one waiting receiver.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            q.push_back(t);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(t) = q.pop_front() {
+                    return Ok(t);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking receive; `None` when currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner).pop_front()
+        }
+
+        /// Blocking iterator draining the channel until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator over received messages; ends when senders disconnect.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn worker_lifo_order() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_oldest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batch_refills_worker() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty(), "batch should land in the worker queue");
+        let mut seen = vec![0];
+        while let Some(v) = w.pop() {
+            seen.push(v);
+        }
+        while let Steal::Success(v) = inj.steal() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steal_collect_prefers_success() {
+        let all: Steal<u32> =
+            vec![Steal::Empty, Steal::Retry, Steal::Success(7)].into_iter().collect();
+        assert_eq!(all, Steal::Success(7));
+        let none: Steal<u32> = vec![Steal::Empty, Steal::Empty].into_iter().collect();
+        assert!(none.is_empty());
+        let retry: Steal<u32> = vec![Steal::Empty, Steal::Retry].into_iter().collect();
+        assert!(retry.is_retry());
+    }
+
+    #[test]
+    fn channel_fan_in_fan_out() {
+        let (tx, rx) = channel::unbounded();
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let collector = s.spawn(move || {
+                let mut got: Vec<i32> = rx.iter().collect();
+                got.sort_unstable();
+                got
+            });
+            assert_eq!(collector.join().unwrap(), (0..300).collect::<Vec<_>>());
+        });
+    }
+}

@@ -1,0 +1,518 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Covers the surface this workspace uses: the [`proptest!`] macro with a
+//! `proptest_config` attribute, [`strategy::Strategy`] combinators
+//! (`prop_map`, `prop_flat_map`, `prop_recursive`, tuples, ranges,
+//! [`collection::vec`]), [`strategy::Just`], [`arbitrary::any`], and the
+//! `prop_assert*`/[`prop_oneof!`] macros.
+//!
+//! Differences from upstream: inputs are generated from a per-test
+//! deterministic RNG (seeded from the test name and case index, so failures
+//! reproduce across runs) and failing cases are **not shrunk** — the
+//! `prop_assert*` macros panic directly with their message.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::sync::Arc;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Bounded-depth recursive strategy. `_desired_size` and
+        /// `_expected_branch` are accepted for signature compatibility;
+        /// depth alone bounds the recursion here.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut strat = base.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                // Prefer recursion 3:1 so trees actually grow; the loop
+                // bound still guarantees termination at `depth` levels.
+                strat = Union::weighted(vec![(1, base.clone()), (3, deeper)]).boxed();
+            }
+            strat
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait StrategyObj<T> {
+        fn generate_obj(&self, rng: &mut StdRng) -> T;
+    }
+
+    impl<S: Strategy> StrategyObj<S::Value> for S {
+        fn generate_obj(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn StrategyObj<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate_obj(rng)
+        }
+    }
+
+    /// Always produces a clone of the same value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Chooses among alternatives, optionally weighted.
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            Self::weighted(options.into_iter().map(|s| (1, s)).collect())
+        }
+
+        pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!options.is_empty(), "Union needs at least one option");
+            let total_weight = options.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "Union needs positive total weight");
+            Union { options, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (w, s) in &self.options {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights summed to total_weight")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($( self.$idx.generate(rng), )+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary_value(rng: &mut StdRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A length specification: a fixed size or a range of sizes.
+    pub trait SizeSpec {
+        fn pick_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeSpec for usize {
+        fn pick_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeSpec for std::ops::Range<usize> {
+        fn pick_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeSpec for std::ops::RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeSpec> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.pick_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `len` elements drawn from `element`.
+    pub fn vec<S: Strategy, L: SizeSpec>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Run-time configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `body` for each case with a per-case deterministic RNG.
+    pub fn run_cases(config: &Config, test_name: &str, body: impl Fn(&mut StdRng)) {
+        let base = fnv1a(test_name);
+        for case in 0..config.cases {
+            let mut rng =
+                StdRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            body(&mut rng);
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each function body runs once per case with
+/// inputs drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                    let ($($pat,)+) = (
+                        $( $crate::strategy::Strategy::generate(&($strat), __rng), )+
+                    );
+                    $body
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property test (no shrinking: panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test (no shrinking: panics).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test (no shrinking: panics).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniformly (or by the structure of its arms) chooses among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = (1..=8usize)
+            .prop_flat_map(|n| crate::collection::vec(any::<bool>(), n).prop_map(move |v| (n, v)));
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        use crate::strategy::{Just, Strategy};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(s.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary() {
+        use crate::strategy::{Just, Strategy};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        #[derive(Clone, Debug, PartialEq)]
+        enum Tree {
+            Leaf,
+            Pair(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Pair(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = Just(Tree::Leaf).prop_recursive(4, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b)))
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut max_depth = 0;
+        for _ in 0..100 {
+            let t = s.generate(&mut rng);
+            let d = depth(&t);
+            assert!(d <= 4, "depth bound exceeded: {d}");
+            max_depth = max_depth.max(d);
+        }
+        assert!(max_depth >= 2, "recursion never fired (max depth {max_depth})");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_tuple_patterns((n, bits) in (2..=5usize).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(any::<bool>(), n))
+        }), seed in any::<u64>()) {
+            prop_assert_eq!(bits.len(), n);
+            prop_assert!((2..=5).contains(&n), "n out of range: {} (seed {})", n, seed);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of `rand 0.8` it actually uses: the [`Rng`] trait with
+//! `gen_range`/`gen_bool`, [`SeedableRng::seed_from_u64`], and a
+//! deterministic [`rngs::StdRng`]. The generator is xoshiro256++ seeded
+//! via SplitMix64 — high-quality and fast, though not the ChaCha stream
+//! cipher of upstream `StdRng` (none of this workspace's uses are
+//! cryptographic; they are seeded simulations and property tests).
+
+/// A source of randomness, mirroring the `rand::Rng` surface this
+/// workspace uses.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open `a..b` or inclusive
+    /// `a..=b`). Panics on an empty range, like upstream. The element
+    /// type is inferred from the use site, as with upstream's
+    /// `SampleRange<T>`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// A uniform sample of `T` over its whole domain (upstream's
+    /// `gen::<T>()` with the `Standard` distribution).
+    fn gen<T: UniformSample>(&mut self) -> T {
+        T::uniform_sample(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0, 1]");
+        // 53 uniform mantissa bits, exactly representable in f64.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types with a canonical whole-domain uniform distribution, backing
+/// [`Rng::gen`] (upstream's `Standard` distribution).
+pub trait UniformSample {
+    /// Draws one uniform sample over the full domain.
+    fn uniform_sample<G: Rng + ?Sized>(rng: &mut G) -> Self;
+}
+
+macro_rules! impl_uniform_sample_int {
+    ($($t:ty),+) => {$(
+        impl UniformSample for $t {
+            fn uniform_sample<G: Rng + ?Sized>(rng: &mut G) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+impl_uniform_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for bool {
+    fn uniform_sample<G: Rng + ?Sized>(rng: &mut G) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl UniformSample for f64 {
+    fn uniform_sample<G: Rng + ?Sized>(rng: &mut G) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Element types drawable from a range, backing [`Rng::gen_range`].
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<G: Rng + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<G: Rng + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+}
+
+/// A range that can be sampled uniformly for element type `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Uniform `u64` in `[lo, hi]` by rejection sampling (no modulo bias).
+fn uniform_u64<G: Rng + ?Sized>(rng: &mut G, lo: u64, hi: u64) -> u64 {
+    if lo == 0 && hi == u64::MAX {
+        return rng.next_u64();
+    }
+    let span = hi - lo + 1;
+    // Rejection zone: values ≥ the largest multiple of `span` would bias.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return lo + v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: Rng + ?Sized>(rng: &mut G, lo: $t, hi: $t) -> $t {
+                uniform_u64(rng, lo as u64, hi as u64 - 1) as $t
+            }
+            fn sample_inclusive<G: Rng + ?Sized>(rng: &mut G, lo: $t, hi: $t) -> $t {
+                uniform_u64(rng, lo as u64, hi as u64) as $t
+            }
+        }
+    )+};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_sint {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: Rng + ?Sized>(rng: &mut G, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + uniform_u128(rng, 0, span - 1) as i128) as $t
+            }
+            fn sample_inclusive<G: Rng + ?Sized>(rng: &mut G, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + uniform_u128(rng, 0, span) as i128) as $t
+            }
+        }
+    )+};
+}
+impl_sample_uniform_sint!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for u128 {
+    fn sample_half_open<G: Rng + ?Sized>(rng: &mut G, lo: u128, hi: u128) -> u128 {
+        uniform_u128(rng, lo, hi - 1)
+    }
+    fn sample_inclusive<G: Rng + ?Sized>(rng: &mut G, lo: u128, hi: u128) -> u128 {
+        uniform_u128(rng, lo, hi)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<G: Rng + ?Sized>(rng: &mut G, lo: f64, hi: f64) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+    fn sample_inclusive<G: Rng + ?Sized>(rng: &mut G, lo: f64, hi: f64) -> f64 {
+        Self::sample_half_open(rng, lo, hi)
+    }
+}
+
+/// Uniform `u128` in `[lo, hi]` by rejection sampling over two 64-bit
+/// draws (no modulo bias).
+fn uniform_u128<G: Rng + ?Sized>(rng: &mut G, lo: u128, hi: u128) -> u128 {
+    let next_u128 = |rng: &mut G| ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    if lo == 0 && hi == u128::MAX {
+        return next_u128(rng);
+    }
+    let span = hi - lo + 1;
+    let zone = u128::MAX - (u128::MAX - span + 1) % span;
+    loop {
+        let v = next_u128(rng);
+        if v <= zone {
+            return lo + v % span;
+        }
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// with SplitMix64 seed expansion.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5..=9u64);
+            assert!((5..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&hits), "p=0.5 produced {hits}/2000");
+    }
+
+    #[test]
+    fn works_through_unsized_ref() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> usize {
+            rng.gen_range(0..10usize)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(draw(&mut rng) < 10);
+    }
+}

@@ -1,0 +1,503 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors the serde surface it uses. The data model is a JSON-shaped
+//! [`Value`] tree rather than serde's visitor machinery: a
+//! [`Serializer`] accepts one `Value`, a [`Deserializer`] yields one,
+//! and the generic trait signatures (`serialize<S: Serializer>`,
+//! `deserialize<D: Deserializer<'de>>`, `de::Error::custom`) match
+//! upstream so hand-written impls compile unchanged.
+//!
+//! Proc-macro derives are unavailable offline, so `#[derive(Serialize,
+//! Deserialize)]` is replaced by the declarative macros
+//! [`impl_serde_struct!`] and [`impl_serde_newtype!`], which generate
+//! impls in upstream's externally-tagged JSON encoding (structs as
+//! objects keyed by field name, newtypes as their inner value).
+
+use std::fmt;
+
+/// A JSON-shaped value: the serialization data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object: ordered key/value pairs.
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization error machinery.
+pub mod ser {
+    use super::{de, Value};
+
+    /// A sink accepting one serialized [`Value`].
+    pub trait Serializer: Sized {
+        /// The success type.
+        type Ok;
+        /// The error type.
+        type Error: de::Error;
+        /// Consumes the serializer with the final value.
+        fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// A type that can serialize itself into any [`Serializer`].
+    pub trait Serialize {
+        /// Serializes `self` into `s`.
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error>;
+    }
+}
+
+/// Deserialization error machinery.
+pub mod de {
+    use super::Value;
+    use std::fmt;
+
+    /// The error contract: constructible from any message.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A source yielding one deserialized [`Value`].
+    pub trait Deserializer<'de>: Sized {
+        /// The error type.
+        type Error: Error;
+        /// Consumes the deserializer, producing its value.
+        fn take_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// A type that can build itself from any [`Deserializer`].
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes a value from `d`.
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error>;
+    }
+
+    /// Removes and deserializes the field `name` from a decoded object.
+    /// Used by [`crate::impl_serde_struct!`].
+    pub fn take_field<'de, T: Deserialize<'de>, E: Error>(
+        map: &mut Vec<(String, Value)>,
+        name: &str,
+    ) -> Result<T, E> {
+        let idx = map
+            .iter()
+            .position(|(k, _)| k == name)
+            .ok_or_else(|| E::custom(format_args!("missing field `{name}`")))?;
+        let (_, v) = map.swap_remove(idx);
+        T::deserialize(crate::ValueDeserializer::<E>::new(v))
+    }
+
+    /// Deserializes a value with both type parameters inferred. Used by
+    /// the impl macros where the target type comes from context.
+    pub fn infer<'de, T: Deserialize<'de>, D: Deserializer<'de>>(d: D) -> Result<T, D::Error> {
+        T::deserialize(d)
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+/// An infallible-by-construction error for in-memory serialization.
+#[derive(Debug)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// A [`Serializer`] that materializes the [`Value`] tree.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_value(self, v: Value) -> Result<Value, ValueError> {
+        Ok(v)
+    }
+}
+
+/// Serializes `t` to an in-memory [`Value`] (cannot fail: the sink is
+/// the identity).
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+    t.serialize(ValueSerializer).expect("value serialization is infallible")
+}
+
+/// A [`Deserializer`] reading from an in-memory [`Value`], generic over
+/// the caller's error type.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wraps `value` for deserialization.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Deserializes `T` from an in-memory [`Value`].
+pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(v: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::<E>::new(v))
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::UInt(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error;
+                match d.take_value()? {
+                    Value::UInt(n) => <$t>::try_from(n)
+                        .map_err(|_| D::Error::custom(format_args!(
+                            "integer {n} out of range for {}", stringify!($t)
+                        ))),
+                    other => Err(D::Error::custom(format_args!(
+                        "expected unsigned integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_sint {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                s.serialize_value(if v < 0 { Value::Int(v) } else { Value::UInt(v as u64) })
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error;
+                let wide: i64 = match d.take_value()? {
+                    Value::Int(n) => n,
+                    Value::UInt(n) => i64::try_from(n).map_err(|_| {
+                        D::Error::custom(format_args!("integer {n} overflows i64"))
+                    })?,
+                    other => {
+                        return Err(D::Error::custom(format_args!(
+                            "expected integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| D::Error::custom(format_args!(
+                    "integer {wide} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )+};
+}
+impl_serde_sint!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Float(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_value()? {
+            Value::Float(x) => Ok(x),
+            Value::UInt(n) => Ok(n as f64),
+            Value::Int(n) => Ok(n as f64),
+            other => Err(D::Error::custom(format_args!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format_args!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format_args!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(t) => s.serialize_value(to_value(t)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => Ok(Some(from_value(v)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(|t| to_value(t)).collect()))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_value()? {
+            Value::Seq(items) => items.into_iter().map(from_value).collect(),
+            other => Err(D::Error::custom(format_args!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(|t| to_value(t)).collect()))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Seq(vec![$(to_value(&self.$idx)),+]))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(d: De) -> Result<Self, De::Error> {
+                const ARITY: usize = [$($idx),+].len();
+                match d.take_value()? {
+                    Value::Seq(items) if items.len() == ARITY => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $idx;
+                            from_value::<$name, De::Error>(it.next().expect("arity checked"))?
+                        },)+))
+                    }
+                    other => Err(<De::Error as de::Error>::custom(format_args!(
+                        "expected {ARITY}-element array, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+impl_serde_tuple! {
+    (T0: 0)
+    (T0: 0, T1: 1)
+    (T0: 0, T1: 1, T2: 2)
+    (T0: 0, T1: 1, T2: 2, T3: 3)
+}
+
+// ---------------------------------------------------------------------
+// Derive replacements
+// ---------------------------------------------------------------------
+
+/// Implements `Serialize`/`Deserialize` for a struct with named fields,
+/// encoding it as an object keyed by field name (upstream derive
+/// behavior). Usage: `serde::impl_serde_struct!(Stats { hits, misses });`
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn serialize<S: $crate::Serializer>(
+                &self,
+                s: S,
+            ) -> ::std::result::Result<S::Ok, S::Error> {
+                s.serialize_value($crate::Value::Map(::std::vec![
+                    $((::std::string::String::from(stringify!($field)),
+                       $crate::to_value(&self.$field))),+
+                ]))
+            }
+        }
+        impl<'de> $crate::Deserialize<'de> for $ty {
+            fn deserialize<D: $crate::Deserializer<'de>>(
+                d: D,
+            ) -> ::std::result::Result<Self, D::Error> {
+                let v = $crate::Deserializer::take_value(d)?;
+                let mut map = match v {
+                    $crate::Value::Map(m) => m,
+                    other => {
+                        return ::std::result::Result::Err(<D::Error as $crate::de::Error>::custom(
+                            ::std::format_args!("expected object, found {other:?}"),
+                        ))
+                    }
+                };
+                ::std::result::Result::Ok($ty {
+                    $($field: $crate::de::take_field(&mut map, stringify!($field))?),+
+                })
+            }
+        }
+    };
+}
+
+/// Implements `Serialize`/`Deserialize` for a single-field tuple struct,
+/// encoding it transparently as its inner value (upstream derive
+/// behavior for newtypes). Usage: `serde::impl_serde_newtype!(NodeId);`
+#[macro_export]
+macro_rules! impl_serde_newtype {
+    ($ty:ident) => {
+        impl $crate::Serialize for $ty {
+            fn serialize<S: $crate::Serializer>(
+                &self,
+                s: S,
+            ) -> ::std::result::Result<S::Ok, S::Error> {
+                $crate::Serialize::serialize(&self.0, s)
+            }
+        }
+        impl<'de> $crate::Deserialize<'de> for $ty {
+            fn deserialize<D: $crate::Deserializer<'de>>(
+                d: D,
+            ) -> ::std::result::Result<Self, D::Error> {
+                ::std::result::Result::Ok($ty($crate::de::infer(d)?))
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair {
+        left: u32,
+        right: Option<u64>,
+    }
+    impl_serde_struct!(Pair { left, right });
+
+    struct Id(pub u32);
+    impl_serde_newtype!(Id);
+
+    #[test]
+    fn struct_encodes_as_object() {
+        let v = to_value(&Pair { left: 3, right: None });
+        assert_eq!(
+            v,
+            Value::Map(vec![("left".into(), Value::UInt(3)), ("right".into(), Value::Null),])
+        );
+        let back: Pair = from_value::<_, ValueError>(v).unwrap();
+        assert_eq!(back.left, 3);
+        assert_eq!(back.right, None);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(to_value(&Id(9)), Value::UInt(9));
+        let back: Id = from_value::<_, ValueError>(Value::UInt(9)).unwrap();
+        assert_eq!(back.0, 9);
+    }
+
+    #[test]
+    fn vec_of_tuples_round_trips() {
+        let edges: Vec<(u32, u32)> = vec![(0, 1), (1, 2)];
+        let v = to_value(&edges);
+        assert_eq!(
+            v,
+            Value::Seq(vec![
+                Value::Seq(vec![Value::UInt(0), Value::UInt(1)]),
+                Value::Seq(vec![Value::UInt(1), Value::UInt(2)]),
+            ])
+        );
+        let back: Vec<(u32, u32)> = from_value::<_, ValueError>(v).unwrap();
+        assert_eq!(back, edges);
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let v = Value::Map(vec![("left".into(), Value::UInt(1))]);
+        assert!(from_value::<Pair, ValueError>(v).is_err());
+    }
+
+    #[test]
+    fn out_of_range_integer_is_an_error() {
+        assert!(from_value::<u8, ValueError>(Value::UInt(300)).is_err());
+        assert!(from_value::<u8, ValueError>(Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn negative_integers_round_trip() {
+        let v = to_value(&-5i32);
+        assert_eq!(v, Value::Int(-5));
+        assert_eq!(from_value::<i32, ValueError>(v).unwrap(), -5);
+    }
+}
