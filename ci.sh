@@ -22,4 +22,15 @@ cargo fmt --check
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== conformance smoke: fast checkers vs oracles =="
+# Seeded-mutation self-test first (proves the harness can catch a bug),
+# then the bounded sweep + 200 random cases + harvested executions.
+# Exits nonzero with the shrunk witness printed inline on any
+# disagreement. Budget: well under 60s (about 1s in debug).
+if [[ "$fast" != "fast" ]]; then
+    ./target/release/ccmm conformance --self-test
+else
+    cargo run -q --bin ccmm -- conformance --self-test
+fi
+
 echo "CI OK"

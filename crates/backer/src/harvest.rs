@@ -1,0 +1,97 @@
+//! Harvesting observer functions from simulated BACKER executions.
+//!
+//! The conformance harness wants `(C, Φ)` pairs that a *real* coherence
+//! protocol can produce — the region of the model lattice actual
+//! executions inhabit, which random generation over- and under-samples.
+//! [`harvest_observers`] replays one computation under a spread of
+//! schedules (serial, round-robin, seeded work-stealing) and cache
+//! capacities and returns the distinct observer functions the simulator
+//! induced.
+//!
+//! Deterministic for a fixed `(runs, procs, cache_lines, seed)` tuple:
+//! schedules are drawn from a seeded [`StdRng`] and the simulator itself
+//! is a deterministic discrete-event replay.
+
+use crate::config::BackerConfig;
+use crate::schedule::Schedule;
+use crate::sim;
+use ccmm_core::{Computation, ObserverFunction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs `c` under `runs` schedules on `procs` processors and returns the
+/// distinct observer functions induced. The first two runs are the serial
+/// and round-robin schedules; the rest are seeded work-stealing draws.
+/// Each schedule executes twice, with unbounded caches and with
+/// `cache_lines`-line caches (eviction forces extra fetch/reconcile
+/// traffic, which changes what stale values reads can observe).
+pub fn harvest_observers(
+    c: &Computation,
+    runs: usize,
+    procs: usize,
+    cache_lines: usize,
+    seed: u64,
+) -> Vec<ObserverFunction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<ObserverFunction> = Vec::new();
+    for r in 0..runs {
+        let schedule = match r {
+            0 => Schedule::serial(c),
+            1 => Schedule::round_robin(c, procs),
+            _ => Schedule::work_stealing(c, procs, &mut rng),
+        };
+        for capacity in [usize::MAX, cache_lines.max(1)] {
+            let config = BackerConfig::with_processors(procs).cache_capacity(capacity);
+            let result = sim::run(c, &schedule, &config);
+            if !out.contains(&result.observer) {
+                out.push(result.observer);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmm_core::{Lc, Location, MemoryModel, Op};
+
+    fn racy_computation() -> Computation {
+        let l = Location::new(0);
+        // Two parallel writers and a read joining them.
+        Computation::from_edges(
+            4,
+            &[(0, 2), (1, 2), (2, 3)],
+            vec![Op::Write(l), Op::Write(l), Op::Read(l), Op::Read(l)],
+        )
+    }
+
+    #[test]
+    fn harvested_observers_are_valid_and_lc() {
+        let c = racy_computation();
+        let observers = harvest_observers(&c, 5, 2, 1, 11);
+        assert!(!observers.is_empty());
+        for phi in &observers {
+            assert!(phi.is_valid_for(&c), "simulator must induce a valid observer");
+            assert!(Lc.contains(&c, phi), "unfaulted BACKER maintains LC");
+        }
+    }
+
+    #[test]
+    fn harvest_is_deterministic_in_the_seed() {
+        let c = racy_computation();
+        let a = harvest_observers(&c, 6, 3, 2, 99);
+        let b = harvest_observers(&c, 6, 3, 2, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn harvest_deduplicates() {
+        // A serial chain admits exactly one execution observer, no matter
+        // how many runs are requested.
+        let l = Location::new(0);
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l), Op::Read(l)]);
+        let observers = harvest_observers(&c, 4, 2, 1, 0);
+        assert_eq!(observers.len(), 1);
+    }
+}

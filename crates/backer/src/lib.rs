@@ -17,7 +17,9 @@
 //! * [`config::FaultInjection`]: switchable protocol violations (skip
 //!   flush / skip reconcile) whose executions detectably leave LC;
 //! * [`verify`](crate::verify()): post-mortem membership profiles of executions against
-//!   SC / LC / NN / WW.
+//!   SC / LC / NN / WW;
+//! * [`harvest`]: distinct observer functions collected across a spread
+//!   of schedules and cache sizes, feeding the conformance harness.
 //!
 //! Executions transport unique write tokens, so every run yields a total
 //! observer function checkable by `ccmm-core`'s exact model checkers.
@@ -47,6 +49,7 @@
 pub mod atomic;
 pub mod cache;
 pub mod config;
+pub mod harvest;
 pub mod memory;
 pub mod paged;
 pub mod schedule;

@@ -39,6 +39,7 @@ pub mod programs;
 pub mod race;
 
 pub use builder::{build_program, ProgramBuilder, Strand};
+pub use programs::conformance_workloads;
 pub use programs::fib::{fib, FibProgram};
 pub use programs::matmul::{matmul, MatmulProgram};
 pub use programs::reduce::{reduce, ReduceProgram};

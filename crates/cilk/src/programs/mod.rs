@@ -5,3 +5,50 @@ pub mod matmul;
 pub mod reduce;
 pub mod sort;
 pub mod stencil;
+
+use crate::builder::build_program;
+use ccmm_core::{Computation, Location};
+
+/// Small named workloads for the conformance harness: real fork/join
+/// programs kept to ≤ ~10 nodes, because the harness's definitional
+/// oracles enumerate topological sorts (factorial in the node count).
+pub fn conformance_workloads() -> Vec<(&'static str, Computation)> {
+    let l0 = Location::new(0);
+    let l1 = Location::new(1);
+    // A deliberately racy fork/join: both strands write l0 before the
+    // final read, so different schedules induce different observers.
+    let racy = build_program(|b, s| {
+        b.write(s, l0);
+        b.spawn(s, |b, t| {
+            b.write(t, l0);
+            b.read(t, l1);
+        });
+        b.write(s, l1);
+        b.sync(s);
+        b.read(s, l0);
+    });
+    vec![
+        ("fib2", fib::fib(2).computation),
+        ("matmul1", matmul::matmul(1).computation),
+        ("racy-fork-join", racy),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_workloads_stay_oracle_sized() {
+        let ws = conformance_workloads();
+        assert_eq!(ws.len(), 3);
+        for (name, c) in &ws {
+            assert!(
+                c.node_count() <= 10,
+                "{name} has {} nodes — too big for oracles",
+                c.node_count()
+            );
+            assert!(c.node_count() >= 2, "{name} is degenerate");
+        }
+    }
+}

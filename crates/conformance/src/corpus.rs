@@ -1,0 +1,240 @@
+//! The curated witness corpus and golden litmus outcome tables.
+//!
+//! A corpus entry is a `.litmus` file with three `---`-separated
+//! sections:
+//!
+//! ```text
+//! # Figure 4 prefix: in every dag-consistent model, out of SC and LC.
+//! n0: W(0)
+//! n1: W(0)
+//! n2: R(0) <- n0 n1
+//! n3: R(0) <- n0 n1
+//! ---
+//! l0: n0 n1 n0 n1
+//! ---
+//! SC: out
+//! LC: out
+//! NN: in
+//! ```
+//!
+//! The computation and observer use [`ccmm_core::parse`] syntax; the last
+//! section asserts membership per model (`in`/`out`), for any subset of
+//! the concrete models. [`check_entry`] replays each assertion against
+//! *both* the fast checker and the definitional oracle, so a corpus file
+//! pins three things at once: the curated expectation, the production
+//! code, and the transliterated definitions.
+//!
+//! A golden file (`.golden`) pins a litmus test's full outcome table per
+//! model in the format of [`render_golden`]; regenerate with the corpus
+//! replay test's bless mode (`CCMM_BLESS=1`).
+
+use ccmm_core::litmus::LitmusTest;
+use ccmm_core::parse::{parse_computation, parse_observer};
+use ccmm_core::{Computation, MemoryModel, Model, ObserverFunction, Oracle};
+use std::io;
+use std::path::Path;
+
+/// One parsed corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Entry name (the file stem).
+    pub name: String,
+    /// The computation.
+    pub computation: Computation,
+    /// The observer function.
+    pub phi: ObserverFunction,
+    /// Expected membership per model, in file order.
+    pub expect: Vec<(Model, bool)>,
+}
+
+/// Parses a model name as used in corpus files (`SC`, `LC`, `NN`, …).
+pub fn parse_model(s: &str) -> Option<Model> {
+    match s.trim().to_ascii_uppercase().as_str() {
+        "SC" => Some(Model::Sc),
+        "LC" => Some(Model::Lc),
+        "NN" => Some(Model::Nn),
+        "NW" => Some(Model::Nw),
+        "WN" => Some(Model::Wn),
+        "WW" => Some(Model::Ww),
+        "ANY" => Some(Model::Any),
+        _ => None,
+    }
+}
+
+/// Parses one corpus entry from its text.
+pub fn parse_entry(name: &str, text: &str) -> Result<CorpusEntry, String> {
+    let sections: Vec<&str> = text.split("\n---").collect();
+    if sections.len() != 3 {
+        return Err(format!("{name}: expected 3 `---`-separated sections, got {}", sections.len()));
+    }
+    let computation =
+        parse_computation(sections[0]).map_err(|e| format!("{name}: computation: {e}"))?;
+    let phi =
+        parse_observer(sections[1], &computation).map_err(|e| format!("{name}: observer: {e}"))?;
+    let mut expect = Vec::new();
+    for raw in sections[2].lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (m, verdict) =
+            line.split_once(':').ok_or_else(|| format!("{name}: expected `MODEL: in|out`"))?;
+        let model =
+            parse_model(m).ok_or_else(|| format!("{name}: unknown model `{}`", m.trim()))?;
+        let member = match verdict.trim() {
+            "in" => true,
+            "out" => false,
+            other => return Err(format!("{name}: expected in|out, got `{other}`")),
+        };
+        expect.push((model, member));
+    }
+    if expect.is_empty() {
+        return Err(format!("{name}: no membership assertions"));
+    }
+    Ok(CorpusEntry { name: name.to_string(), computation, phi, expect })
+}
+
+/// Replays an entry: every membership assertion must match both the fast
+/// checker and the oracle. Returns the failures (empty = pass).
+pub fn check_entry(e: &CorpusEntry) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !e.phi.is_valid_for(&e.computation) {
+        failures.push(format!("{}: observer is not valid for the computation", e.name));
+        return failures;
+    }
+    for &(m, expected) in &e.expect {
+        let fast = m.contains(&e.computation, &e.phi);
+        let oracle = Oracle::for_model(m).contains(&e.computation, &e.phi);
+        if fast != expected {
+            failures.push(format!(
+                "{}: {m} fast checker says {fast}, corpus expects {expected}",
+                e.name
+            ));
+        }
+        if oracle != expected {
+            failures
+                .push(format!("{}: {m} oracle says {oracle}, corpus expects {expected}", e.name));
+        }
+    }
+    failures
+}
+
+/// Loads every `.litmus` entry in `dir`, sorted by file name.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<CorpusEntry>> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "litmus"))
+        .collect();
+    paths.sort();
+    let mut entries = Vec::new();
+    for p in paths {
+        let name = p.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        let text = std::fs::read_to_string(&p)?;
+        let entry =
+            parse_entry(&name, &text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+/// Renders a litmus test's outcome table: one `MODEL: o o …` line per
+/// concrete model, each outcome a comma-joined value tuple, outcomes in
+/// the set's sorted order.
+pub fn render_golden(test: &LitmusTest) -> String {
+    let mut out = format!("# {}: {}\n", test.name, test.note);
+    for m in crate::report::CONCRETE_MODELS {
+        let outcomes = test.outcomes(&m);
+        out.push_str(&format!("{m}:"));
+        for o in outcomes {
+            let vals: Vec<String> = o.iter().map(u64::to_string).collect();
+            out.push_str(&format!(" {}", vals.join(",")));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares a golden file's text against the freshly computed table,
+/// ignoring comments and blank lines. Returns the mismatching lines.
+pub fn check_golden(test: &LitmusTest, golden_text: &str) -> Vec<String> {
+    let strip = |s: &str| -> Vec<String> {
+        s.lines()
+            .map(|l| l.split('#').next().unwrap_or("").trim().to_string())
+            .filter(|l| !l.is_empty())
+            .collect()
+    };
+    let fresh = strip(&render_golden(test));
+    let stored = strip(golden_text);
+    let mut failures = Vec::new();
+    if fresh.len() != stored.len() {
+        failures.push(format!(
+            "{}: golden has {} lines, fresh table has {}",
+            test.name,
+            stored.len(),
+            fresh.len()
+        ));
+    }
+    for (f, s) in fresh.iter().zip(&stored) {
+        if f != s {
+            failures.push(format!("{}: golden `{s}` != fresh `{f}`", test.name));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmm_core::litmus::standard_tests;
+
+    const FIG4: &str = "\
+# Figure 4 prefix
+n0: W(0)
+n1: W(0)
+n2: R(0) <- n0 n1
+n3: R(0) <- n0 n1
+---
+l0: n0 n1 n0 n1
+---
+SC: out
+LC: out
+NN: in
+WW: in
+";
+
+    #[test]
+    fn figure4_entry_parses_and_checks() {
+        let e = parse_entry("fig4", FIG4).expect("parses");
+        assert_eq!(e.computation.node_count(), 4);
+        assert_eq!(e.expect.len(), 4);
+        assert!(check_entry(&e).is_empty(), "{:?}", check_entry(&e));
+    }
+
+    #[test]
+    fn wrong_expectation_is_reported_twice() {
+        let flipped = FIG4.replace("NN: in", "NN: out");
+        let e = parse_entry("fig4", &flipped).expect("parses");
+        let failures = check_entry(&e);
+        // Both the fast checker and the oracle disagree with the file.
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures.iter().all(|f| f.contains("NN")));
+    }
+
+    #[test]
+    fn malformed_entries_are_rejected() {
+        assert!(parse_entry("x", "n0: W(0)\n").is_err(), "missing sections");
+        let bad_model = FIG4.replace("SC: out", "XX: out");
+        assert!(parse_entry("x", &bad_model).is_err());
+        let bad_verdict = FIG4.replace("SC: out", "SC: maybe");
+        assert!(parse_entry("x", &bad_verdict).is_err());
+    }
+
+    #[test]
+    fn golden_roundtrip_detects_tampering() {
+        let test = &standard_tests()[0]; // MP
+        let golden = render_golden(test);
+        assert!(check_golden(test, &golden).is_empty());
+        let tampered = golden.replacen("SC:", "SC: 9,9", 1);
+        assert!(!check_golden(test, &tampered).is_empty());
+    }
+}

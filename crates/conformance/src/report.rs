@@ -1,0 +1,105 @@
+//! Rendering and emitting shrunk witnesses.
+//!
+//! A witness file is the corpus `.litmus` format (see [`crate::corpus`]):
+//! the computation in [`ccmm_core::parse`] syntax, `---`, the observer
+//! function, `---`, one `MODEL: in|out` membership line per concrete
+//! model — definitional truth, computed with the oracles. Header comments
+//! record the provenance (model, source, both checkers' answers, shrink
+//! steps), so a witness file is self-describing and replayable through
+//! the corpus checker.
+
+use crate::harness::ShrunkDisagreement;
+use ccmm_core::parse::{render_computation, render_observer};
+use ccmm_core::{MemoryModel, Model, Oracle};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The six concrete models whose membership a witness file records.
+pub const CONCRETE_MODELS: [Model; 6] =
+    [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww];
+
+/// Renders a shrunk disagreement as a self-describing `.litmus` witness.
+pub fn render_witness(d: &ShrunkDisagreement) -> String {
+    let o = &d.original;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# conformance witness: {} fast={} oracle={} (source: {})\n",
+        o.model, o.fast, o.oracle, o.source
+    ));
+    out.push_str(&format!(
+        "# shrunk from {} nodes / {} edges in {} move(s)\n",
+        o.c.node_count(),
+        o.c.dag().edges().count(),
+        d.shrunk.steps
+    ));
+    out.push_str(&render_computation(&d.shrunk.c));
+    out.push_str("---\n");
+    out.push_str(&render_observer(&d.shrunk.phi));
+    out.push_str("---\n");
+    for m in CONCRETE_MODELS {
+        let member = Oracle::for_model(m).contains(&d.shrunk.c, &d.shrunk.phi);
+        out.push_str(&format!("{}: {}\n", m, if member { "in" } else { "out" }));
+    }
+    out
+}
+
+/// Writes `<dir>/<stem>.litmus` and `<dir>/<stem>.dot` for a shrunk
+/// disagreement and returns both paths. `dir` is created if missing.
+pub fn write_witness(
+    dir: &Path,
+    index: usize,
+    d: &ShrunkDisagreement,
+) -> io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let stem = format!("disagreement-{index:02}-{}", d.original.model.name().to_lowercase());
+    let litmus = dir.join(format!("{stem}.litmus"));
+    let dot = dir.join(format!("{stem}.dot"));
+    std::fs::write(&litmus, render_witness(d))?;
+    std::fs::write(&dot, d.shrunk.c.to_dot(&stem))?;
+    Ok((litmus, dot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{Disagreement, Source};
+    use crate::shrink::Shrunk;
+    use ccmm_core::witness::figure4_prefix;
+
+    fn fake_disagreement() -> ShrunkDisagreement {
+        let w = figure4_prefix();
+        ShrunkDisagreement {
+            original: Disagreement {
+                model: Model::Lc,
+                source: Source::Exhaustive,
+                c: w.computation.clone(),
+                phi: w.phi.clone(),
+                fast: true,
+                oracle: false,
+            },
+            shrunk: Shrunk { c: w.computation, phi: w.phi, steps: 0 },
+        }
+    }
+
+    #[test]
+    fn witness_roundtrips_through_the_parsers() {
+        let text = render_witness(&fake_disagreement());
+        let entry = crate::corpus::parse_entry("w", &text).expect("witness parses as corpus");
+        assert_eq!(entry.computation.node_count(), 4);
+        // Figure 4's prefix: in every NN-family model, out of SC and LC.
+        let get = |m: Model| entry.expect.iter().find(|(e, _)| *e == m).unwrap().1;
+        assert!(!get(Model::Sc) && !get(Model::Lc));
+        assert!(get(Model::Nn) && get(Model::Ww));
+    }
+
+    #[test]
+    fn write_witness_emits_both_files() {
+        let dir = std::env::temp_dir().join("ccmm-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (litmus, dot) = write_witness(&dir, 3, &fake_disagreement()).expect("write");
+        assert!(litmus.ends_with("disagreement-03-lc.litmus") && litmus.exists());
+        let dot_text = std::fs::read_to_string(&dot).expect("dot readable");
+        assert!(dot_text.contains("digraph"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

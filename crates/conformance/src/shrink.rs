@@ -1,0 +1,277 @@
+//! Counterexample shrinking.
+//!
+//! Given a `(C, Φ)` pair on which a fast checker and its oracle disagree,
+//! [`shrink`] greedily minimises it while preserving the disagreement.
+//! Four move kinds, tried strongest-first:
+//!
+//! 1. **drop a node** — each one-maximal-node prefix, with Φ remapped
+//!    (observations of the dropped node fall back to ⊥);
+//! 2. **merge two locations** — relabel every op on the higher location
+//!    onto the lower one and fuse the Φ rows;
+//! 3. **drop an edge** — one-step relaxation, Φ unchanged;
+//! 4. **weaken a Φ row entry** — reset one non-forced observation to ⊥.
+//!
+//! Every accepted move strictly decreases the lexicographic measure
+//! (nodes, locations, edges, non-⊥ entries), so shrinking terminates; the
+//! result is *1-minimal*: no single move preserves the disagreement.
+//! All moves produce valid observer functions when the input is valid
+//! (edges and nodes only ever disappear, so Definition 2's conditions
+//! survive), and an invalid candidate simply fails the disagreement
+//! predicate — both sides reject it.
+
+use ccmm_core::{Computation, Location, ObserverFunction, Op};
+use ccmm_dag::NodeId;
+
+/// The result of shrinking: the minimal pair and how many moves it took.
+#[derive(Clone, Debug)]
+pub struct Shrunk {
+    /// The shrunk computation.
+    pub c: Computation,
+    /// The shrunk observer function.
+    pub phi: ObserverFunction,
+    /// Number of accepted shrink moves.
+    pub steps: usize,
+}
+
+/// Remaps Φ onto the prefix obtained by deleting node `dropped` (nodes
+/// above it shift down by one); observations *of* the dropped node fall
+/// back to ⊥.
+fn phi_without_node(
+    prefix: &Computation,
+    phi: &ObserverFunction,
+    dropped: NodeId,
+) -> ObserverFunction {
+    let old_of = |i: usize| if i < dropped.index() { i } else { i + 1 };
+    let new_of = |v: NodeId| {
+        NodeId::new(if v.index() > dropped.index() { v.index() - 1 } else { v.index() })
+    };
+    ObserverFunction::from_fn(prefix, |l, u| {
+        if l.index() >= phi.num_locations() {
+            return None;
+        }
+        match phi.get(l, NodeId::new(old_of(u.index()))) {
+            Some(v) if v == dropped => None,
+            Some(v) => Some(new_of(v)),
+            None => None,
+        }
+    })
+}
+
+/// Relabels every op on location `gone` onto `keep` (with `keep < gone`),
+/// compacting the locations above `gone` down by one, and fuses the Φ
+/// rows (the `keep` row wins where both are defined).
+fn merge_locations(
+    c: &Computation,
+    phi: &ObserverFunction,
+    keep: Location,
+    gone: Location,
+) -> (Computation, ObserverFunction) {
+    debug_assert!(keep.index() < gone.index());
+    let map = |l: Location| {
+        if l == gone {
+            keep
+        } else if l.index() > gone.index() {
+            Location::new(l.index() - 1)
+        } else {
+            l
+        }
+    };
+    let ops: Vec<Op> = c
+        .ops()
+        .iter()
+        .map(|o| match *o {
+            Op::Read(l) => Op::Read(map(l)),
+            Op::Write(l) => Op::Write(map(l)),
+            Op::Nop => Op::Nop,
+        })
+        .collect();
+    let merged = Computation::new(c.dag().clone(), ops).expect("relabelling preserves op count");
+    let phi2 = ObserverFunction::from_fn(&merged, |l, u| {
+        if merged.op(u).is_write_to(l) {
+            return Some(u); // forced by Definition 2.3
+        }
+        if l == keep {
+            phi.get(keep, u).or_else(|| phi.get(gone, u))
+        } else {
+            // Unique preimage: the old location mapping onto l.
+            let src = if l.index() >= gone.index() { Location::new(l.index() + 1) } else { l };
+            phi.get(src, u)
+        }
+    });
+    (merged, phi2)
+}
+
+/// Shrinks `(c, phi)` while `disagrees` holds, returning a 1-minimal
+/// pair. `disagrees` must hold on the input; it is re-checked on every
+/// candidate, so the predicate may be arbitrarily expensive — shrinking
+/// calls it once per candidate move per round.
+pub fn shrink<F>(c: &Computation, phi: &ObserverFunction, disagrees: F) -> Shrunk
+where
+    F: Fn(&Computation, &ObserverFunction) -> bool,
+{
+    debug_assert!(disagrees(c, phi), "shrink needs a disagreeing input");
+    let mut cur_c = c.clone();
+    let mut cur_phi = phi.clone();
+    let mut steps = 0;
+    'outer: loop {
+        // 1. Drop a maximal node.
+        for (prefix, dropped) in cur_c.one_node_prefixes() {
+            let phi2 = phi_without_node(&prefix, &cur_phi, dropped);
+            if disagrees(&prefix, &phi2) {
+                cur_c = prefix;
+                cur_phi = phi2;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        // 2. Merge a pair of locations.
+        for gone in (1..cur_c.num_locations()).rev() {
+            for keep in 0..gone {
+                let (c2, phi2) =
+                    merge_locations(&cur_c, &cur_phi, Location::new(keep), Location::new(gone));
+                if disagrees(&c2, &phi2) {
+                    cur_c = c2;
+                    cur_phi = phi2;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+        }
+        // 3. Drop an edge.
+        let edges: Vec<_> = cur_c.dag().edges().collect();
+        for (u, v) in edges {
+            let c2 = cur_c.without_edge(u, v).expect("edge exists");
+            if disagrees(&c2, &cur_phi) {
+                cur_c = c2;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        // 4. Weaken one Φ entry to ⊥.
+        for l in cur_c.locations() {
+            for u in cur_c.nodes() {
+                if cur_phi.get(l, u).is_some() && !cur_c.op(u).is_write_to(l) {
+                    let phi2 = cur_phi.clone().with(l, u, None);
+                    if disagrees(&cur_c, &phi2) {
+                        cur_phi = phi2;
+                        steps += 1;
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        break;
+    }
+    Shrunk { c: cur_c, phi: cur_phi, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmm_core::{Lc, MemoryModel, Model, Nn};
+
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn shrinks_padded_figure4_back_to_the_core() {
+        // Pad the Figure-4 prefix (∈ NN, ∉ LC) with an extra location, an
+        // extra trailing node, and an extra edge; the predicate "in NN
+        // but not LC" must shrink back to a 4-node, 1-location pair.
+        let w = ccmm_core::witness::figure4_prefix();
+        let padded = w.computation.extend(&[n(2)], Op::Write(l(1)));
+        let padded = padded.extend(&[n(4)], Op::Read(l(1)));
+        let mut phi = ObserverFunction::bottom(2, 6);
+        for loc in w.computation.locations() {
+            for u in w.computation.nodes() {
+                phi.set(loc, u, w.phi.get(loc, u));
+            }
+        }
+        // The padding nodes observe A at l0 (⊥ would break NN via the
+        // ⊥-triples of Definition 20) and the new write at l1.
+        phi.set(l(0), n(4), Some(n(0)));
+        phi.set(l(0), n(5), Some(n(0)));
+        phi.set(l(1), n(4), Some(n(4)));
+        phi.set(l(1), n(5), Some(n(4)));
+        assert!(phi.is_valid_for(&padded));
+        let pred = |c: &Computation, p: &ObserverFunction| {
+            Nn::default().contains(c, p) && !Lc.contains(c, p)
+        };
+        assert!(pred(&padded, &phi));
+        let s = shrink(&padded, &phi, pred);
+        assert_eq!(s.c.node_count(), 4, "Figure 4's prefix is the minimal NN∖LC pattern");
+        assert_eq!(s.c.num_locations(), 1);
+        assert!(s.steps >= 2, "padding must have been removed in ≥2 moves");
+        assert!(pred(&s.c, &s.phi));
+    }
+
+    #[test]
+    fn shrink_sparsifies_figure4_to_two_edges() {
+        // The paper's Figure 4 uses the complete bipartite {A,B}×{C,D};
+        // the crossing stays NN∖LC with only one edge into each read, so
+        // the shrinker finds a strictly sparser witness than the figure.
+        let w = ccmm_core::witness::figure4_prefix();
+        let pred = |c: &Computation, p: &ObserverFunction| {
+            Nn::default().contains(c, p) && !Lc.contains(c, p)
+        };
+        let s = shrink(&w.computation, &w.phi, pred);
+        assert_eq!(s.c.node_count(), 4, "no node can be dropped");
+        assert_eq!(s.c.dag().edges().count(), 2, "two of the four edges are redundant");
+        assert!(pred(&s.c, &s.phi));
+    }
+
+    #[test]
+    fn merge_locations_preserves_validity() {
+        // Two-location MP-style pair: merging must stay a valid Φ.
+        let c = Computation::from_edges(
+            4,
+            &[(0, 1), (2, 3)],
+            vec![Op::Write(l(0)), Op::Write(l(1)), Op::Read(l(1)), Op::Read(l(0))],
+        );
+        let phi =
+            ObserverFunction::base(&c).with(l(1), n(2), Some(n(1))).with(l(0), n(3), Some(n(0)));
+        assert!(phi.is_valid_for(&c));
+        let (c2, phi2) = merge_locations(&c, &phi, l(0), l(1));
+        assert_eq!(c2.num_locations(), 1);
+        assert!(phi2.is_valid_for(&c2), "merged observer must stay valid");
+    }
+
+    #[test]
+    fn node_drop_remaps_interior_indices() {
+        // Dropping a *middle-indexed* maximal node must shift later
+        // observations down. Nodes: 0=W, 1=R∥ (maximal), 2=W, 3=R of 2.
+        let c = Computation::from_edges(
+            4,
+            &[(0, 1), (2, 3)],
+            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Write(l(0)), Op::Read(l(0))],
+        );
+        let phi = ObserverFunction::base(&c).with(l(0), n(3), Some(n(2)));
+        // Predicate: node 3's observation survives (under any renaming).
+        let pred = |c2: &Computation, p: &ObserverFunction| {
+            c2.nodes().any(|u| {
+                matches!(c2.op(u), Op::Read(_))
+                    && p.get(l(0), u).is_some_and(|w| c2.op(w).is_write_to(l(0)))
+            })
+        };
+        let s = shrink(&c, &phi, pred);
+        assert_eq!(s.c.node_count(), 2, "W→R core should remain");
+        assert!(pred(&s.c, &s.phi));
+        assert!(s.phi.is_valid_for(&s.c));
+    }
+
+    #[test]
+    fn all_models_agree_after_shrinking_agreement_preserving_pred() {
+        // Sanity: a pred that is a real fast-vs-oracle disagreement check
+        // on an agreeing pair refuses to shrink (debug_assert guards the
+        // input; here we just verify the predicate helper shape works).
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l(0)), Op::Read(l(0))]);
+        let phi = ObserverFunction::base(&c).with(l(0), n(1), Some(n(0)));
+        for m in Model::ALL {
+            assert_eq!(m.contains(&c, &phi), ccmm_core::Oracle::for_model(m).contains(&c, &phi));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! `(C, Φ)` pair generators for the harness's random source.
+//!
+//! Deterministic for a fixed seed: the generators draw from a caller
+//! provided [`rand::rngs::StdRng`] only, so a conformance run is
+//! reproducible from its seed regardless of thread count.
+
+use ccmm_core::{Computation, Location, ObserverFunction, Op};
+use ccmm_dag::generate;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A random computation: a random dag shape (G(n,p), layered, or
+/// series-parallel) with uniformly random ops over `num_locations`
+/// locations. `2 ≤ node count ≤ max_nodes`.
+pub fn random_computation(rng: &mut StdRng, max_nodes: usize, num_locations: usize) -> Computation {
+    let n = rng.gen_range(2..=max_nodes.max(2));
+    let dag = match rng.gen_range(0..3u32) {
+        0 => generate::gnp_dag(n, rng.gen_range(0.15..0.6), rng),
+        1 => {
+            let layers = rng.gen_range(1..=n.min(3));
+            let width = n.div_ceil(layers).max(1);
+            let mut d = generate::layered_dag(layers, width, 2, rng);
+            // Layered dags can overshoot n; regenerate as G(n,p) if so.
+            if d.node_count() > max_nodes {
+                d = generate::gnp_dag(n, 0.3, rng);
+            }
+            d
+        }
+        _ => {
+            // Lowered fork/join nodes can over- or undershoot n; fall
+            // back to G(n,p) when outside [2, max_nodes].
+            let leaves = (n / 2).max(2);
+            let mut d = generate::random_sp_dag(leaves, 0.5, rng);
+            if d.node_count() > max_nodes.max(2) || d.node_count() < 2 {
+                d = generate::gnp_dag(n, 0.3, rng);
+            }
+            d
+        }
+    };
+    let ops: Vec<Op> = (0..dag.node_count()).map(|_| random_op(rng, num_locations)).collect();
+    Computation::new(dag, ops).expect("one op per node")
+}
+
+fn random_op(rng: &mut StdRng, num_locations: usize) -> Op {
+    let l = Location::new(rng.gen_range(0..num_locations.max(1)));
+    match rng.gen_range(0..5u32) {
+        0 => Op::Nop,
+        1 | 2 => Op::Write(l),
+        _ => Op::Read(l),
+    }
+}
+
+/// A uniformly random *valid* observer function for `c`: each free slot
+/// (Definition 2 forces writes to observe themselves) independently picks
+/// ⊥ or any write to the location the node does not strictly precede.
+pub fn random_observer(rng: &mut StdRng, c: &Computation) -> ObserverFunction {
+    ObserverFunction::from_fn(c, |l, u| {
+        if c.op(u).is_write_to(l) {
+            return Some(u);
+        }
+        let cands: Vec<_> = c.writes_to(l).iter().copied().filter(|&w| !c.precedes(u, w)).collect();
+        // ⊥ plus each candidate, uniform.
+        let k = rng.gen_range(0..=cands.len());
+        if k == 0 {
+            None
+        } else {
+            Some(cands[k - 1])
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_pairs_are_valid_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let c = random_computation(&mut rng, 7, 2);
+            assert!(c.node_count() >= 2 && c.node_count() <= 7, "bad size {}", c.node_count());
+            let phi = random_observer(&mut rng, &c);
+            assert!(phi.is_valid_for(&c), "invalid random observer for {c:?}: {phi:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let c = random_computation(&mut rng, 6, 2);
+            let phi = random_observer(&mut rng, &c);
+            (c, phi)
+        };
+        assert_eq!(run(42), run(42));
+        let (a, _) = run(42);
+        let (b, _) = run(43);
+        // Overwhelmingly likely to differ; both still valid computations.
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn random_observers_cover_non_base_choices() {
+        // With a write and a later read, some draws must pick the write.
+        let c = Computation::from_edges(
+            2,
+            &[(0, 1)],
+            vec![Op::Write(Location::new(0)), Op::Read(Location::new(0))],
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut saw_some = false;
+        let mut saw_none = false;
+        for _ in 0..64 {
+            let phi = random_observer(&mut rng, &c);
+            match phi.get(Location::new(0), ccmm_dag::NodeId::new(1)) {
+                Some(_) => saw_some = true,
+                None => saw_none = true,
+            }
+        }
+        assert!(saw_some && saw_none, "both observer choices should appear");
+    }
+}

@@ -8,6 +8,9 @@
 //! * [`model`]: the memory-model trait plus exact membership checkers for
 //!   SC, LC, and the Q-dag-consistency family NN/NW/WN/WW (Definitions
 //!   17, 18, 20), with brute-force twins for cross-validation;
+//! * [`oracle`]: definitional oracle deciders — the models transliterated
+//!   from the paper with no algorithmic shortcuts, for differential
+//!   conformance testing of the fast checkers;
 //! * [`enumerate`]: exhaustive enumeration of valid observer functions;
 //! * [`universe`]: bounded universes of computations (all naturally
 //!   labelled posets × op labellings up to a node budget);
@@ -68,6 +71,7 @@ pub mod model;
 pub mod observer;
 pub mod online;
 pub mod op;
+pub mod oracle;
 pub mod parse;
 pub mod procs;
 pub mod props;
@@ -82,3 +86,4 @@ pub use error::CoreError;
 pub use model::{AnyObserver, Lc, MemoryModel, Model, Nn, Nw, Sc, Wn, Ww};
 pub use observer::ObserverFunction;
 pub use op::{Location, Op};
+pub use oracle::Oracle;

@@ -1,0 +1,155 @@
+//! Definitional oracle deciders for every model of the paper.
+//!
+//! The production checkers in [`crate::model`] earn their speed with
+//! algorithmic shortcuts (block contraction for LC, per-triple early
+//! exits for the Q-dag family). An **oracle** is the opposite trade: a
+//! decider transliterated from the paper's definition with no shortcuts
+//! at all, so slow that it is only usable on small computations — and so
+//! simple that its correctness is evident by inspection against the
+//! definition text.
+//!
+//! * [`Oracle::Sc`] / [`Oracle::Lc`] quantify over **all topological
+//!   sorts** and compare last-writer functions, verbatim Definitions
+//!   17/18 (built on the Defs. 13–16 machinery in
+//!   [`crate::last_writer`]);
+//! * [`Oracle::Nn`] … [`Oracle::Ww`] iterate **every** `(l, u, v, w)`
+//!   triple with `u ≺ v ≺ w` (including `u = ⊥`), verbatim
+//!   Definition 20;
+//! * [`Oracle::Any`] is Definition 2's validity check alone.
+//!
+//! The oracles exist to be disagreed with: `ccmm-conformance`
+//! differentially tests each fast checker against its oracle over
+//! exhaustive, random, and harvested `(C, Φ)` sources, and shrinks any
+//! disagreement to a minimal witness.
+
+use crate::computation::Computation;
+use crate::model::brute::{lc_brute, qdag_brute, sc_brute};
+use crate::model::dagcons::{NnPred, NwPred, QPredicate, WnPred, WwPred};
+use crate::model::{MemoryModel, Model};
+use crate::observer::ObserverFunction;
+
+/// A definitional oracle decider, one per [`Model`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Oracle {
+    /// Definition 17: `∃T ∈ TS(C)` with `Φ = W_T` everywhere.
+    Sc,
+    /// Definition 18: per location, `∃T ∈ TS(C)` with `Φ(l,·) = W_T(l,·)`.
+    Lc,
+    /// Definition 20 with `Q = true`.
+    Nn,
+    /// Definition 20 with `Q` = "`v` writes `l`".
+    Nw,
+    /// Definition 20 with `Q` = "`u` writes `l`" (⊥ counts as a write).
+    Wn,
+    /// Definition 20 with `Q` = "`u` and `v` write `l`".
+    Ww,
+    /// Definition 2 alone: every valid pair.
+    Any,
+}
+
+impl Oracle {
+    /// The oracle twin of a fast model.
+    pub fn for_model(m: Model) -> Oracle {
+        match m {
+            Model::Sc => Oracle::Sc,
+            Model::Lc => Oracle::Lc,
+            Model::Nn => Oracle::Nn,
+            Model::Nw => Oracle::Nw,
+            Model::Wn => Oracle::Wn,
+            Model::Ww => Oracle::Ww,
+            Model::Any => Oracle::Any,
+        }
+    }
+
+    /// The fast model this oracle is the twin of.
+    pub fn model(self) -> Model {
+        match self {
+            Oracle::Sc => Model::Sc,
+            Oracle::Lc => Model::Lc,
+            Oracle::Nn => Model::Nn,
+            Oracle::Nw => Model::Nw,
+            Oracle::Wn => Model::Wn,
+            Oracle::Ww => Model::Ww,
+            Oracle::Any => Model::Any,
+        }
+    }
+}
+
+impl MemoryModel for Oracle {
+    fn name(&self) -> &str {
+        match self {
+            Oracle::Sc => "SC-oracle",
+            Oracle::Lc => "LC-oracle",
+            Oracle::Nn => "NN-oracle",
+            Oracle::Nw => "NW-oracle",
+            Oracle::Wn => "WN-oracle",
+            Oracle::Ww => "WW-oracle",
+            Oracle::Any => "Any-oracle",
+        }
+    }
+
+    fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
+        match self {
+            Oracle::Sc => sc_brute(c, phi),
+            Oracle::Lc => lc_brute(c, phi),
+            Oracle::Nn => qdag_brute(c, phi, NnPred::holds),
+            Oracle::Nw => qdag_brute(c, phi, NwPred::holds),
+            Oracle::Wn => qdag_brute(c, phi, WnPred::holds),
+            Oracle::Ww => qdag_brute(c, phi, WwPred::holds),
+            Oracle::Any => phi.is_valid_for(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::for_each_observer;
+    use crate::universe::Universe;
+    use std::ops::ControlFlow;
+
+    #[test]
+    fn oracle_roundtrips_through_model() {
+        for m in Model::ALL {
+            assert_eq!(Oracle::for_model(m).model(), m);
+        }
+    }
+
+    #[test]
+    fn oracle_names_are_tagged() {
+        for m in Model::ALL {
+            let o = Oracle::for_model(m);
+            assert!(o.name().starts_with(m.name()));
+            assert!(o.name().ends_with("-oracle"));
+        }
+    }
+
+    #[test]
+    fn oracles_agree_with_fast_checkers_on_a_small_universe() {
+        // The conformance crate sweeps far larger spaces; this is the
+        // in-crate sanity anchor.
+        let u = Universe::new(3, 1);
+        let _ = u.for_each_computation(|c| {
+            for_each_observer(c, |phi| {
+                for m in Model::ALL {
+                    assert_eq!(
+                        m.contains(c, phi),
+                        Oracle::for_model(m).contains(c, phi),
+                        "{m} disagrees with its oracle on {c:?} {phi:?}"
+                    );
+                }
+                ControlFlow::Continue(())
+            })
+        });
+    }
+
+    #[test]
+    fn oracles_reject_invalid_observers() {
+        use crate::op::{Location, Op};
+        let c = Computation::from_edges(1, &[], vec![Op::Write(Location::new(0))]);
+        let bad = ObserverFunction::bottom(1, 1);
+        for m in Model::ALL {
+            assert!(!Oracle::for_model(m).contains(&c, &bad));
+        }
+    }
+}

@@ -524,7 +524,7 @@ mod tests {
     #[test]
     fn compare_par_is_bit_identical_to_serial() {
         let u = Universe::new(3, 1);
-        for threads in [1, 4] {
+        for threads in [1, 2, 4, 7] {
             let cfg = SweepConfig::with_threads(threads);
             for (a, b) in [
                 (Model::Lc, Model::Nn),
@@ -605,7 +605,7 @@ mod tests {
     #[test]
     fn sweep_computations_counts_the_universe() {
         let u = Universe::new(3, 1);
-        for threads in [1, 4] {
+        for threads in [1, 2, 4, 7] {
             let counts = sweep_computations(
                 &u,
                 &SweepConfig::with_threads(threads),

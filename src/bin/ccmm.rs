@@ -8,6 +8,7 @@
 //! ccmm litmus [name]                               outcome tables per model
 //! ccmm backer --workload fib:8 [--procs P] [--cache N] [--page B] [--runs K]
 //! ccmm lattice [--nodes N]                         Figure 1 relation matrix
+//! ccmm conformance [--nodes N] [--self-test]       fast checkers vs oracles
 //! ccmm dot <computation-file>                      Graphviz export
 //! ```
 //!
@@ -223,6 +224,58 @@ fn cmd_lattice(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_conformance(args: &[String]) -> Result<bool, String> {
+    use ccmm::conformance::{report, run, self_test, HarnessConfig};
+    use ccmm::core::sweep::SweepConfig;
+    let mut cfg = HarnessConfig::default();
+    let mut out: Option<String> = None;
+    let mut do_self_test = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--nodes" => cfg.max_nodes = take("--nodes")?.parse().map_err(|_| "bad --nodes")?,
+            "--locs" => {
+                cfg.num_locations = take("--locs")?.parse().map_err(|_| "bad --locs")?;
+            }
+            "--random" => {
+                cfg.random_cases = take("--random")?.parse().map_err(|_| "bad --random")?;
+            }
+            "--seed" => cfg.seed = take("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--no-harvest" => cfg.harvest = false,
+            "--threads" => {
+                let t: usize = take("--threads")?.parse().map_err(|_| "bad --threads")?;
+                cfg.sweep = SweepConfig::with_threads(t);
+            }
+            "--out" => out = Some(take("--out")?),
+            "--self-test" => do_self_test = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if cfg.max_nodes > 5 {
+        return Err("--nodes > 5 is too slow for the CLI (factorial oracles)".into());
+    }
+    if do_self_test {
+        // Prove the pipeline catches a seeded bug before trusting a pass.
+        self_test(&cfg).map_err(|e| format!("self-test FAILED: {e}"))?;
+        println!("self-test: seeded LC mutation caught and shrunk — harness is live");
+    }
+    let r = run(&cfg);
+    println!("{r}");
+    for (i, d) in r.disagreements.iter().enumerate() {
+        println!();
+        print!("{}", report::render_witness(d));
+        if let Some(dir) = &out {
+            let (litmus, dot) = report::write_witness(std::path::Path::new(dir), i, d)
+                .map_err(|e| format!("writing witness: {e}"))?;
+            println!("# written to {} and {}", litmus.display(), dot.display());
+        }
+    }
+    Ok(r.ok())
+}
+
 fn cmd_dot(args: &[String]) -> Result<(), String> {
     let [cpath] = args else {
         return Err("usage: ccmm dot <computation>".into());
@@ -242,6 +295,10 @@ USAGE:
   ccmm litmus [name]                       litmus outcome counts per model
   ccmm backer [--workload W] [--procs P] [--cache N] [--page B] [--runs K]
   ccmm lattice [--nodes N]                 pairwise model relations (N ≤ 4)
+  ccmm conformance [--nodes N] [--locs L] [--random K] [--seed S] [--threads T]
+                   [--no-harvest] [--self-test] [--out DIR]
+                                           fast checkers vs oracles; exit 0 iff
+                                           no disagreement (witnesses shrunk)
   ccmm dot <computation>                   Graphviz export
 
 Computation/observer files use the text format of ccmm_core::parse
@@ -260,6 +317,7 @@ fn main() -> ExitCode {
         "litmus" => cmd_litmus(rest).map(|()| true),
         "backer" => cmd_backer(rest).map(|()| true),
         "lattice" => cmd_lattice(rest).map(|()| true),
+        "conformance" => cmd_conformance(rest),
         "dot" => cmd_dot(rest).map(|()| true),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

@@ -11,11 +11,14 @@
 //!   witnesses, litmus tests;
 //! * [`backer`] — the BACKER coherence algorithm (simulator + threaded
 //!   executor) with LC verification;
-//! * [`cilk`] — fork/join program builder and workloads.
+//! * [`cilk`] — fork/join program builder and workloads;
+//! * [`conformance`] — differential testing of every fast model checker
+//!   against its definitional oracle, with counterexample shrinking.
 //!
 //! Start with `examples/quickstart.rs`.
 
 pub use ccmm_backer as backer;
 pub use ccmm_cilk as cilk;
+pub use ccmm_conformance as conformance;
 pub use ccmm_core as core;
 pub use ccmm_dag as dag;

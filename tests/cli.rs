@@ -102,3 +102,39 @@ fn parse_errors_surface_with_line_numbers() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8(out.stderr).unwrap().contains("line 2"));
 }
+
+#[test]
+fn conformance_smoke_passes_and_exits_zero() {
+    let out = bin()
+        .args(["conformance", "--nodes", "3", "--random", "30", "--no-harvest", "--threads", "2"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(text.contains("all fast checkers agree"), "{text}");
+    assert!(text.contains("exhaustive"), "{text}");
+}
+
+#[test]
+fn conformance_self_test_reports_the_pipeline_is_live() {
+    let dir = std::env::temp_dir().join(format!("ccmm-conf-out-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = bin()
+        .args(["conformance", "--nodes", "3", "--random", "0", "--no-harvest", "--self-test"])
+        .args(["--out".as_ref(), dir.as_os_str()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("self-test"), "{text}");
+    // No disagreements on the healthy checkers, so no witness files.
+    assert!(!dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn conformance_rejects_oversized_bounds() {
+    let out = bin().args(["conformance", "--nodes", "9"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("too slow"));
+}

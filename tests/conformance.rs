@@ -1,0 +1,50 @@
+//! The conformance harness's acceptance tests: the exhaustive bound-4
+//! sweep finds zero fast-vs-oracle disagreements for all six models, and
+//! an intentionally seeded mutation is caught and shrunk small.
+
+use ccmm::conformance::{self_test, HarnessConfig};
+use ccmm::core::sweep::SweepConfig;
+use ccmm::core::Model;
+
+fn ci_cfg() -> HarnessConfig {
+    HarnessConfig { sweep: SweepConfig::with_threads(2), ..HarnessConfig::default() }
+}
+
+#[test]
+fn exhaustive_bound4_and_all_sources_report_zero_disagreements() {
+    // Default config: exhaustive to 4 nodes, 200 random cases, BACKER
+    // harvesting, and lock-augmented membership — every fast checker
+    // must agree with its definitional oracle everywhere.
+    let report = ccmm::conformance::run(&ci_cfg());
+    assert!(report.exhaustive_pairs > 10_000, "bound-4 sweep looks truncated: {report}");
+    assert!(report.random_pairs == 200 && report.harvested_pairs > 0 && report.lock_pairs > 0);
+    let mut detail = String::new();
+    for d in &report.disagreements {
+        detail.push_str(&ccmm::conformance::report::render_witness(d));
+    }
+    assert!(report.ok(), "fast checkers diverge from the definitions:\n{report}\n{detail}");
+}
+
+#[test]
+fn seeded_lc_mutation_is_caught_and_shrunk_to_at_most_six_nodes() {
+    // self_test runs the harness against a deliberately broken fast
+    // checker (LC answered as NN on ≥4-node computations — coherence
+    // forgotten exactly where the smallest separator exists) and fails
+    // unless the bug is caught AND some witness shrinks to ≤ 6 nodes.
+    let report = self_test(&ci_cfg()).expect("the seeded mutation must be caught and shrunk");
+    let best = report
+        .disagreements
+        .iter()
+        .filter(|d| d.original.model == Model::Lc)
+        .min_by_key(|d| d.shrunk.c.node_count())
+        .expect("an LC disagreement was collected");
+    assert!(
+        best.shrunk.c.node_count() <= 6,
+        "witness too big: {} nodes",
+        best.shrunk.c.node_count()
+    );
+    // The minimal LC/NN separator is the 4-node Figure-4 pattern; the
+    // shrinker should reach it exactly.
+    assert_eq!(best.shrunk.c.node_count(), 4);
+    assert_eq!(best.shrunk.c.num_locations(), 1);
+}

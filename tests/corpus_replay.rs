@@ -1,0 +1,60 @@
+//! Replays the curated `corpus/` directory: every witness entry's
+//! membership assertions against both the fast checkers and the oracles,
+//! and the golden litmus outcome tables against freshly computed ones.
+//!
+//! Regenerate the golden files with `CCMM_BLESS=1 cargo test --test
+//! corpus_replay` after an intentional model change; the diff then shows
+//! exactly which outcomes moved.
+
+use ccmm::conformance::corpus::{check_entry, check_golden, load_dir, render_golden};
+use ccmm::core::litmus::standard_tests;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn corpus_entries_replay_cleanly() {
+    let entries = load_dir(&corpus_dir()).expect("corpus directory is readable");
+    assert!(entries.len() >= 7, "expected the curated corpus, found {} entries", entries.len());
+    let mut failures = Vec::new();
+    for e in &entries {
+        failures.extend(check_entry(e));
+    }
+    assert!(failures.is_empty(), "corpus replay failed:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn corpus_covers_the_separating_witnesses() {
+    let entries = load_dir(&corpus_dir()).expect("corpus directory is readable");
+    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    for needed in ["fig2", "fig3", "fig4", "mp", "sb", "corr", "iriw"] {
+        assert!(
+            names.iter().any(|n| n.to_lowercase().contains(needed)),
+            "corpus is missing a {needed} entry (have: {names:?})"
+        );
+    }
+}
+
+#[test]
+fn golden_litmus_outcomes_are_stable() {
+    let bless = std::env::var("CCMM_BLESS").is_ok_and(|v| v == "1");
+    let dir = corpus_dir().join("golden");
+    let tests = standard_tests();
+    let mut failures = Vec::new();
+    for name in ["MP", "SB", "CoRR", "IRIW"] {
+        let test = tests.iter().find(|t| t.name == name).expect("standard test exists");
+        let path = dir.join(format!("{name}.golden"));
+        if bless {
+            std::fs::create_dir_all(&dir).expect("create golden dir");
+            std::fs::write(&path, render_golden(test)).expect("write golden");
+            continue;
+        }
+        let stored = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing golden {}: {e}; run with CCMM_BLESS=1 to create", path.display())
+        });
+        failures.extend(check_golden(test, &stored));
+    }
+    assert!(failures.is_empty(), "golden outcome drift:\n{}", failures.join("\n"));
+}

@@ -142,3 +142,95 @@ fn race_free_workloads_have_deterministic_online_reads() {
         assert_eq!(s.observer().get(loc, r), want, "read {r}");
     }
 }
+
+#[test]
+fn constructible_models_never_jam_on_any_reveal_order() {
+    // Property (Theorems 10 and 19): SC and LC are constructible, so a
+    // greedy online player survives *any* adversary — any computation,
+    // revealed in any topological order. Random computations are drawn
+    // from the conformance generator and each is replayed in several
+    // random linear extensions; nodes are renumbered to arrival order,
+    // which is what OnlineSession expects.
+    use ccmm::conformance::sources::random_computation;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(2024);
+    for case in 0..25 {
+        let c = random_computation(&mut rng, 6, 2);
+        for _ in 0..3 {
+            // A random linear extension: repeatedly pick a ready node.
+            let n = c.node_count();
+            let mut placed: Vec<NodeId> = Vec::with_capacity(n);
+            let mut position = vec![usize::MAX; n];
+            while placed.len() < n {
+                let ready: Vec<NodeId> = c
+                    .nodes()
+                    .filter(|&u| {
+                        position[u.index()] == usize::MAX
+                            && c.dag()
+                                .predecessors(u)
+                                .iter()
+                                .all(|p| position[p.index()] != usize::MAX)
+                    })
+                    .collect();
+                let pick = ready[rng.gen_range(0..ready.len())];
+                position[pick.index()] = placed.len();
+                placed.push(pick);
+            }
+            for model in [Model::Sc, Model::Lc] {
+                let mut s = OnlineSession::new(model, c.num_locations());
+                for &u in &placed {
+                    let preds: Vec<NodeId> = c
+                        .dag()
+                        .predecessors(u)
+                        .iter()
+                        .map(|p| NodeId::new(position[p.index()]))
+                        .collect();
+                    s.reveal(&preds, c.op(u)).unwrap_or_else(|stuck| {
+                        panic!(
+                            "{model} jammed on case {case}, reveal order {placed:?}, \
+                             at op {:?} — constructible models must never jam\n{:?}",
+                            stuck.op, c
+                        )
+                    });
+                }
+                assert_eq!(s.computation().node_count(), n);
+                assert!(model.contains(s.computation(), s.observer()));
+            }
+        }
+    }
+}
+
+#[test]
+fn greedy_nn_jam_on_figure_4_is_still_reproducible() {
+    // Regression pin for the online face of Theorem 25 (NN is not
+    // constructible): a membership-preserving but short-sighted NN
+    // player that makes the crosswise Figure-4 choices reaches a state
+    // with no future, and the very next joint read jams the session.
+    let a = NodeId::new(0);
+    let b = NodeId::new(1);
+    let mut s = OnlineSession::new(Nn::default(), 1);
+    s.reveal(&[], Op::Write(l(0))).expect("A places");
+    s.reveal(&[], Op::Write(l(0))).expect("B places");
+    s.reveal_choose(&[a, b], Op::Read(l(0)), |cands| {
+        cands.iter().position(|p| p.get(l(0), NodeId::new(2)) == Some(a)).expect("C can observe A")
+    })
+    .expect("C places");
+    s.reveal_choose(&[a, b], Op::Read(l(0)), |cands| {
+        cands.iter().position(|p| p.get(l(0), NodeId::new(3)) == Some(b)).expect("D can observe B")
+    })
+    .expect("D places");
+    // The session state is exactly the corpus's Figure-4 witness: in NN,
+    // out of LC — the constructible core has been left.
+    assert!(Nn::default().contains(s.computation(), s.observer()));
+    assert!(!Lc.contains(s.computation(), s.observer()));
+    let stuck = s
+        .reveal(&[NodeId::new(2), NodeId::new(3)], Op::Read(l(0)))
+        .expect_err("the joint read after the crossing must jam");
+    assert_eq!(stuck.computation.node_count(), 5);
+    // Lookahead-1 greedy play refuses the trap outright on the full dag.
+    let full = ccmm::core::witness::figure4_full(Op::Read(l(0)));
+    assert!(greedy_survives(Lc, &full, 0), "LC survives the same reveals");
+    assert!(greedy_survives(Nn::default(), &full, 1), "lookahead dodges the corner");
+}

@@ -108,37 +108,7 @@ proptest! {
 
     #[test]
     fn lock_serializations_extend_the_dag((n, eb, oc, locs) in arb_inputs(6), a in 0usize..6, b in 0usize..6) {
-        let c = make_computation(n, &eb, &oc, locs);
-        let a = a % n;
-        let mut b = b % n;
-        if a == b {
-            // Two sections on the same node would need a self-loop edge;
-            // pick a distinct node (n ≥ 2 by the strategy).
-            b = (b + 1) % n;
-        }
-        // Use single-node critical sections at two arbitrary nodes.
-        let lock = Lock(0);
-        let locked = LockedComputation::new(
-            c.clone(),
-            vec![
-                CriticalSection { lock, acquire: NodeId::new(a), release: NodeId::new(a) },
-                CriticalSection { lock, acquire: NodeId::new(b), release: NodeId::new(b) },
-            ],
-        )
-        .unwrap();
-        let sers = locked.serializations();
-        prop_assert!(!sers.is_empty(), "some serialization must exist");
-        for s in &sers {
-            prop_assert!(c.dag().is_relaxation_of(s.dag()), "serialization must contain the dag");
-            prop_assert_eq!(s.node_count(), c.node_count());
-            if a != b {
-                // The two sections are ordered one way or the other.
-                prop_assert!(
-                    s.precedes(NodeId::new(a), NodeId::new(b))
-                        || s.precedes(NodeId::new(b), NodeId::new(a))
-                );
-            }
-        }
+        check_lock_serializations_extend(n, &eb, &oc, locs, a, b);
     }
 
     #[test]
@@ -173,4 +143,155 @@ proptest! {
         prop_assert!(!violation, "monotonicity through serialization violated");
         prop_assert!(checked > 0);
     }
+}
+
+/// The property behind `lock_serializations_extend_the_dag`, shared by
+/// the proptest strategy and the regression-seed replay below. Plain
+/// `assert!`s so a failure aborts either caller identically.
+fn check_lock_serializations_extend(
+    n: usize,
+    edge_bits: &[bool],
+    op_codes: &[u8],
+    locs: usize,
+    a: usize,
+    b: usize,
+) {
+    let c = make_computation(n, edge_bits, op_codes, locs);
+    let a = a % n;
+    let mut b = b % n;
+    if a == b {
+        // Two sections on the same node would need a self-loop edge;
+        // pick a distinct node (n ≥ 2 by the strategy).
+        b = (b + 1) % n;
+    }
+    // Use single-node critical sections at two arbitrary nodes.
+    let lock = Lock(0);
+    let locked = LockedComputation::new(
+        c.clone(),
+        vec![
+            CriticalSection { lock, acquire: NodeId::new(a), release: NodeId::new(a) },
+            CriticalSection { lock, acquire: NodeId::new(b), release: NodeId::new(b) },
+        ],
+    )
+    .unwrap();
+    let sers = locked.serializations();
+    assert!(!sers.is_empty(), "some serialization must exist");
+    for s in &sers {
+        assert!(c.dag().is_relaxation_of(s.dag()), "serialization must contain the dag");
+        assert_eq!(s.node_count(), c.node_count());
+        if a != b {
+            // The two sections are ordered one way or the other.
+            assert!(
+                s.precedes(NodeId::new(a), NodeId::new(b))
+                    || s.precedes(NodeId::new(b), NodeId::new(a))
+            );
+        }
+    }
+}
+
+/// One shrunk case recorded in the `.proptest-regressions` file.
+#[derive(Debug, PartialEq)]
+struct RecordedCase {
+    n: usize,
+    edge_bits: Vec<bool>,
+    op_codes: Vec<u8>,
+    locs: usize,
+    a: usize,
+    b: usize,
+}
+
+/// Parses the `# shrinks to (n, eb, oc, locs) = (...), a = X, b = Y`
+/// comment of a `cc` line.
+fn parse_recorded_case(comment: &str) -> Option<RecordedCase> {
+    let args = comment.split_once("= (")?.1;
+    let (n_str, rest) = args.split_once(',')?;
+    let n = n_str.trim().parse().ok()?;
+    let (eb_str, rest) = rest.trim().strip_prefix('[')?.split_once(']')?;
+    let edge_bits = eb_str
+        .split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| t.trim().parse::<bool>())
+        .collect::<Result<Vec<_>, _>>()
+        .ok()?;
+    let (oc_str, rest) =
+        rest.trim().trim_start_matches(',').trim().strip_prefix('[')?.split_once(']')?;
+    let op_codes = oc_str
+        .split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| t.trim().parse::<u8>())
+        .collect::<Result<Vec<_>, _>>()
+        .ok()?;
+    let (locs_str, rest) = rest.trim().trim_start_matches(',').trim().split_once(')')?;
+    let locs = locs_str.trim().parse().ok()?;
+    let a = rest
+        .split_once("a =")?
+        .1
+        .trim()
+        .split(|ch: char| !ch.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()?;
+    let b = rest
+        .split_once("b =")?
+        .1
+        .trim()
+        .split(|ch: char| !ch.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()?;
+    Some(RecordedCase { n, edge_bits, op_codes, locs, a, b })
+}
+
+/// The vendored proptest has no persistence layer, so the seeds in
+/// `proptest_analysis.proptest-regressions` were silently NOT being
+/// replayed. This test restores the guarantee the file's header
+/// promises: every recorded shrunk case re-runs against the property it
+/// once broke, before any novel random cases matter.
+#[test]
+fn recorded_regression_seeds_still_pass() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/proptest_analysis.proptest-regressions");
+    let text = std::fs::read_to_string(path).expect("regression file is checked in");
+    let mut replayed = 0;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with("cc ") {
+            continue;
+        }
+        let comment = line
+            .split_once('#')
+            .unwrap_or_else(|| panic!("line {}: cc entry lacks its shrunk-case comment", i + 1))
+            .1;
+        let case = parse_recorded_case(comment)
+            .unwrap_or_else(|| panic!("line {}: unparseable shrunk case `{comment}`", i + 1));
+        check_lock_serializations_extend(
+            case.n,
+            &case.edge_bits,
+            &case.op_codes,
+            case.locs,
+            case.a,
+            case.b,
+        );
+        replayed += 1;
+    }
+    assert!(replayed >= 1, "the checked-in regression seed must be replayed");
+}
+
+#[test]
+fn regression_file_parser_reads_the_recorded_shape() {
+    let case = parse_recorded_case(
+        " shrinks to (n, eb, oc, locs) = (4, [false, false, false, false, false, false], \
+         [0, 0, 0, 0], 1), a = 5, b = 1",
+    )
+    .expect("parses");
+    assert_eq!(
+        case,
+        RecordedCase {
+            n: 4,
+            edge_bits: vec![false; 6],
+            op_codes: vec![0, 0, 0, 0],
+            locs: 1,
+            a: 5,
+            b: 1
+        }
+    );
 }

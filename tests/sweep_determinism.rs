@@ -1,0 +1,64 @@
+//! Pins the sweep engine's determinism contract across thread counts:
+//! counts AND witnesses must be bit-identical to the serial scan at
+//! `CCMM_THREADS` ∈ {1, 2, 4, 7}, both when the count is passed
+//! explicitly and when it arrives through the environment variable.
+//!
+//! Everything lives in ONE test function: `CCMM_THREADS` is process
+//! global, and the test harness runs `#[test]` functions concurrently —
+//! two tests mutating the variable would race.
+
+use ccmm::core::model::Model;
+use ccmm::core::relation::compare;
+use ccmm::core::sweep::{compare_par, sweep_computations, SweepConfig};
+use ccmm::core::universe::Universe;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+#[test]
+fn sweeps_are_bit_identical_to_serial_at_every_thread_count() {
+    let u = Universe::new(3, 1);
+    let serial = compare(&Model::Lc, &Model::Nn, &u);
+    let serial_counts: usize =
+        sweep_computations(&u, &SweepConfig::serial(), || 0usize, |acc, _, _| *acc += 1)
+            .iter()
+            .sum();
+    assert_eq!(serial_counts, u.count_computations());
+
+    for threads in THREAD_COUNTS {
+        // Explicit thread count.
+        let cfg = SweepConfig::with_threads(threads);
+        check_identical(&serial, &compare_par(&Model::Lc, &Model::Nn, &u, &cfg), threads);
+        let counts: usize =
+            sweep_computations(&u, &cfg, || 0usize, |acc, _, _| *acc += 1).iter().sum();
+        assert_eq!(counts, serial_counts, "count drift at {threads} threads");
+
+        // Same thread count by way of CCMM_THREADS.
+        std::env::set_var("CCMM_THREADS", threads.to_string());
+        let env_cfg = SweepConfig::from_env();
+        assert_eq!(env_cfg.threads, threads, "CCMM_THREADS not honoured");
+        check_identical(&serial, &compare_par(&Model::Lc, &Model::Nn, &u, &env_cfg), threads);
+    }
+    std::env::remove_var("CCMM_THREADS");
+
+    // Garbage and empty values fall back to available parallelism (≥ 1).
+    std::env::set_var("CCMM_THREADS", "not-a-number");
+    assert!(SweepConfig::from_env().threads >= 1);
+    std::env::set_var("CCMM_THREADS", "0");
+    assert!(SweepConfig::from_env().threads >= 1, "zero threads must be rejected");
+    std::env::remove_var("CCMM_THREADS");
+}
+
+fn check_identical(
+    serial: &ccmm::core::relation::Comparison,
+    par: &ccmm::core::relation::Comparison,
+    threads: usize,
+) {
+    assert_eq!(serial.relation, par.relation, "relation drift at {threads} threads");
+    assert_eq!(serial.both, par.both, "count drift at {threads} threads");
+    assert_eq!(serial.a_total, par.a_total, "count drift at {threads} threads");
+    assert_eq!(serial.b_total, par.b_total, "count drift at {threads} threads");
+    assert_eq!(serial.pairs_checked, par.pairs_checked, "visit drift at {threads} threads");
+    // Witnesses must be the serial scan's first witnesses, exactly.
+    assert_eq!(serial.a_only, par.a_only, "a_only witness drift at {threads} threads");
+    assert_eq!(serial.b_only, par.b_only, "b_only witness drift at {threads} threads");
+}
