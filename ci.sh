@@ -33,4 +33,12 @@ else
     cargo run -q --bin ccmm -- conformance --self-test
 fi
 
+if [[ "$fast" != "fast" ]]; then
+    echo "== perf smoke: bound-4 canonical sweep vs committed baseline =="
+    # Appends a fresh record to BENCH_sweep.json and fails if membership
+    # throughput fell more than 2x below the latest committed record of
+    # the same shape. Skipped in fast mode: debug-build timings are noise.
+    ./target/release/ccmm sweep --bound 4 --canonical --gate
+fi
+
 echo "CI OK"

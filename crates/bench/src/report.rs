@@ -105,6 +105,27 @@ pub fn emit(records: &[SweepRecord]) -> std::io::Result<String> {
     Ok(path)
 }
 
+/// The most recent record at [`bench_json_path`] matching the given
+/// experiment, engine, and universe shape — the committed baseline a
+/// perf gate compares a fresh measurement against. `None` when the file
+/// is missing, malformed, or has no matching record.
+pub fn latest_matching(experiment: &str, engine: &str, u: &Universe) -> Option<SweepRecord> {
+    let text = std::fs::read_to_string(bench_json_path()).ok()?;
+    let serde::Value::Seq(items) = serde_json::from_str::<serde::Value>(&text).ok()? else {
+        return None;
+    };
+    items
+        .into_iter()
+        .rev()
+        .filter_map(|v| serde::from_value::<SweepRecord, serde_json::Error>(v).ok())
+        .find(|r| {
+            r.experiment == experiment
+                && r.engine == engine
+                && r.max_nodes == u.max_nodes as u64
+                && r.num_locations == u.num_locations as u64
+        })
+}
+
 /// The number of (computation, observer) pairs in the universe — the
 /// size of the space a full sweep examines. Enumerates computations but
 /// counts observers in closed form per computation.
@@ -161,6 +182,16 @@ mod tests {
         let back: SweepRecord =
             serde::from_value::<_, serde_json::Error>(items[1].clone()).unwrap();
         assert_eq!(back, r2);
+        // Baseline lookup: most recent record matching experiment/engine/
+        // universe shape, scoped to the same env override.
+        let r3 = SweepRecord::new("a", "serial", &u, 2, Duration::from_millis(4), 8, 0);
+        emit(std::slice::from_ref(&r3)).unwrap();
+        assert_eq!(latest_matching("a", "serial", &u), Some(r3), "latest wins");
+        assert_eq!(latest_matching("b", "parallel", &u), Some(r2));
+        assert_eq!(latest_matching("a", "parallel", &u), None, "engine must match");
+        assert_eq!(latest_matching("a", "serial", &Universe::new(3, 1)), None, "shape must match");
+        std::env::set_var("CCMM_BENCH_JSON", dir.join("no_such_file.json"));
+        assert_eq!(latest_matching("a", "serial", &u), None, "missing file is no baseline");
         std::env::remove_var("CCMM_BENCH_JSON");
         let _ = std::fs::remove_file(&path);
     }

@@ -229,7 +229,7 @@ where
         &Universe::new(cfg.max_nodes, cfg.num_locations),
         &cfg.sweep,
         || (0u64, 0u64, Vec::<(usize, Disagreement)>::new()),
-        |acc, task_idx, c| {
+        |acc, task_idx, c, _| {
             let _ = for_each_observer(c, |phi| {
                 acc.0 += 1;
                 for (m, oracle) in &oracles {

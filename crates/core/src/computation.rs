@@ -118,6 +118,51 @@ impl Computation {
         self.reach.reaches_eq(u, v)
     }
 
+    /// Re-points this computation at a new dag **in place**, reusing the
+    /// reachability bitset storage ([`Reachability::rebuild`]) — the sweep
+    /// engine keeps one scratch `Computation` per worker and retargets it
+    /// once per poset task, so reachability is computed once per (canonical)
+    /// dag and shared by every op labelling of it, and the per-labelling
+    /// hot loop performs no `Reachability::new`. Ops are reset to `Nop`;
+    /// callers must follow with [`refresh_ops`] before use.
+    ///
+    /// [`refresh_ops`]: Computation::refresh_ops
+    pub(crate) fn retarget(&mut self, dag: &Dag) {
+        self.dag.clone_from(dag);
+        self.reach.rebuild(&self.dag);
+        self.ops.clear();
+        self.ops.resize(self.dag.node_count(), Op::Nop);
+        for w in &mut self.writes {
+            w.clear();
+        }
+        self.num_locations = 0;
+    }
+
+    /// Replaces the op labelling **in place** (same node count), reusing
+    /// the write-index storage. `writes` may keep empty trailing entries
+    /// beyond `num_locations`; [`writes_to`] tolerates that, and equality,
+    /// hashing, and serialization ignore derived fields entirely.
+    ///
+    /// [`writes_to`]: Computation::writes_to
+    pub(crate) fn refresh_ops(&mut self, ops: &[Op]) {
+        debug_assert_eq!(ops.len(), self.dag.node_count());
+        self.ops.clear();
+        self.ops.extend_from_slice(ops);
+        self.num_locations =
+            ops.iter().filter_map(|o| o.location()).map(|l| l.index() + 1).max().unwrap_or(0);
+        for w in &mut self.writes {
+            w.clear();
+        }
+        if self.writes.len() < self.num_locations {
+            self.writes.resize(self.num_locations, Vec::new());
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if let Op::Write(l) = op {
+                self.writes[l.index()].push(NodeId::new(i));
+            }
+        }
+    }
+
     /// The paper's *extension* of this computation by op `o`: one new node
     /// with the given direct predecessors.
     pub fn extend(&self, preds: &[NodeId], o: Op) -> Computation {
@@ -385,6 +430,39 @@ mod tests {
         let mut set = HashSet::new();
         set.insert(a);
         assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn retarget_and_refresh_match_fresh_construction() {
+        // One scratch computation driven through several shapes/labellings
+        // must be indistinguishable from freshly constructed values,
+        // including all derived fields.
+        let cases: Vec<Computation> = vec![
+            chain3(),
+            Computation::from_edges(2, &[], vec![Op::Write(l(1)), Op::Read(l(1))]),
+            Computation::empty(),
+            Computation::from_edges(
+                4,
+                &[(0, 1), (0, 2), (1, 3), (2, 3)],
+                vec![Op::Write(l(0)), Op::Write(l(2)), Op::Read(l(2)), Op::Nop],
+            ),
+            Computation::from_edges(1, &[], vec![Op::Read(l(0))]),
+        ];
+        let mut scratch = Computation::empty();
+        for fresh in &cases {
+            scratch.retarget(fresh.dag());
+            scratch.refresh_ops(fresh.ops());
+            assert_eq!(&scratch, fresh);
+            assert_eq!(scratch.num_locations(), fresh.num_locations());
+            for loc in 0..4 {
+                assert_eq!(scratch.writes_to(l(loc)), fresh.writes_to(l(loc)), "loc {loc}");
+            }
+            for u in fresh.nodes() {
+                for v in fresh.nodes() {
+                    assert_eq!(scratch.precedes(u, v), fresh.precedes(u, v), "{u} ≺ {v}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -123,11 +123,16 @@ impl BoundedConstructible {
         cfg: &SweepConfig,
     ) -> Self {
         // Materialise S₀ with a parallel sweep (poset-granular shards).
+        // The fixpoint keys survivor sets by *labelled* computation (every
+        // augmentation of every member must be present), so the
+        // materialisation always runs the labelled enumeration even when
+        // the caller's config asks for a canonical sweep.
+        let cfg = &SweepConfig { canonical: false, ..*cfg };
         let chunks = sweep_computations(
             u,
             cfg,
             Vec::new,
-            |acc: &mut Vec<(Computation, HashSet<ObserverFunction>)>, _, c| {
+            |acc: &mut Vec<(Computation, HashSet<ObserverFunction>)>, _, c, _| {
                 let mut set = HashSet::new();
                 let _ = for_each_observer(c, |phi| {
                     if model.contains(c, phi) {

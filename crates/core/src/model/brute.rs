@@ -6,18 +6,61 @@
 //! against its brute-force twin on random small computations.
 
 use crate::computation::Computation;
-use crate::last_writer::last_writer_function;
 use crate::observer::ObserverFunction;
-use crate::op::Location;
-use ccmm_dag::topo::TopoSorts;
+use crate::op::{Location, Op};
+use ccmm_dag::topo::for_each_topo_sort;
 use ccmm_dag::NodeId;
+use std::ops::ControlFlow;
+
+/// Whether `Φ` agrees with the last-writer function of sort `t` — at every
+/// location, or only at `only` when given. Scans the sort once, updating
+/// the `last` buffer in place (a write observes itself, so each node's
+/// own write is applied *before* comparison).
+fn sort_matches(
+    c: &Computation,
+    phi: &ObserverFunction,
+    t: &[NodeId],
+    only: Option<Location>,
+    last: &mut Vec<Option<NodeId>>,
+) -> bool {
+    last.clear();
+    last.resize(c.num_locations(), None);
+    for &u in t {
+        if let Op::Write(l) = c.op(u) {
+            last[l.index()] = Some(u);
+        }
+        match only {
+            Some(l) => {
+                if phi.get(l, u) != last[l.index()] {
+                    return false;
+                }
+            }
+            None => {
+                for l in c.locations() {
+                    if phi.get(l, u) != last[l.index()] {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
 
 /// Definition 17 verbatim: `∃T ∈ TS(C)` with `Φ = W_T` at every location.
 pub fn sc_brute(c: &Computation, phi: &ObserverFunction) -> bool {
     if !phi.is_valid_for(c) {
         return false;
     }
-    TopoSorts::new(c.dag()).any(|t| &last_writer_function(c, &t) == phi)
+    let mut last = Vec::new();
+    for_each_topo_sort(c.dag(), |t| {
+        if sort_matches(c, phi, t, None, &mut last) {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })
+    .is_break()
 }
 
 /// Definition 18 verbatim: for each `l`, `∃T ∈ TS(C)` with
@@ -26,11 +69,16 @@ pub fn lc_brute(c: &Computation, phi: &ObserverFunction) -> bool {
     if !phi.is_valid_for(c) {
         return false;
     }
+    let mut last = Vec::new();
     c.locations().all(|l| {
-        TopoSorts::new(c.dag()).any(|t| {
-            let wt = last_writer_function(c, &t);
-            c.nodes().all(|u| wt.get(l, u) == phi.get(l, u))
+        for_each_topo_sort(c.dag(), |t| {
+            if sort_matches(c, phi, t, Some(l), &mut last) {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
         })
+        .is_break()
     })
 }
 

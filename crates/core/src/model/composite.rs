@@ -12,7 +12,7 @@
 //!   — strictly between NN and both factors.
 
 use crate::computation::Computation;
-use crate::model::MemoryModel;
+use crate::model::{CheckScratch, MemoryModel};
 use crate::observer::ObserverFunction;
 
 /// The intersection `A ∩ B` — at least as strong as both factors.
@@ -40,6 +40,10 @@ impl<A: MemoryModel, B: MemoryModel> MemoryModel for Intersection<A, B> {
     fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
         self.a.contains(c, phi) && self.b.contains(c, phi)
     }
+
+    fn contains_with(&self, c: &Computation, phi: &ObserverFunction, s: &mut CheckScratch) -> bool {
+        self.a.contains_with(c, phi, s) && self.b.contains_with(c, phi, s)
+    }
 }
 
 /// The union `A ∪ B` — at least as weak as both factors.
@@ -66,6 +70,10 @@ impl<A: MemoryModel, B: MemoryModel> MemoryModel for Union<A, B> {
 
     fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
         self.a.contains(c, phi) || self.b.contains(c, phi)
+    }
+
+    fn contains_with(&self, c: &Computation, phi: &ObserverFunction, s: &mut CheckScratch) -> bool {
+        self.a.contains_with(c, phi, s) || self.b.contains_with(c, phi, s)
     }
 }
 

@@ -41,10 +41,22 @@
 //! revision of \[BFJ+96a\].
 
 use crate::computation::Computation;
-use crate::model::MemoryModel;
+use crate::model::{CheckScratch, MemoryModel};
 use crate::observer::ObserverFunction;
 use crate::op::Location;
+use ccmm_dag::bitset::BitSet;
 use ccmm_dag::NodeId;
+
+/// Reusable Q-dag buffers: the strictly-between node set.
+pub(crate) struct DagScratch {
+    mid: BitSet,
+}
+
+impl Default for DagScratch {
+    fn default() -> Self {
+        DagScratch { mid: BitSet::new(0) }
+    }
+}
 
 /// A dag-consistency predicate `Q(l, u, v, w)`.
 ///
@@ -132,6 +144,17 @@ impl<Q: QPredicate> QDag<Q> {
         c: &Computation,
         phi: &ObserverFunction,
     ) -> Option<(Location, Option<NodeId>, NodeId, NodeId)> {
+        Self::find_violation_with(c, phi, &mut DagScratch::default())
+    }
+
+    /// [`find_violation`] reusing caller-provided scratch buffers.
+    ///
+    /// [`find_violation`]: QDag::find_violation
+    pub(crate) fn find_violation_with(
+        c: &Computation,
+        phi: &ObserverFunction,
+        s: &mut DagScratch,
+    ) -> Option<(Location, Option<NodeId>, NodeId, NodeId)> {
         let reach = c.reach();
         for l in c.locations() {
             for w in c.nodes() {
@@ -152,8 +175,8 @@ impl<Q: QPredicate> QDag<Q> {
                     if phi.get(l, u) != phi_w {
                         continue;
                     }
-                    let mid = reach.between(u, w);
-                    for v_idx in mid.iter() {
+                    reach.between_into(u, w, &mut s.mid);
+                    for v_idx in s.mid.iter() {
                         let v = NodeId::new(v_idx);
                         if Q::holds(c, l, Some(u), v, w) && phi.get(l, v) != phi_w {
                             return Some((l, Some(u), v, w));
@@ -173,6 +196,10 @@ impl<Q: QPredicate> MemoryModel for QDag<Q> {
 
     fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
         phi.is_valid_for(c) && Self::find_violation(c, phi).is_none()
+    }
+
+    fn contains_with(&self, c: &Computation, phi: &ObserverFunction, s: &mut CheckScratch) -> bool {
+        phi.is_valid_for(c) && Self::find_violation_with(c, phi, &mut s.dag).is_none()
     }
 }
 

@@ -28,7 +28,7 @@
 //! because each block contains exactly one write, at its front.
 
 use crate::computation::Computation;
-use crate::model::MemoryModel;
+use crate::model::{CheckScratch, MemoryModel};
 use crate::observer::ObserverFunction;
 use crate::op::Location;
 use ccmm_dag::NodeId;
@@ -37,70 +37,92 @@ use ccmm_dag::NodeId;
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Lc;
 
+/// Reusable LC buffers: per-node block assignment, the contraction
+/// adjacency matrix, and the Kahn working vectors.
+#[derive(Default)]
+pub(crate) struct LcScratch {
+    assign: Vec<usize>,
+    block_of_write: Vec<usize>,
+    adj: Vec<bool>,
+    indeg: Vec<usize>,
+    ready: Vec<usize>,
+    order: Vec<usize>,
+}
+
 /// Block index per node for location `l`: 0 is the ⊥-block, `i + 1` the
-/// block of the `i`-th write to `l`.
-fn block_assignment(c: &Computation, phi: &ObserverFunction, l: Location) -> Vec<usize> {
+/// block of the `i`-th write to `l`. Writes into `s.assign`.
+fn block_assignment_into(c: &Computation, phi: &ObserverFunction, l: Location, s: &mut LcScratch) {
     let writes = c.writes_to(l);
-    let mut block_of_write = vec![usize::MAX; c.node_count()];
+    s.block_of_write.clear();
+    s.block_of_write.resize(c.node_count(), usize::MAX);
     for (i, &w) in writes.iter().enumerate() {
-        block_of_write[w.index()] = i + 1;
+        s.block_of_write[w.index()] = i + 1;
     }
-    c.nodes()
-        .map(|u| match phi.get(l, u) {
+    s.assign.clear();
+    for u in c.nodes() {
+        s.assign.push(match phi.get(l, u) {
             None => 0,
-            Some(w) => block_of_write[w.index()],
-        })
-        .collect()
+            Some(w) => s.block_of_write[w.index()],
+        });
+    }
 }
 
 /// Per-location feasibility: contraction digraph acyclic, ⊥-block a source.
-fn location_ok(c: &Computation, phi: &ObserverFunction, l: Location) -> bool {
-    lc_block_order(c, phi, l).is_some()
+fn location_ok(c: &Computation, phi: &ObserverFunction, l: Location, s: &mut LcScratch) -> bool {
+    lc_block_order_into(c, phi, l, s)
 }
 
 /// Computes a topological order of the blocks for location `l` with the
-/// ⊥-block first, or `None` if the contraction is infeasible.
-fn lc_block_order(c: &Computation, phi: &ObserverFunction, l: Location) -> Option<Vec<usize>> {
+/// ⊥-block first into `s.order`, or returns `false` if the contraction is
+/// infeasible. Allocation-free once the scratch has grown.
+fn lc_block_order_into(
+    c: &Computation,
+    phi: &ObserverFunction,
+    l: Location,
+    s: &mut LcScratch,
+) -> bool {
     let nblocks = c.writes_to(l).len() + 1;
-    let assign = block_assignment(c, phi, l);
+    block_assignment_into(c, phi, l, s);
     // Contraction adjacency (deduplicated via a matrix; nblocks is small
     // relative to nodes and bounded by writes + 1).
-    let mut adj = vec![false; nblocks * nblocks];
+    s.adj.clear();
+    s.adj.resize(nblocks * nblocks, false);
     for (u, v) in c.dag().edges() {
-        let (a, b) = (assign[u.index()], assign[v.index()]);
+        let (a, b) = (s.assign[u.index()], s.assign[v.index()]);
         if a != b {
             if b == 0 {
                 // An edge into the ⊥-block: some node observing a write
                 // precedes a node observing ⊥ — impossible under any T.
-                return None;
+                return false;
             }
-            adj[a * nblocks + b] = true;
+            s.adj[a * nblocks + b] = true;
         }
     }
     // Kahn over blocks.
-    let mut indeg = vec![0usize; nblocks];
+    s.indeg.clear();
+    s.indeg.resize(nblocks, 0);
     for a in 0..nblocks {
         for b in 0..nblocks {
-            if adj[a * nblocks + b] {
-                indeg[b] += 1;
+            if s.adj[a * nblocks + b] {
+                s.indeg[b] += 1;
             }
         }
     }
-    let mut ready: Vec<usize> = (0..nblocks).filter(|&b| indeg[b] == 0).collect();
-    ready.sort_unstable();
-    let mut order = Vec::with_capacity(nblocks);
-    while let Some(b) = ready.pop() {
-        order.push(b);
+    s.ready.clear();
+    s.ready.extend((0..nblocks).filter(|&b| s.indeg[b] == 0));
+    s.order.clear();
+    while let Some(b) = s.ready.pop() {
+        s.order.push(b);
         for t in 0..nblocks {
-            if adj[b * nblocks + t] {
-                indeg[t] -= 1;
-                if indeg[t] == 0 {
-                    ready.push(t);
+            if s.adj[b * nblocks + t] {
+                s.indeg[t] -= 1;
+                if s.indeg[t] == 0 {
+                    s.ready.push(t);
                 }
             }
         }
     }
-    (order.len() == nblocks).then_some(order)
+    s.order.len() == nblocks
 }
 
 impl Lc {
@@ -115,10 +137,13 @@ impl Lc {
         for (i, u) in global.iter().enumerate() {
             pos[u.index()] = i;
         }
+        let mut scratch = LcScratch::default();
         let mut out = Vec::with_capacity(c.num_locations());
         for l in c.locations() {
-            let block_order = lc_block_order(c, phi, l)?;
-            let assign = block_assignment(c, phi, l);
+            if !lc_block_order_into(c, phi, l, &mut scratch) {
+                return None;
+            }
+            let (block_order, assign) = (&scratch.order, &scratch.assign);
             let writes = c.writes_to(l);
             // Rank of each block in the chosen block order; ⊥-block must be
             // first among nonempty blocks — our Kahn treats it as a source
@@ -128,7 +153,7 @@ impl Lc {
             // ⊥-block to rank first to be safe.
             let mut rank = vec![0usize; block_order.len()];
             let mut r = 1;
-            for &b in &block_order {
+            for &b in block_order {
                 if b == 0 {
                     rank[0] = 0;
                 } else {
@@ -156,7 +181,12 @@ impl MemoryModel for Lc {
     }
 
     fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
-        phi.is_valid_for(c) && c.locations().all(|l| location_ok(c, phi, l))
+        let mut s = LcScratch::default();
+        phi.is_valid_for(c) && c.locations().all(|l| location_ok(c, phi, l, &mut s))
+    }
+
+    fn contains_with(&self, c: &Computation, phi: &ObserverFunction, s: &mut CheckScratch) -> bool {
+        phi.is_valid_for(c) && c.locations().all(|l| location_ok(c, phi, l, &mut s.lc))
     }
 }
 
@@ -180,10 +210,11 @@ mod tests {
             &[(0, 1), (0, 2), (1, 3), (2, 3)],
             vec![Op::Write(l(0)), Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
         );
-        for t in ccmm_dag::topo::all_topo_sorts(c.dag()) {
-            let phi = last_writer_function(&c, &t);
+        let _ = ccmm_dag::topo::for_each_topo_sort(c.dag(), |t| {
+            let phi = last_writer_function(&c, t);
             assert!(Lc.contains(&c, &phi), "W_T ∉ LC for T={t:?}");
-        }
+            std::ops::ControlFlow::Continue(())
+        });
     }
 
     #[test]

@@ -29,6 +29,27 @@ pub use dagcons::{DynQ, Nn, Nw, QDag, QPredicate, Wn, Ww};
 pub use lc::Lc;
 pub use sc::Sc;
 
+/// Reusable working memory for membership checks.
+///
+/// The sweep hot loop runs millions of `contains` calls; a `CheckScratch`
+/// owned by each worker lets every checker reuse its bitsets, last-writer
+/// tables, memo sets and Kahn buffers instead of reallocating them per
+/// pair. Pass it to [`MemoryModel::contains_with`]; plain
+/// [`MemoryModel::contains`] remains the allocating convenience form.
+#[derive(Default)]
+pub struct CheckScratch {
+    pub(crate) sc: sc::ScScratch,
+    pub(crate) lc: lc::LcScratch,
+    pub(crate) dag: dagcons::DagScratch,
+}
+
+impl CheckScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A memory model: a decidable set of (computation, observer) pairs.
 ///
 /// Implementations must return `false` for pairs where `phi` is not a
@@ -40,6 +61,23 @@ pub trait MemoryModel {
 
     /// Membership test `(c, phi) ∈ Δ`.
     fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool;
+
+    /// Membership test reusing caller-provided scratch buffers.
+    ///
+    /// Semantically identical to [`contains`]; checkers with non-trivial
+    /// working state (SC's memoised search, LC's block contraction, the
+    /// Q-dag interval scan) override this to run allocation-free. The
+    /// default ignores the scratch.
+    ///
+    /// [`contains`]: MemoryModel::contains
+    fn contains_with(
+        &self,
+        c: &Computation,
+        phi: &ObserverFunction,
+        _scratch: &mut CheckScratch,
+    ) -> bool {
+        self.contains(c, phi)
+    }
 }
 
 /// The weakest memory model: every valid (computation, observer) pair.
@@ -124,6 +162,18 @@ impl MemoryModel for Model {
 
     fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
         Model::contains(*self, c, phi)
+    }
+
+    fn contains_with(&self, c: &Computation, phi: &ObserverFunction, s: &mut CheckScratch) -> bool {
+        match self {
+            Model::Sc => Sc.contains_with(c, phi, s),
+            Model::Lc => Lc.contains_with(c, phi, s),
+            Model::Nn => Nn::default().contains_with(c, phi, s),
+            Model::Nw => Nw::default().contains_with(c, phi, s),
+            Model::Wn => Wn::default().contains_with(c, phi, s),
+            Model::Ww => Ww::default().contains_with(c, phi, s),
+            Model::Any => AnyObserver.contains(c, phi),
+        }
     }
 }
 

@@ -16,7 +16,7 @@
 //!   state are interchangeable, so failed states are cached.
 
 use crate::computation::Computation;
-use crate::model::MemoryModel;
+use crate::model::{CheckScratch, MemoryModel};
 use crate::observer::ObserverFunction;
 use crate::op::Op;
 use ccmm_dag::bitset::BitSet;
@@ -27,14 +27,56 @@ use std::collections::HashSet;
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Sc;
 
-struct Search<'a> {
-    c: &'a Computation,
-    phi: &'a ObserverFunction,
+/// Reusable SC-search state: schedule bitset, last-writer table, Kahn
+/// in-degrees, the order under construction, and the failed-state memo.
+/// Small instances (`n ≤ 64`, `≤ 8` locations) pack memo keys into two
+/// machine words; larger ones fall back to the general representation.
+pub(crate) struct ScScratch {
     scheduled: BitSet,
+    sched_mask: u64,
     last: Vec<Option<NodeId>>,
     indeg: Vec<usize>,
     order: Vec<NodeId>,
-    failed: HashSet<(BitSet, Vec<Option<NodeId>>)>,
+    failed_packed: HashSet<(u64, u64)>,
+    failed_general: HashSet<(BitSet, Vec<Option<NodeId>>)>,
+}
+
+impl Default for ScScratch {
+    fn default() -> Self {
+        ScScratch {
+            scheduled: BitSet::new(0),
+            sched_mask: 0,
+            last: Vec::new(),
+            indeg: Vec::new(),
+            order: Vec::new(),
+            failed_packed: HashSet::new(),
+            failed_general: HashSet::new(),
+        }
+    }
+}
+
+impl ScScratch {
+    fn prepare(&mut self, c: &Computation) {
+        let n = c.node_count();
+        self.scheduled.reset(n);
+        self.sched_mask = 0;
+        self.last.clear();
+        self.last.resize(c.num_locations(), None);
+        self.indeg.clear();
+        self.indeg.extend((0..n).map(|u| c.dag().in_degree(NodeId::new(u))));
+        self.order.clear();
+        self.failed_packed.clear();
+        self.failed_general.clear();
+    }
+}
+
+struct Search<'a> {
+    c: &'a Computation,
+    phi: &'a ObserverFunction,
+    s: &'a mut ScScratch,
+    /// Memo keys fit in `(u64, u64)`: node set in the first word, last
+    /// writers at 8 bits per location (0 = ⊥, else index + 1) in the second.
+    packed: bool,
 }
 
 impl Search<'_> {
@@ -44,37 +86,49 @@ impl Search<'_> {
             if self.c.op(u).is_write_to(l) {
                 continue; // Φ(l, u) = u by Def. 2.3; satisfied on append.
             }
-            if self.phi.get(l, u) != self.last[l.index()] {
+            if self.phi.get(l, u) != self.s.last[l.index()] {
                 return false;
             }
         }
         true
     }
 
+    fn packed_key(&self) -> (u64, u64) {
+        let mut lasts = 0u64;
+        for (i, w) in self.s.last.iter().enumerate() {
+            lasts |= w.map_or(0, |u| u.index() as u64 + 1) << (8 * i);
+        }
+        (self.s.sched_mask, lasts)
+    }
+
     fn run(&mut self) -> bool {
-        if self.order.len() == self.c.node_count() {
+        if self.s.order.len() == self.c.node_count() {
             return true;
         }
-        let key = (self.scheduled.clone(), self.last.clone());
-        if self.failed.contains(&key) {
+        if self.packed {
+            if self.s.failed_packed.contains(&self.packed_key()) {
+                return false;
+            }
+        } else if self.s.failed_general.contains(&(self.s.scheduled.clone(), self.s.last.clone())) {
             return false;
         }
         for u in self.c.nodes() {
-            if self.scheduled.contains(u.index()) || self.indeg[u.index()] != 0 {
+            if self.s.scheduled.contains(u.index()) || self.s.indeg[u.index()] != 0 {
                 continue;
             }
             if !self.appendable(u) {
                 continue;
             }
             // Apply.
-            self.scheduled.insert(u.index());
-            self.order.push(u);
+            self.s.scheduled.insert(u.index());
+            self.s.sched_mask |= 1u64.wrapping_shl(u.index() as u32);
+            self.s.order.push(u);
             for &v in self.c.dag().successors(u) {
-                self.indeg[v.index()] -= 1;
+                self.s.indeg[v.index()] -= 1;
             }
             let saved = if let Op::Write(l) = self.c.op(u) {
-                let s = self.last[l.index()];
-                self.last[l.index()] = Some(u);
+                let s = self.s.last[l.index()];
+                self.s.last[l.index()] = Some(u);
                 Some((l, s))
             } else {
                 None
@@ -84,36 +138,41 @@ impl Search<'_> {
             }
             // Undo.
             if let Some((l, s)) = saved {
-                self.last[l.index()] = s;
+                self.s.last[l.index()] = s;
             }
             for &v in self.c.dag().successors(u) {
-                self.indeg[v.index()] += 1;
+                self.s.indeg[v.index()] += 1;
             }
-            self.order.pop();
-            self.scheduled.remove(u.index());
+            self.s.order.pop();
+            self.s.sched_mask &= !1u64.wrapping_shl(u.index() as u32);
+            self.s.scheduled.remove(u.index());
         }
-        self.failed.insert(key);
+        if self.packed {
+            let key = self.packed_key();
+            self.s.failed_packed.insert(key);
+        } else {
+            self.s.failed_general.insert((self.s.scheduled.clone(), self.s.last.clone()));
+        }
         false
     }
 }
 
 impl Sc {
+    /// Runs the membership search with caller-provided scratch; on success
+    /// the witnessing sort is left in `s.order`.
+    pub(crate) fn solve(c: &Computation, phi: &ObserverFunction, s: &mut ScScratch) -> bool {
+        if !phi.is_valid_for(c) {
+            return false;
+        }
+        s.prepare(c);
+        let packed = c.node_count() <= 64 && c.num_locations() <= 8;
+        Search { c, phi, s, packed }.run()
+    }
+
     /// Finds a topological sort `T` with `Φ = W_T` everywhere, or `None`.
     pub fn witness(c: &Computation, phi: &ObserverFunction) -> Option<Vec<NodeId>> {
-        if !phi.is_valid_for(c) {
-            return None;
-        }
-        let n = c.node_count();
-        let mut search = Search {
-            c,
-            phi,
-            scheduled: BitSet::new(n),
-            last: vec![None; c.num_locations()],
-            indeg: (0..n).map(|u| c.dag().in_degree(NodeId::new(u))).collect(),
-            order: Vec::with_capacity(n),
-            failed: HashSet::new(),
-        };
-        search.run().then_some(search.order)
+        let mut s = ScScratch::default();
+        Sc::solve(c, phi, &mut s).then(|| std::mem::take(&mut s.order))
     }
 }
 
@@ -124,6 +183,10 @@ impl MemoryModel for Sc {
 
     fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
         Sc::witness(c, phi).is_some()
+    }
+
+    fn contains_with(&self, c: &Computation, phi: &ObserverFunction, s: &mut CheckScratch) -> bool {
+        Sc::solve(c, phi, &mut s.sc)
     }
 }
 
@@ -148,11 +211,12 @@ mod tests {
             &[(0, 1), (0, 2)],
             vec![Op::Write(l(0)), Op::Read(l(0)), Op::Write(l(0)), Op::Read(l(0))],
         );
-        for t in ccmm_dag::topo::all_topo_sorts(c.dag()) {
-            let phi = last_writer_function(&c, &t);
+        let _ = ccmm_dag::topo::for_each_topo_sort(c.dag(), |t| {
+            let phi = last_writer_function(&c, t);
             let w = Sc::witness(&c, &phi).expect("W_T must be in SC");
             assert_eq!(last_writer_function(&c, &w), phi);
-        }
+            std::ops::ControlFlow::Continue(())
+        });
     }
 
     #[test]

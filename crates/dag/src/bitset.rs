@@ -130,6 +130,27 @@ impl BitSet {
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
+    /// Re-initialises to an empty set of `capacity` bits in place,
+    /// reusing the existing word storage (no allocation when the new
+    /// capacity needs no more words than the old one).
+    pub fn reset(&mut self, capacity: usize) {
+        let words = capacity.div_ceil(WORD_BITS);
+        self.words.truncate(words);
+        for w in &mut self.words {
+            *w = 0;
+        }
+        self.words.resize(words, 0);
+        self.capacity = capacity;
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing storage
+    /// (`clone_from` without the derive's field-by-field indirection).
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.capacity = other.capacity;
+    }
+
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Ones<'_> {
         Ones { words: &self.words, current: self.words.first().copied().unwrap_or(0), word_idx: 0 }

@@ -1,0 +1,291 @@
+//! Canonical forms of small posets, with orbit and automorphism counts.
+//!
+//! The universe sweeps in `ccmm-core` enumerate *naturally labelled*
+//! posets (see [`crate::poset`]), but every memory-model property they
+//! check is invariant under dag isomorphism — the sweep does `e(P)/|Aut|`
+//! times more work per isomorphism class than necessary. This module
+//! computes, for any dag small enough to enumerate linear extensions:
+//!
+//! * a **canonical key** identifying the isomorphism class: the
+//!   lexicographically least ancestor-mask vector over all linear
+//!   extensions, which is exactly the *first* member of the class in
+//!   [`crate::poset::for_each_poset`] enumeration order;
+//! * the **orbit size**: how many naturally labelled posets are
+//!   isomorphic to it (`e(P) / |Aut(P)|` — two linear extensions induce
+//!   the same labelling iff they differ by an automorphism);
+//! * the **automorphism count** `|Aut(P)|`.
+//!
+//! A sweep over canonical representatives only, weighting each by its
+//! orbit, therefore reproduces labelled-sweep counts *exactly* — integer
+//! for integer — while scanning A000112 (1, 1, 2, 5, 16, 63, 318)
+//! classes per size instead of A006455 (1, 1, 2, 7, 40, 357, 4824)
+//! labelled posets.
+
+use crate::graph::{Dag, NodeId};
+use crate::poset::for_each_poset_indexed;
+use crate::topo::for_each_topo_sort;
+use std::ops::ControlFlow;
+
+/// The isomorphism-class data of one dag: canonical key, orbit size, and
+/// automorphism count. Produced by [`canon_info`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanonInfo {
+    /// The class's canonical ancestor-mask vector: entry `j` is the bitmask
+    /// of (relabelled) ancestors of node `j` in the canonical labelling.
+    pub key: Vec<u32>,
+    /// Whether the input dag *is* the canonical representative (its own
+    /// ancestor-mask vector equals `key`; always false when the dag is not
+    /// naturally labelled).
+    pub is_canonical: bool,
+    /// Number of naturally labelled posets isomorphic to the input:
+    /// `extensions / automorphisms`.
+    pub orbit: u64,
+    /// `|Aut(P)|`, the number of poset automorphisms.
+    pub automorphisms: u64,
+    /// `e(P)`, the number of linear extensions.
+    pub extensions: u64,
+}
+
+/// Computes the [`CanonInfo`] of `dag`, which must be transitively closed
+/// (every strict precedence pair an explicit edge, as the poset enumerator
+/// emits). Enumerates all linear extensions, so `n` must stay small.
+pub fn canon_info(dag: &Dag) -> CanonInfo {
+    let n = dag.node_count();
+    assert!(n <= 10, "canonical form enumerates linear extensions; n={n} is too large");
+    // Each linear extension t relabels the poset: new node j = t[j], whose
+    // ancestor mask is the positions of t[j]'s ancestors under t. The
+    // relabelled poset is naturally labelled (ancestors precede in t), and
+    // every natural labelling of the class arises this way.
+    let mut pos = vec![0usize; n];
+    let mut vectors: Vec<Vec<u32>> = Vec::new();
+    let _ = for_each_topo_sort(dag, |t| {
+        for (i, u) in t.iter().enumerate() {
+            pos[u.index()] = i;
+        }
+        let key: Vec<u32> = t
+            .iter()
+            .map(|&v| dag.predecessors(v).iter().fold(0u32, |m, u| m | (1 << pos[u.index()])))
+            .collect();
+        vectors.push(key);
+        ControlFlow::Continue(())
+    });
+    let extensions = vectors.len() as u64;
+    // The dag's own vector, defined only when it is naturally labelled.
+    let self_key: Option<Vec<u32>> = dag.edges().all(|(u, v)| u.index() < v.index()).then(|| {
+        (0..n)
+            .map(|v| {
+                dag.predecessors(NodeId::new(v)).iter().fold(0u32, |m, u| m | (1 << u.index()))
+            })
+            .collect()
+    });
+    vectors.sort_unstable();
+    vectors.dedup();
+    let orbit = vectors.len() as u64;
+    let key = vectors.into_iter().next().expect("every dag has at least one linear extension");
+    CanonInfo {
+        is_canonical: self_key.as_ref() == Some(&key),
+        orbit,
+        automorphisms: extensions / orbit,
+        extensions,
+        key,
+    }
+}
+
+/// The canonical key of `dag`'s isomorphism class (see [`canon_info`]).
+pub fn canonical_key(dag: &Dag) -> Vec<u32> {
+    canon_info(dag).key
+}
+
+/// The canonical representative of `dag`'s class as a transitive-closure
+/// dag — the first isomorphic naturally labelled poset in
+/// [`crate::poset::for_each_poset`] order. Isomorphic dags map to the
+/// *same* dag, so it can key shared caches (e.g. memoised reachability).
+pub fn canonical_form(dag: &Dag) -> Dag {
+    let key = canonical_key(dag);
+    let mut edges = Vec::new();
+    for (v, &mask) in key.iter().enumerate() {
+        for u in 0..v {
+            if mask & (1 << u) != 0 {
+                edges.push((u, v));
+            }
+        }
+    }
+    Dag::from_edges(key.len(), &edges).expect("canonical key encodes forward edges")
+}
+
+/// Calls `f` with every **canonical** naturally labelled poset on `n`
+/// elements — one representative per isomorphism class — passing the
+/// poset's *global* index in [`for_each_poset_indexed`] order (so indices
+/// remain comparable with the labelled enumeration: the representative is
+/// the first member of its class, and witness merging by smallest index
+/// still reproduces the serial labelled scan) and its [`CanonInfo`].
+pub fn for_each_canonical_poset<F: FnMut(usize, &Dag, &CanonInfo)>(n: usize, mut f: F) {
+    for_each_poset_indexed(n, |idx, dag| {
+        let info = canon_info(dag);
+        if info.is_canonical {
+            f(idx, dag, &info);
+        }
+    });
+}
+
+/// The number of isomorphism classes of posets on `n` elements (A000112).
+pub fn count_canonical_posets(n: usize) -> usize {
+    let mut c = 0;
+    for_each_canonical_poset(n, |_, _, _| c += 1);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poset::count_posets;
+
+    #[test]
+    fn class_counts_match_oeis_a000112() {
+        // Unlabelled posets: 1, 1, 2, 5, 16, 63 for n = 0..=5.
+        for (n, expect) in [1usize, 1, 2, 5, 16, 63].into_iter().enumerate() {
+            assert_eq!(count_canonical_posets(n), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn orbit_sums_recover_labelled_counts() {
+        // Σ orbit over class representatives = # naturally labelled posets
+        // (A006455) — the exactness guarantee the weighted sweep rests on.
+        for n in 0..=5 {
+            let mut total = 0u64;
+            for_each_canonical_poset(n, |_, _, info| total += info.orbit);
+            assert_eq!(total, count_posets(n) as u64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn orbit_times_automorphisms_is_extension_count() {
+        for n in 0..=5 {
+            crate::poset::for_each_poset(n, |dag| {
+                let info = canon_info(dag);
+                assert_eq!(
+                    info.orbit * info.automorphisms,
+                    info.extensions,
+                    "orbit-stabilizer violated on {dag:?}"
+                );
+                assert_eq!(info.extensions, crate::topo::count_topo_sorts(dag) as u64);
+            });
+        }
+    }
+
+    #[test]
+    fn representative_is_first_of_its_class_in_enumeration_order() {
+        // Scanning posets in order, the first time each key appears must
+        // be its canonical member, and later members must not be canonical.
+        for n in 0..=4 {
+            let mut seen: std::collections::HashMap<Vec<u32>, u64> =
+                std::collections::HashMap::new();
+            crate::poset::for_each_poset(n, |dag| {
+                let info = canon_info(dag);
+                match seen.get_mut(&info.key) {
+                    None => {
+                        assert!(info.is_canonical, "first of class not canonical: {dag:?}");
+                        seen.insert(info.key.clone(), 1);
+                    }
+                    Some(count) => {
+                        assert!(!info.is_canonical, "second canonical member: {dag:?}");
+                        *count += 1;
+                    }
+                }
+            });
+            // Each class was seen exactly `orbit` times.
+            for_each_canonical_poset(n, |_, dag, info| {
+                assert_eq!(seen[&info.key], info.orbit, "orbit miscount for {dag:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent_and_canonical() {
+        crate::poset::for_each_poset(4, |dag| {
+            let rep = canonical_form(dag);
+            let info = canon_info(&rep);
+            assert!(info.is_canonical);
+            assert_eq!(info.key, canonical_key(dag));
+            assert_eq!(canonical_form(&rep), rep);
+        });
+    }
+
+    #[test]
+    fn known_small_classes() {
+        // n = 2: the chain and the antichain.
+        let chain = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        let anti = Dag::edgeless(2);
+        let ci = canon_info(&chain);
+        assert_eq!((ci.orbit, ci.automorphisms, ci.extensions), (1, 1, 1));
+        let ai = canon_info(&anti);
+        assert_eq!((ai.orbit, ai.automorphisms, ai.extensions), (1, 2, 2));
+        // The "V" poset 0→1, 0→2 has an automorphism swapping 1 and 2.
+        let v = Dag::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let vi = canon_info(&v);
+        assert_eq!((vi.orbit, vi.automorphisms, vi.extensions), (1, 2, 2));
+        // One chain edge + isolated node: 3 labellings, trivial Aut.
+        let mixed = Dag::from_edges(3, &[(0, 1)]).unwrap();
+        let mi = canon_info(&mixed);
+        assert_eq!(mi.orbit, 3);
+        assert_eq!(mi.automorphisms, 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = canon_info(&Dag::empty());
+        assert_eq!((e.orbit, e.automorphisms, e.extensions), (1, 1, 1));
+        assert!(e.is_canonical && e.key.is_empty());
+        let s = canon_info(&Dag::edgeless(1));
+        assert_eq!((s.orbit, s.automorphisms, s.extensions), (1, 1, 1));
+        assert!(s.is_canonical);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Relabels `dag` by `perm` (new index of old node `u` is `perm[u]`).
+    fn relabel(dag: &Dag, perm: &[usize]) -> Dag {
+        let edges: Vec<(usize, usize)> =
+            dag.edges().map(|(u, v)| (perm[u.index()], perm[v.index()])).collect();
+        Dag::from_edges(dag.node_count(), &edges).expect("relabelling preserves acyclicity")
+    }
+
+    proptest! {
+        #[test]
+        fn canonical_key_is_relabelling_invariant(
+            poset_idx in 0usize..357,
+            perm_seed in 0usize..720,
+        ) {
+            // Pick the poset_idx-th 5-node poset and a permutation of its
+            // nodes by Lehmer decoding of perm_seed.
+            let mut target = None;
+            let mut i = 0;
+            crate::poset::for_each_poset(5, |d| {
+                if i == poset_idx {
+                    target = Some(d.clone());
+                }
+                i += 1;
+            });
+            let dag = target.expect("357 posets of size 5");
+            let mut avail: Vec<usize> = (0..5).collect();
+            let mut perm = Vec::new();
+            let mut s = perm_seed;
+            for k in (1..=5).rev() {
+                perm.push(avail.remove(s % k));
+                s /= k;
+            }
+            let relabelled = relabel(&dag, &perm);
+            prop_assert_eq!(canonical_key(&relabelled), canonical_key(&dag));
+            prop_assert_eq!(canonical_form(&relabelled), canonical_form(&dag));
+            let a = canon_info(&dag);
+            let b = canon_info(&relabelled);
+            prop_assert_eq!(a.orbit, b.orbit);
+            prop_assert_eq!(a.automorphisms, b.automorphisms);
+        }
+    }
+}

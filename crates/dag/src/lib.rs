@@ -12,6 +12,9 @@
 //!   (`TS(G)`, the basis of the SC and LC model definitions);
 //! * [`poset`]: exhaustive enumeration of naturally labelled posets, the
 //!   computation universes used to machine-check the paper's theorems;
+//! * [`canon`]: canonical forms, orbit sizes, and automorphism counts for
+//!   small posets — the symmetry-reduced (up-to-isomorphism) enumeration
+//!   behind the weighted universe sweeps;
 //! * [`generate`] and [`sp`]: random and series-parallel (fork/join)
 //!   dag generators;
 //! * [`dot`]: Graphviz export.
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod canon;
 pub mod dot;
 pub mod error;
 pub mod generate;

@@ -20,25 +20,38 @@ pub struct Reachability {
 impl Reachability {
     /// Builds the transitive closure of `dag` in `O(V · E / 64)` time.
     pub fn new(dag: &Dag) -> Self {
+        let mut r = Reachability { desc: Vec::new(), anc: Vec::new() };
+        r.rebuild(dag);
+        r
+    }
+
+    /// Recomputes the closure for `dag` in place, reusing the existing
+    /// bitset storage — the sweep hot loop retargets one `Reachability`
+    /// per poset instead of allocating `2n` fresh bitsets per labelling.
+    pub fn rebuild(&mut self, dag: &Dag) {
         let n = dag.node_count();
         let order = dag.toposort_kahn().expect("Dag invariant guarantees acyclicity");
-        let mut desc = vec![BitSet::new(n); n];
+        self.desc.truncate(n);
+        self.anc.truncate(n);
+        self.desc.resize_with(n, || BitSet::new(n));
+        self.anc.resize_with(n, || BitSet::new(n));
+        for b in self.desc.iter_mut().chain(self.anc.iter_mut()) {
+            b.reset(n);
+        }
         // Reverse topological order: successors are finished first.
         for &u in order.iter().rev() {
-            let mut d = BitSet::new(n);
+            let mut d = std::mem::take(&mut self.desc[u.index()]);
             for &v in dag.successors(u) {
                 d.insert(v.index());
-                d.union_with(&desc[v.index()]);
+                d.union_with(&self.desc[v.index()]);
             }
-            desc[u.index()] = d;
+            self.desc[u.index()] = d;
         }
-        let mut anc = vec![BitSet::new(n); n];
-        for (u, d) in desc.iter().enumerate() {
+        for (u, d) in self.desc.iter().enumerate() {
             for v in d.iter() {
-                anc[v].insert(u);
+                self.anc[v].insert(u);
             }
         }
-        Reachability { desc, anc }
     }
 
     /// Number of nodes of the underlying dag.
@@ -81,6 +94,14 @@ impl Reachability {
         let mut b = self.desc[u.index()].clone();
         b.intersect_with(&self.anc[w.index()]);
         b
+    }
+
+    /// [`between`], writing into a caller-provided set (no allocation).
+    ///
+    /// [`between`]: Reachability::between
+    pub fn between_into(&self, u: NodeId, w: NodeId, out: &mut BitSet) {
+        out.copy_from(&self.desc[u.index()]);
+        out.intersect_with(&self.anc[w.index()]);
     }
 
     /// Number of comparable ordered pairs `(u, v)` with `u ≺ v`.

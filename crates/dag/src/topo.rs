@@ -171,9 +171,63 @@ impl Iterator for TopoSorts<'_> {
     }
 }
 
+/// Calls `f` with every topological sort of `dag`, in the same
+/// lexicographic order as [`TopoSorts`], through one reused buffer: unlike
+/// the iterator, no `Vec` is allocated per sort, which matters to the
+/// brute-force oracles that enumerate `TS(G)` per `(C, Φ)` pair. The slice
+/// is only valid for the duration of the call; return `Break` to stop.
+pub fn for_each_topo_sort<F>(dag: &Dag, mut f: F) -> std::ops::ControlFlow<()>
+where
+    F: FnMut(&[NodeId]) -> std::ops::ControlFlow<()>,
+{
+    fn rec<F>(
+        dag: &Dag,
+        indeg: &mut [usize],
+        placed: &mut [bool],
+        prefix: &mut Vec<NodeId>,
+        f: &mut F,
+    ) -> std::ops::ControlFlow<()>
+    where
+        F: FnMut(&[NodeId]) -> std::ops::ControlFlow<()>,
+    {
+        let n = indeg.len();
+        if prefix.len() == n {
+            return f(prefix);
+        }
+        for u in 0..n {
+            if placed[u] || indeg[u] != 0 {
+                continue;
+            }
+            placed[u] = true;
+            prefix.push(NodeId::new(u));
+            for &v in dag.successors(NodeId::new(u)) {
+                indeg[v.index()] -= 1;
+            }
+            let flow = rec(dag, indeg, placed, prefix, f);
+            for &v in dag.successors(NodeId::new(u)) {
+                indeg[v.index()] += 1;
+            }
+            prefix.pop();
+            placed[u] = false;
+            flow?;
+        }
+        std::ops::ControlFlow::Continue(())
+    }
+    let n = dag.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|u| dag.in_degree(NodeId::new(u))).collect();
+    let mut placed = vec![false; n];
+    let mut prefix = Vec::with_capacity(n);
+    rec(dag, &mut indeg, &mut placed, &mut prefix, &mut f)
+}
+
 /// All topological sorts, collected. Intended for small dags only.
 pub fn all_topo_sorts(dag: &Dag) -> Vec<Vec<NodeId>> {
-    TopoSorts::new(dag).collect()
+    let mut out = Vec::new();
+    let _ = for_each_topo_sort(dag, |t| {
+        out.push(t.to_vec());
+        std::ops::ControlFlow::Continue(())
+    });
+    out
 }
 
 /// The number of topological sorts (linear extensions) of `dag`.
@@ -182,7 +236,12 @@ pub fn all_topo_sorts(dag: &Dag) -> Vec<Vec<NodeId>> {
 /// [`count_topo_sorts_dp`], which is exponential only in the number of
 /// reachable *downsets* (far fewer than sorts on most dags).
 pub fn count_topo_sorts(dag: &Dag) -> usize {
-    TopoSorts::new(dag).count()
+    let mut count = 0;
+    let _ = for_each_topo_sort(dag, |_| {
+        count += 1;
+        std::ops::ControlFlow::Continue(())
+    });
+    count
 }
 
 /// Downset dynamic program over prefixes: `count(D)` = number of linear
@@ -331,6 +390,44 @@ mod tests {
         // Distinctness.
         let set: std::collections::HashSet<_> = sorts.iter().collect();
         assert_eq!(set.len(), sorts.len());
+    }
+
+    #[test]
+    fn for_each_matches_iterator_order_exactly() {
+        let d = Dag::from_edges(5, &[(0, 2), (1, 2), (2, 4), (3, 4)]).unwrap();
+        let mut streamed = Vec::new();
+        let flow = for_each_topo_sort(&d, |t| {
+            streamed.push(t.to_vec());
+            std::ops::ControlFlow::Continue(())
+        });
+        assert!(flow.is_continue());
+        assert_eq!(streamed, TopoSorts::new(&d).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_early_exit() {
+        let d = Dag::edgeless(4);
+        let mut seen = 0;
+        let flow = for_each_topo_sort(&d, |_| {
+            seen += 1;
+            if seen == 3 {
+                std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            }
+        });
+        assert!(flow.is_break());
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn for_each_on_empty_dag_yields_one_empty_sort() {
+        let mut seen = Vec::new();
+        let _ = for_each_topo_sort(&Dag::empty(), |t| {
+            seen.push(t.to_vec());
+            std::ops::ControlFlow::Continue(())
+        });
+        assert_eq!(seen, vec![Vec::<NodeId>::new()]);
     }
 
     #[test]

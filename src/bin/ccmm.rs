@@ -8,6 +8,7 @@
 //! ccmm litmus [name]                               outcome tables per model
 //! ccmm backer --workload fib:8 [--procs P] [--cache N] [--page B] [--runs K]
 //! ccmm lattice [--nodes N]                         Figure 1 relation matrix
+//! ccmm sweep [--bound N] [--canonical] [--gate]    exhaustive verification
 //! ccmm conformance [--nodes N] [--self-test]       fast checkers vs oracles
 //! ccmm dot <computation-file>                      Graphviz export
 //! ```
@@ -224,6 +225,191 @@ fn cmd_lattice(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(args: &[String]) -> Result<bool, String> {
+    use ccmm::core::constructible::BoundedConstructible;
+    use ccmm::core::enumerate::for_each_observer;
+    use ccmm::core::model::CheckScratch;
+    use ccmm::core::sweep::{
+        check_constructible_aug_par, lattice_par, sweep_computations, SweepConfig,
+    };
+    use ccmm::core::universe::Universe;
+    use ccmm::core::{MemoryModel, Nn};
+    use ccmm_bench::report::{emit, latest_matching, SweepRecord};
+    use std::ops::ControlFlow;
+    use std::time::Instant;
+
+    let mut bound = 4usize;
+    let mut locs = 1usize;
+    let mut canonical = false;
+    let mut alloc = false;
+    let mut gate = false;
+    let mut threads: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--bound" => bound = take("--bound")?.parse().map_err(|_| "bad --bound")?,
+            "--locs" => locs = take("--locs")?.parse().map_err(|_| "bad --locs")?,
+            "--canonical" => canonical = true,
+            "--alloc" => alloc = true,
+            "--gate" => gate = true,
+            "--threads" => {
+                threads = Some(take("--threads")?.parse().map_err(|_| "bad --threads")?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if bound > 5 {
+        return Err("--bound > 5 is out of reach even canonically (357 → 4824 posets)".into());
+    }
+    let cfg = match threads {
+        Some(t) => SweepConfig::with_threads(t),
+        None => SweepConfig::from_env(),
+    }
+    .canonical(canonical);
+    // `--alloc` measures the pre-scratch membership path (fresh checker
+    // state allocated per pair) so BENCH_sweep.json can hold the baseline
+    // the canonical+scratch engine is compared against.
+    let engine = match (canonical, alloc) {
+        (true, false) => "canonical",
+        (true, true) => "canonical-alloc",
+        (false, false) => "labelled",
+        (false, true) => "labelled-alloc",
+    };
+    let u = Universe::new(bound, locs);
+    println!(
+        "sweep: bound {bound}, {locs} location(s), {} computations, {engine} enumeration, {} thread(s)",
+        u.count_computations_closed(),
+        cfg.threads
+    );
+    let models = [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww];
+    let mut records = Vec::new();
+
+    // Phase 1: weighted membership counts for every model. The weighted
+    // pair total is the labelled universe's pair count regardless of
+    // enumeration mode, so pairs/sec is comparable across engines — the
+    // number the perf gate watches.
+    let t0 = Instant::now();
+    let per_worker = sweep_computations(
+        &u,
+        &cfg,
+        || (0u64, [0u64; 6], CheckScratch::new()),
+        |acc, _, c, w| {
+            let _ = for_each_observer(c, |phi| {
+                acc.0 += w;
+                for (i, m) in models.iter().enumerate() {
+                    let member = if alloc {
+                        m.contains(c, phi)
+                    } else {
+                        m.contains_with(c, phi, &mut acc.2)
+                    };
+                    acc.1[i] += w * member as u64;
+                }
+                ControlFlow::Continue(())
+            });
+        },
+    );
+    let wall = t0.elapsed();
+    let (mut pairs, mut counts) = (0u64, [0u64; 6]);
+    for (p, cs, _) in per_worker {
+        pairs += p;
+        for (i, c) in cs.iter().enumerate() {
+            counts[i] += c;
+        }
+    }
+    println!("memberships over {pairs} (computation, observer) pairs [{:.2?}]:", wall);
+    for (m, n) in models.iter().zip(counts) {
+        println!("  {:<4} {n}", m.name());
+    }
+    let membership =
+        SweepRecord::new("cli_sweep/memberships", engine, &u, cfg.threads, wall, pairs, 0);
+    let throughput = membership.pairs_per_sec;
+    records.push(membership);
+
+    // Phase 2: the full pairwise relation lattice (Figure 1 at this bound).
+    let t0 = Instant::now();
+    let lattice = lattice_par(&models, &u, &cfg);
+    let wall = t0.elapsed();
+    println!("lattice [{:.2?}]:", wall);
+    print!("{:<6}", "");
+    for m in &models {
+        print!("{:>4}", m.name());
+    }
+    println!();
+    for row in &lattice {
+        print!("  {:<4}", row.name);
+        for r in &row.relations {
+            print!("{:>4}", r.to_string());
+        }
+        println!();
+    }
+    records.push(SweepRecord::new("cli_sweep/lattice", engine, &u, cfg.threads, wall, 0, 0));
+
+    // Phase 3: constructibility. The NN Δ* worklist fixpoint (labelled by
+    // necessity — survivor sets are keyed by concrete computations), then
+    // the one-step augmentation check for every model.
+    let t0 = Instant::now();
+    let fix = BoundedConstructible::compute_worklist(&Nn::default(), &u, &cfg);
+    let wall = t0.elapsed();
+    println!(
+        "NN* worklist fixpoint: {} surviving pairs, {} deleted, {} pass(es) [{:.2?}]",
+        fix.total_pairs(),
+        fix.deleted,
+        fix.passes,
+        wall
+    );
+    records.push(SweepRecord::new(
+        "cli_sweep/nnstar_worklist",
+        "worklist",
+        &u,
+        cfg.threads,
+        wall,
+        fix.total_pairs() as u64,
+        fix.passes,
+    ));
+    let t0 = Instant::now();
+    for m in &models {
+        match check_constructible_aug_par(m, &u, &cfg) {
+            Ok(()) => println!("  {:<4} constructible up to bound {bound}", m.name()),
+            Err(w) => println!(
+                "  {:<4} NOT constructible: dead end at {} nodes appending {:?}",
+                m.name(),
+                w.c.node_count(),
+                w.op
+            ),
+        }
+    }
+    println!("constructibility checks [{:.2?}]", t0.elapsed());
+
+    // Perf gate: compare the membership throughput against the committed
+    // baseline BEFORE appending the fresh records.
+    let baseline = latest_matching("cli_sweep/memberships", engine, &u);
+    let path = emit(&records).map_err(|e| format!("writing bench json: {e}"))?;
+    println!("recorded {} sweep record(s) to {path}", records.len());
+    if gate {
+        match baseline {
+            None => println!("gate: no committed baseline for this shape — recorded only"),
+            Some(b) => {
+                println!(
+                    "gate: {throughput:.0} pairs/sec vs baseline {:.0} (threshold {:.0})",
+                    b.pairs_per_sec,
+                    b.pairs_per_sec / 2.0
+                );
+                if throughput < b.pairs_per_sec / 2.0 {
+                    return Err(format!(
+                        "perf gate FAILED: {throughput:.0} pairs/sec is more than 2x below \
+                         the committed baseline {:.0}",
+                        b.pairs_per_sec
+                    ));
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
 fn cmd_conformance(args: &[String]) -> Result<bool, String> {
     use ccmm::conformance::{report, run, self_test, HarnessConfig};
     use ccmm::core::sweep::SweepConfig;
@@ -251,11 +437,24 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
             }
             "--out" => out = Some(take("--out")?),
             "--self-test" => do_self_test = true,
+            "--canonical" => cfg.sweep = cfg.sweep.canonical(true),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if cfg.max_nodes > 5 {
         return Err("--nodes > 5 is too slow for the CLI (factorial oracles)".into());
+    }
+    if cfg.max_nodes >= 5 && !cfg.sweep.canonical {
+        // The labelled bound-5 sweep is 90 202 computations against
+        // factorial oracles; only the symmetry-reduced enumeration keeps
+        // it CLI-tolerable. The report below prints the pair/check counts
+        // actually run (canonical representatives, not weighted totals).
+        cfg.sweep = cfg.sweep.canonical(true);
+        println!(
+            "note: nodes >= 5 sweeps canonical representatives only \
+             (one per isomorphism class; checker-vs-oracle verdicts are \
+             isomorphism-invariant)"
+        );
     }
     if do_self_test {
         // Prove the pipeline catches a seeded bug before trusting a pass.
@@ -295,10 +494,17 @@ USAGE:
   ccmm litmus [name]                       litmus outcome counts per model
   ccmm backer [--workload W] [--procs P] [--cache N] [--page B] [--runs K]
   ccmm lattice [--nodes N]                 pairwise model relations (N ≤ 4)
+  ccmm sweep [--bound N] [--locs L] [--canonical] [--threads T] [--gate]
+                                           exhaustive verification at bound N
+                                           (N ≤ 5): memberships, lattice, NN*
+                                           fixpoint, constructibility; appends
+                                           timings to BENCH_sweep.json; --gate
+                                           fails on >2x throughput regression
   ccmm conformance [--nodes N] [--locs L] [--random K] [--seed S] [--threads T]
-                   [--no-harvest] [--self-test] [--out DIR]
+                   [--canonical] [--no-harvest] [--self-test] [--out DIR]
                                            fast checkers vs oracles; exit 0 iff
-                                           no disagreement (witnesses shrunk)
+                                           no disagreement (witnesses shrunk);
+                                           nodes >= 5 sweeps canonical reps
   ccmm dot <computation>                   Graphviz export
 
 Computation/observer files use the text format of ccmm_core::parse
@@ -317,6 +523,7 @@ fn main() -> ExitCode {
         "litmus" => cmd_litmus(rest).map(|()| true),
         "backer" => cmd_backer(rest).map(|()| true),
         "lattice" => cmd_lattice(rest).map(|()| true),
+        "sweep" => cmd_sweep(rest),
         "conformance" => cmd_conformance(rest),
         "dot" => cmd_dot(rest).map(|()| true),
         "--help" | "-h" | "help" => {

@@ -19,7 +19,7 @@ fn sweeps_are_bit_identical_to_serial_at_every_thread_count() {
     let u = Universe::new(3, 1);
     let serial = compare(&Model::Lc, &Model::Nn, &u);
     let serial_counts: usize =
-        sweep_computations(&u, &SweepConfig::serial(), || 0usize, |acc, _, _| *acc += 1)
+        sweep_computations(&u, &SweepConfig::serial(), || 0usize, |acc, _, _, _| *acc += 1)
             .iter()
             .sum();
     assert_eq!(serial_counts, u.count_computations());
@@ -29,7 +29,7 @@ fn sweeps_are_bit_identical_to_serial_at_every_thread_count() {
         let cfg = SweepConfig::with_threads(threads);
         check_identical(&serial, &compare_par(&Model::Lc, &Model::Nn, &u, &cfg), threads);
         let counts: usize =
-            sweep_computations(&u, &cfg, || 0usize, |acc, _, _| *acc += 1).iter().sum();
+            sweep_computations(&u, &cfg, || 0usize, |acc, _, _, _| *acc += 1).iter().sum();
         assert_eq!(counts, serial_counts, "count drift at {threads} threads");
 
         // Same thread count by way of CCMM_THREADS.
@@ -46,6 +46,23 @@ fn sweeps_are_bit_identical_to_serial_at_every_thread_count() {
     std::env::set_var("CCMM_THREADS", "0");
     assert!(SweepConfig::from_env().threads >= 1, "zero threads must be rejected");
     std::env::remove_var("CCMM_THREADS");
+}
+
+#[test]
+fn canonical_sweep_is_bit_identical_at_bound_4() {
+    // The symmetry-reduced sweep must reproduce the labelled scan's
+    // model-membership counts AND witnesses exactly, at 1/2/4 threads —
+    // the acceptance bar for enumerating only canonical representatives.
+    let u = Universe::new(4, 1);
+    let serial = compare(&Model::Lc, &Model::Nn, &u);
+    let closed = u.count_computations_closed();
+    for threads in [1, 2, 4] {
+        let cfg = SweepConfig::with_threads(threads).canonical(true);
+        check_identical(&serial, &compare_par(&Model::Lc, &Model::Nn, &u, &cfg), threads);
+        let weighted: u128 =
+            sweep_computations(&u, &cfg, || 0u128, |acc, _, _, w| *acc += w as u128).iter().sum();
+        assert_eq!(weighted, closed, "orbit-weighted total drift at {threads} threads");
+    }
 }
 
 fn check_identical(
