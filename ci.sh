@@ -41,4 +41,39 @@ if [[ "$fast" != "fast" ]]; then
     ./target/release/ccmm sweep --bound 4 --canonical --gate
 fi
 
+echo "== robustness smoke: panic quarantine + kill/resume round trip =="
+# Timings from these faulted runs are meaningless: point CCMM_BENCH_JSON
+# at a scratch file so they never pollute the committed baseline.
+if [[ "$fast" != "fast" ]]; then
+    ccmm() { ./target/release/ccmm "$@"; }
+else
+    ccmm() { cargo run -q --bin ccmm -- "$@"; }
+fi
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+export CCMM_BENCH_JSON="$scratch/bench.json"
+
+# 1. Injected persistent panic: the sweep must complete degraded (exit 3)
+#    with the quarantined task reported and all phases still run.
+rc=0
+ccmm sweep --bound 3 --canonical --threads 2 --fault panic-at-task=1 \
+    > "$scratch/degraded.out" 2>/dev/null || rc=$?
+[[ "$rc" == 3 ]] || { echo "expected degraded exit 3, got $rc"; exit 1; }
+grep -q "quarantined: memberships task 1" "$scratch/degraded.out"
+grep -q "sweep status: degraded" "$scratch/degraded.out"
+
+# 2. Kill after two checkpoint records (exit 70), then --resume: the
+#    membership counts must be bit-identical to an uninterrupted run.
+ccmm sweep --bound 4 --canonical --threads 2 > "$scratch/clean.out" 2>/dev/null
+rc=0
+ccmm sweep --bound 4 --canonical --threads 2 --ckpt "$scratch/sweep.ckpt" \
+    --ckpt-every 1 --fault kill-after-ckpt=2 > "$scratch/killed.out" 2>/dev/null || rc=$?
+[[ "$rc" == 70 ]] || { echo "expected killed exit 70, got $rc"; exit 1; }
+ccmm sweep --bound 4 --canonical --threads 2 --resume "$scratch/sweep.ckpt" \
+    > "$scratch/resumed.out" 2>/dev/null
+counts() { grep -A6 "^memberships over" "$1" | tail -6; }
+diff <(counts "$scratch/clean.out") <(counts "$scratch/resumed.out") \
+    || { echo "resumed counts differ from the uninterrupted run"; exit 1; }
+unset CCMM_BENCH_JSON
+
 echo "CI OK"

@@ -35,20 +35,64 @@ pub struct SweepRecord {
     /// Fixpoint passes/rounds until convergence; 0 for non-fixpoint
     /// sweeps.
     pub fixpoint_passes: u64,
+    /// Supervisor outcome: `"complete"`, `"degraded"` (quarantined
+    /// panics), or `"partial"` (deadline hit). Records predating this
+    /// field deserialize as `"complete"`.
+    pub status: String,
 }
 
-serde::impl_serde_struct!(SweepRecord {
-    experiment,
-    engine,
-    max_nodes,
-    num_locations,
-    universe_computations,
-    threads,
-    wall_ms,
-    pairs_checked,
-    pairs_per_sec,
-    fixpoint_passes
-});
+// Hand-rolled (not `impl_serde_struct!`) because the macro errors on
+// missing fields, and committed baselines predate `status`: absent ⇒
+// `"complete"`.
+impl serde::Serialize for SweepRecord {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(serde::Value::Map(vec![
+            ("experiment".into(), serde::to_value(&self.experiment)),
+            ("engine".into(), serde::to_value(&self.engine)),
+            ("max_nodes".into(), serde::to_value(&self.max_nodes)),
+            ("num_locations".into(), serde::to_value(&self.num_locations)),
+            ("universe_computations".into(), serde::to_value(&self.universe_computations)),
+            ("threads".into(), serde::to_value(&self.threads)),
+            ("wall_ms".into(), serde::to_value(&self.wall_ms)),
+            ("pairs_checked".into(), serde::to_value(&self.pairs_checked)),
+            ("pairs_per_sec".into(), serde::to_value(&self.pairs_per_sec)),
+            ("fixpoint_passes".into(), serde::to_value(&self.fixpoint_passes)),
+            ("status".into(), serde::to_value(&self.status)),
+        ]))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for SweepRecord {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = serde::Deserializer::take_value(d)?;
+        let mut map = match v {
+            serde::Value::Map(m) => m,
+            other => {
+                return Err(<D::Error as serde::de::Error>::custom(format_args!(
+                    "expected object, found {other:?}"
+                )))
+            }
+        };
+        let status = if map.iter().any(|(k, _)| k == "status") {
+            serde::de::take_field(&mut map, "status")?
+        } else {
+            "complete".to_string()
+        };
+        Ok(SweepRecord {
+            experiment: serde::de::take_field(&mut map, "experiment")?,
+            engine: serde::de::take_field(&mut map, "engine")?,
+            max_nodes: serde::de::take_field(&mut map, "max_nodes")?,
+            num_locations: serde::de::take_field(&mut map, "num_locations")?,
+            universe_computations: serde::de::take_field(&mut map, "universe_computations")?,
+            threads: serde::de::take_field(&mut map, "threads")?,
+            wall_ms: serde::de::take_field(&mut map, "wall_ms")?,
+            pairs_checked: serde::de::take_field(&mut map, "pairs_checked")?,
+            pairs_per_sec: serde::de::take_field(&mut map, "pairs_per_sec")?,
+            fixpoint_passes: serde::de::take_field(&mut map, "fixpoint_passes")?,
+            status,
+        })
+    }
+}
 
 impl SweepRecord {
     /// Builds a record from a measured sweep, deriving the throughput and
@@ -76,7 +120,14 @@ impl SweepRecord {
             pairs_checked,
             pairs_per_sec,
             fixpoint_passes: fixpoint_passes as u64,
+            status: "complete".to_string(),
         }
+    }
+
+    /// Tags the record with a supervisor outcome (builder style).
+    pub fn with_status(mut self, status: impl Into<String>) -> Self {
+        self.status = status.into();
+        self
     }
 }
 
@@ -105,10 +156,12 @@ pub fn emit(records: &[SweepRecord]) -> std::io::Result<String> {
     Ok(path)
 }
 
-/// The most recent record at [`bench_json_path`] matching the given
-/// experiment, engine, and universe shape — the committed baseline a
-/// perf gate compares a fresh measurement against. `None` when the file
-/// is missing, malformed, or has no matching record.
+/// The most recent **complete** record at [`bench_json_path`] matching
+/// the given experiment, engine, and universe shape — the committed
+/// baseline a perf gate compares a fresh measurement against. Degraded
+/// or partial records never serve as baselines (their timings cover an
+/// unknown fraction of the work). `None` when the file is missing,
+/// malformed, or has no matching complete record.
 pub fn latest_matching(experiment: &str, engine: &str, u: &Universe) -> Option<SweepRecord> {
     let text = std::fs::read_to_string(bench_json_path()).ok()?;
     let serde::Value::Seq(items) = serde_json::from_str::<serde::Value>(&text).ok()? else {
@@ -119,7 +172,8 @@ pub fn latest_matching(experiment: &str, engine: &str, u: &Universe) -> Option<S
         .rev()
         .filter_map(|v| serde::from_value::<SweepRecord, serde_json::Error>(v).ok())
         .find(|r| {
-            r.experiment == experiment
+            r.status == "complete"
+                && r.experiment == experiment
                 && r.engine == engine
                 && r.max_nodes == u.max_nodes as u64
                 && r.num_locations == u.num_locations as u64
@@ -192,6 +246,45 @@ mod tests {
         assert_eq!(latest_matching("a", "serial", &Universe::new(3, 1)), None, "shape must match");
         std::env::set_var("CCMM_BENCH_JSON", dir.join("no_such_file.json"));
         assert_eq!(latest_matching("a", "serial", &u), None, "missing file is no baseline");
+        std::env::remove_var("CCMM_BENCH_JSON");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn status_defaults_to_complete_for_old_records() {
+        // A committed baseline written before the `status` field existed.
+        let legacy = r#"{
+            "experiment": "old", "engine": "parallel", "max_nodes": 4,
+            "num_locations": 1, "universe_computations": 9, "threads": 2,
+            "wall_ms": 1.0, "pairs_checked": 10, "pairs_per_sec": 10000.0,
+            "fixpoint_passes": 0
+        }"#;
+        let r: SweepRecord = serde_json::from_str(legacy).expect("legacy record parses");
+        assert_eq!(r.status, "complete");
+        // And a tagged record round-trips with its status intact.
+        let u = Universe::new(2, 1);
+        let r = SweepRecord::new("rt", "parallel", &u, 4, Duration::from_millis(10), 42, 0)
+            .with_status("degraded");
+        let json = serde_json::to_string(&serde::to_value(&r)).expect("serialize");
+        let back: SweepRecord = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back.status, "degraded");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn non_complete_records_are_not_baselines() {
+        let dir = std::env::temp_dir().join("ccmm_bench_status_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sweep.json");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CCMM_BENCH_JSON", &path);
+        let u = Universe::new(2, 1);
+        let complete = SweepRecord::new("g", "parallel", &u, 1, Duration::from_millis(3), 6, 0);
+        let partial = SweepRecord::new("g", "parallel", &u, 1, Duration::from_millis(1), 2, 0)
+            .with_status("partial");
+        emit(&[complete.clone(), partial]).unwrap();
+        // The newer partial record is skipped; the complete one wins.
+        assert_eq!(latest_matching("g", "parallel", &u), Some(complete));
         std::env::remove_var("CCMM_BENCH_JSON");
         let _ = std::fs::remove_file(&path);
     }

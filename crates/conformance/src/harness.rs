@@ -15,7 +15,8 @@ use crate::shrink::{shrink, Shrunk};
 use crate::sources::{random_computation, random_observer};
 use ccmm_core::enumerate::for_each_observer;
 use ccmm_core::locks::{CriticalSection, Lock, LockedComputation};
-use ccmm_core::sweep::{sweep_computations, SweepConfig};
+use ccmm_core::sweep::supervisor::{sweep_supervised, Merge, Supervisor};
+use ccmm_core::sweep::SweepConfig;
 use ccmm_core::universe::Universe;
 use ccmm_core::{Computation, Location, MemoryModel, Model, ObserverFunction, Op, Oracle};
 use ccmm_dag::NodeId;
@@ -23,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Which source produced a disagreeing pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,12 +142,17 @@ pub struct Report {
     pub disagreements: Vec<ShrunkDisagreement>,
     /// True when more disagreements existed than were collected.
     pub truncated: bool,
+    /// Cases quarantined because a checker panicked (sweep tasks from the
+    /// exhaustive source, individual pairs elsewhere). The harness keeps
+    /// running; the skipped coverage is reported here.
+    pub quarantined: u64,
 }
 
 impl Report {
-    /// True iff every fast checker agreed with its oracle everywhere.
+    /// True iff every fast checker agreed with its oracle everywhere —
+    /// and actually ran everywhere (no case was quarantined by a panic).
     pub fn ok(&self) -> bool {
-        self.disagreements.is_empty() && !self.truncated
+        self.disagreements.is_empty() && !self.truncated && self.quarantined == 0
     }
 
     /// Total pairs across all sources.
@@ -166,8 +173,13 @@ impl fmt::Display for Report {
             self.lock_pairs,
             self.checks,
         )?;
+        if self.quarantined > 0 {
+            writeln!(f, "{} case(s) quarantined: a checker panicked", self.quarantined)?;
+        }
         if self.ok() {
             write!(f, "all fast checkers agree with their oracles")
+        } else if self.disagreements.is_empty() && !self.truncated {
+            write!(f, "no disagreements, but quarantined coverage is missing")
         } else {
             write!(
                 f,
@@ -199,10 +211,40 @@ where
     }
 }
 
-/// Per-worker cap on collected disagreements before the global merge —
+/// Per-task cap on collected disagreements before the global merge —
 /// generous relative to `max_disagreements` so truncation cannot hide
 /// the globally-first witnesses.
 const WORKER_CAP: usize = 64;
+
+/// Exhaustive-source sweep state: counters plus task-tagged finds. The
+/// tag sort after the merge reproduces the serial scan's order, so the
+/// extend-order dependence inside `merge` washes out.
+struct ExhState {
+    pairs: u64,
+    checks: u64,
+    finds: Vec<(usize, Disagreement)>,
+}
+
+impl Merge for ExhState {
+    fn merge(&mut self, other: Self) {
+        self.pairs += other.pairs;
+        self.checks += other.checks;
+        self.finds.extend(other.finds);
+    }
+}
+
+/// Runs one non-exhaustive case under `catch_unwind`: a panicking checker
+/// quarantines the case (counted, skipped) instead of aborting the
+/// harness.
+fn guarded_case<R>(quarantined: &mut u64, case: impl FnOnce() -> R) -> Option<R> {
+    match catch_unwind(AssertUnwindSafe(case)) {
+        Ok(r) => Some(r),
+        Err(_) => {
+            *quarantined += 1;
+            None
+        }
+    }
+}
 
 /// Runs the harness with the production checkers (`Model::contains`).
 pub fn run(cfg: &HarnessConfig) -> Report {
@@ -222,22 +264,27 @@ where
     let mut checks: u64 = 0;
     let mut raw: Vec<Disagreement> = Vec::new();
     let mut truncated = false;
+    let mut quarantined: u64 = 0;
 
-    // Source 1: exhaustive sweep. Each worker tags finds with its task
-    // index; a stable sort on merge reproduces the serial scan's order.
-    let per_worker = sweep_computations(
+    // Source 1: exhaustive sweep, under the supervised engine — a
+    // panicking checker quarantines its poset task (retried once) instead
+    // of aborting the harness. Finds are tagged with the task index; the
+    // sort after the merge reproduces the serial scan's order.
+    let out = sweep_supervised(
         &Universe::new(cfg.max_nodes, cfg.num_locations),
         &cfg.sweep,
-        || (0u64, 0u64, Vec::<(usize, Disagreement)>::new()),
-        |acc, task_idx, c, _| {
+        &Supervisor::none(),
+        || ExhState { pairs: 0, checks: 0, finds: Vec::new() },
+        || (),
+        |acc, (), task_idx, c, _| {
             let _ = for_each_observer(c, |phi| {
-                acc.0 += 1;
+                acc.pairs += 1;
                 for (m, oracle) in &oracles {
-                    acc.1 += 1;
+                    acc.checks += 1;
                     let f = fast(*m, c, phi);
                     let o = oracle.contains(c, phi);
-                    if f != o && acc.2.len() < WORKER_CAP {
-                        acc.2.push((
+                    if f != o && acc.finds.len() < WORKER_CAP {
+                        acc.finds.push((
                             task_idx,
                             Disagreement {
                                 model: *m,
@@ -254,13 +301,10 @@ where
             });
         },
     );
-    let mut exhaustive_pairs = 0;
-    let mut tagged: Vec<(usize, Disagreement)> = Vec::new();
-    for (pairs, cks, ds) in per_worker {
-        exhaustive_pairs += pairs;
-        checks += cks;
-        tagged.extend(ds);
-    }
+    quarantined += out.quarantined.len() as u64;
+    let exhaustive_pairs = out.value.pairs;
+    checks += out.value.checks;
+    let mut tagged = out.value.finds;
     tagged.sort_by_key(|(idx, _)| *idx);
     for (_, d) in tagged {
         push_capped(&mut raw, d, cfg.max_disagreements, &mut truncated);
@@ -273,19 +317,29 @@ where
         let c = random_computation(&mut rng, cfg.max_random_nodes, cfg.random_locations);
         let phi = random_observer(&mut rng, &c);
         random_pairs += 1;
-        for (m, oracle) in &oracles {
-            checks += 1;
-            let f = fast(*m, &c, &phi);
-            let o = oracle.contains(&c, &phi);
-            if f != o {
-                let d = Disagreement {
-                    model: *m,
-                    source: Source::Random,
-                    c: c.clone(),
-                    phi: phi.clone(),
-                    fast: f,
-                    oracle: o,
-                };
+        let case = guarded_case(&mut quarantined, || {
+            let mut case_checks = 0u64;
+            let mut finds = Vec::new();
+            for (m, oracle) in &oracles {
+                case_checks += 1;
+                let f = fast(*m, &c, &phi);
+                let o = oracle.contains(&c, &phi);
+                if f != o {
+                    finds.push(Disagreement {
+                        model: *m,
+                        source: Source::Random,
+                        c: c.clone(),
+                        phi: phi.clone(),
+                        fast: f,
+                        oracle: o,
+                    });
+                }
+            }
+            (case_checks, finds)
+        });
+        if let Some((case_checks, finds)) = case {
+            checks += case_checks;
+            for d in finds {
                 push_capped(&mut raw, d, cfg.max_disagreements, &mut truncated);
             }
         }
@@ -299,19 +353,29 @@ where
         for (_, c) in ccmm_cilk::conformance_workloads() {
             for phi in ccmm_backer::harvest::harvest_observers(&c, 6, 2, 2, cfg.seed) {
                 harvested_pairs += 1;
-                for (m, oracle) in &oracles {
-                    checks += 1;
-                    let f = fast(*m, &c, &phi);
-                    let o = oracle.contains(&c, &phi);
-                    if f != o {
-                        let d = Disagreement {
-                            model: *m,
-                            source: Source::Harvested,
-                            c: c.clone(),
-                            phi: phi.clone(),
-                            fast: f,
-                            oracle: o,
-                        };
+                let case = guarded_case(&mut quarantined, || {
+                    let mut case_checks = 0u64;
+                    let mut finds = Vec::new();
+                    for (m, oracle) in &oracles {
+                        case_checks += 1;
+                        let f = fast(*m, &c, &phi);
+                        let o = oracle.contains(&c, &phi);
+                        if f != o {
+                            finds.push(Disagreement {
+                                model: *m,
+                                source: Source::Harvested,
+                                c: c.clone(),
+                                phi: phi.clone(),
+                                fast: f,
+                                oracle: o,
+                            });
+                        }
+                    }
+                    (case_checks, finds)
+                });
+                if let Some((case_checks, finds)) = case {
+                    checks += case_checks;
+                    for d in finds {
                         push_capped(&mut raw, d, cfg.max_disagreements, &mut truncated);
                     }
                 }
@@ -329,31 +393,42 @@ where
             for _ in 0..cfg.lock_cases {
                 let phi = random_observer(&mut rng, lk.computation());
                 lock_pairs += 1;
-                for (m, oracle) in &oracles {
-                    checks += 1;
-                    let m = *m;
-                    let f_model = FnModel {
-                        name: "fast-under-test",
-                        f: |c: &Computation, p: &ObserverFunction| fast(m, c, p),
-                    };
-                    let f = lk.contains_under(&f_model, &phi);
-                    let o = lk.contains_under(oracle, &phi);
-                    if f != o {
-                        // Find the serialization the sides split on (one
-                        // must exist: the accepted witness of the `true`
-                        // side is rejected wholesale by the `false` side).
-                        let split = serializations
-                            .iter()
-                            .find(|s| fast(m, s, &phi) != oracle.contains(s, &phi))
-                            .expect("a lock-level split implies a serialization-level split");
-                        let d = Disagreement {
-                            model: m,
-                            source: Source::Lock,
-                            c: split.clone(),
-                            phi: phi.clone(),
-                            fast: fast(m, split, &phi),
-                            oracle: oracle.contains(split, &phi),
+                let case = guarded_case(&mut quarantined, || {
+                    let mut case_checks = 0u64;
+                    let mut finds = Vec::new();
+                    for (m, oracle) in &oracles {
+                        case_checks += 1;
+                        let m = *m;
+                        let f_model = FnModel {
+                            name: "fast-under-test",
+                            f: |c: &Computation, p: &ObserverFunction| fast(m, c, p),
                         };
+                        let f = lk.contains_under(&f_model, &phi);
+                        let o = lk.contains_under(oracle, &phi);
+                        if f != o {
+                            // Find the serialization the sides split on
+                            // (one must exist: the accepted witness of the
+                            // `true` side is rejected wholesale by the
+                            // `false` side).
+                            let split = serializations
+                                .iter()
+                                .find(|s| fast(m, s, &phi) != oracle.contains(s, &phi))
+                                .expect("a lock-level split implies a serialization-level split");
+                            finds.push(Disagreement {
+                                model: m,
+                                source: Source::Lock,
+                                c: split.clone(),
+                                phi: phi.clone(),
+                                fast: fast(m, split, &phi),
+                                oracle: oracle.contains(split, &phi),
+                            });
+                        }
+                    }
+                    (case_checks, finds)
+                });
+                if let Some((case_checks, finds)) = case {
+                    checks += case_checks;
+                    for d in finds {
                         push_capped(&mut raw, d, cfg.max_disagreements, &mut truncated);
                     }
                 }
@@ -381,6 +456,7 @@ where
         checks,
         disagreements,
         truncated,
+        quarantined,
     }
 }
 
@@ -543,6 +619,35 @@ mod tests {
         }
         // The SC-rejecting mutation must surface somewhere.
         assert!(!report.ok(), "mutation rejecting serializations must be caught");
+    }
+
+    #[test]
+    fn panicking_checker_is_quarantined_not_fatal() {
+        // A checker that panics on every 3-node computation: the harness
+        // must quarantine the affected cases (sweep tasks and random
+        // pairs), keep running, and fail the run *as incomplete* rather
+        // than aborting or reporting a clean pass.
+        let cfg = HarnessConfig {
+            max_nodes: 3,
+            random_cases: 30,
+            max_random_nodes: 4,
+            harvest: false,
+            lock_cases: 0,
+            sweep: SweepConfig::with_threads(2),
+            ..HarnessConfig::default()
+        };
+        let report = run_with(&cfg, |m, c, phi| {
+            if c.node_count() == 3 {
+                panic!("injected checker panic on a 3-node computation");
+            }
+            m.contains(c, phi)
+        });
+        assert!(report.quarantined > 0, "3-node cases must be quarantined");
+        assert!(!report.ok(), "quarantined coverage must fail the run");
+        assert!(report.disagreements.is_empty(), "the checker never *disagrees*");
+        // The surviving (≤ 2-node) sweep tasks were still checked.
+        assert!(report.exhaustive_pairs > 0);
+        assert!(report.to_string().contains("quarantined"));
     }
 
     #[test]

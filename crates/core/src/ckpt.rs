@@ -1,0 +1,263 @@
+//! Crash-safe checkpoint journals for long sweeps.
+//!
+//! A checkpoint file is append-only: an 8-byte magic, then
+//! length-prefixed, checksummed records — `[len: u32 LE][fnv1a64 of the
+//! payload: u64 LE][payload]`. The first record is a *fingerprint*
+//! (a UTF-8 description of the sweep configuration); every later record
+//! is an opaque snapshot payload owned by the caller (the supervisor
+//! stores the completed-task frontier plus the merged partial state).
+//!
+//! Every append is `fsync`'d before it is counted, so a crash loses at
+//! most the record being written. The reader is **torn-tail tolerant**:
+//! it accepts the longest valid prefix and ignores a truncated or
+//! corrupted tail. Re-opening for append first truncates the file back
+//! to that valid prefix, so a resumed run never buries garbage between
+//! records.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, Write};
+use std::path::Path;
+
+/// File magic: identifies a ccmm checkpoint journal, version 1.
+const MAGIC: &[u8; 8] = b"CCMMCKP1";
+
+/// Per-record header bytes: u32 length + u64 checksum.
+const RECORD_HEADER: usize = 4 + 8;
+
+/// Cap on a single record so a corrupt length prefix cannot trigger a
+/// huge allocation.
+const MAX_RECORD: usize = 1 << 28;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// An open checkpoint journal being written.
+pub struct CkptWriter {
+    file: File,
+    snapshots: usize,
+}
+
+impl CkptWriter {
+    /// Creates (or truncates) the journal at `path` and writes the magic
+    /// plus the fingerprint record.
+    pub fn create(path: &Path, fingerprint: &str) -> io::Result<Self> {
+        let mut file = File::create(path)?;
+        file.write_all(MAGIC)?;
+        let mut w = CkptWriter { file, snapshots: 0 };
+        w.write_record(fingerprint.as_bytes())?;
+        w.snapshots = 0; // the fingerprint is not a snapshot
+        Ok(w)
+    }
+
+    /// Re-opens an existing journal for appending: validates the magic
+    /// and fingerprint, truncates any torn tail, and positions at the end
+    /// of the valid prefix. Snapshot counting restarts at zero for this
+    /// run (kill-after-K faults count per run).
+    pub fn append_to(path: &Path) -> io::Result<Self> {
+        let loaded = Checkpoint::load(path)?;
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(loaded.valid_len)?;
+        let mut file = file;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok(CkptWriter { file, snapshots: 0 })
+    }
+
+    fn write_record(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(RECORD_HEADER + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.file.write_all(&buf)?;
+        self.file.sync_data()?;
+        self.snapshots += 1;
+        Ok(())
+    }
+
+    /// Appends one snapshot record (length-prefixed, checksummed,
+    /// fsync'd before returning).
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.write_record(payload)
+    }
+
+    /// Snapshot records appended by this writer (excludes the
+    /// fingerprint record).
+    pub fn snapshots(&self) -> usize {
+        self.snapshots
+    }
+}
+
+/// A loaded checkpoint journal: the valid prefix of the file.
+pub struct Checkpoint {
+    /// The fingerprint the journal was created with.
+    pub fingerprint: String,
+    /// Snapshot payloads, oldest first (resume wants the last).
+    pub snapshots: Vec<Vec<u8>>,
+    /// Byte length of the valid prefix (magic + intact records).
+    pub valid_len: u64,
+}
+
+impl Checkpoint {
+    /// Loads the longest valid prefix of the journal at `path`. A torn or
+    /// corrupted tail is silently dropped; a missing/foreign file or a
+    /// torn *fingerprint* record is an error (nothing to resume from).
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a ccmm checkpoint journal", path.display()),
+            ));
+        }
+        let mut pos = MAGIC.len();
+        let mut records: Vec<Vec<u8>> = Vec::new();
+        while let Some((payload, next)) = read_record(&bytes, pos) {
+            records.push(payload);
+            pos = next;
+        }
+        if records.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} has no intact fingerprint record", path.display()),
+            ));
+        }
+        let fingerprint = String::from_utf8(records.remove(0)).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} has a non-UTF-8 fingerprint", path.display()),
+            )
+        })?;
+        Ok(Checkpoint { fingerprint, snapshots: records, valid_len: pos as u64 })
+    }
+
+    /// The most recent snapshot payload, if any.
+    pub fn latest(&self) -> Option<&[u8]> {
+        self.snapshots.last().map(Vec::as_slice)
+    }
+}
+
+/// Parses one record at `pos`; `None` on a torn or corrupt record.
+fn read_record(bytes: &[u8], pos: usize) -> Option<(Vec<u8>, usize)> {
+    let header = bytes.get(pos..pos + RECORD_HEADER)?;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    if len > MAX_RECORD {
+        return None;
+    }
+    let crc = u64::from_le_bytes(header[4..].try_into().unwrap());
+    let payload = bytes.get(pos + RECORD_HEADER..pos + RECORD_HEADER + len)?;
+    if fnv1a64(payload) != crc {
+        return None;
+    }
+    Some((payload.to_vec(), pos + RECORD_HEADER + len))
+}
+
+// ---------------------------------------------------------------------
+// Little-endian codec helpers for snapshot payloads
+// ---------------------------------------------------------------------
+
+/// Appends a little-endian u64.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Consumes a little-endian u64 from the front of `input`.
+pub fn get_u64(input: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = input.split_first_chunk::<8>()?;
+    *input = rest;
+    Some(u64::from_le_bytes(*head))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ccmm-ckpt-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_snapshots() {
+        let path = temp("rt");
+        let mut w = CkptWriter::create(&path, "fp v1").unwrap();
+        w.append(b"alpha").unwrap();
+        w.append(b"beta").unwrap();
+        assert_eq!(w.snapshots(), 2);
+        drop(w);
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.fingerprint, "fp v1");
+        assert_eq!(ck.snapshots, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        assert_eq!(ck.latest(), Some(&b"beta"[..]));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated_on_reopen() {
+        let path = temp("torn");
+        let mut w = CkptWriter::create(&path, "fp").unwrap();
+        w.append(b"good").unwrap();
+        drop(w);
+        // Simulate a crash mid-write: append half a record.
+        let intact = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[9, 0, 0, 0, 1, 2, 3]).unwrap(); // torn header+payload
+        drop(f);
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.snapshots, vec![b"good".to_vec()]);
+        assert_eq!(ck.valid_len, intact, "tail excluded from the valid prefix");
+        // Reopening for append truncates the tail and continues cleanly.
+        let mut w = CkptWriter::append_to(&path).unwrap();
+        w.append(b"resumed").unwrap();
+        drop(w);
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.snapshots, vec![b"good".to_vec(), b"resumed".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_payload_fails_its_checksum() {
+        let path = temp("crc");
+        let mut w = CkptWriter::create(&path, "fp").unwrap();
+        w.append(b"aaaa").unwrap();
+        w.append(b"bbbb").unwrap();
+        drop(w);
+        // Flip a byte in the LAST record's payload: only it is dropped.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.snapshots, vec![b"aaaa".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_and_headerless_files_are_errors() {
+        let path = temp("foreign");
+        std::fs::write(&path, b"not a journal at all").unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        // Magic alone, no fingerprint record: also unresumable.
+        std::fs::write(&path, MAGIC).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        assert!(Checkpoint::load(Path::new("/nonexistent/ckpt")).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn codec_helpers_round_trip() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 0);
+        put_u64(&mut buf, u64::MAX);
+        put_u64(&mut buf, 0xDEAD_BEEF);
+        let mut r: &[u8] = &buf;
+        assert_eq!(get_u64(&mut r), Some(0));
+        assert_eq!(get_u64(&mut r), Some(u64::MAX));
+        assert_eq!(get_u64(&mut r), Some(0xDEAD_BEEF));
+        assert_eq!(get_u64(&mut r), None);
+    }
+}

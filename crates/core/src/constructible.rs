@@ -23,16 +23,20 @@
 
 use crate::computation::Computation;
 use crate::enumerate::for_each_observer;
+use crate::fault::{payload_string, FaultPlan};
 use crate::model::MemoryModel;
 use crate::observer::ObserverFunction;
 use crate::props::any_extension;
+use crate::sweep::supervisor::Quarantined;
 use crate::sweep::{sweep_computations, SweepConfig};
 use crate::universe::Universe;
 use ccmm_dag::bitset::BitSet;
 use ccmm_dag::NodeId;
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The result of the bounded Δ* fixpoint computation.
 pub struct BoundedConstructible {
@@ -44,6 +48,14 @@ pub struct BoundedConstructible {
     pub passes: usize,
     /// Pairs deleted in total.
     pub deleted: usize,
+    /// Initial-pass extension checks that panicked twice and were
+    /// quarantined (worklist only; `task_idx` is the interior-computation
+    /// check index, `size` its node count). Quarantined computations keep
+    /// all their pairs — deleting nothing preserves the fixpoint's
+    /// over-approximation invariant (`Δ* ⊆` result `⊆ Δ`) — so a
+    /// non-empty list means the result may over-approximate more loosely
+    /// than an undisturbed run, never that it under-approximates.
+    pub quarantined: Vec<Quarantined>,
 }
 
 impl BoundedConstructible {
@@ -95,7 +107,13 @@ impl BoundedConstructible {
                 pairs.get_mut(&c).expect("key present").remove(&phi);
             }
         }
-        BoundedConstructible { pairs, max_nodes: u.max_nodes, passes, deleted }
+        BoundedConstructible {
+            pairs,
+            max_nodes: u.max_nodes,
+            passes,
+            deleted,
+            quarantined: Vec::new(),
+        }
     }
 
     /// Computes the same bounded fixpoint as [`compute`], by a worklist
@@ -121,6 +139,25 @@ impl BoundedConstructible {
         model: &M,
         u: &Universe,
         cfg: &SweepConfig,
+    ) -> Self {
+        Self::compute_worklist_supervised(model, u, cfg, &FaultPlan::none())
+    }
+
+    /// [`compute_worklist`] under supervision: every initial-pass
+    /// extension check runs under `catch_unwind` with `fault`'s
+    /// [`FaultPlan::before_fixpoint_check`] hook. A panicking check is
+    /// retried once; a second panic quarantines that computation's checks
+    /// (reported in [`BoundedConstructible::quarantined`], identifying
+    /// which augmentation step failed) and conservatively *keeps* its
+    /// pairs, so the run completes with an explicit degraded report
+    /// instead of aborting the whole fixpoint.
+    ///
+    /// [`compute_worklist`]: BoundedConstructible::compute_worklist
+    pub fn compute_worklist_supervised<M: MemoryModel + Sync>(
+        model: &M,
+        u: &Universe,
+        cfg: &SweepConfig,
+        fault: &FaultPlan,
     ) -> Self {
         // Materialise S₀ with a parallel sweep (poset-granular shards).
         // The fixpoint keys survivor sets by *labelled* computation (every
@@ -160,39 +197,60 @@ impl BoundedConstructible {
                 any_extension(&aug, phi, |phi2| survivors.contains(phi2))
             })
         };
-        let mut queue: Vec<(Computation, ObserverFunction)> = if cfg.threads == 1 {
+        // Each interior computation's checks run under `catch_unwind`
+        // (retried once, quarantined on a second panic — the quarantined
+        // computation keeps its pairs, preserving the fixpoint's
+        // over-approximation invariant), so one panicking augmentation
+        // step degrades the result instead of aborting the run.
+        let next = AtomicUsize::new(0);
+        let quarantine = Mutex::new(Vec::new());
+        let worker = || {
             let mut q = Vec::new();
-            for &c in &interior {
-                for phi in &pairs[c] {
-                    if !check_one(c, phi) {
-                        q.push((c.clone(), phi.clone()));
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&c) = interior.get(i) else { break };
+                let attempt = || {
+                    fault.before_fixpoint_check(i);
+                    let mut failed = Vec::new();
+                    for phi in &pairs[c] {
+                        if !check_one(c, phi) {
+                            failed.push((c.clone(), phi.clone()));
+                        }
                     }
+                    failed
+                };
+                match catch_unwind(AssertUnwindSafe(attempt)) {
+                    Ok(failed) => q.extend(failed),
+                    Err(_first) => match catch_unwind(AssertUnwindSafe(attempt)) {
+                        Ok(failed) => q.extend(failed),
+                        Err(second) => quarantine.lock().unwrap().push(Quarantined {
+                            task_idx: i,
+                            size: c.node_count(),
+                            payload: payload_string(second),
+                        }),
+                    },
                 }
             }
             q
+        };
+        let mut queue: Vec<(Computation, ObserverFunction)> = if cfg.threads == 1 {
+            worker()
         } else {
-            let next = AtomicUsize::new(0);
-            let worker = || {
-                let mut q = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&c) = interior.get(i) else { break };
-                    for phi in &pairs[c] {
-                        if !check_one(c, phi) {
-                            q.push((c.clone(), phi.clone()));
-                        }
-                    }
-                }
-                q
-            };
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..cfg.threads).map(|_| s.spawn(worker)).collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("fixpoint worker panicked"))
+                    .flat_map(|h| {
+                        // Checks are caught above, so a worker can only die
+                        // outside the quarantined region — propagate that
+                        // panic unchanged rather than masking it.
+                        h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+                    })
                     .collect()
             })
         };
+        let mut quarantined = quarantine.into_inner().unwrap();
+        quarantined.sort_by_key(|q| q.task_idx);
 
         // Worklist cascade: apply a round of deletions, re-check only the
         // unique augmentation parents of what was deleted.
@@ -227,7 +285,7 @@ impl BoundedConstructible {
                 passes += 1;
             }
         }
-        BoundedConstructible { pairs, max_nodes: u.max_nodes, passes, deleted }
+        BoundedConstructible { pairs, max_nodes: u.max_nodes, passes, deleted, quarantined }
     }
 
     /// Whether `(c, phi)` survived the fixpoint. Exact for `Δ*` only when
@@ -552,6 +610,43 @@ mod tests {
         let naive_sc = BoundedConstructible::compute(&Sc, u);
         let wl_sc = BoundedConstructible::compute_worklist(&Sc, u, cfg);
         assert_same_survivors(&naive_sc, &wl_sc, u);
+    }
+
+    #[test]
+    fn fixpoint_quarantine_degrades_instead_of_aborting() {
+        // A persistent panic in one initial-pass check must not abort the
+        // fixpoint: the computation is quarantined (pairs kept) and the
+        // result stays a sound over-approximation.
+        let u = Universe::new(4, 1);
+        let cfg = crate::sweep::SweepConfig::with_threads(2);
+        let naive = BoundedConstructible::compute(&Nn::default(), &u);
+        let fault = FaultPlan::none().panic_at_fixpoint(0);
+        let fix =
+            BoundedConstructible::compute_worklist_supervised(&Nn::default(), &u, &cfg, &fault);
+        assert_eq!(fix.quarantined.len(), 1);
+        assert_eq!(fix.quarantined[0].task_idx, 0);
+        assert!(fix.quarantined[0].payload.contains("fixpoint check 0"));
+        // Conservative keep: never fewer survivors than the clean run,
+        // and every survivor is still in the model.
+        assert!(fix.total_pairs() >= naive.total_pairs());
+        for (c, phi) in fix.iter() {
+            assert!(Nn::default().contains(c, phi), "quarantine broke fixpoint ⊆ NN");
+        }
+    }
+
+    #[test]
+    fn fixpoint_transient_fault_heals_identically() {
+        // A once-fault is healed by the serial retry: the result must be
+        // bit-identical to the undisturbed fixpoint, with nothing
+        // quarantined.
+        let u = Universe::new(4, 1);
+        let cfg = crate::sweep::SweepConfig::with_threads(2);
+        let naive = BoundedConstructible::compute(&Nn::default(), &u);
+        let fault = FaultPlan::none().panic_once_at_fixpoint(1);
+        let fix =
+            BoundedConstructible::compute_worklist_supervised(&Nn::default(), &u, &cfg, &fault);
+        assert!(fix.quarantined.is_empty());
+        assert_same_survivors(&naive, &fix, &u);
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Deterministic fault injection for the sweep supervisor.
+//!
+//! A [`FaultPlan`] names faults by *structural position* — panic at task
+//! N, delay at task N, kill after K checkpoint records — never by wall
+//! clock or ambient randomness, so every injected failure reproduces
+//! exactly under `cargo test` and in CI. Seeded variants derive their
+//! positions from a splitmix64 stream over the plan's `seed`, keeping
+//! even "random" placement a pure function of the spec string.
+//!
+//! The plan is consulted by the supervised sweep engine
+//! ([`crate::sweep::supervisor`]), the Δ* worklist fixpoint
+//! ([`crate::constructible`]), and the checkpoint writer
+//! ([`crate::ckpt`]). An empty plan (the default) injects nothing and
+//! costs a branch per hook.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Sentinel for "no resolved seeded target".
+const NONE: usize = usize::MAX;
+
+/// A deterministic fault-injection plan (see the module docs).
+///
+/// Built with [`FaultPlan::none`], the builder methods, or parsed from a
+/// spec string ([`FaultPlan::from_spec`]) of comma-separated entries:
+///
+/// ```text
+/// panic-at-task=7          panic the worker scanning task 7 (every attempt)
+/// panic-once-at-task=7     panic only the first attempt (the retry heals)
+/// delay-at-task=7:25       sleep 25 ms before scanning task 7
+/// kill-after-ckpt=2        simulate a crash after 2 checkpoint records
+/// panic-at-fixpoint=3      panic the Δ* initial-pass check of computation 3
+/// panic-once-at-fixpoint=3 same, first attempt only
+/// panic-at-task=seeded     derive the task index from `seed` at resolve time
+/// seed=42                  the seed for seeded placements (default 0)
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    panic_at_task: Option<usize>,
+    panic_task_seeded: bool,
+    panic_task_once: bool,
+    delay_at_task: Option<(usize, u64)>,
+    kill_after_records: Option<usize>,
+    panic_at_fixpoint: Option<usize>,
+    panic_fixpoint_once: bool,
+    seed: u64,
+    resolved_task: AtomicUsize,
+    task_fired: AtomicUsize,
+    fixpoint_fired: AtomicUsize,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing.
+    pub fn none() -> Self {
+        FaultPlan { resolved_task: AtomicUsize::new(NONE), ..FaultPlan::default() }
+    }
+
+    /// Panic every attempt at sweep task `idx`.
+    pub fn panic_at_task(mut self, idx: usize) -> Self {
+        self.panic_at_task = Some(idx);
+        self.panic_task_once = false;
+        self
+    }
+
+    /// Panic only the first attempt at sweep task `idx` (the supervisor's
+    /// serial retry succeeds — the "transient fault" shape).
+    pub fn panic_once_at_task(mut self, idx: usize) -> Self {
+        self.panic_at_task = Some(idx);
+        self.panic_task_once = true;
+        self
+    }
+
+    /// Sleep `delay` before scanning task `idx`.
+    pub fn delay_at_task(mut self, idx: usize, delay: Duration) -> Self {
+        self.delay_at_task = Some((idx, delay.as_millis() as u64));
+        self
+    }
+
+    /// Simulate a crash after `k` checkpoint records have been written in
+    /// this run: the supervisor stops all workers and reports a killed
+    /// partial sweep, leaving the checkpoint file exactly as a real kill
+    /// would.
+    pub fn kill_after_records(mut self, k: usize) -> Self {
+        self.kill_after_records = Some(k);
+        self
+    }
+
+    /// Panic every attempt at Δ* initial-pass check `idx`.
+    pub fn panic_at_fixpoint(mut self, idx: usize) -> Self {
+        self.panic_at_fixpoint = Some(idx);
+        self.panic_fixpoint_once = false;
+        self
+    }
+
+    /// Panic only the first attempt at Δ* initial-pass check `idx`.
+    pub fn panic_once_at_fixpoint(mut self, idx: usize) -> Self {
+        self.panic_at_fixpoint = Some(idx);
+        self.panic_fixpoint_once = true;
+        self
+    }
+
+    /// Parses the comma-separated spec grammar (see the type docs).
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (key, value) =
+                entry.split_once('=').ok_or_else(|| format!("fault entry `{entry}` needs ="))?;
+            let parse = |v: &str| -> Result<usize, String> {
+                v.parse().map_err(|_| format!("bad number in fault entry `{entry}`"))
+            };
+            match key {
+                "panic-at-task" | "panic-once-at-task" => {
+                    if value == "seeded" {
+                        plan.panic_task_seeded = true;
+                    } else {
+                        plan.panic_at_task = Some(parse(value)?);
+                    }
+                    plan.panic_task_once = key == "panic-once-at-task";
+                }
+                "delay-at-task" => {
+                    let (idx, ms) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("delay entry `{entry}` needs task:millis"))?;
+                    plan.delay_at_task = Some((parse(idx)?, parse(ms)? as u64));
+                }
+                "kill-after-ckpt" => plan.kill_after_records = Some(parse(value)?),
+                "panic-at-fixpoint" | "panic-once-at-fixpoint" => {
+                    plan.panic_at_fixpoint = Some(parse(value)?);
+                    plan.panic_fixpoint_once = key == "panic-once-at-fixpoint";
+                }
+                "seed" => {
+                    plan.seed =
+                        value.parse().map_err(|_| format!("bad seed in fault entry `{entry}`"))?;
+                }
+                other => return Err(format!("unknown fault key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.panic_at_task.is_none()
+            && !self.panic_task_seeded
+            && self.delay_at_task.is_none()
+            && self.kill_after_records.is_none()
+            && self.panic_at_fixpoint.is_none()
+    }
+
+    /// Resolves seeded placements against the actual task count. Called
+    /// once by the supervisor before distributing work; idempotent.
+    pub fn resolve(&self, num_tasks: usize) {
+        if self.panic_task_seeded && num_tasks > 0 {
+            self.resolved_task.store(splitmix64(self.seed) as usize % num_tasks, Ordering::Relaxed);
+        }
+    }
+
+    /// Like [`FaultPlan::resolve`], but picks from an explicit list of
+    /// task indices — canonical sweeps have gaps in their global index
+    /// space, so the seeded target must be drawn from the indices that
+    /// actually exist.
+    pub fn resolve_indices(&self, ids: &[usize]) {
+        if self.panic_task_seeded && !ids.is_empty() {
+            let pick = ids[splitmix64(self.seed) as usize % ids.len()];
+            self.resolved_task.store(pick, Ordering::Relaxed);
+        }
+    }
+
+    fn panic_target(&self) -> Option<usize> {
+        self.panic_at_task.or({
+            let r = self.resolved_task.load(Ordering::Relaxed);
+            (r != NONE).then_some(r)
+        })
+    }
+
+    /// Hook: called by every worker (and by the serial retry) before
+    /// scanning sweep task `idx`. May sleep; may panic (the injected
+    /// fault). `once` faults fire only on the first attempt.
+    pub fn before_task(&self, idx: usize) {
+        if let Some((t, ms)) = self.delay_at_task {
+            if t == idx {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+        if self.panic_target() == Some(idx) {
+            let prior = self.task_fired.fetch_add(1, Ordering::Relaxed);
+            if !self.panic_task_once || prior == 0 {
+                std::panic::panic_any(format!("injected fault: panic at task {idx}"));
+            }
+        }
+    }
+
+    /// Hook: called before the Δ* initial-pass extension check of
+    /// interior computation `idx`.
+    pub fn before_fixpoint_check(&self, idx: usize) {
+        if self.panic_at_fixpoint == Some(idx) {
+            let prior = self.fixpoint_fired.fetch_add(1, Ordering::Relaxed);
+            if !self.panic_fixpoint_once || prior == 0 {
+                std::panic::panic_any(format!("injected fault: panic at fixpoint check {idx}"));
+            }
+        }
+    }
+
+    /// Hook: consulted after each checkpoint record; true means "the
+    /// process dies now" (simulated by the supervisor as a hard stop).
+    pub fn should_kill(&self, records_written: usize) -> bool {
+        self.kill_after_records.is_some_and(|k| records_written >= k)
+    }
+}
+
+/// splitmix64: the standard 64-bit mix, used to derive seeded fault
+/// positions deterministically.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Renders a caught panic payload as a string (String and &str payloads
+/// verbatim, anything else a placeholder).
+pub fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        for i in 0..100 {
+            plan.before_task(i);
+            plan.before_fixpoint_check(i);
+        }
+        assert!(!plan.should_kill(1000));
+    }
+
+    #[test]
+    fn spec_round_trip_and_panics() {
+        let plan = FaultPlan::from_spec("panic-at-task=3,kill-after-ckpt=2").unwrap();
+        assert!(!plan.is_empty());
+        plan.before_task(2);
+        let err = std::panic::catch_unwind(|| plan.before_task(3)).unwrap_err();
+        assert!(payload_string(err).contains("panic at task 3"));
+        // Persistent faults fire on the retry too.
+        assert!(std::panic::catch_unwind(|| plan.before_task(3)).is_err());
+        assert!(!plan.should_kill(1));
+        assert!(plan.should_kill(2));
+        assert!(plan.should_kill(3));
+    }
+
+    #[test]
+    fn once_faults_heal_on_retry() {
+        let plan = FaultPlan::from_spec("panic-once-at-task=5").unwrap();
+        assert!(std::panic::catch_unwind(|| plan.before_task(5)).is_err());
+        plan.before_task(5); // retry succeeds
+        let fx = FaultPlan::from_spec("panic-once-at-fixpoint=1").unwrap();
+        assert!(std::panic::catch_unwind(|| fx.before_fixpoint_check(1)).is_err());
+        fx.before_fixpoint_check(1);
+    }
+
+    #[test]
+    fn seeded_target_is_deterministic_and_in_range() {
+        let a = FaultPlan::from_spec("panic-at-task=seeded,seed=42").unwrap();
+        let b = FaultPlan::from_spec("panic-at-task=seeded,seed=42").unwrap();
+        a.resolve(17);
+        b.resolve(17);
+        let t = a.panic_target().unwrap();
+        assert!(t < 17);
+        assert_eq!(Some(t), b.panic_target(), "same seed, same target");
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(FaultPlan::from_spec("panic-at-task").is_err());
+        assert!(FaultPlan::from_spec("panic-at-task=x").is_err());
+        assert!(FaultPlan::from_spec("delay-at-task=3").is_err());
+        assert!(FaultPlan::from_spec("frobnicate=1").is_err());
+    }
+}

@@ -21,6 +21,10 @@
 //! * [`sweep`]: the parallel universe-sweep engine sharding the
 //!   (poset × labelling) space across threads, with deterministic
 //!   (serial-identical) counts and witnesses;
+//! * [`sweep::supervisor`], [`fault`], [`ckpt`]: fault-tolerant sweep
+//!   supervision — panic quarantine, deadline budgets, and crash-safe
+//!   checkpoint/resume, exercised by a deterministic fault-injection
+//!   plan;
 //! * [`constructible`]: the bounded Δ* fixpoint (Definition 8, Theorem 9)
 //!   used to machine-check `LC = NN*` (Theorem 23);
 //! * [`witness`]: the paper's Figures 2–4 as concrete library values;
@@ -59,11 +63,13 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod computation;
 pub mod constructible;
 pub mod enumerate;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod last_writer;
 pub mod litmus;
 pub mod locks;

@@ -56,6 +56,10 @@ pub struct OnlineSession<M> {
     alphabet: Vec<Op>,
     c: Computation,
     phi: ObserverFunction,
+    /// Set on the first jam: the session is poisoned — further reveals
+    /// return the same [`Stuck`] without touching the committed state,
+    /// which stays queryable (the last good prefix).
+    jammed: Option<Stuck>,
 }
 
 impl<M: MemoryModel> OnlineSession<M> {
@@ -68,6 +72,7 @@ impl<M: MemoryModel> OnlineSession<M> {
             alphabet: Op::all(num_locations),
             c: Computation::empty(),
             phi: ObserverFunction::empty(),
+            jammed: None,
         }
     }
 
@@ -85,6 +90,19 @@ impl<M: MemoryModel> OnlineSession<M> {
     /// The observation rows committed so far.
     pub fn observer(&self) -> &ObserverFunction {
         &self.phi
+    }
+
+    /// Has a previous reveal jammed? A jammed session is poisoned: it
+    /// refuses further reveals (returning the original [`Stuck`]) but the
+    /// committed prefix stays queryable via [`computation`](Self::computation)
+    /// and [`observer`](Self::observer).
+    pub fn is_jammed(&self) -> bool {
+        self.jammed.is_some()
+    }
+
+    /// The jam that poisoned this session, if any.
+    pub fn jam(&self) -> Option<&Stuck> {
+        self.jammed.as_ref()
     }
 
     /// The adversary reveals one node. The session extends the
@@ -130,6 +148,9 @@ impl<M: MemoryModel> OnlineSession<M> {
     where
         F: FnOnce(&[ObserverFunction]) -> usize,
     {
+        if let Some(jam) = &self.jammed {
+            return Err(jam.clone());
+        }
         let next = self.c.extend(preds, op);
         let new = next.last_node().expect("extension nonempty");
         let mut admissible: Vec<ObserverFunction> = Vec::new();
@@ -149,7 +170,9 @@ impl<M: MemoryModel> OnlineSession<M> {
             false // keep enumerating: collect every admissible row
         });
         if admissible.is_empty() {
-            return Err(Stuck { computation: next, prefix_phi: self.phi.clone(), op });
+            let stuck = Stuck { computation: next, prefix_phi: self.phi.clone(), op };
+            self.jammed = Some(stuck.clone());
+            return Err(stuck);
         }
         let idx = chooser(&admissible).min(admissible.len() - 1);
         let phi2 = admissible.swap_remove(idx);
@@ -338,6 +361,69 @@ mod tests {
         // Jams may or may not occur depending on what the adversary
         // reveals after the escape; both outcomes are consistent.
         let _ = jams;
+    }
+
+    /// Drives an NN session into the Figure-4 trap (same reveal sequence
+    /// as `short_sighted_nn_player_jams_on_figure_4_reveals`) and returns
+    /// it jammed.
+    fn jammed_nn_session() -> OnlineSession<Nn> {
+        let mut s = OnlineSession::new(Nn::default(), 1);
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        s.reveal(&[], Op::Write(l(0))).unwrap();
+        s.reveal(&[], Op::Write(l(0))).unwrap();
+        s.reveal_choose(&[a, b], Op::Read(l(0)), |cands| {
+            cands.iter().position(|p| p.get(l(0), NodeId::new(2)) == Some(a)).unwrap()
+        })
+        .unwrap();
+        s.reveal_choose(&[a, b], Op::Read(l(0)), |cands| {
+            cands.iter().position(|p| p.get(l(0), NodeId::new(3)) == Some(b)).unwrap()
+        })
+        .unwrap();
+        s.reveal(&[NodeId::new(2), NodeId::new(3)], Op::Read(l(0))).unwrap_err();
+        s
+    }
+
+    #[test]
+    fn jammed_session_is_poisoned_but_queryable() {
+        let s = jammed_nn_session();
+        assert!(s.is_jammed());
+        // The committed state is the last good 4-node prefix — the
+        // unplaceable node was never committed — and it is still in NN.
+        assert_eq!(s.computation().node_count(), 4);
+        assert!(Nn::default().contains(s.computation(), s.observer()));
+        // The stored jam carries the full witness.
+        let jam = s.jam().expect("jam witness retained");
+        assert_eq!(jam.op, Op::Read(l(0)));
+        assert_eq!(jam.computation.node_count(), 5);
+    }
+
+    #[test]
+    fn reveal_after_jam_returns_the_jam_without_panicking() {
+        let mut s = jammed_nn_session();
+        let before = s.computation().clone();
+        // A fresh reveal — even one that would be trivially placeable on
+        // a healthy session — is refused with the original jam.
+        let err = s.reveal(&[], Op::Nop).expect_err("poisoned session must refuse reveals");
+        assert_eq!(err.op, Op::Read(l(0)), "the *original* jam is returned");
+        assert_eq!(err.computation.node_count(), 5);
+        // State untouched: still the 4-node prefix, still queryable.
+        assert_eq!(s.computation().node_count(), before.node_count());
+        assert!(s.is_jammed());
+        // And a second refused reveal behaves identically (no panic, no
+        // state drift).
+        let err2 = s.reveal(&[NodeId::new(0)], Op::Read(l(0))).unwrap_err();
+        assert_eq!(err2.op, err.op);
+        assert_eq!(s.computation().node_count(), 4);
+    }
+
+    #[test]
+    fn healthy_session_reports_not_jammed() {
+        let mut s = OnlineSession::new(Lc, 1);
+        assert!(!s.is_jammed());
+        assert!(s.jam().is_none());
+        s.reveal(&[], Op::Write(l(0))).unwrap();
+        assert!(!s.is_jammed());
     }
 
     #[test]

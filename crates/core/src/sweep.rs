@@ -38,14 +38,12 @@
 //! Thread count comes from [`SweepConfig`]: the `CCMM_THREADS` environment
 //! variable when set, otherwise [`std::thread::available_parallelism`].
 
+pub mod supervisor;
+
 use crate::computation::Computation;
-use crate::enumerate::for_each_observer;
-use crate::model::{CheckScratch, MemoryModel};
-use crate::observer::ObserverFunction;
+use crate::model::MemoryModel;
 use crate::op::{Location, Op};
-use crate::props::{
-    any_extension, ConstructibilityWitness, IncompleteWitness, MonotonicityWitness,
-};
+use crate::props::{ConstructibilityWitness, IncompleteWitness, MonotonicityWitness};
 use crate::relation::{Comparison, LatticeRow, Relation};
 use crate::universe::Universe;
 use ccmm_dag::canon::for_each_canonical_poset;
@@ -53,7 +51,8 @@ use ccmm_dag::poset::{count_posets_fast, for_each_poset_indexed};
 use ccmm_dag::Dag;
 use crossbeam::deque::{Injector, Steal};
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+use supervisor::Supervisor;
 
 /// How a sweep is parallelised and enumerated.
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +63,13 @@ pub struct SweepConfig {
     /// labellings only, weighting counts by orbit size (see the module
     /// docs). Totals and witnesses are identical to the labelled sweep.
     pub canonical: bool,
+    /// Cooperative time budget, honoured by the supervised entry points
+    /// ([`supervisor`]): workers stop between tasks once it elapses and
+    /// the sweep reports a partial result with its resume frontier. The
+    /// unsupervised `_par` wrappers cannot express partial results and
+    /// panic if the deadline fires — set a deadline only when calling a
+    /// supervised entry point.
+    pub deadline: Option<Duration>,
 }
 
 impl SweepConfig {
@@ -77,24 +83,32 @@ impl SweepConfig {
             .unwrap_or_else(|| {
                 std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
             });
-        SweepConfig { threads, canonical: false }
+        SweepConfig { threads, canonical: false, deadline: None }
     }
 
     /// A single-threaded sweep (the serial scan, run through the same
     /// engine).
     pub fn serial() -> Self {
-        SweepConfig { threads: 1, canonical: false }
+        SweepConfig { threads: 1, canonical: false, deadline: None }
     }
 
     /// An explicit thread count.
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads > 0, "a sweep needs at least one thread");
-        SweepConfig { threads, canonical: false }
+        SweepConfig { threads, canonical: false, deadline: None }
     }
 
     /// Enables or disables symmetry-reduced (canonical) enumeration.
     pub fn canonical(mut self, on: bool) -> Self {
         self.canonical = on;
+        self
+    }
+
+    /// Sets the cooperative time budget (see the `deadline` field: only
+    /// the supervised entry points can report the resulting partial
+    /// sweep).
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
         self
     }
 }
@@ -352,141 +366,32 @@ fn keep_min<W>(slot: &mut Option<Keyed<W>>, task_idx: usize, witness: impl FnOnc
     }
 }
 
-fn merge_min<W>(slots: impl IntoIterator<Item = Option<Keyed<W>>>) -> Option<W> {
-    slots.into_iter().flatten().min_by_key(|k| k.task_idx).map(|k| k.witness)
-}
-
 /// Parallel [`crate::relation::compare`]: identical `Comparison` —
 /// totals are exact (every pair visited exactly once) and the
 /// `a_only`/`b_only` witnesses are the serial scan's first witnesses
-/// (smallest task index, first in scan order within it).
+/// (smallest task index, first in scan order within it). Runs through
+/// the supervised engine with no faults injected; a real panic in model
+/// code is quarantined, retried once, and re-raised here if it persists.
 pub fn compare_par<A, B>(a: &A, b: &B, u: &Universe, cfg: &SweepConfig) -> Comparison
 where
     A: MemoryModel + Sync,
     B: MemoryModel + Sync,
 {
-    struct Partial {
-        both: usize,
-        a_total: usize,
-        b_total: usize,
-        pairs_checked: usize,
-        a_only: Option<Keyed<(Computation, ObserverFunction)>>,
-        b_only: Option<Keyed<(Computation, ObserverFunction)>>,
-    }
-    let alphabet = u.alphabet();
-    let maps = maps_for(u, cfg, &alphabet);
-    let partials = run_workers(materialize(u, cfg.canonical), cfg.threads, |inj| {
-        let mut p = Partial {
-            both: 0,
-            a_total: 0,
-            b_total: 0,
-            pairs_checked: 0,
-            a_only: None,
-            b_only: None,
-        };
-        let mut scratch = LabelScratch::new();
-        let mut check = CheckScratch::new();
-        while let Some(task) = pop(inj) {
-            let _ = for_each_labelling(&alphabet, &maps, &task, &mut scratch, &mut |c, weight| {
-                let w = weight as usize;
-                let _ = for_each_observer(c, |phi| {
-                    p.pairs_checked += w;
-                    let in_a = a.contains_with(c, phi, &mut check);
-                    let in_b = b.contains_with(c, phi, &mut check);
-                    p.a_total += w * in_a as usize;
-                    p.b_total += w * in_b as usize;
-                    p.both += w * (in_a && in_b) as usize;
-                    if in_a && !in_b {
-                        keep_min(&mut p.a_only, task.idx, || (c.clone(), phi.clone()));
-                    }
-                    if in_b && !in_a {
-                        keep_min(&mut p.b_only, task.idx, || (c.clone(), phi.clone()));
-                    }
-                    ControlFlow::Continue(())
-                });
-                ControlFlow::Continue(())
-            });
-        }
-        p
-    });
-    let mut cmp = Comparison {
-        relation: Relation::Equal,
-        a_only: None,
-        b_only: None,
-        both: 0,
-        a_total: 0,
-        b_total: 0,
-        pairs_checked: 0,
-    };
-    let mut a_onlys = Vec::new();
-    let mut b_onlys = Vec::new();
-    for p in partials {
-        cmp.both += p.both;
-        cmp.a_total += p.a_total;
-        cmp.b_total += p.b_total;
-        cmp.pairs_checked += p.pairs_checked;
-        a_onlys.push(p.a_only);
-        b_onlys.push(p.b_only);
-    }
-    cmp.a_only = merge_min(a_onlys);
-    cmp.b_only = merge_min(b_onlys);
-    cmp.relation = match (&cmp.a_only, &cmp.b_only) {
-        (None, None) => Relation::Equal,
-        (None, Some(_)) => Relation::StrictlyStronger,
-        (Some(_), None) => Relation::StrictlyWeaker,
-        (Some(_), Some(_)) => Relation::Incomparable,
-    };
-    cmp
+    supervisor::compare_supervised(a, b, u, cfg, &Supervisor::none()).expect_complete("compare_par")
 }
 
 /// Decides only the [`Relation`] between two models, with cooperative
 /// early exit: once witnesses in both directions exist the verdict is
-/// `Incomparable` no matter what remains, so an [`AtomicBool`] per
-/// direction lets every worker stop scanning. Existence of a witness is
-/// scan-order independent, so the verdict is deterministic.
+/// `Incomparable` no matter what remains, so a shared flag per direction
+/// lets every worker stop scanning. Existence of a witness is scan-order
+/// independent, so the verdict is deterministic.
 pub fn relation_par<A, B>(a: &A, b: &B, u: &Universe, cfg: &SweepConfig) -> Relation
 where
     A: MemoryModel + Sync,
     B: MemoryModel + Sync,
 {
-    let alphabet = u.alphabet();
-    let maps = maps_for(u, cfg, &alphabet);
-    let found_a_only = AtomicBool::new(false);
-    let found_b_only = AtomicBool::new(false);
-    run_workers(materialize(u, cfg.canonical), cfg.threads, |inj| {
-        let mut scratch = LabelScratch::new();
-        let mut check = CheckScratch::new();
-        while let Some(task) = pop(inj) {
-            if found_a_only.load(Ordering::Relaxed) && found_b_only.load(Ordering::Relaxed) {
-                continue; // drain without scanning
-            }
-            let _ = for_each_labelling(&alphabet, &maps, &task, &mut scratch, &mut |c, _| {
-                let done_a = found_a_only.load(Ordering::Relaxed);
-                let done_b = found_b_only.load(Ordering::Relaxed);
-                if done_a && done_b {
-                    return ControlFlow::Break(());
-                }
-                let _ = for_each_observer(c, |phi| {
-                    let in_a = a.contains_with(c, phi, &mut check);
-                    let in_b = b.contains_with(c, phi, &mut check);
-                    if in_a && !in_b {
-                        found_a_only.store(true, Ordering::Relaxed);
-                    }
-                    if in_b && !in_a {
-                        found_b_only.store(true, Ordering::Relaxed);
-                    }
-                    ControlFlow::Continue(())
-                });
-                ControlFlow::Continue(())
-            });
-        }
-    });
-    match (found_a_only.load(Ordering::Relaxed), found_b_only.load(Ordering::Relaxed)) {
-        (false, false) => Relation::Equal,
-        (false, true) => Relation::StrictlyStronger,
-        (true, false) => Relation::StrictlyWeaker,
-        (true, true) => Relation::Incomparable,
-    }
+    supervisor::relation_supervised(a, b, u, cfg, &Supervisor::none())
+        .expect_complete("relation_par")
 }
 
 /// Parallel [`crate::relation::lattice`]: the full pairwise relation
@@ -496,40 +401,8 @@ pub fn lattice_par<M: MemoryModel + Sync>(
     u: &Universe,
     cfg: &SweepConfig,
 ) -> Vec<LatticeRow> {
-    models
-        .iter()
-        .map(|a| LatticeRow {
-            name: a.name().to_string(),
-            relations: models.iter().map(|b| relation_par(a, b, u, cfg)).collect(),
-        })
-        .collect()
-}
-
-/// First-witness search over tasks: `scan` inspects one task serially and
-/// returns its first witness, consulting `superseded` (cheap atomic read)
-/// to abandon tasks that can no longer produce the winning — i.e. the
-/// minimal-index — witness.
-fn search_par<W, F>(tasks: Vec<Task>, threads: usize, scan: F) -> Option<W>
-where
-    W: Send,
-    F: Fn(&Task, &dyn Fn() -> bool) -> Option<W> + Sync,
-{
-    let best = AtomicUsize::new(usize::MAX);
-    let locals = run_workers(tasks, threads, |inj| {
-        let mut local: Option<Keyed<W>> = None;
-        while let Some(task) = pop(inj) {
-            if best.load(Ordering::Relaxed) < task.idx {
-                continue; // an earlier task already has a witness
-            }
-            let superseded = || best.load(Ordering::Relaxed) < task.idx;
-            if let Some(w) = scan(&task, &superseded) {
-                best.fetch_min(task.idx, Ordering::Relaxed);
-                keep_min(&mut local, task.idx, || w);
-            }
-        }
-        local
-    });
-    merge_min(locals)
+    supervisor::lattice_supervised(models, u, cfg, &Supervisor::none())
+        .expect_complete("lattice_par")
 }
 
 /// Parallel [`crate::props::check_complete`], returning the serial scan's
@@ -540,36 +413,10 @@ pub fn check_complete_par<M: MemoryModel + Sync>(
     u: &Universe,
     cfg: &SweepConfig,
 ) -> Result<(), IncompleteWitness> {
-    let alphabet = u.alphabet();
-    let maps = maps_for(u, cfg, &alphabet);
-    let witness = search_par(materialize(u, cfg.canonical), cfg.threads, |task, superseded| {
-        let mut found = None;
-        let mut scratch = LabelScratch::new();
-        let mut check = CheckScratch::new();
-        let _ = for_each_labelling(&alphabet, &maps, task, &mut scratch, &mut |c, _| {
-            if superseded() {
-                return ControlFlow::Break(());
-            }
-            let mut any = false;
-            let _ = for_each_observer(c, |phi| {
-                if model.contains_with(c, phi, &mut check) {
-                    any = true;
-                    ControlFlow::Break(())
-                } else {
-                    ControlFlow::Continue(())
-                }
-            });
-            if !any {
-                found = Some(c.clone());
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
-            }
-        });
-        found
-    });
-    match witness {
-        Some(c) => Err(c),
+    match supervisor::check_complete_supervised(model, u, cfg, &Supervisor::none())
+        .expect_complete("check_complete_par")
+    {
+        Some(w) => Err(w),
         None => Ok(()),
     }
 }
@@ -583,34 +430,9 @@ pub fn check_monotonic_par<M: MemoryModel + Sync>(
     u: &Universe,
     cfg: &SweepConfig,
 ) -> Result<(), MonotonicityWitness> {
-    let alphabet = u.alphabet();
-    let maps = maps_for(u, cfg, &alphabet);
-    let witness = search_par(materialize(u, cfg.canonical), cfg.threads, |task, superseded| {
-        let mut found = None;
-        let mut scratch = LabelScratch::new();
-        let mut check = CheckScratch::new();
-        let _ = for_each_labelling(&alphabet, &maps, task, &mut scratch, &mut |c, _| {
-            if superseded() {
-                return ControlFlow::Break(());
-            }
-            for_each_observer(c, |phi| {
-                if !model.contains_with(c, phi, &mut check) {
-                    return ControlFlow::Continue(());
-                }
-                for (a, b) in c.dag().edges() {
-                    let relaxed = c.without_edge(a, b).expect("edge exists");
-                    if !model.contains_with(&relaxed, phi, &mut check) {
-                        found =
-                            Some(MonotonicityWitness { c: c.clone(), phi: phi.clone(), relaxed });
-                        return ControlFlow::Break(());
-                    }
-                }
-                ControlFlow::Continue(())
-            })
-        });
-        found
-    });
-    match witness {
+    match supervisor::check_monotonic_supervised(model, u, cfg, &Supervisor::none())
+        .expect_complete("check_monotonic_par")
+    {
         Some(w) => Err(w),
         None => Ok(()),
     }
@@ -625,41 +447,9 @@ pub fn check_constructible_aug_par<M: MemoryModel + Sync>(
     u: &Universe,
     cfg: &SweepConfig,
 ) -> Result<(), ConstructibilityWitness> {
-    let alphabet = u.alphabet();
-    let maps = maps_for(u, cfg, &alphabet);
-    let bounded = Universe { max_nodes: u.max_nodes.saturating_sub(1), ..*u };
-    let tasks = materialize(&bounded, cfg.canonical);
-    let witness = search_par(tasks, cfg.threads, |task, superseded| {
-        let mut found = None;
-        let mut scratch = LabelScratch::new();
-        let mut check = CheckScratch::new();
-        let _ = for_each_labelling(&alphabet, &maps, task, &mut scratch, &mut |c, _| {
-            if superseded() {
-                return ControlFlow::Break(());
-            }
-            for_each_observer(c, |phi| {
-                if !model.contains_with(c, phi, &mut check) {
-                    return ControlFlow::Continue(());
-                }
-                for &o in &alphabet {
-                    let aug = c.augment(o);
-                    if !any_extension(&aug, phi, |phi2| model.contains_with(&aug, phi2, &mut check))
-                    {
-                        found = Some(ConstructibilityWitness {
-                            c: c.clone(),
-                            phi: phi.clone(),
-                            extension: aug,
-                            op: o,
-                        });
-                        return ControlFlow::Break(());
-                    }
-                }
-                ControlFlow::Continue(())
-            })
-        });
-        found
-    });
-    match witness {
+    match supervisor::check_constructible_aug_supervised(model, u, cfg, &Supervisor::none())
+        .expect_complete("check_constructible_aug_par")
+    {
         Some(w) => Err(w),
         None => Ok(()),
     }
@@ -669,6 +459,7 @@ pub fn check_constructible_aug_par<M: MemoryModel + Sync>(
 mod tests {
     use super::*;
     use crate::model::{AnyObserver, Lc, Model, Nn, Sc};
+    use crate::observer::ObserverFunction;
     use crate::props::{check_complete, check_constructible_aug, check_monotonic};
     use crate::relation::compare;
 

@@ -1,0 +1,1172 @@
+//! Fault-tolerant supervision for parallel sweeps.
+//!
+//! The plain engine in [`crate::sweep`] is all-or-nothing: one panicking
+//! task aborts the whole run, there is no time budget, and a killed
+//! multi-hour sweep loses all progress. This module wraps the same
+//! poset-granular task queue with three guarantees:
+//!
+//! 1. **Panic quarantine.** Every task runs under `catch_unwind` and
+//!    folds into a *fresh per-task delta*, merged into the global state
+//!    only on success — so a mid-task panic cannot corrupt counts. A
+//!    panicking task gets its worker scratch rebuilt and is retried once
+//!    (transient faults heal); a second panic quarantines the task
+//!    ([`Quarantined`]: task index, poset size, panic payload) and the
+//!    sweep completes with [`SweepStatus::Degraded`]. Witnesses for all
+//!    non-quarantined tasks keep the smallest-task-index contract, so
+//!    they still match the serial scan exactly.
+//!
+//! 2. **Deadline budgets.** [`SweepConfig::deadline`] cooperatively
+//!    stops workers between tasks once the budget elapses. The result is
+//!    [`SweepStatus::Partial`], carrying the exact completed-task
+//!    [`Frontier`] so the run can be resumed or reported honestly.
+//!
+//! 3. **Crash-safe checkpoint/resume.** Counting sweeps can journal
+//!    `(frontier, merged state)` snapshots to an append-only
+//!    [`CkptWriter`] every N completed tasks (fsync'd, torn-tail
+//!    tolerant — see [`crate::ckpt`]). A later run passes the decoded
+//!    snapshot back as `resume`: completed tasks are filtered out, the
+//!    remaining deltas merge into the restored state, and because every
+//!    merge here is commutative and associative the resumed totals and
+//!    witnesses are **bit-identical** to an uninterrupted run.
+//!
+//! Determinism note: deltas are merged in worker completion order, which
+//! is racy — so supervised sweeps require merges to be commutative and
+//! associative (weighted counts are; the min-task-index witness merge is,
+//! because task indices are unique). That is exactly the property the
+//! unsupervised engine already relied on for its per-worker fold, now
+//! stated as the [`Merge`] contract.
+//!
+//! Faults are injected deterministically via [`FaultPlan`] — see
+//! [`crate::fault`]. The injected-kill path ([`SweepStatus::Killed`])
+//! stops workers right after the configured checkpoint record, leaving
+//! the journal exactly as a real `kill -9` would.
+
+use super::{
+    for_each_labelling, keep_min, maps_for, materialize, pop, run_workers, Keyed, LabelScratch,
+    SweepConfig, Task,
+};
+use crate::ckpt::{get_u64, put_u64, CkptWriter};
+use crate::computation::Computation;
+use crate::enumerate::for_each_observer;
+use crate::fault::{payload_string, FaultPlan};
+use crate::model::{CheckScratch, MemoryModel};
+use crate::observer::ObserverFunction;
+use crate::props::{
+    any_extension, ConstructibilityWitness, IncompleteWitness, MonotonicityWitness,
+};
+use crate::relation::{Comparison, LatticeRow, Relation};
+use crate::universe::Universe;
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Supervision settings for a sweep: the deterministic fault-injection
+/// plan. Deadlines live on [`SweepConfig`]; checkpointing is passed to
+/// the entry points that support it ([`sweep_supervised_ckpt`],
+/// [`memberships_supervised`]).
+#[derive(Debug, Default)]
+pub struct Supervisor {
+    /// Faults to inject (empty by default — see [`FaultPlan::none`]).
+    pub fault: FaultPlan,
+}
+
+impl Supervisor {
+    /// A supervisor that injects nothing.
+    pub fn none() -> Self {
+        Supervisor { fault: FaultPlan::none() }
+    }
+
+    /// A supervisor driving the given fault plan.
+    pub fn with_fault(fault: FaultPlan) -> Self {
+        Supervisor { fault }
+    }
+}
+
+/// How a supervised sweep ended, from best to worst.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SweepStatus {
+    /// Every task scanned, nothing quarantined: results are exactly the
+    /// serial scan's.
+    Complete,
+    /// Every task attempted but some quarantined after a failed retry:
+    /// counts exclude the quarantined tasks' contributions; witnesses
+    /// for all other tasks still match the serial scan.
+    Degraded,
+    /// The deadline stopped the sweep (or a checkpoint error did) before
+    /// every task was attempted: counts cover exactly the frontier.
+    Partial,
+    /// The fault plan's simulated kill fired after a checkpoint record;
+    /// the journal on disk is the source of truth for resume.
+    Killed,
+}
+
+/// One task that panicked twice and was excluded from the results.
+#[derive(Clone, Debug)]
+pub struct Quarantined {
+    /// Global task (poset) index of the failed task.
+    pub task_idx: usize,
+    /// Node count of the task's poset.
+    pub size: usize,
+    /// The second panic's payload, rendered as a string.
+    pub payload: String,
+}
+
+/// The set of completed task indices, kept as sorted disjoint half-open
+/// ranges `[start, end)` — the resume frontier of a partial sweep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Frontier {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl Frontier {
+    /// The empty frontier.
+    pub fn new() -> Self {
+        Frontier::default()
+    }
+
+    /// Marks task `idx` complete, coalescing adjacent ranges.
+    pub fn insert(&mut self, idx: usize) {
+        let i = self.ranges.partition_point(|&(_, end)| end < idx);
+        if i < self.ranges.len() {
+            let (s, e) = self.ranges[i];
+            if s <= idx && idx < e {
+                return; // already complete
+            }
+        }
+        let left = i < self.ranges.len() && self.ranges[i].1 == idx;
+        let right_pos = if left { i + 1 } else { i };
+        let right = right_pos < self.ranges.len() && self.ranges[right_pos].0 == idx + 1;
+        match (left, right) {
+            (true, true) => {
+                self.ranges[i].1 = self.ranges[right_pos].1;
+                self.ranges.remove(right_pos);
+            }
+            (true, false) => self.ranges[i].1 = idx + 1,
+            (false, true) => self.ranges[right_pos].0 = idx,
+            (false, false) => self.ranges.insert(i, (idx, idx + 1)),
+        }
+    }
+
+    /// Whether task `idx` is complete.
+    pub fn contains(&self, idx: usize) -> bool {
+        let i = self.ranges.partition_point(|&(_, end)| end <= idx);
+        i < self.ranges.len() && self.ranges[i].0 <= idx
+    }
+
+    /// Number of completed tasks.
+    pub fn len(&self) -> usize {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Whether no task is complete.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The sorted disjoint ranges, for display.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Appends the wire encoding (`count`, then `start`,`end` per range,
+    /// all little-endian u64).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.ranges.len() as u64);
+        for &(s, e) in &self.ranges {
+            put_u64(out, s as u64);
+            put_u64(out, e as u64);
+        }
+    }
+
+    /// Consumes a wire encoding from the front of `input`; `None` if the
+    /// bytes are truncated or the ranges are not sorted and disjoint.
+    pub fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        let n = get_u64(input)? as usize;
+        let mut ranges = Vec::with_capacity(n.min(1024));
+        let mut prev_end = 0usize;
+        for i in 0..n {
+            let s = get_u64(input)? as usize;
+            let e = get_u64(input)? as usize;
+            if s >= e || (i > 0 && s <= prev_end) {
+                return None;
+            }
+            prev_end = e;
+            ranges.push((s, e));
+        }
+        Some(Frontier { ranges })
+    }
+}
+
+/// The outcome of a supervised sweep: the merged value plus everything
+/// needed to interpret (and resume) it.
+#[derive(Debug)]
+pub struct Supervised<S> {
+    /// The merged result. Complete ⇒ exactly the serial scan's value;
+    /// Degraded ⇒ quarantined tasks' contributions are missing;
+    /// Partial/Killed ⇒ covers exactly `frontier`.
+    pub value: S,
+    /// How the sweep ended.
+    pub status: SweepStatus,
+    /// Tasks excluded after panicking twice, sorted by task index.
+    pub quarantined: Vec<Quarantined>,
+    /// Completed task indices (includes tasks completed by a resumed-from
+    /// run).
+    pub frontier: Frontier,
+    /// Total tasks in the sweep, including already-resumed ones.
+    pub total_tasks: usize,
+    /// A checkpoint-append failure, if one stopped journalling.
+    pub ckpt_error: Option<String>,
+}
+
+impl<S> Supervised<S> {
+    /// Whether every task was scanned successfully.
+    pub fn is_complete(&self) -> bool {
+        self.status == SweepStatus::Complete
+    }
+
+    /// Unwraps a sweep that must have completed cleanly — the bridge for
+    /// the unsupervised `_par` entry points, which have no way to express
+    /// degraded or partial results. Panics (with the first quarantined
+    /// task's payload) otherwise, restoring the old abort-on-panic
+    /// behaviour for callers that opted out of supervision.
+    pub fn expect_complete(self, what: &str) -> S {
+        match self.status {
+            SweepStatus::Complete => self.value,
+            SweepStatus::Degraded => {
+                let q = &self.quarantined[0];
+                panic!(
+                    "{what}: sweep degraded — {} task(s) quarantined; first: task {} ({} nodes): {}",
+                    self.quarantined.len(),
+                    q.task_idx,
+                    q.size,
+                    q.payload
+                );
+            }
+            SweepStatus::Partial => panic!(
+                "{what}: sweep stopped early with {} of {} tasks done — use a supervised entry point to consume partial results",
+                self.frontier.len(),
+                self.total_tasks
+            ),
+            SweepStatus::Killed => panic!("{what}: sweep killed by its fault plan"),
+        }
+    }
+
+    /// Maps the value, keeping the supervision verdict.
+    pub fn map<T>(self, f: impl FnOnce(S) -> T) -> Supervised<T> {
+        Supervised {
+            value: f(self.value),
+            status: self.status,
+            quarantined: self.quarantined,
+            frontier: self.frontier,
+            total_tasks: self.total_tasks,
+            ckpt_error: self.ckpt_error,
+        }
+    }
+}
+
+/// Per-task delta merging. Supervised sweeps merge deltas in completion
+/// order, so `merge` must be commutative and associative for results to
+/// be deterministic (weighted counts and min-task-index witness slots
+/// both are).
+pub trait Merge {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+/// Where and how often a counting sweep journals `(frontier, state)`
+/// snapshots.
+pub struct CkptSink<'a, S> {
+    /// Open journal to append to (created via [`CkptWriter::create`] or
+    /// [`CkptWriter::append_to`]).
+    pub writer: &'a mut CkptWriter,
+    /// Append a snapshot every this many completed tasks (≥ 1).
+    pub every: usize,
+    /// Serializes the merged state + frontier into one record payload.
+    pub encode: &'a (dyn Fn(&S, &Frontier) -> Vec<u8> + Sync),
+}
+
+/// Shared mutable sweep progress, behind one mutex (tasks are coarse —
+/// one poset covers all its labellings — so commit contention is noise).
+struct Shared<'a, S> {
+    state: S,
+    frontier: Frontier,
+    quarantined: Vec<Quarantined>,
+    since_ckpt: usize,
+    ckpt: Option<CkptSink<'a, S>>,
+    ckpt_error: Option<String>,
+}
+
+/// The supervised engine: distributes `tasks` over `threads` workers,
+/// each task scanned into a fresh delta under `catch_unwind` (retried
+/// once on panic, quarantined on a second), deltas committed through
+/// `merge` under the shared lock, with cooperative deadline stop and
+/// optional checkpoint journalling.
+#[allow(clippy::too_many_arguments)] // internal engine; wrappers present the public face
+fn run_supervised<S, X, XF, SC, MG>(
+    mut tasks: Vec<Task>,
+    threads: usize,
+    deadline: Option<Duration>,
+    fault: &FaultPlan,
+    resume: Frontier,
+    initial: S,
+    ckpt: Option<CkptSink<'_, S>>,
+    scratch: XF,
+    scan: SC,
+    merge: MG,
+) -> Supervised<S>
+where
+    S: Send,
+    XF: Fn() -> X + Sync,
+    SC: Fn(&Task, &mut X) -> S + Sync,
+    MG: Fn(&mut S, S, usize) + Sync,
+{
+    let ids: Vec<usize> = tasks.iter().map(|t| t.idx).collect();
+    fault.resolve_indices(&ids);
+    let total_tasks = tasks.len();
+    if !resume.is_empty() {
+        tasks.retain(|t| !resume.contains(t.idx));
+    }
+    let start = Instant::now();
+    let stop = AtomicBool::new(false);
+    let deadline_hit = AtomicBool::new(false);
+    let killed = AtomicBool::new(false);
+    let shared = Mutex::new(Shared {
+        state: initial,
+        frontier: resume,
+        quarantined: Vec::new(),
+        since_ckpt: 0,
+        ckpt,
+        ckpt_error: None,
+    });
+    run_workers(tasks, threads, |inj| {
+        let mut x = scratch();
+        while let Some(task) = pop(inj) {
+            if stop.load(Ordering::Relaxed) {
+                continue; // drain the queue without scanning
+            }
+            if deadline.is_some_and(|d| start.elapsed() >= d) {
+                deadline_hit.store(true, Ordering::Relaxed);
+                stop.store(true, Ordering::Relaxed);
+                continue;
+            }
+            let delta = match catch_unwind(AssertUnwindSafe(|| {
+                fault.before_task(task.idx);
+                scan(&task, &mut x)
+            })) {
+                Ok(d) => Some(d),
+                Err(_first) => {
+                    // The panic may have left the worker scratch in an
+                    // arbitrary state: rebuild it, then retry once.
+                    x = scratch();
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        fault.before_task(task.idx);
+                        scan(&task, &mut x)
+                    })) {
+                        Ok(d) => Some(d),
+                        Err(second) => {
+                            x = scratch();
+                            let q = Quarantined {
+                                task_idx: task.idx,
+                                size: task.size,
+                                payload: payload_string(second),
+                            };
+                            shared.lock().unwrap().quarantined.push(q);
+                            None
+                        }
+                    }
+                }
+            };
+            let Some(delta) = delta else { continue };
+            let mut guard = shared.lock().unwrap();
+            let g = &mut *guard;
+            merge(&mut g.state, delta, task.idx);
+            g.frontier.insert(task.idx);
+            if let Some(sink) = g.ckpt.as_mut() {
+                if g.ckpt_error.is_none() {
+                    g.since_ckpt += 1;
+                    if g.since_ckpt >= sink.every {
+                        g.since_ckpt = 0;
+                        let payload = (sink.encode)(&g.state, &g.frontier);
+                        match sink.writer.append(&payload) {
+                            Ok(()) => {
+                                if fault.should_kill(sink.writer.snapshots()) {
+                                    killed.store(true, Ordering::Relaxed);
+                                    stop.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            Err(e) => {
+                                // Journalling failed: keep sweeping, stop
+                                // checkpointing, and surface the error.
+                                g.ckpt_error = Some(e.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    let mut sh = shared.into_inner().unwrap();
+    sh.quarantined.sort_by_key(|q| q.task_idx);
+    let scanned = sh.frontier.len() + sh.quarantined.len();
+    let status = if killed.into_inner() {
+        SweepStatus::Killed
+    } else if scanned < total_tasks {
+        SweepStatus::Partial
+    } else if !sh.quarantined.is_empty() {
+        SweepStatus::Degraded
+    } else {
+        SweepStatus::Complete
+    };
+    Supervised {
+        value: sh.state,
+        status,
+        quarantined: sh.quarantined,
+        frontier: sh.frontier,
+        total_tasks,
+        ckpt_error: sh.ckpt_error,
+    }
+}
+
+/// Supervised general counting sweep: like
+/// [`crate::sweep::sweep_computations`] but with per-task transactional
+/// deltas, panic quarantine, and deadline support. `empty` seeds each
+/// task's delta; `scratch` builds per-worker scratch (rebuilt after a
+/// panic); `work` folds one `(computation, weight)` into the delta.
+pub fn sweep_supervised<S, X, EF, XF, WF>(
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+    empty: EF,
+    scratch: XF,
+    work: WF,
+) -> Supervised<S>
+where
+    S: Merge + Send,
+    EF: Fn() -> S + Sync,
+    XF: Fn() -> X + Sync,
+    WF: Fn(&mut S, &mut X, usize, &Computation, u64) + Sync,
+{
+    sweep_supervised_ckpt(u, cfg, sup, None, None, empty, scratch, work)
+}
+
+/// [`sweep_supervised`] plus checkpoint/resume: `resume` restores a
+/// decoded `(frontier, state)` snapshot (completed tasks are skipped and
+/// their contributions are already in `state`); `ckpt` journals fresh
+/// snapshots as the sweep progresses. Because [`Merge`] is commutative
+/// and associative and witnesses merge by unique minimal task index, a
+/// resumed run is bit-identical to an uninterrupted one.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_supervised_ckpt<S, X, EF, XF, WF>(
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+    resume: Option<(Frontier, S)>,
+    ckpt: Option<CkptSink<'_, S>>,
+    empty: EF,
+    scratch: XF,
+    work: WF,
+) -> Supervised<S>
+where
+    S: Merge + Send,
+    EF: Fn() -> S + Sync,
+    XF: Fn() -> X + Sync,
+    WF: Fn(&mut S, &mut X, usize, &Computation, u64) + Sync,
+{
+    let alphabet = u.alphabet();
+    let maps = maps_for(u, cfg, &alphabet);
+    let (resume_frontier, initial) = match resume {
+        Some((f, s)) => (f, s),
+        None => (Frontier::new(), empty()),
+    };
+    run_supervised(
+        materialize(u, cfg.canonical),
+        cfg.threads,
+        cfg.deadline,
+        &sup.fault,
+        resume_frontier,
+        initial,
+        ckpt,
+        || (LabelScratch::new(), scratch()),
+        |task, xs| {
+            let (ls, x) = xs;
+            let mut delta = empty();
+            let _ = for_each_labelling(&alphabet, &maps, task, ls, &mut |c, w| {
+                work(&mut delta, x, task.idx, c, w);
+                ControlFlow::Continue(())
+            });
+            delta
+        },
+        |g, d, _| g.merge(d),
+    )
+}
+
+/// Keeps the smaller-task-index keyed witness of two merged slots.
+fn merge_keyed<W>(dst: &mut Option<Keyed<W>>, src: Option<Keyed<W>>) {
+    if let Some(k) = src {
+        if dst.as_ref().is_none_or(|d| k.task_idx < d.task_idx) {
+            *dst = Some(k);
+        }
+    }
+}
+
+/// Per-task (and merged) comparison state.
+struct CmpState {
+    both: usize,
+    a_total: usize,
+    b_total: usize,
+    pairs_checked: usize,
+    a_only: Option<Keyed<(Computation, ObserverFunction)>>,
+    b_only: Option<Keyed<(Computation, ObserverFunction)>>,
+}
+
+impl CmpState {
+    fn new() -> Self {
+        CmpState { both: 0, a_total: 0, b_total: 0, pairs_checked: 0, a_only: None, b_only: None }
+    }
+}
+
+/// Supervised [`crate::sweep::compare_par`]: same `Comparison` when
+/// complete; under quarantine, totals exclude the quarantined tasks and
+/// the witnesses of all other tasks still match the serial scan.
+pub fn compare_supervised<A, B>(
+    a: &A,
+    b: &B,
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+) -> Supervised<Comparison>
+where
+    A: MemoryModel + Sync,
+    B: MemoryModel + Sync,
+{
+    let alphabet = u.alphabet();
+    let maps = maps_for(u, cfg, &alphabet);
+    let out = run_supervised(
+        materialize(u, cfg.canonical),
+        cfg.threads,
+        cfg.deadline,
+        &sup.fault,
+        Frontier::new(),
+        CmpState::new(),
+        None,
+        || (LabelScratch::new(), CheckScratch::new()),
+        |task, xs| {
+            let (ls, check) = xs;
+            let mut p = CmpState::new();
+            let _ = for_each_labelling(&alphabet, &maps, task, ls, &mut |c, weight| {
+                let w = weight as usize;
+                let _ = for_each_observer(c, |phi| {
+                    p.pairs_checked += w;
+                    let in_a = a.contains_with(c, phi, check);
+                    let in_b = b.contains_with(c, phi, check);
+                    p.a_total += w * in_a as usize;
+                    p.b_total += w * in_b as usize;
+                    p.both += w * (in_a && in_b) as usize;
+                    if in_a && !in_b {
+                        keep_min(&mut p.a_only, task.idx, || (c.clone(), phi.clone()));
+                    }
+                    if in_b && !in_a {
+                        keep_min(&mut p.b_only, task.idx, || (c.clone(), phi.clone()));
+                    }
+                    ControlFlow::Continue(())
+                });
+                ControlFlow::Continue(())
+            });
+            p
+        },
+        |g, d, _| {
+            g.both += d.both;
+            g.a_total += d.a_total;
+            g.b_total += d.b_total;
+            g.pairs_checked += d.pairs_checked;
+            merge_keyed(&mut g.a_only, d.a_only);
+            merge_keyed(&mut g.b_only, d.b_only);
+        },
+    );
+    out.map(|p| {
+        let a_only = p.a_only.map(|k| k.witness);
+        let b_only = p.b_only.map(|k| k.witness);
+        let relation = match (&a_only, &b_only) {
+            (None, None) => Relation::Equal,
+            (None, Some(_)) => Relation::StrictlyStronger,
+            (Some(_), None) => Relation::StrictlyWeaker,
+            (Some(_), Some(_)) => Relation::Incomparable,
+        };
+        Comparison {
+            relation,
+            a_only,
+            b_only,
+            both: p.both,
+            a_total: p.a_total,
+            b_total: p.b_total,
+            pairs_checked: p.pairs_checked,
+        }
+    })
+}
+
+/// Supervised [`crate::sweep::relation_par`]. Witness-existence evidence
+/// found by a task that later panics is kept — it is a real pair, so the
+/// verdict stays sound; a degraded verdict may at worst miss evidence
+/// from quarantined tasks (conservative toward `Equal`/one-sided).
+pub fn relation_supervised<A, B>(
+    a: &A,
+    b: &B,
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+) -> Supervised<Relation>
+where
+    A: MemoryModel + Sync,
+    B: MemoryModel + Sync,
+{
+    let alphabet = u.alphabet();
+    let maps = maps_for(u, cfg, &alphabet);
+    let found_a_only = AtomicBool::new(false);
+    let found_b_only = AtomicBool::new(false);
+    let out = run_supervised(
+        materialize(u, cfg.canonical),
+        cfg.threads,
+        cfg.deadline,
+        &sup.fault,
+        Frontier::new(),
+        (),
+        None,
+        || (LabelScratch::new(), CheckScratch::new()),
+        |task, xs| {
+            if found_a_only.load(Ordering::Relaxed) && found_b_only.load(Ordering::Relaxed) {
+                return; // verdict already forced
+            }
+            let (ls, check) = xs;
+            let _ = for_each_labelling(&alphabet, &maps, task, ls, &mut |c, _| {
+                let done_a = found_a_only.load(Ordering::Relaxed);
+                let done_b = found_b_only.load(Ordering::Relaxed);
+                if done_a && done_b {
+                    return ControlFlow::Break(());
+                }
+                let _ = for_each_observer(c, |phi| {
+                    let in_a = a.contains_with(c, phi, check);
+                    let in_b = b.contains_with(c, phi, check);
+                    if in_a && !in_b {
+                        found_a_only.store(true, Ordering::Relaxed);
+                    }
+                    if in_b && !in_a {
+                        found_b_only.store(true, Ordering::Relaxed);
+                    }
+                    ControlFlow::Continue(())
+                });
+                ControlFlow::Continue(())
+            });
+        },
+        |_, _, _| {},
+    );
+    let relation =
+        match (found_a_only.load(Ordering::Relaxed), found_b_only.load(Ordering::Relaxed)) {
+            (false, false) => Relation::Equal,
+            (false, true) => Relation::StrictlyStronger,
+            (true, false) => Relation::StrictlyWeaker,
+            (true, true) => Relation::Incomparable,
+        };
+    out.map(|()| relation)
+}
+
+/// Supervised [`crate::sweep::lattice_par`]: every cell runs under the
+/// same supervisor (so one fault plan spans the whole matrix), and the
+/// worst cell status wins. The deadline applies per cell.
+pub fn lattice_supervised<M: MemoryModel + Sync>(
+    models: &[M],
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+) -> Supervised<Vec<LatticeRow>> {
+    let mut status = SweepStatus::Complete;
+    let mut quarantined = Vec::new();
+    let mut total_tasks = 0;
+    let mut rows = Vec::new();
+    for a in models {
+        let mut row = LatticeRow { name: a.name().to_string(), relations: Vec::new() };
+        for b in models {
+            let cell = relation_supervised(a, b, u, cfg, sup);
+            status = status.max(cell.status);
+            quarantined.extend(cell.quarantined);
+            total_tasks += cell.total_tasks;
+            row.relations.push(cell.value);
+        }
+        rows.push(row);
+    }
+    quarantined.sort_by_key(|q| q.task_idx);
+    Supervised {
+        value: rows,
+        status,
+        quarantined,
+        frontier: Frontier::new(),
+        total_tasks,
+        ckpt_error: None,
+    }
+}
+
+/// Supervised first-witness search (the engine behind the `check_*`
+/// entry points): the winning — minimal-task-index — witness is published
+/// to the shared `best` atomic only at commit time, so a task that found
+/// a candidate but then panicked cannot suppress other tasks' witnesses.
+fn search_supervised<W, X, XF, F>(
+    tasks: Vec<Task>,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+    scratch: XF,
+    scan: F,
+) -> Supervised<Option<W>>
+where
+    W: Send,
+    XF: Fn() -> X + Sync,
+    F: Fn(&Task, &mut X, &dyn Fn() -> bool) -> Option<W> + Sync,
+{
+    let best = AtomicUsize::new(usize::MAX);
+    let out = run_supervised(
+        tasks,
+        cfg.threads,
+        cfg.deadline,
+        &sup.fault,
+        Frontier::new(),
+        None::<Keyed<W>>,
+        None,
+        scratch,
+        |task, x| {
+            if best.load(Ordering::Relaxed) < task.idx {
+                return None; // an earlier task already has a witness
+            }
+            let superseded = || best.load(Ordering::Relaxed) < task.idx;
+            scan(task, x, &superseded).map(|w| Keyed { task_idx: task.idx, witness: w })
+        },
+        |g, d, idx| {
+            if d.is_some() {
+                best.fetch_min(idx, Ordering::Relaxed);
+            }
+            merge_keyed(g, d);
+        },
+    );
+    out.map(|k| k.map(|k| k.witness))
+}
+
+/// Supervised [`crate::sweep::check_complete_par`]; `Some` is the serial
+/// scan's witness.
+pub fn check_complete_supervised<M: MemoryModel + Sync>(
+    model: &M,
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+) -> Supervised<Option<IncompleteWitness>> {
+    let alphabet = u.alphabet();
+    let maps = maps_for(u, cfg, &alphabet);
+    search_supervised(
+        materialize(u, cfg.canonical),
+        cfg,
+        sup,
+        || (LabelScratch::new(), CheckScratch::new()),
+        |task, xs, superseded| {
+            let (ls, check) = xs;
+            let mut found = None;
+            let _ = for_each_labelling(&alphabet, &maps, task, ls, &mut |c, _| {
+                if superseded() {
+                    return ControlFlow::Break(());
+                }
+                let mut any = false;
+                let _ = for_each_observer(c, |phi| {
+                    if model.contains_with(c, phi, check) {
+                        any = true;
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                });
+                if !any {
+                    found = Some(c.clone());
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+            found
+        },
+    )
+}
+
+/// Supervised [`crate::sweep::check_monotonic_par`]; `Some` is the serial
+/// scan's witness.
+pub fn check_monotonic_supervised<M: MemoryModel + Sync>(
+    model: &M,
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+) -> Supervised<Option<MonotonicityWitness>> {
+    let alphabet = u.alphabet();
+    let maps = maps_for(u, cfg, &alphabet);
+    search_supervised(
+        materialize(u, cfg.canonical),
+        cfg,
+        sup,
+        || (LabelScratch::new(), CheckScratch::new()),
+        |task, xs, superseded| {
+            let (ls, check) = xs;
+            let mut found = None;
+            let _ = for_each_labelling(&alphabet, &maps, task, ls, &mut |c, _| {
+                if superseded() {
+                    return ControlFlow::Break(());
+                }
+                for_each_observer(c, |phi| {
+                    if !model.contains_with(c, phi, check) {
+                        return ControlFlow::Continue(());
+                    }
+                    for (na, nb) in c.dag().edges() {
+                        let relaxed = c.without_edge(na, nb).expect("edge exists");
+                        if !model.contains_with(&relaxed, phi, check) {
+                            found = Some(MonotonicityWitness {
+                                c: c.clone(),
+                                phi: phi.clone(),
+                                relaxed,
+                            });
+                            return ControlFlow::Break(());
+                        }
+                    }
+                    ControlFlow::Continue(())
+                })
+            });
+            found
+        },
+    )
+}
+
+/// Supervised [`crate::sweep::check_constructible_aug_par`]; `Some` is
+/// the serial scan's witness.
+pub fn check_constructible_aug_supervised<M: MemoryModel + Sync>(
+    model: &M,
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+) -> Supervised<Option<ConstructibilityWitness>> {
+    let alphabet = u.alphabet();
+    let maps = maps_for(u, cfg, &alphabet);
+    let bounded = Universe { max_nodes: u.max_nodes.saturating_sub(1), ..*u };
+    search_supervised(
+        materialize(&bounded, cfg.canonical),
+        cfg,
+        sup,
+        || (LabelScratch::new(), CheckScratch::new()),
+        |task, xs, superseded| {
+            let (ls, check) = xs;
+            let mut found = None;
+            let _ = for_each_labelling(&alphabet, &maps, task, ls, &mut |c, _| {
+                if superseded() {
+                    return ControlFlow::Break(());
+                }
+                for_each_observer(c, |phi| {
+                    if !model.contains_with(c, phi, check) {
+                        return ControlFlow::Continue(());
+                    }
+                    for &o in &alphabet {
+                        let aug = c.augment(o);
+                        if !any_extension(&aug, phi, |phi2| model.contains_with(&aug, phi2, check))
+                        {
+                            found = Some(ConstructibilityWitness {
+                                c: c.clone(),
+                                phi: phi.clone(),
+                                extension: aug,
+                                op: o,
+                            });
+                            return ControlFlow::Break(());
+                        }
+                    }
+                    ControlFlow::Continue(())
+                })
+            });
+            found
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// A ready-made checkpointable state: weighted membership counts
+// ---------------------------------------------------------------------
+
+/// Weighted membership counts: the checkpointable state behind
+/// `ccmm sweep` phase 1 and the kill/resume tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CountsState {
+    /// Weighted (C, Φ) pairs visited.
+    pub pairs: u64,
+    /// Weighted membership count per model, in caller order.
+    pub per_model: Vec<u64>,
+}
+
+impl CountsState {
+    /// Zero counts for `models` models.
+    pub fn new(models: usize) -> Self {
+        CountsState { pairs: 0, per_model: vec![0; models] }
+    }
+
+    /// Appends the wire encoding (`pairs`, model count, per-model counts,
+    /// all little-endian u64).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.pairs);
+        put_u64(out, self.per_model.len() as u64);
+        for &m in &self.per_model {
+            put_u64(out, m);
+        }
+    }
+
+    /// Consumes a wire encoding from the front of `input`.
+    pub fn decode_from(input: &mut &[u8]) -> Option<Self> {
+        let pairs = get_u64(input)?;
+        let n = get_u64(input)? as usize;
+        if n > 4096 {
+            return None; // corrupt count, not a real model list
+        }
+        let mut per_model = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_model.push(get_u64(input)?);
+        }
+        Some(CountsState { pairs, per_model })
+    }
+}
+
+impl Merge for CountsState {
+    fn merge(&mut self, other: Self) {
+        debug_assert_eq!(self.per_model.len(), other.per_model.len());
+        self.pairs += other.pairs;
+        for (d, s) in self.per_model.iter_mut().zip(other.per_model) {
+            *d += s;
+        }
+    }
+}
+
+/// Encodes one checkpoint snapshot payload: frontier, then counts.
+pub fn encode_counts_snapshot(frontier: &Frontier, counts: &CountsState) -> Vec<u8> {
+    let mut out = Vec::new();
+    frontier.encode_into(&mut out);
+    counts.encode_into(&mut out);
+    out
+}
+
+/// Decodes a snapshot produced by [`encode_counts_snapshot`].
+pub fn decode_counts_snapshot(mut bytes: &[u8]) -> Option<(Frontier, CountsState)> {
+    let frontier = Frontier::decode_from(&mut bytes)?;
+    let counts = CountsState::decode_from(&mut bytes)?;
+    Some((frontier, counts))
+}
+
+/// Supervised weighted membership counting over every `(C, Φ)` pair of
+/// the universe: the checkpointable sweep behind `ccmm sweep` phase 1.
+/// `ckpt` is `(journal, every-N-tasks)`; `resume` a decoded snapshot.
+pub fn memberships_supervised<M: MemoryModel + Sync>(
+    models: &[M],
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+    resume: Option<(Frontier, CountsState)>,
+    ckpt: Option<(&mut CkptWriter, usize)>,
+) -> Supervised<CountsState> {
+    let n = models.len();
+    let encode = |s: &CountsState, f: &Frontier| encode_counts_snapshot(f, s);
+    let sink = ckpt.map(|(writer, every)| CkptSink { writer, every, encode: &encode });
+    sweep_supervised_ckpt(
+        u,
+        cfg,
+        sup,
+        resume,
+        sink,
+        || CountsState::new(n),
+        CheckScratch::new,
+        |acc, check, _, c, w| {
+            let _ = for_each_observer(c, |phi| {
+                acc.pairs += w;
+                for (i, m) in models.iter().enumerate() {
+                    if m.contains_with(c, phi, check) {
+                        acc.per_model[i] += w;
+                    }
+                }
+                ControlFlow::Continue(())
+            });
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::relation::compare;
+
+    const MODELS: [Model; 6] = [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww];
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ccmm-sup-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn frontier_insert_coalesces_and_round_trips() {
+        let mut f = Frontier::new();
+        for idx in [5, 3, 4, 9, 0, 1, 10, 7] {
+            f.insert(idx);
+            f.insert(idx); // idempotent
+        }
+        assert_eq!(f.ranges(), &[(0, 2), (3, 6), (7, 8), (9, 11)]);
+        assert_eq!(f.len(), 8);
+        for idx in [0, 1, 3, 4, 5, 7, 9, 10] {
+            assert!(f.contains(idx));
+        }
+        for idx in [2, 6, 8, 11, 100] {
+            assert!(!f.contains(idx));
+        }
+        f.insert(8); // bridges (7,8) and (9,11)
+        assert_eq!(f.ranges(), &[(0, 2), (3, 6), (7, 11)]);
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        let mut r: &[u8] = &buf;
+        assert_eq!(Frontier::decode_from(&mut r), Some(f));
+        assert!(r.is_empty());
+        // Truncated and unsorted encodings are rejected.
+        let mut torn: &[u8] = &buf[..buf.len() - 1];
+        assert!(Frontier::decode_from(&mut torn).is_none());
+        let mut bad = Vec::new();
+        put_u64(&mut bad, 2);
+        for v in [5u64, 9, 1, 3] {
+            put_u64(&mut bad, v);
+        }
+        let mut r: &[u8] = &bad;
+        assert!(Frontier::decode_from(&mut r).is_none());
+    }
+
+    #[test]
+    fn clean_supervised_memberships_are_complete_and_match_unsupervised() {
+        let u = Universe::new(3, 1);
+        let cfg = SweepConfig::with_threads(2);
+        let sup = Supervisor::none();
+        let out = memberships_supervised(&MODELS, &u, &cfg, &sup, None, None);
+        assert!(out.is_complete());
+        assert!(out.quarantined.is_empty());
+        assert_eq!(out.frontier.len(), out.total_tasks);
+        // Pair totals match the exhaustive comparison's count.
+        let serial = compare(&Model::Sc, &Model::Lc, &u);
+        assert_eq!(out.value.pairs as usize, serial.pairs_checked);
+        assert_eq!(out.value.per_model[0] as usize, serial.a_total);
+        assert_eq!(out.value.per_model[1] as usize, serial.b_total);
+    }
+
+    #[test]
+    fn persistent_panic_quarantines_and_degrades() {
+        let u = Universe::new(3, 1);
+        let cfg = SweepConfig::with_threads(2);
+        let clean =
+            memberships_supervised(&MODELS, &u, &cfg, &Supervisor::none(), None, None).value;
+        let sup = Supervisor::with_fault(FaultPlan::none().panic_at_task(0));
+        let out = memberships_supervised(&MODELS, &u, &cfg, &sup, None, None);
+        assert_eq!(out.status, SweepStatus::Degraded);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].task_idx, 0);
+        assert!(out.quarantined[0].payload.contains("panic at task 0"));
+        assert!(!out.frontier.contains(0));
+        assert_eq!(out.frontier.len() + 1, out.total_tasks);
+        // Task 0 is the empty poset: exactly one (C, Φ) pair missing.
+        assert_eq!(out.value.pairs, clean.pairs - 1);
+    }
+
+    #[test]
+    fn transient_panic_heals_on_retry() {
+        let u = Universe::new(3, 1);
+        let cfg = SweepConfig::with_threads(2);
+        let clean =
+            memberships_supervised(&MODELS, &u, &cfg, &Supervisor::none(), None, None).value;
+        let sup = Supervisor::with_fault(FaultPlan::none().panic_once_at_task(2));
+        let out = memberships_supervised(&MODELS, &u, &cfg, &sup, None, None);
+        assert!(out.is_complete(), "retry should heal a once-fault");
+        assert_eq!(out.value, clean);
+    }
+
+    #[test]
+    fn zero_deadline_yields_partial_with_empty_frontier() {
+        let u = Universe::new(3, 1);
+        let cfg = SweepConfig::with_threads(2).deadline(Duration::ZERO);
+        let out = memberships_supervised(&MODELS, &u, &cfg, &Supervisor::none(), None, None);
+        assert_eq!(out.status, SweepStatus::Partial);
+        assert!(out.frontier.is_empty());
+        assert_eq!(out.value.pairs, 0);
+    }
+
+    #[test]
+    fn kill_resume_is_bit_identical() {
+        let u = Universe::new(3, 1);
+        for threads in [1, 2, 4] {
+            let cfg = SweepConfig::with_threads(threads).canonical(true);
+            let clean =
+                memberships_supervised(&MODELS, &u, &cfg, &Supervisor::none(), None, None).value;
+            let path = temp(&format!("killres-{threads}"));
+            let mut writer = CkptWriter::create(&path, "test fp").unwrap();
+            let sup = Supervisor::with_fault(FaultPlan::none().kill_after_records(2));
+            let out = memberships_supervised(&MODELS, &u, &cfg, &sup, None, Some((&mut writer, 1)));
+            assert_eq!(out.status, SweepStatus::Killed);
+            drop(writer);
+            let ck = crate::ckpt::Checkpoint::load(&path).unwrap();
+            assert_eq!(ck.fingerprint, "test fp");
+            assert!(ck.snapshots.len() >= 2);
+            let (frontier, counts) = decode_counts_snapshot(ck.latest().unwrap()).unwrap();
+            assert!(frontier.len() >= 2);
+            let mut writer = CkptWriter::append_to(&path).unwrap();
+            let resumed = memberships_supervised(
+                &MODELS,
+                &u,
+                &cfg,
+                &Supervisor::none(),
+                Some((frontier, counts)),
+                Some((&mut writer, 1)),
+            );
+            assert!(resumed.is_complete(), "{threads} threads");
+            assert_eq!(resumed.value, clean, "{threads} threads: resume must be bit-identical");
+            assert_eq!(resumed.frontier.len(), resumed.total_tasks);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn degraded_compare_keeps_other_witnesses() {
+        // Panic at task 0 (the empty poset, which witnesses nothing):
+        // the LC/NN disagreement witnesses must still equal the serial
+        // scan's, and the verdict must be Degraded, not a crash.
+        let u = Universe::new(3, 1);
+        let serial = compare(&Model::Lc, &Model::Nn, &u);
+        let sup = Supervisor::with_fault(FaultPlan::none().panic_at_task(0));
+        let out =
+            compare_supervised(&Model::Lc, &Model::Nn, &u, &SweepConfig::with_threads(2), &sup);
+        assert_eq!(out.status, SweepStatus::Degraded);
+        assert_eq!(out.value.relation, serial.relation);
+        assert_eq!(out.value.a_only, serial.a_only);
+        assert_eq!(out.value.b_only, serial.b_only);
+        // Exactly the empty computation's single pair is missing.
+        assert_eq!(out.value.pairs_checked, serial.pairs_checked - 1);
+    }
+
+    #[test]
+    fn degraded_witness_search_does_not_abort() {
+        let u = Universe::new(3, 1);
+        let cfg = SweepConfig::with_threads(2);
+        let sup = Supervisor::with_fault(FaultPlan::none().panic_at_task(0));
+        let out = check_complete_supervised(&Model::Nn, &u, &cfg, &sup);
+        assert_eq!(out.status, SweepStatus::Degraded);
+        assert!(out.value.is_none(), "NN is complete at this bound");
+        assert_eq!(out.quarantined.len(), 1);
+    }
+
+    #[test]
+    fn counts_snapshot_round_trip() {
+        let mut f = Frontier::new();
+        f.insert(3);
+        f.insert(4);
+        f.insert(9);
+        let counts = CountsState { pairs: 123, per_model: vec![7, 0, 99] };
+        let bytes = encode_counts_snapshot(&f, &counts);
+        let (f2, c2) = decode_counts_snapshot(&bytes).unwrap();
+        assert_eq!(f2, f);
+        assert_eq!(c2, counts);
+        assert!(decode_counts_snapshot(&bytes[..bytes.len() - 3]).is_none());
+    }
+}

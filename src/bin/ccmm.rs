@@ -225,17 +225,49 @@ fn cmd_lattice(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(args: &[String]) -> Result<bool, String> {
+/// Exit codes distinguishing sweep outcomes (see `ccmm --help`):
+/// 0 complete, 1 gate/check failure, 2 usage or I/O error, 3 degraded
+/// (quarantined panics), 4 partial (deadline hit), 5 `--gate` without a
+/// baseline, 70 killed by the fault plan.
+mod exit {
+    pub const COMPLETE: u8 = 0;
+    pub const FAIL: u8 = 1;
+    pub const DEGRADED: u8 = 3;
+    pub const PARTIAL: u8 = 4;
+    pub const NO_BASELINE: u8 = 5;
+    pub const KILLED: u8 = 70;
+}
+
+fn status_name(s: ccmm::core::sweep::supervisor::SweepStatus) -> &'static str {
+    use ccmm::core::sweep::supervisor::SweepStatus;
+    match s {
+        SweepStatus::Complete => "complete",
+        SweepStatus::Degraded => "degraded",
+        SweepStatus::Partial => "partial",
+        SweepStatus::Killed => "killed",
+    }
+}
+
+fn report_quarantine(phase: &str, quarantined: &[ccmm::core::sweep::supervisor::Quarantined]) {
+    for q in quarantined {
+        println!(
+            "quarantined: {phase} task {} (poset size {}) panicked twice: {}",
+            q.task_idx, q.size, q.payload
+        );
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> Result<u8, String> {
     use ccmm::core::constructible::BoundedConstructible;
-    use ccmm::core::enumerate::for_each_observer;
-    use ccmm::core::model::CheckScratch;
-    use ccmm::core::sweep::{
-        check_constructible_aug_par, lattice_par, sweep_computations, SweepConfig,
+    use ccmm::core::fault::FaultPlan;
+    use ccmm::core::sweep::supervisor::{
+        check_constructible_aug_supervised, decode_counts_snapshot, lattice_supervised,
+        memberships_supervised, Supervisor, SweepStatus,
     };
+    use ccmm::core::sweep::SweepConfig;
     use ccmm::core::universe::Universe;
-    use ccmm::core::{MemoryModel, Nn};
+    use ccmm::core::{ckpt, MemoryModel, Nn};
     use ccmm_bench::report::{emit, latest_matching, SweepRecord};
-    use std::ops::ControlFlow;
     use std::time::Instant;
 
     let mut bound = 4usize;
@@ -244,6 +276,11 @@ fn cmd_sweep(args: &[String]) -> Result<bool, String> {
     let mut alloc = false;
     let mut gate = false;
     let mut threads: Option<usize> = None;
+    let mut deadline_secs: Option<f64> = None;
+    let mut fault_spec: Option<String> = None;
+    let mut ckpt_path: Option<String> = None;
+    let mut ckpt_every = 16usize;
+    let mut resume_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -258,17 +295,52 @@ fn cmd_sweep(args: &[String]) -> Result<bool, String> {
             "--threads" => {
                 threads = Some(take("--threads")?.parse().map_err(|_| "bad --threads")?);
             }
+            "--deadline-secs" => {
+                deadline_secs =
+                    Some(take("--deadline-secs")?.parse().map_err(|_| "bad --deadline-secs")?);
+            }
+            "--fault" => fault_spec = Some(take("--fault")?),
+            "--ckpt" => ckpt_path = Some(take("--ckpt")?),
+            "--ckpt-every" => {
+                ckpt_every = take("--ckpt-every")?.parse().map_err(|_| "bad --ckpt-every")?;
+                if ckpt_every == 0 {
+                    return Err("--ckpt-every must be at least 1".into());
+                }
+            }
+            "--resume" => resume_path = Some(take("--resume")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if bound > 5 {
         return Err("--bound > 5 is out of reach even canonically (357 → 4824 posets)".into());
     }
-    let cfg = match threads {
+    if ckpt_path.is_some() && resume_path.is_some() {
+        return Err(
+            "--ckpt starts a fresh journal and --resume continues one; pass only one".to_string()
+        );
+    }
+    let supervised_flags = deadline_secs.is_some()
+        || fault_spec.is_some()
+        || ckpt_path.is_some()
+        || resume_path.is_some();
+    if alloc && supervised_flags {
+        return Err("--alloc is a baseline timing mode; it cannot be combined with \
+                    --deadline-secs/--fault/--ckpt/--resume"
+            .to_string());
+    }
+    let fault = match &fault_spec {
+        Some(spec) => FaultPlan::from_spec(spec)?,
+        None => FaultPlan::none(),
+    };
+    let sup = Supervisor::with_fault(fault);
+    let mut cfg = match threads {
         Some(t) => SweepConfig::with_threads(t),
         None => SweepConfig::from_env(),
     }
     .canonical(canonical);
+    if let Some(secs) = deadline_secs {
+        cfg = cfg.deadline(std::time::Duration::from_secs_f64(secs));
+    }
     // `--alloc` measures the pre-scratch membership path (fresh checker
     // state allocated per pair) so BENCH_sweep.json can hold the baseline
     // the canonical+scratch engine is compared against.
@@ -279,6 +351,53 @@ fn cmd_sweep(args: &[String]) -> Result<bool, String> {
         (false, true) => "labelled-alloc",
     };
     let u = Universe::new(bound, locs);
+
+    // Gate precondition checked up front: a gated run that has nothing to
+    // compare against must not silently record itself as the baseline.
+    let baseline = latest_matching("cli_sweep/memberships", engine, &u);
+    if gate && baseline.is_none() {
+        eprintln!("error: no baseline for this config — run without --gate to record one");
+        return Ok(exit::NO_BASELINE);
+    }
+
+    // Checkpoint journal: `--ckpt` starts one, `--resume` validates an
+    // existing journal's fingerprint and continues from its last
+    // snapshot. The fingerprint pins the exact sweep configuration so a
+    // journal can never be resumed into a different universe.
+    let fingerprint = format!("ccmm-sweep-v1 bound={bound} locs={locs} canonical={canonical}");
+    let mut writer: Option<ckpt::CkptWriter> = None;
+    let mut resume_state = None;
+    if let Some(path) = &ckpt_path {
+        writer = Some(
+            ckpt::CkptWriter::create(std::path::Path::new(path), &fingerprint)
+                .map_err(|e| format!("creating checkpoint {path}: {e}"))?,
+        );
+    }
+    if let Some(path) = &resume_path {
+        let loaded = ckpt::Checkpoint::load(std::path::Path::new(path))
+            .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
+        if loaded.fingerprint != fingerprint {
+            return Err(format!(
+                "checkpoint fingerprint mismatch: journal is `{}`, this run is `{fingerprint}`",
+                loaded.fingerprint
+            ));
+        }
+        resume_state = match loaded.latest() {
+            Some(snap) => Some(
+                decode_counts_snapshot(snap)
+                    .ok_or_else(|| format!("corrupt checkpoint snapshot in {path}"))?,
+            ),
+            None => None, // journal died before the first snapshot
+        };
+        writer = Some(
+            ckpt::CkptWriter::append_to(std::path::Path::new(path))
+                .map_err(|e| format!("reopening checkpoint {path}: {e}"))?,
+        );
+        if let Some((f, _)) = &resume_state {
+            println!("resuming from {path}: {} task(s) already complete", f.len());
+        }
+    }
+
     println!(
         "sweep: bound {bound}, {locs} location(s), {} computations, {engine} enumeration, {} thread(s)",
         u.count_computations_closed(),
@@ -286,94 +405,175 @@ fn cmd_sweep(args: &[String]) -> Result<bool, String> {
     );
     let models = [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww];
     let mut records = Vec::new();
+    let mut worst = SweepStatus::Complete;
 
     // Phase 1: weighted membership counts for every model. The weighted
     // pair total is the labelled universe's pair count regardless of
     // enumeration mode, so pairs/sec is comparable across engines — the
-    // number the perf gate watches.
+    // number the perf gate watches. This is the checkpointable phase.
     let t0 = Instant::now();
-    let per_worker = sweep_computations(
-        &u,
-        &cfg,
-        || (0u64, [0u64; 6], CheckScratch::new()),
-        |acc, _, c, w| {
-            let _ = for_each_observer(c, |phi| {
-                acc.0 += w;
-                for (i, m) in models.iter().enumerate() {
-                    let member = if alloc {
-                        m.contains(c, phi)
-                    } else {
-                        m.contains_with(c, phi, &mut acc.2)
-                    };
-                    acc.1[i] += w * member as u64;
-                }
-                ControlFlow::Continue(())
-            });
-        },
-    );
-    let wall = t0.elapsed();
-    let (mut pairs, mut counts) = (0u64, [0u64; 6]);
-    for (p, cs, _) in per_worker {
-        pairs += p;
-        for (i, c) in cs.iter().enumerate() {
-            counts[i] += c;
+    let out = if alloc {
+        // Baseline timing mode: the pre-scratch path, unsupervised.
+        use ccmm::core::enumerate::for_each_observer;
+        use ccmm::core::sweep::supervisor::{CountsState, Frontier, Supervised};
+        use ccmm::core::sweep::sweep_computations;
+        use std::ops::ControlFlow;
+        let per_worker = sweep_computations(
+            &u,
+            &cfg,
+            || CountsState::new(models.len()),
+            |acc, _, c, w| {
+                let _ = for_each_observer(c, |phi| {
+                    acc.pairs += w;
+                    for (i, m) in models.iter().enumerate() {
+                        acc.per_model[i] += w * m.contains(c, phi) as u64;
+                    }
+                    ControlFlow::Continue(())
+                });
+            },
+        );
+        let mut total = CountsState::new(models.len());
+        for cs in per_worker {
+            total.pairs += cs.pairs;
+            for (i, n) in cs.per_model.iter().enumerate() {
+                total.per_model[i] += n;
+            }
         }
+        Supervised {
+            value: total,
+            status: SweepStatus::Complete,
+            quarantined: Vec::new(),
+            frontier: Frontier::new(),
+            total_tasks: 0,
+            ckpt_error: None,
+        }
+    } else {
+        memberships_supervised(
+            &models,
+            &u,
+            &cfg,
+            &sup,
+            resume_state,
+            writer.as_mut().map(|w| (w, ckpt_every)),
+        )
+    };
+    let wall = t0.elapsed();
+    if let Some(e) = &out.ckpt_error {
+        eprintln!("warning: checkpoint journalling failed mid-sweep: {e}");
     }
-    println!("memberships over {pairs} (computation, observer) pairs [{:.2?}]:", wall);
-    for (m, n) in models.iter().zip(counts) {
+    report_quarantine("memberships", &out.quarantined);
+    if out.status == SweepStatus::Killed {
+        let journal = ckpt_path.as_deref().or(resume_path.as_deref()).unwrap_or("<journal>");
+        println!(
+            "killed by fault plan after {} checkpoint record(s); resume with --resume {journal}",
+            writer.as_ref().map_or(0, |w| w.snapshots())
+        );
+        return Ok(exit::KILLED);
+    }
+    worst = worst.max(out.status);
+    println!(
+        "memberships over {} (computation, observer) pairs [{:.2?}] ({}):",
+        out.value.pairs,
+        wall,
+        status_name(out.status)
+    );
+    for (m, n) in models.iter().zip(&out.value.per_model) {
         println!("  {:<4} {n}", m.name());
     }
-    let membership =
-        SweepRecord::new("cli_sweep/memberships", engine, &u, cfg.threads, wall, pairs, 0);
+    let membership = SweepRecord::new(
+        "cli_sweep/memberships",
+        engine,
+        &u,
+        cfg.threads,
+        wall,
+        out.value.pairs,
+        0,
+    )
+    .with_status(status_name(out.status));
     let throughput = membership.pairs_per_sec;
     records.push(membership);
+    if out.status == SweepStatus::Partial {
+        // Deadline hit: report the exact resume frontier and stop — the
+        // later phases would blow the budget the caller just set.
+        println!(
+            "deadline hit: {}/{} task(s) complete; resume frontier: {:?}",
+            out.frontier.len(),
+            out.total_tasks,
+            out.frontier.ranges()
+        );
+        if let Some(path) = ckpt_path.as_deref().or(resume_path.as_deref()) {
+            println!("resume with --resume {path}");
+        }
+        let path = emit(&records).map_err(|e| format!("writing bench json: {e}"))?;
+        println!("recorded {} sweep record(s) to {path}", records.len());
+        return Ok(exit::PARTIAL);
+    }
 
-    // Phase 2: the full pairwise relation lattice (Figure 1 at this bound).
+    // Phase 2: the full pairwise relation lattice (Figure 1 at this
+    // bound), under the same supervisor (the fault plan spans all
+    // phases; a task-indexed fault re-fires wherever that index recurs).
     let t0 = Instant::now();
-    let lattice = lattice_par(&models, &u, &cfg);
+    let lat = lattice_supervised(&models, &u, &cfg, &sup);
     let wall = t0.elapsed();
-    println!("lattice [{:.2?}]:", wall);
+    report_quarantine("lattice", &lat.quarantined);
+    worst = worst.max(lat.status);
+    println!("lattice [{:.2?}] ({}):", wall, status_name(lat.status));
     print!("{:<6}", "");
     for m in &models {
         print!("{:>4}", m.name());
     }
     println!();
-    for row in &lattice {
+    for row in &lat.value {
         print!("  {:<4}", row.name);
         for r in &row.relations {
             print!("{:>4}", r.to_string());
         }
         println!();
     }
-    records.push(SweepRecord::new("cli_sweep/lattice", engine, &u, cfg.threads, wall, 0, 0));
+    records.push(
+        SweepRecord::new("cli_sweep/lattice", engine, &u, cfg.threads, wall, 0, 0)
+            .with_status(status_name(lat.status)),
+    );
 
     // Phase 3: constructibility. The NN Δ* worklist fixpoint (labelled by
     // necessity — survivor sets are keyed by concrete computations), then
     // the one-step augmentation check for every model.
     let t0 = Instant::now();
-    let fix = BoundedConstructible::compute_worklist(&Nn::default(), &u, &cfg);
+    let fix =
+        BoundedConstructible::compute_worklist_supervised(&Nn::default(), &u, &cfg, &sup.fault);
     let wall = t0.elapsed();
+    report_quarantine("fixpoint", &fix.quarantined);
+    let fix_status =
+        if fix.quarantined.is_empty() { SweepStatus::Complete } else { SweepStatus::Degraded };
+    worst = worst.max(fix_status);
     println!(
-        "NN* worklist fixpoint: {} surviving pairs, {} deleted, {} pass(es) [{:.2?}]",
+        "NN* worklist fixpoint: {} surviving pairs, {} deleted, {} pass(es) [{:.2?}] ({})",
         fix.total_pairs(),
         fix.deleted,
         fix.passes,
-        wall
-    );
-    records.push(SweepRecord::new(
-        "cli_sweep/nnstar_worklist",
-        "worklist",
-        &u,
-        cfg.threads,
         wall,
-        fix.total_pairs() as u64,
-        fix.passes,
-    ));
+        status_name(fix_status)
+    );
+    records.push(
+        SweepRecord::new(
+            "cli_sweep/nnstar_worklist",
+            "worklist",
+            &u,
+            cfg.threads,
+            wall,
+            fix.total_pairs() as u64,
+            fix.passes,
+        )
+        .with_status(status_name(fix_status)),
+    );
     let t0 = Instant::now();
     for m in &models {
-        match check_constructible_aug_par(m, &u, &cfg) {
-            Ok(()) => println!("  {:<4} constructible up to bound {bound}", m.name()),
-            Err(w) => println!(
+        let check = check_constructible_aug_supervised(m, &u, &cfg, &sup);
+        report_quarantine("constructibility", &check.quarantined);
+        worst = worst.max(check.status);
+        match check.value {
+            None => println!("  {:<4} constructible up to bound {bound}", m.name()),
+            Some(w) => println!(
                 "  {:<4} NOT constructible: dead end at {} nodes appending {:?}",
                 m.name(),
                 w.c.node_count(),
@@ -383,31 +583,34 @@ fn cmd_sweep(args: &[String]) -> Result<bool, String> {
     }
     println!("constructibility checks [{:.2?}]", t0.elapsed());
 
-    // Perf gate: compare the membership throughput against the committed
-    // baseline BEFORE appending the fresh records.
-    let baseline = latest_matching("cli_sweep/memberships", engine, &u);
     let path = emit(&records).map_err(|e| format!("writing bench json: {e}"))?;
     println!("recorded {} sweep record(s) to {path}", records.len());
-    if gate {
-        match baseline {
-            None => println!("gate: no committed baseline for this shape — recorded only"),
-            Some(b) => {
-                println!(
-                    "gate: {throughput:.0} pairs/sec vs baseline {:.0} (threshold {:.0})",
-                    b.pairs_per_sec,
-                    b.pairs_per_sec / 2.0
-                );
-                if throughput < b.pairs_per_sec / 2.0 {
-                    return Err(format!(
-                        "perf gate FAILED: {throughput:.0} pairs/sec is more than 2x below \
-                         the committed baseline {:.0}",
-                        b.pairs_per_sec
-                    ));
-                }
-            }
+    if gate && worst == SweepStatus::Complete {
+        // `baseline` was verified Some before the sweep started.
+        let b = baseline.expect("gate precondition checked above");
+        println!(
+            "gate: {throughput:.0} pairs/sec vs baseline {:.0} (threshold {:.0})",
+            b.pairs_per_sec,
+            b.pairs_per_sec / 2.0
+        );
+        if throughput < b.pairs_per_sec / 2.0 {
+            eprintln!(
+                "perf gate FAILED: {throughput:.0} pairs/sec is more than 2x below \
+                 the committed baseline {:.0}",
+                b.pairs_per_sec
+            );
+            return Ok(exit::FAIL);
         }
+    } else if gate {
+        println!("gate: skipped — run was {} (only complete runs are gated)", status_name(worst));
     }
-    Ok(true)
+    println!("sweep status: {}", status_name(worst));
+    Ok(match worst {
+        SweepStatus::Complete => exit::COMPLETE,
+        SweepStatus::Degraded => exit::DEGRADED,
+        SweepStatus::Partial => exit::PARTIAL,
+        SweepStatus::Killed => exit::KILLED,
+    })
 }
 
 fn cmd_conformance(args: &[String]) -> Result<bool, String> {
@@ -495,11 +698,22 @@ USAGE:
   ccmm backer [--workload W] [--procs P] [--cache N] [--page B] [--runs K]
   ccmm lattice [--nodes N]                 pairwise model relations (N ≤ 4)
   ccmm sweep [--bound N] [--locs L] [--canonical] [--threads T] [--gate]
+             [--deadline-secs S] [--fault SPEC] [--ckpt PATH]
+             [--ckpt-every K] [--resume PATH]
                                            exhaustive verification at bound N
                                            (N ≤ 5): memberships, lattice, NN*
                                            fixpoint, constructibility; appends
                                            timings to BENCH_sweep.json; --gate
                                            fails on >2x throughput regression
+                                           (exit 5 when no baseline exists).
+                                           --deadline-secs stops after the
+                                           budget (exit 4, resume frontier
+                                           printed); --ckpt journals progress
+                                           every K tasks; --resume continues a
+                                           journal bit-identically; --fault
+                                           injects deterministic faults (e.g.
+                                           panic-at-task=3, kill-after-ckpt=2;
+                                           exit 3 degraded, 70 killed)
   ccmm conformance [--nodes N] [--locs L] [--random K] [--seed S] [--threads T]
                    [--canonical] [--no-harvest] [--self-test] [--out DIR]
                                            fast checkers vs oracles; exit 0 iff
@@ -516,16 +730,20 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let result: Result<bool, String> = match cmd.as_str() {
-        "models" => cmd_models(rest).map(|()| true),
-        "check" => cmd_check(rest),
-        "witness" => cmd_witness(rest).map(|()| true),
-        "litmus" => cmd_litmus(rest).map(|()| true),
-        "backer" => cmd_backer(rest).map(|()| true),
-        "lattice" => cmd_lattice(rest).map(|()| true),
+    // Exit codes: 0 success/complete, 1 failed check/gate/conformance,
+    // 2 usage or I/O error, and for `sweep` additionally 3 degraded,
+    // 4 partial (deadline), 5 gate-without-baseline, 70 killed by the
+    // fault plan.
+    let result: Result<u8, String> = match cmd.as_str() {
+        "models" => cmd_models(rest).map(|()| 0),
+        "check" => cmd_check(rest).map(|ok| if ok { 0 } else { 1 }),
+        "witness" => cmd_witness(rest).map(|()| 0),
+        "litmus" => cmd_litmus(rest).map(|()| 0),
+        "backer" => cmd_backer(rest).map(|()| 0),
+        "lattice" => cmd_lattice(rest).map(|()| 0),
         "sweep" => cmd_sweep(rest),
-        "conformance" => cmd_conformance(rest),
-        "dot" => cmd_dot(rest).map(|()| true),
+        "conformance" => cmd_conformance(rest).map(|ok| if ok { 0 } else { 1 }),
+        "dot" => cmd_dot(rest).map(|()| 0),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -533,8 +751,7 @@ fn main() -> ExitCode {
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
     match result {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::FAILURE,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(2)

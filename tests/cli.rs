@@ -138,3 +138,138 @@ fn conformance_rejects_oversized_bounds() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8(out.stderr).unwrap().contains("too slow"));
 }
+
+/// A `ccmm sweep` invocation with `CCMM_BENCH_JSON` pointed at a
+/// test-scoped temp file, so these tests never touch the committed
+/// baseline.
+fn sweep_cmd(name: &str) -> (Command, std::path::PathBuf) {
+    let json = std::env::temp_dir().join(format!("ccmm-cli-bench-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&json);
+    let mut cmd = bin();
+    cmd.arg("sweep").env("CCMM_BENCH_JSON", &json);
+    (cmd, json)
+}
+
+/// The `"  SC   361"`-style membership count lines — the bit-identity
+/// fingerprint the kill/resume round trip compares.
+fn membership_counts(stdout: &str) -> Vec<String> {
+    stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("memberships over"))
+        .skip(1)
+        .take(6)
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn sweep_gate_without_baseline_exits_5() {
+    let (mut cmd, json) = sweep_cmd("gate-nobase");
+    let out = cmd.args(["--bound", "3", "--gate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(5), "dedicated exit code for a gate with no baseline");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("no baseline for this config — run without --gate to record one"),
+        "unexpected stderr: {err}"
+    );
+    assert!(!json.exists(), "a refused gate run must not record itself as the baseline");
+}
+
+#[test]
+fn sweep_injected_panic_degrades_but_completes() {
+    let (mut cmd, json) = sweep_cmd("degraded");
+    let out = cmd
+        .args(["--bound", "3", "--canonical", "--threads", "2", "--fault", "panic-at-task=1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "degraded exit code");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("quarantined: memberships task 1"), "{text}");
+    assert!(text.contains("(degraded)"), "{text}");
+    assert!(text.contains("sweep status: degraded"), "{text}");
+    // The sweep still ran to the end: all phases reported, records written.
+    assert!(text.contains("NN* worklist fixpoint"), "{text}");
+    assert!(text.contains("recorded 3 sweep record(s)"), "{text}");
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn sweep_kill_and_resume_round_trip_is_bit_identical() {
+    let ckpt = std::env::temp_dir().join(format!("ccmm-cli-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let shape = ["--bound", "4", "--canonical", "--threads", "2"];
+
+    // Uninterrupted reference run.
+    let (mut cmd, json1) = sweep_cmd("kill-clean");
+    let clean = cmd.args(shape).output().unwrap();
+    assert_eq!(clean.status.code(), Some(0));
+    let clean_counts = membership_counts(&String::from_utf8(clean.stdout).unwrap());
+    assert_eq!(clean_counts.len(), 6);
+
+    // Killed run: checkpoint every task, crash after two journal records.
+    let (mut cmd, json2) = sweep_cmd("kill-killed");
+    let killed = cmd
+        .args(shape)
+        .args(["--ckpt-every", "1", "--fault", "kill-after-ckpt=2", "--ckpt"])
+        .arg(&ckpt)
+        .output()
+        .unwrap();
+    assert_eq!(killed.status.code(), Some(70), "killed-by-fault-plan exit code");
+    let text = String::from_utf8(killed.stdout).unwrap();
+    assert!(text.contains("killed by fault plan"), "{text}");
+    assert!(text.contains("--resume"), "{text}");
+
+    // Resume: bit-identical membership counts, clean exit.
+    let (mut cmd, json3) = sweep_cmd("kill-resumed");
+    let resumed = cmd.args(shape).arg("--resume").arg(&ckpt).output().unwrap();
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let resumed_text = String::from_utf8(resumed.stdout).unwrap();
+    assert!(resumed_text.contains("resuming from"), "{resumed_text}");
+    assert_eq!(
+        membership_counts(&resumed_text),
+        clean_counts,
+        "resumed counts must be bit-identical to the uninterrupted run"
+    );
+    for p in [&ckpt, &json1, &json2, &json3] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn sweep_zero_deadline_exits_partial_with_resume_frontier() {
+    let (mut cmd, json) = sweep_cmd("deadline");
+    let out = cmd.args(["--bound", "4", "--canonical", "--deadline-secs", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(4), "partial (deadline) exit code");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("deadline hit"), "{text}");
+    assert!(text.contains("resume frontier"), "{text}");
+    assert!(text.contains("(partial)"), "{text}");
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn sweep_resume_rejects_a_mismatched_fingerprint() {
+    let ckpt = std::env::temp_dir().join(format!("ccmm-cli-fpmm-{}", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let (mut cmd, json1) = sweep_cmd("fpmm-kill");
+    let killed = cmd
+        .args(["--bound", "4", "--canonical", "--ckpt-every", "1"])
+        .args(["--fault", "kill-after-ckpt=1", "--ckpt"])
+        .arg(&ckpt)
+        .output()
+        .unwrap();
+    assert_eq!(killed.status.code(), Some(70));
+    // Same journal, different universe: refused before any work runs.
+    let (mut cmd, json2) = sweep_cmd("fpmm-resume");
+    let out = cmd.args(["--bound", "3", "--canonical", "--resume"]).arg(&ckpt).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("fingerprint mismatch"));
+    for p in [&ckpt, &json1, &json2] {
+        let _ = std::fs::remove_file(p);
+    }
+}
