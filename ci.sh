@@ -74,6 +74,29 @@ ccmm sweep --bound 4 --canonical --threads 2 --resume "$scratch/sweep.ckpt" \
 counts() { grep -A6 "^memberships over" "$1" | tail -6; }
 diff <(counts "$scratch/clean.out") <(counts "$scratch/resumed.out") \
     || { echo "resumed counts differ from the uninterrupted run"; exit 1; }
+
+echo "== telemetry smoke: counters deterministic across thread counts =="
+# --metrics counter values for the memberships and fixpoint phases must
+# be bit-identical at 1, 2, and 4 threads (DESIGN.md §9); the lattice and
+# constructibility phases early-exit and are coverage-dependent, so they
+# are excluded. The trace file must be valid JSONL.
+for t in 1 2 4; do
+    ccmm sweep --bound 4 --canonical --threads "$t" \
+        --metrics "$scratch/metrics-$t.json" --trace "$scratch/trace-$t.jsonl" \
+        > /dev/null 2>&1
+    jq -e . "$scratch/metrics-$t.json" > /dev/null \
+        || { echo "metrics-$t.json is not valid JSON"; exit 1; }
+    jq -es . "$scratch/trace-$t.jsonl" > /dev/null \
+        || { echo "trace-$t.jsonl is not valid JSONL"; exit 1; }
+    jq -S '[.phases[] | select(.name == "memberships" or .name == "fixpoint")
+            | {name, counters}]' "$scratch/metrics-$t.json" > "$scratch/det-$t.json"
+done
+pairs=$(jq '.phases[0].counters.pairs_checked' "$scratch/metrics-1.json")
+[[ "$pairs" -gt 0 ]] || { echo "pairs_checked is zero — counters not recording"; exit 1; }
+for t in 2 4; do
+    diff "$scratch/det-1.json" "$scratch/det-$t.json" \
+        || { echo "deterministic-phase counters drifted at $t threads"; exit 1; }
+done
 unset CCMM_BENCH_JSON
 
 echo "CI OK"

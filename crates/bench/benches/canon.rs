@@ -36,6 +36,7 @@ fn memberships(u: &Universe, cfg: &SweepConfig) -> u64 {
             });
         },
     )
+    .expect_complete("bench memberships sweep")
     .into_iter()
     .map(|(n, _)| n)
     .sum()
@@ -79,6 +80,7 @@ fn bench_scratch(c: &mut Criterion) {
                     });
                 },
             )
+            .expect_complete("bench alloc sweep")
             .into_iter()
             .sum();
             black_box(n)

@@ -39,6 +39,12 @@ pub struct SweepRecord {
     /// panics), or `"partial"` (deadline hit). Records predating this
     /// field deserialize as `"complete"`.
     pub status: String,
+    /// Telemetry counters for the phase this record times
+    /// (`name → value`, in [`ccmm_core::telemetry::Counter::ALL`] order),
+    /// embedded when the sweep ran with telemetry on. Empty when
+    /// telemetry was off; records predating this field deserialize as
+    /// empty. Serialized as a JSON object and omitted when empty.
+    pub counters: Vec<(String, u64)>,
 }
 
 // Hand-rolled (not `impl_serde_struct!`) because the macro errors on
@@ -46,7 +52,7 @@ pub struct SweepRecord {
 // `"complete"`.
 impl serde::Serialize for SweepRecord {
     fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_value(serde::Value::Map(vec![
+        let mut fields = vec![
             ("experiment".into(), serde::to_value(&self.experiment)),
             ("engine".into(), serde::to_value(&self.engine)),
             ("max_nodes".into(), serde::to_value(&self.max_nodes)),
@@ -58,7 +64,13 @@ impl serde::Serialize for SweepRecord {
             ("pairs_per_sec".into(), serde::to_value(&self.pairs_per_sec)),
             ("fixpoint_passes".into(), serde::to_value(&self.fixpoint_passes)),
             ("status".into(), serde::to_value(&self.status)),
-        ]))
+        ];
+        if !self.counters.is_empty() {
+            let entries =
+                self.counters.iter().map(|(k, v)| (k.clone(), serde::to_value(v))).collect();
+            fields.push(("counters".into(), serde::Value::Map(entries)));
+        }
+        s.serialize_value(serde::Value::Map(fields))
     }
 }
 
@@ -78,6 +90,22 @@ impl<'de> serde::Deserialize<'de> for SweepRecord {
         } else {
             "complete".to_string()
         };
+        // Optional like `status`: telemetry-off runs and committed
+        // baselines predating the field carry no counters object.
+        let counters = match map.iter().position(|(k, _)| k == "counters") {
+            Some(i) => match map.remove(i).1 {
+                serde::Value::Map(entries) => entries
+                    .into_iter()
+                    .map(|(k, v)| serde::from_value::<u64, D::Error>(v).map(|n| (k, n)))
+                    .collect::<Result<Vec<_>, _>>()?,
+                other => {
+                    return Err(<D::Error as serde::de::Error>::custom(format_args!(
+                        "counters: expected object, found {other:?}"
+                    )))
+                }
+            },
+            None => Vec::new(),
+        };
         Ok(SweepRecord {
             experiment: serde::de::take_field(&mut map, "experiment")?,
             engine: serde::de::take_field(&mut map, "engine")?,
@@ -90,6 +118,7 @@ impl<'de> serde::Deserialize<'de> for SweepRecord {
             pairs_per_sec: serde::de::take_field(&mut map, "pairs_per_sec")?,
             fixpoint_passes: serde::de::take_field(&mut map, "fixpoint_passes")?,
             status,
+            counters,
         })
     }
 }
@@ -121,12 +150,19 @@ impl SweepRecord {
             pairs_per_sec,
             fixpoint_passes: fixpoint_passes as u64,
             status: "complete".to_string(),
+            counters: Vec::new(),
         }
     }
 
     /// Tags the record with a supervisor outcome (builder style).
     pub fn with_status(mut self, status: impl Into<String>) -> Self {
         self.status = status.into();
+        self
+    }
+
+    /// Embeds a telemetry counter snapshot (builder style).
+    pub fn with_counters(mut self, counters: Vec<(String, u64)>) -> Self {
+        self.counters = counters;
         self
     }
 }
@@ -268,6 +304,29 @@ mod tests {
         let json = serde_json::to_string(&serde::to_value(&r)).expect("serialize");
         let back: SweepRecord = serde_json::from_str(&json).expect("round trip");
         assert_eq!(back.status, "degraded");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn counters_default_to_empty_and_round_trip() {
+        // Records predating (or written without) telemetry have no
+        // `counters` key at all.
+        let legacy = r#"{
+            "experiment": "old", "engine": "parallel", "max_nodes": 4,
+            "num_locations": 1, "universe_computations": 9, "threads": 2,
+            "wall_ms": 1.0, "pairs_checked": 10, "pairs_per_sec": 10000.0,
+            "fixpoint_passes": 0, "status": "complete"
+        }"#;
+        let r: SweepRecord = serde_json::from_str(legacy).expect("counter-less record parses");
+        assert!(r.counters.is_empty());
+        let json = serde_json::to_string(&serde::to_value(&r)).expect("serialize");
+        assert!(!json.contains("counters"), "empty counters are omitted: {json}");
+        // A counter-tagged record round-trips with names and values intact.
+        let u = Universe::new(2, 1);
+        let r = SweepRecord::new("ct", "parallel", &u, 2, Duration::from_millis(5), 7, 0)
+            .with_counters(vec![("pairs_checked".into(), 7), ("sc_memo_hits".into(), 3)]);
+        let json = serde_json::to_string(&serde::to_value(&r)).expect("serialize");
+        let back: SweepRecord = serde_json::from_str(&json).expect("round trip");
         assert_eq!(back, r);
     }
 

@@ -17,6 +17,7 @@ use ccmm_core::enumerate::for_each_observer;
 use ccmm_core::locks::{CriticalSection, Lock, LockedComputation};
 use ccmm_core::sweep::supervisor::{sweep_supervised, Merge, Supervisor};
 use ccmm_core::sweep::SweepConfig;
+use ccmm_core::telemetry::{self, Counter};
 use ccmm_core::universe::Universe;
 use ccmm_core::{Computation, Location, MemoryModel, Model, ObserverFunction, Op, Oracle};
 use ccmm_dag::NodeId;
@@ -270,6 +271,7 @@ where
     // panicking checker quarantines its poset task (retried once) instead
     // of aborting the harness. Finds are tagged with the task index; the
     // sort after the merge reproduces the serial scan's order.
+    let exh_span = telemetry::span("conformance/exhaustive");
     let out = sweep_supervised(
         &Universe::new(cfg.max_nodes, cfg.num_locations),
         &cfg.sweep,
@@ -281,6 +283,7 @@ where
                 acc.pairs += 1;
                 for (m, oracle) in &oracles {
                     acc.checks += 1;
+                    telemetry::count(Counter::ConformanceChecks, 1);
                     let f = fast(*m, c, phi);
                     let o = oracle.contains(c, phi);
                     if f != o && acc.finds.len() < WORKER_CAP {
@@ -309,8 +312,10 @@ where
     for (_, d) in tagged {
         push_capped(&mut raw, d, cfg.max_disagreements, &mut truncated);
     }
+    drop(exh_span);
 
     // Source 2: seeded random pairs (serial — reproducibility over speed).
+    let random_span = telemetry::span("conformance/random");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut random_pairs = 0;
     for _ in 0..cfg.random_cases {
@@ -322,6 +327,7 @@ where
             let mut finds = Vec::new();
             for (m, oracle) in &oracles {
                 case_checks += 1;
+                telemetry::count(Counter::ConformanceChecks, 1);
                 let f = fast(*m, &c, &phi);
                 let o = oracle.contains(&c, &phi);
                 if f != o {
@@ -345,9 +351,12 @@ where
         }
     }
 
+    drop(random_span);
+
     // Source 3: observers harvested from BACKER executions of Cilk
     // workloads. Workloads are capped at ~10 nodes so the factorial
     // oracles stay affordable.
+    let harvest_span = telemetry::span("conformance/harvested");
     let mut harvested_pairs = 0;
     if cfg.harvest {
         for (_, c) in ccmm_cilk::conformance_workloads() {
@@ -358,6 +367,7 @@ where
                     let mut finds = Vec::new();
                     for (m, oracle) in &oracles {
                         case_checks += 1;
+                        telemetry::count(Counter::ConformanceChecks, 1);
                         let f = fast(*m, &c, &phi);
                         let o = oracle.contains(&c, &phi);
                         if f != o {
@@ -383,9 +393,12 @@ where
         }
     }
 
+    drop(harvest_span);
+
     // Source 4: lock-augmented membership. Both sides take the same
     // existential over serializations; a split implies a serialization on
     // which the plain checkers split, which becomes the recorded pair.
+    let lock_span = telemetry::span("conformance/lock");
     let mut lock_pairs = 0;
     if cfg.lock_cases > 0 {
         for lk in lock_workloads() {
@@ -398,6 +411,7 @@ where
                     let mut finds = Vec::new();
                     for (m, oracle) in &oracles {
                         case_checks += 1;
+                        telemetry::count(Counter::ConformanceChecks, 1);
                         let m = *m;
                         let f_model = FnModel {
                             name: "fast-under-test",
@@ -436,8 +450,11 @@ where
         }
     }
 
+    drop(lock_span);
+
     // Shrink every collected disagreement; the split predicate re-runs
     // both sides on each candidate.
+    let _shrink_span = telemetry::span("conformance/shrink");
     let disagreements = raw
         .into_iter()
         .map(|d| {

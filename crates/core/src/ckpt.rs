@@ -14,6 +14,8 @@
 //! to that valid prefix, so a resumed run never buries garbage between
 //! records.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, Write};
 use std::path::Path;
@@ -46,12 +48,25 @@ pub struct CkptWriter {
 impl CkptWriter {
     /// Creates (or truncates) the journal at `path` and writes the magic
     /// plus the fingerprint record.
+    ///
+    /// Durability guarantee: the journal's *name* is fsync'd into its
+    /// parent directory before this returns. Appending a record fsyncs
+    /// only the file's data (`sync_data`), which makes the record itself
+    /// durable but — on ext4 and friends — not the directory entry of a
+    /// freshly created file; without the directory fsync a crash right
+    /// after `create` could lose the whole journal, not just a torn
+    /// tail.
     pub fn create(path: &Path, fingerprint: &str) -> io::Result<Self> {
         let mut file = File::create(path)?;
         file.write_all(MAGIC)?;
         let mut w = CkptWriter { file, snapshots: 0 };
         w.write_record(fingerprint.as_bytes())?;
         w.snapshots = 0; // the fingerprint is not a snapshot
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        File::open(parent)?.sync_all()?;
         Ok(w)
     }
 
@@ -145,11 +160,12 @@ impl Checkpoint {
 /// Parses one record at `pos`; `None` on a torn or corrupt record.
 fn read_record(bytes: &[u8], pos: usize) -> Option<(Vec<u8>, usize)> {
     let header = bytes.get(pos..pos + RECORD_HEADER)?;
-    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let (len_bytes, crc_bytes) = header.split_first_chunk::<4>()?;
+    let len = u32::from_le_bytes(*len_bytes) as usize;
     if len > MAX_RECORD {
         return None;
     }
-    let crc = u64::from_le_bytes(header[4..].try_into().unwrap());
+    let crc = u64::from_le_bytes(*crc_bytes.first_chunk::<8>()?);
     let payload = bytes.get(pos + RECORD_HEADER..pos + RECORD_HEADER + len)?;
     if fnv1a64(payload) != crc {
         return None;
@@ -174,6 +190,7 @@ pub fn get_u64(input: &mut &[u8]) -> Option<u64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -29,6 +29,7 @@ use crate::observer::ObserverFunction;
 use crate::props::any_extension;
 use crate::sweep::supervisor::Quarantined;
 use crate::sweep::{sweep_computations, SweepConfig};
+use crate::telemetry::{self, Counter};
 use crate::universe::Universe;
 use ccmm_dag::bitset::BitSet;
 use ccmm_dag::NodeId;
@@ -179,7 +180,11 @@ impl BoundedConstructible {
                 });
                 acc.push((c.clone(), set));
             },
-        );
+        )
+        // Completeness here is a soundness requirement: the fixpoint
+        // assumes the universe is closed under augmentation, so a
+        // degraded/partial materialisation must not be silently used.
+        .expect_complete("Δ* materialisation");
         let mut pairs: HashMap<Computation, HashSet<ObserverFunction>> =
             chunks.into_iter().flatten().collect();
 
@@ -223,11 +228,14 @@ impl BoundedConstructible {
                     Ok(failed) => q.extend(failed),
                     Err(_first) => match catch_unwind(AssertUnwindSafe(attempt)) {
                         Ok(failed) => q.extend(failed),
-                        Err(second) => quarantine.lock().unwrap().push(Quarantined {
-                            task_idx: i,
-                            size: c.node_count(),
-                            payload: payload_string(second),
-                        }),
+                        Err(second) => {
+                            telemetry::count(Counter::Quarantines, 1);
+                            quarantine.lock().unwrap().push(Quarantined {
+                                task_idx: i,
+                                size: c.node_count(),
+                                payload: payload_string(second),
+                            });
+                        }
                     },
                 }
             }
@@ -256,7 +264,9 @@ impl BoundedConstructible {
         // unique augmentation parents of what was deleted.
         let mut passes = 1;
         let mut deleted = 0;
+        telemetry::count(Counter::WorklistPushes, queue.len() as u64);
         while !queue.is_empty() {
+            telemetry::count(Counter::WorklistPops, queue.len() as u64);
             let mut recheck: Vec<(Computation, ObserverFunction, Computation)> = Vec::new();
             for (c, phi) in queue.drain(..) {
                 let set = pairs.get_mut(&c).expect("key present");
@@ -281,6 +291,7 @@ impl BoundedConstructible {
                 }
             }
             queue = next_queue;
+            telemetry::count(Counter::WorklistPushes, queue.len() as u64);
             if !queue.is_empty() {
                 passes += 1;
             }

@@ -27,6 +27,8 @@
 //!   plan;
 //! * [`constructible`]: the bounded Δ* fixpoint (Definition 8, Theorem 9)
 //!   used to machine-check `LC = NN*` (Theorem 23);
+//! * [`telemetry`]: zero-cost-when-disabled counters, spans, and
+//!   progress heartbeats threaded through every long-running path;
 //! * [`witness`]: the paper's Figures 2–4 as concrete library values;
 //! * [`exec`] and [`litmus`]: value semantics and litmus-test outcomes
 //!   under each model;
@@ -83,6 +85,7 @@ pub mod procs;
 pub mod props;
 pub mod relation;
 pub mod sweep;
+pub mod telemetry;
 pub mod trace;
 pub mod universe;
 pub mod witness;

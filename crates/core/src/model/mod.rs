@@ -23,6 +23,7 @@ pub mod sc;
 
 use crate::computation::Computation;
 use crate::observer::ObserverFunction;
+use crate::telemetry::{self, Counter};
 
 pub use composite::{Intersection, Union};
 pub use dagcons::{DynQ, Nn, Nw, QDag, QPredicate, Wn, Ww};
@@ -135,8 +136,22 @@ impl Model {
         }
     }
 
+    /// The telemetry counter tracking Φ checks dispatched to this model.
+    fn phi_counter(self) -> Counter {
+        match self {
+            Model::Sc => Counter::PhiChecksSc,
+            Model::Lc => Counter::PhiChecksLc,
+            Model::Nn => Counter::PhiChecksNn,
+            Model::Nw => Counter::PhiChecksNw,
+            Model::Wn => Counter::PhiChecksWn,
+            Model::Ww => Counter::PhiChecksWw,
+            Model::Any => Counter::PhiChecksAny,
+        }
+    }
+
     /// Membership test, dispatching to the concrete checker.
     pub fn contains(self, c: &Computation, phi: &ObserverFunction) -> bool {
+        telemetry::count(self.phi_counter(), 1);
         match self {
             Model::Sc => Sc.contains(c, phi),
             Model::Lc => Lc.contains(c, phi),
@@ -165,6 +180,8 @@ impl MemoryModel for Model {
     }
 
     fn contains_with(&self, c: &Computation, phi: &ObserverFunction, s: &mut CheckScratch) -> bool {
+        telemetry::count(self.phi_counter(), 1);
+        telemetry::count(Counter::ScratchReuse, 1);
         match self {
             Model::Sc => Sc.contains_with(c, phi, s),
             Model::Lc => Lc.contains_with(c, phi, s),

@@ -107,9 +107,11 @@ impl Search<'_> {
         }
         if self.packed {
             if self.s.failed_packed.contains(&self.packed_key()) {
+                crate::telemetry::count(crate::telemetry::Counter::ScMemoHits, 1);
                 return false;
             }
         } else if self.s.failed_general.contains(&(self.s.scheduled.clone(), self.s.last.clone())) {
+            crate::telemetry::count(crate::telemetry::Counter::ScMemoHits, 1);
             return false;
         }
         for u in self.c.nodes() {
@@ -147,6 +149,7 @@ impl Search<'_> {
             self.s.sched_mask &= !1u64.wrapping_shl(u.index() as u32);
             self.s.scheduled.remove(u.index());
         }
+        crate::telemetry::count(crate::telemetry::Counter::ScMemoMisses, 1);
         if self.packed {
             let key = self.packed_key();
             self.s.failed_packed.insert(key);

@@ -170,10 +170,12 @@ impl<M: MemoryModel> OnlineSession<M> {
             false // keep enumerating: collect every admissible row
         });
         if admissible.is_empty() {
+            crate::telemetry::count(crate::telemetry::Counter::OnlineJams, 1);
             let stuck = Stuck { computation: next, prefix_phi: self.phi.clone(), op };
             self.jammed = Some(stuck.clone());
             return Err(stuck);
         }
+        crate::telemetry::count(crate::telemetry::Counter::OnlineReveals, 1);
         let idx = chooser(&admissible).min(admissible.len() - 1);
         let phi2 = admissible.swap_remove(idx);
         let row = next.locations().map(|l| phi2.get(l, new)).collect();

@@ -89,6 +89,7 @@ impl MemoryModel for Oracle {
     }
 
     fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
+        crate::telemetry::count(crate::telemetry::Counter::OracleChecks, 1);
         match self {
             Oracle::Sc => sc_brute(c, phi),
             Oracle::Lc => lc_brute(c, phi),

@@ -13,6 +13,11 @@
 //! location: `l0: n0 _ n0` gives `Φ(l0, ·)` for nodes `n0, n1, n2` in
 //! order, `_` meaning ⊥. [`render_computation`] and [`render_observer`]
 //! invert the parsers, and round-tripping is property-tested.
+//!
+//! The parsers accept arbitrary (including non-ASCII) input and never
+//! panic: every malformed token becomes a line-numbered [`ParseError`].
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::computation::Computation;
 use crate::observer::ObserverFunction;
@@ -53,7 +58,12 @@ fn parse_op(tok: &str, line: usize) -> Result<Op, ParseError> {
     if tok == "N" {
         return Ok(Op::Nop);
     }
-    let (kind, rest) = tok.split_at(1);
+    // Split off the first *character*, not the first byte: `split_at(1)`
+    // would panic on a multi-byte UTF-8 op name (and on an empty token).
+    let mut chars = tok.chars();
+    let kind =
+        chars.next().ok_or_else(|| err(line, "expected R(i), W(i) or N, got an empty op"))?;
+    let rest = chars.as_str();
     let inner = rest
         .strip_prefix('(')
         .and_then(|s| s.strip_suffix(')'))
@@ -62,8 +72,8 @@ fn parse_op(tok: &str, line: usize) -> Result<Op, ParseError> {
     let inner = inner.strip_prefix('l').unwrap_or(inner);
     let loc: usize = inner.parse().map_err(|_| err(line, format!("bad location in `{tok}`")))?;
     match kind {
-        "R" => Ok(Op::Read(Location::new(loc))),
-        "W" => Ok(Op::Write(Location::new(loc))),
+        'R' => Ok(Op::Read(Location::new(loc))),
+        'W' => Ok(Op::Write(Location::new(loc))),
         _ => Err(err(line, format!("unknown op `{tok}`"))),
     }
 }
@@ -187,6 +197,7 @@ pub fn render_observer(phi: &ObserverFunction) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -240,6 +251,22 @@ n3: R(0) <- n2
 
         let e = parse_computation("n0: N <- n0\n").unwrap_err();
         assert!(e.message.contains("smaller index"));
+    }
+
+    #[test]
+    fn multibyte_and_empty_ops_error_instead_of_panicking() {
+        // A multi-byte first character used to panic `split_at(1)`.
+        let e = parse_computation("n0: Ω(0)\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown op"), "{e}");
+        let e = parse_computation("n0: ✗\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_computation("n0:\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("empty op"), "{e}");
+        // Observer rows with non-ASCII node tokens error too.
+        let c = parse_computation("n0: W(0)\n").unwrap();
+        assert!(parse_observer("l0: ñ0\n", &c).is_err());
     }
 
     #[test]

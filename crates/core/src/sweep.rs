@@ -64,11 +64,11 @@ pub struct SweepConfig {
     /// docs). Totals and witnesses are identical to the labelled sweep.
     pub canonical: bool,
     /// Cooperative time budget, honoured by the supervised entry points
-    /// ([`supervisor`]): workers stop between tasks once it elapses and
-    /// the sweep reports a partial result with its resume frontier. The
-    /// unsupervised `_par` wrappers cannot express partial results and
-    /// panic if the deadline fires — set a deadline only when calling a
-    /// supervised entry point.
+    /// ([`supervisor`]) and by [`sweep_computations`]: workers stop
+    /// between tasks once it elapses and the sweep reports a partial
+    /// result with its resume frontier. The `_par` wrappers cannot
+    /// express partial results and panic if the deadline fires — set a
+    /// deadline only when the caller inspects [`supervisor::SweepStatus`].
     pub deadline: Option<Duration>,
 }
 
@@ -120,7 +120,7 @@ impl Default for SweepConfig {
 }
 
 /// One unit of sweep work: one poset, covering all its op labellings.
-struct Task {
+pub(crate) struct Task {
     /// Global index in serial enumeration order (sizes ascending, posets
     /// in `for_each_poset` order within a size). Canonical tasks keep
     /// their *labelled* global index, so smallest-index witness merging
@@ -250,6 +250,7 @@ where
 {
     let n = task.size;
     let k = alphabet.len();
+    crate::telemetry::count(crate::telemetry::Counter::PosetsScanned, 1);
     scratch.c.retarget(&task.dag);
     scratch.digits.clear();
     scratch.digits.resize(n, 0);
@@ -260,6 +261,7 @@ where
             location_canonical_weight(&scratch.digits, maps)
         };
         if canonical {
+            crate::telemetry::count(crate::telemetry::Counter::LabellingsScanned, 1);
             scratch.ops.clear();
             scratch.ops.extend(scratch.digits.iter().map(|&d| alphabet[d]));
             scratch.c.refresh_ops(&scratch.ops);
@@ -318,21 +320,41 @@ where
     }
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads).map(|_| s.spawn(|| worker(&injector))).collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+        // Task panics are caught per task inside the supervised engine,
+        // so a panic escaping a worker is an infrastructure bug — re-raise
+        // it instead of replacing it with a generic expect message.
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
     })
 }
 
 /// The general sharded sweep: runs `work` once per computation of the
 /// universe (canonical mode: once per isomorphism orbit), fanned out over
-/// `cfg.threads` workers at poset granularity, each worker folding into
-/// its own accumulator (seeded by `init`). Returns the per-worker
-/// accumulators for the caller to merge.
+/// `cfg.threads` workers at poset granularity, each task folding into its
+/// own fresh accumulator (seeded by `init`). Returns the per-task
+/// accumulators — in completion order, so callers must merge them
+/// commutatively — wrapped in a [`supervisor::Supervised`] verdict.
+///
+/// This runs through the supervised engine: a task that panics (twice —
+/// one retry with rebuilt scratch) is quarantined and the sweep finishes
+/// [`supervisor::SweepStatus::Degraded`] with every other task's
+/// accumulator intact, instead of aborting the whole run; a configured
+/// [`SweepConfig::deadline`] yields `Partial` with the completed-task
+/// frontier. Callers that need totality use
+/// [`supervisor::Supervised::expect_complete`].
 ///
 /// `work` receives the computation's *task index* (the global poset
 /// index) so callers can impose the serial order on merged results, and
 /// the computation's universe multiplicity (1 in labelled mode) so
 /// weighted counts reproduce labelled totals exactly.
-pub fn sweep_computations<R, I, F>(u: &Universe, cfg: &SweepConfig, init: I, work: F) -> Vec<R>
+pub fn sweep_computations<R, I, F>(
+    u: &Universe,
+    cfg: &SweepConfig,
+    init: I,
+    work: F,
+) -> supervisor::Supervised<Vec<R>>
 where
     R: Send,
     I: Fn() -> R + Sync,
@@ -340,17 +362,25 @@ where
 {
     let alphabet = u.alphabet();
     let maps = maps_for(u, cfg, &alphabet);
-    run_workers(materialize(u, cfg.canonical), cfg.threads, |inj| {
-        let mut acc = init();
-        let mut scratch = LabelScratch::new();
-        while let Some(task) = pop(inj) {
-            let _ = for_each_labelling(&alphabet, &maps, &task, &mut scratch, &mut |c, weight| {
+    supervisor::run_supervised(
+        materialize(u, cfg.canonical),
+        cfg.threads,
+        cfg.deadline,
+        &crate::fault::FaultPlan::none(),
+        supervisor::Frontier::new(),
+        Vec::new(),
+        None,
+        LabelScratch::new,
+        |task, scratch| {
+            let mut acc = init();
+            let _ = for_each_labelling(&alphabet, &maps, task, scratch, &mut |c, weight| {
                 work(&mut acc, task.idx, c, weight);
                 ControlFlow::Continue(())
             });
-        }
-        acc
-    })
+            vec![acc]
+        },
+        |all: &mut Vec<R>, mut acc, _| all.append(&mut acc),
+    )
 }
 
 /// A witness tagged with the task index it was found in; merged by
@@ -571,7 +601,8 @@ mod tests {
                 &SweepConfig::with_threads(threads),
                 || 0usize,
                 |acc, _, _, _| *acc += 1,
-            );
+            )
+            .expect_complete("counting sweep");
             assert_eq!(counts.iter().sum::<usize>(), u.count_computations());
         }
     }
@@ -586,13 +617,55 @@ mod tests {
             for threads in [1, 2, 4] {
                 let cfg = SweepConfig::with_threads(threads).canonical(true);
                 let weighted =
-                    sweep_computations(&u, &cfg, || 0u128, |acc, _, _, w| *acc += w as u128);
+                    sweep_computations(&u, &cfg, || 0u128, |acc, _, _, w| *acc += w as u128)
+                        .expect_complete("weighted sweep");
                 assert_eq!(
                     weighted.iter().sum::<u128>(),
                     u.count_computations_closed(),
                     "bound {nodes}, {locs} locations, {threads} threads"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn unsupervised_panic_degrades_with_surviving_witnesses() {
+        // A panicking task on the plain `sweep_computations` path must
+        // quarantine and degrade — not abort the process — with every
+        // other task's accumulator intact, serial and parallel alike.
+        let u = Universe::new(3, 1);
+        let clean = sweep_computations(
+            &u,
+            &SweepConfig::serial(),
+            || (0usize, 0usize),
+            |acc, idx, _, _| {
+                acc.0 += 1;
+                if idx == 1 {
+                    acc.1 += 1;
+                }
+            },
+        )
+        .expect_complete("clean sweep");
+        let total: usize = clean.iter().map(|(n, _)| n).sum();
+        let task1: usize = clean.iter().map(|(_, n)| n).sum();
+        assert!(task1 > 0, "task 1 does real work at this bound");
+        for threads in [1, 2, 4] {
+            let out = sweep_computations(
+                &u,
+                &SweepConfig::with_threads(threads),
+                || 0usize,
+                |acc, idx, _, _| {
+                    assert!(idx != 1, "task 1 always panics");
+                    *acc += 1;
+                },
+            );
+            assert_eq!(out.status, supervisor::SweepStatus::Degraded, "{threads} threads");
+            assert_eq!(out.quarantined.len(), 1);
+            assert_eq!(out.quarantined[0].task_idx, 1);
+            assert!(out.quarantined[0].payload.contains("always panics"));
+            assert!(!out.frontier.contains(1));
+            assert_eq!(out.frontier.len(), out.total_tasks - 1);
+            assert_eq!(out.value.iter().sum::<usize>(), total - task1);
         }
     }
 

@@ -55,6 +55,7 @@ use crate::props::{
     any_extension, ConstructibilityWitness, IncompleteWitness, MonotonicityWitness,
 };
 use crate::relation::{Comparison, LatticeRow, Relation};
+use crate::telemetry::{self, Counter};
 use crate::universe::Universe;
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -304,7 +305,7 @@ struct Shared<'a, S> {
 /// `merge` under the shared lock, with cooperative deadline stop and
 /// optional checkpoint journalling.
 #[allow(clippy::too_many_arguments)] // internal engine; wrappers present the public face
-fn run_supervised<S, X, XF, SC, MG>(
+pub(crate) fn run_supervised<S, X, XF, SC, MG>(
     mut tasks: Vec<Task>,
     threads: usize,
     deadline: Option<Duration>,
@@ -346,6 +347,9 @@ where
             if stop.load(Ordering::Relaxed) {
                 continue; // drain the queue without scanning
             }
+            if deadline.is_some() {
+                telemetry::count(Counter::DeadlinePolls, 1);
+            }
             if deadline.is_some_and(|d| start.elapsed() >= d) {
                 deadline_hit.store(true, Ordering::Relaxed);
                 stop.store(true, Ordering::Relaxed);
@@ -372,6 +376,7 @@ where
                                 size: task.size,
                                 payload: payload_string(second),
                             };
+                            telemetry::count(Counter::Quarantines, 1);
                             shared.lock().unwrap().quarantined.push(q);
                             None
                         }
@@ -383,6 +388,7 @@ where
             let g = &mut *guard;
             merge(&mut g.state, delta, task.idx);
             g.frontier.insert(task.idx);
+            telemetry::progress_tick(g.frontier.len(), total_tasks, g.quarantined.len());
             if let Some(sink) = g.ckpt.as_mut() {
                 if g.ckpt_error.is_none() {
                     g.since_ckpt += 1;
@@ -391,6 +397,7 @@ where
                         let payload = (sink.encode)(&g.state, &g.frontier);
                         match sink.writer.append(&payload) {
                             Ok(()) => {
+                                telemetry::count(Counter::CkptRecords, 1);
                                 if fault.should_kill(sink.writer.snapshots()) {
                                     killed.store(true, Ordering::Relaxed);
                                     stop.store(true, Ordering::Relaxed);
@@ -979,6 +986,7 @@ pub fn memberships_supervised<M: MemoryModel + Sync>(
         CheckScratch::new,
         |acc, check, _, c, w| {
             let _ = for_each_observer(c, |phi| {
+                telemetry::count(Counter::PairsChecked, 1);
                 acc.pairs += w;
                 for (i, m) in models.iter().enumerate() {
                     if m.contains_with(c, phi, check) {

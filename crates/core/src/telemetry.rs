@@ -1,0 +1,407 @@
+//! Zero-cost-when-disabled counters, spans, and progress heartbeats.
+//!
+//! Every long-running path in the crate (sweeps, fixpoints, model
+//! checkers, the conformance harness) calls the `#[inline]` hooks in this
+//! module. With the `telemetry` cargo feature off they compile to
+//! nothing; with it on (the default) each hook is a single relaxed
+//! atomic load and branch until telemetry is switched on at runtime with
+//! [`set_enabled`], so the hot paths stay within noise of the
+//! un-instrumented build.
+//!
+//! **Counters** are recorded in lock-free per-thread sinks (a
+//! `thread_local` array of `AtomicU64`s, registered once per thread in a
+//! global list) and merged by summation in [`snapshot_and_reset`].
+//! Summation is commutative and associative, so the merged totals are
+//! deterministic whenever the underlying *set* of events is — see
+//! DESIGN.md §9 for which counters that covers (and why wall-clock
+//! timings never are).
+//!
+//! **Spans** ([`span`]) record named intervals with microsecond
+//! timestamps on a process-local monotonic clock ([`now_us`]); they are
+//! drained as JSONL-able [`SpanEvent`]s by [`drain_events`]. Timestamps
+//! are excluded from every bit-identity check: they measure the host,
+//! not the computation.
+//!
+//! **Progress** ([`progress_tick`]) is a rate-limited stderr heartbeat
+//! emitted from the supervisor's commit path (tasks done/total, ETA,
+//! quarantine count) when [`set_progress`] is on.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A named event counter. The variants mirror the work items of the
+/// sweep and fixpoint engines; [`Counter::ALL`] fixes the (stable)
+/// snapshot order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Posets handed to a labelling scan (one per task scan attempt).
+    PosetsScanned,
+    /// Op labellings visited inside those scans (canonical mode: one per
+    /// location-canonical labelling).
+    LabellingsScanned,
+    /// (computation, observer) membership pairs checked by a sweep.
+    PairsChecked,
+    /// Φ-membership checks dispatched to the SC checker.
+    PhiChecksSc,
+    /// Φ-membership checks dispatched to the LC checker.
+    PhiChecksLc,
+    /// Φ-membership checks dispatched to the NN checker.
+    PhiChecksNn,
+    /// Φ-membership checks dispatched to the NW checker.
+    PhiChecksNw,
+    /// Φ-membership checks dispatched to the WN checker.
+    PhiChecksWn,
+    /// Φ-membership checks dispatched to the WW checker.
+    PhiChecksWw,
+    /// Φ-membership checks dispatched to the validity-only (Any) checker.
+    PhiChecksAny,
+    /// SC search prefixes refuted from the per-pair memo table.
+    ScMemoHits,
+    /// SC search prefixes explored and inserted into the memo table.
+    ScMemoMisses,
+    /// Membership checks that reused a caller-provided scratch
+    /// (`contains_with`) instead of allocating fresh checker state.
+    ScratchReuse,
+    /// Pairs pushed onto the Δ* worklist (initial seed + cascades).
+    WorklistPushes,
+    /// Pairs drained from the Δ* worklist for rechecking.
+    WorklistPops,
+    /// Tasks quarantined after panicking twice (sweep or fixpoint).
+    Quarantines,
+    /// Snapshot records appended to a checkpoint journal.
+    CkptRecords,
+    /// Deadline polls performed by supervised workers (counted only when
+    /// a deadline is configured).
+    DeadlinePolls,
+    /// Operations successfully revealed by the online (Δ*) simulator.
+    OnlineReveals,
+    /// Online reveals that jammed (no admissible observer extension).
+    OnlineJams,
+    /// Membership checks answered by a brute-force oracle.
+    OracleChecks,
+    /// Fast-vs-oracle verdict comparisons made by the conformance
+    /// harness.
+    ConformanceChecks,
+}
+
+/// Number of distinct counters.
+pub const NUM_COUNTERS: usize = 22;
+
+impl Counter {
+    /// Every counter, in snapshot order.
+    pub const ALL: [Counter; NUM_COUNTERS] = [
+        Counter::PosetsScanned,
+        Counter::LabellingsScanned,
+        Counter::PairsChecked,
+        Counter::PhiChecksSc,
+        Counter::PhiChecksLc,
+        Counter::PhiChecksNn,
+        Counter::PhiChecksNw,
+        Counter::PhiChecksWn,
+        Counter::PhiChecksWw,
+        Counter::PhiChecksAny,
+        Counter::ScMemoHits,
+        Counter::ScMemoMisses,
+        Counter::ScratchReuse,
+        Counter::WorklistPushes,
+        Counter::WorklistPops,
+        Counter::Quarantines,
+        Counter::CkptRecords,
+        Counter::DeadlinePolls,
+        Counter::OnlineReveals,
+        Counter::OnlineJams,
+        Counter::OracleChecks,
+        Counter::ConformanceChecks,
+    ];
+
+    /// The counter's stable snake_case name, used as its key in metrics
+    /// files and `SweepRecord.counters`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PosetsScanned => "posets_scanned",
+            Counter::LabellingsScanned => "labellings_scanned",
+            Counter::PairsChecked => "pairs_checked",
+            Counter::PhiChecksSc => "phi_checks_sc",
+            Counter::PhiChecksLc => "phi_checks_lc",
+            Counter::PhiChecksNn => "phi_checks_nn",
+            Counter::PhiChecksNw => "phi_checks_nw",
+            Counter::PhiChecksWn => "phi_checks_wn",
+            Counter::PhiChecksWw => "phi_checks_ww",
+            Counter::PhiChecksAny => "phi_checks_any",
+            Counter::ScMemoHits => "sc_memo_hits",
+            Counter::ScMemoMisses => "sc_memo_misses",
+            Counter::ScratchReuse => "scratch_reuse",
+            Counter::WorklistPushes => "worklist_pushes",
+            Counter::WorklistPops => "worklist_pops",
+            Counter::Quarantines => "quarantines",
+            Counter::CkptRecords => "ckpt_records",
+            Counter::DeadlinePolls => "deadline_polls",
+            Counter::OnlineReveals => "online_reveals",
+            Counter::OnlineJams => "online_jams",
+            Counter::OracleChecks => "oracle_checks",
+            Counter::ConformanceChecks => "conformance_checks",
+        }
+    }
+}
+
+/// One completed span: a named interval on the process-local monotonic
+/// clock, tagged with the recording thread's telemetry id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (e.g. `sweep/memberships`).
+    pub name: &'static str,
+    /// Telemetry id of the thread that recorded the span.
+    pub thread: u64,
+    /// Start, microseconds since the telemetry epoch.
+    pub start_us: u64,
+    /// End, microseconds since the telemetry epoch.
+    pub end_us: u64,
+}
+
+/// Master switch for counter recording.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Switch for span recording (usually tied to `--trace`).
+static EVENTS: AtomicBool = AtomicBool::new(false);
+/// Switch for the stderr progress heartbeat (`--progress`).
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+/// Monotonic timestamp (µs) of the last heartbeat actually printed.
+static PROGRESS_LAST_US: AtomicU64 = AtomicU64::new(0);
+/// Monotonic timestamp (µs) when the current progress phase started.
+static PROGRESS_START_US: AtomicU64 = AtomicU64::new(0);
+/// Next telemetry thread id.
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Minimum interval between progress heartbeats.
+const PROGRESS_INTERVAL_US: u64 = 500_000;
+
+/// Per-thread counter sink: one atomic cell per [`Counter`].
+struct Sink {
+    cells: [AtomicU64; NUM_COUNTERS],
+}
+
+impl Sink {
+    fn new() -> Self {
+        Sink { cells: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Sink>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Sink>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn events() -> &'static Mutex<Vec<SpanEvent>> {
+    static EVENTS_BUF: OnceLock<Mutex<Vec<SpanEvent>>> = OnceLock::new();
+    EVENTS_BUF.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static LOCAL: (Arc<Sink>, u64) = {
+        let sink = Arc::new(Sink::new());
+        registry().lock().expect("telemetry registry poisoned").push(Arc::clone(&sink));
+        (sink, NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed))
+    };
+}
+
+/// Microseconds since the process-local telemetry epoch (the first call
+/// to any timestamped hook). Monotonic, never wall-clock.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Turns counter recording on or off. Counters accumulated so far are
+/// kept; use [`snapshot_and_reset`] to read and clear them.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether counter recording is currently on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span recording on or off.
+pub fn set_events(on: bool) {
+    EVENTS.store(on, Ordering::Relaxed);
+}
+
+/// Turns the stderr progress heartbeat on or off, resetting its ETA
+/// clock.
+pub fn set_progress(on: bool) {
+    let now = now_us();
+    PROGRESS_START_US.store(now, Ordering::Relaxed);
+    PROGRESS_LAST_US.store(0, Ordering::Relaxed);
+    PROGRESS.store(on, Ordering::Relaxed);
+}
+
+/// Adds `n` to counter `c` in this thread's sink. A relaxed load and a
+/// branch when telemetry is off; a no-op at compile time without the
+/// `telemetry` feature.
+#[inline]
+pub fn count(c: Counter, n: u64) {
+    #[cfg(feature = "telemetry")]
+    if ENABLED.load(Ordering::Relaxed) {
+        LOCAL.with(|(sink, _)| sink.cells[c as usize].fetch_add(n, Ordering::Relaxed));
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (c, n);
+}
+
+/// Sums all per-thread sinks into one `[u64; NUM_COUNTERS]` snapshot
+/// (indexed like [`Counter::ALL`]) and zeroes them, so successive phases
+/// of one run get disjoint snapshots. Summation makes the merge
+/// independent of thread scheduling.
+pub fn snapshot_and_reset() -> [u64; NUM_COUNTERS] {
+    let mut out = [0u64; NUM_COUNTERS];
+    for sink in registry().lock().expect("telemetry registry poisoned").iter() {
+        for (slot, cell) in out.iter_mut().zip(&sink.cells) {
+            *slot += cell.swap(0, Ordering::Relaxed);
+        }
+    }
+    out
+}
+
+/// An in-flight span; records a [`SpanEvent`] when dropped. Obtained
+/// from [`span`]; inert (and allocation-free) when span recording is
+/// off.
+pub struct SpanGuard {
+    open: Option<(&'static str, u64, u64)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, thread, start_us)) = self.open.take() {
+            let ev = SpanEvent { name, thread, start_us, end_us: now_us() };
+            events().lock().expect("telemetry event buffer poisoned").push(ev);
+        }
+    }
+}
+
+/// Opens a named span covering the guard's lifetime. When span recording
+/// is off (or the `telemetry` feature is compiled out) the guard is
+/// inert.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    #[cfg(feature = "telemetry")]
+    if EVENTS.load(Ordering::Relaxed) {
+        let thread = LOCAL.with(|(_, id)| *id);
+        return SpanGuard { open: Some((name, thread, now_us())) };
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = name;
+    SpanGuard { open: None }
+}
+
+/// Drains every recorded span event, oldest first.
+pub fn drain_events() -> Vec<SpanEvent> {
+    std::mem::take(&mut *events().lock().expect("telemetry event buffer poisoned"))
+}
+
+/// Progress heartbeat hook, called by the supervisor after each task
+/// commit. Rate-limited to one stderr line per half second; a no-op
+/// unless [`set_progress`] is on. ETA extrapolates the phase's elapsed
+/// time over the remaining tasks.
+#[inline]
+pub fn progress_tick(done: usize, total: usize, quarantined: usize) {
+    #[cfg(feature = "telemetry")]
+    if PROGRESS.load(Ordering::Relaxed) {
+        progress_tick_slow(done, total, quarantined);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (done, total, quarantined);
+}
+
+#[cfg(feature = "telemetry")]
+fn progress_tick_slow(done: usize, total: usize, quarantined: usize) {
+    let now = now_us();
+    let last = PROGRESS_LAST_US.load(Ordering::Relaxed);
+    let due = last == 0 || now.saturating_sub(last) >= PROGRESS_INTERVAL_US;
+    if !due
+        || PROGRESS_LAST_US
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+    {
+        return;
+    }
+    let start = PROGRESS_START_US.load(Ordering::Relaxed);
+    let elapsed_s = now.saturating_sub(start) as f64 / 1e6;
+    let eta = if done > 0 && total >= done {
+        format!("{:.1}s", elapsed_s * (total - done) as f64 / done as f64)
+    } else {
+        "?".to_string()
+    };
+    let pct = if total > 0 { 100.0 * done as f64 / total as f64 } else { 100.0 };
+    eprintln!(
+        "progress: {done}/{total} tasks ({pct:.1}%), elapsed {elapsed_s:.1}s, eta {eta}, {quarantined} quarantined"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Telemetry state is process-global, so everything lives in one test
+    // function — the test harness runs functions concurrently.
+    #[test]
+    fn counters_spans_and_snapshots_work_end_to_end() {
+        assert!(!enabled());
+        count(Counter::PairsChecked, 5);
+        assert_eq!(snapshot_and_reset()[Counter::PairsChecked as usize], 0, "off = not recorded");
+
+        set_enabled(true);
+        count(Counter::PairsChecked, 5);
+        count(Counter::PairsChecked, 2);
+        count(Counter::Quarantines, 1);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| count(Counter::PairsChecked, 10));
+            }
+        });
+        let snap = snapshot_and_reset();
+        assert_eq!(snap[Counter::PairsChecked as usize], 37);
+        assert_eq!(snap[Counter::Quarantines as usize], 1);
+        assert_eq!(snap[Counter::WorklistPops as usize], 0);
+        let zeroed = snapshot_and_reset();
+        assert!(zeroed.iter().all(|&v| v == 0), "snapshot resets the sinks");
+        set_enabled(false);
+
+        // Spans: inert when off, recorded with ordered timestamps when on.
+        drop(span("off"));
+        assert!(drain_events().is_empty());
+        set_events(true);
+        {
+            let _g = span("outer");
+            let _inner = span("inner");
+        }
+        set_events(false);
+        let evs = drain_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "inner", "inner guard drops first");
+        assert_eq!(evs[1].name, "outer");
+        for e in &evs {
+            assert!(e.start_us <= e.end_us);
+        }
+        assert!(drain_events().is_empty(), "drain empties the buffer");
+
+        // The name table is total and stable.
+        assert_eq!(Counter::ALL.len(), NUM_COUNTERS);
+        let mut names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_COUNTERS, "counter names are unique");
+
+        // Progress ticks never panic, on or off.
+        progress_tick(1, 10, 0);
+        set_progress(true);
+        progress_tick(0, 10, 0);
+        progress_tick(5, 10, 1);
+        set_progress(false);
+    }
+}

@@ -257,6 +257,109 @@ fn report_quarantine(phase: &str, quarantined: &[ccmm::core::sweep::supervisor::
     }
 }
 
+/// Glue between the `--trace`/`--metrics`/`--progress` flags and
+/// `ccmm_core::telemetry`: flips the runtime switches, collects one
+/// counter snapshot per phase, and writes the output files.
+///
+/// Counter *values* for the memberships and fixpoint phases are
+/// bit-identical across thread counts; wall times never are (see
+/// DESIGN.md §9) — which is why `wall_ms` sits beside, not inside, each
+/// phase's `counters` object.
+struct TelemetrySink {
+    command: &'static str,
+    trace: Option<String>,
+    metrics: Option<String>,
+    phases: Vec<(&'static str, u128, [u64; ccmm::core::telemetry::NUM_COUNTERS])>,
+}
+
+impl TelemetrySink {
+    /// Arms telemetry to match the flags. Counters and span events left
+    /// over from earlier in the process are discarded so the first phase
+    /// starts from zero.
+    fn new(
+        command: &'static str,
+        trace: Option<String>,
+        metrics: Option<String>,
+        progress: bool,
+    ) -> Self {
+        use ccmm::core::telemetry;
+        telemetry::set_enabled(trace.is_some() || metrics.is_some() || progress);
+        telemetry::set_events(trace.is_some());
+        telemetry::set_progress(progress);
+        let _ = telemetry::snapshot_and_reset();
+        let _ = telemetry::drain_events();
+        TelemetrySink { command, trace, metrics, phases: Vec::new() }
+    }
+
+    /// Closes a phase: snapshots (and zeroes) every counter under `name`,
+    /// so successive phases report disjoint counts.
+    fn end_phase(&mut self, name: &'static str, wall: std::time::Duration) {
+        self.phases.push((name, wall.as_millis(), ccmm::core::telemetry::snapshot_and_reset()));
+    }
+
+    /// Non-zero counters of the most recently closed phase, in snapshot
+    /// order — the `SweepRecord.counters` payload. Empty (so the field is
+    /// omitted from bench JSON) when telemetry is off.
+    fn last_counters(&self) -> Vec<(String, u64)> {
+        use ccmm::core::telemetry::Counter;
+        let Some((_, _, snap)) = self.phases.last() else { return Vec::new() };
+        Counter::ALL
+            .iter()
+            .filter(|c| snap[**c as usize] != 0)
+            .map(|c| (c.name().to_string(), snap[*c as usize]))
+            .collect()
+    }
+
+    /// Writes the metrics JSON and trace JSONL files, if requested.
+    /// Called on every exit path (complete, partial, killed) so a
+    /// truncated run still reports the phases it finished. Both counter
+    /// names and span names are static identifiers, so the JSON needs no
+    /// string escaping.
+    fn write(&self) -> Result<(), String> {
+        use ccmm::core::telemetry::{drain_events, Counter};
+        use std::fmt::Write as _;
+        if let Some(path) = &self.metrics {
+            let mut s = format!(
+                "{{\"schema\":\"ccmm-metrics-v1\",\"command\":\"{}\",\"phases\":[",
+                self.command
+            );
+            for (i, (name, wall_ms, snap)) in self.phases.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{{\"name\":\"{name}\",\"wall_ms\":{wall_ms},\"counters\":{{");
+                let mut first = true;
+                for c in Counter::ALL {
+                    let v = snap[c as usize];
+                    if v == 0 {
+                        continue;
+                    }
+                    if !first {
+                        s.push(',');
+                    }
+                    first = false;
+                    let _ = write!(s, "\"{}\":{v}", c.name());
+                }
+                s.push_str("}}");
+            }
+            s.push_str("]}\n");
+            std::fs::write(path, s).map_err(|e| format!("writing metrics {path}: {e}"))?;
+        }
+        if let Some(path) = &self.trace {
+            let mut s = String::new();
+            for ev in drain_events() {
+                let _ = writeln!(
+                    s,
+                    "{{\"span\":\"{}\",\"thread\":{},\"start_us\":{},\"end_us\":{}}}",
+                    ev.name, ev.thread, ev.start_us, ev.end_us
+                );
+            }
+            std::fs::write(path, s).map_err(|e| format!("writing trace {path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
 fn cmd_sweep(args: &[String]) -> Result<u8, String> {
     use ccmm::core::constructible::BoundedConstructible;
     use ccmm::core::fault::FaultPlan;
@@ -281,6 +384,9 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
     let mut ckpt_path: Option<String> = None;
     let mut ckpt_every = 16usize;
     let mut resume_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut progress = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -288,6 +394,9 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
         };
         match a.as_str() {
             "--bound" => bound = take("--bound")?.parse().map_err(|_| "bad --bound")?,
+            "--trace" => trace_path = Some(take("--trace")?),
+            "--metrics" => metrics_path = Some(take("--metrics")?),
+            "--progress" => progress = true,
             "--locs" => locs = take("--locs")?.parse().map_err(|_| "bad --locs")?,
             "--canonical" => canonical = true,
             "--alloc" => alloc = true,
@@ -398,6 +507,7 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
         }
     }
 
+    let mut tel = TelemetrySink::new("sweep", trace_path, metrics_path, progress);
     println!(
         "sweep: bound {bound}, {locs} location(s), {} computations, {engine} enumeration, {} thread(s)",
         u.count_computations_closed(),
@@ -412,13 +522,17 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
     // enumeration mode, so pairs/sec is comparable across engines — the
     // number the perf gate watches. This is the checkpointable phase.
     let t0 = Instant::now();
+    let phase_span = ccmm::core::telemetry::span("sweep/memberships");
     let out = if alloc {
-        // Baseline timing mode: the pre-scratch path, unsupervised.
+        // Baseline timing mode: the pre-scratch path. The per-task
+        // accumulators are folded commutatively, so the totals (and the
+        // supervision verdict the sweep now reports) match the
+        // supervised path's.
         use ccmm::core::enumerate::for_each_observer;
-        use ccmm::core::sweep::supervisor::{CountsState, Frontier, Supervised};
+        use ccmm::core::sweep::supervisor::CountsState;
         use ccmm::core::sweep::sweep_computations;
         use std::ops::ControlFlow;
-        let per_worker = sweep_computations(
+        sweep_computations(
             &u,
             &cfg,
             || CountsState::new(models.len()),
@@ -431,22 +545,17 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
                     ControlFlow::Continue(())
                 });
             },
-        );
-        let mut total = CountsState::new(models.len());
-        for cs in per_worker {
-            total.pairs += cs.pairs;
-            for (i, n) in cs.per_model.iter().enumerate() {
-                total.per_model[i] += n;
+        )
+        .map(|per_task| {
+            let mut total = CountsState::new(models.len());
+            for cs in per_task {
+                total.pairs += cs.pairs;
+                for (i, n) in cs.per_model.iter().enumerate() {
+                    total.per_model[i] += n;
+                }
             }
-        }
-        Supervised {
-            value: total,
-            status: SweepStatus::Complete,
-            quarantined: Vec::new(),
-            frontier: Frontier::new(),
-            total_tasks: 0,
-            ckpt_error: None,
-        }
+            total
+        })
     } else {
         memberships_supervised(
             &models,
@@ -457,7 +566,9 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
             writer.as_mut().map(|w| (w, ckpt_every)),
         )
     };
+    drop(phase_span);
     let wall = t0.elapsed();
+    tel.end_phase("memberships", wall);
     if let Some(e) = &out.ckpt_error {
         eprintln!("warning: checkpoint journalling failed mid-sweep: {e}");
     }
@@ -468,6 +579,7 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
             "killed by fault plan after {} checkpoint record(s); resume with --resume {journal}",
             writer.as_ref().map_or(0, |w| w.snapshots())
         );
+        tel.write()?;
         return Ok(exit::KILLED);
     }
     worst = worst.max(out.status);
@@ -489,7 +601,8 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
         out.value.pairs,
         0,
     )
-    .with_status(status_name(out.status));
+    .with_status(status_name(out.status))
+    .with_counters(tel.last_counters());
     let throughput = membership.pairs_per_sec;
     records.push(membership);
     if out.status == SweepStatus::Partial {
@@ -506,6 +619,7 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
         }
         let path = emit(&records).map_err(|e| format!("writing bench json: {e}"))?;
         println!("recorded {} sweep record(s) to {path}", records.len());
+        tel.write()?;
         return Ok(exit::PARTIAL);
     }
 
@@ -513,8 +627,11 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
     // bound), under the same supervisor (the fault plan spans all
     // phases; a task-indexed fault re-fires wherever that index recurs).
     let t0 = Instant::now();
+    let phase_span = ccmm::core::telemetry::span("sweep/lattice");
     let lat = lattice_supervised(&models, &u, &cfg, &sup);
+    drop(phase_span);
     let wall = t0.elapsed();
+    tel.end_phase("lattice", wall);
     report_quarantine("lattice", &lat.quarantined);
     worst = worst.max(lat.status);
     println!("lattice [{:.2?}] ({}):", wall, status_name(lat.status));
@@ -539,9 +656,12 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
     // necessity — survivor sets are keyed by concrete computations), then
     // the one-step augmentation check for every model.
     let t0 = Instant::now();
+    let phase_span = ccmm::core::telemetry::span("sweep/fixpoint");
     let fix =
         BoundedConstructible::compute_worklist_supervised(&Nn::default(), &u, &cfg, &sup.fault);
+    drop(phase_span);
     let wall = t0.elapsed();
+    tel.end_phase("fixpoint", wall);
     report_quarantine("fixpoint", &fix.quarantined);
     let fix_status =
         if fix.quarantined.is_empty() { SweepStatus::Complete } else { SweepStatus::Degraded };
@@ -567,6 +687,7 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
         .with_status(status_name(fix_status)),
     );
     let t0 = Instant::now();
+    let phase_span = ccmm::core::telemetry::span("sweep/constructibility");
     for m in &models {
         let check = check_constructible_aug_supervised(m, &u, &cfg, &sup);
         report_quarantine("constructibility", &check.quarantined);
@@ -581,7 +702,11 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
             ),
         }
     }
-    println!("constructibility checks [{:.2?}]", t0.elapsed());
+    drop(phase_span);
+    let wall = t0.elapsed();
+    tel.end_phase("constructibility", wall);
+    println!("constructibility checks [{wall:.2?}]");
+    tel.write()?;
 
     let path = emit(&records).map_err(|e| format!("writing bench json: {e}"))?;
     println!("recorded {} sweep record(s) to {path}", records.len());
@@ -619,6 +744,9 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
     let mut cfg = HarnessConfig::default();
     let mut out: Option<String> = None;
     let mut do_self_test = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut progress = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -641,6 +769,9 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
             "--out" => out = Some(take("--out")?),
             "--self-test" => do_self_test = true,
             "--canonical" => cfg.sweep = cfg.sweep.canonical(true),
+            "--trace" => trace_path = Some(take("--trace")?),
+            "--metrics" => metrics_path = Some(take("--metrics")?),
+            "--progress" => progress = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -664,7 +795,12 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
         self_test(&cfg).map_err(|e| format!("self-test FAILED: {e}"))?;
         println!("self-test: seeded LC mutation caught and shrunk — harness is live");
     }
+    // Armed after the self-test so its checks don't pollute the report.
+    let mut tel = TelemetrySink::new("conformance", trace_path, metrics_path, progress);
+    let t0 = std::time::Instant::now();
     let r = run(&cfg);
+    tel.end_phase("conformance", t0.elapsed());
+    tel.write()?;
     println!("{r}");
     for (i, d) in r.disagreements.iter().enumerate() {
         println!();
@@ -700,6 +836,7 @@ USAGE:
   ccmm sweep [--bound N] [--locs L] [--canonical] [--threads T] [--gate]
              [--deadline-secs S] [--fault SPEC] [--ckpt PATH]
              [--ckpt-every K] [--resume PATH]
+             [--trace FILE] [--metrics FILE] [--progress]
                                            exhaustive verification at bound N
                                            (N ≤ 5): memberships, lattice, NN*
                                            fixpoint, constructibility; appends
@@ -713,9 +850,16 @@ USAGE:
                                            journal bit-identically; --fault
                                            injects deterministic faults (e.g.
                                            panic-at-task=3, kill-after-ckpt=2;
-                                           exit 3 degraded, 70 killed)
+                                           exit 3 degraded, 70 killed).
+                                           --metrics writes per-phase counters
+                                           (JSON; counter values bit-identical
+                                           across thread counts for the
+                                           memberships and fixpoint phases),
+                                           --trace writes span events (JSONL),
+                                           --progress heartbeats on stderr
   ccmm conformance [--nodes N] [--locs L] [--random K] [--seed S] [--threads T]
                    [--canonical] [--no-harvest] [--self-test] [--out DIR]
+                   [--trace FILE] [--metrics FILE] [--progress]
                                            fast checkers vs oracles; exit 0 iff
                                            no disagreement (witnesses shrunk);
                                            nodes >= 5 sweeps canonical reps

@@ -104,6 +104,20 @@ fn parse_errors_surface_with_line_numbers() {
 }
 
 #[test]
+fn multibyte_garbage_in_a_corpus_file_exits_2_with_a_line_number() {
+    // `Ω` begins with a non-ASCII byte; the parser must reject it as an
+    // unknown op (with the offending line number), never split the token
+    // mid-character and panic.
+    let c = write_temp("mb", "n0: Ω(0)\n");
+    let obs = write_temp("mb-o", "l0: n0\n");
+    let out = bin().args(["models"]).arg(&c).arg(&obs).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "parse errors are usage errors, not crashes");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("line 1"), "error must carry the line number: {err}");
+    assert!(err.contains('Ω'), "error must name the offending token: {err}");
+}
+
+#[test]
 fn conformance_smoke_passes_and_exits_zero() {
     let out = bin()
         .args(["conformance", "--nodes", "3", "--random", "30", "--no-harvest", "--threads", "2"])
@@ -250,6 +264,38 @@ fn sweep_zero_deadline_exits_partial_with_resume_frontier() {
     assert!(text.contains("resume frontier"), "{text}");
     assert!(text.contains("(partial)"), "{text}");
     let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn sweep_metrics_and_trace_files_report_the_work_done() {
+    let tmp = std::env::temp_dir();
+    let metrics = tmp.join(format!("ccmm-cli-metrics-{}.json", std::process::id()));
+    let trace = tmp.join(format!("ccmm-cli-trace-{}.jsonl", std::process::id()));
+    let (mut cmd, json) = sweep_cmd("telemetry");
+    let out = cmd
+        .args(["--bound", "3", "--canonical", "--metrics"])
+        .arg(&metrics)
+        .arg("--trace")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let m = std::fs::read_to_string(&metrics).unwrap();
+    assert!(m.contains("\"schema\":\"ccmm-metrics-v1\""), "{m}");
+    for phase in ["memberships", "lattice", "fixpoint", "constructibility"] {
+        assert!(m.contains(&format!("\"name\":\"{phase}\"")), "missing phase {phase}: {m}");
+    }
+    assert!(m.contains("\"pairs_checked\":"), "memberships phase must count pairs: {m}");
+    assert!(!m.contains("\"pairs_checked\":0"), "pair count must be non-zero: {m}");
+
+    let t = std::fs::read_to_string(&trace).unwrap();
+    for span in ["sweep/memberships", "sweep/lattice", "sweep/fixpoint", "sweep/constructibility"] {
+        assert!(t.contains(&format!("\"span\":\"{span}\"")), "missing span {span}: {t}");
+    }
+    for p in [&metrics, &trace, &json] {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 #[test]

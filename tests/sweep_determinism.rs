@@ -20,6 +20,7 @@ fn sweeps_are_bit_identical_to_serial_at_every_thread_count() {
     let serial = compare(&Model::Lc, &Model::Nn, &u);
     let serial_counts: usize =
         sweep_computations(&u, &SweepConfig::serial(), || 0usize, |acc, _, _, _| *acc += 1)
+            .expect_complete("serial counting sweep")
             .iter()
             .sum();
     assert_eq!(serial_counts, u.count_computations());
@@ -28,8 +29,10 @@ fn sweeps_are_bit_identical_to_serial_at_every_thread_count() {
         // Explicit thread count.
         let cfg = SweepConfig::with_threads(threads);
         check_identical(&serial, &compare_par(&Model::Lc, &Model::Nn, &u, &cfg), threads);
-        let counts: usize =
-            sweep_computations(&u, &cfg, || 0usize, |acc, _, _, _| *acc += 1).iter().sum();
+        let counts: usize = sweep_computations(&u, &cfg, || 0usize, |acc, _, _, _| *acc += 1)
+            .expect_complete("counting sweep")
+            .iter()
+            .sum();
         assert_eq!(counts, serial_counts, "count drift at {threads} threads");
 
         // Same thread count by way of CCMM_THREADS.
@@ -60,7 +63,10 @@ fn canonical_sweep_is_bit_identical_at_bound_4() {
         let cfg = SweepConfig::with_threads(threads).canonical(true);
         check_identical(&serial, &compare_par(&Model::Lc, &Model::Nn, &u, &cfg), threads);
         let weighted: u128 =
-            sweep_computations(&u, &cfg, || 0u128, |acc, _, _, w| *acc += w as u128).iter().sum();
+            sweep_computations(&u, &cfg, || 0u128, |acc, _, _, w| *acc += w as u128)
+                .expect_complete("weighted sweep")
+                .iter()
+                .sum();
         assert_eq!(weighted, closed, "orbit-weighted total drift at {threads} threads");
     }
 }
