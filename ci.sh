@@ -75,6 +75,31 @@ counts() { grep -A6 "^memberships over" "$1" | tail -6; }
 diff <(counts "$scratch/clean.out") <(counts "$scratch/resumed.out") \
     || { echo "resumed counts differ from the uninterrupted run"; exit 1; }
 
+echo "== lane engine smoke: scalar parity, thread determinism, kill/resume =="
+# The lane64 engine must produce bit-identical membership counts to the
+# scalar canonical engine at bound 5, at 1, 2, and 4 threads — and a
+# lane run killed mid-flight must resume to the same counts. Debug-build
+# bound-5 sweeps are slow, so fast mode drops to bound 4 (same paths).
+lane_bound=5
+[[ "$fast" == "fast" ]] && lane_bound=4
+ccmm sweep --bound "$lane_bound" --canonical --threads 1 \
+    > "$scratch/lane-scalar.out" 2>/dev/null
+for t in 1 2 4; do
+    ccmm sweep --bound "$lane_bound" --canonical --engine lane64 --threads "$t" \
+        > "$scratch/lane-$t.out" 2>/dev/null
+    diff <(counts "$scratch/lane-scalar.out") <(counts "$scratch/lane-$t.out") \
+        || { echo "lane64 counts diverge from scalar at $t threads"; exit 1; }
+done
+rc=0
+ccmm sweep --bound "$lane_bound" --canonical --engine lane64 --threads 2 \
+    --ckpt "$scratch/lane.ckpt" --ckpt-every 1 --fault kill-after-ckpt=2 \
+    > /dev/null 2>&1 || rc=$?
+[[ "$rc" == 70 ]] || { echo "expected lane64 killed exit 70, got $rc"; exit 1; }
+ccmm sweep --bound "$lane_bound" --canonical --engine lane64 --threads 2 \
+    --resume "$scratch/lane.ckpt" > "$scratch/lane-resumed.out" 2>/dev/null
+diff <(counts "$scratch/lane-scalar.out") <(counts "$scratch/lane-resumed.out") \
+    || { echo "resumed lane64 counts differ from the scalar run"; exit 1; }
+
 echo "== telemetry smoke: counters deterministic across thread counts =="
 # --metrics counter values for the memberships and fixpoint phases must
 # be bit-identical at 1, 2, and 4 threads (DESIGN.md §9); the lattice and

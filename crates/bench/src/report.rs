@@ -331,6 +331,52 @@ mod tests {
     }
 
     #[test]
+    fn lane_and_scalar_baselines_never_cross() {
+        // The lane64 engine is ~an order of magnitude faster than the
+        // scalar canonical engine, so `--gate` must only ever compare a
+        // run against a baseline recorded by the SAME engine — otherwise
+        // the first lane64 run would raise the bar and every later scalar
+        // run would falsely fail (and vice versa falsely pass).
+        let dir = std::env::temp_dir().join("ccmm_bench_lane_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sweep.json");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CCMM_BENCH_JSON", &path);
+        let u = Universe::new(2, 1);
+        let scalar = SweepRecord::new(
+            "cli_sweep/memberships",
+            "canonical",
+            &u,
+            1,
+            Duration::from_millis(20),
+            1000,
+            0,
+        );
+        let lane = SweepRecord::new(
+            "cli_sweep/memberships",
+            "lane64",
+            &u,
+            1,
+            Duration::from_millis(2),
+            1000,
+            0,
+        );
+        emit(&[scalar.clone(), lane.clone()]).unwrap();
+        assert_eq!(
+            latest_matching("cli_sweep/memberships", "canonical", &u),
+            Some(scalar),
+            "scalar gate must see the scalar baseline, not the faster lane record"
+        );
+        assert_eq!(
+            latest_matching("cli_sweep/memberships", "lane64", &u),
+            Some(lane),
+            "lane gate must see the lane baseline, not the slower scalar record"
+        );
+        std::env::remove_var("CCMM_BENCH_JSON");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn non_complete_records_are_not_baselines() {
         let dir = std::env::temp_dir().join("ccmm_bench_status_test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -30,6 +30,7 @@
 
 pub mod corpus;
 pub mod harness;
+pub mod lanes;
 pub mod report;
 pub mod shrink;
 pub mod sources;
@@ -38,4 +39,5 @@ pub use harness::{
     mutated_fast, run, run_with, self_test, Disagreement, HarnessConfig, Report,
     ShrunkDisagreement, Source,
 };
+pub use lanes::{run_lanes, LaneMismatch, LaneReport};
 pub use shrink::{shrink, Shrunk};

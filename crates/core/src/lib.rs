@@ -92,7 +92,7 @@ pub mod witness;
 
 pub use computation::Computation;
 pub use error::CoreError;
-pub use model::{AnyObserver, Lc, MemoryModel, Model, Nn, Nw, Sc, Wn, Ww};
+pub use model::{AnyObserver, LanePack, LaneScratch, Lc, MemoryModel, Model, Nn, Nw, Sc, Wn, Ww};
 pub use observer::ObserverFunction;
 pub use op::{Location, Op};
 pub use oracle::Oracle;

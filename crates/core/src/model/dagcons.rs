@@ -201,6 +201,15 @@ impl<Q: QPredicate> MemoryModel for QDag<Q> {
     fn contains_with(&self, c: &Computation, phi: &ObserverFunction, s: &mut CheckScratch) -> bool {
         phi.is_valid_for(c) && Self::find_violation_with(c, phi, &mut s.dag).is_none()
     }
+
+    fn contains_lanes(
+        &self,
+        c: &Computation,
+        phis: &crate::model::LanePack,
+        s: &mut crate::model::LaneScratch,
+    ) -> u64 {
+        crate::model::lane::qdag_lanes::<Q>(c, phis, s)
+    }
 }
 
 /// A Q-dag-consistency model with a runtime predicate, for exploring the

@@ -1,0 +1,929 @@
+//! Bit-parallel lane kernels: 64 observer functions per `u64` word.
+//!
+//! The sweep hot loop asks the same membership question for one
+//! computation `C` against many observer functions Φ. All of those Φ
+//! share `C`'s dag, reachability closure, and write index — only the
+//! observed-write table differs. This module packs up to [`LANES`]
+//! observer functions into a [`LanePack`] (one per bit of a `u64` *lane
+//! word*) and evaluates a model's condition on all of them in lockstep:
+//! per-model kernels return a 64-bit verdict mask instead of a `bool`.
+//!
+//! **Layout.** For each `(location, node)` cell the pack stores a 64-byte
+//! *column*: byte `j` is lane `j`'s observed value at that cell, encoded
+//! as `0` for ⊥ and `i + 1` for the `i`-th write of
+//! `Computation::writes_to(l)` (ascending node order — the same compact
+//! write index the LC block decomposition and the SC packed memo keys
+//! use). A column lives in 8 consecutive `u64` words, so the two
+//! primitive questions every kernel asks — "which lanes observe ⊥ here?"
+//! and "which lanes agree between two cells?" — reduce to branch-free
+//! SWAR byte tests ([`zero_lanes`], [`eq_lanes`]).
+//!
+//! **Φ-lanes, not labelling-lanes.** Packing 64 labellings of one poset
+//! would force every lane to re-derive its own writes index and validity
+//! while sharing nothing but the dag shape; packing 64 Φ of one
+//! `(poset, labelling)` shares the dag *and* the op labelling *and* the
+//! reachability closure, and the structural scans (ancestor loops,
+//! between-sets, Q-predicate tests, block contraction edges) amortize
+//! across all 64 lanes. Orbit weights are untouched: a verdict mask
+//! contributes `weight × popcount(verdict)` exactly as 64 scalar calls
+//! would have.
+//!
+//! Invalid observers (Definition 2 violations) are recorded in the
+//! pack's `valid` mask at push time; kernels mask every verdict by it,
+//! matching the scalar contract that models contain only valid pairs.
+
+use crate::computation::Computation;
+use crate::model::dagcons::QPredicate;
+use crate::model::sc::Sc;
+use crate::model::CheckScratch;
+use crate::observer::ObserverFunction;
+use crate::op::{Location, Op};
+use crate::telemetry::{self, Counter};
+use ccmm_dag::bitset::BitSet;
+use ccmm_dag::NodeId;
+
+/// Number of observer lanes per pack: one per bit of a `u64`.
+pub const LANES: usize = 64;
+
+const LOW7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+const HIGH: u64 = 0x8080_8080_8080_8080;
+/// Multiplier gathering the eight `0x80`-position bits of a word into
+/// the top byte: byte `j` (weight `2^{8j}`) carries `2^{7-j}`, so bit
+/// positions `8j + 7 - j + 7` are pairwise distinct and carry-free.
+const GATHER: u64 = 0x0102_0408_1020_4080;
+
+/// `0x80` set in every byte of `x` that is zero. Exact per byte: the
+/// textbook `(x - LO) & !x & HI` haszero trick admits borrow propagation
+/// across bytes (e.g. `0x0100` falsely flags its high byte), so we use
+/// the carry-free form — `((x & 0x7f..) + 0x7f..) | x` has the high bit
+/// of a byte set iff that byte is nonzero.
+#[inline]
+fn zero_bytes(x: u64) -> u64 {
+    !(((x & LOW7) + LOW7) | x) & HIGH
+}
+
+/// Compacts a `0x80`-per-byte mask into the low 8 bits (byte `j` → bit
+/// `j`).
+#[inline]
+fn movemask(m: u64) -> u8 {
+    ((((m & HIGH) >> 7).wrapping_mul(GATHER)) >> 56) as u8
+}
+
+/// Lane mask of column bytes that are ⊥ (zero): bit `j` set iff lane
+/// `j`'s byte in the column is zero. Columns may be truncated to their
+/// occupied words ([`LanePack::col`]); lanes beyond the slice read as 0
+/// in the mask, which every consumer bounds by `used`/`valid`.
+#[inline]
+pub(crate) fn zero_lanes(col: &[u64]) -> u64 {
+    debug_assert!(col.len() <= 8);
+    let mut out = 0u64;
+    for (k, &w) in col.iter().enumerate() {
+        out |= u64::from(movemask(zero_bytes(w))) << (8 * k);
+    }
+    out
+}
+
+/// Lane mask of byte-wise equality between two columns: bit `j` set iff
+/// lane `j` observes the same value in both. Truncated like
+/// [`zero_lanes`].
+#[inline]
+pub(crate) fn eq_lanes(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert!(a.len() <= 8 && a.len() == b.len());
+    let mut out = 0u64;
+    for (k, (&x, &y)) in a.iter().zip(b).enumerate() {
+        out |= u64::from(movemask(zero_bytes(x ^ y))) << (8 * k);
+    }
+    out
+}
+
+/// Lane mask of column bytes equal to the constant `b` (the byte
+/// broadcast is one multiply). Truncated like [`zero_lanes`].
+#[inline]
+fn eq_const_lanes(col: &[u64], b: u8) -> u64 {
+    let pat = u64::from(b).wrapping_mul(0x0101_0101_0101_0101);
+    let mut out = 0u64;
+    for (k, &w) in col.iter().enumerate() {
+        out |= u64::from(movemask(zero_bytes(w ^ pat))) << (8 * k);
+    }
+    out
+}
+
+/// Up to [`LANES`] observer functions for one computation, packed
+/// column-wise for the lane kernels.
+#[derive(Default)]
+pub struct LanePack {
+    /// Column storage: cell `(l, u)` occupies the 8 words at
+    /// `((l * n + u) * 8)..`, byte `j` of the column = lane `j`'s encoded
+    /// observation.
+    cols: Vec<u64>,
+    /// `widx[l * n + w]` = 1-based index of node `w` in `writes_to(l)`,
+    /// 0 when `w` is not a write to `l`.
+    widx: Vec<u8>,
+    /// Lanes whose Φ is a valid observer function for the computation.
+    valid: u64,
+    /// Lanes pushed so far.
+    len: u32,
+    /// Occupied column words, `⌈len / 8⌉` — [`col`] slices to this so the
+    /// SWAR kernels never scan words no lane lives in.
+    ///
+    /// [`col`]: LanePack::col
+    nwords: u32,
+    /// Bumped on every mutation; keys the [`LaneScratch`] LC cache.
+    generation: u64,
+    num_locations: usize,
+    node_count: usize,
+}
+
+impl LanePack {
+    /// An empty pack; storage grows on [`prepare`] and is then reused.
+    ///
+    /// [`prepare`]: LanePack::prepare
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-shapes the pack for computation `c`, clearing all lanes and
+    /// rebuilding the per-location write index. Reuses storage.
+    pub fn prepare(&mut self, c: &Computation) {
+        let (locs, n) = (c.num_locations(), c.node_count());
+        self.num_locations = locs;
+        self.node_count = n;
+        self.cols.clear();
+        self.cols.resize(locs * n * 8, 0);
+        self.widx.clear();
+        self.widx.resize(locs * n, 0);
+        for l in c.locations() {
+            let writes = c.writes_to(l);
+            debug_assert!(writes.len() < 255, "write index must fit a byte");
+            for (i, &w) in writes.iter().enumerate() {
+                self.widx[l.index() * n + w.index()] = (i + 1) as u8;
+            }
+        }
+        self.valid = 0;
+        self.len = 0;
+        self.nwords = 0;
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// Drops all lanes (keeps the shape and write index of the current
+    /// computation) so the pack can take the next batch of observers.
+    /// Stale column bytes are *not* zeroed — every kernel result is
+    /// masked by [`used`]/[`valid`], so leftover bytes in dropped lanes
+    /// are unobservable.
+    ///
+    /// [`used`]: LanePack::used
+    /// [`valid`]: LanePack::valid
+    pub fn clear_lanes(&mut self) {
+        self.valid = 0;
+        self.len = 0;
+        self.nwords = 0;
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// Number of lanes pushed since the last [`prepare`]/[`clear_lanes`].
+    ///
+    /// [`prepare`]: LanePack::prepare
+    /// [`clear_lanes`]: LanePack::clear_lanes
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no lanes are pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether all [`LANES`] lanes are occupied.
+    pub fn is_full(&self) -> bool {
+        self.len as usize == LANES
+    }
+
+    /// Mask of occupied lanes (lowest bits first, in push order).
+    pub fn used(&self) -> u64 {
+        if self.len as usize >= LANES {
+            !0
+        } else {
+            (1u64 << self.len) - 1
+        }
+    }
+
+    /// Mask of occupied lanes holding a *valid* observer function for
+    /// the prepared computation. Kernel verdicts are subsets of this.
+    pub fn valid(&self) -> u64 {
+        self.valid
+    }
+
+    /// Packs `phi` into the next free lane and returns its index.
+    /// Panics if the pack is full; the caller flushes at [`LANES`].
+    pub fn push(&mut self, c: &Computation, phi: &ObserverFunction) -> usize {
+        let valid = phi.is_valid_for(c);
+        self.push_raw(c, phi, valid)
+    }
+
+    /// [`push`] for observers the caller already knows are valid — the
+    /// exhaustive enumeration ([`for_each_observer`]) yields only valid
+    /// Φ, so the sweep engines skip re-deriving Definition 2 per lane.
+    ///
+    /// [`push`]: LanePack::push
+    /// [`for_each_observer`]: crate::enumerate::for_each_observer
+    pub fn push_valid(&mut self, c: &Computation, phi: &ObserverFunction) -> usize {
+        debug_assert!(phi.is_valid_for(c), "push_valid given an invalid observer");
+        self.push_raw(c, phi, true)
+    }
+
+    fn push_raw(&mut self, c: &Computation, phi: &ObserverFunction, valid: bool) -> usize {
+        assert!(!self.is_full(), "lane pack is full");
+        let lane = self.len as usize;
+        let n = self.node_count;
+        let (word, shift) = (lane / 8, (lane % 8) * 8);
+        for l in c.locations() {
+            for u in c.nodes() {
+                let byte = match phi.get(l, u) {
+                    None => 0u8,
+                    Some(w) => self.widx[l.index() * n + w.index()],
+                };
+                let idx = (l.index() * n + u.index()) * 8 + word;
+                self.cols[idx] =
+                    (self.cols[idx] & !(0xffu64 << shift)) | (u64::from(byte) << shift);
+            }
+        }
+        if valid {
+            self.valid |= 1u64 << lane;
+        }
+        self.len += 1;
+        self.nwords = self.len.div_ceil(8);
+        self.generation = self.generation.wrapping_add(1);
+        lane
+    }
+
+    /// The column of cell `(l, u)`, truncated to the occupied words so
+    /// underfull packs cost proportionally less SWAR work. Lanes beyond
+    /// the slice read as 0 in every derived mask; consumers bound their
+    /// results by [`used`]/[`valid`].
+    ///
+    /// [`used`]: LanePack::used
+    /// [`valid`]: LanePack::valid
+    #[inline]
+    pub(crate) fn col(&self, l: Location, u: NodeId) -> &[u64] {
+        let base = (l.index() * self.node_count + u.index()) * 8;
+        &self.cols[base..base + self.nwords as usize]
+    }
+
+    /// 1-based index of `w` in `writes_to(l)` (0 when not a write to
+    /// `l`) — the byte value a lane observing `w` at `l` carries.
+    #[inline]
+    fn widx_of(&self, l: Location, w: NodeId) -> u8 {
+        self.widx[l.index() * self.node_count + w.index()]
+    }
+
+    /// Pack mutation counter; the [`LaneScratch`] LC cache keys on it.
+    #[inline]
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Lane `j`'s byte at cell `(l, u)`: 0 for ⊥, else 1-based write
+    /// index.
+    #[inline]
+    fn byte(&self, l: Location, u: NodeId, lane: usize) -> u8 {
+        (self.col(l, u)[lane / 8] >> ((lane % 8) * 8)) as u8
+    }
+
+    /// Reconstructs lane `lane`'s observer function. Only meaningful for
+    /// occupied lanes; an *invalid* lane decodes to the nearest valid
+    /// encoding (a non-write observation cannot be represented), which is
+    /// fine because kernels never report invalid lanes as members.
+    pub fn extract(&self, c: &Computation, lane: usize) -> ObserverFunction {
+        debug_assert!(lane < self.len as usize);
+        let mut phi = ObserverFunction::bottom(self.num_locations, self.node_count);
+        for l in c.locations() {
+            let writes = c.writes_to(l);
+            for u in c.nodes() {
+                let b = self.byte(l, u, lane);
+                if b > 0 {
+                    phi.set(l, u, Some(writes[b as usize - 1]));
+                }
+            }
+        }
+        phi
+    }
+}
+
+/// Reusable working memory for the lane kernels: the Q-dag between-set,
+/// the per-lane LC block-contraction buffers, the lane-parallel SC
+/// search memo, and a [`CheckScratch`] for the rare per-lane SC
+/// fallback (and the default per-lane trait path).
+///
+/// The `lc_cache` and `q_cache` memoise per pack generation: `Model::Sc`
+/// prefilters through the LC kernel that `Model::Lc` also needs, and the
+/// four Q-dag models share one structural scan ([`qdag_all_lanes`]) that
+/// differs only in which triples each predicate counts — so a six-model
+/// flush runs the LC kernel once and the Q-dag scan once. The caches key
+/// on [`LanePack`]'s mutation counter, so a scratch must stay paired
+/// with one pack stream — as every engine path does.
+#[derive(Default)]
+pub struct LaneScratch {
+    pub(crate) mid: BitSet,
+    adj: Vec<bool>,
+    indeg: Vec<usize>,
+    ready: Vec<usize>,
+    placed: usize,
+    lc_cache: Option<(u64, u64)>,
+    q_cache: Option<(u64, [u64; 4])>,
+    sc_table: Vec<(u32, u64)>,
+    sc_epoch: u32,
+    sc_indeg: Vec<usize>,
+    pub(crate) check: CheckScratch,
+}
+
+impl LaneScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Q-dag consistency (Definition 20) on all lanes at once: the verdict
+/// mask of lanes containing `(c, Φ_lane)`. The four named predicates
+/// share one structural scan ([`qdag_all_lanes`]), cached per pack
+/// generation, so a sweep evaluating several Q-dag models pays for the
+/// ancestor/between walks once. Other (hypothetical) predicates take the
+/// uncached single-model scan.
+pub(crate) fn qdag_lanes<Q: QPredicate>(c: &Computation, p: &LanePack, s: &mut LaneScratch) -> u64 {
+    let slot = match Q::NAME {
+        "NN" => 0,
+        "NW" => 1,
+        "WN" => 2,
+        "WW" => 3,
+        _ => return qdag_lanes_single::<Q>(c, p, s),
+    };
+    if let Some((generation, verdicts)) = s.q_cache {
+        if generation == p.generation() {
+            return verdicts[slot];
+        }
+    }
+    let verdicts = qdag_all_lanes(c, p, s);
+    s.q_cache = Some((p.generation(), verdicts));
+    verdicts[slot]
+}
+
+/// The four Q-dag models in one fused scan: verdict masks in the order
+/// `[NN, NW, WN, WW]`. Every predicate of Section 5 factors into "`u` is
+/// ⊥-or-a-write" × "`v` is a write", so a violating triple is routed to
+/// the models it fires under while the SWAR masks and the structural
+/// walk (ancestors, between-sets) are computed once.
+fn qdag_all_lanes(c: &Computation, p: &LanePack, s: &mut LaneScratch) -> [u64; 4] {
+    const NN: usize = 0;
+    const NW: usize = 1;
+    const WN: usize = 2;
+    const WW: usize = 3;
+    let valid = p.valid();
+    if valid == 0 {
+        return [0; 4];
+    }
+    let reach = c.reach();
+    let mut viol = [0u64; 4];
+    let mut saturated = [false; 4];
+    'scan: for l in c.locations() {
+        for w in c.nodes() {
+            let col_w = p.col(l, w);
+            let pending = !(viol[NN] & viol[NW] & viol[WN] & viol[WW]);
+            // u = ⊥ case: Φ(l,⊥) = ⊥, so the premise needs Φ(l,w) = ⊥;
+            // ⊥ counts as the virtual initial write, so the "W"-on-`u`
+            // predicates always fire here.
+            let bot_w = zero_lanes(col_w) & valid & pending;
+            if bot_w != 0 {
+                for v_idx in reach.ancestors(w).iter() {
+                    let v = NodeId::new(v_idx);
+                    let hit = bot_w & !zero_lanes(p.col(l, v));
+                    if hit == 0 {
+                        continue;
+                    }
+                    viol[NN] |= hit;
+                    viol[WN] |= hit;
+                    if c.op(v).is_write_to(l) {
+                        viol[NW] |= hit;
+                        viol[WW] |= hit;
+                    }
+                }
+            }
+            // u ∈ V case: lanes with Φ(l,u) = Φ(l,w) violate when some
+            // middle v between u and w observes differently.
+            for u_idx in reach.ancestors(w).iter() {
+                let u = NodeId::new(u_idx);
+                let eq_uw = eq_lanes(p.col(l, u), col_w) & valid & pending;
+                if eq_uw == 0 {
+                    continue;
+                }
+                let u_writes = c.op(u).is_write_to(l);
+                reach.between_into(u, w, &mut s.mid);
+                for v_idx in s.mid.iter() {
+                    let v = NodeId::new(v_idx);
+                    let hit = eq_uw & !eq_lanes(p.col(l, v), col_w);
+                    if hit == 0 {
+                        continue;
+                    }
+                    viol[NN] |= hit;
+                    if u_writes {
+                        viol[WN] |= hit;
+                    }
+                    if c.op(v).is_write_to(l) {
+                        viol[NW] |= hit;
+                        if u_writes {
+                            viol[WW] |= hit;
+                        }
+                    }
+                }
+            }
+            for m in 0..4 {
+                if !saturated[m] && viol[m] & valid == valid {
+                    saturated[m] = true;
+                    telemetry::count(Counter::LaneEarlyExits, 1);
+                }
+            }
+            if saturated == [true; 4] {
+                break 'scan;
+            }
+        }
+    }
+    [valid & !viol[NN], valid & !viol[NW], valid & !viol[WN], valid & !viol[WW]]
+}
+
+/// The uncached single-predicate scan, for `QPredicate`s outside the
+/// four named models. Mirrors `QDag::find_violation_with`, accumulating
+/// a violation mask instead of returning the first triple.
+fn qdag_lanes_single<Q: QPredicate>(c: &Computation, p: &LanePack, s: &mut LaneScratch) -> u64 {
+    let valid = p.valid();
+    if valid == 0 {
+        return 0;
+    }
+    let reach = c.reach();
+    let mut viol = 0u64;
+    for l in c.locations() {
+        for w in c.nodes() {
+            let col_w = p.col(l, w);
+            // u = ⊥ case: Φ(l,⊥) = ⊥, so the premise needs Φ(l,w) = ⊥
+            // and fires when any Q-ancestor v observes a write.
+            let bot_w = zero_lanes(col_w) & valid & !viol;
+            if bot_w != 0 {
+                for v_idx in reach.ancestors(w).iter() {
+                    let v = NodeId::new(v_idx);
+                    if Q::holds(c, l, None, v, w) {
+                        viol |= bot_w & !zero_lanes(p.col(l, v));
+                    }
+                }
+            }
+            // u ∈ V case: lanes with Φ(l,u) = Φ(l,w) violate when some
+            // Q-middle v between u and w observes differently.
+            for u_idx in reach.ancestors(w).iter() {
+                let u = NodeId::new(u_idx);
+                let eq_uw = eq_lanes(p.col(l, u), col_w) & valid & !viol;
+                if eq_uw == 0 {
+                    continue;
+                }
+                reach.between_into(u, w, &mut s.mid);
+                for v_idx in s.mid.iter() {
+                    let v = NodeId::new(v_idx);
+                    if Q::holds(c, l, Some(u), v, w) {
+                        viol |= eq_uw & !eq_lanes(p.col(l, v), col_w);
+                    }
+                }
+            }
+            if viol & valid == valid {
+                telemetry::count(Counter::LaneEarlyExits, 1);
+                return 0;
+            }
+        }
+    }
+    valid & !viol
+}
+
+/// Location consistency (Definition 18) on all lanes at once. Per
+/// location: a lane-parallel ⊥-block edge prefilter over the dag edges
+/// (an edge into the ⊥-block is infeasible under any sort), then a
+/// per-surviving-lane Kahn over the block contraction — blocks are read
+/// straight from the column bytes, which *are* the LC block indices.
+pub(crate) fn lc_lanes(c: &Computation, p: &LanePack, s: &mut LaneScratch) -> u64 {
+    if let Some((generation, live)) = s.lc_cache {
+        if generation == p.generation() {
+            return live;
+        }
+    }
+    let live = lc_lanes_uncached(c, p, s);
+    s.lc_cache = Some((p.generation(), live));
+    live
+}
+
+fn lc_lanes_uncached(c: &Computation, p: &LanePack, s: &mut LaneScratch) -> u64 {
+    let mut live = p.valid();
+    if live == 0 {
+        return 0;
+    }
+    for l in c.locations() {
+        for (eu, ev) in c.dag().edges() {
+            let (col_u, col_v) = (p.col(l, eu), p.col(l, ev));
+            // Edge u→v with Φ(l,v) = ⊥ and Φ(l,u) ≠ Φ(l,v): a node
+            // observing a write precedes a ⊥-observer.
+            live &= !(zero_lanes(col_v) & !eq_lanes(col_u, col_v));
+        }
+        if live == 0 {
+            telemetry::count(Counter::LaneEarlyExits, 1);
+            return 0;
+        }
+        let nblocks = c.writes_to(l).len() + 1;
+        if nblocks == 1 {
+            continue; // only the ⊥-block: nothing to order
+        }
+        let mut rem = live;
+        while rem != 0 {
+            let lane = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            if !lane_block_order(c, p, l, lane, nblocks, s) {
+                live &= !(1u64 << lane);
+            }
+        }
+        if live == 0 {
+            telemetry::count(Counter::LaneEarlyExits, 1);
+            return 0;
+        }
+    }
+    live
+}
+
+/// One lane's block-contraction acyclicity test for location `l` (the
+/// Kahn half of `lc::lc_block_order_into`; the ⊥-edge case was already
+/// filtered lane-parallel by the caller).
+fn lane_block_order(
+    c: &Computation,
+    p: &LanePack,
+    l: Location,
+    lane: usize,
+    nblocks: usize,
+    s: &mut LaneScratch,
+) -> bool {
+    s.adj.clear();
+    s.adj.resize(nblocks * nblocks, false);
+    for (eu, ev) in c.dag().edges() {
+        let (a, b) = (p.byte(l, eu, lane) as usize, p.byte(l, ev, lane) as usize);
+        if a != b {
+            debug_assert_ne!(b, 0, "⊥-edges were filtered lane-parallel");
+            s.adj[a * nblocks + b] = true;
+        }
+    }
+    s.indeg.clear();
+    s.indeg.resize(nblocks, 0);
+    for a in 0..nblocks {
+        for b in 0..nblocks {
+            if s.adj[a * nblocks + b] {
+                s.indeg[b] += 1;
+            }
+        }
+    }
+    s.ready.clear();
+    s.ready.extend((0..nblocks).filter(|&b| s.indeg[b] == 0));
+    s.placed = 0;
+    while let Some(b) = s.ready.pop() {
+        s.placed += 1;
+        for t in 0..nblocks {
+            if s.adj[b * nblocks + t] {
+                s.indeg[t] -= 1;
+                if s.indeg[t] == 0 {
+                    s.ready.push(t);
+                }
+            }
+        }
+    }
+    s.placed == nblocks
+}
+
+/// Sequential consistency (Definition 17) on all lanes: the LC lane
+/// kernel as an exact necessary prefilter (SC ⊆ LC, Figure 1), then
+/// *one* memoised search over (scheduled-set, last-writer) states shared
+/// by every surviving lane. The scalar search re-explores that state
+/// space once per Φ; here each state is visited once and returns the
+/// mask of lanes that can complete a per-step-consistent sort from it —
+/// per-step consistency of appending node `u` is itself a SWAR test
+/// (lane bytes at `(l, u)` vs the last-writer byte, [`eq_const_lanes`]).
+/// Falls back to the per-lane scalar search when the state key does not
+/// pack into two words (`n > 64` or more than 8 locations).
+pub(crate) fn sc_lanes(c: &Computation, p: &LanePack, s: &mut LaneScratch) -> u64 {
+    let feasible = lc_lanes(c, p, s);
+    if feasible == 0 {
+        return 0;
+    }
+    // The memo table is dense: index = last-writer mixed radix × 2^n +
+    // scheduled set. Out-of-range shapes fall back to the per-lane
+    // scalar search (unreachable at the bounded-universe sizes).
+    let n = c.node_count();
+    let mut strides = [0usize; 8];
+    let mut radix = 1usize;
+    if n < 20 && c.num_locations() <= 8 {
+        for l in c.locations() {
+            strides[l.index()] = radix;
+            radix = radix.saturating_mul(c.writes_to(l).len() + 1);
+        }
+    }
+    let table_size = radix.saturating_mul(1 << n.min(20));
+    if n >= 20 || c.num_locations() > 8 || table_size > 1 << 20 {
+        let mut verdict = 0u64;
+        let mut rem = feasible;
+        while rem != 0 {
+            let lane = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            let phi = p.extract(c, lane);
+            if Sc::solve(c, &phi, &mut s.check.sc) {
+                verdict |= 1u64 << lane;
+            }
+        }
+        return verdict;
+    }
+    s.sc_epoch = s.sc_epoch.wrapping_add(1);
+    if s.sc_epoch == 0 {
+        s.sc_table.clear();
+        s.sc_epoch = 1;
+    }
+    if s.sc_table.len() < table_size {
+        s.sc_table.resize(table_size, (0, 0));
+    }
+    s.sc_indeg.clear();
+    s.sc_indeg.extend(c.nodes().map(|u| c.dag().in_degree(u)));
+    let mut search = ScLaneSearch {
+        c,
+        p,
+        feasible,
+        full: (1u64 << n) - 1,
+        shift: n,
+        strides,
+        sched: 0,
+        lasts: 0,
+        last_dense: 0,
+        indeg: &mut s.sc_indeg,
+        table: &mut s.sc_table,
+        epoch: s.sc_epoch,
+    };
+    search.run()
+}
+
+/// The lane-parallel SC search. `sched`/`lasts` are the packed state the
+/// scalar `ScScratch` memo uses — node set in one word, last writer per
+/// location at 8 bits (0 = ⊥, else 1-based write index, matching the
+/// pack's column encoding so appendability is a byte compare).
+/// `last_dense` tracks the mixed-radix value of `lasts` so the memo
+/// index `last_dense << shift | sched` is maintained incrementally; the
+/// epoch stamp makes table reuse across calls O(1).
+struct ScLaneSearch<'a> {
+    c: &'a Computation,
+    p: &'a LanePack,
+    /// LC-feasible valid lanes; every mask in the search lives below it.
+    feasible: u64,
+    full: u64,
+    shift: usize,
+    strides: [usize; 8],
+    sched: u64,
+    lasts: u64,
+    last_dense: usize,
+    indeg: &'a mut Vec<usize>,
+    table: &'a mut Vec<(u32, u64)>,
+    epoch: u32,
+}
+
+impl ScLaneSearch<'_> {
+    /// Mask of lanes for which appending `u` now is per-step consistent:
+    /// at every location `u` does not write, lane bytes at `(l, u)` must
+    /// equal the current last-writer byte.
+    fn appendable(&self, u: NodeId) -> u64 {
+        let mut mask = self.feasible;
+        for l in self.c.locations() {
+            if self.c.op(u).is_write_to(l) {
+                continue; // Φ(l, u) = u by Def. 2.3; satisfied on append.
+            }
+            let expected = (self.lasts >> (8 * l.index())) as u8;
+            mask &= eq_const_lanes(self.p.col(l, u), expected);
+            if mask == 0 {
+                break;
+            }
+        }
+        mask
+    }
+
+    /// Mask of lanes that can extend the current state to a full
+    /// per-step-consistent topological sort. A function of the state
+    /// alone, so each `(sched, lasts)` pair is solved once for all lanes.
+    fn run(&mut self) -> u64 {
+        if self.sched == self.full {
+            return self.feasible;
+        }
+        let key = self.last_dense << self.shift | self.sched as usize;
+        if self.table[key].0 == self.epoch {
+            telemetry::count(Counter::ScMemoHits, 1);
+            return self.table[key].1;
+        }
+        let mut out = 0u64;
+        for u in self.c.nodes() {
+            if self.sched >> u.index() & 1 == 1 || self.indeg[u.index()] != 0 {
+                continue;
+            }
+            let can_append = self.appendable(u);
+            if can_append == 0 {
+                continue;
+            }
+            // Apply.
+            self.sched |= 1u64 << u.index();
+            for &v in self.c.dag().successors(u) {
+                self.indeg[v.index()] -= 1;
+            }
+            let (saved, saved_dense) = (self.lasts, self.last_dense);
+            if let Op::Write(l) = self.c.op(u) {
+                let shift = 8 * l.index();
+                let old = (self.lasts >> shift) as u8;
+                let new = self.p.widx_of(l, u);
+                self.lasts = (self.lasts & !(0xffu64 << shift)) | (u64::from(new) << shift);
+                let stride = self.strides[l.index()];
+                self.last_dense = self.last_dense - old as usize * stride + new as usize * stride;
+            }
+            let completes = self.run();
+            // Undo.
+            self.lasts = saved;
+            self.last_dense = saved_dense;
+            for &v in self.c.dag().successors(u) {
+                self.indeg[v.index()] += 1;
+            }
+            self.sched &= !(1u64 << u.index());
+            out |= can_append & completes;
+            if out == self.feasible {
+                break; // every lane already has a witness; `out` is maximal
+            }
+        }
+        telemetry::count(Counter::ScMemoMisses, 1);
+        self.table[key] = (self.epoch, out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::for_each_observer;
+    use crate::model::{MemoryModel, Model};
+    use crate::op::Op;
+    use crate::universe::Universe;
+    use std::ops::ControlFlow;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+    fn l(i: usize) -> Location {
+        Location::new(i)
+    }
+
+    #[test]
+    fn swar_masks_are_exact_per_byte() {
+        // The borrow-propagation counterexample for the textbook haszero
+        // `(x - LO) & !x & HI`: in 0x0100 the nonzero byte 1 must NOT be
+        // flagged, while every actually-zero byte must be.
+        assert_eq!(zero_bytes(0x0100), HIGH & !0x8000);
+        assert_eq!(zero_bytes(0), HIGH);
+        assert_eq!(zero_bytes(!0), 0);
+        // Nonzero bytes at positions 1, 3, 4, 6; zero bytes at 0, 2, 5, 7.
+        assert_eq!(zero_bytes(0x0080_0001_ff00_7f00), 0x8000_8000_0080_0080);
+        // movemask gathers byte-high-bits to the low byte, bit j = byte j.
+        assert_eq!(movemask(HIGH), 0xff);
+        assert_eq!(movemask(0x80), 0x01);
+        assert_eq!(movemask(0x8000_0000_0000_0000), 0x80);
+        assert_eq!(movemask(0x0080_8000_0000_8000), 0b0110_0010);
+    }
+
+    #[test]
+    fn zero_and_eq_lanes_cover_all_64_lanes() {
+        let mut a = [0u64; 8];
+        let mut b = [0u64; 8];
+        // Lane j gets byte value (j % 5) in a, (j % 3) in b.
+        for j in 0..LANES {
+            a[j / 8] |= ((j % 5) as u64) << ((j % 8) * 8);
+            b[j / 8] |= ((j % 3) as u64) << ((j % 8) * 8);
+        }
+        let za = zero_lanes(&a);
+        let eq = eq_lanes(&a, &b);
+        for j in 0..LANES {
+            assert_eq!(za >> j & 1 == 1, j % 5 == 0, "zero_lanes lane {j}");
+            assert_eq!(eq >> j & 1 == 1, j % 5 == j % 3, "eq_lanes lane {j}");
+        }
+    }
+
+    #[test]
+    fn pack_round_trips_observers_in_push_order() {
+        let c = Computation::from_edges(
+            4,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Write(l(0)), Op::Read(l(0))],
+        );
+        let mut p = LanePack::new();
+        p.prepare(&c);
+        let mut pushed = Vec::new();
+        let _ = for_each_observer(&c, |phi| {
+            pushed.push(phi.clone());
+            p.push(&c, phi);
+            ControlFlow::Continue(())
+        });
+        assert!(pushed.len() > 1 && pushed.len() <= LANES);
+        assert_eq!(p.len(), pushed.len());
+        assert_eq!(p.valid(), p.used(), "enumerated observers are all valid");
+        for (j, phi) in pushed.iter().enumerate() {
+            assert_eq!(&p.extract(&c, j), phi, "lane {j} round trip");
+        }
+    }
+
+    #[test]
+    fn invalid_lane_is_masked_out() {
+        let c = Computation::from_edges(2, &[(0, 1)], vec![Op::Write(l(0)), Op::Read(l(0))]);
+        let mut p = LanePack::new();
+        p.prepare(&c);
+        p.push(&c, &ObserverFunction::base(&c));
+        // Write not self-observing: invalid (Definition 2.3).
+        p.push(&c, &ObserverFunction::bottom(1, 2));
+        assert_eq!(p.used(), 0b11);
+        assert_eq!(p.valid(), 0b01);
+        let mut s = LaneScratch::new();
+        for m in Model::ALL {
+            assert_eq!(m.contains_lanes(&c, &p, &mut s) & 0b10, 0, "{m} accepted invalid lane");
+        }
+    }
+
+    #[test]
+    fn clear_lanes_keeps_shape_and_masks_stale_bytes() {
+        let c = Computation::from_edges(
+            3,
+            &[(0, 1), (1, 2)],
+            vec![Op::Write(l(0)), Op::Read(l(0)), Op::Read(l(0))],
+        );
+        let mut p = LanePack::new();
+        p.prepare(&c);
+        // First batch: a rejected-by-all Φ (initial value resurfaces).
+        let bad = ObserverFunction::base(&c).with(l(0), n(1), Some(n(0))).with(l(0), n(2), None);
+        p.push(&c, &bad);
+        p.clear_lanes();
+        // Second batch: one accepted Φ in lane 0; lane 1+ holds stale
+        // bytes from the first batch, which must not leak into verdicts.
+        let good =
+            ObserverFunction::base(&c).with(l(0), n(1), Some(n(0))).with(l(0), n(2), Some(n(0)));
+        p.push(&c, &good);
+        let mut s = LaneScratch::new();
+        for m in [Model::Sc, Model::Lc, Model::Nn, Model::Ww] {
+            assert_eq!(m.contains_lanes(&c, &p, &mut s), 0b01, "{m}");
+        }
+    }
+
+    /// Exhaustive lane-vs-scalar differential over every computation of a
+    /// small universe, all models, full packs and underfull tails.
+    fn differential(bound: usize, locs: usize) {
+        let u = Universe::new(bound, locs);
+        let mut pack = LanePack::new();
+        let mut ls = LaneScratch::new();
+        let mut check = CheckScratch::new();
+        let _ = u.for_each_computation(|c| {
+            pack.prepare(c);
+            let mut scalars: Vec<u64> = vec![0; Model::ALL.len()];
+            let mut base = 0usize;
+            let mut flush = |pack: &mut LanePack, scalars: &mut Vec<u64>, base: usize| {
+                for (mi, m) in Model::ALL.iter().enumerate() {
+                    let lanes = m.contains_lanes(c, pack, &mut ls);
+                    assert_eq!(
+                        lanes,
+                        scalars[mi],
+                        "{m} lane/scalar split on {c:?} (lanes {base}..{})",
+                        base + pack.len()
+                    );
+                    scalars[mi] = 0;
+                }
+            };
+            let _ = for_each_observer(c, |phi| {
+                let lane = pack.push(c, phi);
+                for (mi, m) in Model::ALL.iter().enumerate() {
+                    if m.contains_with(c, phi, &mut check) {
+                        scalars[mi] |= 1u64 << lane;
+                    }
+                }
+                if pack.is_full() {
+                    flush(&mut pack, &mut scalars, base);
+                    base += LANES;
+                    pack.clear_lanes();
+                }
+                ControlFlow::Continue(())
+            });
+            if !pack.is_empty() {
+                flush(&mut pack, &mut scalars, base);
+            }
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn lanes_match_scalar_exhaustively_bound_3() {
+        differential(3, 1);
+    }
+
+    #[test]
+    fn lanes_match_scalar_exhaustively_two_locations() {
+        differential(2, 2);
+    }
+}

@@ -188,6 +188,15 @@ impl MemoryModel for Lc {
     fn contains_with(&self, c: &Computation, phi: &ObserverFunction, s: &mut CheckScratch) -> bool {
         phi.is_valid_for(c) && c.locations().all(|l| location_ok(c, phi, l, &mut s.lc))
     }
+
+    fn contains_lanes(
+        &self,
+        c: &Computation,
+        phis: &crate::model::LanePack,
+        s: &mut crate::model::LaneScratch,
+    ) -> u64 {
+        crate::model::lane::lc_lanes(c, phis, s)
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 pub mod brute;
 pub mod composite;
 pub mod dagcons;
+pub mod lane;
 pub mod lc;
 pub mod sc;
 
@@ -27,6 +28,7 @@ use crate::telemetry::{self, Counter};
 
 pub use composite::{Intersection, Union};
 pub use dagcons::{DynQ, Nn, Nw, QDag, QPredicate, Wn, Ww};
+pub use lane::{LanePack, LaneScratch, LANES};
 pub use lc::Lc;
 pub use sc::Sc;
 
@@ -79,6 +81,29 @@ pub trait MemoryModel {
     ) -> bool {
         self.contains(c, phi)
     }
+
+    /// Lane-parallel membership test: decide up to [`LANES`] observer
+    /// functions packed into `phis` in one call, returning a verdict mask
+    /// with bit `j` set iff lane `j`'s pair is in the model.
+    ///
+    /// Bits outside [`LanePack::used`] and lanes whose observer failed
+    /// validation ([`LanePack::valid`] cleared) are always 0. The default
+    /// extracts each valid lane and runs the scalar
+    /// [`contains_with`](MemoryModel::contains_with); the hot models
+    /// override this with SWAR kernels.
+    fn contains_lanes(&self, c: &Computation, phis: &LanePack, s: &mut LaneScratch) -> u64 {
+        let mut verdict = 0u64;
+        let mut rem = phis.valid();
+        while rem != 0 {
+            let lane = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            let phi = phis.extract(c, lane);
+            if self.contains_with(c, &phi, &mut s.check) {
+                verdict |= 1u64 << lane;
+            }
+        }
+        verdict
+    }
 }
 
 /// The weakest memory model: every valid (computation, observer) pair.
@@ -95,6 +120,10 @@ impl MemoryModel for AnyObserver {
 
     fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
         phi.is_valid_for(c)
+    }
+
+    fn contains_lanes(&self, _c: &Computation, phis: &LanePack, _s: &mut LaneScratch) -> u64 {
+        phis.valid()
     }
 }
 
@@ -190,6 +219,21 @@ impl MemoryModel for Model {
             Model::Wn => Wn::default().contains_with(c, phi, s),
             Model::Ww => Ww::default().contains_with(c, phi, s),
             Model::Any => AnyObserver.contains(c, phi),
+        }
+    }
+
+    fn contains_lanes(&self, c: &Computation, phis: &LanePack, s: &mut LaneScratch) -> u64 {
+        let slots = u64::from(phis.used().count_ones());
+        telemetry::count(self.phi_counter(), slots);
+        telemetry::count(Counter::ScratchReuse, slots);
+        match self {
+            Model::Sc => Sc.contains_lanes(c, phis, s),
+            Model::Lc => Lc.contains_lanes(c, phis, s),
+            Model::Nn => Nn::default().contains_lanes(c, phis, s),
+            Model::Nw => Nw::default().contains_lanes(c, phis, s),
+            Model::Wn => Wn::default().contains_lanes(c, phis, s),
+            Model::Ww => Ww::default().contains_lanes(c, phis, s),
+            Model::Any => AnyObserver.contains_lanes(c, phis, s),
         }
     }
 }

@@ -191,6 +191,15 @@ impl MemoryModel for Sc {
     fn contains_with(&self, c: &Computation, phi: &ObserverFunction, s: &mut CheckScratch) -> bool {
         Sc::solve(c, phi, &mut s.sc)
     }
+
+    fn contains_lanes(
+        &self,
+        c: &Computation,
+        phis: &crate::model::LanePack,
+        s: &mut crate::model::LaneScratch,
+    ) -> u64 {
+        crate::model::lane::sc_lanes(c, phis, s)
+    }
 }
 
 #[cfg(test)]

@@ -49,7 +49,7 @@ use crate::ckpt::{get_u64, put_u64, CkptWriter};
 use crate::computation::Computation;
 use crate::enumerate::for_each_observer;
 use crate::fault::{payload_string, FaultPlan};
-use crate::model::{CheckScratch, MemoryModel};
+use crate::model::{CheckScratch, LanePack, LaneScratch, MemoryModel};
 use crate::observer::ObserverFunction;
 use crate::props::{
     any_extension, ConstructibilityWitness, IncompleteWitness, MonotonicityWitness,
@@ -999,6 +999,274 @@ pub fn memberships_supervised<M: MemoryModel + Sync>(
     )
 }
 
+/// Lane-engine counterpart of [`memberships_supervised`]: packs up to
+/// [`crate::model::LANES`] observers per [`LanePack`] and decides them in
+/// lockstep via [`MemoryModel::contains_lanes`]. Counts are identical to
+/// the scalar engine — a verdict mask contributes
+/// `weight × popcount(verdict)`. Checkpoints stay task (poset) granular
+/// with the scalar snapshot encoding, so journals from either engine
+/// resume bit-identically under the same fingerprint discipline.
+pub fn memberships_lanes_supervised<M: MemoryModel + Sync>(
+    models: &[M],
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+    resume: Option<(Frontier, CountsState)>,
+    ckpt: Option<(&mut CkptWriter, usize)>,
+) -> Supervised<CountsState> {
+    let n = models.len();
+    let encode = |s: &CountsState, f: &Frontier| encode_counts_snapshot(f, s);
+    let sink = ckpt.map(|(writer, every)| CkptSink { writer, every, encode: &encode });
+    sweep_supervised_ckpt(
+        u,
+        cfg,
+        sup,
+        resume,
+        sink,
+        || CountsState::new(n),
+        || (LanePack::new(), LaneScratch::new()),
+        |acc, xs, _, c, w| {
+            let (pack, lanes) = xs;
+            pack.prepare(c);
+            let mut flush = |pack: &mut LanePack, lanes: &mut LaneScratch| {
+                let used = pack.used();
+                let slots = u64::from(used.count_ones());
+                telemetry::count(Counter::LaneWords, 1);
+                telemetry::count(Counter::LaneSlots, slots);
+                telemetry::count(Counter::PairsChecked, slots);
+                acc.pairs += w * slots;
+                for (i, m) in models.iter().enumerate() {
+                    let verdict = m.contains_lanes(c, pack, lanes) & used;
+                    acc.per_model[i] += w * u64::from(verdict.count_ones());
+                }
+                pack.clear_lanes();
+            };
+            let _ = for_each_observer(c, |phi| {
+                pack.push_valid(c, phi);
+                if pack.is_full() {
+                    flush(pack, lanes);
+                }
+                ControlFlow::Continue(())
+            });
+            if !pack.is_empty() {
+                flush(pack, lanes);
+            }
+        },
+    )
+}
+
+/// Lane-engine counterpart of [`compare_supervised`]: same `Comparison`
+/// — counts AND first witnesses — as the scalar engine. Lanes fill in
+/// observer-enumeration order, so the lowest set bit of a one-sided
+/// verdict mask is exactly the scalar scan's first witness, and
+/// [`keep_min`]/[`merge_keyed`] resolve across flushes and tasks exactly
+/// as they do for scalar checks.
+pub fn compare_lanes_supervised<A, B>(
+    a: &A,
+    b: &B,
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+) -> Supervised<Comparison>
+where
+    A: MemoryModel + Sync,
+    B: MemoryModel + Sync,
+{
+    let alphabet = u.alphabet();
+    let maps = maps_for(u, cfg, &alphabet);
+    let out = run_supervised(
+        materialize(u, cfg.canonical),
+        cfg.threads,
+        cfg.deadline,
+        &sup.fault,
+        Frontier::new(),
+        CmpState::new(),
+        None,
+        || (LabelScratch::new(), LanePack::new(), LaneScratch::new()),
+        |task, xs| {
+            let (ls, pack, lanes) = xs;
+            let mut p = CmpState::new();
+            let _ = for_each_labelling(&alphabet, &maps, task, ls, &mut |c, weight| {
+                let w = weight as usize;
+                pack.prepare(c);
+                let mut flush = |pack: &mut LanePack, lanes: &mut LaneScratch| {
+                    let used = pack.used();
+                    telemetry::count(Counter::LaneWords, 1);
+                    telemetry::count(Counter::LaneSlots, u64::from(used.count_ones()));
+                    p.pairs_checked += w * used.count_ones() as usize;
+                    let va = a.contains_lanes(c, pack, lanes) & used;
+                    let vb = b.contains_lanes(c, pack, lanes) & used;
+                    p.a_total += w * va.count_ones() as usize;
+                    p.b_total += w * vb.count_ones() as usize;
+                    p.both += w * (va & vb).count_ones() as usize;
+                    let a_mask = va & !vb;
+                    if a_mask != 0 {
+                        let lane = a_mask.trailing_zeros() as usize;
+                        keep_min(&mut p.a_only, task.idx, || (c.clone(), pack.extract(c, lane)));
+                    }
+                    let b_mask = vb & !va;
+                    if b_mask != 0 {
+                        let lane = b_mask.trailing_zeros() as usize;
+                        keep_min(&mut p.b_only, task.idx, || (c.clone(), pack.extract(c, lane)));
+                    }
+                    pack.clear_lanes();
+                };
+                let _ = for_each_observer(c, |phi| {
+                    pack.push_valid(c, phi);
+                    if pack.is_full() {
+                        flush(pack, lanes);
+                    }
+                    ControlFlow::Continue(())
+                });
+                if !pack.is_empty() {
+                    flush(pack, lanes);
+                }
+                ControlFlow::Continue(())
+            });
+            p
+        },
+        |g, d, _| {
+            g.both += d.both;
+            g.a_total += d.a_total;
+            g.b_total += d.b_total;
+            g.pairs_checked += d.pairs_checked;
+            merge_keyed(&mut g.a_only, d.a_only);
+            merge_keyed(&mut g.b_only, d.b_only);
+        },
+    );
+    out.map(|p| {
+        let a_only = p.a_only.map(|k| k.witness);
+        let b_only = p.b_only.map(|k| k.witness);
+        let relation = match (&a_only, &b_only) {
+            (None, None) => Relation::Equal,
+            (None, Some(_)) => Relation::StrictlyStronger,
+            (Some(_), None) => Relation::StrictlyWeaker,
+            (Some(_), Some(_)) => Relation::Incomparable,
+        };
+        Comparison {
+            relation,
+            a_only,
+            b_only,
+            both: p.both,
+            a_total: p.a_total,
+            b_total: p.b_total,
+            pairs_checked: p.pairs_checked,
+        }
+    })
+}
+
+/// Lane-engine counterpart of [`relation_supervised`]: existence-only
+/// evidence via verdict masks, with the same early exit once both sides
+/// have a witness. Verdict soundness is unchanged — masks are already
+/// restricted to valid lanes.
+pub fn relation_lanes_supervised<A, B>(
+    a: &A,
+    b: &B,
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+) -> Supervised<Relation>
+where
+    A: MemoryModel + Sync,
+    B: MemoryModel + Sync,
+{
+    let alphabet = u.alphabet();
+    let maps = maps_for(u, cfg, &alphabet);
+    let found_a_only = AtomicBool::new(false);
+    let found_b_only = AtomicBool::new(false);
+    let out = run_supervised(
+        materialize(u, cfg.canonical),
+        cfg.threads,
+        cfg.deadline,
+        &sup.fault,
+        Frontier::new(),
+        (),
+        None,
+        || (LabelScratch::new(), LanePack::new(), LaneScratch::new()),
+        |task, xs| {
+            if found_a_only.load(Ordering::Relaxed) && found_b_only.load(Ordering::Relaxed) {
+                return; // verdict already forced
+            }
+            let (ls, pack, lanes) = xs;
+            let _ = for_each_labelling(&alphabet, &maps, task, ls, &mut |c, _| {
+                let done_a = found_a_only.load(Ordering::Relaxed);
+                let done_b = found_b_only.load(Ordering::Relaxed);
+                if done_a && done_b {
+                    return ControlFlow::Break(());
+                }
+                pack.prepare(c);
+                let flush = |pack: &mut LanePack, lanes: &mut LaneScratch| {
+                    let used = pack.used();
+                    let va = a.contains_lanes(c, pack, lanes) & used;
+                    let vb = b.contains_lanes(c, pack, lanes) & used;
+                    if va & !vb != 0 {
+                        found_a_only.store(true, Ordering::Relaxed);
+                    }
+                    if vb & !va != 0 {
+                        found_b_only.store(true, Ordering::Relaxed);
+                    }
+                    pack.clear_lanes();
+                };
+                let _ = for_each_observer(c, |phi| {
+                    pack.push_valid(c, phi);
+                    if pack.is_full() {
+                        flush(pack, lanes);
+                    }
+                    ControlFlow::Continue(())
+                });
+                if !pack.is_empty() {
+                    flush(pack, lanes);
+                }
+                ControlFlow::Continue(())
+            });
+        },
+        |_, _, _| {},
+    );
+    let relation =
+        match (found_a_only.load(Ordering::Relaxed), found_b_only.load(Ordering::Relaxed)) {
+            (false, false) => Relation::Equal,
+            (false, true) => Relation::StrictlyStronger,
+            (true, false) => Relation::StrictlyWeaker,
+            (true, true) => Relation::Incomparable,
+        };
+    out.map(|()| relation)
+}
+
+/// Lane-engine counterpart of [`lattice_supervised`]: every cell runs
+/// [`relation_lanes_supervised`] under the same supervisor; the worst
+/// cell status wins, as in the scalar lattice.
+pub fn lattice_lanes_supervised<M: MemoryModel + Sync>(
+    models: &[M],
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+) -> Supervised<Vec<LatticeRow>> {
+    let mut status = SweepStatus::Complete;
+    let mut quarantined = Vec::new();
+    let mut total_tasks = 0;
+    let mut rows = Vec::new();
+    for a in models {
+        let mut row = LatticeRow { name: a.name().to_string(), relations: Vec::new() };
+        for b in models {
+            let cell = relation_lanes_supervised(a, b, u, cfg, sup);
+            status = status.max(cell.status);
+            quarantined.extend(cell.quarantined);
+            total_tasks += cell.total_tasks;
+            row.relations.push(cell.value);
+        }
+        rows.push(row);
+    }
+    quarantined.sort_by_key(|q| q.task_idx);
+    Supervised {
+        value: rows,
+        status,
+        quarantined,
+        frontier: Frontier::new(),
+        total_tasks,
+        ckpt_error: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1133,6 +1401,135 @@ mod tests {
             assert_eq!(resumed.frontier.len(), resumed.total_tasks);
             std::fs::remove_file(&path).unwrap();
         }
+    }
+
+    #[test]
+    fn lane_memberships_match_scalar_at_every_thread_count() {
+        // The lane64 engine must reproduce the scalar engine's weighted
+        // membership counts exactly — labelled and canonical, 1/2/4
+        // threads — because downstream tables and gates treat the two
+        // engines as interchangeable up to throughput.
+        let u = Universe::new(4, 1);
+        for canonical in [false, true] {
+            let scalar = memberships_supervised(
+                &MODELS,
+                &u,
+                &SweepConfig::with_threads(1).canonical(canonical),
+                &Supervisor::none(),
+                None,
+                None,
+            )
+            .expect_complete("scalar memberships");
+            for threads in [1, 2, 4] {
+                let cfg = SweepConfig::with_threads(threads).canonical(canonical);
+                let lanes = memberships_lanes_supervised(
+                    &MODELS,
+                    &u,
+                    &cfg,
+                    &Supervisor::none(),
+                    None,
+                    None,
+                )
+                .expect_complete("lane memberships");
+                assert_eq!(lanes, scalar, "canonical={canonical} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_compare_matches_scalar_counts_and_witnesses() {
+        let u = Universe::new(4, 1);
+        let serial = compare(&Model::Lc, &Model::Nn, &u);
+        for threads in [1, 2, 4] {
+            let cfg = SweepConfig::with_threads(threads).canonical(true);
+            let out =
+                compare_lanes_supervised(&Model::Lc, &Model::Nn, &u, &cfg, &Supervisor::none())
+                    .expect_complete("lane compare");
+            assert_eq!(out.relation, serial.relation, "{threads} threads");
+            assert_eq!(out.both, serial.both, "{threads} threads");
+            assert_eq!(out.a_total, serial.a_total, "{threads} threads");
+            assert_eq!(out.b_total, serial.b_total, "{threads} threads");
+            assert_eq!(out.pairs_checked, serial.pairs_checked, "{threads} threads");
+            assert_eq!(out.a_only, serial.a_only, "{threads} threads: a_only witness");
+            assert_eq!(out.b_only, serial.b_only, "{threads} threads: b_only witness");
+        }
+    }
+
+    #[test]
+    fn lane_lattice_matches_scalar() {
+        let u = Universe::new(3, 1);
+        let cfg = SweepConfig::with_threads(2).canonical(true);
+        let scalar = lattice_supervised(&MODELS, &u, &cfg, &Supervisor::none());
+        let lanes = lattice_lanes_supervised(&MODELS, &u, &cfg, &Supervisor::none());
+        assert!(lanes.is_complete());
+        for (a, b) in scalar.value.iter().zip(&lanes.value) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.relations, b.relations, "lattice row {} drift", a.name);
+        }
+    }
+
+    #[test]
+    fn lane_kill_resume_is_bit_identical() {
+        // Same discipline as the scalar kill/resume test: a lane journal
+        // truncated by an injected kill must resume to the exact clean
+        // counts, at every thread count.
+        let u = Universe::new(3, 1);
+        for threads in [1, 2, 4] {
+            let cfg = SweepConfig::with_threads(threads).canonical(true);
+            let clean =
+                memberships_lanes_supervised(&MODELS, &u, &cfg, &Supervisor::none(), None, None)
+                    .value;
+            let path = temp(&format!("lane-killres-{threads}"));
+            let mut writer = CkptWriter::create(&path, "test fp").unwrap();
+            let sup = Supervisor::with_fault(FaultPlan::none().kill_after_records(2));
+            let out =
+                memberships_lanes_supervised(&MODELS, &u, &cfg, &sup, None, Some((&mut writer, 1)));
+            assert_eq!(out.status, SweepStatus::Killed);
+            drop(writer);
+            let ck = crate::ckpt::Checkpoint::load(&path).unwrap();
+            let (frontier, counts) = decode_counts_snapshot(ck.latest().unwrap()).unwrap();
+            let mut writer = CkptWriter::append_to(&path).unwrap();
+            let resumed = memberships_lanes_supervised(
+                &MODELS,
+                &u,
+                &cfg,
+                &Supervisor::none(),
+                Some((frontier, counts)),
+                Some((&mut writer, 1)),
+            );
+            assert!(resumed.is_complete(), "{threads} threads");
+            assert_eq!(resumed.value, clean, "{threads} threads: resume must be bit-identical");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn lane_and_scalar_snapshots_interoperate() {
+        // A journal written by the scalar engine can seed a lane resume:
+        // the snapshot encoding (frontier + counts) is engine-agnostic.
+        let u = Universe::new(3, 1);
+        let cfg = SweepConfig::with_threads(2).canonical(true);
+        let clean =
+            memberships_supervised(&MODELS, &u, &cfg, &Supervisor::none(), None, None).value;
+        let path = temp("lane-interop");
+        let mut writer = CkptWriter::create(&path, "test fp").unwrap();
+        let sup = Supervisor::with_fault(FaultPlan::none().kill_after_records(2));
+        let out = memberships_supervised(&MODELS, &u, &cfg, &sup, None, Some((&mut writer, 1)));
+        assert_eq!(out.status, SweepStatus::Killed);
+        drop(writer);
+        let ck = crate::ckpt::Checkpoint::load(&path).unwrap();
+        let (frontier, counts) = decode_counts_snapshot(ck.latest().unwrap()).unwrap();
+        let resumed = memberships_lanes_supervised(
+            &MODELS,
+            &u,
+            &cfg,
+            &Supervisor::none(),
+            Some((frontier, counts)),
+            None,
+        );
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.value, clean, "scalar journal + lane resume must match clean scalar");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

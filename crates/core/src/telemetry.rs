@@ -84,10 +84,19 @@ pub enum Counter {
     /// Fast-vs-oracle verdict comparisons made by the conformance
     /// harness.
     ConformanceChecks,
+    /// Lane words evaluated by the lane64 engine (one per flushed
+    /// [`crate::model::lane::LanePack`], full or underfull).
+    LaneWords,
+    /// Observer lanes occupied across those words (occupancy =
+    /// `lane_slots / (64 · lane_words)`).
+    LaneSlots,
+    /// Lane kernels that aborted early because every valid lane was
+    /// already dead (violation or infeasibility on all of them).
+    LaneEarlyExits,
 }
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 22;
+pub const NUM_COUNTERS: usize = 25;
 
 impl Counter {
     /// Every counter, in snapshot order.
@@ -114,6 +123,9 @@ impl Counter {
         Counter::OnlineJams,
         Counter::OracleChecks,
         Counter::ConformanceChecks,
+        Counter::LaneWords,
+        Counter::LaneSlots,
+        Counter::LaneEarlyExits,
     ];
 
     /// The counter's stable snake_case name, used as its key in metrics
@@ -142,6 +154,9 @@ impl Counter {
             Counter::OnlineJams => "online_jams",
             Counter::OracleChecks => "oracle_checks",
             Counter::ConformanceChecks => "conformance_checks",
+            Counter::LaneWords => "lane_words",
+            Counter::LaneSlots => "lane_slots",
+            Counter::LaneEarlyExits => "lane_early_exits",
         }
     }
 }

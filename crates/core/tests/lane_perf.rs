@@ -1,0 +1,105 @@
+//! Ignored perf probe: per-model scalar vs lane timing. Run with
+//! `cargo test -p ccmm-core --release --test lane_perf -- --ignored --nocapture`.
+
+use ccmm_core::enumerate::for_each_observer;
+use ccmm_core::model::{CheckScratch, LanePack, LaneScratch};
+use ccmm_core::sweep::{sweep_computations, SweepConfig};
+use ccmm_core::universe::Universe;
+use ccmm_core::{MemoryModel, Model};
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+fn scalar(u: &Universe, cfg: &SweepConfig, models: &[Model]) -> u64 {
+    sweep_computations(
+        u,
+        cfg,
+        || (0u64, CheckScratch::new()),
+        |acc, _, c, w| {
+            let _ = for_each_observer(c, |phi| {
+                for m in models {
+                    acc.0 += w * m.contains_with(c, phi, &mut acc.1) as u64;
+                }
+                ControlFlow::Continue(())
+            });
+        },
+    )
+    .expect_complete("scalar")
+    .into_iter()
+    .map(|(n, _)| n)
+    .sum()
+}
+
+fn lanes(u: &Universe, cfg: &SweepConfig, models: &[Model]) -> u64 {
+    sweep_computations(
+        u,
+        cfg,
+        || (0u64, LanePack::new(), LaneScratch::new()),
+        |acc, _, c, w| {
+            let (total, pack, ls) = acc;
+            pack.prepare(c);
+            let mut flush = |pack: &mut LanePack, ls: &mut LaneScratch| {
+                let used = pack.used();
+                for m in models {
+                    *total += w * u64::from((m.contains_lanes(c, pack, ls) & used).count_ones());
+                }
+                pack.clear_lanes();
+            };
+            let _ = for_each_observer(c, |phi| {
+                pack.push_valid(c, phi);
+                if pack.is_full() {
+                    flush(pack, ls);
+                }
+                ControlFlow::Continue(())
+            });
+            if !pack.is_empty() {
+                flush(pack, ls);
+            }
+        },
+    )
+    .expect_complete("lanes")
+    .into_iter()
+    .map(|(n, _, _)| n)
+    .sum()
+}
+
+#[test]
+#[ignore]
+fn per_model_timing() {
+    let u = Universe::new(5, 1);
+    let cfg = SweepConfig::serial().canonical(true);
+    for m in [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww] {
+        let t = Instant::now();
+        let s = scalar(&u, &cfg, &[m]);
+        let ts = t.elapsed();
+        let t = Instant::now();
+        let l = lanes(&u, &cfg, &[m]);
+        let tl = t.elapsed();
+        assert_eq!(s, l);
+        println!(
+            "{:<4} scalar {:>8.2?}  lane {:>8.2?}  speedup {:.2}x",
+            m.name(),
+            ts,
+            tl,
+            ts.as_secs_f64() / tl.as_secs_f64()
+        );
+    }
+    // Shared enumeration cost vs pure pack overhead: no models at all.
+    let t = Instant::now();
+    let s = scalar(&u, &cfg, &[]);
+    println!("enumeration-only:   {:?} (sum {s})", t.elapsed());
+    let t = Instant::now();
+    let l = lanes(&u, &cfg, &[]);
+    println!("pack-only overhead: {:?} (sum {l})", t.elapsed());
+    let all = [Model::Sc, Model::Lc, Model::Nn, Model::Nw, Model::Wn, Model::Ww];
+    let t = Instant::now();
+    let s = scalar(&u, &cfg, &all);
+    let ts = t.elapsed();
+    let t = Instant::now();
+    let l = lanes(&u, &cfg, &all);
+    let tl = t.elapsed();
+    assert_eq!(s, l);
+    println!(
+        "ALL  scalar {ts:>8.2?}  lane {tl:>8.2?}  speedup {:.2}x",
+        ts.as_secs_f64() / tl.as_secs_f64()
+    );
+}

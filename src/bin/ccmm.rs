@@ -364,8 +364,9 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
     use ccmm::core::constructible::BoundedConstructible;
     use ccmm::core::fault::FaultPlan;
     use ccmm::core::sweep::supervisor::{
-        check_constructible_aug_supervised, decode_counts_snapshot, lattice_supervised,
-        memberships_supervised, Supervisor, SweepStatus,
+        check_constructible_aug_supervised, decode_counts_snapshot, lattice_lanes_supervised,
+        lattice_supervised, memberships_lanes_supervised, memberships_supervised, Supervisor,
+        SweepStatus,
     };
     use ccmm::core::sweep::SweepConfig;
     use ccmm::core::universe::Universe;
@@ -377,6 +378,7 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
     let mut locs = 1usize;
     let mut canonical = false;
     let mut alloc = false;
+    let mut engine_flag: Option<String> = None;
     let mut gate = false;
     let mut threads: Option<usize> = None;
     let mut deadline_secs: Option<f64> = None;
@@ -400,6 +402,7 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
             "--locs" => locs = take("--locs")?.parse().map_err(|_| "bad --locs")?,
             "--canonical" => canonical = true,
             "--alloc" => alloc = true,
+            "--engine" => engine_flag = Some(take("--engine")?),
             "--gate" => gate = true,
             "--threads" => {
                 threads = Some(take("--threads")?.parse().map_err(|_| "bad --threads")?);
@@ -420,9 +423,30 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if bound > 5 {
-        return Err("--bound > 5 is out of reach even canonically (357 → 4824 posets)".into());
+    let lane = match engine_flag.as_deref() {
+        None | Some("scalar") => false,
+        Some("lane64") => true,
+        Some(other) => return Err(format!("unknown --engine `{other}` (scalar | lane64)")),
+    };
+    if lane && !canonical {
+        return Err("--engine lane64 requires --canonical (lane packs ride the symmetry-reduced \
+                    task list)"
+            .to_string());
     }
+    if lane && alloc {
+        return Err("--alloc is the scalar pre-scratch baseline; it cannot be combined with \
+                    --engine lane64"
+            .to_string());
+    }
+    if bound > 5 && !lane {
+        return Err("--bound > 5 is out of reach for the scalar engine (357 → 4824 posets); \
+                    use --canonical --engine lane64, which runs the memberships phase only"
+            .into());
+    }
+    // Beyond bound 5 only the lane-parallel memberships phase is within
+    // budget; the lattice (36 relation sweeps) and constructibility
+    // phases would multiply the cost by orders of magnitude.
+    let memberships_only = bound > 5;
     if ckpt_path.is_some() && resume_path.is_some() {
         return Err(
             "--ckpt starts a fresh journal and --resume continues one; pass only one".to_string()
@@ -453,11 +477,15 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
     // `--alloc` measures the pre-scratch membership path (fresh checker
     // state allocated per pair) so BENCH_sweep.json can hold the baseline
     // the canonical+scratch engine is compared against.
-    let engine = match (canonical, alloc) {
-        (true, false) => "canonical",
-        (true, true) => "canonical-alloc",
-        (false, false) => "labelled",
-        (false, true) => "labelled-alloc",
+    let engine = if lane {
+        "lane64"
+    } else {
+        match (canonical, alloc) {
+            (true, false) => "canonical",
+            (true, true) => "canonical-alloc",
+            (false, false) => "labelled",
+            (false, true) => "labelled-alloc",
+        }
     };
     let u = Universe::new(bound, locs);
 
@@ -473,7 +501,8 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
     // existing journal's fingerprint and continues from its last
     // snapshot. The fingerprint pins the exact sweep configuration so a
     // journal can never be resumed into a different universe.
-    let fingerprint = format!("ccmm-sweep-v1 bound={bound} locs={locs} canonical={canonical}");
+    let fingerprint =
+        format!("ccmm-sweep-v1 bound={bound} locs={locs} canonical={canonical} engine={engine}");
     let mut writer: Option<ckpt::CkptWriter> = None;
     let mut resume_state = None;
     if let Some(path) = &ckpt_path {
@@ -556,6 +585,15 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
             }
             total
         })
+    } else if lane {
+        memberships_lanes_supervised(
+            &models,
+            &u,
+            &cfg,
+            &sup,
+            resume_state,
+            writer.as_mut().map(|w| (w, ckpt_every)),
+        )
     } else {
         memberships_supervised(
             &models,
@@ -623,12 +661,56 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
         return Ok(exit::PARTIAL);
     }
 
+    if memberships_only {
+        println!(
+            "bound {bound} runs the memberships phase only; the lattice and constructibility \
+             phases need bound ≤ 5"
+        );
+        tel.write()?;
+        let path = emit(&records).map_err(|e| format!("writing bench json: {e}"))?;
+        println!("recorded {} sweep record(s) to {path}", records.len());
+        if gate && worst == SweepStatus::Complete {
+            let b = baseline.as_ref().expect("gate precondition checked above");
+            println!(
+                "gate: {throughput:.0} pairs/sec vs baseline {:.0} (threshold {:.0})",
+                b.pairs_per_sec,
+                b.pairs_per_sec / 2.0
+            );
+            if throughput < b.pairs_per_sec / 2.0 {
+                eprintln!(
+                    "perf gate FAILED: {throughput:.0} pairs/sec is more than 2x below \
+                     the committed baseline {:.0}",
+                    b.pairs_per_sec
+                );
+                return Ok(exit::FAIL);
+            }
+        } else if gate {
+            println!(
+                "gate: skipped — run was {} (only complete runs are gated)",
+                status_name(worst)
+            );
+        }
+        println!("sweep status: {}", status_name(worst));
+        return Ok(match worst {
+            SweepStatus::Complete => exit::COMPLETE,
+            SweepStatus::Degraded => exit::DEGRADED,
+            SweepStatus::Partial => exit::PARTIAL,
+            SweepStatus::Killed => exit::KILLED,
+        });
+    }
+
     // Phase 2: the full pairwise relation lattice (Figure 1 at this
     // bound), under the same supervisor (the fault plan spans all
     // phases; a task-indexed fault re-fires wherever that index recurs).
+    // The lane engine decides lattice cells through the same verdict-mask
+    // kernels as phase 1.
     let t0 = Instant::now();
     let phase_span = ccmm::core::telemetry::span("sweep/lattice");
-    let lat = lattice_supervised(&models, &u, &cfg, &sup);
+    let lat = if lane {
+        lattice_lanes_supervised(&models, &u, &cfg, &sup)
+    } else {
+        lattice_supervised(&models, &u, &cfg, &sup)
+    };
     drop(phase_span);
     let wall = t0.elapsed();
     tel.end_phase("lattice", wall);
@@ -800,8 +882,23 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
     let t0 = std::time::Instant::now();
     let r = run(&cfg);
     tel.end_phase("conformance", t0.elapsed());
+    // The lane differential rides the same config: contains_lanes must
+    // agree with 64× contains_with over the exhaustive sweep plus random
+    // partial packings.
+    let t1 = std::time::Instant::now();
+    let lanes = ccmm::conformance::run_lanes(&cfg);
+    tel.end_phase("lane-differential", t1.elapsed());
     tel.write()?;
     println!("{r}");
+    println!(
+        "lane differential: {} verdicts over {} lane words, {} mismatch(es)",
+        lanes.verdicts,
+        lanes.words,
+        lanes.mismatches.len()
+    );
+    for m in lanes.mismatches.iter().take(8) {
+        println!("  {m}");
+    }
     for (i, d) in r.disagreements.iter().enumerate() {
         println!();
         print!("{}", report::render_witness(d));
@@ -811,7 +908,7 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
             println!("# written to {} and {}", litmus.display(), dot.display());
         }
     }
-    Ok(r.ok())
+    Ok(r.ok() && lanes.ok())
 }
 
 fn cmd_dot(args: &[String]) -> Result<(), String> {
@@ -833,8 +930,8 @@ USAGE:
   ccmm litmus [name]                       litmus outcome counts per model
   ccmm backer [--workload W] [--procs P] [--cache N] [--page B] [--runs K]
   ccmm lattice [--nodes N]                 pairwise model relations (N ≤ 4)
-  ccmm sweep [--bound N] [--locs L] [--canonical] [--threads T] [--gate]
-             [--deadline-secs S] [--fault SPEC] [--ckpt PATH]
+  ccmm sweep [--bound N] [--locs L] [--canonical] [--engine E] [--threads T]
+             [--gate] [--deadline-secs S] [--fault SPEC] [--ckpt PATH]
              [--ckpt-every K] [--resume PATH]
              [--trace FILE] [--metrics FILE] [--progress]
                                            exhaustive verification at bound N
@@ -842,7 +939,14 @@ USAGE:
                                            fixpoint, constructibility; appends
                                            timings to BENCH_sweep.json; --gate
                                            fails on >2x throughput regression
-                                           (exit 5 when no baseline exists).
+                                           vs the same-engine baseline (exit 5
+                                           when no baseline exists).
+                                           --engine lane64 (with --canonical)
+                                           batches 64 observers per u64 word;
+                                           counts and witnesses stay
+                                           bit-identical to scalar, and it
+                                           lifts the bound to 6 (memberships
+                                           phase only beyond bound 5).
                                            --deadline-secs stops after the
                                            budget (exit 4, resume frontier
                                            printed); --ckpt journals progress

@@ -255,6 +255,126 @@ fn sweep_kill_and_resume_round_trip_is_bit_identical() {
 }
 
 #[test]
+fn sweep_lane64_counts_match_scalar() {
+    let shape = ["--bound", "4", "--canonical", "--threads", "2"];
+    let (mut cmd, json1) = sweep_cmd("lane-scalar");
+    let scalar = cmd.args(shape).output().unwrap();
+    assert_eq!(scalar.status.code(), Some(0));
+    let scalar_counts = membership_counts(&String::from_utf8(scalar.stdout).unwrap());
+    assert_eq!(scalar_counts.len(), 6);
+
+    let (mut cmd, json2) = sweep_cmd("lane-lane");
+    let lane = cmd.args(shape).args(["--engine", "lane64"]).output().unwrap();
+    assert_eq!(lane.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&lane.stderr));
+    let text = String::from_utf8(lane.stdout).unwrap();
+    assert!(text.contains("lane64 enumeration"), "{text}");
+    assert_eq!(
+        membership_counts(&text),
+        scalar_counts,
+        "lane64 membership counts must be bit-identical to the scalar engine"
+    );
+    // The lattice phase ran through the lane kernels and still agrees.
+    assert!(text.contains("lattice"), "{text}");
+    for p in [&json1, &json2] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn sweep_lane64_flag_validation() {
+    // lane64 rides the canonical task list.
+    let (mut cmd, _) = sweep_cmd("lane-nocanon");
+    let out = cmd.args(["--bound", "3", "--engine", "lane64"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("requires --canonical"));
+    // --alloc is the scalar baseline mode.
+    let (mut cmd, _) = sweep_cmd("lane-alloc");
+    let out = cmd
+        .args(["--bound", "3", "--canonical", "--alloc", "--engine", "lane64"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Unknown engines are rejected with the valid set.
+    let (mut cmd, _) = sweep_cmd("lane-bogus");
+    let out = cmd.args(["--bound", "3", "--canonical", "--engine", "warp"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("scalar | lane64"));
+    // Bound 6 stays out of reach for the scalar engine.
+    let (mut cmd, _) = sweep_cmd("lane-b6-scalar");
+    let out = cmd.args(["--bound", "6", "--canonical"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--engine lane64"));
+}
+
+#[test]
+fn sweep_lane64_gate_compares_same_engine_baselines_only() {
+    // Record a scalar canonical baseline…
+    let (mut cmd, json) = sweep_cmd("lane-gate");
+    let out = cmd.args(["--bound", "3", "--canonical"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(json.exists());
+    // …which a gated lane64 run must NOT see: same bound, same universe,
+    // different engine → exit 5, nothing recorded.
+    let mut cmd = bin();
+    cmd.arg("sweep").env("CCMM_BENCH_JSON", &json);
+    let out =
+        cmd.args(["--bound", "3", "--canonical", "--engine", "lane64", "--gate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(5), "scalar baseline must not satisfy a lane64 gate");
+    // Once a lane64 baseline exists, the lane64 gate is live.
+    let mut cmd = bin();
+    cmd.arg("sweep").env("CCMM_BENCH_JSON", &json);
+    let out = cmd.args(["--bound", "3", "--canonical", "--engine", "lane64"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let mut cmd = bin();
+    cmd.arg("sweep").env("CCMM_BENCH_JSON", &json);
+    let out =
+        cmd.args(["--bound", "3", "--canonical", "--engine", "lane64", "--gate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn sweep_lane64_kill_and_resume_round_trip_is_bit_identical() {
+    let ckpt = std::env::temp_dir().join(format!("ccmm-cli-lane-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let shape = ["--bound", "4", "--canonical", "--engine", "lane64", "--threads", "2"];
+
+    let (mut cmd, json1) = sweep_cmd("lane-kill-clean");
+    let clean = cmd.args(shape).output().unwrap();
+    assert_eq!(clean.status.code(), Some(0));
+    let clean_counts = membership_counts(&String::from_utf8(clean.stdout).unwrap());
+    assert_eq!(clean_counts.len(), 6);
+
+    let (mut cmd, json2) = sweep_cmd("lane-kill-killed");
+    let killed = cmd
+        .args(shape)
+        .args(["--ckpt-every", "1", "--fault", "kill-after-ckpt=2", "--ckpt"])
+        .arg(&ckpt)
+        .output()
+        .unwrap();
+    assert_eq!(killed.status.code(), Some(70), "killed-by-fault-plan exit code");
+
+    let (mut cmd, json3) = sweep_cmd("lane-kill-resumed");
+    let resumed = cmd.args(shape).arg("--resume").arg(&ckpt).output().unwrap();
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let resumed_text = String::from_utf8(resumed.stdout).unwrap();
+    assert!(resumed_text.contains("resuming from"), "{resumed_text}");
+    assert_eq!(
+        membership_counts(&resumed_text),
+        clean_counts,
+        "resumed lane64 counts must be bit-identical to the uninterrupted run"
+    );
+    for p in [&ckpt, &json1, &json2, &json3] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn sweep_zero_deadline_exits_partial_with_resume_frontier() {
     let (mut cmd, json) = sweep_cmd("deadline");
     let out = cmd.args(["--bound", "4", "--canonical", "--deadline-secs", "0"]).output().unwrap();
