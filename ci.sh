@@ -100,6 +100,19 @@ ccmm sweep --bound "$lane_bound" --canonical --engine lane64 --threads 2 \
 diff <(counts "$scratch/lane-scalar.out") <(counts "$scratch/lane-resumed.out") \
     || { echo "resumed lane64 counts differ from the scalar run"; exit 1; }
 
+echo "== stress smoke: perturbed-executor conformance + seeded-mutation self-test =="
+# The self-test proves the oracle has teeth (a seeded skip-reconcile
+# mutation must be caught and shrunk, and the same seeds must pass
+# unmutated); then a fixed-seed 200-iteration perturbed run at 4 threads
+# must hold LC conformance end to end. Both are deterministic per
+# (seed, iters, threads), so a failure here is replayable verbatim.
+ccmm stress --self-test --seed 1 --iters 1 --threads 4 > "$scratch/stress-self.out" \
+    || { cat "$scratch/stress-self.out"; echo "stress self-test failed"; exit 1; }
+grep -q "caught, and clean executor passes" "$scratch/stress-self.out"
+ccmm stress --seed 20260808 --iters 200 --threads 4 > "$scratch/stress.out" \
+    || { cat "$scratch/stress.out"; echo "stress smoke failed"; exit 1; }
+grep -q "completed 200/200" "$scratch/stress.out"
+
 echo "== telemetry smoke: counters deterministic across thread counts =="
 # --metrics counter values for the memberships and fixpoint phases must
 # be bit-identical at 1, 2, and 4 threads (DESIGN.md §9); the lattice and

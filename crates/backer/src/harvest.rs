@@ -32,6 +32,23 @@ pub fn harvest_observers(
     cache_lines: usize,
     seed: u64,
 ) -> Vec<ObserverFunction> {
+    harvest_observers_cfg(c, runs, procs, cache_lines, seed, &BackerConfig::default())
+}
+
+/// [`harvest_observers`] with an explicit base config: `base.faults` is
+/// honored by every simulated run (processors and cache capacity are
+/// still taken from the arguments). This is the stress harness's
+/// deterministic oracle leg — a seeded protocol mutation flows through
+/// to the simulator, whose round-robin schedule reliably exercises the
+/// skipped flush/reconcile across processor boundaries.
+pub fn harvest_observers_cfg(
+    c: &Computation,
+    runs: usize,
+    procs: usize,
+    cache_lines: usize,
+    seed: u64,
+    base: &BackerConfig,
+) -> Vec<ObserverFunction> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out: Vec<ObserverFunction> = Vec::new();
     for r in 0..runs {
@@ -41,8 +58,36 @@ pub fn harvest_observers(
             _ => Schedule::work_stealing(c, procs, &mut rng),
         };
         for capacity in [usize::MAX, cache_lines.max(1)] {
-            let config = BackerConfig::with_processors(procs).cache_capacity(capacity);
+            let config = base.cache_capacity(capacity);
+            let config = BackerConfig { processors: procs, ..config };
             let result = sim::run(c, &schedule, &config);
+            if !out.contains(&result.observer) {
+                out.push(result.observer);
+            }
+        }
+    }
+    out
+}
+
+/// Harvests distinct observer functions from *real threaded* executions
+/// under a schedule-perturbation plan (see [`crate::threads`] and
+/// [`crate::perturb`]). Unlike [`harvest_observers`] this is not
+/// deterministic — the OS schedules the workers — but every returned
+/// observer is a genuine conservative-BACKER execution and therefore
+/// must be valid and location consistent.
+pub fn harvest_observers_perturbed(
+    c: &Computation,
+    runs: usize,
+    procs: usize,
+    cache_lines: usize,
+    plan: &crate::perturb::PerturbPlan,
+) -> Vec<ObserverFunction> {
+    let mut out: Vec<ObserverFunction> = Vec::new();
+    for r in 0..runs {
+        let plan = plan.clone().with_seed(plan.seed().wrapping_add(r as u64));
+        for capacity in [usize::MAX, cache_lines.max(1)] {
+            let config = BackerConfig::with_processors(procs).cache_capacity(capacity);
+            let result = crate::threads::run_perturbed(c, &config, &plan);
             if !out.contains(&result.observer) {
                 out.push(result.observer);
             }
@@ -83,6 +128,63 @@ mod tests {
         let a = harvest_observers(&c, 6, 3, 2, 99);
         let b = harvest_observers(&c, 6, 3, 2, 99);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulted_harvest_cfg_produces_lc_violations() {
+        // The cfg variant must thread the fault switches through to the
+        // simulator: with reconcile skipped, writes die in caches and
+        // some harvested observer leaves LC.
+        let c = racy_computation();
+        let faulty = BackerConfig::default()
+            .faults(crate::config::FaultInjection { skip_flush: false, skip_reconcile: true });
+        let observers = harvest_observers_cfg(&c, 5, 2, 1, 11, &faulty);
+        assert!(
+            observers.iter().any(|phi| !phi.is_valid_for(&c) || !Lc.contains(&c, phi)),
+            "skip-reconcile must be observable in the harvest"
+        );
+        // And the default base must match the plain entry point.
+        let a = harvest_observers(&c, 5, 2, 1, 11);
+        let b = harvest_observers_cfg(&c, 5, 2, 1, 11, &BackerConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perturbed_harvest_observers_are_well_formed_across_seed_sweep() {
+        // 1k random seeds × {2,4} threads: each seed draws a random
+        // series-parallel computation and two perturbed *threaded*
+        // executions (unbounded + 1-line caches). Every harvested
+        // observer must be well-formed — every read sees ⊥ or a real
+        // write to its location (`is_valid_for`) — and, because the
+        // perturbation leaves the protocol untouched, LC.
+        use crate::perturb::PerturbPlan;
+        use rand::Rng;
+        for threads in [2usize, 4] {
+            for seed in 0..1000u64 {
+                let mut rng = StdRng::seed_from_u64(seed ^ (threads as u64) << 32);
+                let dag = ccmm_dag::generate::random_sp_dag(6, 0.5, &mut rng);
+                let n = dag.node_count();
+                let ops: Vec<Op> = (0..n)
+                    .map(|_| match rng.gen_range(0..3) {
+                        0 => Op::Write(Location::new(rng.gen_range(0..3))),
+                        1 => Op::Read(Location::new(rng.gen_range(0..3))),
+                        _ => Op::Nop,
+                    })
+                    .collect();
+                let c = Computation::new(dag, ops).unwrap();
+                let plan = PerturbPlan::aggressive(seed);
+                for phi in harvest_observers_perturbed(&c, 1, threads, 1, &plan) {
+                    assert!(
+                        phi.is_valid_for(&c),
+                        "seed {seed} × {threads} threads: ill-formed observer"
+                    );
+                    assert!(
+                        Lc.contains(&c, &phi),
+                        "seed {seed} × {threads} threads: perturbed run left LC"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

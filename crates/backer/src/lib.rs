@@ -52,6 +52,7 @@ pub mod config;
 pub mod harvest;
 pub mod memory;
 pub mod paged;
+pub mod perturb;
 pub mod schedule;
 pub mod sim;
 pub mod stats;
@@ -60,6 +61,7 @@ pub mod timing;
 pub mod verify;
 
 pub use config::{BackerConfig, FaultInjection};
+pub use perturb::PerturbPlan;
 pub use schedule::Schedule;
 pub use sim::{run, SimResult};
 pub use stats::Stats;

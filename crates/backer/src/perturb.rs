@@ -1,0 +1,76 @@
+//! Schedule perturbation for the threaded executor.
+//!
+//! [`crate::threads`] runs on real OS threads, so plain CI — especially
+//! single-core CI — explores a vanishingly thin slice of the executor's
+//! interleaving space: workers rarely race, steals are rare, and the
+//! hand-placed atomics in the readiness protocol are never contended.
+//! This module widens that slice deterministically. A
+//! [`PerturbPlan`] (see [`ccmm_core::fault`]) decides, as a pure
+//! function of `(seed, structural position)`, where to inject:
+//!
+//! - **yields** (`std::thread::yield_now`) before a node executes and
+//!   before its successors are notified — handing the OS a scheduling
+//!   point exactly where a stale-cache or lost-readiness bug would bite;
+//! - **busy-spin delays** at the same positions — stretching the race
+//!   windows between the `proc_of` store, the in-degree decrement, and
+//!   the main-memory lock;
+//! - **steal-victim rotation** — each idle worker starts its victim scan
+//!   at a seeded offset per attempt, so work migrates across workers
+//!   instead of settling into the default victim order.
+//!
+//! The injected *choices* reproduce exactly for a fixed seed; the OS
+//! interleaving they provoke does not, which is the point — the stress
+//! harness (`ccmm stress`) runs thousands of seeds and checks every
+//! resulting observer function against the LC membership oracle.
+//!
+//! Telemetry: [`Counter::StealAttempts`] counts every victim probe and
+//! [`Counter::PerturbInjected`] every yield/delay actually injected.
+//! Both are timing-dependent (see DESIGN.md §9) and excluded from all
+//! bit-identity checks.
+
+pub use ccmm_core::fault::PerturbPlan;
+use ccmm_core::telemetry::{self, Counter};
+
+/// Phase salt for the perturbation point before a node executes.
+pub const PHASE_PRE_EXEC: u64 = 0;
+/// Phase salt for the perturbation point after a node's reconcile,
+/// before its successors' in-degrees are decremented.
+pub const PHASE_PRE_NOTIFY: u64 = 1;
+
+/// Applies the plan's decision at `(phase, node)`: possibly yields,
+/// possibly burns a busy-spin delay. A no-op for [`PerturbPlan::none`].
+#[inline]
+pub fn jostle(plan: &PerturbPlan, phase: u64, node: usize) {
+    if plan.is_empty() {
+        return;
+    }
+    if plan.yield_at(phase, node) {
+        telemetry::count(Counter::PerturbInjected, 1);
+        std::thread::yield_now();
+    }
+    let spins = plan.spin_at(phase, node);
+    if spins > 0 {
+        telemetry::count(Counter::PerturbInjected, 1);
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jostle_is_a_noop_for_the_empty_plan_and_total_for_aggressive() {
+        // Smoke: neither plan may panic at any position, and the
+        // aggressive plan's decisions stay in range.
+        let none = PerturbPlan::none();
+        let aggressive = PerturbPlan::aggressive(7);
+        for node in 0..256 {
+            jostle(&none, PHASE_PRE_EXEC, node);
+            jostle(&aggressive, PHASE_PRE_EXEC, node);
+            jostle(&aggressive, PHASE_PRE_NOTIFY, node);
+        }
+    }
+}

@@ -20,7 +20,9 @@
 use crate::cache::Cache;
 use crate::config::BackerConfig;
 use crate::memory::{node_of, token_of, MainMemory};
+use crate::perturb::{self, PerturbPlan};
 use crate::stats::Stats;
+use ccmm_core::telemetry::{self, Counter};
 use ccmm_core::{Computation, ObserverFunction, Op};
 use ccmm_dag::NodeId;
 use crossbeam::deque::{Injector, Stealer, Worker};
@@ -45,22 +47,42 @@ fn find_task(
     local: &Worker<NodeId>,
     injector: &Injector<NodeId>,
     stealers: &[Stealer<NodeId>],
+    me: usize,
+    attempts: &mut u64,
+    plan: &PerturbPlan,
 ) -> Option<NodeId> {
-    local.pop().or_else(|| {
-        std::iter::repeat_with(|| {
-            injector
-                .steal_batch_and_pop(local)
-                .or_else(|| stealers.iter().map(|s| s.steal()).collect())
-        })
-        .find(|s| !s.is_retry())
-        .and_then(|s| s.success())
-    })
+    if let Some(u) = local.pop() {
+        return Some(u);
+    }
+    loop {
+        *attempts += 1;
+        telemetry::count(Counter::StealAttempts, 1);
+        // The perturb plan rotates which victim this worker probes
+        // first, so work migrates across workers instead of settling
+        // into the fixed index order (the empty plan's start is 0 —
+        // exactly the old behaviour).
+        let start = plan.steal_start(me, *attempts, stealers.len());
+        let s = injector.steal_batch_and_pop(local).or_else(|| {
+            (0..stealers.len()).map(|k| stealers[(start + k) % stealers.len()].steal()).collect()
+        });
+        if !s.is_retry() {
+            return s.success();
+        }
+    }
 }
 
 /// Executes `c` on `config.processors` worker threads with word-granular
 /// caches.
 pub fn run(c: &Computation, config: &BackerConfig) -> ThreadedResult {
-    run_with_caches(c, config, |nl| Cache::new(nl, config.cache_capacity.max(1)))
+    run_perturbed(c, config, &PerturbPlan::none())
+}
+
+/// Executes `c` with word-granular caches under a schedule-perturbation
+/// plan (see [`crate::perturb`]): seeded yields/delays before and after
+/// each node, seeded steal-victim rotation. The protocol (and therefore
+/// the LC guarantee) is untouched — only the schedule is jostled.
+pub fn run_perturbed(c: &Computation, config: &BackerConfig, plan: &PerturbPlan) -> ThreadedResult {
+    run_with_caches_perturbed(c, config, plan, |nl| Cache::new(nl, config.cache_capacity.max(1)))
 }
 
 /// Executes `c` on worker threads with page-granular caches (capacity in
@@ -76,6 +98,20 @@ pub fn run_paged(c: &Computation, config: &BackerConfig, page_size: usize) -> Th
 pub fn run_with_caches<C, F>(
     c: &Computation,
     config: &BackerConfig,
+    make_cache: F,
+) -> ThreadedResult
+where
+    C: crate::cache::CacheOps,
+    F: Fn(usize) -> C + Sync,
+{
+    run_with_caches_perturbed(c, config, &PerturbPlan::none(), make_cache)
+}
+
+/// [`run_with_caches`] under a schedule-perturbation plan.
+pub fn run_with_caches_perturbed<C, F>(
+    c: &Computation,
+    config: &BackerConfig,
+    plan: &PerturbPlan,
     make_cache: F,
 ) -> ThreadedResult
 where
@@ -123,15 +159,50 @@ where
                 let mut cache = make_cache(num_locations);
                 let mut stats = Stats::default();
                 let mut rows: Vec<Row> = Vec::new();
+                let mut attempts = 0u64;
                 loop {
-                    let Some(u) = find_task(&local, injector, stealers) else {
+                    let Some(u) = find_task(&local, injector, stealers, me, &mut attempts, plan)
+                    else {
+                        // Ordering audit: Acquire pairs with the Release
+                        // fetch_add below. Seeing `completed == n` must
+                        // also make every worker's appended rows/stats
+                        // visible... except it doesn't need to: rows are
+                        // published under the `all_rows` mutex after the
+                        // loop, whose lock provides that edge. The Acquire
+                        // here is only needed so that a worker which
+                        // observes the final count cannot still find a
+                        // task (task pushes happen-before the counter
+                        // increment of the node that made them ready).
                         if completed.load(Ordering::Acquire) == n {
                             break;
                         }
                         std::thread::yield_now();
                         continue;
                     };
+                    perturb::jostle(plan, perturb::PHASE_PRE_EXEC, u.index());
+                    // Ordering audit: Release so that everything this
+                    // worker did *before claiming u* — in particular the
+                    // reconcile of any prior node's dirty lines — is
+                    // visible to a successor's executor that reads
+                    // `proc_of[u] == me` via the Acquire load below.
+                    // Correctness does not actually lean on that edge
+                    // (the main-memory mutex is the token transport);
+                    // what the protocol needs is weaker and subtle, see
+                    // the `interleaving` test module: a stale read of
+                    // `proc_of[q]` can only yield `usize::MAX` or a
+                    // previous (foreign) claimant, both of which flip
+                    // `cross_pred` to true — a conservative extra flush,
+                    // never a missed one. The one read that must be
+                    // fresh — the executor of `u`'s *last* predecessor
+                    // seeing its own id — is me-reads-me, always exact.
                     proc_of[u.index()].store(me, Ordering::Release);
+                    // Ordering audit: Acquire pairs with the Release
+                    // store above. For predecessors handed to us through
+                    // the deque (local push or steal), crossbeam's
+                    // deque operations provide the happens-before, so
+                    // the load returns the true executor. For reads that
+                    // race ahead of that edge the stale value is
+                    // `usize::MAX != me` — conservative, as argued above.
                     let cross_pred = c
                         .dag()
                         .predecessors(u)
@@ -164,11 +235,31 @@ where
                             cache.reconcile_all(&mut m, &mut stats);
                         }
                     }
+                    perturb::jostle(plan, perturb::PHASE_PRE_NOTIFY, u.index());
                     for &v in c.dag().successors(u) {
+                        // Ordering audit: AcqRel is load-bearing. Release:
+                        // our `proc_of[u] = me` store and reconcile (via
+                        // the mutex unlock above) happen-before the
+                        // decrement. Acquire + the RMW release sequence:
+                        // the worker whose decrement hits zero
+                        // synchronizes with *every* earlier decrementer,
+                        // so when it (or a stealer of its push) later
+                        // executes `v`, all predecessors' effects are
+                        // ordered before it. Weakening this to Relaxed
+                        // would let `v` execute before a predecessor's
+                        // `proc_of` store is visible — still conservative
+                        // for the flush decision, but the pairing with
+                        // `completed` below would break: a task push
+                        // could be reordered after the final count.
                         if indeg[v.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
                             local.push(v);
                         }
                     }
+                    // Ordering audit: Release pairs with the idle-loop
+                    // Acquire load. The push of any node we made ready is
+                    // ordered before this increment, so a worker that
+                    // reads the final count and exits cannot strand a
+                    // ready-but-unpushed task.
                     completed.fetch_add(1, Ordering::Release);
                 }
                 all_rows.lock().append(&mut rows);
@@ -281,6 +372,220 @@ mod tests {
                 );
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod interleaving {
+    //! Handwritten interleaving enumeration pinning the readiness
+    //! protocol. The ordering audit found no bug, so per the issue the
+    //! protocol's safety argument is pinned here against regression.
+    //!
+    //! Model: a join node `v` with `W` predecessors, each executed by a
+    //! distinct worker. Each worker performs, in program order:
+    //!
+    //! 1. `proc_of[p_w].store(w, Release)`
+    //! 2. `indeg[v].fetch_sub(1, AcqRel)`
+    //!
+    //! The worker whose decrement returns 1 executes `v` (local push +
+    //! LIFO pop; a steal only *adds* a happens-before edge via the deque,
+    //! so the pop case is the weakest and covers both) and loads every
+    //! `proc_of[p_q]` with Acquire to decide `cross_pred`.
+    //!
+    //! The enumerator walks every decrement order and, per load, every
+    //! coherence-allowed value: a load may return a stale value only if
+    //! the newer store does not happen-before it. Vector clocks track
+    //! happens-before; AcqRel RMWs form a release sequence, so the final
+    //! decrementer inherits every earlier decrementer's clock.
+    //!
+    //! Pinned properties:
+    //!
+    //! * Real orderings: every `proc_of` read is exact — the executor of
+    //!   `v` sees the true worker id of every predecessor, in every
+    //!   interleaving.
+    //! * Mutated orderings (`fetch_sub` weakened to Relaxed): stale
+    //!   `usize::MAX` reads become allowed (and the test asserts the
+    //!   enumerator really explores them), but `cross_pred` only ever
+    //!   flips toward *more* flushing. A stale read can never equal
+    //!   `me`, because worker `me` is the only thread that ever writes
+    //!   the value `me`: a missed flush is impossible in every
+    //!   interleaving; the failure mode of the weakened protocol is
+    //!   extra conservative flushes (and a broken termination counter,
+    //!   which is outside this model — see the audit comment on
+    //!   `completed`).
+
+    const W: usize = 3;
+
+    /// A vector clock over the `W` workers; entry `i` counts worker
+    /// `i`'s events (1 = its store, 2 = its decrement).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    struct Clock([u64; W]);
+
+    impl Clock {
+        fn zero() -> Self {
+            Clock([0; W])
+        }
+        fn join(&mut self, o: Clock) {
+            for i in 0..W {
+                self.0[i] = self.0[i].max(o.0[i]);
+            }
+        }
+        /// True iff an event at `self` happens-after an event at `o`.
+        fn dominates(&self, o: Clock) -> bool {
+            (0..W).all(|i| self.0[i] >= o.0[i])
+        }
+    }
+
+    fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+        if items.is_empty() {
+            return vec![Vec::new()];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            let mut rest = items.to_vec();
+            rest.remove(i);
+            for mut p in permutations(&rest) {
+                p.insert(0, x);
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Enumerates every decrement order and every coherence-allowed
+    /// combination of `proc_of` reads. `rmw_acqrel` selects the real
+    /// protocol; `false` models the Relaxed-decrement mutation.
+    /// Returns `(saw_stale_read, cross_pred outcomes)`.
+    fn enumerate(rmw_acqrel: bool) -> (bool, Vec<bool>) {
+        let mut saw_stale = false;
+        let mut outcomes = Vec::new();
+        for order in permutations(&(0..W).collect::<Vec<_>>()) {
+            // Worker w's store is its event #1; Release means the clock
+            // travels with the value (we only use it for coherence).
+            let mut store_clock = [Clock::zero(); W];
+            for (w, sc) in store_clock.iter_mut().enumerate() {
+                sc.0[w] = 1;
+            }
+            // The decrements happen in `order`. `chain` is the release
+            // sequence: each AcqRel RMW joins it (acquire side) and
+            // extends it (release side).
+            let mut chain = Clock::zero();
+            let mut exec_clock = Clock::zero();
+            for (step, &w) in order.iter().enumerate() {
+                let mut wc = store_clock[w]; // program order: store first
+                wc.0[w] = 2;
+                if rmw_acqrel {
+                    wc.join(chain);
+                    chain.join(wc);
+                }
+                if step == W - 1 {
+                    exec_clock = wc; // final decrementer executes v
+                }
+            }
+            let me = *order.last().unwrap();
+
+            // Per-predecessor read choices under coherence: the store
+            // happens-before the load ⇒ the stale init (usize::MAX) is
+            // forbidden; otherwise both values are allowed.
+            let mut combos: Vec<Vec<usize>> = vec![Vec::new()];
+            for (q, sc) in store_clock.iter().enumerate() {
+                let choices: Vec<usize> = if exec_clock.dominates(*sc) {
+                    vec![q]
+                } else {
+                    saw_stale = true;
+                    vec![q, usize::MAX]
+                };
+                let mut next = Vec::new();
+                for c in &combos {
+                    for &v in &choices {
+                        let mut c2 = c.clone();
+                        c2.push(v);
+                        next.push(c2);
+                    }
+                }
+                combos = next;
+            }
+            for combo in combos {
+                for (q, &r) in combo.iter().enumerate() {
+                    // The unforgeability invariant: reading `me` is only
+                    // possible for me's own store.
+                    assert!(r != me || q == me, "a stale read must never impersonate `me`");
+                }
+                outcomes.push(combo.iter().any(|&r| r != me));
+            }
+        }
+        (saw_stale, outcomes)
+    }
+
+    #[test]
+    fn acqrel_chain_makes_every_proc_of_read_exact() {
+        let (saw_stale, outcomes) = enumerate(true);
+        assert!(!saw_stale, "with AcqRel decrements no stale read is coherence-allowed");
+        // All predecessors sit on distinct foreign workers here, so
+        // every interleaving must conclude cross_pred.
+        assert!(!outcomes.is_empty());
+        assert!(outcomes.into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn relaxed_decrement_mutation_is_explored_and_stays_conservative() {
+        let (saw_stale, outcomes) = enumerate(false);
+        assert!(saw_stale, "the enumerator must actually reach stale reads");
+        assert!(
+            outcomes.into_iter().all(|c| c),
+            "a stale read is usize::MAX, never `me`: cross_pred may only flip \
+             toward more flushing — a missed flush is impossible"
+        );
+    }
+}
+
+#[cfg(test)]
+mod perturbed_tests {
+    use super::*;
+    use ccmm_core::{Lc, Location, MemoryModel};
+
+    #[test]
+    fn perturbed_executions_maintain_lc() {
+        let dag = ccmm_dag::generate::fork_join_tree(4);
+        let n = dag.node_count();
+        let ops: Vec<Op> = (0..n)
+            .map(|i| match i % 4 {
+                0 => Op::Write(Location::new(0)),
+                1 => Op::Read(Location::new(0)),
+                2 => Op::Write(Location::new(1)),
+                _ => Op::Read(Location::new(1)),
+            })
+            .collect();
+        let c = Computation::new(dag, ops).unwrap();
+        for seed in 0..8u64 {
+            let plan = PerturbPlan::aggressive(seed);
+            let r = run_perturbed(&c, &BackerConfig::with_processors(4), &plan);
+            assert!(r.observer.is_valid_for(&c));
+            assert!(Lc.contains(&c, &r.observer), "perturbed run left LC (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_identity_on_single_thread() {
+        // With 1 worker and no perturbation the executor is
+        // deterministic; run/run_perturbed(none) must agree exactly.
+        let dag = ccmm_dag::generate::chain(9);
+        let ops: Vec<Op> =
+            (0..9)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Op::Write(Location::new(0))
+                    } else {
+                        Op::Read(Location::new(0))
+                    }
+                })
+                .collect();
+        let c = Computation::new(dag, ops).unwrap();
+        let cfg = BackerConfig::with_processors(1);
+        let a = run(&c, &cfg);
+        let b = run_perturbed(&c, &cfg, &PerturbPlan::none());
+        assert_eq!(a.observer, b.observer);
+        assert_eq!(a.executed_on, b.executed_on);
     }
 }
 

@@ -193,12 +193,20 @@ pub fn emit(records: &[SweepRecord]) -> std::io::Result<String> {
 }
 
 /// The most recent **complete** record at [`bench_json_path`] matching
-/// the given experiment, engine, and universe shape — the committed
-/// baseline a perf gate compares a fresh measurement against. Degraded
-/// or partial records never serve as baselines (their timings cover an
-/// unknown fraction of the work). `None` when the file is missing,
-/// malformed, or has no matching complete record.
-pub fn latest_matching(experiment: &str, engine: &str, u: &Universe) -> Option<SweepRecord> {
+/// the given experiment, engine, universe shape, and thread count — the
+/// committed baseline a perf gate compares a fresh measurement against.
+/// Degraded or partial records never serve as baselines (their timings
+/// cover an unknown fraction of the work), and a measurement is only
+/// comparable to a baseline taken at the same parallelism — a 4-thread
+/// run gated against a 1-thread baseline would pass on scaling alone.
+/// `None` when the file is missing, malformed, or has no matching
+/// complete record.
+pub fn latest_matching(
+    experiment: &str,
+    engine: &str,
+    u: &Universe,
+    threads: usize,
+) -> Option<SweepRecord> {
     let text = std::fs::read_to_string(bench_json_path()).ok()?;
     let serde::Value::Seq(items) = serde_json::from_str::<serde::Value>(&text).ok()? else {
         return None;
@@ -213,6 +221,7 @@ pub fn latest_matching(experiment: &str, engine: &str, u: &Universe) -> Option<S
                 && r.engine == engine
                 && r.max_nodes == u.max_nodes as u64
                 && r.num_locations == u.num_locations as u64
+                && r.threads == threads as u64
         })
 }
 
@@ -276,12 +285,17 @@ mod tests {
         // universe shape, scoped to the same env override.
         let r3 = SweepRecord::new("a", "serial", &u, 2, Duration::from_millis(4), 8, 0);
         emit(std::slice::from_ref(&r3)).unwrap();
-        assert_eq!(latest_matching("a", "serial", &u), Some(r3), "latest wins");
-        assert_eq!(latest_matching("b", "parallel", &u), Some(r2));
-        assert_eq!(latest_matching("a", "parallel", &u), None, "engine must match");
-        assert_eq!(latest_matching("a", "serial", &Universe::new(3, 1)), None, "shape must match");
+        assert_eq!(latest_matching("a", "serial", &u, 2), Some(r3), "latest wins");
+        assert_eq!(latest_matching("b", "parallel", &u, 8), Some(r2));
+        assert_eq!(latest_matching("a", "parallel", &u, 2), None, "engine must match");
+        assert_eq!(
+            latest_matching("a", "serial", &Universe::new(3, 1), 2),
+            None,
+            "shape must match"
+        );
+        assert_eq!(latest_matching("a", "serial", &u, 4), None, "thread count must match");
         std::env::set_var("CCMM_BENCH_JSON", dir.join("no_such_file.json"));
-        assert_eq!(latest_matching("a", "serial", &u), None, "missing file is no baseline");
+        assert_eq!(latest_matching("a", "serial", &u, 2), None, "missing file is no baseline");
         std::env::remove_var("CCMM_BENCH_JSON");
         let _ = std::fs::remove_file(&path);
     }
@@ -363,12 +377,12 @@ mod tests {
         );
         emit(&[scalar.clone(), lane.clone()]).unwrap();
         assert_eq!(
-            latest_matching("cli_sweep/memberships", "canonical", &u),
+            latest_matching("cli_sweep/memberships", "canonical", &u, 1),
             Some(scalar),
             "scalar gate must see the scalar baseline, not the faster lane record"
         );
         assert_eq!(
-            latest_matching("cli_sweep/memberships", "lane64", &u),
+            latest_matching("cli_sweep/memberships", "lane64", &u, 1),
             Some(lane),
             "lane gate must see the lane baseline, not the slower scalar record"
         );
@@ -389,7 +403,7 @@ mod tests {
             .with_status("partial");
         emit(&[complete.clone(), partial]).unwrap();
         // The newer partial record is skipped; the complete one wins.
-        assert_eq!(latest_matching("g", "parallel", &u), Some(complete));
+        assert_eq!(latest_matching("g", "parallel", &u, 1), Some(complete));
         std::env::remove_var("CCMM_BENCH_JSON");
         let _ = std::fs::remove_file(&path);
     }

@@ -100,13 +100,24 @@ impl FaultPlan {
     }
 
     /// Parses the comma-separated spec grammar (see the type docs).
+    /// Errors name the 1-based entry that failed, so a long spec pasted
+    /// into a CLI flag points at the offending clause, not just the
+    /// string. Parsing never panics; [`std::fmt::Display`] renders the
+    /// canonical spec back, and parse ∘ display ∘ parse is the identity
+    /// (pinned by `tests/proptest_fault.rs`).
     pub fn from_spec(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::none();
-        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
-            let (key, value) =
-                entry.split_once('=').ok_or_else(|| format!("fault entry `{entry}` needs ="))?;
+        for (pos, entry) in spec
+            .split(',')
+            .map(str::trim)
+            .filter(|e| !e.is_empty())
+            .enumerate()
+            .map(|(i, e)| (i + 1, e))
+        {
+            let at = |msg: String| format!("fault spec entry {pos} (`{entry}`): {msg}");
+            let (key, value) = entry.split_once('=').ok_or_else(|| at("needs key=value".into()))?;
             let parse = |v: &str| -> Result<usize, String> {
-                v.parse().map_err(|_| format!("bad number in fault entry `{entry}`"))
+                v.parse().map_err(|_| at(format!("`{v}` is not a number")))
             };
             match key {
                 "panic-at-task" | "panic-once-at-task" => {
@@ -118,9 +129,8 @@ impl FaultPlan {
                     plan.panic_task_once = key == "panic-once-at-task";
                 }
                 "delay-at-task" => {
-                    let (idx, ms) = value
-                        .split_once(':')
-                        .ok_or_else(|| format!("delay entry `{entry}` needs task:millis"))?;
+                    let (idx, ms) =
+                        value.split_once(':').ok_or_else(|| at("needs task:millis".into()))?;
                     plan.delay_at_task = Some((parse(idx)?, parse(ms)? as u64));
                 }
                 "kill-after-ckpt" => plan.kill_after_records = Some(parse(value)?),
@@ -130,9 +140,9 @@ impl FaultPlan {
                 }
                 "seed" => {
                     plan.seed =
-                        value.parse().map_err(|_| format!("bad seed in fault entry `{entry}`"))?;
+                        value.parse().map_err(|_| at(format!("`{value}` is not a valid seed")))?;
                 }
-                other => return Err(format!("unknown fault key `{other}`")),
+                other => return Err(at(format!("unknown fault key `{other}`"))),
             }
         }
         Ok(plan)
@@ -208,6 +218,217 @@ impl FaultPlan {
     }
 }
 
+impl std::fmt::Display for FaultPlan {
+    /// Renders the canonical spec string: parsing the output reproduces
+    /// the plan exactly (`from_spec ∘ to_string` is the identity on
+    /// parsed plans). Entries appear in a fixed order regardless of the
+    /// order they were parsed in; an empty plan renders as the empty
+    /// string, which `from_spec` accepts.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut sep = "";
+        let mut entry = |f: &mut std::fmt::Formatter<'_>, s: String| -> std::fmt::Result {
+            write!(f, "{sep}{s}")?;
+            sep = ",";
+            Ok(())
+        };
+        let task_key = if self.panic_task_once { "panic-once-at-task" } else { "panic-at-task" };
+        if let Some(t) = self.panic_at_task {
+            entry(f, format!("{task_key}={t}"))?;
+        }
+        if self.panic_task_seeded {
+            entry(f, format!("{task_key}=seeded"))?;
+        }
+        if let Some((idx, ms)) = self.delay_at_task {
+            entry(f, format!("delay-at-task={idx}:{ms}"))?;
+        }
+        if let Some(k) = self.kill_after_records {
+            entry(f, format!("kill-after-ckpt={k}"))?;
+        }
+        if let Some(i) = self.panic_at_fixpoint {
+            let key = if self.panic_fixpoint_once {
+                "panic-once-at-fixpoint"
+            } else {
+                "panic-at-fixpoint"
+            };
+            entry(f, format!("{key}={i}"))?;
+        }
+        if self.seed != 0 {
+            entry(f, format!("seed={}", self.seed))?;
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic schedule-perturbation plan for the threaded BACKER
+/// executor (`ccmm_backer::threads` consumes it via
+/// `ccmm_backer::perturb`). Where [`FaultPlan`] breaks a sweep on
+/// purpose, a `PerturbPlan` merely *jostles* an executor — injected
+/// yields, busy-spin delays, and steal-victim rotation at structural
+/// positions — so the scheduler explores interleavings plain CI would
+/// never reach. Every decision is a pure function of
+/// `(seed, structural position)`: the same plan injects the same
+/// perturbations at the same nodes on every run, even though the OS
+/// interleaving that results is not itself reproducible.
+///
+/// Spec grammar (comma-separated, like [`FaultPlan::from_spec`]):
+///
+/// ```text
+/// yield=1/K      yield_now() before positions where hash(seed,pos) % K == 0
+/// spin=1/K:S     busy-spin S iterations at positions where the hash hits
+/// steal=rotate   rotate each worker's steal-victim scan start per attempt
+/// seed=N         the seed all decision hashes derive from (default 0)
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PerturbPlan {
+    yield_den: u32,
+    spin_den: u32,
+    spin_iters: u32,
+    steal_rotate: bool,
+    seed: u64,
+}
+
+impl PerturbPlan {
+    /// The empty plan: injects nothing, scans steal victims in index
+    /// order — the executor behaves exactly as without a plan.
+    pub fn none() -> Self {
+        PerturbPlan::default()
+    }
+
+    /// The stress harness default: yield at half the positions, spin 64
+    /// iterations at an eighth of them, rotate steal victims.
+    pub fn aggressive(seed: u64) -> Self {
+        PerturbPlan { yield_den: 2, spin_den: 8, spin_iters: 64, steal_rotate: true, seed }
+    }
+
+    /// Replaces the seed, keeping the injection shape (used to derive
+    /// per-iteration plans from one parsed spec).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.yield_den == 0 && self.spin_den == 0 && !self.steal_rotate
+    }
+
+    /// Parses the spec grammar (see the type docs). Same error contract
+    /// as [`FaultPlan::from_spec`]: entry-numbered errors, never panics,
+    /// and `from_spec ∘ to_string` is the identity.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut plan = PerturbPlan::none();
+        for (pos, entry) in spec
+            .split(',')
+            .map(str::trim)
+            .filter(|e| !e.is_empty())
+            .enumerate()
+            .map(|(i, e)| (i + 1, e))
+        {
+            let at = |msg: String| format!("perturb spec entry {pos} (`{entry}`): {msg}");
+            let (key, value) = entry.split_once('=').ok_or_else(|| at("needs key=value".into()))?;
+            let ratio = |v: &str| -> Result<u32, String> {
+                let den = v
+                    .strip_prefix("1/")
+                    .ok_or_else(|| at(format!("`{v}` is not a 1/K ratio")))?
+                    .parse::<u32>()
+                    .map_err(|_| at(format!("`{v}` is not a 1/K ratio")))?;
+                if den == 0 {
+                    return Err(at("ratio denominator must be at least 1".into()));
+                }
+                Ok(den)
+            };
+            match key {
+                "yield" => plan.yield_den = ratio(value)?,
+                "spin" => {
+                    let (r, iters) =
+                        value.split_once(':').ok_or_else(|| at("needs 1/K:iters".into()))?;
+                    plan.spin_den = ratio(r)?;
+                    plan.spin_iters =
+                        iters.parse().map_err(|_| at(format!("`{iters}` is not a number")))?;
+                }
+                "steal" => match value {
+                    "rotate" => plan.steal_rotate = true,
+                    other => return Err(at(format!("unknown steal mode `{other}`"))),
+                },
+                "seed" => {
+                    plan.seed =
+                        value.parse().map_err(|_| at(format!("`{value}` is not a valid seed")))?;
+                }
+                other => return Err(at(format!("unknown perturb key `{other}`"))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The decision hash: a pure function of the plan seed, a salt
+    /// distinguishing the decision kind, and the structural position.
+    fn decide(&self, salt: u64, pos: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(salt.wrapping_mul(0xA24B_AED4_963E_E407) ^ pos))
+    }
+
+    /// Whether to yield before structural position `pos` in phase
+    /// `phase` (the executor uses distinct phases for "before executing
+    /// a node" and "before notifying its successors").
+    pub fn yield_at(&self, phase: u64, pos: usize) -> bool {
+        self.yield_den != 0
+            && self.decide(phase << 1, pos as u64).is_multiple_of(self.yield_den as u64)
+    }
+
+    /// Busy-spin iterations to inject before position `pos` in `phase`
+    /// (0 = none).
+    pub fn spin_at(&self, phase: u64, pos: usize) -> u32 {
+        if self.spin_den != 0
+            && self.decide((phase << 1) | 1, pos as u64).is_multiple_of(self.spin_den as u64)
+        {
+            self.spin_iters
+        } else {
+            0
+        }
+    }
+
+    /// The steal-victim index worker `me` should try first on its
+    /// `attempt`-th steal attempt. Without `steal=rotate` this is always
+    /// 0 (scan in index order, the un-perturbed behaviour).
+    pub fn steal_start(&self, me: usize, attempt: u64, num_victims: usize) -> usize {
+        if self.steal_rotate && num_victims > 0 {
+            (self.decide(0x57EA_1000 ^ me as u64, attempt) % num_victims as u64) as usize
+        } else {
+            0
+        }
+    }
+}
+
+impl std::fmt::Display for PerturbPlan {
+    /// Canonical spec rendering; same identity contract as
+    /// [`FaultPlan`]'s `Display`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut sep = "";
+        let mut entry = |f: &mut std::fmt::Formatter<'_>, s: String| -> std::fmt::Result {
+            write!(f, "{sep}{s}")?;
+            sep = ",";
+            Ok(())
+        };
+        if self.yield_den != 0 {
+            entry(f, format!("yield=1/{}", self.yield_den))?;
+        }
+        if self.spin_den != 0 {
+            entry(f, format!("spin=1/{}:{}", self.spin_den, self.spin_iters))?;
+        }
+        if self.steal_rotate {
+            entry(f, "steal=rotate".to_string())?;
+        }
+        if self.seed != 0 {
+            entry(f, format!("seed={}", self.seed))?;
+        }
+        Ok(())
+    }
+}
+
 /// splitmix64: the standard 64-bit mix, used to derive seeded fault
 /// positions deterministically.
 fn splitmix64(seed: u64) -> u64 {
@@ -280,10 +501,70 @@ mod tests {
     }
 
     #[test]
-    fn bad_specs_are_rejected() {
+    fn bad_specs_are_rejected_with_entry_numbers() {
         assert!(FaultPlan::from_spec("panic-at-task").is_err());
         assert!(FaultPlan::from_spec("panic-at-task=x").is_err());
         assert!(FaultPlan::from_spec("delay-at-task=3").is_err());
         assert!(FaultPlan::from_spec("frobnicate=1").is_err());
+        let err = FaultPlan::from_spec("kill-after-ckpt=2,delay-at-task=3").unwrap_err();
+        assert!(err.contains("entry 2"), "error must point at the failing entry: {err}");
+        assert!(err.contains("delay-at-task=3"), "error must quote the entry: {err}");
+    }
+
+    #[test]
+    fn display_round_trips_the_spec() {
+        for spec in [
+            "",
+            "panic-at-task=3",
+            "panic-once-at-task=seeded,seed=9",
+            "panic-at-task=7,delay-at-task=2:25,kill-after-ckpt=1,panic-once-at-fixpoint=4,seed=3",
+        ] {
+            let plan = FaultPlan::from_spec(spec).unwrap();
+            let rendered = plan.to_string();
+            let again = FaultPlan::from_spec(&rendered).unwrap();
+            assert_eq!(rendered, again.to_string(), "display must be a fixpoint for `{spec}`");
+        }
+        // Out-of-order input canonicalises.
+        let plan = FaultPlan::from_spec("seed=5,panic-at-task=seeded").unwrap();
+        assert_eq!(plan.to_string(), "panic-at-task=seeded,seed=5");
+    }
+
+    #[test]
+    fn perturb_plan_spec_round_trips_and_decides_deterministically() {
+        let plan = PerturbPlan::from_spec("yield=1/2,spin=1/8:64,steal=rotate,seed=42").unwrap();
+        assert_eq!(plan, PerturbPlan::aggressive(42));
+        assert_eq!(PerturbPlan::from_spec(&plan.to_string()).unwrap(), plan);
+        assert_eq!(PerturbPlan::from_spec("").unwrap(), PerturbPlan::none());
+        assert!(PerturbPlan::none().is_empty());
+        assert_eq!(PerturbPlan::none().to_string(), "");
+
+        // Decisions are pure functions of (seed, phase, position).
+        let twin = PerturbPlan::aggressive(42);
+        for pos in 0..64 {
+            assert_eq!(plan.yield_at(0, pos), twin.yield_at(0, pos));
+            assert_eq!(plan.spin_at(1, pos), twin.spin_at(1, pos));
+            assert_eq!(plan.steal_start(1, pos as u64, 4), twin.steal_start(1, pos as u64, 4));
+            assert!(plan.steal_start(1, pos as u64, 4) < 4);
+        }
+        // A different seed decides differently somewhere.
+        let other = PerturbPlan::aggressive(43);
+        assert!((0..64).any(|p| plan.yield_at(0, p) != other.yield_at(0, p)));
+        // The empty plan never perturbs and scans victims in order.
+        let none = PerturbPlan::none();
+        for pos in 0..16 {
+            assert!(!none.yield_at(0, pos));
+            assert_eq!(none.spin_at(0, pos), 0);
+            assert_eq!(none.steal_start(0, pos as u64, 4), 0);
+        }
+    }
+
+    #[test]
+    fn perturb_bad_specs_are_entry_numbered_errors() {
+        for bad in ["yield=2", "yield=1/0", "spin=1/4", "steal=shuffle", "zap=1", "yield"] {
+            let err = PerturbPlan::from_spec(bad).unwrap_err();
+            assert!(err.contains("entry 1"), "`{bad}` → {err}");
+        }
+        let err = PerturbPlan::from_spec("seed=1,spin=1/2:x").unwrap_err();
+        assert!(err.contains("entry 2") && err.contains("spin=1/2:x"), "{err}");
     }
 }

@@ -330,6 +330,17 @@ where
         tasks.retain(|t| !resume.contains(t.idx));
     }
     let start = Instant::now();
+    // Ordering audit: all three flags are accessed with Relaxed
+    // throughout, which is sufficient because they are *advisory*,
+    // monotonic (false→true once) booleans: they only influence how
+    // soon workers stop scanning, never what a scanned task computes.
+    // All result data travels through the `shared` Mutex (lock/unlock
+    // provides acquire/release), and the final `into_inner` reads
+    // happen after `run_workers` joins every worker thread — thread
+    // join is a synchronizes-with edge, so the last stores to the
+    // flags are visible without any fence. A worker seeing a stale
+    // `false` merely scans one extra task; seeing a stale `true` is
+    // impossible to distinguish from a slightly earlier stop.
     let stop = AtomicBool::new(false);
     let deadline_hit = AtomicBool::new(false);
     let killed = AtomicBool::new(false);
@@ -630,6 +641,11 @@ where
 {
     let alphabet = u.alphabet();
     let maps = maps_for(u, cfg, &alphabet);
+    // Ordering audit: Relaxed is enough for these monotonic
+    // (false→true) evidence flags. A stale `false` costs at most one
+    // redundant check of a pair that would set the same flag; the final
+    // loads below run after `run_supervised` has joined every worker
+    // (thread join synchronizes-with), so no store can be missed.
     let found_a_only = AtomicBool::new(false);
     let found_b_only = AtomicBool::new(false);
     let out = run_supervised(
@@ -729,6 +745,11 @@ where
     XF: Fn() -> X + Sync,
     F: Fn(&Task, &mut X, &dyn Fn() -> bool) -> Option<W> + Sync,
 {
+    // Ordering audit: `best` is a Relaxed pruning hint, not the answer.
+    // fetch_min is an atomic RMW, so concurrent minima commute and none
+    // is lost regardless of ordering; a worker reading a stale (larger)
+    // value only scans a task whose witness `merge_keyed` then discards
+    // under the shared lock — the authoritative min-task-index merge.
     let best = AtomicUsize::new(usize::MAX);
     let out = run_supervised(
         tasks,
@@ -1172,6 +1193,8 @@ where
 {
     let alphabet = u.alphabet();
     let maps = maps_for(u, cfg, &alphabet);
+    // Ordering audit: same argument as `relation_supervised` — Relaxed
+    // monotonic evidence flags, final loads after worker join.
     let found_a_only = AtomicBool::new(false);
     let found_b_only = AtomicBool::new(false);
     let out = run_supervised(

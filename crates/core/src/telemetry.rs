@@ -93,10 +93,20 @@ pub enum Counter {
     /// Lane kernels that aborted early because every valid lane was
     /// already dead (violation or infeasibility on all of them).
     LaneEarlyExits,
+    /// Steal attempts made by idle workers of the threaded BACKER
+    /// executor (one per deque/injector probe). Timing-dependent by
+    /// nature — never part of any bit-identity check.
+    StealAttempts,
+    /// Perturbations (yields, busy-spin delays) actually injected by a
+    /// `PerturbPlan` inside the threaded executor. The *decisions* are a
+    /// pure function of (seed, position), but how many positions each
+    /// worker visits per run is scheduling-dependent, so this counter is
+    /// in the timing-dependent class too.
+    PerturbInjected,
 }
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 25;
+pub const NUM_COUNTERS: usize = 27;
 
 impl Counter {
     /// Every counter, in snapshot order.
@@ -126,6 +136,8 @@ impl Counter {
         Counter::LaneWords,
         Counter::LaneSlots,
         Counter::LaneEarlyExits,
+        Counter::StealAttempts,
+        Counter::PerturbInjected,
     ];
 
     /// The counter's stable snake_case name, used as its key in metrics
@@ -157,6 +169,8 @@ impl Counter {
             Counter::LaneWords => "lane_words",
             Counter::LaneSlots => "lane_slots",
             Counter::LaneEarlyExits => "lane_early_exits",
+            Counter::StealAttempts => "steal_attempts",
+            Counter::PerturbInjected => "perturb_injected",
         }
     }
 }

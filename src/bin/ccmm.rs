@@ -491,7 +491,9 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
 
     // Gate precondition checked up front: a gated run that has nothing to
     // compare against must not silently record itself as the baseline.
-    let baseline = latest_matching("cli_sweep/memberships", engine, &u);
+    // Matching is same-engine AND same-thread-count: gating a 4-thread
+    // run against a 1-thread baseline would pass on scaling alone.
+    let baseline = latest_matching("cli_sweep/memberships", engine, &u, cfg.threads);
     if gate && baseline.is_none() {
         eprintln!("error: no baseline for this config — run without --gate to record one");
         return Ok(exit::NO_BASELINE);
@@ -911,6 +913,215 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
     Ok(r.ok() && lanes.ok())
 }
 
+fn cmd_stress(args: &[String]) -> Result<u8, String> {
+    use ccmm::core::ckpt;
+    use ccmm::core::fault::{FaultPlan, PerturbPlan};
+    use ccmm::core::parse::{render_computation, render_observer};
+    use ccmm::core::sweep::supervisor::SweepStatus;
+    use ccmm::stress::{self, Mutation, StressCkpt, StressConfig};
+    use std::time::Instant;
+
+    let mut seed = 0u64;
+    let mut iters = 1000usize;
+    let mut threads = 4usize;
+    let mut perturb_spec: Option<String> = None;
+    let mut mutation = Mutation::None;
+    let mut deadline_secs: Option<f64> = None;
+    let mut fault_spec: Option<String> = None;
+    let mut ckpt_path: Option<String> = None;
+    let mut ckpt_every = 32usize;
+    let mut resume_path: Option<String> = None;
+    let mut do_self_test = false;
+    let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut progress = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--seed" => seed = take("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--iters" => iters = take("--iters")?.parse().map_err(|_| "bad --iters")?,
+            "--threads" => threads = take("--threads")?.parse().map_err(|_| "bad --threads")?,
+            "--perturb" => perturb_spec = Some(take("--perturb")?),
+            "--mutate" => mutation = Mutation::from_name(&take("--mutate")?)?,
+            "--deadline-secs" => {
+                deadline_secs =
+                    Some(take("--deadline-secs")?.parse().map_err(|_| "bad --deadline-secs")?);
+            }
+            "--fault" => fault_spec = Some(take("--fault")?),
+            "--ckpt" => ckpt_path = Some(take("--ckpt")?),
+            "--ckpt-every" => {
+                ckpt_every = take("--ckpt-every")?.parse().map_err(|_| "bad --ckpt-every")?;
+                if ckpt_every == 0 {
+                    return Err("--ckpt-every must be at least 1".into());
+                }
+            }
+            "--resume" => resume_path = Some(take("--resume")?),
+            "--self-test" => do_self_test = true,
+            "--metrics" => metrics_path = Some(take("--metrics")?),
+            "--trace" => trace_path = Some(take("--trace")?),
+            "--progress" => progress = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if ckpt_path.is_some() && resume_path.is_some() {
+        return Err(
+            "--ckpt starts a fresh journal and --resume continues one; pass only one".to_string()
+        );
+    }
+
+    if do_self_test {
+        // Prove the oracle has teeth before trusting a green run: a
+        // seeded skip-reconcile mutation must be caught and the same
+        // seeds must pass unmutated.
+        print!("stress self-test (mutation: skip-reconcile, {threads} thread(s)) ... ");
+        match stress::self_test(threads) {
+            Ok(()) => println!("caught, and clean executor passes"),
+            Err(e) => {
+                println!("FAILED");
+                eprintln!("{e}");
+                return Ok(exit::FAIL);
+            }
+        }
+    }
+
+    let mut cfg = StressConfig::new(seed, iters, threads);
+    if let Some(spec) = &perturb_spec {
+        cfg.perturb = PerturbPlan::from_spec(spec)?;
+    }
+    cfg.mutation = mutation;
+    if let Some(secs) = deadline_secs {
+        cfg.deadline = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    let fault = match &fault_spec {
+        Some(spec) => FaultPlan::from_spec(spec)?,
+        None => FaultPlan::none(),
+    };
+
+    // Checkpoint journal: same scheme as `ccmm sweep` — the fingerprint
+    // pins (seed, iters, threads, perturb shape, mutation) so a journal
+    // cannot resume into a different run.
+    let fingerprint = cfg.fingerprint();
+    let mut writer: Option<ckpt::CkptWriter> = None;
+    let mut resume_state = None;
+    if let Some(path) = &ckpt_path {
+        writer = Some(
+            ckpt::CkptWriter::create(std::path::Path::new(path), &fingerprint)
+                .map_err(|e| format!("creating checkpoint {path}: {e}"))?,
+        );
+    }
+    if let Some(path) = &resume_path {
+        let loaded = ckpt::Checkpoint::load(std::path::Path::new(path))
+            .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
+        if loaded.fingerprint != fingerprint {
+            return Err(format!(
+                "checkpoint fingerprint mismatch: journal is `{}`, this run is `{fingerprint}`",
+                loaded.fingerprint
+            ));
+        }
+        resume_state = match loaded.latest() {
+            Some(snap) => Some(
+                stress::decode_snapshot(snap)
+                    .ok_or_else(|| format!("corrupt checkpoint snapshot in {path}"))?,
+            ),
+            None => None,
+        };
+        writer = Some(
+            ckpt::CkptWriter::append_to(std::path::Path::new(path))
+                .map_err(|e| format!("reopening checkpoint {path}: {e}"))?,
+        );
+        if let Some((f, _)) = &resume_state {
+            println!("resuming from {path}: {} iteration(s) already complete", f.len());
+        }
+    }
+
+    let mut tel = TelemetrySink::new("stress", trace_path, metrics_path, progress);
+    println!(
+        "stress: seed {seed}, {iters} iteration(s), {threads} thread(s), perturb {}, mutation {}",
+        cfg.perturb,
+        cfg.mutation.name()
+    );
+    let t0 = Instant::now();
+    let phase_span = ccmm::core::telemetry::span("stress/iterations");
+    let sink = writer.as_mut().map(|w| StressCkpt { writer: w, every: ckpt_every });
+    let report = stress::run_supervised(&cfg, &fault, resume_state, sink);
+    drop(phase_span);
+    let wall = t0.elapsed();
+    tel.end_phase("iterations", wall);
+    tel.write()?;
+
+    if let Some(e) = &report.ckpt_error {
+        eprintln!("warning: checkpoint journalling failed mid-run: {e}");
+    }
+    for q in &report.quarantined {
+        println!("quarantined: iteration {} panicked twice: {}", q.task_idx, q.payload);
+    }
+    // Deterministic per (seed, iters, threads): iteration and check
+    // counts, and any failure. Timing-dependent (reported, never
+    // compared): distinct observers and the SC tallies.
+    println!(
+        "completed {}/{} iteration(s), {} conformance check(s) [{wall:.2?}] ({})",
+        report.frontier.len(),
+        report.total,
+        report.checks,
+        status_name(report.status)
+    );
+    println!(
+        "timing-dependent: {} distinct threaded observer(s); SC membership {}/{}",
+        report.distinct_observers, report.sc_member, report.sc_checked
+    );
+
+    if let Some(f) = report.failures.first() {
+        println!(
+            "CONFORMANCE FAILURE at iteration {} (leg: {}, workload: {}, kind: {})",
+            f.iteration, f.leg, f.workload, f.kind
+        );
+        let mutate_flag = match cfg.mutation {
+            Mutation::None => String::new(),
+            m => format!(" --mutate {}", m.name()),
+        };
+        println!(
+            "failing seed: {} (rerun: ccmm stress --seed {} --iters 1 --threads {threads}{})",
+            f.seed, f.seed, mutate_flag
+        );
+        println!("shrunk trace ({} move(s)):", f.shrink_steps);
+        print!("{}", render_computation(&f.c));
+        print!("{}", render_observer(&f.phi));
+        return Ok(exit::FAIL);
+    }
+    if report.status == SweepStatus::Killed {
+        let journal = ckpt_path.as_deref().or(resume_path.as_deref()).unwrap_or("<journal>");
+        println!(
+            "killed by fault plan after {} checkpoint record(s); resume with --resume {journal}",
+            writer.as_ref().map_or(0, |w| w.snapshots())
+        );
+        return Ok(exit::KILLED);
+    }
+    if report.status == SweepStatus::Partial {
+        println!(
+            "deadline hit: {}/{} iteration(s) complete; resume frontier: {:?}",
+            report.frontier.len(),
+            report.total,
+            report.frontier.ranges()
+        );
+        if let Some(path) = ckpt_path.as_deref().or(resume_path.as_deref()) {
+            println!("resume with --resume {path}");
+        }
+        return Ok(exit::PARTIAL);
+    }
+    Ok(match report.status {
+        SweepStatus::Complete => exit::COMPLETE,
+        SweepStatus::Degraded => exit::DEGRADED,
+        SweepStatus::Partial => exit::PARTIAL,
+        SweepStatus::Killed => exit::KILLED,
+    })
+}
+
 fn cmd_dot(args: &[String]) -> Result<(), String> {
     let [cpath] = args else {
         return Err("usage: ccmm dot <computation>".into());
@@ -967,6 +1178,30 @@ USAGE:
                                            fast checkers vs oracles; exit 0 iff
                                            no disagreement (witnesses shrunk);
                                            nodes >= 5 sweeps canonical reps
+  ccmm stress [--seed S] [--iters N] [--threads T] [--perturb SPEC]
+              [--mutate M] [--self-test] [--deadline-secs S] [--fault SPEC]
+              [--ckpt PATH] [--ckpt-every K] [--resume PATH]
+              [--trace FILE] [--metrics FILE] [--progress]
+                                           schedule-perturbation stress of the
+                                           threaded BACKER executor with LC
+                                           conformance as the oracle; exit 0
+                                           iff every perturbed execution
+                                           conforms. Deterministic per
+                                           (S, N, T) in its seeds, workloads,
+                                           check counts, and failures (failing
+                                           seed + shrunk trace printed; exit
+                                           1). --perturb tunes the injection
+                                           (e.g. yield=1/2,spin=1/8:64,
+                                           steal=rotate); --mutate weakens the
+                                           protocol (skip-flush |
+                                           skip-reconcile) to exercise the
+                                           oracle; --self-test proves a seeded
+                                           mutation is caught before the run.
+                                           Supervision matches sweep:
+                                           quarantine (exit 3), deadline +
+                                           resume frontier (exit 4), --ckpt/
+                                           --resume journals, --fault (exit 70
+                                           killed)
   ccmm dot <computation>                   Graphviz export
 
 Computation/observer files use the text format of ccmm_core::parse
@@ -991,6 +1226,7 @@ fn main() -> ExitCode {
         "lattice" => cmd_lattice(rest).map(|()| 0),
         "sweep" => cmd_sweep(rest),
         "conformance" => cmd_conformance(rest).map(|ok| if ok { 0 } else { 1 }),
+        "stress" => cmd_stress(rest),
         "dot" => cmd_dot(rest).map(|()| 0),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

@@ -22,3 +22,5 @@ pub use ccmm_cilk as cilk;
 pub use ccmm_conformance as conformance;
 pub use ccmm_core as core;
 pub use ccmm_dag as dag;
+
+pub mod stress;

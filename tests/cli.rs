@@ -439,3 +439,129 @@ fn sweep_resume_rejects_a_mismatched_fingerprint() {
         let _ = std::fs::remove_file(p);
     }
 }
+
+/// The deterministic half of a `ccmm stress` report: the completed/
+/// checks line (wall-clock stripped) plus any failure lines. The
+/// "timing-dependent:" line is deliberately excluded — distinct
+/// observer and SC tallies vary with OS scheduling.
+fn stress_deterministic_lines(stdout: &str) -> Vec<String> {
+    stdout
+        .lines()
+        .filter(|l| {
+            l.starts_with("completed ")
+                || l.starts_with("CONFORMANCE FAILURE")
+                || l.starts_with("failing seed:")
+                || l.starts_with("shrunk trace")
+        })
+        .map(|l| match (l.find(" ["), l.find(']')) {
+            (Some(a), Some(b)) if a < b => format!("{}{}", &l[..a], &l[b + 1..]),
+            _ => l.to_string(),
+        })
+        .collect()
+}
+
+#[test]
+fn stress_is_deterministic_per_seed_iters_threads() {
+    let shape = ["stress", "--seed", "11", "--iters", "20", "--threads", "2"];
+    let a = bin().args(shape).output().unwrap();
+    let b = bin().args(shape).output().unwrap();
+    assert_eq!(a.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(b.status.code(), Some(0));
+    let la = stress_deterministic_lines(&String::from_utf8(a.stdout).unwrap());
+    let lb = stress_deterministic_lines(&String::from_utf8(b.stdout).unwrap());
+    assert!(!la.is_empty(), "report must include the completed line");
+    assert_eq!(la, lb, "same (seed, iters, threads) must report identical deterministic lines");
+}
+
+#[test]
+fn stress_kill_and_resume_respects_the_seed_frontier() {
+    let ckpt = std::env::temp_dir().join(format!("ccmm-cli-stress-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let shape = ["--seed", "5", "--iters", "12", "--threads", "2"];
+
+    // Uninterrupted reference run.
+    let clean = bin().arg("stress").args(shape).output().unwrap();
+    assert_eq!(clean.status.code(), Some(0));
+    let clean_lines = stress_deterministic_lines(&String::from_utf8(clean.stdout).unwrap());
+
+    // Killed run: checkpoint every iteration, crash after three records.
+    let killed = bin()
+        .arg("stress")
+        .args(shape)
+        .args(["--ckpt-every", "1", "--fault", "kill-after-ckpt=3", "--ckpt"])
+        .arg(&ckpt)
+        .output()
+        .unwrap();
+    assert_eq!(killed.status.code(), Some(70), "killed-by-fault-plan exit code");
+    let text = String::from_utf8(killed.stdout).unwrap();
+    assert!(text.contains("killed by fault plan"), "{text}");
+    assert!(text.contains("--resume"), "{text}");
+
+    // Resume: skips the journalled iterations, finishes the rest, and
+    // the deterministic report matches the uninterrupted run exactly.
+    let resumed = bin().arg("stress").args(shape).arg("--resume").arg(&ckpt).output().unwrap();
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let rtext = String::from_utf8(resumed.stdout).unwrap();
+    let already: usize = rtext
+        .lines()
+        .find(|l| l.starts_with("resuming from"))
+        .and_then(|l| l.split(": ").nth(1))
+        .and_then(|s| s.split(' ').next())
+        .and_then(|n| n.parse().ok())
+        .expect("resume line reports the journalled frontier");
+    assert!(
+        (1..12).contains(&already),
+        "resume must start from a non-empty, incomplete frontier, got {already}"
+    );
+    assert_eq!(
+        stress_deterministic_lines(&rtext),
+        clean_lines,
+        "resumed totals must match the uninterrupted run"
+    );
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn stress_self_test_catches_a_seeded_mutation() {
+    let out =
+        bin().args(["stress", "--self-test", "--iters", "2", "--threads", "2"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("caught, and clean executor passes"), "{text}");
+}
+
+#[test]
+fn stress_mutated_run_reports_a_reproducible_failing_seed() {
+    let mutated = bin()
+        .args(["stress", "--seed", "3", "--iters", "30", "--threads", "2"])
+        .args(["--mutate", "skip-reconcile"])
+        .output()
+        .unwrap();
+    assert_eq!(mutated.status.code(), Some(1), "conformance failure exit code");
+    let text = String::from_utf8(mutated.stdout).unwrap();
+    assert!(text.contains("CONFORMANCE FAILURE"), "{text}");
+    let seed: u64 = text
+        .lines()
+        .find(|l| l.starts_with("failing seed: "))
+        .and_then(|l| l.split(' ').nth(2).map(|s| s.trim_end_matches(',')))
+        .and_then(|n| n.parse().ok())
+        .expect("failure report names the failing seed");
+    let trace: Vec<&str> = text.lines().skip_while(|l| !l.starts_with("shrunk trace")).collect();
+    assert!(trace.len() > 1, "failure report includes the shrunk trace: {text}");
+
+    // The printed rerun command reproduces the identical shrunk trace.
+    let rerun = bin()
+        .args(["stress", "--seed", &seed.to_string(), "--iters", "1", "--threads", "2"])
+        .args(["--mutate", "skip-reconcile"])
+        .output()
+        .unwrap();
+    assert_eq!(rerun.status.code(), Some(1));
+    let rtext = String::from_utf8(rerun.stdout).unwrap();
+    let rtrace: Vec<&str> = rtext.lines().skip_while(|l| !l.starts_with("shrunk trace")).collect();
+    assert_eq!(trace, rtrace, "rerun from the printed seed must shrink to the same trace");
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the fault/perturbation spec grammars
+//! (`FaultPlan::from_spec`, `PerturbPlan::from_spec`). Two contracts:
+//!
+//! 1. **Round trip.** `Display` renders the canonical spec string, and
+//!    parse ∘ display ∘ parse is the identity: whatever a spec meant,
+//!    the rendered form means the same thing. (The raw input itself is
+//!    not a fixed point — entries may be reordered or deduplicated into
+//!    canonical form — so the property is checked one render deep.)
+//! 2. **No panics.** Arbitrary input — near-miss grammar tokens,
+//!    multi-byte UTF-8, empty entries — must come back as an `Err`
+//!    naming the 1-based offending entry, never as a panic.
+
+use ccmm::core::fault::{FaultPlan, PerturbPlan};
+use proptest::prelude::*;
+
+/// A syntactically valid `FaultPlan` spec entry.
+fn arb_fault_entry() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0usize..100).prop_map(|n| format!("panic-at-task={n}")),
+        (0usize..100).prop_map(|n| format!("panic-once-at-task={n}")),
+        Just("panic-at-task=seeded".to_string()),
+        Just("panic-once-at-task=seeded".to_string()),
+        (0usize..100, 0usize..50).prop_map(|(i, ms)| format!("delay-at-task={i}:{ms}")),
+        (0usize..100).prop_map(|k| format!("kill-after-ckpt={k}")),
+        (0usize..100).prop_map(|n| format!("panic-at-fixpoint={n}")),
+        (0usize..100).prop_map(|n| format!("panic-once-at-fixpoint={n}")),
+        any::<u64>().prop_map(|s| format!("seed={s}")),
+    ]
+}
+
+/// A syntactically valid `PerturbPlan` spec entry.
+fn arb_perturb_entry() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (1u32..64).prop_map(|k| format!("yield=1/{k}")),
+        (1u32..64, 0u32..4096).prop_map(|(k, s)| format!("spin=1/{k}:{s}")),
+        Just("steal=rotate".to_string()),
+        any::<u64>().prop_map(|s| format!("seed={s}")),
+    ]
+}
+
+/// Characters biased toward the spec grammar so random picks land on
+/// token shapes the parsers almost accept (plus multi-byte UTF-8 to
+/// probe byte-boundary handling in error rendering).
+const CHARSET: [char; 32] = [
+    'p', 'a', 'n', 'i', 'c', 't', 's', 'k', 'd', 'y', '-', '=', ':', '/', ',', ' ', '\t', '0', '1',
+    '2', '7', '9', 'e', 'l', 'r', 'o', 'Ω', 'ñ', '€', '✓', 'ß', 'λ',
+];
+
+/// A short lowercase identifier that is never a grammar key (the caller
+/// prefixes it with `zz-`).
+fn arb_junk_key() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, 1..8)
+        .prop_map(|bytes| bytes.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+fn arb_text(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..max_len)
+        .prop_map(|bytes| bytes.into_iter().map(|b| CHARSET[b as usize % CHARSET.len()]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn fault_spec_round_trips_through_display(
+        entries in proptest::collection::vec(arb_fault_entry(), 0..6)
+    ) {
+        let spec = entries.join(",");
+        let plan = FaultPlan::from_spec(&spec).expect("generated spec parses");
+        let rendered = plan.to_string();
+        let reparsed = FaultPlan::from_spec(&rendered)
+            .unwrap_or_else(|e| panic!("canonical form `{rendered}` must re-parse: {e}"));
+        // FaultPlan carries interior-mutable fire counters, so equality
+        // is checked on the canonical rendering, which covers exactly
+        // the parsed configuration.
+        prop_assert_eq!(rendered, reparsed.to_string());
+    }
+
+    #[test]
+    fn perturb_spec_round_trips_through_display(
+        entries in proptest::collection::vec(arb_perturb_entry(), 0..5)
+    ) {
+        let spec = entries.join(",");
+        let plan = PerturbPlan::from_spec(&spec).expect("generated spec parses");
+        let reparsed = PerturbPlan::from_spec(&plan.to_string())
+            .unwrap_or_else(|e| panic!("canonical form `{plan}` must re-parse: {e}"));
+        prop_assert_eq!(&plan, &reparsed);
+        prop_assert_eq!(plan.to_string(), reparsed.to_string());
+    }
+
+    #[test]
+    fn fault_spec_parsing_never_panics(text in arb_text(120)) {
+        let _ = FaultPlan::from_spec(&text);
+    }
+
+    #[test]
+    fn perturb_spec_parsing_never_panics(text in arb_text(120)) {
+        let _ = PerturbPlan::from_spec(&text);
+    }
+
+    #[test]
+    fn malformed_trailing_entry_error_names_its_position(
+        prefix in proptest::collection::vec(arb_fault_entry(), 0..4),
+        junk in arb_junk_key(),
+    ) {
+        // Append a key that is never part of the grammar: the error must
+        // name the entry's 1-based position, not just echo the string.
+        let bad = format!("zz-{junk}=1");
+        let spec = if prefix.is_empty() { bad } else { format!("{},{bad}", prefix.join(",")) };
+        let err = FaultPlan::from_spec(&spec).expect_err("unknown key must not parse");
+        let entry_no = prefix.len() + 1;
+        prop_assert!(
+            err.contains(&format!("entry {entry_no}")),
+            "error must name entry {entry_no}: {err}"
+        );
+    }
+
+    #[test]
+    fn malformed_perturb_entry_error_names_its_position(
+        prefix in proptest::collection::vec(arb_perturb_entry(), 0..3),
+        junk in arb_junk_key(),
+    ) {
+        let bad = format!("zz-{junk}=1");
+        let spec = if prefix.is_empty() { bad } else { format!("{},{bad}", prefix.join(",")) };
+        let err = PerturbPlan::from_spec(&spec).expect_err("unknown key must not parse");
+        let entry_no = prefix.len() + 1;
+        prop_assert!(
+            err.contains(&format!("entry {entry_no}")),
+            "error must name entry {entry_no}: {err}"
+        );
+    }
+}
+
+/// Spot checks pinning corner cases the generators are unlikely to hit
+/// on any given run.
+#[test]
+fn empty_and_whitespace_specs_are_the_empty_plan() {
+    for s in ["", " ", ",", " , ", ",,,"] {
+        assert!(FaultPlan::from_spec(s).expect("empty-ish spec parses").is_empty(), "spec {s:?}");
+        assert!(PerturbPlan::from_spec(s).expect("empty-ish spec parses").is_empty(), "spec {s:?}");
+    }
+}
+
+#[test]
+fn zero_ratio_denominator_is_rejected_not_a_divide_by_zero() {
+    let err = PerturbPlan::from_spec("yield=1/0").expect_err("1/0 must not parse");
+    assert!(err.contains("entry 1"), "error must name the entry: {err}");
+}
