@@ -100,6 +100,37 @@ ccmm sweep --bound "$lane_bound" --canonical --engine lane64 --threads 2 \
 diff <(counts "$scratch/lane-scalar.out") <(counts "$scratch/lane-resumed.out") \
     || { echo "resumed lane64 counts differ from the scalar run"; exit 1; }
 
+echo "== lane fixpoint smoke: bound-4 kill in both phases, resume bit-identical =="
+# The lane Δ* fixpoint journals survivor masks to <ckpt>.fixpoint. The
+# canonical bound-4 universe is 25 tasks, so --ckpt-every 16 writes
+# exactly one record per phase: run 1 is killed by the memberships
+# record; run 2 resumes, finishes memberships without a new record (9
+# tasks < 16), and is killed by the fixpoint journal's first record; run
+# 3 resumes the masks and must complete with survivor counts
+# bit-identical to both an uninterrupted lane run and the scalar
+# worklist.
+fixline() { sed -n 's/.*fixpoint: \(.*\) \[.*/\1/p' "$1"; }
+ccmm sweep --bound 4 --canonical --threads 2 --engine lane64 \
+    > "$scratch/fix-clean.out" 2>/dev/null
+rc=0
+ccmm sweep --bound 4 --canonical --threads 2 --engine lane64 \
+    --ckpt "$scratch/fix.ckpt" --ckpt-every 16 --fault kill-after-ckpt=1 \
+    > /dev/null 2>&1 || rc=$?
+[[ "$rc" == 70 ]] || { echo "expected memberships-phase kill exit 70, got $rc"; exit 1; }
+rc=0
+ccmm sweep --bound 4 --canonical --threads 2 --engine lane64 \
+    --resume "$scratch/fix.ckpt" --ckpt-every 16 --fault kill-after-ckpt=1 \
+    > "$scratch/fix-killed.out" 2>/dev/null || rc=$?
+[[ "$rc" == 70 ]] || { echo "expected fixpoint-phase kill exit 70, got $rc"; exit 1; }
+grep -q "fixpoint checkpoint record" "$scratch/fix-killed.out" \
+    || { echo "second kill did not land in the fixpoint phase"; exit 1; }
+ccmm sweep --bound 4 --canonical --threads 2 --engine lane64 \
+    --resume "$scratch/fix.ckpt" > "$scratch/fix-resumed.out" 2>/dev/null
+diff <(fixline "$scratch/fix-clean.out") <(fixline "$scratch/fix-resumed.out") \
+    || { echo "resumed lane fixpoint differs from the uninterrupted run"; exit 1; }
+diff <(fixline "$scratch/clean.out") <(fixline "$scratch/fix-resumed.out") \
+    || { echo "lane fixpoint differs from the scalar worklist"; exit 1; }
+
 echo "== stress smoke: perturbed-executor conformance + seeded-mutation self-test =="
 # The self-test proves the oracle has teeth (a seeded skip-reconcile
 # mutation must be caught and shrunk, and the same seeds must pass
@@ -134,6 +165,23 @@ pairs=$(jq '.phases[0].counters.pairs_checked' "$scratch/metrics-1.json")
 for t in 2 4; do
     diff "$scratch/det-1.json" "$scratch/det-$t.json" \
         || { echo "deterministic-phase counters drifted at $t threads"; exit 1; }
+done
+
+# Same pin for the lane64 engine: the fixpoint phase's lane counters
+# (lane_fixpoint_words, lane_deletions_masked, lane_survivor_pop) are in
+# the deterministic class and must not drift with the thread count.
+for t in 1 2 4; do
+    ccmm sweep --bound 4 --canonical --engine lane64 --threads "$t" \
+        --metrics "$scratch/lane-metrics-$t.json" > /dev/null 2>&1
+    jq -S '[.phases[] | select(.name == "memberships" or .name == "fixpoint")
+            | {name, counters}]' "$scratch/lane-metrics-$t.json" > "$scratch/lane-det-$t.json"
+done
+pop=$(jq '[.phases[] | select(.name == "fixpoint")
+           | .counters.lane_survivor_pop] | first' "$scratch/lane-metrics-1.json")
+[[ "$pop" -gt 0 ]] || { echo "lane_survivor_pop is zero — lane fixpoint counters not recording"; exit 1; }
+for t in 2 4; do
+    diff "$scratch/lane-det-1.json" "$scratch/lane-det-$t.json" \
+        || { echo "lane fixpoint counters drifted at $t threads"; exit 1; }
 done
 unset CCMM_BENCH_JSON
 

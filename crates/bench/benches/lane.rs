@@ -7,8 +7,10 @@
 //! scheduling artifact — this is the reproducible form of the ≥4×
 //! speedup claim behind `ccmm sweep --engine lane64`.
 
+use ccmm_core::constructible::lanes::LaneConstructible;
+use ccmm_core::constructible::BoundedConstructible;
 use ccmm_core::enumerate::for_each_observer;
-use ccmm_core::model::{CheckScratch, LanePack, LaneScratch};
+use ccmm_core::model::{CheckScratch, LanePack, LaneScratch, Nn};
 use ccmm_core::sweep::{sweep_computations, SweepConfig};
 use ccmm_core::universe::Universe;
 use ccmm_core::{MemoryModel, Model};
@@ -95,5 +97,37 @@ fn bench_lane_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lane_engine);
+/// The `ccmm sweep` phase-3 workload both ways: the scalar Δ* worklist
+/// (hash-set survivor sets, one membership check per recheck) vs the
+/// lane fixpoint (node-major survivor masks, 64-wide deltas). Both are
+/// single-threaded end-to-end — Stage A plus the cascade — so the ratio
+/// is the `--engine lane64` fixpoint claim in its reproducible form.
+fn bench_lane_fixpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lane_fixpoint");
+    group.sample_size(10);
+    for (nodes, locs) in [(4usize, 1usize), (4, 2), (5, 1)] {
+        let u = Universe::new(nodes, locs);
+        let cfg = SweepConfig::serial();
+        let id = format!("{nodes}n{locs}l");
+        let scalar = BoundedConstructible::compute_worklist(&Nn::default(), &u, &cfg);
+        let lane = LaneConstructible::compute(&Nn::default(), &u, &cfg);
+        assert_eq!(
+            (scalar.total_pairs(), scalar.deleted),
+            (lane.total_pairs(), lane.deleted),
+            "engines disagree at {id}; the ratio would be meaningless"
+        );
+        group.bench_function(BenchmarkId::new("worklist", &id), |b| {
+            b.iter(|| {
+                black_box(BoundedConstructible::compute_worklist(&Nn::default(), &u, &cfg))
+                    .total_pairs()
+            })
+        });
+        group.bench_function(BenchmarkId::new("lane64", &id), |b| {
+            b.iter(|| black_box(LaneConstructible::compute(&Nn::default(), &u, &cfg)).total_pairs())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lane_engine, bench_lane_fixpoint);
 criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Fixpoint differential: pins the lane Δ* engine to the scalar worklist.
+//!
+//! The lane fixpoint ([`ccmm_core::constructible::lanes`]) recomputes the
+//! bounded Δ* greatest fixpoint on survivor *masks*; this module proves,
+//! per run, that it is bit-identical to the scalar worklist on:
+//!
+//! * **survivor sets** — every `(C, Φ)` pair of the exhaustive universe
+//!   at the harness bound is compared three ways: scalar worklist, lane
+//!   fixpoint with the lane kernel, and lane fixpoint with the scalar
+//!   kernel (which also pins Stage-A mask materialisation across
+//!   kernels). Totals, per-size counts, deletions, and pass counts must
+//!   all agree.
+//! * **constructibility verdicts** — the one-step augmentation search at
+//!   one bound above the harness bound (the canonical bound-5 sweep
+//!   under the default config), per model: the lane search must return
+//!   exactly the scalar scan's witness, or agree there is none.
+
+use ccmm_core::constructible::lanes::LaneConstructible;
+use ccmm_core::constructible::BoundedConstructible;
+use ccmm_core::enumerate::for_each_observer;
+use ccmm_core::model::Nn;
+use ccmm_core::sweep::supervisor::{
+    check_constructible_aug_lanes_supervised, check_constructible_aug_supervised, Supervisor,
+};
+use ccmm_core::sweep::SweepConfig;
+use ccmm_core::telemetry::{self, Counter};
+use ccmm_core::universe::Universe;
+use std::ops::ControlFlow;
+
+use crate::harness::HarnessConfig;
+
+/// What a fixpoint differential run saw.
+#[derive(Clone, Debug, Default)]
+pub struct FixpointReport {
+    /// Survivor pairs compared across the three engines.
+    pub pairs: u64,
+    /// Constructibility (model, verdict) comparisons.
+    pub verdicts: u64,
+    /// Human-readable disagreements, in discovery order.
+    pub mismatches: Vec<String>,
+}
+
+impl FixpointReport {
+    /// True iff every lane result matched its scalar twin.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Runs the fixpoint differential on the harness's bound, locations, and
+/// thread configuration.
+pub fn run_fixpoint(cfg: &HarnessConfig) -> FixpointReport {
+    let mut rep = FixpointReport::default();
+    let u = Universe::new(cfg.max_nodes, cfg.num_locations);
+    let sweep = &cfg.sweep;
+
+    // Survivor sets: scalar worklist vs lane fixpoint under both Stage-A
+    // kernels, compared pair by pair over the exhaustive universe.
+    let scalar = BoundedConstructible::compute_worklist(&Nn::default(), &u, sweep);
+    let lane = LaneConstructible::compute(&Nn::default(), &u, sweep);
+    let lane_scalar_kernel = LaneConstructible::compute_supervised(
+        &Nn::default(),
+        &u,
+        sweep,
+        &Supervisor::none(),
+        None,
+        None,
+        false,
+    )
+    .expect_complete("fixpoint differential (scalar kernel)");
+    for (what, a, b) in [
+        ("total_pairs", scalar.total_pairs(), lane.total_pairs()),
+        ("deleted", scalar.deleted, lane.deleted),
+        ("passes", scalar.passes, lane.passes),
+        ("kernel total_pairs", lane.total_pairs(), lane_scalar_kernel.total_pairs()),
+        ("kernel deleted", lane.deleted, lane_scalar_kernel.deleted),
+    ] {
+        if a != b {
+            rep.mismatches.push(format!("fixpoint {what}: scalar {a} vs lane {b}"));
+        }
+    }
+    for n in 0..=u.max_nodes {
+        let (a, b) = (scalar.pairs_of_size(n), lane.pairs_of_size(n));
+        if a != b {
+            rep.mismatches.push(format!("fixpoint pairs_of_size({n}): scalar {a} vs lane {b}"));
+        }
+    }
+    let _ = u.for_each_computation(|c| {
+        let _ = for_each_observer(c, |phi| {
+            let s = scalar.contains(c, phi);
+            let l = lane.contains(c, phi);
+            let k = lane_scalar_kernel.contains(c, phi);
+            telemetry::count(Counter::ConformanceChecks, 1);
+            rep.pairs += 1;
+            if s != l || l != k {
+                rep.mismatches.push(format!(
+                    "fixpoint survivor split (scalar {s}, lane {l}, scalar-kernel {k}) \
+                     on C={c:?} phi={phi:?}"
+                ));
+            }
+            ControlFlow::Continue(())
+        });
+        ControlFlow::Continue(())
+    });
+
+    // Constructibility verdicts: the canonical sweep one bound up (bound
+    // 5 under the default harness config), per model. The lane search
+    // must reproduce the scalar scan's witness exactly.
+    let up = Universe::new(cfg.max_nodes + 1, cfg.num_locations);
+    let canonical = SweepConfig { canonical: true, ..*sweep };
+    for m in &cfg.models {
+        let s = check_constructible_aug_supervised(m, &up, &canonical, &Supervisor::none())
+            .expect_complete("constructibility differential (scalar)");
+        let l = check_constructible_aug_lanes_supervised(m, &up, &canonical, &Supervisor::none())
+            .expect_complete("constructibility differential (lane)");
+        telemetry::count(Counter::ConformanceChecks, 1);
+        rep.verdicts += 1;
+        match (s, l) {
+            (None, None) => {}
+            (Some(s), Some(l)) => {
+                if s.c != l.c || s.phi != l.phi || s.extension != l.extension || s.op != l.op {
+                    rep.mismatches.push(format!(
+                        "constructibility witness split for {m}: scalar (C={:?}, phi={:?}, \
+                         op={:?}) vs lane (C={:?}, phi={:?}, op={:?})",
+                        s.c, s.phi, s.op, l.c, l.phi, l.op
+                    ));
+                }
+            }
+            (s, l) => rep.mismatches.push(format!(
+                "constructibility verdict split for {m}: scalar {} vs lane {}",
+                if s.is_some() { "dead end" } else { "constructible" },
+                if l.is_some() { "dead end" } else { "constructible" },
+            )),
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixpoint_differential_is_clean_at_bound_3() {
+        let cfg = HarnessConfig {
+            max_nodes: 3,
+            harvest: false,
+            lock_cases: 0,
+            random_cases: 0,
+            ..HarnessConfig::default()
+        };
+        let rep = run_fixpoint(&cfg);
+        for m in &rep.mismatches {
+            eprintln!("{m}");
+        }
+        assert!(rep.ok(), "{} fixpoint mismatches", rep.mismatches.len());
+        assert!(rep.pairs > 0 && rep.verdicts > 0);
+    }
+}

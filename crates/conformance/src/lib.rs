@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod fixpoint;
 pub mod harness;
 pub mod lanes;
 pub mod report;
 pub mod shrink;
 pub mod sources;
 
+pub use fixpoint::{run_fixpoint, FixpointReport};
 pub use harness::{
     mutated_fast, run, run_with, self_test, Disagreement, HarnessConfig, Report,
     ShrunkDisagreement, Source,

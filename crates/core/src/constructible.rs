@@ -21,6 +21,8 @@
 //! whether `fixpoint(NN) = LC` — the machine-checkable face of
 //! Theorem 23.
 
+pub mod lanes;
+
 use crate::computation::Computation;
 use crate::enumerate::for_each_observer;
 use crate::fault::{payload_string, FaultPlan};

@@ -125,20 +125,20 @@ pub(crate) struct Task {
     /// in `for_each_poset` order within a size). Canonical tasks keep
     /// their *labelled* global index, so smallest-index witness merging
     /// stays comparable with the labelled scan.
-    idx: usize,
+    pub(crate) idx: usize,
     /// Node count of the poset.
-    size: usize,
+    pub(crate) size: usize,
     /// Number of labelled posets in this poset's isomorphism class
     /// (1 in labelled mode).
-    weight: u64,
+    pub(crate) weight: u64,
     /// The poset's transitive-closure dag.
-    dag: Dag,
+    pub(crate) dag: Dag,
 }
 
 /// All tasks of the universe, in serial enumeration order. In canonical
 /// mode, only class representatives — weighted by orbit, keeping their
 /// labelled global indices.
-fn materialize(u: &Universe, canonical: bool) -> Vec<Task> {
+pub(crate) fn materialize(u: &Universe, canonical: bool) -> Vec<Task> {
     let mut tasks = Vec::new();
     let mut base = 0usize;
     for n in 0..=u.max_nodes {
@@ -159,14 +159,14 @@ fn materialize(u: &Universe, canonical: bool) -> Vec<Task> {
 /// Per-worker labelling state: one reusable [`Computation`] retargeted per
 /// task and relabelled per op labelling (zero allocation in the loop), the
 /// base-`k` digit counter, and the op buffer.
-struct LabelScratch {
+pub(crate) struct LabelScratch {
     c: Computation,
     digits: Vec<usize>,
     ops: Vec<Op>,
 }
 
 impl LabelScratch {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         LabelScratch { c: Computation::empty(), digits: Vec::new(), ops: Vec::new() }
     }
 }
@@ -238,7 +238,7 @@ fn location_canonical_weight(digits: &[usize], maps: &[Vec<usize>]) -> (bool, u6
 /// plus the labelling's universe multiplicity (poset orbit × location
 /// orbit; 1 in labelled mode). With more than one digit map, only
 /// location-canonical labellings are visited.
-fn for_each_labelling<F>(
+pub(crate) fn for_each_labelling<F>(
     alphabet: &[Op],
     maps: &[Vec<usize>],
     task: &Task,
@@ -284,7 +284,7 @@ where
 
 /// The digit maps a config asks for: the full `S_k` group in canonical
 /// mode, just the identity otherwise.
-fn maps_for(u: &Universe, cfg: &SweepConfig, alphabet: &[Op]) -> Vec<Vec<usize>> {
+pub(crate) fn maps_for(u: &Universe, cfg: &SweepConfig, alphabet: &[Op]) -> Vec<Vec<usize>> {
     if cfg.canonical {
         location_digit_maps(alphabet, u.num_locations)
     } else {

@@ -47,7 +47,10 @@ use super::{
 };
 use crate::ckpt::{get_u64, put_u64, CkptWriter};
 use crate::computation::Computation;
-use crate::enumerate::for_each_observer;
+use crate::constructible::lanes::block_empty;
+use crate::enumerate::{
+    for_each_observer, for_each_observer_node_major, location_major_index, node_major_shape,
+};
 use crate::fault::{payload_string, FaultPlan};
 use crate::model::{CheckScratch, LanePack, LaneScratch, MemoryModel};
 use crate::observer::ObserverFunction;
@@ -913,6 +916,134 @@ pub fn check_constructible_aug_supervised<M: MemoryModel + Sync>(
     )
 }
 
+/// Packs the membership verdicts of `c`'s observers, in node-major
+/// enumeration order, into a bit mask (bit `p` ⇔ `p`-th node-major
+/// observer is a member) via the lane kernel.
+fn lane_member_mask<M: MemoryModel + Sync>(
+    model: &M,
+    c: &Computation,
+    pack: &mut LanePack,
+    lscr: &mut LaneScratch,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    pack.prepare(c);
+    let flush = |pack: &mut LanePack, lscr: &mut LaneScratch, out: &mut Vec<u64>| {
+        let used = pack.used();
+        telemetry::count(Counter::LaneWords, 1);
+        telemetry::count(Counter::LaneSlots, u64::from(used.count_ones()));
+        out.push(model.contains_lanes(c, pack, lscr) & used);
+        pack.clear_lanes();
+    };
+    let _ = for_each_observer_node_major(c, |phi| {
+        pack.push_valid(c, phi);
+        if pack.is_full() {
+            flush(pack, lscr, out);
+        }
+        ControlFlow::Continue(())
+    });
+    if !pack.is_empty() {
+        flush(pack, lscr, out);
+    }
+}
+
+/// Lane-parallel [`check_constructible_aug_supervised`]: instead of
+/// probing `any_extension` per member observer, it packs each
+/// labelling's member verdicts and each augmentation's member verdicts
+/// into node-major masks, so one aligned block-emptiness test per
+/// `(member, op)` replaces the scalar candidate enumeration. The
+/// returned witness is **identical** to the scalar scan's: node-major
+/// failures are re-ranked by location-major observer index (the scalar
+/// enumeration order) and op position before the first one is chosen.
+pub fn check_constructible_aug_lanes_supervised<M: MemoryModel + Sync>(
+    model: &M,
+    u: &Universe,
+    cfg: &SweepConfig,
+    sup: &Supervisor,
+) -> Supervised<Option<ConstructibilityWitness>> {
+    let alphabet = u.alphabet();
+    let maps = maps_for(u, cfg, &alphabet);
+    let bounded = Universe { max_nodes: u.max_nodes.saturating_sub(1), ..*u };
+    search_supervised(
+        materialize(&bounded, cfg.canonical),
+        cfg,
+        sup,
+        || (LabelScratch::new(), LanePack::new(), LaneScratch::new()),
+        |task, xs, superseded| {
+            let (ls, pack, lscr) = xs;
+            let mut found = None;
+            let _ = for_each_labelling(&alphabet, &maps, task, ls, &mut |c, _| {
+                if superseded() {
+                    return ControlFlow::Break(());
+                }
+                let mut members = Vec::new();
+                lane_member_mask(model, c, pack, lscr, &mut members);
+                if members.iter().all(|&w| w == 0) {
+                    return ControlFlow::Continue(());
+                }
+                // Per op: the augmentation's member mask and its block
+                // size E — member bit p of `c` extends exactly into the
+                // block [p·E, (p+1)·E) of the augmentation's mask.
+                let augs: Vec<_> = alphabet
+                    .iter()
+                    .map(|&o| {
+                        let aug = c.augment(o);
+                        let (_, block) = node_major_shape(&aug);
+                        let mut mask = Vec::new();
+                        lane_member_mask(model, &aug, pack, lscr, &mut mask);
+                        (o, aug, mask, block)
+                    })
+                    .collect();
+                // For each member, the first op (alphabet order) whose
+                // extension block is empty — mirroring the scalar scan's
+                // inner op loop.
+                let mut failing: Vec<(u64, usize)> = Vec::new();
+                for (wi, &w) in members.iter().enumerate() {
+                    let mut w = w;
+                    while w != 0 {
+                        let p = (wi as u64) * 64 + u64::from(w.trailing_zeros());
+                        w &= w - 1;
+                        for (j, (_, _, mask, block)) in augs.iter().enumerate() {
+                            if block_empty(mask, p * block, *block) {
+                                failing.push((p, j));
+                                break;
+                            }
+                        }
+                    }
+                }
+                if failing.is_empty() {
+                    return ControlFlow::Continue(());
+                }
+                // Re-rank node-major failures into the scalar scan's
+                // (location-major observer, op) order and keep the first.
+                let mut best: Option<(u64, usize, ObserverFunction)> = None;
+                let mut p = 0u64;
+                let _ = for_each_observer_node_major(c, |phi| {
+                    if let Some(&(_, j)) = failing.iter().find(|&&(q, _)| q == p) {
+                        let rank =
+                            location_major_index(c, phi).expect("enumerated observer is valid");
+                        if best.as_ref().is_none_or(|(r, bj, _)| (rank, j) < (*r, *bj)) {
+                            best = Some((rank, j, phi.clone()));
+                        }
+                    }
+                    p += 1;
+                    ControlFlow::Continue(())
+                });
+                let (_, j, phi) = best.expect("failing set is non-empty");
+                let (o, aug, _, _) = &augs[j];
+                found = Some(ConstructibilityWitness {
+                    c: c.clone(),
+                    phi,
+                    extension: aug.clone(),
+                    op: *o,
+                });
+                ControlFlow::Break(())
+            });
+            found
+        },
+    )
+}
+
 // ---------------------------------------------------------------------
 // A ready-made checkpointable state: weighted membership counts
 // ---------------------------------------------------------------------
@@ -1582,6 +1713,52 @@ mod tests {
         assert_eq!(out.status, SweepStatus::Degraded);
         assert!(out.value.is_none(), "NN is complete at this bound");
         assert_eq!(out.quarantined.len(), 1);
+    }
+
+    #[test]
+    fn lane_constructibility_witness_matches_scalar() {
+        // NN first fails constructibility at the 5-node bound: both
+        // engines must return the *same* first witness (min task,
+        // labelling, location-major observer, op). Below the bound (and
+        // at two locations) both must agree there is none.
+        for &(b, l, fails) in &[(4usize, 1usize, false), (3, 2, false), (5, 1, true)] {
+            let u = Universe::new(b, l);
+            for cfg in [
+                SweepConfig::with_threads(1),
+                SweepConfig::with_threads(4),
+                SweepConfig { canonical: true, ..SweepConfig::with_threads(2) },
+            ] {
+                let scalar =
+                    check_constructible_aug_supervised(&Model::Nn, &u, &cfg, &Supervisor::none())
+                        .expect_complete("scalar constructibility");
+                let lane = check_constructible_aug_lanes_supervised(
+                    &Model::Nn,
+                    &u,
+                    &cfg,
+                    &Supervisor::none(),
+                )
+                .expect_complete("lane constructibility");
+                assert_eq!(scalar.is_some(), fails, "scalar at bound {b}, {l} locs");
+                match (scalar, lane) {
+                    (None, None) => {}
+                    (Some(s), Some(n)) => {
+                        assert_eq!(s.c, n.c);
+                        assert_eq!(s.phi, n.phi);
+                        assert_eq!(s.extension, n.extension);
+                        assert_eq!(s.op, n.op);
+                    }
+                    (s, n) => panic!("engines disagree: scalar {s:?} vs lane {n:?}"),
+                }
+            }
+        }
+        // Constructible models return no witness under either engine.
+        let u = Universe::new(3, 2);
+        let cfg = SweepConfig::with_threads(2);
+        for m in [Model::Sc, Model::Lc, Model::Ww] {
+            let lane = check_constructible_aug_lanes_supervised(&m, &u, &cfg, &Supervisor::none())
+                .expect_complete("lane constructibility");
+            assert!(lane.is_none(), "{m:?} is constructible");
+        }
     }
 
     #[test]

@@ -93,6 +93,17 @@ pub enum Counter {
     /// Lane kernels that aborted early because every valid lane was
     /// already dead (violation or infeasibility on all of them).
     LaneEarlyExits,
+    /// Survivor-mask words materialised or rescanned by the lane Δ*
+    /// fixpoint (Stage A mask words written plus cascade block words
+    /// examined). Deterministic: a pure function of the universe, the
+    /// model, and the bound.
+    LaneFixpointWords,
+    /// Survivor bits cleared by the lane fixpoint's masked deletions
+    /// (equals the scalar worklist's `deleted` total). Deterministic.
+    LaneDeletionsMasked,
+    /// Final survivor-set population (surviving (C, Φ) bits) reported
+    /// once when the lane fixpoint converges. Deterministic.
+    LaneSurvivorPop,
     /// Steal attempts made by idle workers of the threaded BACKER
     /// executor (one per deque/injector probe). Timing-dependent by
     /// nature — never part of any bit-identity check.
@@ -106,7 +117,7 @@ pub enum Counter {
 }
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 27;
+pub const NUM_COUNTERS: usize = 30;
 
 impl Counter {
     /// Every counter, in snapshot order.
@@ -136,6 +147,9 @@ impl Counter {
         Counter::LaneWords,
         Counter::LaneSlots,
         Counter::LaneEarlyExits,
+        Counter::LaneFixpointWords,
+        Counter::LaneDeletionsMasked,
+        Counter::LaneSurvivorPop,
         Counter::StealAttempts,
         Counter::PerturbInjected,
     ];
@@ -169,6 +183,9 @@ impl Counter {
             Counter::LaneWords => "lane_words",
             Counter::LaneSlots => "lane_slots",
             Counter::LaneEarlyExits => "lane_early_exits",
+            Counter::LaneFixpointWords => "lane_fixpoint_words",
+            Counter::LaneDeletionsMasked => "lane_deletions_masked",
+            Counter::LaneSurvivorPop => "lane_survivor_pop",
             Counter::StealAttempts => "steal_attempts",
             Counter::PerturbInjected => "perturb_injected",
         }

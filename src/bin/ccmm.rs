@@ -361,12 +361,13 @@ impl TelemetrySink {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<u8, String> {
+    use ccmm::core::constructible::lanes::{decode_masks_journal, LaneConstructible};
     use ccmm::core::constructible::BoundedConstructible;
     use ccmm::core::fault::FaultPlan;
     use ccmm::core::sweep::supervisor::{
-        check_constructible_aug_supervised, decode_counts_snapshot, lattice_lanes_supervised,
-        lattice_supervised, memberships_lanes_supervised, memberships_supervised, Supervisor,
-        SweepStatus,
+        check_constructible_aug_lanes_supervised, check_constructible_aug_supervised,
+        decode_counts_snapshot, lattice_lanes_supervised, lattice_supervised,
+        memberships_lanes_supervised, memberships_supervised, Supervisor, SweepStatus,
     };
     use ccmm::core::sweep::SweepConfig;
     use ccmm::core::universe::Universe;
@@ -439,14 +440,17 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
             .to_string());
     }
     if bound > 5 && !lane {
-        return Err("--bound > 5 is out of reach for the scalar engine (357 → 4824 posets); \
-                    use --canonical --engine lane64, which runs the memberships phase only"
-            .into());
+        return Err(format!(
+            "--bound {bound} is out of reach for the scalar engine, which supports all phases \
+             (memberships, lattice, fixpoint, constructibility) only up to --bound 5 \
+             (357 → 4824 posets); use --canonical --engine lane64, which runs every phase \
+             through --bound 6 and the memberships phase alone beyond"
+        ));
     }
-    // Beyond bound 5 only the lane-parallel memberships phase is within
-    // budget; the lattice (36 relation sweeps) and constructibility
-    // phases would multiply the cost by orders of magnitude.
-    let memberships_only = bound > 5;
+    // The lane engine's mask representation keeps the Δ* fixpoint and
+    // constructibility phases within budget through bound 6; beyond that
+    // only the lane-parallel memberships phase is.
+    let memberships_only = bound > 6;
     if ckpt_path.is_some() && resume_path.is_some() {
         return Err(
             "--ckpt starts a fresh journal and --resume continues one; pass only one".to_string()
@@ -665,8 +669,8 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
 
     if memberships_only {
         println!(
-            "bound {bound} runs the memberships phase only; the lattice and constructibility \
-             phases need bound ≤ 5"
+            "bound {bound} runs the memberships phase only; the lattice, fixpoint, and \
+             constructibility phases need bound ≤ 6 with --engine lane64 (≤ 5 scalar)"
         );
         tel.write()?;
         let path = emit(&records).map_err(|e| format!("writing bench json: {e}"))?;
@@ -736,45 +740,140 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
             .with_status(status_name(lat.status)),
     );
 
-    // Phase 3: constructibility. The NN Δ* worklist fixpoint (labelled by
+    // Phase 3: constructibility. The NN Δ* fixpoint (labelled by
     // necessity — survivor sets are keyed by concrete computations), then
-    // the one-step augmentation check for every model.
+    // the one-step augmentation check for every model. The lane engine
+    // runs the mask-based fixpoint, which checkpoints to its own journal
+    // (`<path>.fixpoint`) beside the memberships journal: the fingerprint
+    // is engine-free because the mask bits are identical either way, so a
+    // fixpoint journal written under one kernel resumes under the other.
     let t0 = Instant::now();
     let phase_span = ccmm::core::telemetry::span("sweep/fixpoint");
-    let fix =
-        BoundedConstructible::compute_worklist_supervised(&Nn::default(), &u, &cfg, &sup.fault);
-    drop(phase_span);
+    let fix_engine = if lane { "lane64" } else { "worklist" };
+    let (fix_pairs, fix_deleted, fix_passes, fix_status) = if lane {
+        let fix_fingerprint = format!("ccmm-fixpoint-v1 bound={bound} locs={locs} model=nn");
+        let journal_base = ckpt_path.as_deref().or(resume_path.as_deref());
+        let mut fix_writer: Option<ckpt::CkptWriter> = None;
+        let mut fix_resume = None;
+        let fix_journal = journal_base.map(|base| format!("{base}.fixpoint"));
+        if let Some(p) = &fix_journal {
+            let path = std::path::Path::new(p);
+            if resume_path.is_some() && path.exists() {
+                let loaded = ckpt::Checkpoint::load(path)
+                    .map_err(|e| format!("loading fixpoint checkpoint {p}: {e}"))?;
+                if loaded.fingerprint != fix_fingerprint {
+                    return Err(format!(
+                        "fixpoint checkpoint fingerprint mismatch: journal is `{}`, this run \
+                         is `{fix_fingerprint}`",
+                        loaded.fingerprint
+                    ));
+                }
+                fix_resume = Some(
+                    decode_masks_journal(&loaded)
+                        .ok_or_else(|| format!("corrupt fixpoint checkpoint in {p}"))?,
+                );
+                fix_writer = Some(
+                    ckpt::CkptWriter::append_to(path)
+                        .map_err(|e| format!("reopening fixpoint checkpoint {p}: {e}"))?,
+                );
+                if let Some((f, _)) = &fix_resume {
+                    println!("resuming fixpoint from {p}: {} task(s) already complete", f.len());
+                }
+            } else {
+                fix_writer = Some(
+                    ckpt::CkptWriter::create(path, &fix_fingerprint)
+                        .map_err(|e| format!("creating fixpoint checkpoint {p}: {e}"))?,
+                );
+            }
+        }
+        let out = LaneConstructible::compute_supervised(
+            &Nn::default(),
+            &u,
+            &cfg,
+            &sup,
+            fix_resume,
+            fix_writer.as_mut().map(|w| (w, ckpt_every)),
+            true,
+        );
+        drop(phase_span);
+        let wall = t0.elapsed();
+        tel.end_phase("fixpoint", wall);
+        if let Some(e) = &out.ckpt_error {
+            eprintln!("warning: fixpoint checkpoint journalling failed mid-sweep: {e}");
+        }
+        report_quarantine("fixpoint", &out.quarantined);
+        if out.status == SweepStatus::Killed {
+            let journal = fix_journal.as_deref().unwrap_or("<journal>");
+            println!(
+                "killed by fault plan after {} fixpoint checkpoint record(s); resume with \
+                 --resume {}",
+                fix_writer.as_ref().map_or(0, |w| w.snapshots()),
+                ckpt_path.as_deref().or(resume_path.as_deref()).unwrap_or(journal)
+            );
+            tel.write()?;
+            return Ok(exit::KILLED);
+        }
+        if out.status == SweepStatus::Partial {
+            println!(
+                "deadline hit during fixpoint: {}/{} task(s) complete; resume frontier: {:?}",
+                out.frontier.len(),
+                out.total_tasks,
+                out.frontier.ranges()
+            );
+            if let Some(path) = ckpt_path.as_deref().or(resume_path.as_deref()) {
+                println!("resume with --resume {path}");
+            }
+            let path = emit(&records).map_err(|e| format!("writing bench json: {e}"))?;
+            println!("recorded {} sweep record(s) to {path}", records.len());
+            tel.write()?;
+            return Ok(exit::PARTIAL);
+        }
+        (out.value.total_pairs(), out.value.deleted, out.value.passes, out.status)
+    } else {
+        let fix =
+            BoundedConstructible::compute_worklist_supervised(&Nn::default(), &u, &cfg, &sup.fault);
+        drop(phase_span);
+        let wall = t0.elapsed();
+        tel.end_phase("fixpoint", wall);
+        report_quarantine("fixpoint", &fix.quarantined);
+        let fix_status =
+            if fix.quarantined.is_empty() { SweepStatus::Complete } else { SweepStatus::Degraded };
+        (fix.total_pairs(), fix.deleted, fix.passes, fix_status)
+    };
     let wall = t0.elapsed();
-    tel.end_phase("fixpoint", wall);
-    report_quarantine("fixpoint", &fix.quarantined);
-    let fix_status =
-        if fix.quarantined.is_empty() { SweepStatus::Complete } else { SweepStatus::Degraded };
     worst = worst.max(fix_status);
     println!(
-        "NN* worklist fixpoint: {} surviving pairs, {} deleted, {} pass(es) [{:.2?}] ({})",
-        fix.total_pairs(),
-        fix.deleted,
-        fix.passes,
+        "NN* {} fixpoint: {} surviving pairs, {} deleted, {} pass(es) [{:.2?}] ({})",
+        fix_engine,
+        fix_pairs,
+        fix_deleted,
+        fix_passes,
         wall,
         status_name(fix_status)
     );
     records.push(
         SweepRecord::new(
             "cli_sweep/nnstar_worklist",
-            "worklist",
+            fix_engine,
             &u,
             cfg.threads,
             wall,
-            fix.total_pairs() as u64,
-            fix.passes,
+            fix_pairs as u64,
+            fix_passes,
         )
         .with_status(status_name(fix_status)),
     );
     let t0 = Instant::now();
     let phase_span = ccmm::core::telemetry::span("sweep/constructibility");
+    let mut cons_status = SweepStatus::Complete;
     for m in &models {
-        let check = check_constructible_aug_supervised(m, &u, &cfg, &sup);
+        let check = if lane {
+            check_constructible_aug_lanes_supervised(m, &u, &cfg, &sup)
+        } else {
+            check_constructible_aug_supervised(m, &u, &cfg, &sup)
+        };
         report_quarantine("constructibility", &check.quarantined);
+        cons_status = cons_status.max(check.status);
         worst = worst.max(check.status);
         match check.value {
             None => println!("  {:<4} constructible up to bound {bound}", m.name()),
@@ -790,8 +889,26 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
     let wall = t0.elapsed();
     tel.end_phase("constructibility", wall);
     println!("constructibility checks [{wall:.2?}]");
+    // The constructibility record's work unit is the fixed bounded-prefix
+    // scan size (computations at bound − 1 times models checked), so its
+    // pairs/sec is comparable across engines at the same config.
+    let cons_work = Universe::new(bound.saturating_sub(1), locs).count_computations_closed() as u64
+        * models.len() as u64;
+    records.push(
+        SweepRecord::new("cli_sweep/constructibility", engine, &u, cfg.threads, wall, cons_work, 0)
+            .with_status(status_name(cons_status)),
+    );
     tel.write()?;
 
+    // Phase baselines are read before this run's records are emitted —
+    // emitting first would make every gated run its own baseline.
+    let phase_baselines: Vec<_> =
+        [("cli_sweep/nnstar_worklist", fix_engine), ("cli_sweep/constructibility", engine)]
+            .into_iter()
+            .map(|(experiment, phase_engine)| {
+                (experiment, latest_matching(experiment, phase_engine, &u, cfg.threads))
+            })
+            .collect();
     let path = emit(&records).map_err(|e| format!("writing bench json: {e}"))?;
     println!("recorded {} sweep record(s) to {path}", records.len());
     if gate && worst == SweepStatus::Complete {
@@ -809,6 +926,30 @@ fn cmd_sweep(args: &[String]) -> Result<u8, String> {
                 b.pairs_per_sec
             );
             return Ok(exit::FAIL);
+        }
+        // The fixpoint and constructibility phases gate against their
+        // own same-engine, same-thread-count baselines when one exists
+        // (only the memberships baseline is a gate precondition, so the
+        // new phases phase in without invalidating older baselines).
+        for (experiment, b) in phase_baselines {
+            let Some(rec) = records.iter().find(|r| r.experiment == experiment) else {
+                continue;
+            };
+            let Some(b) = b else { continue };
+            println!(
+                "gate[{experiment}]: {:.0} pairs/sec vs baseline {:.0} (threshold {:.0})",
+                rec.pairs_per_sec,
+                b.pairs_per_sec,
+                b.pairs_per_sec / 2.0
+            );
+            if rec.pairs_per_sec < b.pairs_per_sec / 2.0 {
+                eprintln!(
+                    "perf gate FAILED: {experiment} at {:.0} pairs/sec is more than 2x below \
+                     the committed baseline {:.0}",
+                    rec.pairs_per_sec, b.pairs_per_sec
+                );
+                return Ok(exit::FAIL);
+            }
         }
     } else if gate {
         println!("gate: skipped — run was {} (only complete runs are gated)", status_name(worst));
@@ -890,6 +1031,12 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
     let t1 = std::time::Instant::now();
     let lanes = ccmm::conformance::run_lanes(&cfg);
     tel.end_phase("lane-differential", t1.elapsed());
+    // The fixpoint differential pins the lane Δ* engine (survivor masks,
+    // both Stage-A kernels) to the scalar worklist, and the lane
+    // constructibility search to the scalar scan one bound up.
+    let t2 = std::time::Instant::now();
+    let fix = ccmm::conformance::run_fixpoint(&cfg);
+    tel.end_phase("fixpoint-differential", t2.elapsed());
     tel.write()?;
     println!("{r}");
     println!(
@@ -901,6 +1048,15 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
     for m in lanes.mismatches.iter().take(8) {
         println!("  {m}");
     }
+    println!(
+        "fixpoint differential: {} survivor pairs, {} constructibility verdicts, {} mismatch(es)",
+        fix.pairs,
+        fix.verdicts,
+        fix.mismatches.len()
+    );
+    for m in fix.mismatches.iter().take(8) {
+        println!("  {m}");
+    }
     for (i, d) in r.disagreements.iter().enumerate() {
         println!();
         print!("{}", report::render_witness(d));
@@ -910,7 +1066,7 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
             println!("# written to {} and {}", litmus.display(), dot.display());
         }
     }
-    Ok(r.ok() && lanes.ok())
+    Ok(r.ok() && lanes.ok() && fix.ok())
 }
 
 fn cmd_stress(args: &[String]) -> Result<u8, String> {
@@ -1153,11 +1309,14 @@ USAGE:
                                            vs the same-engine baseline (exit 5
                                            when no baseline exists).
                                            --engine lane64 (with --canonical)
-                                           batches 64 observers per u64 word;
-                                           counts and witnesses stay
-                                           bit-identical to scalar, and it
-                                           lifts the bound to 6 (memberships
-                                           phase only beyond bound 5).
+                                           batches 64 observers per u64 word
+                                           and runs the Δ* fixpoint on lane
+                                           survivor masks; counts and
+                                           witnesses stay bit-identical to
+                                           scalar, and every phase runs
+                                           through bound 6 (memberships phase
+                                           only beyond; fixpoint journals to
+                                           <ckpt>.fixpoint).
                                            --deadline-secs stops after the
                                            budget (exit 4, resume frontier
                                            printed); --ckpt journals progress

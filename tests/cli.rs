@@ -127,6 +127,9 @@ fn conformance_smoke_passes_and_exits_zero() {
     assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     assert!(text.contains("all fast checkers agree"), "{text}");
     assert!(text.contains("exhaustive"), "{text}");
+    assert!(text.contains("lane differential:"), "{text}");
+    let fix = text.lines().find(|l| l.starts_with("fixpoint differential:")).expect(&text);
+    assert!(fix.contains("0 mismatch(es)"), "{fix}");
 }
 
 #[test]
@@ -203,7 +206,7 @@ fn sweep_injected_panic_degrades_but_completes() {
     assert!(text.contains("sweep status: degraded"), "{text}");
     // The sweep still ran to the end: all phases reported, records written.
     assert!(text.contains("NN* worklist fixpoint"), "{text}");
-    assert!(text.contains("recorded 3 sweep record(s)"), "{text}");
+    assert!(text.contains("recorded 4 sweep record(s)"), "{text}");
     let _ = std::fs::remove_file(&json);
 }
 
@@ -299,11 +302,55 @@ fn sweep_lane64_flag_validation() {
     let out = cmd.args(["--bound", "3", "--canonical", "--engine", "warp"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8(out.stderr).unwrap().contains("scalar | lane64"));
-    // Bound 6 stays out of reach for the scalar engine.
+    // Bound 6 stays out of reach for the scalar engine; the error names
+    // the phases each engine supports and points at the lane fixpoint.
     let (mut cmd, _) = sweep_cmd("lane-b6-scalar");
     let out = cmd.args(["--bound", "6", "--canonical"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8(out.stderr).unwrap().contains("--engine lane64"));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("memberships, lattice, fixpoint, constructibility"),
+        "the error must name the scalar engine's phases: {err}"
+    );
+    assert!(err.contains("up to --bound 5"), "{err}");
+    assert!(err.contains("--canonical --engine lane64"), "{err}");
+    assert!(err.contains("every phase through --bound 6"), "{err}");
+}
+
+#[test]
+fn sweep_lane64_fixpoint_matches_scalar_worklist() {
+    // The bound-4 Δ* fixpoint and constructibility verdicts must be
+    // bit-identical across engines — same survivors, deletions, passes.
+    let fixpoint_line = |text: &str| {
+        text.lines()
+            .find(|l| l.contains("fixpoint:"))
+            .map(|l| l.split_once("fixpoint:").unwrap().1.split('[').next().unwrap().to_string())
+            .expect("fixpoint line present")
+    };
+    let shape = ["--bound", "4", "--canonical", "--threads", "2"];
+    let (mut cmd, json1) = sweep_cmd("fix-scalar");
+    let scalar = cmd.args(shape).output().unwrap();
+    assert_eq!(scalar.status.code(), Some(0));
+    let scalar_text = String::from_utf8(scalar.stdout).unwrap();
+    assert!(scalar_text.contains("NN* worklist fixpoint:"), "{scalar_text}");
+
+    let (mut cmd, json2) = sweep_cmd("fix-lane");
+    let lane = cmd.args(shape).args(["--engine", "lane64"]).output().unwrap();
+    assert_eq!(lane.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&lane.stderr));
+    let lane_text = String::from_utf8(lane.stdout).unwrap();
+    assert!(lane_text.contains("NN* lane64 fixpoint:"), "{lane_text}");
+    assert_eq!(
+        fixpoint_line(&scalar_text),
+        fixpoint_line(&lane_text),
+        "lane64 fixpoint survivors/deleted/passes must be bit-identical to scalar"
+    );
+    let verdicts = |text: &str| -> Vec<String> {
+        text.lines().filter(|l| l.contains("constructible")).map(str::to_string).collect()
+    };
+    assert_eq!(verdicts(&scalar_text), verdicts(&lane_text));
+    for p in [&json1, &json2] {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 #[test]
@@ -369,7 +416,8 @@ fn sweep_lane64_kill_and_resume_round_trip_is_bit_identical() {
         clean_counts,
         "resumed lane64 counts must be bit-identical to the uninterrupted run"
     );
-    for p in [&ckpt, &json1, &json2, &json3] {
+    let fix = ckpt.with_extension("fixpoint");
+    for p in [&ckpt, &fix, &json1, &json2, &json3] {
         let _ = std::fs::remove_file(p);
     }
 }
