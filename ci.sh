@@ -46,8 +46,14 @@ echo "== robustness smoke: panic quarantine + kill/resume round trip =="
 # at a scratch file so they never pollute the committed baseline.
 if [[ "$fast" != "fast" ]]; then
     ccmm() { ./target/release/ccmm "$@"; }
+    ccmm_bin=./target/release/ccmm
 else
     ccmm() { cargo run -q --bin ccmm -- "$@"; }
+    # The serve smoke TERMs the daemon by pid, so it needs the real
+    # binary, not a shell function (killing the wrapper subshell would
+    # orphan the daemon instead of draining it).
+    cargo build -q --bin ccmm
+    ccmm_bin=./target/debug/ccmm
 fi
 scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
@@ -184,5 +190,78 @@ for t in 2 4; do
         || { echo "lane fixpoint counters drifted at $t threads"; exit 1; }
 done
 unset CCMM_BENCH_JSON
+
+echo "== serve smoke: faulted daemon, concurrent queries, graceful drain =="
+# 1. Self-test: an injected handler panic on request 0 must come back as
+#    a structured degraded reply, and the *same connection* must serve
+#    the next request normally.
+ccmm serve --self-test > "$scratch/serve-self.out"
+grep -q "caught: " "$scratch/serve-self.out"
+grep -q "same connection served normally" "$scratch/serve-self.out"
+
+# 2. Daemon under the chaos-soak fault plan: ~1 in 5 requests is
+#    panicked, dropped, truncated, or delayed. Clients retry transport
+#    faults; verdicts must still match every corpus expectation.
+"$ccmm_bin" serve --addr 127.0.0.1:0 --metrics "$scratch/serve-metrics.json" \
+    --fault "panic=1/13,drop=1/17,truncate=1/19,delay=1/29:1,seed=42" \
+    > "$scratch/serve.out" 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "^listening on " "$scratch/serve.out" 2>/dev/null && break
+    sleep 0.1
+done
+addr=$(sed -n 's/^listening on //p' "$scratch/serve.out")
+[[ -n "$addr" ]] || { echo "serve never reported its address"; exit 1; }
+
+# Fan the whole corpus out concurrently (one client per entry, plus a
+# ping client), then check each served verdict table against the
+# expectations the corpus file pins. A degraded reply (injected panic)
+# exits 3; the client never retries a verdict-bearing reply itself, so
+# the smoke re-asks — correctness says a re-ask can only ever produce
+# the one true verdict table, and ten panics in a row is ~13^-10.
+query_pids=()
+for f in corpus/*.litmus; do
+    stem="$scratch/$(basename "$f" .litmus)"
+    awk '/^---$/{s++; next} s==0' "$f" > "$stem.comp"
+    awk '/^---$/{s++; next} s==1' "$f" > "$stem.obs"
+    (
+        for _ in $(seq 1 10); do
+            ccmm query --addr "$addr" --retries 10 --models "$stem.comp" "$stem.obs" \
+                > "$stem.served" 2>/dev/null && exit 0
+            [[ $? == 3 ]] || exit 1  # only a degraded reply is re-asked
+        done
+        exit 1
+    ) &
+    query_pids+=($!)
+done
+ccmm query --addr "$addr" --ping --retries 10 > "$scratch/ping.out" 2>/dev/null &
+query_pids+=($!)
+for pid in "${query_pids[@]}"; do
+    wait "$pid" || { echo "a serve-smoke client failed"; exit 1; }
+done
+grep -qx "pong" "$scratch/ping.out"
+for f in corpus/*.litmus; do
+    stem="$scratch/$(basename "$f" .litmus)"
+    awk '/^---$/{s++; next} s==2 && NF && $0 !~ /^#/' "$f" > "$stem.want"
+    while read -r want; do
+        grep -qxF "$want" "$stem.served" \
+            || { echo "$f: served verdicts missing \"$want\""; \
+                 cat "$stem.served"; exit 1; }
+    done < "$stem.want"
+done
+
+# 3. SIGTERM → graceful drain: exit 0, stats printed, no leaked
+#    connections (a leak makes the daemon itself exit nonzero).
+kill -TERM "$serve_pid"
+rc=0; wait "$serve_pid" || rc=$?
+[[ "$rc" == 0 ]] || { echo "serve drain exited $rc"; cat "$scratch/serve.out"; exit 1; }
+grep -q "drain requested" "$scratch/serve.out"
+grep -q "drained: " "$scratch/serve.out"
+grep -q "connections: " "$scratch/serve.out"
+jq -e '.schema == "ccmm-metrics-v1"' "$scratch/serve-metrics.json" > /dev/null \
+    || { echo "serve metrics lost the v1 schema tag"; exit 1; }
+served=$(jq '[.phases[] | select(.name == "serve")
+              | .counters.serve_requests] | first' "$scratch/serve-metrics.json")
+[[ "$served" -gt 0 ]] || { echo "serve_requests counter is zero"; exit 1; }
 
 echo "CI OK"

@@ -33,6 +33,7 @@ pub mod fixpoint;
 pub mod harness;
 pub mod lanes;
 pub mod report;
+pub mod serve;
 pub mod shrink;
 pub mod sources;
 
@@ -42,4 +43,5 @@ pub use harness::{
     ShrunkDisagreement, Source,
 };
 pub use lanes::{run_lanes, LaneMismatch, LaneReport};
+pub use serve::{run_serve, ServeHarnessConfig, ServeReport};
 pub use shrink::{shrink, Shrunk};

@@ -1,0 +1,271 @@
+//! Differential testing of the serve pipeline: wire format → parse →
+//! cached handler vs direct `Model::contains`.
+//!
+//! The serve path adds four layers on top of the checkers — frame
+//! encoding, the request/reply text grammar, the canonical verdict
+//! cache, and the panic-quarantined handler — and each layer is a place
+//! a verdict could silently rot. This harness drives (C, Φ) pairs from
+//! the same three source shapes the main harness uses (exhaustive small
+//! universe, litmus/corpus shapes, seeded random) through the *full*
+//! pipeline: render the pair into a request payload, frame it, decode
+//! the frame, parse the request, handle it against the shared verdict
+//! cache, encode the reply, decode the reply, and compare every verdict
+//! line against a direct `Model::contains` call. Every pair is asked
+//! **twice** — the second ask must be answered by the cache and must
+//! carry bit-identical verdicts, which is the memoization-soundness
+//! claim (hash-consing to the canonical representative never changes an
+//! answer) tested end to end.
+
+use ccmm_core::fault::payload_string;
+use ccmm_core::serve::{
+    encode_frame, render_request, verdict_line, FrameDecoder, FrameEvent, Handler, Reply, Request,
+    Verb, VerdictCache, SERVED_MODELS,
+};
+use ccmm_core::universe::Universe;
+use ccmm_core::{enumerate, Computation, MemoryModel, ObserverFunction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use crate::sources;
+
+/// Configuration for [`run_serve`].
+#[derive(Clone, Debug)]
+pub struct ServeHarnessConfig {
+    /// Exhaustive universe node budget (0 skips the exhaustive source).
+    pub max_nodes: usize,
+    /// Locations in the exhaustive universe.
+    pub num_locations: usize,
+    /// Random pairs to draw.
+    pub random: usize,
+    /// Seed for the random source.
+    pub seed: u64,
+    /// Verdict-cache capacity — deliberately small by default so the
+    /// differential also exercises eviction + recompute.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeHarnessConfig {
+    fn default() -> Self {
+        ServeHarnessConfig {
+            max_nodes: 3,
+            num_locations: 1,
+            random: 64,
+            seed: 0xCC5E,
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// One serve-pipeline disagreement (kept small: the pair re-renders).
+#[derive(Debug, Clone)]
+pub struct ServeMismatch {
+    /// Which source produced the pair.
+    pub source: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+/// Tallies from [`run_serve`].
+#[derive(Debug, Default)]
+pub struct ServeReport {
+    /// Pairs driven through the pipeline.
+    pub pairs: u64,
+    /// Individual verdict comparisons (pairs × models × asks).
+    pub checks: u64,
+    /// Second asks answered by the cache.
+    pub cache_rechecks: u64,
+    /// Verdict or protocol disagreements (empty = conformant).
+    pub mismatches: Vec<ServeMismatch>,
+}
+
+impl ServeReport {
+    /// Whether the serve pipeline agreed everywhere.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Pushes one pair through frame → parse → handler → reply and compares
+/// against direct checks. Returns the reply's verdict body.
+fn drive_pair(
+    handler: &mut Handler,
+    c: &Computation,
+    phi: &ObserverFunction,
+    source: &'static str,
+    expect_cached: bool,
+    report: &mut ServeReport,
+) {
+    let payload = render_request(&Request {
+        verb: Verb::Models { c: c.clone(), phi: phi.clone() },
+        deadline_ms: None,
+    });
+    // Through the real wire format, chunked to stress reassembly.
+    let wire = encode_frame(payload.as_bytes());
+    let mut decoder = FrameDecoder::new();
+    let mid = wire.len() / 2;
+    decoder.push(&wire[..mid]);
+    decoder.push(&wire[mid..]);
+    let Some(FrameEvent::Frame(framed)) = decoder.next_event() else {
+        report.mismatches.push(ServeMismatch {
+            source,
+            detail: "frame did not survive encode → chunked decode".to_string(),
+        });
+        return;
+    };
+    let reply_wire = handler.handle(&framed, false).encode();
+    let reply = match Reply::decode(&reply_wire) {
+        Ok(r) => r,
+        Err(e) => {
+            report
+                .mismatches
+                .push(ServeMismatch { source, detail: format!("reply failed to decode: {e}") });
+            return;
+        }
+    };
+    let Reply::Ok { body, cached } = reply else {
+        report
+            .mismatches
+            .push(ServeMismatch { source, detail: format!("expected ok reply, got {reply:?}") });
+        return;
+    };
+    if expect_cached {
+        if cached {
+            report.cache_rechecks += 1;
+        } else {
+            report.mismatches.push(ServeMismatch {
+                source,
+                detail: "second ask of an identical pair was not fully cached".to_string(),
+            });
+        }
+    }
+    for (i, m) in SERVED_MODELS.iter().enumerate() {
+        report.checks += 1;
+        let want = verdict_line(*m, m.contains(c, phi));
+        match body.get(i) {
+            Some(got) if *got == want => {}
+            got => report.mismatches.push(ServeMismatch {
+                source,
+                detail: format!(
+                    "{} verdict drifted{}: served {:?}, direct check says {:?}",
+                    m.name(),
+                    if cached { " (cached)" } else { "" },
+                    got,
+                    want
+                ),
+            }),
+        }
+    }
+}
+
+/// Runs the serve-pipeline differential. Deterministic per config.
+pub fn run_serve(cfg: &ServeHarnessConfig) -> ServeReport {
+    let mut report = ServeReport::default();
+    let cache = Arc::new(VerdictCache::new(4, cfg.cache_capacity));
+    let mut handler = Handler::new(Arc::clone(&cache), None);
+    let mut drive = |c: &Computation,
+                     phi: &ObserverFunction,
+                     source: &'static str,
+                     report: &mut ServeReport| {
+        report.pairs += 1;
+        drive_pair(&mut handler, c, phi, source, false, report);
+        // Ask again: the cache must answer, identically.
+        drive_pair(&mut handler, c, phi, source, true, report);
+    };
+
+    // Source 1: exhaustive — every pair of the bounded universe.
+    if cfg.max_nodes > 0 {
+        let u = Universe::new(cfg.max_nodes, cfg.num_locations);
+        let _ = u.for_each_computation(|c| {
+            let _ = enumerate::for_each_observer(c, |phi| {
+                drive(c, phi, "exhaustive", &mut report);
+                ControlFlow::Continue(())
+            });
+            ControlFlow::Continue(())
+        });
+    }
+
+    // Source 2: the litmus corpus shapes (MP/SB/CoRR/IRIW and friends).
+    for t in ccmm_core::litmus::standard_tests() {
+        let phi = ObserverFunction::base(&t.computation);
+        drive(&t.computation, &phi, "litmus", &mut report);
+    }
+    for w in [
+        ccmm_core::witness::figure2(),
+        ccmm_core::witness::figure3(),
+        ccmm_core::witness::figure4_prefix(),
+    ] {
+        drive(&w.computation, &w.phi, "witness", &mut report);
+    }
+
+    // Source 3: seeded random pairs (larger, uncanonical shapes).
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _ in 0..cfg.random {
+        let c = sources::random_computation(&mut rng, 6, 2);
+        let phi = sources::random_observer(&mut rng, &c);
+        drive(&c, &phi, "random", &mut report);
+    }
+
+    // The cache's own books must balance exactly.
+    let s = cache.stats();
+    if s.hits + s.misses != report.pairs * 2 * SERVED_MODELS.len() as u64 {
+        report.mismatches.push(ServeMismatch {
+            source: "cache",
+            detail: format!(
+                "hits ({}) + misses ({}) != lookups ({})",
+                s.hits,
+                s.misses,
+                report.pairs * 2 * SERVED_MODELS.len() as u64
+            ),
+        });
+    }
+
+    // Finally: a request that panics must degrade without poisoning the
+    // handler for the pairs that follow (quarantine differential).
+    let quarantine_probe = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let ping = render_request(&Request { verb: Verb::Ping, deadline_ms: None });
+        let degraded = handler.handle(ping.as_bytes(), true);
+        let ok = handler.handle(ping.as_bytes(), false);
+        (degraded, ok)
+    }));
+    match quarantine_probe {
+        Ok((Reply::Degraded { .. }, Reply::Ok { .. })) => {}
+        Ok((d, o)) => report.mismatches.push(ServeMismatch {
+            source: "quarantine",
+            detail: format!("expected degraded-then-ok, got {d:?} then {o:?}"),
+        }),
+        Err(p) => report.mismatches.push(ServeMismatch {
+            source: "quarantine",
+            detail: format!("handler leaked a panic: {}", payload_string(p)),
+        }),
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_pipeline_agrees_with_direct_checks() {
+        let report = run_serve(&ServeHarnessConfig::default());
+        assert!(report.pairs > 50, "sources actually produced pairs: {}", report.pairs);
+        assert!(report.cache_rechecks > 0, "second asks hit the cache");
+        assert!(
+            report.ok(),
+            "serve pipeline disagreed {} time(s); first: {:?}",
+            report.mismatches.len(),
+            report.mismatches.first()
+        );
+    }
+
+    #[test]
+    fn run_serve_is_deterministic_per_seed() {
+        let cfg = ServeHarnessConfig { max_nodes: 2, random: 16, ..Default::default() };
+        let a = run_serve(&cfg);
+        let b = run_serve(&cfg);
+        assert_eq!((a.pairs, a.checks, a.cache_rechecks), (b.pairs, b.checks, b.cache_rechecks));
+        assert!(a.ok() && b.ok());
+    }
+}

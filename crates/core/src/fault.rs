@@ -31,6 +31,7 @@ const NONE: usize = usize::MAX;
 /// kill-after-ckpt=2        simulate a crash after 2 checkpoint records
 /// panic-at-fixpoint=3      panic the Δ* initial-pass check of computation 3
 /// panic-once-at-fixpoint=3 same, first attempt only
+/// io-error-at-record=2     fail the write of checkpoint record 2 with an I/O error
 /// panic-at-task=seeded     derive the task index from `seed` at resolve time
 /// seed=42                  the seed for seeded placements (default 0)
 /// ```
@@ -43,6 +44,7 @@ pub struct FaultPlan {
     kill_after_records: Option<usize>,
     panic_at_fixpoint: Option<usize>,
     panic_fixpoint_once: bool,
+    io_error_at_record: Option<usize>,
     seed: u64,
     resolved_task: AtomicUsize,
     task_fired: AtomicUsize,
@@ -99,6 +101,16 @@ impl FaultPlan {
         self
     }
 
+    /// Fail the write of checkpoint record `k` (1-based) with an
+    /// injected I/O error — the "disk full / permission lost mid-run"
+    /// shape. The supervisor maps the failure to a `Degraded`
+    /// completion, never a panic: the sweep's verdicts stay exact, only
+    /// resumability is lost.
+    pub fn io_error_at_record(mut self, k: usize) -> Self {
+        self.io_error_at_record = Some(k);
+        self
+    }
+
     /// Parses the comma-separated spec grammar (see the type docs).
     /// Errors name the 1-based entry that failed, so a long spec pasted
     /// into a CLI flag points at the offending clause, not just the
@@ -134,6 +146,7 @@ impl FaultPlan {
                     plan.delay_at_task = Some((parse(idx)?, parse(ms)? as u64));
                 }
                 "kill-after-ckpt" => plan.kill_after_records = Some(parse(value)?),
+                "io-error-at-record" => plan.io_error_at_record = Some(parse(value)?),
                 "panic-at-fixpoint" | "panic-once-at-fixpoint" => {
                     plan.panic_at_fixpoint = Some(parse(value)?);
                     plan.panic_fixpoint_once = key == "panic-once-at-fixpoint";
@@ -155,6 +168,7 @@ impl FaultPlan {
             && self.delay_at_task.is_none()
             && self.kill_after_records.is_none()
             && self.panic_at_fixpoint.is_none()
+            && self.io_error_at_record.is_none()
     }
 
     /// Resolves seeded placements against the actual task count. Called
@@ -216,6 +230,13 @@ impl FaultPlan {
     pub fn should_kill(&self, records_written: usize) -> bool {
         self.kill_after_records.is_some_and(|k| records_written >= k)
     }
+
+    /// Hook: consulted before writing checkpoint record `record_idx`
+    /// (1-based); true means the write must fail with an injected
+    /// [`std::io::Error`] instead of reaching the disk.
+    pub fn io_error_at(&self, record_idx: usize) -> bool {
+        self.io_error_at_record == Some(record_idx)
+    }
 }
 
 impl std::fmt::Display for FaultPlan {
@@ -243,6 +264,9 @@ impl std::fmt::Display for FaultPlan {
         }
         if let Some(k) = self.kill_after_records {
             entry(f, format!("kill-after-ckpt={k}"))?;
+        }
+        if let Some(k) = self.io_error_at_record {
+            entry(f, format!("io-error-at-record={k}"))?;
         }
         if let Some(i) = self.panic_at_fixpoint {
             let key = if self.panic_fixpoint_once {
@@ -429,6 +453,190 @@ impl std::fmt::Display for PerturbPlan {
     }
 }
 
+/// The faults a [`ServeFaultPlan`] injects into one request, resolved
+/// at admission from the request's global index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeFault {
+    /// Panic the handler (quarantined into a `degraded` reply).
+    pub panic: bool,
+    /// Close the connection without replying (client sees EOF).
+    pub drop_conn: bool,
+    /// Write only a prefix of the reply frame, then close (client sees
+    /// a torn frame).
+    pub truncate: bool,
+    /// Sleep this long before replying (0 = no delay).
+    pub delay_ms: u64,
+}
+
+/// A deterministic fault plan for the `ccmm serve` daemon — the
+/// request/response sibling of [`FaultPlan`] (batch sweeps) and
+/// [`PerturbPlan`] (executor schedules). Faults are named by *global
+/// request index* (the order the server admitted them), either exactly
+/// (`panic-at-request=7`) or at a seeded 1/K rate (`panic=1/13`); rate
+/// decisions hash `(seed, kind, index)` through splitmix64, so a spec
+/// string plus a request trace replays every injected fault exactly.
+///
+/// Spec grammar (comma-separated, same contract as
+/// [`FaultPlan::from_spec`]: entry-numbered errors, never panics,
+/// `from_spec ∘ to_string` is the identity):
+///
+/// ```text
+/// panic-at-request=N      panic the handler of request N (0-based)
+/// drop-at-request=N       close request N's connection without replying
+/// truncate-at-request=N   send request N a torn reply frame, then close
+/// delay-at-request=N:MS   sleep MS ms before replying to request N
+/// panic=1/K               panic where hash(seed,kind,idx) % K == 0
+/// drop=1/K                drop at the same seeded rate shape
+/// truncate=1/K            truncate at the seeded rate
+/// delay=1/K:MS            delay MS ms at the seeded rate
+/// seed=S                  the seed rate decisions derive from (default 0)
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    panic_at: Option<u64>,
+    drop_at: Option<u64>,
+    truncate_at: Option<u64>,
+    delay_at: Option<(u64, u64)>,
+    panic_den: u64,
+    drop_den: u64,
+    truncate_den: u64,
+    delay_den: u64,
+    delay_ms: u64,
+    seed: u64,
+}
+
+impl ServeFaultPlan {
+    /// The empty plan: every request is served faithfully.
+    pub fn none() -> Self {
+        ServeFaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        *self == ServeFaultPlan::none()
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Parses the spec grammar (see the type docs).
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut plan = ServeFaultPlan::none();
+        for (pos, entry) in spec
+            .split(',')
+            .map(str::trim)
+            .filter(|e| !e.is_empty())
+            .enumerate()
+            .map(|(i, e)| (i + 1, e))
+        {
+            let at = |msg: String| format!("serve fault spec entry {pos} (`{entry}`): {msg}");
+            let (key, value) = entry.split_once('=').ok_or_else(|| at("needs key=value".into()))?;
+            let num = |v: &str| -> Result<u64, String> {
+                v.parse().map_err(|_| at(format!("`{v}` is not a number")))
+            };
+            let ratio = |v: &str| -> Result<u64, String> {
+                let den = num(v
+                    .strip_prefix("1/")
+                    .ok_or_else(|| at(format!("`{v}` is not a 1/K ratio")))?)?;
+                if den == 0 {
+                    return Err(at("ratio denominator must be at least 1".into()));
+                }
+                Ok(den)
+            };
+            match key {
+                "panic-at-request" => plan.panic_at = Some(num(value)?),
+                "drop-at-request" => plan.drop_at = Some(num(value)?),
+                "truncate-at-request" => plan.truncate_at = Some(num(value)?),
+                "delay-at-request" => {
+                    let (idx, ms) =
+                        value.split_once(':').ok_or_else(|| at("needs request:millis".into()))?;
+                    plan.delay_at = Some((num(idx)?, num(ms)?));
+                }
+                "panic" => plan.panic_den = ratio(value)?,
+                "drop" => plan.drop_den = ratio(value)?,
+                "truncate" => plan.truncate_den = ratio(value)?,
+                "delay" => {
+                    let (r, ms) =
+                        value.split_once(':').ok_or_else(|| at("needs 1/K:millis".into()))?;
+                    plan.delay_den = ratio(r)?;
+                    plan.delay_ms = num(ms)?;
+                }
+                "seed" => plan.seed = num(value)?,
+                other => return Err(at(format!("unknown serve fault key `{other}`"))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The rate-decision hash: pure in `(seed, kind salt, request idx)`.
+    fn hits(&self, den: u64, salt: u64, idx: u64) -> bool {
+        den != 0
+            && splitmix64(self.seed ^ splitmix64(salt.wrapping_mul(0xA24B_AED4_963E_E407) ^ idx))
+                .is_multiple_of(den)
+    }
+
+    /// Resolves the faults to inject into request `idx` (the server's
+    /// global admission index). Pure: the same plan and index always
+    /// resolve to the same [`ServeFault`].
+    pub fn action(&self, idx: u64) -> ServeFault {
+        ServeFault {
+            panic: self.panic_at == Some(idx) || self.hits(self.panic_den, 1, idx),
+            drop_conn: self.drop_at == Some(idx) || self.hits(self.drop_den, 2, idx),
+            truncate: self.truncate_at == Some(idx) || self.hits(self.truncate_den, 3, idx),
+            delay_ms: if self.delay_at.is_some_and(|(i, _)| i == idx) {
+                self.delay_at.unwrap().1
+            } else if self.hits(self.delay_den, 4, idx) {
+                self.delay_ms
+            } else {
+                0
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ServeFaultPlan {
+    /// Canonical spec rendering; same identity contract as
+    /// [`FaultPlan`]'s `Display`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut sep = "";
+        let mut entry = |f: &mut std::fmt::Formatter<'_>, s: String| -> std::fmt::Result {
+            write!(f, "{sep}{s}")?;
+            sep = ",";
+            Ok(())
+        };
+        if let Some(i) = self.panic_at {
+            entry(f, format!("panic-at-request={i}"))?;
+        }
+        if let Some(i) = self.drop_at {
+            entry(f, format!("drop-at-request={i}"))?;
+        }
+        if let Some(i) = self.truncate_at {
+            entry(f, format!("truncate-at-request={i}"))?;
+        }
+        if let Some((i, ms)) = self.delay_at {
+            entry(f, format!("delay-at-request={i}:{ms}"))?;
+        }
+        if self.panic_den != 0 {
+            entry(f, format!("panic=1/{}", self.panic_den))?;
+        }
+        if self.drop_den != 0 {
+            entry(f, format!("drop=1/{}", self.drop_den))?;
+        }
+        if self.truncate_den != 0 {
+            entry(f, format!("truncate=1/{}", self.truncate_den))?;
+        }
+        if self.delay_den != 0 {
+            entry(f, format!("delay=1/{}:{}", self.delay_den, self.delay_ms))?;
+        }
+        if self.seed != 0 {
+            entry(f, format!("seed={}", self.seed))?;
+        }
+        Ok(())
+    }
+}
+
 /// splitmix64: the standard 64-bit mix, used to derive seeded fault
 /// positions deterministically.
 fn splitmix64(seed: u64) -> u64 {
@@ -556,6 +764,61 @@ mod tests {
             assert_eq!(none.spin_at(0, pos), 0);
             assert_eq!(none.steal_start(0, pos as u64, 4), 0);
         }
+    }
+
+    #[test]
+    fn io_error_arm_round_trips_and_fires_once() {
+        let plan = FaultPlan::from_spec("io-error-at-record=2").unwrap();
+        assert!(!plan.is_empty());
+        assert!(!plan.io_error_at(1));
+        assert!(plan.io_error_at(2));
+        assert!(!plan.io_error_at(3), "exactly record 2, not every record after");
+        assert_eq!(plan.to_string(), "io-error-at-record=2");
+        let again = FaultPlan::from_spec(&plan.to_string()).unwrap();
+        assert_eq!(again.to_string(), plan.to_string());
+        assert!(!FaultPlan::none().io_error_at(1));
+        assert!(FaultPlan::from_spec("io-error-at-record=x").is_err());
+    }
+
+    #[test]
+    fn serve_fault_plan_round_trips_and_is_deterministic() {
+        let spec = "panic-at-request=7,delay-at-request=2:25,panic=1/13,drop=1/17,\
+                    truncate=1/19,delay=1/29:5,seed=42";
+        let plan = ServeFaultPlan::from_spec(spec).unwrap();
+        assert!(!plan.is_empty());
+        assert_eq!(ServeFaultPlan::from_spec(&plan.to_string()).unwrap(), plan);
+        assert_eq!(plan.to_string(), spec.replace(char::is_whitespace, ""));
+        assert_eq!(ServeFaultPlan::from_spec("").unwrap(), ServeFaultPlan::none());
+        assert_eq!(ServeFaultPlan::none().to_string(), "");
+
+        // Exact placements fire at exactly their index.
+        assert!(plan.action(7).panic);
+        assert_eq!(plan.action(2).delay_ms, 25);
+        // Rate decisions are pure in (seed, kind, index)…
+        let twin = ServeFaultPlan::from_spec(spec).unwrap();
+        for idx in 0..512 {
+            assert_eq!(plan.action(idx), twin.action(idx));
+        }
+        // …actually fire somewhere at roughly the asked rate…
+        let fired = (0..512).filter(|&i| plan.action(i).drop_conn).count();
+        assert!(fired > 0 && fired < 128, "1/17 over 512 requests fired {fired} times");
+        // …and move when the seed does.
+        let other = ServeFaultPlan::from_spec(&spec.replace("seed=42", "seed=43")).unwrap();
+        assert!((0..512).any(|i| plan.action(i) != other.action(i)));
+        // The empty plan never injects.
+        assert_eq!(ServeFaultPlan::none().action(0), ServeFault::default());
+    }
+
+    #[test]
+    fn serve_fault_bad_specs_are_entry_numbered_errors() {
+        for bad in
+            ["panic=2", "panic=1/0", "delay=1/4", "delay-at-request=3", "zap=1", "panic-at-request"]
+        {
+            let err = ServeFaultPlan::from_spec(bad).unwrap_err();
+            assert!(err.contains("entry 1"), "`{bad}` → {err}");
+        }
+        let err = ServeFaultPlan::from_spec("seed=1,drop=1/x").unwrap_err();
+        assert!(err.contains("entry 2") && err.contains("drop=1/x"), "{err}");
     }
 
     #[test]

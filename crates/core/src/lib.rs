@@ -84,6 +84,7 @@ pub mod parse;
 pub mod procs;
 pub mod props;
 pub mod relation;
+pub mod serve;
 pub mod sweep;
 pub mod telemetry;
 pub mod trace;

@@ -238,16 +238,20 @@ impl<S> Supervised<S> {
     pub fn expect_complete(self, what: &str) -> S {
         match self.status {
             SweepStatus::Complete => self.value,
-            SweepStatus::Degraded => {
-                let q = &self.quarantined[0];
-                panic!(
+            SweepStatus::Degraded => match self.quarantined.first() {
+                Some(q) => panic!(
                     "{what}: sweep degraded — {} task(s) quarantined; first: task {} ({} nodes): {}",
                     self.quarantined.len(),
                     q.task_idx,
                     q.size,
                     q.payload
-                );
-            }
+                ),
+                // Degraded with nothing quarantined: journalling failed.
+                None => panic!(
+                    "{what}: sweep degraded — checkpoint journalling failed: {}",
+                    self.ckpt_error.as_deref().unwrap_or("unknown")
+                ),
+            },
             SweepStatus::Partial => panic!(
                 "{what}: sweep stopped early with {} of {} tasks done — use a supervised entry point to consume partial results",
                 self.frontier.len(),
@@ -409,7 +413,18 @@ where
                     if g.since_ckpt >= sink.every {
                         g.since_ckpt = 0;
                         let payload = (sink.encode)(&g.state, &g.frontier);
-                        match sink.writer.append(&payload) {
+                        // The fault plan can fail this record's write
+                        // (the "disk full mid-run" shape) without going
+                        // anywhere near the real file.
+                        let wrote = if fault.io_error_at(sink.writer.snapshots() + 1) {
+                            Err(std::io::Error::other(format!(
+                                "injected fault: io error at ckpt record {}",
+                                sink.writer.snapshots() + 1
+                            )))
+                        } else {
+                            sink.writer.append(&payload)
+                        };
+                        match wrote {
                             Ok(()) => {
                                 telemetry::count(Counter::CkptRecords, 1);
                                 if fault.should_kill(sink.writer.snapshots()) {
@@ -435,7 +450,10 @@ where
         SweepStatus::Killed
     } else if scanned < total_tasks {
         SweepStatus::Partial
-    } else if !sh.quarantined.is_empty() {
+    } else if !sh.quarantined.is_empty() || sh.ckpt_error.is_some() {
+        // A journalling failure degrades the run even when every task
+        // scanned cleanly: the verdicts are exact, but the promised
+        // resumability is gone, and exit codes must say so.
         SweepStatus::Degraded
     } else {
         SweepStatus::Complete

@@ -114,10 +114,38 @@ pub enum Counter {
     /// worker visits per run is scheduling-dependent, so this counter is
     /// in the timing-dependent class too.
     PerturbInjected,
+    /// Request payloads the serve handler received (every frame that
+    /// reached parsing, whatever its fate). Deterministic for a fixed
+    /// request stream.
+    ServeRequests,
+    /// Requests answered with an `ok` reply.
+    ServeServed,
+    /// Requests shed at admission with an `overloaded` reply.
+    /// Timing-dependent: depends on how requests overlap in flight.
+    ServeShed,
+    /// Requests whose handler panicked and was quarantined into a
+    /// `degraded` reply. Deterministic under a seeded `ServeFaultPlan`.
+    ServeDegraded,
+    /// Requests cut short by their deadline budget into a `partial`
+    /// reply. Timing-dependent (wall-clock budget).
+    ServeDeadlineExpired,
+    /// Request payloads rejected with a line-numbered `error` reply
+    /// (bad framing, bad UTF-8, parse failures).
+    ServeFrameErrors,
+    /// Verdict-cache lookups answered from the cache. Deterministic for
+    /// a fixed request order; `hits + misses` equals total lookups in
+    /// every schedule.
+    ServeCacheHits,
+    /// Verdict-cache lookups that recomputed via `contains_with`.
+    ServeCacheMisses,
+    /// Verdict-cache entries evicted to hold the capacity bound.
+    ServeCacheEvictions,
+    /// Connections the server accepted over its lifetime.
+    ServeConnections,
 }
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 30;
+pub const NUM_COUNTERS: usize = 40;
 
 impl Counter {
     /// Every counter, in snapshot order.
@@ -152,6 +180,16 @@ impl Counter {
         Counter::LaneSurvivorPop,
         Counter::StealAttempts,
         Counter::PerturbInjected,
+        Counter::ServeRequests,
+        Counter::ServeServed,
+        Counter::ServeShed,
+        Counter::ServeDegraded,
+        Counter::ServeDeadlineExpired,
+        Counter::ServeFrameErrors,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeCacheEvictions,
+        Counter::ServeConnections,
     ];
 
     /// The counter's stable snake_case name, used as its key in metrics
@@ -188,6 +226,16 @@ impl Counter {
             Counter::LaneSurvivorPop => "lane_survivor_pop",
             Counter::StealAttempts => "steal_attempts",
             Counter::PerturbInjected => "perturb_injected",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeServed => "serve_served",
+            Counter::ServeShed => "serve_shed",
+            Counter::ServeDegraded => "serve_degraded",
+            Counter::ServeDeadlineExpired => "serve_deadline_expired",
+            Counter::ServeFrameErrors => "serve_frame_errors",
+            Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeCacheMisses => "serve_cache_misses",
+            Counter::ServeCacheEvictions => "serve_cache_evictions",
+            Counter::ServeConnections => "serve_connections",
         }
     }
 }

@@ -10,6 +10,8 @@
 //! ccmm lattice [--nodes N]                         Figure 1 relation matrix
 //! ccmm sweep [--bound N] [--canonical] [--gate]    exhaustive verification
 //! ccmm conformance [--nodes N] [--self-test]       fast checkers vs oracles
+//! ccmm serve [--addr A] [--fault SPEC]             membership query daemon
+//! ccmm query --addr A --models <comp> <obs>        one query with retries
 //! ccmm dot <computation-file>                      Graphviz export
 //! ```
 //!
@@ -235,6 +237,12 @@ mod exit {
     pub const DEGRADED: u8 = 3;
     pub const PARTIAL: u8 = 4;
     pub const NO_BASELINE: u8 = 5;
+    /// `ccmm query`: retries exhausted against an overloaded or
+    /// draining server.
+    pub const OVERLOADED: u8 = 6;
+    /// `ccmm query`: no reply at all (connect/read failures on every
+    /// attempt).
+    pub const TRANSPORT: u8 = 7;
     pub const KILLED: u8 = 70;
 }
 
@@ -1037,6 +1045,19 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
     let t2 = std::time::Instant::now();
     let fix = ccmm::conformance::run_fixpoint(&cfg);
     tel.end_phase("fixpoint-differential", t2.elapsed());
+    // The serve differential drives the same pair sources through the
+    // full wire pipeline (frame → parse → cached handler → reply) and
+    // compares every verdict line against a direct check.
+    let t3 = std::time::Instant::now();
+    let srv_cfg = ccmm::conformance::ServeHarnessConfig {
+        max_nodes: cfg.max_nodes.min(3),
+        num_locations: cfg.num_locations,
+        random: cfg.random_cases.min(256),
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    let srv = ccmm::conformance::run_serve(&srv_cfg);
+    tel.end_phase("serve-differential", t3.elapsed());
     tel.write()?;
     println!("{r}");
     println!(
@@ -1057,6 +1078,16 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
     for m in fix.mismatches.iter().take(8) {
         println!("  {m}");
     }
+    println!(
+        "serve differential: {} pairs, {} verdicts, {} cache rechecks, {} mismatch(es)",
+        srv.pairs,
+        srv.checks,
+        srv.cache_rechecks,
+        srv.mismatches.len()
+    );
+    for m in srv.mismatches.iter().take(8) {
+        println!("  [{}] {}", m.source, m.detail);
+    }
     for (i, d) in r.disagreements.iter().enumerate() {
         println!();
         print!("{}", report::render_witness(d));
@@ -1066,7 +1097,7 @@ fn cmd_conformance(args: &[String]) -> Result<bool, String> {
             println!("# written to {} and {}", litmus.display(), dot.display());
         }
     }
-    Ok(r.ok() && lanes.ok() && fix.ok())
+    Ok(r.ok() && lanes.ok() && fix.ok() && srv.ok())
 }
 
 fn cmd_stress(args: &[String]) -> Result<u8, String> {
@@ -1278,6 +1309,294 @@ fn cmd_stress(args: &[String]) -> Result<u8, String> {
     })
 }
 
+/// Installs `handler` for `SIGTERM` and `SIGINT`. Raw `signal(2)` FFI —
+/// the workspace deliberately has no libc dependency, and setting an
+/// `AtomicBool` is async-signal-safe.
+#[cfg(unix)]
+fn install_drain_signals(handler: extern "C" fn(i32)) {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, handler as usize);
+        signal(SIGINT, handler as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_drain_signals(_handler: extern "C" fn(i32)) {}
+
+/// The drain flag the signal handler flips; the serve loop polls it.
+static DRAIN_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_drain_signal(_signum: i32) {
+    DRAIN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// In-process proof that panic quarantine works request-granular: fault
+/// request 0 into a handler panic, then show request 1 on the *same
+/// connection* is served normally.
+fn serve_self_test() -> Result<(), String> {
+    use ccmm::client::Connection;
+    use ccmm::core::fault::ServeFaultPlan;
+    use ccmm::core::serve::{render_request, Reply, Request, Verb};
+    use ccmm::serve::{spawn, ServeConfig};
+
+    println!("serve self-test: panic quarantine on request 0, same-connection recovery ...");
+    let cfg = ServeConfig {
+        fault: ServeFaultPlan::from_spec("panic-at-request=0")
+            .expect("self-test fault spec parses"),
+        ..ServeConfig::default()
+    };
+    let handle = spawn(cfg).map_err(|e| format!("binding self-test server: {e}"))?;
+    let ping = render_request(&Request { verb: Verb::Ping, deadline_ms: None });
+    let mut conn = Connection::connect(&handle.addr.to_string(), 2_000)
+        .map_err(|e| format!("self-test connect: {e}"))?;
+    let first =
+        conn.roundtrip(ping.as_bytes()).map_err(|e| format!("self-test round-trip 1: {e}"))?;
+    let Reply::Degraded { message } = first else {
+        return Err(format!("expected a degraded reply to the faulted request, got {first:?}"));
+    };
+    let second =
+        conn.roundtrip(ping.as_bytes()).map_err(|e| format!("self-test round-trip 2: {e}"))?;
+    if second != (Reply::Ok { body: vec!["pong".to_string()], cached: false }) {
+        return Err(format!("expected a normal pong after the quarantined panic, got {second:?}"));
+    }
+    drop(conn);
+    let stats = handle.shutdown();
+    if stats.connections_accepted != stats.connections_closed {
+        return Err(format!(
+            "connection leak: {} accepted, {} closed",
+            stats.connections_accepted, stats.connections_closed
+        ));
+    }
+    println!("caught: {message}");
+    println!("next request on the same connection served normally; drain leaked nothing");
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<u8, String> {
+    use ccmm::core::fault::ServeFaultPlan;
+    use ccmm::serve::{spawn, ServeConfig};
+    use std::time::Instant;
+
+    let mut cfg = ServeConfig::default();
+    let mut metrics_path: Option<String> = None;
+    let mut self_test = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = take("--addr")?,
+            "--max-inflight" => {
+                cfg.max_inflight =
+                    take("--max-inflight")?.parse().map_err(|_| "bad --max-inflight")?;
+            }
+            "--retry-after-ms" => {
+                cfg.retry_after_ms =
+                    take("--retry-after-ms")?.parse().map_err(|_| "bad --retry-after-ms")?;
+            }
+            "--deadline-ms" => {
+                cfg.deadline_ms =
+                    Some(take("--deadline-ms")?.parse().map_err(|_| "bad --deadline-ms")?);
+            }
+            "--cache-capacity" => {
+                cfg.cache_capacity =
+                    take("--cache-capacity")?.parse().map_err(|_| "bad --cache-capacity")?;
+            }
+            "--fault" => cfg.fault = ServeFaultPlan::from_spec(&take("--fault")?)?,
+            "--metrics" => metrics_path = Some(take("--metrics")?),
+            "--self-test" => self_test = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if self_test {
+        serve_self_test()?;
+        return Ok(exit::COMPLETE);
+    }
+
+    let mut tel = TelemetrySink::new("serve", None, metrics_path, false);
+    let t0 = Instant::now();
+    if !cfg.fault.is_empty() {
+        println!("fault plan: {} (seed {})", cfg.fault, cfg.fault.seed());
+    }
+    let handle = spawn(cfg).map_err(|e| format!("binding listener: {e}"))?;
+    // The line tests and scripts parse to find the port — keep it first
+    // and keep its shape.
+    println!("listening on {}", handle.addr);
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    install_drain_signals(on_drain_signal);
+    let stop = handle.stop_flag();
+    while !DRAIN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst)
+        && !stop.load(std::sync::atomic::Ordering::SeqCst)
+    {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    println!("drain requested: finishing in-flight requests ...");
+    let stats = handle.shutdown();
+    tel.end_phase("serve", t0.elapsed());
+    tel.write()?;
+    let hit_rate = if stats.cache_hits + stats.cache_misses > 0 {
+        stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64
+    } else {
+        0.0
+    };
+    println!(
+        "drained: {} request(s) — {} served, {} shed, {} degraded, {} deadline-expired, \
+         {} frame error(s), {} refused draining",
+        stats.requests,
+        stats.served,
+        stats.shed,
+        stats.degraded,
+        stats.deadline_expired,
+        stats.frame_errors,
+        stats.refused_draining
+    );
+    println!(
+        "cache: {} hit(s), {} miss(es), {} eviction(s), hit rate {hit_rate:.2}",
+        stats.cache_hits, stats.cache_misses, stats.cache_evictions
+    );
+    println!(
+        "connections: {} accepted, {} closed",
+        stats.connections_accepted, stats.connections_closed
+    );
+    if stats.connections_accepted != stats.connections_closed {
+        return Err(format!(
+            "connection leak after drain: {} accepted vs {} closed",
+            stats.connections_accepted, stats.connections_closed
+        ));
+    }
+    Ok(exit::COMPLETE)
+}
+
+fn cmd_query(args: &[String]) -> Result<u8, String> {
+    use ccmm::client::query_with_retries;
+    use ccmm::core::serve::{render_request, verdict_line, Reply, Request, Verb};
+
+    let mut addr: Option<String> = None;
+    let mut verb: Option<String> = None;
+    let mut model: Option<Model> = None;
+    let mut litmus_name: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut timeout_ms = 2_000u64;
+    let mut retries = 5u32;
+    let mut seed = 0u64;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => addr = Some(take("--addr")?),
+            "--ping" => verb = Some("ping".into()),
+            "--models" => verb = Some("models".into()),
+            "--model" => {
+                verb = Some("check".into());
+                model = Some(model_by_name(&take("--model")?)?);
+            }
+            "--litmus" => {
+                verb = Some("litmus".into());
+                litmus_name = Some(take("--litmus")?);
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(take("--deadline-ms")?.parse().map_err(|_| "bad --deadline-ms")?)
+            }
+            "--timeout-ms" => {
+                timeout_ms = take("--timeout-ms")?.parse().map_err(|_| "bad --timeout-ms")?
+            }
+            "--retries" => retries = take("--retries")?.parse().map_err(|_| "bad --retries")?,
+            "--seed" => seed = take("--seed")?.parse().map_err(|_| "bad --seed")?,
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let addr = addr.ok_or("usage: ccmm query --addr HOST:PORT (--ping | --model M <comp> <obs> | --models <comp> <obs> | --litmus NAME)")?;
+    let request = match verb.as_deref() {
+        Some("ping") => Request { verb: Verb::Ping, deadline_ms },
+        Some("litmus") => {
+            Request { verb: Verb::Litmus { name: litmus_name.unwrap() }, deadline_ms }
+        }
+        Some(v @ ("check" | "models")) => {
+            let [cpath, opath] = paths.as_slice() else {
+                return Err(format!("--{v} needs <computation> <observer> files"));
+            };
+            let (c, phi) = load_pair(cpath, opath)?;
+            let verb = if v == "check" {
+                Verb::Check { model: model.unwrap(), c, phi }
+            } else {
+                Verb::Models { c, phi }
+            };
+            Request { verb, deadline_ms }
+        }
+        _ => {
+            return Err("pick one of --ping, --model M, --models, --litmus NAME".into());
+        }
+    };
+    let payload = render_request(&request);
+    let out = query_with_retries(&addr, payload.as_bytes(), timeout_ms, retries, seed);
+    if out.attempts > 1 {
+        eprintln!(
+            "transport: {} attempt(s), {} error(s) along the way",
+            out.attempts,
+            out.transport_errors.len()
+        );
+    }
+    let Some(reply) = out.reply else {
+        let last = out.transport_errors.last().map(|e| e.to_string()).unwrap_or_default();
+        eprintln!("no reply after {} attempt(s): {last}", out.attempts);
+        return Ok(exit::TRANSPORT);
+    };
+    match reply {
+        Reply::Ok { body, cached } => {
+            for line in &body {
+                println!("{line}");
+            }
+            if cached {
+                eprintln!("(cached)");
+            }
+            // `--model` mirrors `ccmm check`: exit 1 on a non-member.
+            if let Verb::Check { model, .. } = &request.verb {
+                let member = body.first().is_some_and(|l| l == &verdict_line(*model, true));
+                return Ok(if member { exit::COMPLETE } else { exit::FAIL });
+            }
+            Ok(exit::COMPLETE)
+        }
+        Reply::Error { line, message } => {
+            eprintln!("request rejected at line {line}: {message}");
+            Err(format!("server rejected the request: line {line}: {message}"))
+        }
+        Reply::Degraded { message } => {
+            eprintln!("degraded: {message}");
+            Ok(exit::DEGRADED)
+        }
+        Reply::Partial { done, total, body } => {
+            for line in &body {
+                println!("{line}");
+            }
+            eprintln!("partial: deadline expired after {done}/{total} check(s)");
+            Ok(exit::PARTIAL)
+        }
+        Reply::Overloaded { retry_after_ms } => {
+            eprintln!(
+                "overloaded after {} attempt(s) (server hints retry-after {retry_after_ms} ms)",
+                out.attempts
+            );
+            Ok(exit::OVERLOADED)
+        }
+        Reply::ShuttingDown => {
+            eprintln!("server is draining; retries exhausted");
+            Ok(exit::OVERLOADED)
+        }
+    }
+}
+
 fn cmd_dot(args: &[String]) -> Result<(), String> {
     let [cpath] = args else {
         return Err("usage: ccmm dot <computation>".into());
@@ -1361,6 +1680,41 @@ USAGE:
                                            resume frontier (exit 4), --ckpt/
                                            --resume journals, --fault (exit 70
                                            killed)
+  ccmm serve [--addr A] [--max-inflight N] [--retry-after-ms MS]
+             [--deadline-ms MS] [--cache-capacity N] [--fault SPEC]
+             [--metrics FILE] [--self-test]
+                                           membership query daemon over a
+                                           framed TCP protocol. Prints
+                                           `listening on HOST:PORT` (\":0\"
+                                           picks a free port), serves until
+                                           SIGTERM/SIGINT, then drains: stops
+                                           accepting, finishes in-flight
+                                           requests, reports stats, exits 0.
+                                           Per-request panics become
+                                           `degraded` replies, deadline
+                                           expiry `partial`, load shedding
+                                           `overloaded` + retry-after hint.
+                                           Verdicts are memoized in a sharded
+                                           canonical cache (eviction never
+                                           changes an answer). --fault injects
+                                           deterministic request-level faults
+                                           (e.g. panic=1/13,drop=1/17,seed=42;
+                                           see also panic-at-request=N).
+                                           --self-test proves quarantine +
+                                           same-connection recovery in
+                                           process, then exits.
+  ccmm query --addr HOST:PORT (--ping | --model M <comp> <obs> |
+             --models <comp> <obs> | --litmus NAME)
+             [--deadline-ms MS] [--timeout-ms MS] [--retries K] [--seed S]
+                                           one query against a running serve
+                                           daemon, with timeouts and capped
+                                           exponential backoff + seeded
+                                           jitter on transport failures and
+                                           overload. Exit: 0 ok (member for
+                                           --model), 1 non-member, 3 degraded
+                                           reply, 4 partial reply, 6 retries
+                                           exhausted against overload/drain,
+                                           7 no reply at all
   ccmm dot <computation>                   Graphviz export
 
 Computation/observer files use the text format of ccmm_core::parse
@@ -1386,6 +1740,8 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(rest),
         "conformance" => cmd_conformance(rest).map(|ok| if ok { 0 } else { 1 }),
         "stress" => cmd_stress(rest),
+        "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest),
         "dot" => cmd_dot(rest).map(|()| 0),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

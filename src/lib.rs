@@ -23,4 +23,6 @@ pub use ccmm_conformance as conformance;
 pub use ccmm_core as core;
 pub use ccmm_dag as dag;
 
+pub mod client;
+pub mod serve;
 pub mod stress;

@@ -613,3 +613,166 @@ fn stress_mutated_run_reports_a_reproducible_failing_seed() {
     let rtrace: Vec<&str> = rtext.lines().skip_while(|l| !l.starts_with("shrunk trace")).collect();
     assert_eq!(trace, rtrace, "rerun from the printed seed must shrink to the same trace");
 }
+
+/// Spawns a `ccmm serve` child on an ephemeral port and parses the
+/// `listening on <addr>` line. Returns the child, the buffered stdout
+/// reader (positioned after the listening line), and the address.
+#[cfg(unix)]
+#[allow(clippy::zombie_processes)] // every caller kills or TERMs the child and then waits on it
+fn spawn_serve(
+    extra: &[&str],
+) -> (std::process::Child, std::io::BufReader<std::process::ChildStdout>, String) {
+    use std::io::BufRead;
+    let mut child = bin()
+        .arg("serve")
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut reader = std::io::BufReader::new(child.stdout.take().unwrap());
+    for _ in 0..10 {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "serve exited before listening");
+        if let Some(addr) = line.trim().strip_prefix("listening on ") {
+            return (child, reader, addr.to_string());
+        }
+    }
+    panic!("serve never printed its listening line");
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_round_trips_queries_then_drains_cleanly_on_sigterm() {
+    use std::io::Read as _;
+    let (mut child, mut reader, addr) = spawn_serve(&[]);
+    let c = write_temp("srv-c", "n0: W(0)\nn1: R(0) <- n0\n");
+    let member = write_temp("srv-m", "l0: n0 n0\n");
+    let stale = write_temp("srv-s", "l0: n0 _\n");
+
+    let ping = bin().args(["query", "--addr", &addr, "--ping"]).output().unwrap();
+    assert_eq!(ping.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&ping.stderr));
+    assert_eq!(String::from_utf8_lossy(&ping.stdout).trim(), "pong");
+
+    // `query --model` mirrors `ccmm check` exit codes over the wire.
+    let ok = bin()
+        .args(["query", "--addr", &addr, "--model", "sc"])
+        .arg(&c)
+        .arg(&member)
+        .output()
+        .unwrap();
+    assert_eq!(ok.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&ok.stdout).trim(), "SC: in");
+    let bad = bin()
+        .args(["query", "--addr", &addr, "--model", "ww"])
+        .arg(&c)
+        .arg(&stale)
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1));
+    assert_eq!(String::from_utf8_lossy(&bad.stdout).trim(), "WW: out");
+
+    // All six verdicts; a repeat of the same pair is answered by the cache.
+    let all =
+        bin().args(["query", "--addr", &addr, "--models"]).arg(&c).arg(&member).output().unwrap();
+    assert_eq!(all.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&all.stdout).to_string();
+    for m in ["SC", "LC", "NN", "NW", "WN", "WW"] {
+        assert!(text.contains(&format!("{m}: ")), "{text}");
+    }
+    let again =
+        bin().args(["query", "--addr", &addr, "--models"]).arg(&c).arg(&member).output().unwrap();
+    assert_eq!(again.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&again.stdout), text, "cached verdicts are bit-identical");
+    assert!(String::from_utf8_lossy(&again.stderr).contains("(cached)"));
+
+    let lit = bin().args(["query", "--addr", &addr, "--litmus", "MP"]).output().unwrap();
+    assert_eq!(lit.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&lit.stdout).contains("SC: "), "litmus outcome lines");
+
+    // SIGTERM → graceful drain: stats printed, exit 0, no leaked connections.
+    let term = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(term.success());
+    let status = child.wait().unwrap();
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    assert_eq!(status.code(), Some(0), "graceful drain exits 0: {rest}");
+    assert!(rest.contains("drain requested"), "{rest}");
+    assert!(rest.contains("drained: "), "{rest}");
+    assert!(rest.contains("cache: "), "{rest}");
+    let conns = rest.lines().find(|l| l.starts_with("connections: ")).expect(&rest);
+    assert!(conns.contains("accepted"), "{conns}");
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_metrics_extend_the_v1_schema() {
+    let metrics =
+        std::env::temp_dir().join(format!("ccmm-cli-serve-metrics-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&metrics);
+    let (mut child, mut reader, addr) = spawn_serve(&["--metrics", metrics.to_str().unwrap()]);
+    let ping = bin().args(["query", "--addr", &addr, "--ping"]).output().unwrap();
+    assert_eq!(ping.status.code(), Some(0));
+    std::process::Command::new("kill").args(["-TERM", &child.id().to_string()]).status().unwrap();
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+    use std::io::Read as _;
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+
+    // Same schema tag existing readers key on, plus the serve counters.
+    let m = std::fs::read_to_string(&metrics).unwrap();
+    assert!(m.contains("\"schema\":\"ccmm-metrics-v1\""), "{m}");
+    assert!(m.contains("\"name\":\"serve\""), "{m}");
+    for counter in ["serve_requests", "serve_served", "serve_connections"] {
+        assert!(m.contains(&format!("\"{counter}\":")), "missing {counter}: {m}");
+    }
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn serve_self_test_proves_request_granular_quarantine() {
+    let out = bin().args(["serve", "--self-test"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("caught: "), "{text}");
+    assert!(text.contains("injected fault"), "{text}");
+    assert!(text.contains("same connection served normally"), "{text}");
+}
+
+#[test]
+fn query_against_nothing_exits_with_the_transport_code() {
+    let out = bin()
+        .args(["query", "--addr", "127.0.0.1:1", "--ping", "--retries", "1", "--timeout-ms", "100"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(7), "dedicated exit code for no-reply-at-all");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no reply"), "names the failure");
+}
+
+#[test]
+fn sweep_ckpt_io_error_degrades_but_keeps_every_verdict() {
+    let ckpt = std::env::temp_dir().join(format!("ccmm-cli-ioerr-{}", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let (mut cmd, json) = sweep_cmd("ioerr");
+    let out = cmd
+        .args(["--bound", "3", "--canonical", "--ckpt-every", "1"])
+        .args(["--fault", "io-error-at-record=2", "--ckpt"])
+        .arg(&ckpt)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "ckpt I/O failure degrades, never crashes");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("checkpoint journalling failed"), "{err}");
+    assert!(err.contains("injected fault: io error at ckpt record 2"), "{err}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    // The sweep itself still ran to completion with full results.
+    assert_eq!(membership_counts(&text).len(), 6, "{text}");
+    assert!(text.contains("sweep status: degraded"), "{text}");
+    for p in [&ckpt, &json] {
+        let _ = std::fs::remove_file(p);
+    }
+}

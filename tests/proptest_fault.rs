@@ -10,7 +10,7 @@
 //!    multi-byte UTF-8, empty entries — must come back as an `Err`
 //!    naming the 1-based offending entry, never as a panic.
 
-use ccmm::core::fault::{FaultPlan, PerturbPlan};
+use ccmm::core::fault::{FaultPlan, PerturbPlan, ServeFaultPlan};
 use proptest::prelude::*;
 
 /// A syntactically valid `FaultPlan` spec entry.
@@ -24,6 +24,22 @@ fn arb_fault_entry() -> impl Strategy<Value = String> {
         (0usize..100).prop_map(|k| format!("kill-after-ckpt={k}")),
         (0usize..100).prop_map(|n| format!("panic-at-fixpoint={n}")),
         (0usize..100).prop_map(|n| format!("panic-once-at-fixpoint={n}")),
+        (1usize..100).prop_map(|k| format!("io-error-at-record={k}")),
+        any::<u64>().prop_map(|s| format!("seed={s}")),
+    ]
+}
+
+/// A syntactically valid `ServeFaultPlan` spec entry.
+fn arb_serve_entry() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0u64..1000).prop_map(|n| format!("panic-at-request={n}")),
+        (0u64..1000).prop_map(|n| format!("drop-at-request={n}")),
+        (0u64..1000).prop_map(|n| format!("truncate-at-request={n}")),
+        (0u64..1000, 0u64..50).prop_map(|(i, ms)| format!("delay-at-request={i}:{ms}")),
+        (1u64..64).prop_map(|k| format!("panic=1/{k}")),
+        (1u64..64).prop_map(|k| format!("drop=1/{k}")),
+        (1u64..64).prop_map(|k| format!("truncate=1/{k}")),
+        (1u64..64, 0u64..50).prop_map(|(k, ms)| format!("delay=1/{k}:{ms}")),
         any::<u64>().prop_map(|s| format!("seed={s}")),
     ]
 }
@@ -89,8 +105,29 @@ proptest! {
     }
 
     #[test]
+    fn serve_fault_spec_round_trips_through_display(
+        entries in proptest::collection::vec(arb_serve_entry(), 0..6)
+    ) {
+        let spec = entries.join(",");
+        let plan = ServeFaultPlan::from_spec(&spec).expect("generated spec parses");
+        let reparsed = ServeFaultPlan::from_spec(&plan.to_string())
+            .unwrap_or_else(|e| panic!("canonical form `{plan}` must re-parse: {e}"));
+        prop_assert_eq!(&plan, &reparsed);
+        // Fault resolution is pure in (plan, index): the reparsed plan
+        // injects byte-identical faults at every request index.
+        for idx in 0..64 {
+            prop_assert_eq!(plan.action(idx), reparsed.action(idx));
+        }
+    }
+
+    #[test]
     fn fault_spec_parsing_never_panics(text in arb_text(120)) {
         let _ = FaultPlan::from_spec(&text);
+    }
+
+    #[test]
+    fn serve_fault_spec_parsing_never_panics(text in arb_text(120)) {
+        let _ = ServeFaultPlan::from_spec(&text);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Property-based tests of the serve wire protocol. Three contracts:
+//!
+//! 1. **The decoder never panics and never loses sync.** Arbitrary
+//!    bytes, arbitrarily chunked, produce events without panicking;
+//!    well-formed frames survive any chunking byte-exactly; an
+//!    oversized length prefix is reported before its payload arrives
+//!    and the frame *after* the skipped payload decodes normally.
+//! 2. **The request/reply grammars are total.** `parse_request` on
+//!    arbitrary payloads returns line-numbered errors, never panics;
+//!    `render_request` ∘ `parse_request` is the identity on parsed
+//!    requests; `Reply::decode` ∘ `Reply::encode` is the identity.
+//! 3. **The handler is total.** Whatever bytes arrive in a frame, the
+//!    handler returns a structured reply — including near-miss requests
+//!    built from real grammar fragments.
+
+use ccmm::core::serve::{
+    encode_frame, parse_request, render_request, FrameDecoder, FrameEvent, Handler, Reply, Request,
+    Verb, VerdictCache, MAX_FRAME,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Splits `bytes` at the (sorted, deduped) cut points and feeds each
+/// piece to the decoder, draining events after every push.
+fn push_chunked(decoder: &mut FrameDecoder, bytes: &[u8], mut cuts: Vec<usize>) -> Vec<FrameEvent> {
+    cuts.iter_mut().for_each(|c| *c %= bytes.len().max(1));
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.push(bytes.len());
+    let mut events = Vec::new();
+    let mut at = 0;
+    for cut in cuts {
+        decoder.push(&bytes[at..cut]);
+        at = cut;
+        while let Some(e) = decoder.next_event() {
+            events.push(e);
+        }
+    }
+    events
+}
+
+/// Lines that look like the request grammar — real magic, real verbs,
+/// near-miss node/observer rows — so random compositions reach deep
+/// into `parse_request` instead of bouncing off the magic check.
+fn arb_request_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("ccmm-req-v1 ping".to_string()),
+        Just("ccmm-req-v1 models".to_string()),
+        Just("ccmm-req-v1 check SC".to_string()),
+        Just("ccmm-req-v1 litmus MP".to_string()),
+        Just("ccmm-req-v1 litmus".to_string()),
+        Just("ccmm-req-v1 bogus".to_string()),
+        (0u32..10).prop_map(|n| format!("ccmm-req-v1 ping deadline-ms={n}")),
+        Just("ccmm-req-v1 ping deadline-ms=x".to_string()),
+        (0u32..9, 0u32..3).prop_map(|(n, l)| format!("n{n}: W({l})")),
+        (0u32..9, 0u32..3).prop_map(|(n, l)| format!("n{n}: R({l}) <- n0")),
+        (0u32..9).prop_map(|n| format!("n{n}: Q(0)")),
+        Just("---".to_string()),
+        Just("--".to_string()),
+        (0u32..3).prop_map(|l| format!("l{l}: n0 n1")),
+        (0u32..3).prop_map(|l| format!("l{l}: n0 _ Ω")),
+        Just(String::new()),
+    ]
+}
+
+/// A newline-free reply body line (the vendored proptest has no regex
+/// string strategies, so map bytes over a charset by hand).
+fn arb_body_line() -> impl Strategy<Value = String> {
+    const CHARSET: [char; 20] = [
+        'S', 'C', 'L', 'N', 'W', ':', ' ', 'i', 'n', 'o', 'u', 't', '0', '7', '.', '_', '-', 'p',
+        'g', 'Ω',
+    ];
+    proptest::collection::vec(any::<u8>(), 1..24)
+        .prop_map(|bytes| bytes.into_iter().map(|b| CHARSET[b as usize % CHARSET.len()]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_chunked_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut d = FrameDecoder::new();
+        for e in push_chunked(&mut d, &bytes, cuts) {
+            // Any yielded frame fits the cap; anything larger must have
+            // been reported as oversized instead.
+            match e {
+                FrameEvent::Frame(p) => prop_assert!(p.len() <= MAX_FRAME),
+                FrameEvent::Oversized { len } => prop_assert!(len as usize > MAX_FRAME),
+            }
+        }
+    }
+
+    #[test]
+    fn well_formed_frames_survive_any_chunking(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 1..6),
+        cuts in proptest::collection::vec(any::<usize>(), 0..12),
+    ) {
+        let wire: Vec<u8> = payloads.iter().flat_map(|p| encode_frame(p)).collect();
+        let mut d = FrameDecoder::new();
+        let events = push_chunked(&mut d, &wire, cuts);
+        let decoded: Vec<Vec<u8>> = events
+            .into_iter()
+            .map(|e| match e {
+                FrameEvent::Frame(p) => p,
+                other => panic!("well-formed stream produced {other:?}"),
+            })
+            .collect();
+        prop_assert_eq!(decoded, payloads);
+        prop_assert!(d.is_idle(), "stream of whole frames leaves the decoder at a boundary");
+    }
+
+    #[test]
+    fn request_parsing_is_total_with_line_numbered_errors(
+        lines in proptest::collection::vec(arb_request_line(), 0..8),
+        raw in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Grammar-shaped text…
+        let text = lines.join("\n");
+        if let Err(e) = parse_request(text.as_bytes()) {
+            // Line 0 is payload-global; an empty payload still reports
+            // line 1 for the missing header.
+            prop_assert!(
+                e.line <= lines.len().max(1),
+                "line {} out of range: {}", e.line, e.message
+            );
+        }
+        // …and raw bytes (usually invalid UTF-8 somewhere).
+        let _ = parse_request(&raw);
+    }
+
+    #[test]
+    fn parsed_requests_render_back_to_themselves(
+        seed in any::<u64>(),
+        with_deadline in any::<bool>(),
+        deadline_ms in 0u64..1000,
+    ) {
+        let deadline = with_deadline.then_some(deadline_ms);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = ccmm::conformance::sources::random_computation(&mut rng, 6, 2);
+        let phi = ccmm::conformance::sources::random_observer(&mut rng, &c);
+        let req = Request { verb: Verb::Models { c, phi }, deadline_ms: deadline };
+        let text = render_request(&req);
+        let back = parse_request(text.as_bytes()).expect("rendered requests parse");
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(render_request(&back), text);
+    }
+
+    #[test]
+    fn replies_decode_back_to_themselves(
+        body in proptest::collection::vec(arb_body_line(), 1..5),
+        cached in any::<bool>(),
+        line in 0usize..100,
+        done in 0usize..7,
+        ms in 0u64..10_000,
+    ) {
+        let total = done + 1;
+        for reply in [
+            Reply::Ok { body: body.clone(), cached },
+            Reply::Error { line, message: body[0].clone() },
+            Reply::Degraded { message: body[0].clone() },
+            Reply::Partial { done, total, body: body.clone() },
+            Reply::Overloaded { retry_after_ms: ms },
+            Reply::ShuttingDown,
+        ] {
+            let back = Reply::decode(&reply.encode())
+                .unwrap_or_else(|e| panic!("encoded reply must decode: {e}"));
+            prop_assert_eq!(back, reply);
+        }
+    }
+
+    #[test]
+    fn handler_is_total_on_arbitrary_frame_contents(
+        lines in proptest::collection::vec(arb_request_line(), 0..8),
+        raw in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut h = Handler::new(Arc::new(VerdictCache::new(2, 16)), None);
+        // Every reply re-decodes: the handler never emits an unframable
+        // or unparsable reply, whatever came in.
+        for payload in [lines.join("\n").into_bytes(), raw] {
+            let reply = h.handle(&payload, false);
+            let back = Reply::decode(&reply.encode())
+                .unwrap_or_else(|e| panic!("handler reply must decode: {e}"));
+            prop_assert_eq!(back, reply);
+        }
+    }
+}
+
+proptest! {
+    // Each case pushes > MAX_FRAME junk bytes; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn oversized_prefix_skips_byte_exactly_and_resyncs(
+        extra in 1usize..4096,
+        junk_byte in any::<u8>(),
+        cut in any::<usize>(),
+    ) {
+        let len = MAX_FRAME + extra;
+        let mut wire = Vec::with_capacity(4 + len + 16);
+        wire.extend_from_slice(&(len as u32).to_le_bytes());
+        wire.resize(4 + len, junk_byte);
+        wire.extend_from_slice(&encode_frame(b"after the flood"));
+        let mut d = FrameDecoder::new();
+        let events = push_chunked(&mut d, &wire, vec![cut]);
+        prop_assert_eq!(
+            events,
+            vec![
+                FrameEvent::Oversized { len: len as u64 },
+                FrameEvent::Frame(b"after the flood".to_vec()),
+            ]
+        );
+        prop_assert!(d.is_idle());
+    }
+}

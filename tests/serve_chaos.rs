@@ -1,0 +1,309 @@
+//! Chaos soak of the serve daemon: concurrent clients vs an injected
+//! fault plan, with direct model checks as the oracle.
+//!
+//! The server runs under `panic=1/13,drop=1/17,truncate=1/19,
+//! delay=1/29:1,seed=42` — roughly one in five requests is sabotaged
+//! somewhere between handling and the client. Four client threads fire
+//! 250 queries each (1000+ including retries) from a fixed pair pool
+//! whose verdicts are computed up front with `Model::contains`. The
+//! invariants, checked at the end:
+//!
+//! * **Zero wrong verdicts.** Every `ok` reply's body is bit-identical
+//!   to the direct checks — panics, drops, torn frames, delays, cache
+//!   hits and evictions may cost retries, never correctness.
+//! * **Zero crashes.** Injected handler panics come back as structured
+//!   `degraded` replies; the server outlives all of them.
+//! * **Zero leaked connections.** After the drain, every accepted
+//!   connection has been closed.
+//!
+//! The fault plan is deterministic per request index and the client
+//! schedule per (thread, iteration), so a failure replays from the
+//! printed seed with the same fault placements.
+
+use ccmm::client::{query_with_retries, Connection};
+use ccmm::core::fault::ServeFaultPlan;
+use ccmm::core::serve::{mix64, render_request, verdict_line, Reply, Request, Verb, SERVED_MODELS};
+use ccmm::core::{litmus, MemoryModel, ObserverFunction};
+use ccmm::serve::{spawn, ServeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FAULT_SPEC: &str = "panic=1/13,drop=1/17,truncate=1/19,delay=1/29:1,seed=42";
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 250;
+
+/// A query payload plus the oracle's expected verdict body.
+struct Probe {
+    payload: Vec<u8>,
+    expected: Vec<String>,
+}
+
+/// The pair pool: every standard litmus computation with its base
+/// observer, plus seeded random pairs — small enough that the
+/// 64-entry cache keeps evicting under load.
+fn probes(seed: u64) -> Vec<Probe> {
+    let mut pairs: Vec<(ccmm::core::Computation, ObserverFunction)> = litmus::standard_tests()
+        .into_iter()
+        .map(|t| {
+            let phi = ObserverFunction::base(&t.computation);
+            (t.computation, phi)
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..12 {
+        let c = ccmm::conformance::sources::random_computation(&mut rng, 6, 2);
+        let phi = ccmm::conformance::sources::random_observer(&mut rng, &c);
+        pairs.push((c, phi));
+    }
+    pairs
+        .into_iter()
+        .map(|(c, phi)| {
+            let expected =
+                SERVED_MODELS.iter().map(|m| verdict_line(*m, m.contains(&c, &phi))).collect();
+            let payload =
+                render_request(&Request { verb: Verb::Models { c, phi }, deadline_ms: None })
+                    .into_bytes();
+            Probe { payload, expected }
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_soak_serves_only_correct_verdicts_and_leaks_nothing() {
+    let seed = 42u64;
+    println!("chaos soak: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests, fault plan {FAULT_SPEC} (seed {seed})");
+    let cfg = ServeConfig {
+        fault: ServeFaultPlan::from_spec(FAULT_SPEC).expect("soak fault spec parses"),
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let handle = spawn(cfg).expect("bind soak server");
+    let addr = handle.addr.to_string();
+    let pool = probes(seed);
+
+    struct Tally {
+        verdicts: u64,
+        degraded: u64,
+        no_reply: u64,
+        wrong: Vec<String>,
+    }
+    let tallies: Vec<Tally> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|tid| {
+                let addr = &addr;
+                let pool = &pool;
+                s.spawn(move || {
+                    let mut t =
+                        Tally { verdicts: 0, degraded: 0, no_reply: 0, wrong: Vec::new() };
+                    for i in 0..REQUESTS_PER_CLIENT {
+                        let k = mix64(seed ^ ((tid as u64) << 32) ^ i as u64);
+                        let probe = &pool[(k % pool.len() as u64) as usize];
+                        let out = query_with_retries(addr, &probe.payload, 2_000, 8, k);
+                        match out.reply {
+                            Some(Reply::Ok { body, .. }) => {
+                                t.verdicts += 1;
+                                if body != probe.expected {
+                                    t.wrong.push(format!(
+                                        "client {tid} request {i}: served {body:?}, oracle says {:?}",
+                                        probe.expected
+                                    ));
+                                }
+                            }
+                            // An injected handler panic surfaced as a
+                            // structured reply: fine, and counted so the
+                            // test proves the fault plan actually fired.
+                            Some(Reply::Degraded { .. }) => t.degraded += 1,
+                            Some(other) => t.wrong.push(format!(
+                                "client {tid} request {i}: unexpected reply {other:?}"
+                            )),
+                            None => t.no_reply += 1,
+                        }
+                    }
+                    t
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+
+    let stats = handle.shutdown();
+    let verdicts: u64 = tallies.iter().map(|t| t.verdicts).sum();
+    let degraded: u64 = tallies.iter().map(|t| t.degraded).sum();
+    let no_reply: u64 = tallies.iter().map(|t| t.no_reply).sum();
+    let wrong: Vec<&String> = tallies.iter().flat_map(|t| &t.wrong).collect();
+    println!(
+        "soak: {} server-side requests, {verdicts} verdict replies, {degraded} degraded, \
+         {no_reply} gave up; cache {}/{} hit/miss, {} evictions",
+        stats.requests, stats.cache_hits, stats.cache_misses, stats.cache_evictions
+    );
+
+    assert!(wrong.is_empty(), "{} wrong verdict(s); first: {}", wrong.len(), wrong[0]);
+    assert_eq!(
+        verdicts + degraded + no_reply,
+        (CLIENTS * REQUESTS_PER_CLIENT) as u64,
+        "every client request is accounted for"
+    );
+    assert!(
+        stats.requests >= (CLIENTS * REQUESTS_PER_CLIENT) as u64,
+        "retries on dropped/torn replies mean the server sees at least the client total, got {}",
+        stats.requests
+    );
+    // The plan really fired: ~1/13 of served requests panic.
+    assert!(degraded > 0, "injected panics must surface as degraded replies");
+    assert!(stats.degraded >= degraded, "server counted its quarantined panics");
+    // Eight retries against ~1/17 + ~1/19 transport faults: giving up
+    // entirely should be essentially impossible.
+    assert_eq!(no_reply, 0, "a client exhausted its retries");
+    assert_eq!(
+        stats.connections_accepted, stats.connections_closed,
+        "no leaked connections after drain"
+    );
+    assert_eq!(stats.refused_draining, 0, "no request raced the drain in this schedule");
+}
+
+/// EXPERIMENTS.md E21: hot-vs-cold verdict-cache latency over the wire
+/// for the four classic litmus shapes. Ignored by default (it is a
+/// measurement, not an invariant); reproduce with
+/// `cargo test --release --test serve_chaos -- --ignored e21`.
+#[test]
+#[ignore = "latency measurement for EXPERIMENTS.md E21, not a pass/fail invariant"]
+fn e21_hot_vs_cold_cache_latency() {
+    let handle = spawn(ServeConfig::default()).expect("bind");
+    let mut conn = Connection::connect(&handle.addr.to_string(), 5_000).expect("connect");
+    let shapes: Vec<(&str, ccmm::core::Computation)> = [
+        ("MP", litmus::message_passing()),
+        ("SB", litmus::store_buffering()),
+        ("CoRR", litmus::coherence_rr()),
+        ("IRIW", litmus::iriw()),
+    ]
+    .into_iter()
+    .map(|(name, t)| (name, t.computation))
+    .collect();
+    println!("shape  cold_us  hot_median_us  hot_mean_us  (1000 hot asks each)");
+    for (name, c) in shapes {
+        let phi = ObserverFunction::base(&c);
+        let payload = render_request(&Request { verb: Verb::Models { c, phi }, deadline_ms: None })
+            .into_bytes();
+        let t0 = std::time::Instant::now();
+        let cold = conn.roundtrip(&payload).expect("cold ask");
+        let cold_us = t0.elapsed().as_micros();
+        assert!(matches!(cold, Reply::Ok { cached: false, .. }), "first ask misses");
+        let mut hot_us: Vec<u128> = (0..1000)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                let r = conn.roundtrip(&payload).expect("hot ask");
+                assert!(matches!(r, Reply::Ok { cached: true, .. }), "repeat asks hit");
+                t.elapsed().as_micros()
+            })
+            .collect();
+        hot_us.sort_unstable();
+        let median = hot_us[hot_us.len() / 2];
+        let mean = hot_us.iter().sum::<u128>() / hot_us.len() as u128;
+        println!("{name:<6} {cold_us:>7} {median:>13} {mean:>11}");
+    }
+    drop(conn);
+    let stats = handle.shutdown();
+    assert_eq!(stats.connections_accepted, stats.connections_closed);
+}
+
+/// The same soak invariant, single-connection edition: a panic on one
+/// request must not poison the connection for the next — no reconnect,
+/// same TCP stream.
+#[test]
+fn injected_panics_stay_request_granular_on_one_connection() {
+    let cfg = ServeConfig {
+        fault: ServeFaultPlan::from_spec("panic=1/3,seed=7").expect("spec parses"),
+        ..ServeConfig::default()
+    };
+    let handle = spawn(cfg).expect("bind");
+    let mut conn = Connection::connect(&handle.addr.to_string(), 2_000).expect("connect");
+    let ping = render_request(&Request { verb: Verb::Ping, deadline_ms: None });
+    let (mut oks, mut degraded) = (0, 0);
+    for i in 0..30 {
+        match conn.roundtrip(ping.as_bytes()) {
+            Ok(Reply::Ok { body, .. }) => {
+                assert_eq!(body, vec!["pong".to_string()], "request {i}");
+                oks += 1;
+            }
+            Ok(Reply::Degraded { message }) => {
+                assert!(message.contains("injected"), "request {i}: {message}");
+                degraded += 1;
+            }
+            other => panic!("request {i}: unexpected outcome {other:?}"),
+        }
+    }
+    drop(conn);
+    let stats = handle.shutdown();
+    assert!(oks > 0 && degraded > 0, "both outcomes occur at 1/3: {oks} ok, {degraded} degraded");
+    assert_eq!(oks + degraded, 30, "every request got a structured reply");
+    assert_eq!(stats.connections_accepted, 1, "one connection served all 30 requests");
+    assert_eq!(stats.connections_closed, 1);
+}
+
+/// Overload shedding is deterministic in what it promises: a shed
+/// request gets the configured retry-after hint, and a client that
+/// respects it eventually lands.
+#[test]
+fn overloaded_replies_carry_the_configured_hint_and_clear() {
+    let cfg = ServeConfig {
+        max_inflight: 1,
+        retry_after_ms: 35,
+        deadline_ms: None,
+        ..ServeConfig::default()
+    };
+    let handle = spawn(cfg).expect("bind");
+    let addr = handle.addr.to_string();
+    // Hold the single slot with a slow litmus query from one thread
+    // while another pings: some pings are shed with the exact hint.
+    let shed_hints: Vec<u64> = std::thread::scope(|s| {
+        let blocker = s.spawn({
+            let addr = addr.clone();
+            move || {
+                let lit = render_request(&Request {
+                    verb: Verb::Litmus { name: "IRIW".to_string() },
+                    deadline_ms: None,
+                });
+                let mut conn = Connection::connect(&addr, 5_000).expect("connect");
+                for _ in 0..40 {
+                    conn.roundtrip(lit.as_bytes()).expect("litmus round-trip");
+                }
+            }
+        });
+        let prober = s.spawn({
+            let addr = addr.clone();
+            move || {
+                let ping = render_request(&Request { verb: Verb::Ping, deadline_ms: None });
+                let mut hints = Vec::new();
+                for _ in 0..200 {
+                    let mut conn = Connection::connect(&addr, 2_000).expect("connect");
+                    if let Ok(Reply::Overloaded { retry_after_ms }) =
+                        conn.roundtrip(ping.as_bytes())
+                    {
+                        hints.push(retry_after_ms);
+                    }
+                }
+                hints
+            }
+        });
+        blocker.join().expect("blocker");
+        prober.join().expect("prober")
+    });
+    // With the slot held by back-to-back litmus checks, rapid-fire pings
+    // must have been shed at least once — and always with the hint.
+    assert!(!shed_hints.is_empty(), "admission control never fired");
+    assert!(
+        shed_hints.iter().all(|&h| h == 35),
+        "hint is the configured retry-after: {shed_hints:?}"
+    );
+    // And a patient client still gets through afterwards.
+    let ping = render_request(&Request { verb: Verb::Ping, deadline_ms: None });
+    let out = query_with_retries(&addr, ping.as_bytes(), 2_000, 8, 1);
+    assert!(
+        matches!(out.reply, Some(Reply::Ok { .. })),
+        "post-contention ping must land: {:?}",
+        out.reply
+    );
+    let stats = handle.shutdown();
+    assert_eq!(stats.connections_accepted, stats.connections_closed);
+    assert!(stats.shed >= shed_hints.len() as u64);
+}

@@ -103,6 +103,43 @@ fn quarantined_panic_preserves_other_witnesses_at_bound_4() {
 }
 
 #[test]
+fn ckpt_io_error_degrades_without_losing_any_verdicts() {
+    // Fail the write of journal record 2: the sweep must keep scanning,
+    // deliver verdicts bit-identical to a clean run, and complete
+    // Degraded (not Complete — resumability is gone; not a panic).
+    let u = Universe::new(4, 1);
+    let clean = memberships_supervised(
+        &MODELS,
+        &u,
+        &SweepConfig::serial().canonical(true),
+        &Supervisor::none(),
+        None,
+        None,
+    );
+    for threads in [1usize, 2] {
+        let cfg = SweepConfig::with_threads(threads).canonical(true);
+        let path = temp(&format!("io-error-{threads}"));
+        let _ = std::fs::remove_file(&path);
+        let mut w = CkptWriter::create(&path, "it io-error").unwrap();
+        let sup = Supervisor::with_fault(FaultPlan::none().io_error_at_record(2));
+        let out = memberships_supervised(&MODELS, &u, &cfg, &sup, None, Some((&mut w, 1)));
+        assert_eq!(out.status, SweepStatus::Degraded, "at {threads} threads");
+        assert!(out.quarantined.is_empty(), "no task was quarantined — journalling failed");
+        let err = out.ckpt_error.as_deref().expect("the I/O error is surfaced");
+        assert!(err.contains("injected fault"), "{err}");
+        assert_eq!(out.frontier.len(), out.total_tasks, "every task still scanned");
+        assert_eq!(out.value, clean.value, "verdicts drifted at {threads} threads");
+        // Exactly one record landed before the failure; the journal is
+        // still loadable (torn-tail tolerance applies to real crashes,
+        // a clean failure leaves whole records).
+        drop(w);
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.snapshots.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
 fn transient_panic_heals_to_a_complete_bit_identical_sweep() {
     let u = Universe::new(4, 1);
     let cfg = SweepConfig::with_threads(2).canonical(true);
