@@ -189,6 +189,38 @@ for t in 2 4; do
     diff "$scratch/lane-det-1.json" "$scratch/lane-det-$t.json" \
         || { echo "lane fixpoint counters drifted at $t threads"; exit 1; }
 done
+echo "== watch smoke: streaming LC check, deadline kill + replay resume, gate =="
+# A fib:16 trace streams clean through the lean BACKER executor with the
+# on-the-fly checker (exit 0, zero streaming-vs-batch divergences); a
+# skip-reconcile run must detect the LC violation (exit 1, batch still
+# agreeing on every sampled prefix); a zero-deadline run exits 4 with a
+# node frontier and its journal resumes to verdicts bit-identical to the
+# uninterrupted run; and a repeat clean run gates its reveal throughput
+# against the record the first one left in the scratch bench file.
+ccmm watch --workload fib:16 > "$scratch/watch-clean.out" \
+    || { cat "$scratch/watch-clean.out"; echo "watch clean run failed"; exit 1; }
+grep -q "valid true | SC true | LC true" "$scratch/watch-clean.out"
+grep -q " 0 divergence(s)" "$scratch/watch-clean.out"
+rc=0
+ccmm watch --workload fib:12 --fault skip-reconcile --sample-every 2 \
+    > "$scratch/watch-fault.out" 2>/dev/null || rc=$?
+[[ "$rc" == 1 ]] || { echo "expected faulted watch exit 1, got $rc"; exit 1; }
+grep -q "LC false" "$scratch/watch-fault.out"
+grep -q " 0 divergence(s)" "$scratch/watch-fault.out"
+rc=0
+ccmm watch --workload fib:16 --deadline-secs 0 --ckpt "$scratch/watch.ckpt" \
+    > "$scratch/watch-part.out" 2>/dev/null || rc=$?
+[[ "$rc" == 4 ]] || { echo "expected watch deadline exit 4, got $rc"; exit 1; }
+grep -q "resume frontier: \[(0, " "$scratch/watch-part.out"
+ccmm watch --workload fib:16 --resume "$scratch/watch.ckpt" \
+    > "$scratch/watch-resumed.out" 2>/dev/null \
+    || { echo "watch resume failed"; exit 1; }
+verdicts() { grep -E "^(streamed|conformance:)" "$1"; }
+diff <(verdicts "$scratch/watch-clean.out") <(verdicts "$scratch/watch-resumed.out") \
+    || { echo "resumed watch verdicts differ from the uninterrupted run"; exit 1; }
+ccmm watch --workload fib:16 --gate > "$scratch/watch-gate.out" \
+    || { cat "$scratch/watch-gate.out"; echo "watch gate failed"; exit 1; }
+grep -q "^gate: " "$scratch/watch-gate.out"
 unset CCMM_BENCH_JSON
 
 echo "== serve smoke: faulted daemon, concurrent queries, graceful drain =="

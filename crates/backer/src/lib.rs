@@ -56,6 +56,7 @@ pub mod perturb;
 pub mod schedule;
 pub mod sim;
 pub mod stats;
+pub mod stream;
 pub mod threads;
 pub mod timing;
 pub mod verify;
@@ -65,4 +66,5 @@ pub use perturb::PerturbPlan;
 pub use schedule::Schedule;
 pub use sim::{run, SimResult};
 pub use stats::Stats;
+pub use stream::{block_cyclic_proc, run_stream, LeanCache, StreamRunner};
 pub use verify::{verify, ModelProfile, VerifyReport};

@@ -1,0 +1,97 @@
+//! Benchmarks the online reveal path: the legacy per-reveal shape
+//! (clone-and-extend the computation, copy the observer, enumerate rows
+//! allocating) against the incremental `OnlineSession` (in-place `push`,
+//! zero-copy enumeration, early exit, memoized incremental membership).
+//! The legacy leg is quadratic-and-worse per session; the incremental
+//! leg is what `ccmm watch` and long adversary games run on.
+
+use ccmm_core::online::OnlineSession;
+use ccmm_core::{props, AnyObserver, Computation, Lc, Location, MemoryModel, Op};
+use ccmm_dag::NodeId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// The reveal schedule: a dependency chain with a write every 8th node —
+/// the shape a harvested trace prefix feeds the session.
+fn op_at(i: usize) -> Op {
+    let l = Location::new(0);
+    if i.is_multiple_of(8) {
+        Op::Write(l)
+    } else {
+        Op::Read(l)
+    }
+}
+
+/// Legacy reveal loop: every node clones the computation (`extend`
+/// recomputes the closure and write index), copies the committed
+/// observer into a fresh extension buffer, and scans rows through the
+/// full batch checker.
+fn legacy_session(model: impl MemoryModel + Copy, n: usize) -> Computation {
+    let mut c = Computation::from_edges(1, &[], vec![op_at(0)]);
+    // Commit the root's row over the empty prefix observer.
+    let mut phi = {
+        let base = ccmm_core::ObserverFunction::bottom(c.num_locations(), 0);
+        let mut committed = None;
+        props::any_extension(&c, &base, |p| {
+            if model.contains(&c, p) {
+                committed = Some(p.clone());
+                true
+            } else {
+                false
+            }
+        });
+        committed.expect("a root write always has an admissible row")
+    };
+    for i in 1..n {
+        let ext = c.extend(&[NodeId::new(i - 1)], op_at(i));
+        let mut committed = None;
+        props::any_extension(&ext, &phi, |p| {
+            if model.contains(&ext, p) {
+                committed = Some(p.clone());
+                true
+            } else {
+                false
+            }
+        });
+        phi = committed.expect("AnyObserver and LC never jam on a chain");
+        c = ext;
+    }
+    c
+}
+
+/// Incremental reveal loop: `OnlineSession::reveal` end to end.
+fn incremental_session(model: impl MemoryModel + Copy, n: usize) -> usize {
+    let mut game = OnlineSession::new(model, 1);
+    game.reveal(&[], op_at(0)).expect("root");
+    for i in 1..n {
+        game.reveal(&[NodeId::new(i - 1)], op_at(i)).expect("chain reveal");
+    }
+    game.computation().node_count()
+}
+
+fn bench_reveal_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_reveal");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("legacy_any", n), &n, |b, &n| {
+            b.iter(|| black_box(legacy_session(AnyObserver, n)))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental_any", n), &n, |b, &n| {
+            b.iter(|| black_box(incremental_session(AnyObserver, n)))
+        });
+    }
+    // LC exercises the real membership checker per reveal; the legacy
+    // leg re-runs it from scratch on every clone, so keep n modest.
+    for n in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("legacy_lc", n), &n, |b, &n| {
+            b.iter(|| black_box(legacy_session(Lc, n)))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental_lc", n), &n, |b, &n| {
+            b.iter(|| black_box(incremental_session(Lc, n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reveal_paths);
+criterion_main!(benches);

@@ -207,6 +207,26 @@ pub fn latest_matching(
     u: &Universe,
     threads: usize,
 ) -> Option<SweepRecord> {
+    latest_matching_shape(
+        experiment,
+        engine,
+        u.max_nodes as u64,
+        u.num_locations as u64,
+        threads as u64,
+    )
+}
+
+/// Like [`latest_matching`] but keyed on an explicit shape instead of a
+/// [`Universe`] — for streaming experiments whose workload is a single
+/// harvested trace (`max_nodes` = trace length) rather than a swept
+/// universe.
+pub fn latest_matching_shape(
+    experiment: &str,
+    engine: &str,
+    max_nodes: u64,
+    num_locations: u64,
+    threads: u64,
+) -> Option<SweepRecord> {
     let text = std::fs::read_to_string(bench_json_path()).ok()?;
     let serde::Value::Seq(items) = serde_json::from_str::<serde::Value>(&text).ok()? else {
         return None;
@@ -219,9 +239,9 @@ pub fn latest_matching(
             r.status == "complete"
                 && r.experiment == experiment
                 && r.engine == engine
-                && r.max_nodes == u.max_nodes as u64
-                && r.num_locations == u.num_locations as u64
-                && r.threads == threads as u64
+                && r.max_nodes == max_nodes
+                && r.num_locations == num_locations
+                && r.threads == threads
         })
 }
 

@@ -15,13 +15,31 @@
 //! * every function syncs implicitly before returning.
 
 use ccmm_core::{Computation, Location, Op};
-use ccmm_dag::{Dag, NodeId};
+use ccmm_dag::{Dag, NodeId, SpOrder};
+
+/// One entry of the builder's structural event log. Execution is
+/// depth-first (a `spawn` runs its child closure immediately), so the log
+/// is a properly nested stream: plain nodes, `Open`/`Close` brackets
+/// around each spawned child's block, and the sync node joining the
+/// blocks deferred since the last sync at that level.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// A sequential op node.
+    Node(u32),
+    /// A spawned child block starts.
+    Open,
+    /// The spawned child block ends.
+    Close,
+    /// A sync node joining the open blocks at this level.
+    Sync(u32),
+}
 
 /// Accumulates nodes and edges while the program runs.
 #[derive(Default)]
 pub struct ProgramBuilder {
     ops: Vec<Op>,
     edges: Vec<(usize, usize)>,
+    events: Vec<Ev>,
 }
 
 /// The sequential position inside one function activation.
@@ -52,6 +70,7 @@ impl ProgramBuilder {
     pub fn op(&mut self, s: &mut Strand, op: Op) -> NodeId {
         let preds: Vec<NodeId> = s.cursor.into_iter().collect();
         let id = self.push(op, &preds);
+        self.events.push(Ev::Node(id.index() as u32));
         s.cursor = Some(id);
         id
     }
@@ -79,9 +98,11 @@ impl ProgramBuilder {
         F: FnOnce(&mut ProgramBuilder, &mut Strand),
     {
         let mut child = Strand { cursor: s.cursor, children: Vec::new() };
+        self.events.push(Ev::Open);
         f(self, &mut child);
         // Implicit sync before the child returns.
         self.sync(&mut child);
+        self.events.push(Ev::Close);
         match child.cursor {
             // The child produced nodes (or a sync node): join it later.
             Some(last) if child.cursor != s.cursor => s.children.push(last),
@@ -99,6 +120,7 @@ impl ProgramBuilder {
         let mut preds: Vec<NodeId> = s.cursor.into_iter().collect();
         preds.append(&mut s.children);
         let id = self.push(Op::Nop, &preds);
+        self.events.push(Ev::Sync(id.index() as u32));
         s.cursor = Some(id);
     }
 
@@ -108,6 +130,128 @@ impl ProgramBuilder {
         let n = self.ops.len();
         let dag = Dag::from_edges(n, &self.edges).expect("builder edges are acyclic");
         Computation::new(dag, self.ops).expect("one op per node")
+    }
+
+    /// Finalises the program into a [`RawTrace`]: the dag, the ops, and
+    /// the Hebrew linear extension — but **no transitive closure and no
+    /// dense observer table**, so million-node programs stay O(n + e).
+    /// [`finish`](ProgramBuilder::finish) by contrast builds a
+    /// [`Computation`], whose reachability bitsets are Θ(n²) bits.
+    pub fn finish_raw(mut self, mut root: Strand) -> RawTrace {
+        self.sync(&mut root);
+        let n = self.ops.len();
+        let hebrew = hebrew_ranks(&self.events, n);
+        let dag = Dag::from_edges(n, &self.edges).expect("builder edges are acyclic");
+        let num_locations =
+            self.ops.iter().filter_map(|o| o.location()).map(|l| l.index() + 1).max().unwrap_or(0);
+        RawTrace { dag, ops: self.ops, hebrew, num_locations }
+    }
+}
+
+/// Computes each node's rank in the *Hebrew* linear extension from the
+/// builder's event log.
+///
+/// Creation order is the *English* extension: a `spawn` runs its child
+/// closure immediately, so child blocks come before the parent's
+/// continuation. The Hebrew extension enumerates the branches of every
+/// parallel composition in the opposite order: walking the log, plain
+/// nodes emit in order, each child block is deferred, and a sync emits
+/// the blocks deferred at its level in **reverse spawn order** (each
+/// recursively Hebrew-ordered) before the sync node itself.
+///
+/// Correctness for the builder's fork/join grammar: a segment
+/// `a₁…; spawn C; rest` decomposes as the series-parallel expression
+/// `a₁… ; (C ∥ rest)`, and reversing branch order at every parallel
+/// composition is exactly the standard 2-realizer of a series-parallel
+/// order — comparable pairs keep their creation order, incomparable
+/// pairs (one in `C`, one in `rest`) flip. The differential tests below
+/// check `SpOrder` against full reachability on every pair.
+fn hebrew_ranks(events: &[Ev], n: usize) -> Vec<u32> {
+    // Matching `Close` for each `Open` (the log is properly nested).
+    let mut matching = vec![0usize; events.len()];
+    let mut stack = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        match e {
+            Ev::Open => stack.push(i),
+            Ev::Close => {
+                let o = stack.pop().expect("Close without Open");
+                matching[o] = i;
+            }
+            _ => {}
+        }
+    }
+    debug_assert!(stack.is_empty(), "unclosed spawn block");
+    fn emit(events: &[Ev], lo: usize, hi: usize, matching: &[usize], out: &mut Vec<u32>) {
+        let mut deferred: Vec<(usize, usize)> = Vec::new();
+        let mut i = lo;
+        while i < hi {
+            match events[i] {
+                Ev::Node(id) => out.push(id),
+                Ev::Open => {
+                    let close = matching[i];
+                    deferred.push((i + 1, close));
+                    i = close;
+                }
+                Ev::Close => unreachable!("Close is always skipped via its Open"),
+                Ev::Sync(id) => {
+                    for &(a, b) in deferred.iter().rev() {
+                        emit(events, a, b, matching, out);
+                    }
+                    deferred.clear();
+                    out.push(id);
+                }
+            }
+            i += 1;
+        }
+        // A strand can end with spawned-but-unsynced children only when
+        // they were empty; flush defensively all the same.
+        for &(a, b) in deferred.iter().rev() {
+            emit(events, a, b, matching, out);
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    emit(events, 0, events.len(), &matching, &mut order);
+    debug_assert_eq!(order.len(), n, "hebrew order must visit every node once");
+    let mut rank = vec![0u32; n];
+    for (pos, id) in order.into_iter().enumerate() {
+        rank[id as usize] = pos as u32;
+    }
+    rank
+}
+
+/// A lean trace of a built program: the dag, one op per node, and the
+/// Hebrew linear extension. Everything the streaming membership checker
+/// needs — precedence is O(1) through [`SpOrder`] at two integer
+/// comparisons per query — and nothing quadratic: no transitive-closure
+/// bitsets, no dense `L × n` observer table. This is the form `ccmm
+/// watch` harvests million-node programs in.
+pub struct RawTrace {
+    /// The computation dag; node creation order is a topological sort.
+    pub dag: Dag,
+    /// One op per node, indexed by [`NodeId`].
+    pub ops: Vec<Op>,
+    /// Hebrew rank per node (creation order is the English rank).
+    pub hebrew: Vec<u32>,
+    /// One more than the largest location index mentioned by any op.
+    pub num_locations: usize,
+}
+
+impl RawTrace {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The two-extension precedence oracle for this trace.
+    pub fn sp_order(&self) -> SpOrder {
+        SpOrder::new(&self.dag, self.hebrew.clone())
+            .expect("builder creation/hebrew orders realize the dag")
+    }
+
+    /// Densifies into a [`Computation`] (Θ(n²) reachability — for
+    /// small-scale cross-checks only).
+    pub fn to_computation(&self) -> Computation {
+        Computation::new(self.dag.clone(), self.ops.clone()).expect("one op per node")
     }
 }
 
@@ -120,6 +264,18 @@ where
     let mut root = Strand::default();
     f(&mut b, &mut root);
     b.finish(root)
+}
+
+/// Runs a program closure and returns its [`RawTrace`] (closure-free
+/// form for streaming-scale programs).
+pub fn build_program_raw<F>(f: F) -> RawTrace
+where
+    F: FnOnce(&mut ProgramBuilder, &mut Strand),
+{
+    let mut b = ProgramBuilder::new();
+    let mut root = Strand::default();
+    f(&mut b, &mut root);
+    b.finish_raw(root)
 }
 
 #[cfg(test)]
@@ -231,6 +387,123 @@ mod tests {
         });
         // 0: nop, 1-2: writes, 3: root sync.
         assert_eq!(c.node_count(), 4);
+    }
+
+    /// Checks the raw trace's `SpOrder` against full reachability on
+    /// every node pair — soundness *and* completeness of the 2-realizer.
+    fn assert_sp_order_matches_reachability(trace: &RawTrace, tag: &str) {
+        let sp = trace.sp_order();
+        let reach = ccmm_dag::Reachability::new(&trace.dag);
+        let n = trace.node_count();
+        for u in 0..n {
+            for v in 0..n {
+                let (u, v) = (NodeId::new(u), NodeId::new(v));
+                assert_eq!(
+                    sp.precedes(u, v),
+                    reach.reaches(u, v),
+                    "{tag}: SpOrder disagrees with reachability on {u} ≺ {v}"
+                );
+            }
+        }
+    }
+
+    /// A seeded random fork/join program: nested spawns, multiple syncs
+    /// per level, ops before/between/after spawns.
+    fn lcg(rng: &mut u64) -> u32 {
+        *rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (*rng >> 33) as u32
+    }
+
+    fn random_program(b: &mut ProgramBuilder, s: &mut Strand, depth: u32, rng: &mut u64) {
+        let steps = 2 + lcg(rng) % 4;
+        for _ in 0..steps {
+            match lcg(rng) % 5 {
+                0 => {
+                    b.write(s, l((lcg(rng) % 3) as usize));
+                }
+                1 => {
+                    b.read(s, l((lcg(rng) % 3) as usize));
+                }
+                2 if depth > 0 => {
+                    let spawns = 1 + lcg(rng) % 3;
+                    for _ in 0..spawns {
+                        b.spawn(s, |b, t| random_program(b, t, depth - 1, rng));
+                    }
+                    if lcg(rng).is_multiple_of(2) {
+                        b.sync(s);
+                    }
+                }
+                3 => b.sync(s),
+                _ => {
+                    b.nop(s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sp_order_matches_reachability_on_canonical_programs() {
+        for n in 2..=8 {
+            let trace = crate::programs::fib::fib_trace(n);
+            assert_sp_order_matches_reachability(&trace, &format!("fib({n})"));
+        }
+        let trace = crate::programs::matmul::matmul_trace(2);
+        assert_sp_order_matches_reachability(&trace, "matmul(2)");
+        let trace = crate::programs::stencil::stencil_trace(3, 2);
+        assert_sp_order_matches_reachability(&trace, "stencil(3,2)");
+        let trace = build_program_raw(|b, s| {
+            for i in 0..4 {
+                b.spawn(s, |b, t| {
+                    b.write(t, l(i));
+                    b.spawn(t, |b, u| {
+                        b.read(u, l(i));
+                    });
+                });
+            }
+            b.sync(s);
+            b.read(s, l(0));
+        });
+        assert_sp_order_matches_reachability(&trace, "nested spawn fan");
+    }
+
+    #[test]
+    fn sp_order_matches_reachability_on_random_programs() {
+        for seed in 0..40u64 {
+            let mut rng = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            let trace = build_program_raw(|b, s| random_program(b, s, 3, &mut rng));
+            if trace.node_count() > 120 {
+                continue; // keep the all-pairs check cheap
+            }
+            assert_sp_order_matches_reachability(&trace, &format!("random seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn raw_trace_matches_finish() {
+        // finish() and finish_raw() must describe the same computation.
+        let build = |b: &mut ProgramBuilder, s: &mut Strand| {
+            b.write(s, l(0));
+            b.spawn(s, |b, t| {
+                b.read(t, l(0));
+                b.write(t, l(1));
+            });
+            b.spawn(s, |b, t| {
+                b.read(t, l(0));
+            });
+            b.sync(s);
+            b.read(s, l(1));
+        };
+        let c = build_program(build);
+        let trace = build_program_raw(build);
+        assert_eq!(trace.node_count(), c.node_count());
+        assert_eq!(trace.num_locations, c.num_locations());
+        assert_eq!(trace.to_computation(), c);
+        // Hebrew is a permutation of 0..n.
+        let mut seen = vec![false; trace.node_count()];
+        for &h in &trace.hebrew {
+            assert!(!seen[h as usize]);
+            seen[h as usize] = true;
+        }
     }
 
     #[test]

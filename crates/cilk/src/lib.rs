@@ -38,10 +38,10 @@ pub mod builder;
 pub mod programs;
 pub mod race;
 
-pub use builder::{build_program, ProgramBuilder, Strand};
+pub use builder::{build_program, build_program_raw, ProgramBuilder, RawTrace, Strand};
 pub use programs::conformance_workloads;
-pub use programs::fib::{fib, FibProgram};
-pub use programs::matmul::{matmul, MatmulProgram};
+pub use programs::fib::{fib, fib_trace, FibProgram};
+pub use programs::matmul::{matmul, matmul_trace, MatmulProgram};
 pub use programs::reduce::{reduce, ReduceProgram};
 pub use programs::sort::{mergesort, SortProgram};
-pub use programs::stencil::{stencil, StencilProgram};
+pub use programs::stencil::{stencil, stencil_trace, StencilProgram};

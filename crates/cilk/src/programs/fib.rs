@@ -7,7 +7,7 @@
 //! every read has a unique preceding writer through the dag, so under any
 //! dag-consistent memory every execution returns the same values.
 
-use crate::builder::{build_program, ProgramBuilder, Strand};
+use crate::builder::{build_program, build_program_raw, ProgramBuilder, RawTrace, Strand};
 use ccmm_core::{Computation, Location};
 use ccmm_dag::NodeId;
 
@@ -62,6 +62,17 @@ pub fn fib(n: u32) -> FibProgram {
     });
     let (result_location, result_writer) = meta.expect("body ran");
     FibProgram { computation, result_location, result_writer, activations: next_loc }
+}
+
+/// Builds `fib(n)` as a lean [`RawTrace`]: dag, ops, and Hebrew ranks
+/// only — no transitive closure, so depths giving 10⁵–10⁷ nodes stay
+/// linear in the trace size. The streaming checker's tree-shaped
+/// workload.
+pub fn fib_trace(n: u32) -> RawTrace {
+    let mut next_loc = 0usize;
+    build_program_raw(|b, s| {
+        fib_body(b, s, n, &mut next_loc);
+    })
 }
 
 /// The number of activations of `fib(n)` (for test cross-checks):

@@ -11,7 +11,7 @@
 //! `R A[i,k]; R B[k,j]; R C[i,j]; W C[i,j]` — a read-modify-write, making
 //! the accumulation order visible to the memory model.
 
-use crate::builder::{build_program, ProgramBuilder, Strand};
+use crate::builder::{build_program, build_program_raw, ProgramBuilder, RawTrace, Strand};
 use ccmm_core::{Computation, Location};
 
 /// Location layout for the three matrices.
@@ -84,26 +84,38 @@ fn multiply(
     b.sync(s);
 }
 
+/// Initialisation (write every element of A, B and C in parallel)
+/// followed by the blocked multiply.
+fn matmul_program(b: &mut ProgramBuilder, s: &mut Strand, lay: &MatLayout) {
+    let n = lay.n;
+    for i in 0..n {
+        for j in 0..n {
+            b.spawn(s, |b, t| {
+                b.write(t, lay.a(i, j));
+                b.write(t, lay.b(i, j));
+                b.write(t, lay.c(i, j));
+            });
+        }
+    }
+    b.sync(s);
+    multiply(b, s, lay, 0, 0, 0, 0, 0, 0, n);
+}
+
 /// Builds the computation of a blocked `n × n` matmul (`n` a power of 2).
 pub fn matmul(n: usize) -> MatmulProgram {
     assert!(n.is_power_of_two(), "matmul needs a power-of-two size, got {n}");
     let lay = MatLayout { n };
-    // Initialisation: write every element of A, B and C (in parallel),
-    // then multiply.
-    let computation = build_program(|b, s| {
-        for i in 0..n {
-            for j in 0..n {
-                b.spawn(s, |b, t| {
-                    b.write(t, lay.a(i, j));
-                    b.write(t, lay.b(i, j));
-                    b.write(t, lay.c(i, j));
-                });
-            }
-        }
-        b.sync(s);
-        multiply(b, s, &lay, 0, 0, 0, 0, 0, 0, n);
-    });
+    let computation = build_program(|b, s| matmul_program(b, s, &lay));
     MatmulProgram { computation, layout: lay }
+}
+
+/// Builds the blocked matmul as a lean [`RawTrace`] (see
+/// [`crate::builder::ProgramBuilder::finish_raw`]); `n` must be a power
+/// of two. Node count grows as Θ(n³).
+pub fn matmul_trace(n: usize) -> RawTrace {
+    assert!(n.is_power_of_two(), "matmul needs a power-of-two size, got {n}");
+    let lay = MatLayout { n };
+    build_program_raw(|b, s| matmul_program(b, s, &lay))
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! barrier-synchronised shape typical of data-parallel codes — a contrast
 //! to fib's tree shape for the scheduling and cache experiments.
 
-use crate::builder::{build_program, ProgramBuilder, Strand};
+use crate::builder::{build_program, build_program_raw, ProgramBuilder, RawTrace, Strand};
 use ccmm_core::{Computation, Location};
 
 /// A built stencil computation.
@@ -35,29 +35,39 @@ fn update_cell(b: &mut ProgramBuilder, s: &mut Strand, src: usize, dst: usize, i
     b.write(s, cell(dst, i, w));
 }
 
+fn stencil_program(b: &mut ProgramBuilder, s: &mut Strand, width: usize, steps: usize) {
+    // Initialise array 0 in parallel.
+    for i in 0..width {
+        b.spawn(s, |b, t| {
+            b.write(t, cell(0, i, width));
+        });
+    }
+    b.sync(s);
+    for step in 0..steps {
+        let src = step % 2;
+        let dst = 1 - src;
+        for i in 0..width {
+            b.spawn(s, |b, t| {
+                update_cell(b, t, src, dst, i, width);
+            });
+        }
+        b.sync(s); // barrier
+    }
+}
+
 /// Builds a `width`-cell, `steps`-step Jacobi stencil computation.
 pub fn stencil(width: usize, steps: usize) -> StencilProgram {
     assert!(width > 0);
-    let computation = build_program(|b, s| {
-        // Initialise array 0 in parallel.
-        for i in 0..width {
-            b.spawn(s, |b, t| {
-                b.write(t, cell(0, i, width));
-            });
-        }
-        b.sync(s);
-        for step in 0..steps {
-            let src = step % 2;
-            let dst = 1 - src;
-            for i in 0..width {
-                b.spawn(s, |b, t| {
-                    update_cell(b, t, src, dst, i, width);
-                });
-            }
-            b.sync(s); // barrier
-        }
-    });
+    let computation = build_program(|b, s| stencil_program(b, s, width, steps));
     StencilProgram { computation, width, steps }
+}
+
+/// Builds the stencil as a lean [`RawTrace`] (see
+/// [`crate::builder::ProgramBuilder::finish_raw`]). Node count grows as
+/// Θ(width · steps).
+pub fn stencil_trace(width: usize, steps: usize) -> RawTrace {
+    assert!(width > 0);
+    build_program_raw(|b, s| stencil_program(b, s, width, steps))
 }
 
 #[cfg(test)]

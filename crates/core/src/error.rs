@@ -6,6 +6,9 @@ use ccmm_dag::NodeId;
 /// Errors produced by `ccmm-core` constructors and validators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoreError {
+    /// An underlying dag operation failed (e.g. an in-place extension
+    /// named an out-of-range predecessor).
+    Dag(ccmm_dag::DagError),
     /// The op labelling does not have one op per dag node.
     OpCountMismatch {
         /// Number of dag nodes.
@@ -52,6 +55,7 @@ pub enum CoreError {
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            CoreError::Dag(e) => write!(f, "{e}"),
             CoreError::OpCountMismatch { nodes, ops } => {
                 write!(f, "computation has {nodes} nodes but {ops} ops")
             }

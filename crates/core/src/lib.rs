@@ -85,6 +85,7 @@ pub mod procs;
 pub mod props;
 pub mod relation;
 pub mod serve;
+pub mod stream;
 pub mod sweep;
 pub mod telemetry;
 pub mod trace;
@@ -97,3 +98,4 @@ pub use model::{AnyObserver, LanePack, LaneScratch, Lc, MemoryModel, Model, Nn, 
 pub use observer::ObserverFunction;
 pub use op::{Location, Op};
 pub use oracle::Oracle;
+pub use stream::{AccessVerdict, StreamChecker, StreamVerdicts};

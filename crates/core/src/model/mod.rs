@@ -82,6 +82,29 @@ pub trait MemoryModel {
         self.contains(c, phi)
     }
 
+    /// Membership test for a pair just grown by one node: `c` extends a
+    /// pair already known to be in the model by the final node `new`
+    /// (highest-indexed, therefore maximal), and `phi` extends the
+    /// committed observer function by `new`'s observation row only.
+    ///
+    /// Semantically identical to [`contains_with`] **under that
+    /// precondition** — callers must not use it for arbitrary pairs.
+    /// The default re-checks the whole pair; models whose membership is
+    /// decomposable per node (validity-only [`AnyObserver`]) override it
+    /// to probe just the new row, which is what makes the online
+    /// session's reveal amortized near-O(degree) instead of O(n²).
+    ///
+    /// [`contains_with`]: MemoryModel::contains_with
+    fn contains_incremental(
+        &self,
+        c: &Computation,
+        phi: &ObserverFunction,
+        _new: ccmm_dag::NodeId,
+        scratch: &mut CheckScratch,
+    ) -> bool {
+        self.contains_with(c, phi, scratch)
+    }
+
     /// Lane-parallel membership test: decide up to [`LANES`] observer
     /// functions packed into `phis` in one call, returning a verdict mask
     /// with bit `j` set iff lane `j`'s pair is in the model.
@@ -120,6 +143,38 @@ impl MemoryModel for AnyObserver {
 
     fn contains(&self, c: &Computation, phi: &ObserverFunction) -> bool {
         phi.is_valid_for(c)
+    }
+
+    fn contains_incremental(
+        &self,
+        c: &Computation,
+        phi: &ObserverFunction,
+        new: ccmm_dag::NodeId,
+        _scratch: &mut CheckScratch,
+    ) -> bool {
+        // Validity decomposes per (l, u) entry, and the prefix entries
+        // were validated when they were committed, so only the new node's
+        // row needs Definition 2. Condition 2.2 (¬(new ≺ observed)) holds
+        // for free: the new node is maximal.
+        if phi.node_count() != c.node_count() || phi.num_locations() != c.num_locations() {
+            return false;
+        }
+        for l in c.locations() {
+            let observed = phi.get(l, new);
+            if c.op(new).is_write_to(l) {
+                if observed != Some(new) {
+                    return false;
+                }
+                continue;
+            }
+            if let Some(v) = observed {
+                if !c.op(v).is_write_to(l) {
+                    return false;
+                }
+                debug_assert!(!c.precedes(new, v), "the revealed node must be maximal");
+            }
+        }
+        true
     }
 
     fn contains_lanes(&self, _c: &Computation, phis: &LanePack, _s: &mut LaneScratch) -> u64 {
@@ -219,6 +274,22 @@ impl MemoryModel for Model {
             Model::Wn => Wn::default().contains_with(c, phi, s),
             Model::Ww => Ww::default().contains_with(c, phi, s),
             Model::Any => AnyObserver.contains(c, phi),
+        }
+    }
+
+    fn contains_incremental(
+        &self,
+        c: &Computation,
+        phi: &ObserverFunction,
+        new: ccmm_dag::NodeId,
+        s: &mut CheckScratch,
+    ) -> bool {
+        match self {
+            Model::Any => {
+                telemetry::count(self.phi_counter(), 1);
+                AnyObserver.contains_incremental(c, phi, new, s)
+            }
+            _ => self.contains_with(c, phi, s),
         }
     }
 

@@ -97,6 +97,46 @@ impl ObserverFunction {
         self
     }
 
+    /// Appends one node in place: every location gains a ⊥ entry for the
+    /// new node (set it afterwards with [`set`](ObserverFunction::set)).
+    /// The incremental online session extends Φ by a column per reveal
+    /// instead of rebuilding the whole `L × n` table.
+    pub fn push_node(&mut self) -> NodeId {
+        let new = NodeId::new(self.node_count);
+        for row in &mut self.table {
+            row.push(None);
+        }
+        self.node_count += 1;
+        new
+    }
+
+    /// Removes the most recently appended node's column, undoing one
+    /// [`push_node`](ObserverFunction::push_node). No-op at zero nodes.
+    pub fn pop_node(&mut self) {
+        if self.node_count == 0 {
+            return;
+        }
+        for row in &mut self.table {
+            row.pop();
+        }
+        self.node_count -= 1;
+    }
+
+    /// Appends `extra` fresh all-⊥ location rows (used when an extension
+    /// introduces ops on locations the base table has never seen).
+    pub fn push_locations(&mut self, extra: usize) {
+        for _ in 0..extra {
+            self.table.push(vec![None; self.node_count]);
+        }
+    }
+
+    /// Drops location rows beyond `num_locations`, undoing
+    /// [`push_locations`](ObserverFunction::push_locations) when a jammed
+    /// reveal is rolled back. No-op if the table is already that small.
+    pub fn truncate_locations(&mut self, num_locations: usize) {
+        self.table.truncate(num_locations);
+    }
+
     /// Checks Definition 2 against `c`, reporting the first violation.
     pub fn validate(&self, c: &Computation) -> Result<(), CoreError> {
         if self.node_count != c.node_count() || self.table.len() != c.num_locations() {

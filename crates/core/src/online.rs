@@ -35,13 +35,42 @@ pub struct Stuck {
 }
 
 impl std::fmt::Display for Stuck {
+    /// A fixed-size summary: node/op counts plus at most
+    /// [`Stuck::MAX_FRONTIER_SHOWN`] frontier nodes. Debug-printing the
+    /// whole computation and observer here made every jam message O(L·n)
+    /// — at streaming scale, megabytes per line. The full witness stays
+    /// in the struct fields for programmatic consumers.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = &self.computation;
+        let (mut writes, mut reads) = (0usize, 0usize);
+        for op in c.ops() {
+            match op {
+                Op::Write(_) => writes += 1,
+                Op::Read(_) => reads += 1,
+                Op::Nop => {}
+            }
+        }
         write!(
             f,
-            "online algorithm stuck placing {} on {:?} with committed {:?}",
-            self.op, self.computation, self.prefix_phi
-        )
+            "online algorithm stuck placing {} ({} nodes: {writes} writes, {reads} reads over {} locations; frontier",
+            self.op,
+            c.node_count(),
+            c.num_locations(),
+        )?;
+        let leaves = c.dag().leaves();
+        for u in leaves.iter().take(Self::MAX_FRONTIER_SHOWN) {
+            write!(f, " {u}:{}", c.op(*u))?;
+        }
+        if leaves.len() > Self::MAX_FRONTIER_SHOWN {
+            write!(f, " …+{}", leaves.len() - Self::MAX_FRONTIER_SHOWN)?;
+        }
+        write!(f, ")")
     }
+}
+
+impl Stuck {
+    /// Frontier nodes shown by the `Display` summary.
+    pub const MAX_FRONTIER_SHOWN: usize = 8;
 }
 
 impl std::error::Error for Stuck {}
@@ -56,6 +85,8 @@ pub struct OnlineSession<M> {
     alphabet: Vec<Op>,
     c: Computation,
     phi: ObserverFunction,
+    /// Memoized checker working memory, reused across reveals.
+    scratch: crate::model::CheckScratch,
     /// Set on the first jam: the session is poisoned — further reveals
     /// return the same [`Stuck`] without touching the committed state,
     /// which stays queryable (the last good prefix).
@@ -72,6 +103,7 @@ impl<M: MemoryModel> OnlineSession<M> {
             alphabet: Op::all(num_locations),
             c: Computation::empty(),
             phi: ObserverFunction::empty(),
+            scratch: crate::model::CheckScratch::new(),
             jammed: None,
         }
     }
@@ -127,7 +159,58 @@ impl<M: MemoryModel> OnlineSession<M> {
     // Witness-rich error types are the point of these APIs.
     #[allow(clippy::result_large_err)]
     pub fn reveal(&mut self, preds: &[NodeId], op: Op) -> Result<Vec<Option<NodeId>>, Stuck> {
-        self.reveal_choose(preds, op, |_| 0)
+        if let Some(jam) = &self.jammed {
+            return Err(jam.clone());
+        }
+        let old_locs = self.phi.num_locations();
+        let new = self.grow(preds, op);
+        // Fast path: extend everything in place and commit the *first*
+        // admissible row (identical to what `reveal_choose(.., |_| 0)`
+        // would pick — the enumeration order is the same), early-exiting
+        // instead of collecting and cloning every admissible Φ.
+        let OnlineSession { model, lookahead, alphabet, c, phi, scratch, .. } = self;
+        let c: &Computation = c;
+        let found = crate::props::any_extension_in_place(c, phi, |phi2| {
+            crate::telemetry::count(crate::telemetry::Counter::OnlineProbes, 1);
+            model.contains_incremental(c, phi2, new, scratch)
+                && (*lookahead == 0
+                    || crate::constructible::survives_lookahead(
+                        model, c, phi2, *lookahead, alphabet,
+                    ))
+        });
+        if !found {
+            return Err(self.jam_now(op, old_locs));
+        }
+        crate::telemetry::count(crate::telemetry::Counter::OnlineReveals, 1);
+        Ok(self.c.locations().map(|l| self.phi.get(l, new)).collect())
+    }
+
+    /// Extends the committed state in place by one node: dag, closure,
+    /// write index, and an all-⊥ observer column (plus location rows if
+    /// the op names a new location).
+    fn grow(&mut self, preds: &[NodeId], op: Op) -> NodeId {
+        let new = self.c.push(preds, op).expect("extension preds in range");
+        self.phi.push_node();
+        let locs = self.c.num_locations();
+        if locs > self.phi.num_locations() {
+            let missing = locs - self.phi.num_locations();
+            self.phi.push_locations(missing);
+        }
+        new
+    }
+
+    /// Rolls back the in-place extension after a failed reveal and
+    /// poisons the session. The extended computation is cloned once into
+    /// the witness; the committed state returns to the last good prefix.
+    fn jam_now(&mut self, op: Op, old_locs: usize) -> Stuck {
+        crate::telemetry::count(crate::telemetry::Counter::OnlineJams, 1);
+        let extended = self.c.clone();
+        self.c.pop_last();
+        self.phi.pop_node();
+        self.phi.truncate_locations(old_locs);
+        let stuck = Stuck { computation: extended, prefix_phi: self.phi.clone(), op };
+        self.jammed = Some(stuck.clone());
+        stuck
     }
 
     /// Like [`reveal`](Self::reveal), but the caller picks among *all*
@@ -151,37 +234,32 @@ impl<M: MemoryModel> OnlineSession<M> {
         if let Some(jam) = &self.jammed {
             return Err(jam.clone());
         }
-        let next = self.c.extend(preds, op);
-        let new = next.last_node().expect("extension nonempty");
+        let old_locs = self.phi.num_locations();
+        let new = self.grow(preds, op);
         let mut admissible: Vec<ObserverFunction> = Vec::new();
-        let _ = crate::props::any_extension(&next, &self.phi, |phi2| {
-            let ok = self.model.contains(&next, phi2)
-                && (self.lookahead == 0
-                    || crate::constructible::survives_lookahead(
-                        &self.model,
-                        &next,
-                        phi2,
-                        self.lookahead,
-                        &self.alphabet,
-                    ));
-            if ok {
-                admissible.push(phi2.clone());
-            }
-            false // keep enumerating: collect every admissible row
-        });
+        {
+            let OnlineSession { model, lookahead, alphabet, c, phi, scratch, .. } = self;
+            let c: &Computation = c;
+            let _ = crate::props::any_extension_in_place(c, phi, |phi2| {
+                crate::telemetry::count(crate::telemetry::Counter::OnlineProbes, 1);
+                let ok = model.contains_incremental(c, phi2, new, scratch)
+                    && (*lookahead == 0
+                        || crate::constructible::survives_lookahead(
+                            model, c, phi2, *lookahead, alphabet,
+                        ));
+                if ok {
+                    admissible.push(phi2.clone());
+                }
+                false // keep enumerating: collect every admissible row
+            });
+        }
         if admissible.is_empty() {
-            crate::telemetry::count(crate::telemetry::Counter::OnlineJams, 1);
-            let stuck = Stuck { computation: next, prefix_phi: self.phi.clone(), op };
-            self.jammed = Some(stuck.clone());
-            return Err(stuck);
+            return Err(self.jam_now(op, old_locs));
         }
         crate::telemetry::count(crate::telemetry::Counter::OnlineReveals, 1);
         let idx = chooser(&admissible).min(admissible.len() - 1);
-        let phi2 = admissible.swap_remove(idx);
-        let row = next.locations().map(|l| phi2.get(l, new)).collect();
-        self.c = next;
-        self.phi = phi2;
-        Ok(row)
+        self.phi = admissible.swap_remove(idx);
+        Ok(self.c.locations().map(|l| self.phi.get(l, new)).collect())
     }
 
     /// Replays a whole computation through the session in node order
@@ -442,5 +520,53 @@ mod tests {
         };
         let msg = stuck.to_string();
         assert!(msg.contains("stuck placing R(l0)"));
+    }
+
+    #[test]
+    fn stuck_display_is_bounded_on_large_computations() {
+        // A 400-node antichain of writes: the old Display debug-printed
+        // the whole computation and observer (O(L·n) characters); the
+        // summary must stay fixed-size with counts and a capped frontier.
+        let n = 400;
+        let ops: Vec<Op> = (0..n).map(|_| Op::Write(l(0))).collect();
+        let c = Computation::from_edges(n, &[], ops);
+        let stuck = Stuck {
+            computation: c,
+            prefix_phi: crate::observer::ObserverFunction::bottom(1, n),
+            op: Op::Read(l(0)),
+        };
+        let msg = stuck.to_string();
+        assert!(msg.contains("stuck placing R(l0)"), "{msg}");
+        assert!(msg.contains("400 nodes"), "{msg}");
+        assert!(msg.contains(&format!("…+{}", n - Stuck::MAX_FRONTIER_SHOWN)), "{msg}");
+        assert!(msg.len() < 300, "Display must stay fixed-size, got {} chars: {msg}", msg.len());
+    }
+
+    #[test]
+    fn reveal_and_reveal_choose_commit_identical_rows() {
+        // The early-exit fast path must commit exactly the row the
+        // collect-all path's index 0 denotes, for every model and a
+        // non-trivial reveal sequence.
+        let reveals: Vec<(Vec<usize>, Op)> = vec![
+            (vec![], Op::Write(l(0))),
+            (vec![], Op::Write(l(0))),
+            (vec![0], Op::Read(l(0))),
+            (vec![0, 1], Op::Write(l(1))),
+            (vec![2, 3], Op::Read(l(1))),
+            (vec![2], Op::Read(l(0))),
+            (vec![4, 5], Op::Nop),
+        ];
+        for m in crate::model::Model::ALL {
+            let mut fast = OnlineSession::new(m, 2);
+            let mut slow = OnlineSession::new(m, 2);
+            for (preds, op) in &reveals {
+                let preds: Vec<NodeId> = preds.iter().map(|&i| NodeId::new(i)).collect();
+                let a = fast.reveal(&preds, *op).unwrap();
+                let b = slow.reveal_choose(&preds, *op, |_| 0).unwrap();
+                assert_eq!(a, b, "model {m}: fast path diverged from collect-all index 0");
+            }
+            assert_eq!(fast.observer(), slow.observer(), "model {m}");
+            assert_eq!(fast.computation(), slow.computation(), "model {m}");
+        }
     }
 }

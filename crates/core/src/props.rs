@@ -120,11 +120,10 @@ pub struct ConstructibilityWitness {
 /// rows for locations beyond `phi`'s range are ⊥ on old nodes (forced for
 /// augmentations; for general extensions a non-⊥ value would not restrict
 /// to `phi`).
-pub fn any_extension<F>(ext: &Computation, phi: &ObserverFunction, mut pred: F) -> bool
+pub fn any_extension<F>(ext: &Computation, phi: &ObserverFunction, pred: F) -> bool
 where
     F: FnMut(&ObserverFunction) -> bool,
 {
-    let new = ext.last_node().expect("extension is nonempty");
     let n_old = ext.node_count() - 1;
     let mut phi2 = ObserverFunction::bottom(ext.num_locations(), ext.node_count());
     for l in 0..phi.num_locations().min(ext.num_locations()) {
@@ -133,9 +132,40 @@ where
             phi2.set(loc, NodeId::new(u), phi.get(loc, NodeId::new(u)));
         }
     }
+    any_extension_in_place(ext, &mut phi2, pred)
+}
+
+/// In-place core of [`any_extension`]: enumerates the final node's
+/// candidate observation rows directly on `phi2`, whose shape must
+/// already match `ext` with the final node's entries all ⊥ (the old
+/// nodes' entries are the committed prefix and are never touched).
+///
+/// `pred` is called on each complete assignment; the first acceptance
+/// returns `true` **leaving `phi2` at that assignment** — the caller has
+/// committed it with zero copies. On exhaustion the final node's entries
+/// are reset to ⊥ and `false` is returned. Candidates are tried ⊥-first
+/// per location, in location order, so the first row found is the
+/// lexicographically least admissible one — the same row the collecting
+/// wrapper's index 0 denotes.
+///
+/// This is the online session's per-reveal hot path: no `L × n` table
+/// copy and no candidate cloning, so a reveal costs O(row) bookkeeping
+/// per membership probe instead of O(L·n) per candidate.
+pub fn any_extension_in_place<F>(
+    ext: &Computation,
+    phi2: &mut ObserverFunction,
+    mut pred: F,
+) -> bool
+where
+    F: FnMut(&ObserverFunction) -> bool,
+{
+    let new = ext.last_node().expect("extension is nonempty");
+    debug_assert_eq!(phi2.node_count(), ext.node_count());
+    debug_assert_eq!(phi2.num_locations(), ext.num_locations());
     // Candidate values for the new node's entry per location.
     let mut cands: Vec<(Location, Vec<Option<NodeId>>)> = Vec::new();
     for l in ext.locations() {
+        debug_assert_eq!(phi2.get(l, new), None, "final-node entries must start at ⊥");
         if ext.op(new).is_write_to(l) {
             phi2.set(l, new, Some(new));
             continue;
@@ -170,7 +200,15 @@ where
         }
         false
     }
-    recurse(&cands, 0, new, &mut phi2, &mut pred)
+    if recurse(&cands, 0, new, phi2, &mut pred) {
+        return true;
+    }
+    // Exhausted: restore the all-⊥ final column (including the forced
+    // write self-observations) so the caller can roll the reveal back.
+    for l in ext.locations() {
+        phi2.set(l, new, None);
+    }
+    false
 }
 
 /// Checks Theorem 12's condition: every member pair extends to every

@@ -142,10 +142,21 @@ pub enum Counter {
     ServeCacheEvictions,
     /// Connections the server accepted over its lifetime.
     ServeConnections,
+    /// Candidate-row membership probes made by `OnlineSession::reveal`
+    /// (one per observer extension tested against the model).
+    OnlineProbes,
+    /// Full-DAG clones taken by `Computation::extend`/`augment` — the
+    /// quadratic path the in-place `Computation::push` avoids.
+    DagClones,
+    /// Nodes revealed to the streaming (`ccmm watch`) checker.
+    WatchReveals,
+    /// Sampled prefixes where the streaming verdict disagreed with the
+    /// batch checker (must stay 0).
+    WatchDivergences,
 }
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 40;
+pub const NUM_COUNTERS: usize = 44;
 
 impl Counter {
     /// Every counter, in snapshot order.
@@ -190,6 +201,10 @@ impl Counter {
         Counter::ServeCacheMisses,
         Counter::ServeCacheEvictions,
         Counter::ServeConnections,
+        Counter::OnlineProbes,
+        Counter::DagClones,
+        Counter::WatchReveals,
+        Counter::WatchDivergences,
     ];
 
     /// The counter's stable snake_case name, used as its key in metrics
@@ -236,6 +251,10 @@ impl Counter {
             Counter::ServeCacheMisses => "serve_cache_misses",
             Counter::ServeCacheEvictions => "serve_cache_evictions",
             Counter::ServeConnections => "serve_connections",
+            Counter::OnlineProbes => "online_probes",
+            Counter::DagClones => "dag_clones",
+            Counter::WatchReveals => "watch_reveals",
+            Counter::WatchDivergences => "watch_divergences",
         }
     }
 }

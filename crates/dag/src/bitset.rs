@@ -41,6 +41,19 @@ impl BitSet {
         self.capacity
     }
 
+    /// Raises the capacity to `new_capacity`, preserving all current
+    /// members. No-op if the set is already at least that large. This is
+    /// the one growth path, used by the incremental reachability append
+    /// ([`crate::Reachability::extend`]) to keep all closure sets at a
+    /// shared geometric capacity.
+    pub fn grow(&mut self, new_capacity: usize) {
+        if new_capacity <= self.capacity {
+            return;
+        }
+        self.words.resize(new_capacity.div_ceil(WORD_BITS), 0);
+        self.capacity = new_capacity;
+    }
+
     /// Zeroes any bits beyond `capacity` (internal invariant).
     fn trim(&mut self) {
         let extra = self.words.len() * WORD_BITS - self.capacity;
@@ -211,6 +224,23 @@ mod tests {
         assert_eq!(s.len(), 0);
         assert!(!s.contains(0));
         assert!(!s.contains(99));
+    }
+
+    #[test]
+    fn grow_preserves_members_and_extends_range() {
+        let mut s = BitSet::new(10);
+        s.insert(3);
+        s.insert(9);
+        s.grow(200);
+        assert_eq!(s.capacity(), 200);
+        assert!(s.contains(3) && s.contains(9));
+        assert_eq!(s.len(), 2);
+        s.insert(199);
+        assert!(s.contains(199));
+        // Shrinking requests are ignored.
+        s.grow(5);
+        assert_eq!(s.capacity(), 200);
+        assert!(s.contains(199));
     }
 
     #[test]

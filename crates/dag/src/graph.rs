@@ -223,6 +223,48 @@ impl Dag {
         Ok(d)
     }
 
+    /// In-place [`extend_with`](Dag::extend_with): appends a new node with
+    /// edges from each node in `preds` without cloning the dag, returning
+    /// the new node's id. On error the dag is unchanged.
+    pub fn push_node(&mut self, preds: &[NodeId]) -> Result<NodeId, DagError> {
+        let n = self.node_count();
+        if let Some(&p) = preds.iter().find(|p| p.index() >= n) {
+            return Err(DagError::NodeOutOfRange { node: p.index(), n });
+        }
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        let new = NodeId::new(n);
+        let mut seen = BitSet::new(n);
+        for &p in preds {
+            if !seen.contains(p.index()) {
+                seen.insert(p.index());
+                self.succ[p.index()].push(new);
+                self.pred[n].push(p);
+                self.edge_count += 1;
+            }
+        }
+        self.pred[n].sort_unstable();
+        Ok(new)
+    }
+
+    /// Removes the most recently appended node, undoing one
+    /// [`push_node`](Dag::push_node). The last node has no successors by
+    /// construction, so only its incoming edges need unlinking. No-op on
+    /// an empty dag.
+    pub fn pop_node(&mut self) {
+        let Some(preds) = self.pred.pop() else { return };
+        let last = self.succ.len() - 1;
+        debug_assert!(self.succ[last].is_empty(), "popped node had successors");
+        self.succ.pop();
+        for p in preds {
+            // The popped node is always the most recent entry in each
+            // predecessor's successor list.
+            let popped = self.succ[p.index()].pop();
+            debug_assert_eq!(popped, Some(NodeId::new(last)));
+            self.edge_count -= 1;
+        }
+    }
+
     /// The *augmented* dag: a new final node succeeding every old node
     /// (Definition 11 of the paper).
     pub fn augment(&self) -> Dag {
@@ -368,6 +410,40 @@ mod tests {
         assert_eq!(e.edge_count(), 6);
         assert!(e.has_edge(NodeId::new(3), NodeId::new(4)));
         assert!(e.has_edge(NodeId::new(1), NodeId::new(4)));
+    }
+
+    #[test]
+    fn push_node_matches_extend_with() {
+        let d = diamond();
+        let preds = [NodeId::new(3), NodeId::new(1), NodeId::new(1)];
+        let cloned = d.extend_with(&preds).unwrap();
+        let mut inplace = d.clone();
+        let new = inplace.push_node(&preds).unwrap();
+        assert_eq!(new, NodeId::new(4));
+        assert_eq!(inplace, cloned);
+    }
+
+    #[test]
+    fn push_node_rejects_out_of_range_and_leaves_dag_unchanged() {
+        let mut d = diamond();
+        let before = d.clone();
+        assert!(d.push_node(&[NodeId::new(9)]).is_err());
+        assert_eq!(d, before);
+    }
+
+    #[test]
+    fn pop_node_undoes_push_node() {
+        let mut d = diamond();
+        let before = d.clone();
+        d.push_node(&[NodeId::new(2), NodeId::new(3)]).unwrap();
+        d.pop_node();
+        assert_eq!(d, before);
+        // Round-trip through several pushes and pops.
+        d.push_node(&[NodeId::new(0)]).unwrap();
+        d.push_node(&[NodeId::new(4)]).unwrap();
+        d.pop_node();
+        d.pop_node();
+        assert_eq!(d, before);
     }
 
     #[test]

@@ -56,4 +56,4 @@ pub use bitset::BitSet;
 pub use error::DagError;
 pub use graph::{Dag, NodeId};
 pub use reach::Reachability;
-pub use sp::{SpDag, SpExpr};
+pub use sp::{SpDag, SpExpr, SpOrder};

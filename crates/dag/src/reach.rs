@@ -54,6 +54,56 @@ impl Reachability {
         }
     }
 
+    /// Appends one node (with edges from `preds`) to the closure without
+    /// rebuilding: the new node's ancestor set is the union of its
+    /// predecessors' ancestor sets plus the predecessors themselves, its
+    /// descendant set starts empty, and the new node is added to each
+    /// ancestor's descendant set. Returns the new node's id.
+    ///
+    /// All closure bitsets share a geometric capacity (doubled when the
+    /// node count catches up), so an append costs `O(n/64)` words per
+    /// predecessor plus amortized-constant growth — no `O(V · E / 64)`
+    /// rebuild. Mirror of [`Dag::push_node`]; panics if a predecessor is
+    /// out of range.
+    pub fn extend(&mut self, preds: &[NodeId]) -> NodeId {
+        let n = self.desc.len();
+        let mut cap = self.desc.first().map_or(64, BitSet::capacity);
+        if n + 1 > cap {
+            cap = (cap * 2).max(n + 1);
+            for b in self.desc.iter_mut().chain(self.anc.iter_mut()) {
+                b.grow(cap);
+            }
+        }
+        let mut anc = BitSet::new(cap);
+        for &p in preds {
+            assert!(p.index() < n, "predecessor {p} out of range for {n} nodes");
+            anc.insert(p.index());
+            anc.union_with(&self.anc[p.index()]);
+        }
+        for a in anc.iter() {
+            self.desc[a].insert(n);
+        }
+        self.desc.push(BitSet::new(cap));
+        self.anc.push(anc);
+        NodeId::new(n)
+    }
+
+    /// Removes the most recently appended node from the closure, undoing
+    /// one [`extend`](Reachability::extend) (LIFO discipline). No-op when
+    /// empty.
+    pub fn shrink_last(&mut self) {
+        let Some(anc) = self.anc.pop() else { return };
+        debug_assert!(
+            self.desc.last().is_some_and(BitSet::is_empty),
+            "shrink_last requires the last node to have no descendants"
+        );
+        self.desc.pop();
+        let last = self.desc.len();
+        for a in anc.iter() {
+            self.desc[a].remove(last);
+        }
+    }
+
     /// Number of nodes of the underlying dag.
     pub fn node_count(&self) -> usize {
         self.desc.len()
@@ -200,6 +250,71 @@ mod tests {
         a.insert(3);
         assert!(!r.is_antichain(&a));
         assert!(r.is_antichain(&BitSet::new(4)));
+    }
+
+    /// Asserts `a` and `b` answer every precedence query identically
+    /// (capacities may differ: `extend` grows geometrically, `new` is
+    /// exact).
+    fn assert_same_relation(a: &Reachability, b: &Reachability) {
+        assert_eq!(a.node_count(), b.node_count());
+        for u in 0..a.node_count() {
+            for v in 0..a.node_count() {
+                assert_eq!(a.reaches(n(u), n(v)), b.reaches(n(u), n(v)), "disagree on {u} ≺ {v}");
+            }
+            assert_eq!(
+                a.descendants(n(u)).iter().collect::<Vec<_>>(),
+                b.descendants(n(u)).iter().collect::<Vec<_>>()
+            );
+            assert_eq!(
+                a.ancestors(n(u)).iter().collect::<Vec<_>>(),
+                b.ancestors(n(u)).iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn extend_matches_rebuild_on_incremental_construction() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..30 {
+            let mut dag = Dag::empty();
+            let mut inc = Reachability::new(&dag);
+            for step in 0..20 {
+                let preds: Vec<NodeId> =
+                    (0..step).filter(|_| rng.gen_bool(0.3)).map(NodeId::new).collect();
+                dag.push_node(&preds).unwrap();
+                let new = inc.extend(&preds);
+                assert_eq!(new.index(), step);
+                assert_same_relation(&inc, &Reachability::new(&dag));
+            }
+        }
+    }
+
+    #[test]
+    fn extend_grows_capacity_past_the_initial_word() {
+        // 100 appends in a chain force at least one doubling past 64.
+        let mut inc = Reachability::new(&Dag::empty());
+        for i in 0..100 {
+            let preds: Vec<NodeId> = if i == 0 { vec![] } else { vec![n(i - 1)] };
+            inc.extend(&preds);
+        }
+        assert!(inc.reaches(n(0), n(99)));
+        assert_eq!(inc.comparable_pairs(), 100 * 99 / 2);
+    }
+
+    #[test]
+    fn shrink_last_undoes_extend() {
+        let (d, r) = diamond();
+        let mut inc = Reachability::new(&d);
+        inc.extend(&[n(1), n(3)]);
+        inc.shrink_last();
+        assert_same_relation(&inc, &r);
+        // Round-trip through several appends.
+        inc.extend(&[n(3)]);
+        inc.extend(&[n(4)]);
+        inc.shrink_last();
+        inc.shrink_last();
+        assert_same_relation(&inc, &r);
     }
 
     #[test]

@@ -98,6 +98,78 @@ impl SpExpr {
     }
 }
 
+/// An O(1) strict-precedence oracle for series-parallel dags, backed by a
+/// two-linear-extension realizer instead of an O(n²)-bit transitive
+/// closure.
+///
+/// Series-parallel partial orders have order dimension ≤ 2, so two linear
+/// extensions suffice to decide every precedence query: `u ≺ v` iff both
+/// extensions place `u` before `v`. The first extension is the node
+/// numbering itself (fork/join builders emit nodes in left-to-right
+/// depth-first execution order, the "English" order); the caller supplies
+/// the second ("Hebrew": continuation before child, later children first,
+/// see `ccmm-cilk`'s builder). Storage is one `u32` per node, which is
+/// what lets million-node traces answer precedence queries at all —
+/// closure bitsets would need O(n²) bits.
+///
+/// Construction validates that both orders are linear extensions of the
+/// dag, which makes `precedes` *sound* (`precedes(u, v)` ⟹ a path exists
+/// or the pair is incomparable-but-agreed). *Completeness* — every
+/// incomparable pair disagrees between the two orders, making the oracle
+/// exact — holds when the pair is a realizer, which the fork/join builder
+/// guarantees by construction and its tests pin differentially against
+/// [`crate::Reachability`].
+#[derive(Clone, Debug)]
+pub struct SpOrder {
+    /// `hebrew[u]` = rank of node `u` in the second linear extension.
+    hebrew: Vec<u32>,
+}
+
+impl SpOrder {
+    /// Wraps a Hebrew rank assignment, validating that the identity order
+    /// and `hebrew` are both linear extensions of `dag`.
+    pub fn new(dag: &Dag, hebrew: Vec<u32>) -> Result<SpOrder, String> {
+        let n = dag.node_count();
+        if hebrew.len() != n {
+            return Err(format!("hebrew rank has {} entries for {} nodes", hebrew.len(), n));
+        }
+        let mut seen = vec![false; n];
+        for &r in &hebrew {
+            let r = r as usize;
+            if r >= n || seen[r] {
+                return Err(format!("hebrew rank is not a permutation of 0..{n}"));
+            }
+            seen[r] = true;
+        }
+        for (u, v) in dag.edges() {
+            if u.index() >= v.index() {
+                return Err(format!("edge {u} → {v} violates the creation (identity) order"));
+            }
+            if hebrew[u.index()] >= hebrew[v.index()] {
+                return Err(format!("edge {u} → {v} violates the hebrew order"));
+            }
+        }
+        Ok(SpOrder { hebrew })
+    }
+
+    /// Number of nodes covered by the oracle.
+    pub fn node_count(&self) -> usize {
+        self.hebrew.len()
+    }
+
+    /// Strict precedence `u ≺ v`: both linear extensions agree.
+    #[inline]
+    pub fn precedes(&self, u: NodeId, v: NodeId) -> bool {
+        u.index() < v.index() && self.hebrew[u.index()] < self.hebrew[v.index()]
+    }
+
+    /// Whether `u` and `v` are incomparable (the extensions disagree).
+    #[inline]
+    pub fn concurrent(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && !self.precedes(u, v) && !self.precedes(v, u)
+    }
+}
+
 /// The result of lowering an [`SpExpr`].
 #[derive(Clone, Debug)]
 pub struct SpDag {
@@ -219,6 +291,37 @@ mod tests {
     #[should_panic(expected = "seq of zero")]
     fn seq_empty_panics() {
         SpExpr::seq([]);
+    }
+
+    #[test]
+    fn sp_order_decides_the_fork_join_diamond() {
+        // 0 forks to {1, 2}, joining at 3. Hebrew runs the later branch
+        // first: 0, 2, 1, 3.
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let o = SpOrder::new(&dag, vec![0, 2, 1, 3]).unwrap();
+        let r = Reachability::new(&dag);
+        for u in 0..4 {
+            for v in 0..4 {
+                let (u, v) = (NodeId::new(u), NodeId::new(v));
+                assert_eq!(o.precedes(u, v), r.reaches(u, v), "{u} ≺ {v}");
+                if u != v {
+                    assert_eq!(o.concurrent(u, v), r.incomparable(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sp_order_rejects_non_extensions() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        // Wrong length.
+        assert!(SpOrder::new(&dag, vec![0, 1]).is_err());
+        // Not a permutation.
+        assert!(SpOrder::new(&dag, vec![0, 0, 1]).is_err());
+        // Violates an edge.
+        assert!(SpOrder::new(&dag, vec![1, 0, 2]).is_err());
+        // The chain itself is fine.
+        assert!(SpOrder::new(&dag, vec![0, 1, 2]).is_ok());
     }
 
     #[test]

@@ -1309,6 +1309,266 @@ fn cmd_stress(args: &[String]) -> Result<u8, String> {
     })
 }
 
+fn cmd_watch(args: &[String]) -> Result<u8, String> {
+    use ccmm::backer::FaultInjection;
+    use ccmm::core::ckpt;
+    use ccmm::core::sweep::supervisor::SweepStatus;
+    use ccmm::watch::{self, WatchCkpt, WatchConfig};
+    use ccmm_bench::report::{emit, latest_matching_shape, SweepRecord};
+    use std::time::Instant;
+
+    let mut workload = "fib:14".to_string();
+    let mut procs = 4usize;
+    let mut cache_lines = 16usize;
+    let mut block = 16usize;
+    let mut faults = FaultInjection::NONE;
+    let mut deadline_secs: Option<f64> = None;
+    let mut sample_every = 8usize;
+    let mut sample_cap = 24usize;
+    let mut ckpt_path: Option<String> = None;
+    let mut ckpt_every = 65_536usize;
+    let mut resume_path: Option<String> = None;
+    let mut gate = false;
+    let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut progress = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--workload" => workload = take("--workload")?,
+            "--procs" => procs = take("--procs")?.parse().map_err(|_| "bad --procs")?,
+            "--cache" => cache_lines = take("--cache")?.parse().map_err(|_| "bad --cache")?,
+            "--block" => block = take("--block")?.parse().map_err(|_| "bad --block")?,
+            "--fault" => {
+                faults = match take("--fault")?.as_str() {
+                    "none" => FaultInjection::NONE,
+                    "skip-flush" => FaultInjection { skip_flush: true, skip_reconcile: false },
+                    "skip-reconcile" => FaultInjection { skip_flush: false, skip_reconcile: true },
+                    other => {
+                        return Err(format!(
+                            "unknown fault `{other}` (none | skip-flush | skip-reconcile)"
+                        ))
+                    }
+                }
+            }
+            "--deadline-secs" => {
+                deadline_secs =
+                    Some(take("--deadline-secs")?.parse().map_err(|_| "bad --deadline-secs")?);
+            }
+            "--sample-every" => {
+                sample_every = take("--sample-every")?.parse().map_err(|_| "bad --sample-every")?;
+            }
+            "--sample-cap" => {
+                sample_cap = take("--sample-cap")?.parse().map_err(|_| "bad --sample-cap")?;
+            }
+            "--ckpt" => ckpt_path = Some(take("--ckpt")?),
+            "--ckpt-every" => {
+                ckpt_every = take("--ckpt-every")?.parse().map_err(|_| "bad --ckpt-every")?;
+                if ckpt_every == 0 {
+                    return Err("--ckpt-every must be at least 1".into());
+                }
+            }
+            "--resume" => resume_path = Some(take("--resume")?),
+            "--gate" => gate = true,
+            "--metrics" => metrics_path = Some(take("--metrics")?),
+            "--trace" => trace_path = Some(take("--trace")?),
+            "--progress" => progress = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if procs == 0 {
+        return Err("--procs must be at least 1".into());
+    }
+    if ckpt_path.is_some() && resume_path.is_some() {
+        return Err(
+            "--ckpt starts a fresh journal and --resume continues one; pass only one".to_string()
+        );
+    }
+
+    let trace = watch::parse_trace_workload(&workload)?;
+    let mut cfg = WatchConfig::new(&workload);
+    cfg.procs = procs;
+    cfg.cache_lines = cache_lines;
+    cfg.block = block;
+    cfg.faults = faults;
+    cfg.sample_every = sample_every;
+    cfg.sample_cap = sample_cap;
+    if let Some(secs) = deadline_secs {
+        cfg.deadline = Some(std::time::Duration::from_secs_f64(secs));
+    }
+
+    // Gate precondition up front, as in `sweep`: a gated run with no
+    // baseline must not silently record itself as one.
+    let total = trace.node_count();
+    let baseline = latest_matching_shape(
+        &format!("watch/{workload}"),
+        "stream",
+        total as u64,
+        trace.num_locations as u64,
+        procs as u64,
+    );
+    if gate && baseline.is_none() {
+        eprintln!("error: no baseline for this config — run without --gate to record one");
+        return Ok(exit::NO_BASELINE);
+    }
+
+    // Checkpoint journal: the fingerprint pins everything that makes the
+    // replay-based resume deterministic.
+    let fingerprint = cfg.fingerprint();
+    let mut writer: Option<ckpt::CkptWriter> = None;
+    let mut resume_state = None;
+    if let Some(path) = &ckpt_path {
+        writer = Some(
+            ckpt::CkptWriter::create(std::path::Path::new(path), &fingerprint)
+                .map_err(|e| format!("creating checkpoint {path}: {e}"))?,
+        );
+    }
+    if let Some(path) = &resume_path {
+        let loaded = ckpt::Checkpoint::load(std::path::Path::new(path))
+            .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
+        if loaded.fingerprint != fingerprint {
+            return Err(format!(
+                "checkpoint fingerprint mismatch: journal is `{}`, this run is `{fingerprint}`",
+                loaded.fingerprint
+            ));
+        }
+        resume_state = match loaded.latest() {
+            Some(snap) => Some(
+                watch::decode_snapshot(snap)
+                    .ok_or_else(|| format!("corrupt checkpoint snapshot in {path}"))?,
+            ),
+            None => None,
+        };
+        writer = Some(
+            ckpt::CkptWriter::append_to(std::path::Path::new(path))
+                .map_err(|e| format!("reopening checkpoint {path}: {e}"))?,
+        );
+        if let Some(s) = &resume_state {
+            println!("resuming from {path}: {} node(s) already committed", s.position);
+        }
+    }
+
+    let mut tel = TelemetrySink::new("watch", trace_path, metrics_path, progress);
+    println!(
+        "watch: {workload} ({total} node(s), {} location(s)), {procs} proc(s), \
+         {cache_lines}-line caches, block {block}",
+        trace.num_locations
+    );
+    let t0 = Instant::now();
+    let phase_span = ccmm::core::telemetry::span("watch/stream");
+    let sink = writer.as_mut().map(|w| WatchCkpt { writer: w, every: ckpt_every });
+    let report = watch::run_supervised(&cfg, &trace, resume_state, sink)?;
+    drop(phase_span);
+    let wall = t0.elapsed();
+    tel.end_phase("stream", wall);
+    tel.write()?;
+
+    if let Some(e) = &report.ckpt_error {
+        eprintln!("warning: checkpoint journalling failed mid-run: {e}");
+    }
+    for q in &report.quarantined {
+        println!(
+            "quarantined: conformance sample at prefix {} panicked twice: {}",
+            q.task_idx, q.payload
+        );
+    }
+    let v = &report.verdicts;
+    println!(
+        "streamed {}/{} node(s): valid {} | SC {} | LC {} \
+         (violations: {} validity, {} sc, {} lc)",
+        report.frontier.len(),
+        total,
+        v.valid,
+        v.sc,
+        v.lc,
+        v.validity_violations,
+        v.sc_violations,
+        v.lc_violations
+    );
+    println!(
+        "conformance: {} sampled prefix(es), {} divergence(s){}",
+        report.samples,
+        report.divergences,
+        report.first_divergence.map(|k| format!(" (first at prefix {k})")).unwrap_or_default()
+    );
+    println!(
+        "throughput: {:.0} reveals/sec ({} fresh reveal(s) in {:.2?}); peak RSS {} KiB",
+        report.reveals_per_sec, report.fresh_reveals, report.wall, report.peak_rss_kb
+    );
+    println!(
+        "protocol: {} fetch(es), {} reconcile(s), {} flush(es), {} eviction(s)",
+        report.stats.fetches, report.stats.reconciles, report.stats.flushes, report.stats.evictions
+    );
+
+    // Every run leaves a record (tagged with its status) so complete
+    // runs become baselines; only complete runs are gated.
+    let record = SweepRecord {
+        experiment: format!("watch/{workload}"),
+        engine: "stream".to_string(),
+        max_nodes: total as u64,
+        num_locations: trace.num_locations as u64,
+        universe_computations: 0,
+        threads: procs as u64,
+        wall_ms: report.wall.as_secs_f64() * 1e3,
+        pairs_checked: report.fresh_reveals,
+        pairs_per_sec: report.reveals_per_sec,
+        fixpoint_passes: report.samples,
+        status: status_name(report.status).to_string(),
+        counters: tel.last_counters(),
+    };
+    let path = emit(&[record]).map_err(|e| format!("writing bench json: {e}"))?;
+    println!("bench: appended watch/{workload} [stream] to {path}");
+
+    if report.status == SweepStatus::Partial {
+        println!(
+            "deadline hit: {}/{total} node(s) committed; resume frontier: {:?}",
+            report.frontier.len(),
+            report.frontier.ranges()
+        );
+        if let Some(path) = ckpt_path.as_deref().or(resume_path.as_deref()) {
+            println!("resume with --resume {path}");
+        }
+        return Ok(exit::PARTIAL);
+    }
+    if !report.passed() && report.status == SweepStatus::Complete {
+        println!(
+            "verdict check FAILED: valid={} lc={} divergences={}",
+            v.valid, v.lc, report.divergences
+        );
+        return Ok(exit::FAIL);
+    }
+    if gate && report.status == SweepStatus::Complete {
+        let b = baseline.expect("gate precondition checked above");
+        println!(
+            "gate: {:.0} reveals/sec vs baseline {:.0} (threshold {:.0})",
+            report.reveals_per_sec,
+            b.pairs_per_sec,
+            b.pairs_per_sec / 2.0
+        );
+        if report.reveals_per_sec < b.pairs_per_sec / 2.0 {
+            println!(
+                "perf gate FAILED: {:.0} reveals/sec is more than 2x below the baseline",
+                report.reveals_per_sec
+            );
+            return Ok(exit::FAIL);
+        }
+    } else if gate {
+        println!(
+            "gate: skipped — run was {} (only complete runs are gated)",
+            status_name(report.status)
+        );
+    }
+    Ok(match report.status {
+        SweepStatus::Complete => exit::COMPLETE,
+        SweepStatus::Degraded => exit::DEGRADED,
+        SweepStatus::Partial => exit::PARTIAL,
+        SweepStatus::Killed => exit::KILLED,
+    })
+}
+
 /// Installs `handler` for `SIGTERM` and `SIGINT`. Raw `signal(2)` FFI —
 /// the workspace deliberately has no libc dependency, and setting an
 /// `AtomicBool` is async-signal-safe.
@@ -1680,6 +1940,36 @@ USAGE:
                                            resume frontier (exit 4), --ckpt/
                                            --resume journals, --fault (exit 70
                                            killed)
+  ccmm watch [--workload W] [--procs P] [--cache N] [--block B]
+             [--fault F] [--deadline-secs S] [--ckpt PATH] [--ckpt-every K]
+             [--resume PATH] [--sample-every K] [--sample-cap N] [--gate]
+             [--trace FILE] [--metrics FILE] [--progress]
+                                           stream a harvested Cilk trace
+                                           (fib:N | matmul:N | stencil:W,T;
+                                           depths reach 10^5-10^7 nodes)
+                                           through the lean BACKER executor
+                                           and check validity + SC/LC on the
+                                           fly, race-detector style: one
+                                           reveal per node via SP-order and
+                                           last-writer indices, no dense
+                                           closure. Every K-th commit inside
+                                           the first --sample-cap nodes the
+                                           prefix is densified and
+                                           cross-checked against the exact
+                                           batch checkers; any divergence is
+                                           exit 1. --fault (skip-flush |
+                                           skip-reconcile) weakens the
+                                           protocol — the stream then reports
+                                           the LC violation (exit 1).
+                                           Supervision matches sweep:
+                                           deadline → exit 4 + node frontier,
+                                           --ckpt/--resume journals with
+                                           replay-verified resume, sample
+                                           panics quarantined (exit 3).
+                                           Appends reveals/sec + counters to
+                                           BENCH_sweep.json; --gate fails on
+                                           >2x regression vs the same-shape
+                                           baseline (exit 5 when none)
   ccmm serve [--addr A] [--max-inflight N] [--retry-after-ms MS]
              [--deadline-ms MS] [--cache-capacity N] [--fault SPEC]
              [--metrics FILE] [--self-test]
@@ -1740,6 +2030,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(rest),
         "conformance" => cmd_conformance(rest).map(|ok| if ok { 0 } else { 1 }),
         "stress" => cmd_stress(rest),
+        "watch" => cmd_watch(rest),
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
         "dot" => cmd_dot(rest).map(|()| 0),

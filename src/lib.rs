@@ -26,3 +26,4 @@ pub use ccmm_dag as dag;
 pub mod client;
 pub mod serve;
 pub mod stress;
+pub mod watch;

@@ -776,3 +776,114 @@ fn sweep_ckpt_io_error_degrades_but_keeps_every_verdict() {
         let _ = std::fs::remove_file(p);
     }
 }
+
+fn watch_cmd(name: &str) -> (Command, std::path::PathBuf) {
+    let json =
+        std::env::temp_dir().join(format!("ccmm-cli-watch-bench-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&json);
+    let mut cmd = bin();
+    cmd.arg("watch").env("CCMM_BENCH_JSON", &json);
+    (cmd, json)
+}
+
+/// The deterministic verdict + conformance lines a resume round trip
+/// must reproduce bit-for-bit (throughput lines are timing-dependent).
+fn watch_verdict_lines(stdout: &str) -> Vec<String> {
+    stdout
+        .lines()
+        .filter(|l| l.starts_with("streamed ") || l.starts_with("conformance:"))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn watch_streams_a_fib_trace_and_reports_lc() {
+    let (mut cmd, json) = watch_cmd("smoke");
+    let out = cmd.args(["--workload", "fib:10"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("streamed 441/441 node(s): valid true | SC true | LC true"), "{text}");
+    assert!(text.contains("0 divergence(s)"), "{text}");
+    assert!(json.exists(), "a watch run must leave a bench record");
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn watch_faulted_run_detects_the_lc_violation_with_batch_agreement() {
+    let (mut cmd, json) = watch_cmd("fault");
+    let out = cmd
+        .args(["--workload", "fib:10", "--fault", "skip-reconcile", "--sample-every", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "an LC violation is a failed check");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("LC false"), "{text}");
+    assert!(text.contains("0 divergence(s)"), "batch checkers must agree on every prefix: {text}");
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn watch_deadline_exits_partial_and_resume_lands_on_identical_verdicts() {
+    let ckpt = std::env::temp_dir().join(format!("ccmm-cli-watch-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+
+    // Uninterrupted reference run.
+    let (mut full, json_full) = watch_cmd("resume-ref");
+    let full_out = full.args(["--workload", "fib:16"]).output().unwrap();
+    assert_eq!(full_out.status.code(), Some(0));
+    let reference = watch_verdict_lines(&String::from_utf8(full_out.stdout).unwrap());
+
+    // Deadline kill: exit 4 with a node frontier and a journal.
+    let (mut part, json_part) = watch_cmd("resume-part");
+    let out = part
+        .args(["--workload", "fib:16", "--deadline-secs", "0", "--ckpt"])
+        .arg(&ckpt)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "deadline exit code");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("deadline hit:"), "{text}");
+    assert!(text.contains("resume frontier: [(0, "), "node frontier printed: {text}");
+    assert!(text.contains("resume with --resume"), "{text}");
+
+    // Resume: completes and reproduces the reference verdicts exactly.
+    let (mut res, json_res) = watch_cmd("resume-cont");
+    let out = res.args(["--workload", "fib:16", "--resume"]).arg(&ckpt).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("resuming from"), "{text}");
+    assert_eq!(
+        watch_verdict_lines(&text),
+        reference,
+        "resumed verdicts must be identical to an uninterrupted run"
+    );
+    for p in [&ckpt, &json_full, &json_part, &json_res] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn watch_resume_rejects_a_mismatched_fingerprint() {
+    let ckpt = std::env::temp_dir().join(format!("ccmm-cli-watch-ckpt-fp-{}", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let (mut part, json_a) = watch_cmd("fp-a");
+    let out = part
+        .args(["--workload", "fib:16", "--deadline-secs", "0", "--ckpt"])
+        .arg(&ckpt)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    // Same journal, different protocol config ⇒ the replay would not be
+    // deterministic, so the fingerprint must refuse it.
+    let (mut res, json_b) = watch_cmd("fp-b");
+    let out =
+        res.args(["--workload", "fib:16", "--procs", "2", "--resume"]).arg(&ckpt).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8(out.stderr).unwrap().contains("fingerprint mismatch"),
+        "mismatched config must be rejected"
+    );
+    for p in [&ckpt, &json_a, &json_b] {
+        let _ = std::fs::remove_file(p);
+    }
+}

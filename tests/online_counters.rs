@@ -1,0 +1,81 @@
+//! Counter-pinned regression tests for the incremental online-reveal
+//! path. Telemetry counters are process-global, so this binary holds a
+//! single `#[test]` — running these assertions alongside other tests
+//! (which also count reveals and probes) would make the pins flaky.
+//!
+//! Two regressions are pinned:
+//!
+//! * `OnlineSession::reveal` routes through `Computation::push` — a
+//!   long session performs **zero** full-DAG clones (the legacy
+//!   `extend`-per-reveal path cloned the dag, ops, closure, and write
+//!   index on every node).
+//! * `reveal` early-exits at the first admissible row, while
+//!   `reveal_choose` deliberately enumerates every admissible row for
+//!   its chooser — the probe counter must show the drop.
+
+use ccmm::core::online::OnlineSession;
+use ccmm::core::telemetry::{self, Counter};
+use ccmm::core::{AnyObserver, Location, Op};
+use ccmm::dag::NodeId;
+
+#[test]
+fn reveal_sessions_do_zero_dag_clones_and_probe_minimally() {
+    telemetry::set_enabled(true);
+    let l = Location::new(0);
+
+    // A write-then-reads chain, revealed node by node. In release this
+    // runs the full 10^5-reveal regression; debug keeps the dense
+    // closure's quadratic growth affordable.
+    let n: usize = if cfg!(debug_assertions) { 10_000 } else { 100_000 };
+    telemetry::snapshot_and_reset();
+    let mut game = OnlineSession::new(AnyObserver, 1);
+    game.reveal(&[], Op::Write(l)).expect("root write");
+    for i in 1..n {
+        game.reveal(&[NodeId::new(i - 1)], Op::Read(l)).expect("chain read");
+    }
+    let snap = telemetry::snapshot_and_reset();
+    assert_eq!(
+        snap[Counter::DagClones as usize],
+        0,
+        "a {n}-reveal session must not clone the DAG even once"
+    );
+    assert_eq!(snap[Counter::OnlineReveals as usize], n as u64);
+    let fast_probes_long = snap[Counter::OnlineProbes as usize];
+    assert_eq!(
+        fast_probes_long, n as u64,
+        "the fast path commits the first admissible row: one probe per reveal"
+    );
+
+    // Probe-count drop: identical reveal sequences through the fast
+    // path and through collect-all `reveal_choose`. Writes every 8th
+    // node grow the candidate sets, so the collect-all cost compounds.
+    let k: usize = 64;
+    let op_at = |i: usize| if i.is_multiple_of(8) { Op::Write(l) } else { Op::Read(l) };
+
+    telemetry::snapshot_and_reset();
+    let mut fast = OnlineSession::new(AnyObserver, 1);
+    fast.reveal(&[], op_at(0)).expect("root");
+    for i in 1..k {
+        fast.reveal(&[NodeId::new(i - 1)], op_at(i)).expect("fast reveal");
+    }
+    let fast_probes = telemetry::snapshot_and_reset()[Counter::OnlineProbes as usize];
+
+    let mut choose = OnlineSession::new(AnyObserver, 1);
+    choose.reveal_choose(&[], op_at(0), |_| 0).expect("root");
+    for i in 1..k {
+        choose.reveal_choose(&[NodeId::new(i - 1)], op_at(i), |_| 0).expect("choose reveal");
+    }
+    let snap = telemetry::snapshot_and_reset();
+    let choose_probes = snap[Counter::OnlineProbes as usize];
+    assert_eq!(snap[Counter::DagClones as usize], 0, "reveal_choose also stays in place");
+
+    assert_eq!(fast_probes, k as u64, "early exit: one probe per reveal");
+    assert!(
+        choose_probes >= 2 * fast_probes,
+        "collect-all must probe every admissible row: {choose_probes} vs {fast_probes}"
+    );
+    // Both paths commit the same greedy (first-row) choice, so the
+    // sessions end in identical states.
+    assert_eq!(fast.observer(), choose.observer());
+    telemetry::set_enabled(false);
+}
